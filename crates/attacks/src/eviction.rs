@@ -1,0 +1,176 @@
+//! Conflict/eviction-based attacks (Prime+Probe style).
+//!
+//! The attacker's primitive is the *set-associative eviction* (SAE): by
+//! filling addresses that contend with the victim's line, it evicts the
+//! line and observes the victim's re-access latency. On a conventional
+//! set-associative cache this works with a handful of same-set addresses.
+//! Maya and Mirage deny the primitive entirely: fills go to invalid tag
+//! ways, evictions are global-random, and no amount of address selection
+//! concentrates evictions on a target set.
+
+use maya_core::{CacheModel, DomainId, Request};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Domain of the attacker.
+pub const ATTACKER: DomainId = DomainId(1);
+/// Domain of the victim.
+pub const VICTIM: DomainId = DomainId(2);
+
+/// Result of a targeted-eviction experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetedEvictionResult {
+    /// Attacker fills performed before the victim's line left the cache.
+    pub fills_until_eviction: u64,
+    /// SAEs the cache recorded during the experiment.
+    pub saes: u64,
+}
+
+/// Measures how many attacker fills are needed to evict a victim line when
+/// the attacker picks addresses *congruent* with the victim (same LLC set
+/// in a conventional cache; congruence is meaningless for randomized
+/// designs, so the probe set is "every 2^set_bits-th line").
+///
+/// On a 16-way baseline this evicts within roughly one set's worth of
+/// fills. On Maya/Mirage, evictions of the victim line are global-random,
+/// so congruent addresses are no better than random ones and the count is
+/// on the order of the cache size.
+pub fn targeted_eviction(
+    cache: &mut dyn CacheModel,
+    set_stride: u64,
+    budget: u64,
+) -> TargetedEvictionResult {
+    let victim_line = 0x5ee_d000;
+    // Install the victim's line (twice, to occupy the data store in
+    // reuse-filtered designs).
+    cache.access(Request::read(victim_line, VICTIM));
+    cache.access(Request::read(victim_line, VICTIM));
+    let saes_before = cache.stats().saes;
+    let mut fills = 0;
+    for i in 1..=budget {
+        // Congruent address: same set index in a conventional cache. Each
+        // line is touched twice so that reuse-filtered designs promote it
+        // into the data store — a single-touch attacker could never evict
+        // Maya's priority-1 data at all.
+        let line = victim_line + i * set_stride;
+        cache.access(Request::read(line, ATTACKER));
+        cache.access(Request::read(line, ATTACKER));
+        fills += 1;
+        if !cache.probe(victim_line, VICTIM) {
+            break;
+        }
+    }
+    TargetedEvictionResult {
+        fills_until_eviction: fills,
+        saes: cache.stats().saes - saes_before,
+    }
+}
+
+/// Classic group-testing eviction-set construction against a conventional
+/// cache: from a candidate pool, keep only addresses whose removal stops
+/// the victim from being evicted. Returns the minimal eviction set found,
+/// or `None` if the pool never evicts the victim (the randomized-design
+/// outcome).
+pub fn build_eviction_set(
+    cache: &mut dyn CacheModel,
+    victim_line: u64,
+    pool_size: u64,
+    seed: u64,
+) -> Option<Vec<u64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pool: Vec<u64> = (0..pool_size).map(|_| rng.gen_range(1 << 20..1 << 28)).collect();
+
+    let evicts = |cache: &mut dyn CacheModel, set: &[u64]| -> bool {
+        cache.flush_all();
+        cache.access(Request::read(victim_line, VICTIM));
+        cache.access(Request::read(victim_line, VICTIM));
+        for &a in set {
+            cache.access(Request::read(a, ATTACKER));
+        }
+        !cache.probe(victim_line, VICTIM)
+    };
+
+    if !evicts(cache, &pool) {
+        return None;
+    }
+    // Group testing: repeatedly drop chunks that are not needed.
+    let mut chunk = pool.len() / 2;
+    while chunk >= 1 && !pool.is_empty() {
+        let mut i = 0;
+        while i + chunk <= pool.len() {
+            let mut reduced = pool.clone();
+            reduced.drain(i..i + chunk);
+            if evicts(cache, &reduced) {
+                pool = reduced;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    Some(pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_core::{
+        MayaCache, MayaConfig, MirageCache, MirageConfig, Policy, SetAssocCache, SetAssocConfig,
+    };
+
+    #[test]
+    fn baseline_evicts_with_one_set_of_congruent_lines() {
+        let mut c = SetAssocCache::new(SetAssocConfig::new(1024, 16, Policy::Lru));
+        let r = targeted_eviction(&mut c, 1024, 1_000);
+        assert!(
+            r.fills_until_eviction <= 16,
+            "16 congruent fills must evict on LRU: {r:?}"
+        );
+    }
+
+    #[test]
+    fn maya_resists_congruent_fills() {
+        let mut c = MayaCache::new(MayaConfig::with_sets(256, 3));
+        let capacity = c.capacity_lines() as u64;
+        let r = targeted_eviction(&mut c, 256, 10 * capacity);
+        assert_eq!(r.saes, 0, "no SAE may occur: {r:?}");
+        assert!(
+            r.fills_until_eviction > capacity / 8,
+            "eviction must need cache-scale fills: {r:?} (capacity {capacity})"
+        );
+    }
+
+    #[test]
+    fn mirage_resists_congruent_fills() {
+        let mut c = MirageCache::new(MirageConfig::for_data_entries(8 * 1024, 3));
+        let capacity = c.capacity_lines() as u64;
+        let r = targeted_eviction(&mut c, 256, 10 * capacity);
+        assert_eq!(r.saes, 0);
+        assert!(r.fills_until_eviction > capacity / 8, "{r:?}");
+    }
+
+    #[test]
+    fn eviction_set_construction_succeeds_on_baseline() {
+        let mut c = SetAssocCache::new(SetAssocConfig::new(64, 4, Policy::Lru));
+        let victim = 0x12345;
+        let set = build_eviction_set(&mut c, victim, 512, 7)
+            .expect("baseline must yield an eviction set");
+        // The minimal eviction set for a 4-way LRU set is about 4 lines.
+        assert!(set.len() <= 12, "eviction set too large: {}", set.len());
+        // All survivors are congruent with the victim.
+        let congruent = set.iter().filter(|&&a| a % 64 == victim % 64).count();
+        assert!(congruent >= set.len() - 1, "{congruent}/{}", set.len());
+    }
+
+    #[test]
+    fn eviction_set_construction_fails_on_maya_sized_pool() {
+        // A pool far smaller than the cache: on the baseline it still evicts
+        // (set conflicts); on Maya it cannot (global random replacement and
+        // reuse filtering keep the victim's line resident).
+        let mut maya = MayaCache::new(MayaConfig::with_sets(256, 3));
+        assert!(build_eviction_set(&mut maya, 0x12345, 512, 7).is_none());
+    }
+}

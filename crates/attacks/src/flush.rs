@@ -1,0 +1,80 @@
+//! Shared-memory flush attacks (Flush+Reload) and the SDID defence.
+//!
+//! In Flush+Reload the attacker shares a physical line with the victim
+//! (e.g. a shared library), flushes it, waits, and reloads: a fast reload
+//! means the victim touched the line. The defence in Mirage and Maya is
+//! *duplication*: each security domain's fills are tagged with its SDID, so
+//! the "shared" line exists as independent per-domain copies — the
+//! attacker's flush removes only its own copy, and its reload probes only
+//! its own copy, which the victim never touches.
+
+use maya_core::{CacheModel, DomainId, Request};
+
+/// Domain of the attacker.
+pub const ATTACKER: DomainId = DomainId(1);
+/// Domain of the victim.
+pub const VICTIM: DomainId = DomainId(2);
+
+/// Runs one Flush+Reload round against a shared line and reports whether
+/// the attacker could tell that the victim accessed it.
+///
+/// For a cache without domain isolation the line is genuinely shared, so
+/// the probe after a victim access hits (leak). With SDID isolation the
+/// attacker's probe misses whether or not the victim ran — no leak.
+pub fn flush_reload_leaks(cache: &mut dyn CacheModel) -> bool {
+    let shared_line = 0xcafe;
+    let observe = |cache: &mut dyn CacheModel, victim_touches: bool| -> bool {
+        // Attacker warms the line (for reuse-filtered designs: twice), then
+        // flushes it.
+        cache.access(Request::read(shared_line, ATTACKER));
+        cache.access(Request::read(shared_line, ATTACKER));
+        cache.flush_line(shared_line, ATTACKER);
+        if victim_touches {
+            // In a non-isolated cache both domains address the same entry;
+            // model that by the victim installing under the *attacker's*
+            // visible identity when the cache ignores domains. Domain-aware
+            // caches keep the copies separate no matter what we pass here.
+            cache.access(Request::read(shared_line, VICTIM));
+            cache.access(Request::read(shared_line, VICTIM));
+        }
+        // Reload: does the attacker observe a hit?
+        cache.probe(shared_line, ATTACKER)
+    };
+    let with_victim = observe(cache, true);
+    let without_victim = observe(cache, false);
+    with_victim != without_victim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_core::{
+        FullyAssocCache, MayaCache, MayaConfig, MirageCache, MirageConfig, Policy, SetAssocCache,
+        SetAssocConfig,
+    };
+
+    #[test]
+    fn baseline_without_domains_leaks() {
+        let mut c = SetAssocCache::new(SetAssocConfig::new(1024, 16, Policy::Lru));
+        assert!(flush_reload_leaks(&mut c), "a shared non-isolated cache must leak");
+    }
+
+    #[test]
+    fn maya_sdid_duplication_stops_the_leak() {
+        let mut c = MayaCache::new(MayaConfig::with_sets(256, 5));
+        assert!(!flush_reload_leaks(&mut c));
+    }
+
+    #[test]
+    fn mirage_sdid_duplication_stops_the_leak() {
+        let mut c = MirageCache::new(MirageConfig::for_data_entries(8 * 1024, 5));
+        assert!(!flush_reload_leaks(&mut c));
+    }
+
+    #[test]
+    fn fully_associative_cache_with_domains_does_not_leak() {
+        // Even the FA reference keeps per-domain copies in this framework.
+        let mut c = FullyAssocCache::new(1024, 5);
+        assert!(!flush_reload_leaks(&mut c));
+    }
+}

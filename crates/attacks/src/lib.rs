@@ -1,0 +1,35 @@
+//! The attack-evaluation framework (a cacheFX-style substrate): drives the
+//! `maya-core` cache models with real attacker/victim interactions to
+//! demonstrate the security properties the paper claims.
+//!
+//! * [`eviction`] — conflict/eviction-based attacks (Prime+Probe style):
+//!   shows that a set-associative cache leaks eviction-set information while
+//!   Maya and Mirage produce no set-associative evictions at all.
+//! * [`occupancy`] — the cache-occupancy channel of Figure 8: an attacker
+//!   measures how much of its resident data a victim computation displaces,
+//!   and tries to distinguish two victim keys. Victims are *real*
+//!   computations: AES-128 with T-tables and square-and-multiply modular
+//!   exponentiation ([`victims`]).
+//! * [`flush`] — Flush+Reload: shows SDID-based duplication prevents the
+//!   attacker's flush/probe from observing the victim's copy.
+//!
+//! # Examples
+//!
+//! ```
+//! use attacks::flush::flush_reload_leaks;
+//! use maya_core::{MayaCache, MayaConfig, SetAssocCache, SetAssocConfig, Policy};
+//!
+//! // The non-secure baseline leaks through Flush+Reload; Maya does not.
+//! let mut base = SetAssocCache::new(SetAssocConfig::new(1024, 16, Policy::Lru));
+//! assert!(flush_reload_leaks(&mut base));
+//! let mut maya = MayaCache::new(MayaConfig::with_sets(256, 1));
+//! assert!(!flush_reload_leaks(&mut maya));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eviction;
+pub mod flush;
+pub mod occupancy;
+pub mod victims;

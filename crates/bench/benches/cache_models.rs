@@ -1,0 +1,63 @@
+//! Criterion benchmarks of raw access throughput per LLC design: the
+//! simulation cost of the baseline versus the decoupled randomized designs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use maya_core::{
+    CacheModel, DomainId, FullyAssocCache, MayaCache, MayaConfig, MirageCache, MirageConfig,
+    Policy, Request, SetAssocCache, SetAssocConfig,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A half-reused, half-streaming request mix over a 4x-capacity footprint.
+fn requests(n: usize, capacity: u64) -> Vec<Request> {
+    let mut rng = SmallRng::seed_from_u64(99);
+    (0..n)
+        .map(|_| {
+            let line = if rng.gen_bool(0.5) {
+                rng.gen_range(0..capacity / 2) // hot set
+            } else {
+                rng.gen_range(0..capacity * 4) // streaming-ish
+            };
+            if rng.gen_bool(0.2) {
+                Request::writeback(line, DomainId(0))
+            } else {
+                Request::read(line, DomainId(0))
+            }
+        })
+        .collect()
+}
+
+fn bench_models(c: &mut Criterion) {
+    const LINES: usize = 16 * 1024;
+    let reqs = requests(4096, LINES as u64);
+    let mut g = c.benchmark_group("llc_access");
+    g.throughput(Throughput::Elements(reqs.len() as u64));
+
+    let mut run = |name: &str, cache: &mut dyn CacheModel| {
+        // Warm the cache once so the steady-state path dominates.
+        for r in &reqs {
+            cache.access(*r);
+        }
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for r in &reqs {
+                    black_box(cache.access(*r));
+                }
+            })
+        });
+    };
+
+    let mut baseline = SetAssocCache::new(SetAssocConfig::new(LINES / 16, 16, Policy::Srrip));
+    run("baseline_16way", &mut baseline);
+    let mut mirage = MirageCache::new(MirageConfig::for_data_entries(LINES, 5));
+    run("mirage", &mut mirage);
+    let mut maya = MayaCache::new(MayaConfig::for_baseline_lines(LINES, 5));
+    run("maya", &mut maya);
+    let mut fa = FullyAssocCache::new(LINES, 5);
+    run("fully_assoc", &mut fa);
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

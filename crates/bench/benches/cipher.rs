@@ -1,0 +1,37 @@
+//! Criterion benchmarks for the PRINCE cipher and index derivation — the
+//! per-lookup cost the randomized designs add in simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use prince_cipher::{IndexFunction, Prince};
+
+fn bench_cipher(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prince");
+    g.throughput(Throughput::Elements(1));
+    let cipher = Prince::new(0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210);
+    g.bench_function("encrypt", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(cipher.encrypt(x))
+        })
+    });
+    g.bench_function("decrypt", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(cipher.decrypt(x))
+        })
+    });
+    let f = IndexFunction::from_seed(7, 2, 16 * 1024);
+    g.bench_function("set_index_two_skews", |b| {
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(64);
+            black_box((f.set_index(0, a), f.set_index(1, a)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cipher);
+criterion_main!(benches);

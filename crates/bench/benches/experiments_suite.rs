@@ -1,0 +1,24 @@
+//! End-to-end benchmark: one full (small) simulator run per LLC design —
+//! the unit of work every performance experiment repeats.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use maya_bench::designs::Design;
+use maya_bench::perf::run_mix;
+use maya_bench::Scale;
+use workloads::mixes::homogeneous;
+
+fn bench_experiment_unit(c: &mut Criterion) {
+    let scale = Scale { warmup: 20_000, measure: 50_000, mc_iterations: 0, attack_trials: 0 };
+    let mix = homogeneous("mcf", 2);
+    let mut g = c.benchmark_group("simulator_run_2core_70k_instr");
+    g.sample_size(10);
+    for design in [Design::Baseline, Design::Mirage, Design::Maya] {
+        g.bench_function(design.id(), |b| {
+            b.iter(|| black_box(run_mix(design, &mix, scale)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiment_unit);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion benchmarks of the security substrate: bucket-and-balls
+//! iteration throughput and the analytic solve.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use security_model::analytic::AnalyticModel;
+use security_model::balls::BallsSim;
+use security_model::config::BallsConfig;
+
+fn bench_security(c: &mut Criterion) {
+    let mut g = c.benchmark_group("security");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("balls_1k_iterations", |b| {
+        let mut sim = BallsSim::new(BallsConfig::small(13));
+        b.iter(|| black_box(sim.run(1000).installs))
+    });
+    g.finish();
+
+    c.bench_function("analytic_solve_distribution", |b| {
+        let m = AnalyticModel::new(3.0, 6.0);
+        b.iter(|| black_box(m.distribution(24)))
+    });
+}
+
+criterion_group!(benches, bench_security);
+criterion_main!(benches);

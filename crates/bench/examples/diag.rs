@@ -1,0 +1,23 @@
+use maya_bench::designs::Design;
+use maya_bench::perf::run_mix;
+use maya_bench::Scale;
+use workloads::mixes::homogeneous;
+
+fn main() {
+    let scale = Scale { warmup: 300_000, measure: 900_000, mc_iterations: 0, attack_trials: 0 };
+    for name in ["lbm", "bwaves"] {
+        let mix = homogeneous(name, 8);
+        for d in [Design::Baseline, Design::Mirage, Design::Maya] {
+            let r = run_mix(d, &mix, scale);
+            let late: u64 = r.cores.iter().map(|c| c.late_prefetch_merges).sum();
+            let timely: u64 = r.cores.iter().map(|c| c.timely_prefetch_hits).sum();
+            let dem: u64 = r.cores.iter().map(|c| c.llc_demand_accesses).sum();
+            let mis: u64 = r.cores.iter().map(|c| c.llc_demand_misses).sum();
+            println!(
+                "{name:<8} {:<9} ipc_sum={:.3} mpki={:.2} dem={dem} mis={mis} late={late} timely={timely} dram_r={} rowhit={:.2}",
+                d.id(), r.ipc_sum(), r.avg_mpki(), r.dram.0,
+                r.dram.2 as f64 / (r.dram.0 + r.dram.1).max(1) as f64,
+            );
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The experiment harness binary: regenerates the paper's tables and
+//! figures.
+//!
+//! ```text
+//! experiments [--scale F] [--quick] <id>... | all | perf | security | static
+//! ```
+//!
+//! Ids follow the paper (`fig1`, `tab8`, ...); see DESIGN.md's experiment
+//! index. `--quick` shrinks runs for smoke testing; `--scale 2.0` doubles
+//! the default instruction/iteration budgets.
+
+use maya_bench::experiments::{self, ALL_IDS};
+use maya_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::standard();
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--scale" => {
+                i += 1;
+                let f: f64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+                scale = scale.scaled_by(f);
+            }
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    let expanded: Vec<&str> = ids
+        .iter()
+        .flat_map(|id| match id.as_str() {
+            "all" => ALL_IDS.to_vec(),
+            "security" => vec!["tab1", "tab4", "fig6", "fig7", "ablate-skew"],
+            "static" => vec!["tab8", "tab9"],
+            "perf" => vec!["fig1", "fig4", "fig9", "fig10", "tab7", "tab11", "llcfit"],
+            one => vec![ALL_IDS
+                .iter()
+                .copied()
+                .find(|&k| k == one)
+                .unwrap_or_else(|| die(&format!("unknown experiment id: {one}")))],
+        })
+        .collect();
+    for (n, id) in expanded.iter().enumerate() {
+        if n > 0 {
+            println!();
+        }
+        let t = std::time::Instant::now();
+        assert!(experiments::run(id, scale), "dispatch must know {id}");
+        eprintln!("[{id} done in {:.1}s]", t.elapsed().as_secs_f64());
+    }
+}
+
+fn usage() {
+    eprintln!("usage: experiments [--quick] [--scale F] <id>... | all | perf | security | static");
+    eprintln!("ids: {}", ALL_IDS.join(" "));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,34 @@
+//! `plot`: renders the `experiments` binary's TSV output as SVG bar charts
+//! (the counterpart of the paper artifact's plot scripts).
+//!
+//! ```text
+//! plot experiments_output.txt plots/
+//! ```
+
+use std::path::PathBuf;
+
+use maya_bench::plot::{parse_blocks, render_bars};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(input), Some(outdir)) = (args.next(), args.next()) else {
+        eprintln!("usage: plot <experiments_output.txt> <output_dir>");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&input).unwrap_or_else(|e| {
+        eprintln!("error reading {input}: {e}");
+        std::process::exit(2);
+    });
+    let outdir = PathBuf::from(outdir);
+    std::fs::create_dir_all(&outdir).expect("create output dir");
+    let mut rendered = 0;
+    for block in parse_blocks(&text) {
+        if let Some(svg) = render_bars(&block) {
+            let path = outdir.join(format!("{}.svg", block.id));
+            std::fs::write(&path, svg).expect("write svg");
+            eprintln!("wrote {}", path.display());
+            rendered += 1;
+        }
+    }
+    eprintln!("{rendered} charts rendered");
+}

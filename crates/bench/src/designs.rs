@@ -1,0 +1,137 @@
+//! LLC design catalog: builds any evaluated design at any system scale.
+
+use maya_core::{
+    partitioned, CacheModel, FullyAssocCache, MayaCache, MayaConfig, MirageCache, MirageConfig,
+    Policy, SetAssocCache, SetAssocConfig,
+};
+use power_model::maya_iso_config;
+
+/// Every LLC design the evaluation touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Design {
+    /// Non-secure 16-way set-associative SRRIP baseline.
+    Baseline,
+    /// Mirage with the default 8+6 ways/skew.
+    Mirage,
+    /// Mirage-Lite: Mirage with 5 extra ways/skew (weaker guarantee).
+    MirageLite,
+    /// Maya with the default 6+3+6 ways/skew (12 MB data store).
+    Maya,
+    /// Maya with a non-default reuse-way count (Figure 4 sweep).
+    MayaReuseWays(usize),
+    /// Maya grown to Mirage's area (16 MB data store).
+    MayaIso,
+    /// A true fully-associative cache with random replacement.
+    FullyAssociative,
+    /// DAWG way-partitioning over 8 domains.
+    Dawg,
+    /// Page-coloring set-partitioning over 8 domains.
+    PageColoring,
+    /// BCE flexible set-partitioning (equal 64 KB-unit allocations here;
+    /// full DRAM parallelism, unlike page coloring).
+    Bce,
+}
+
+impl Design {
+    /// Experiment-facing identifier.
+    pub fn id(&self) -> String {
+        match self {
+            Design::Baseline => "baseline".into(),
+            Design::Mirage => "mirage".into(),
+            Design::MirageLite => "mirage-lite".into(),
+            Design::Maya => "maya".into(),
+            Design::MayaReuseWays(r) => format!("maya-r{r}"),
+            Design::MayaIso => "maya-iso".into(),
+            Design::FullyAssociative => "fully-assoc".into(),
+            Design::Dawg => "dawg".into(),
+            Design::PageColoring => "page-coloring".into(),
+            Design::Bce => "bce".into(),
+        }
+    }
+
+    /// Builds the design for a system whose non-secure baseline would hold
+    /// `baseline_lines` lines (2 MB = 32K lines per core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry cannot be formed (non-power-of-two set
+    /// counts).
+    pub fn build(&self, baseline_lines: usize, seed: u64) -> Box<dyn CacheModel> {
+        let sets = baseline_lines / 16;
+        match self {
+            Design::Baseline => Box::new(SetAssocCache::new(SetAssocConfig {
+                seed,
+                ..SetAssocConfig::new(sets, 16, Policy::Drrip)
+            })),
+            Design::Mirage => {
+                Box::new(MirageCache::new(MirageConfig::for_data_entries(baseline_lines, seed)))
+            }
+            Design::MirageLite => Box::new(MirageCache::new(MirageConfig {
+                extra_ways_per_skew: 5,
+                ..MirageConfig::for_data_entries(baseline_lines, seed)
+            })),
+            Design::Maya => {
+                Box::new(MayaCache::new(MayaConfig::for_baseline_lines(baseline_lines, seed)))
+            }
+            Design::MayaReuseWays(r) => Box::new(MayaCache::new(MayaConfig {
+                reuse_ways_per_skew: *r,
+                ..MayaConfig::for_baseline_lines(baseline_lines, seed)
+            })),
+            Design::MayaIso => Box::new(MayaCache::new(MayaConfig {
+                sets_per_skew: sets,
+                seed,
+                ..maya_iso_config()
+            })),
+            Design::FullyAssociative => Box::new(FullyAssocCache::new(baseline_lines, seed)),
+            Design::Dawg => Box::new(partitioned::dawg(sets, 16, 8, Policy::Drrip)),
+            Design::PageColoring => {
+                Box::new(partitioned::page_coloring(sets, 16, 8, Policy::Drrip))
+            }
+            Design::Bce => {
+                // Equal allocations sized to the whole cache, in 64 KB units.
+                let units_per_domain = baseline_lines / 8 / partitioned::BCE_UNIT_LINES;
+                Box::new(partitioned::bce(sets, 16, &[units_per_domain; 8], Policy::Drrip))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_designs_build_at_16mb_scale() {
+        let lines = 256 * 1024;
+        for d in [
+            Design::Baseline,
+            Design::Mirage,
+            Design::MirageLite,
+            Design::Maya,
+            Design::MayaReuseWays(1),
+            Design::MayaReuseWays(7),
+            Design::MayaIso,
+            Design::FullyAssociative,
+            Design::Dawg,
+            Design::PageColoring,
+            Design::Bce,
+        ] {
+            let c = d.build(lines, 1);
+            assert!(c.capacity_lines() > 0, "{}", d.id());
+        }
+    }
+
+    #[test]
+    fn maya_capacity_is_three_quarters_of_baseline() {
+        let c = Design::Maya.build(256 * 1024, 1);
+        assert_eq!(c.capacity_lines(), 192 * 1024);
+        let iso = Design::MayaIso.build(256 * 1024, 1);
+        assert_eq!(iso.capacity_lines(), 256 * 1024);
+    }
+
+    #[test]
+    fn ids_are_stable() {
+        assert_eq!(Design::MayaReuseWays(5).id(), "maya-r5");
+        assert_eq!(Design::Baseline.id(), "baseline");
+    }
+}

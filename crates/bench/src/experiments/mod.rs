@@ -1,0 +1,75 @@
+//! One module per group of paper experiments; [`run`] dispatches by id.
+//!
+//! Every experiment prints a self-describing TSV block: a `# <id>: ...`
+//! header comment, a column-header row, then data rows. Shapes to expect
+//! are documented in DESIGN.md and the measured outcomes in EXPERIMENTS.md.
+
+pub mod attack_exps;
+pub mod perf_exps;
+pub mod security_exps;
+pub mod static_exps;
+
+use crate::Scale;
+
+/// All experiment ids in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "fig1", "tab1", "fig4", "fig6", "fig7", "tab4", "fig8", "fig9", "fig10", "tab7", "tab8",
+    "tab9", "tab10", "tab11", "llcfit", "ablate-skew", "ablate-reuse", "ablate-threshold", "sens-llc", "sens-cores",
+    "demo-eviction", "demo-flush", "demo-randomized",
+];
+
+/// Runs one experiment by id at the given scale. Returns false for an
+/// unknown id.
+pub fn run(id: &str, scale: Scale) -> bool {
+    match id {
+        "fig1" => perf_exps::fig1_dead_blocks(scale),
+        "tab1" => security_exps::tab1_reuse_ways(),
+        "fig4" => perf_exps::fig4_reuse_way_performance(scale),
+        "fig6" => security_exps::fig6_spill_frequency(scale),
+        "fig7" => security_exps::fig7_occupancy_distribution(scale),
+        "tab4" => security_exps::tab4_associativity(),
+        "fig8" => attack_exps::fig8_occupancy_attack(scale),
+        "fig9" => perf_exps::fig9_homogeneous(scale),
+        "fig10" => perf_exps::fig10_heterogeneous(scale),
+        "tab7" => perf_exps::tab7_mpki(scale),
+        "tab8" => static_exps::tab8_storage(),
+        "tab9" => static_exps::tab9_power(),
+        "tab10" => static_exps::tab10_summary(scale),
+        "tab11" => perf_exps::tab11_partitioning(scale),
+        "llcfit" => perf_exps::llc_fitting(scale),
+        "ablate-skew" => security_exps::ablate_skew_selection(scale),
+        "ablate-threshold" => security_exps::ablate_threshold(scale),
+        "ablate-reuse" => perf_exps::ablate_reuse_filtering(scale),
+        "sens-llc" => perf_exps::sensitivity_llc_size(scale),
+        "sens-cores" => perf_exps::sensitivity_core_count(scale),
+        "demo-eviction" => attack_exps::demo_eviction(),
+        "demo-flush" => attack_exps::demo_flush_reload(),
+        "demo-randomized" => attack_exps::demo_randomized_lineage(),
+        _ => return false,
+    }
+    true
+}
+
+/// Prints the standard experiment header.
+pub(crate) fn header(id: &str, what: &str, columns: &str) {
+    println!("# {id}: {what}");
+    println!("{columns}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_rejected() {
+        assert!(!run("not-an-experiment", Scale::quick()));
+    }
+
+    #[test]
+    fn fast_static_experiments_run() {
+        assert!(run("tab8", Scale::quick()));
+        assert!(run("tab9", Scale::quick()));
+        assert!(run("tab1", Scale::quick()));
+        assert!(run("tab4", Scale::quick()));
+    }
+}

@@ -1,0 +1,348 @@
+//! Performance experiments (ChampSim-lite runs): Figures 1, 4, 9, 10 and
+//! Tables VII and XI, plus the LLC-fitting study, sensitivity studies, and
+//! the reuse-filtering ablation.
+
+use maya_core::{MirageCache, MirageConfig, Policy, SetAssocCache, SetAssocConfig, SkewSelection};
+use champsim_lite::{DramConfig, System};
+use workloads::mixes::{hetero_mixes, homogeneous, MpkiBin};
+use workloads::spec::{ALL_NAMES, FITTING_NAMES, GAP_NAMES, SPEC_NAMES};
+
+use super::header;
+use crate::designs::Design;
+use crate::perf::{run_mix, run_mix_with, system_config, ws_of, AloneIpcCache, SEED};
+use crate::Scale;
+
+/// Figure 1: percentage of dead blocks inserted into the LLC for the 15
+/// SPEC and 5 GAP benchmarks, single-core system with 2 MB baseline and
+/// Mirage LLCs.
+pub fn fig1_dead_blocks(scale: Scale) {
+    header(
+        "fig1",
+        "% dead blocks at a 1-core 2MB LLC (baseline and Mirage)",
+        "benchmark\tbaseline_dead%\tmirage_dead%",
+    );
+    let mut sums = (0.0f64, 0.0f64, 0usize);
+    for name in ALL_NAMES {
+        let mix = homogeneous(name, 1);
+        let dead = |design: Design| -> f64 {
+            run_mix(design, &mix, scale).dead_block_fraction().unwrap_or(0.0) * 100.0
+        };
+        let (b, m) = (dead(Design::Baseline), dead(Design::Mirage));
+        sums = (sums.0 + b, sums.1 + m, sums.2 + 1);
+        println!("{name}\t{b:.1}\t{m:.1}");
+    }
+    println!("AVG\t{:.1}\t{:.1}", sums.0 / sums.2 as f64, sums.1 / sums.2 as f64);
+}
+
+/// Figure 9: weighted speedup of Maya and Mirage, normalized to the
+/// baseline, for 8-core homogeneous SPEC and GAP mixes.
+pub fn fig9_homogeneous(scale: Scale) {
+    header(
+        "fig9",
+        "normalized weighted speedup, 8-core homogeneous mixes",
+        "benchmark\tmirage\tmaya",
+    );
+    let mut alone = AloneIpcCache::new();
+    let mut avg = |names: &[&str], label: &str| {
+        let mut sums = (0.0f64, 0.0f64);
+        for name in names {
+            let mix = homogeneous(name, 8);
+            let base = ws_of(&run_mix(Design::Baseline, &mix, scale), &mut alone, &mix, scale);
+            let mirage =
+                ws_of(&run_mix(Design::Mirage, &mix, scale), &mut alone, &mix, scale) / base;
+            let maya = ws_of(&run_mix(Design::Maya, &mix, scale), &mut alone, &mix, scale) / base;
+            sums = (sums.0 + mirage, sums.1 + maya);
+            println!("{name}\t{mirage:.3}\t{maya:.3}");
+        }
+        let n = names.len() as f64;
+        println!("{label}\t{:.3}\t{:.3}", sums.0 / n, sums.1 / n);
+    };
+    avg(&SPEC_NAMES, "AVG-SPEC");
+    avg(&GAP_NAMES, "AVG-GAP");
+}
+
+/// Figure 10: normalized weighted speedup for the 21 heterogeneous mixes,
+/// with Low/Medium/High MPKI bin averages.
+pub fn fig10_heterogeneous(scale: Scale) {
+    header(
+        "fig10",
+        "normalized weighted speedup, 8-core heterogeneous mixes M1-M21",
+        "mix\tbin\tmirage\tmaya",
+    );
+    let mut alone = AloneIpcCache::new();
+    let mut bins: std::collections::HashMap<MpkiBin, (f64, f64, usize)> = Default::default();
+    for mix in hetero_mixes() {
+        let base = ws_of(&run_mix(Design::Baseline, &mix, scale), &mut alone, &mix, scale);
+        let mirage = ws_of(&run_mix(Design::Mirage, &mix, scale), &mut alone, &mix, scale) / base;
+        let maya = ws_of(&run_mix(Design::Maya, &mix, scale), &mut alone, &mix, scale) / base;
+        let bin = mix.bin.expect("hetero mixes are binned");
+        let e = bins.entry(bin).or_default();
+        *e = (e.0 + mirage, e.1 + maya, e.2 + 1);
+        println!("{}\t{}\t{mirage:.3}\t{maya:.3}", mix.name, bin);
+    }
+    for bin in [MpkiBin::Low, MpkiBin::Medium, MpkiBin::High] {
+        let (m, y, n) = bins[&bin];
+        println!("AVG-{bin}\t-\t{:.3}\t{:.3}", m / n as f64, y / n as f64);
+    }
+}
+
+/// Table VII: average LLC MPKI for the three designs over homogeneous
+/// (SPEC+GAP) and heterogeneous (binned) workloads.
+pub fn tab7_mpki(scale: Scale) {
+    header(
+        "tab7",
+        "average LLC MPKI (paper Table VII)",
+        "workloads\tbaseline\tmirage\tmaya",
+    );
+    let designs = [Design::Baseline, Design::Mirage, Design::Maya];
+    let mut rate = [0.0f64; 3];
+    for name in ALL_NAMES {
+        let mix = homogeneous(name, 8);
+        for (i, d) in designs.iter().enumerate() {
+            rate[i] += run_mix(*d, &mix, scale).avg_mpki();
+        }
+    }
+    let n = ALL_NAMES.len() as f64;
+    println!(
+        "SPEC+GAP-RATE\t{:.1}\t{:.1}\t{:.1}",
+        rate[0] / n,
+        rate[1] / n,
+        rate[2] / n
+    );
+    let mut bins: std::collections::HashMap<MpkiBin, ([f64; 3], usize)> = Default::default();
+    for mix in hetero_mixes() {
+        let e = bins.entry(mix.bin.expect("binned")).or_default();
+        for (i, d) in designs.iter().enumerate() {
+            e.0[i] += run_mix(*d, &mix, scale).avg_mpki();
+        }
+        e.1 += 1;
+    }
+    for (bin, label) in [
+        (MpkiBin::Low, "HETERO-LOW"),
+        (MpkiBin::Medium, "HETERO-MEDIUM"),
+        (MpkiBin::High, "HETERO-HIGH"),
+    ] {
+        let (sums, n) = bins[&bin];
+        println!(
+            "{label}\t{:.2}\t{:.2}\t{:.2}",
+            sums[0] / n as f64,
+            sums[1] / n as f64,
+            sums[2] / n as f64
+        );
+    }
+}
+
+/// Figure 4: Maya performance (normalized weighted speedup vs baseline) as
+/// the reuse ways per skew sweep over 1, 3, 5, 7 — SPEC homogeneous mixes.
+pub fn fig4_reuse_way_performance(scale: Scale) {
+    header(
+        "fig4",
+        "Maya normalized WS vs reuse ways per skew (SPEC homogeneous)",
+        "benchmark\tr1\tr3\tr5\tr7",
+    );
+    let mut alone = AloneIpcCache::new();
+    let reuse_ways = [1usize, 3, 5, 7];
+    let mut sums = [0.0f64; 4];
+    for name in SPEC_NAMES {
+        let mix = homogeneous(name, 8);
+        let base = ws_of(&run_mix(Design::Baseline, &mix, scale), &mut alone, &mix, scale);
+        let mut cells = Vec::with_capacity(4);
+        for (i, &r) in reuse_ways.iter().enumerate() {
+            let ws = ws_of(
+                &run_mix(Design::MayaReuseWays(r), &mix, scale),
+                &mut alone,
+                &mix,
+                scale,
+            ) / base;
+            sums[i] += ws;
+            cells.push(format!("{ws:.3}"));
+        }
+        println!("{name}\t{}", cells.join("\t"));
+    }
+    let n = SPEC_NAMES.len() as f64;
+    println!(
+        "AVG\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n,
+        sums[3] / n
+    );
+}
+
+/// Table XI: performance and storage of the secure partitioning baselines.
+/// Page coloring additionally partitions DRAM banks (its defining
+/// limitation); DAWG and BCE use the full DRAM.
+pub fn tab11_partitioning(scale: Scale) {
+    header(
+        "tab11",
+        "secure partitioning techniques (paper Table XI), SPEC homogeneous",
+        "technique\tperformance\tstorage",
+    );
+    let mut alone = AloneIpcCache::new();
+    let benches = SPEC_NAMES;
+    let mut norm = |design: Design, partition_dram: bool| -> f64 {
+        let mut sum = 0.0;
+        for name in benches {
+            let mix = homogeneous(name, 8);
+            let base = ws_of(&run_mix(Design::Baseline, &mix, scale), &mut alone, &mix, scale);
+            let r = run_mix_with(design, &mix, scale, |mut cfg| {
+                if partition_dram {
+                    cfg.dram = DramConfig {
+                        bank_partition_domains: Some(8),
+                        ..DramConfig::ddr4_default()
+                    };
+                }
+                cfg
+            });
+            sum += ws_of(&r, &mut alone, &mix, scale) / base;
+        }
+        (sum / benches.len() as f64 - 1.0) * 100.0
+    };
+    let rows = [
+        ("page-coloring", Design::PageColoring, true),
+        ("dawg", Design::Dawg, false),
+        ("bce", Design::Bce, false),
+    ];
+    for (label, design, dram_part) in rows {
+        println!(
+            "{label}\t{:+.1}%\t{:+.1}%",
+            norm(design, dram_part),
+            maya_core::partitioned::storage_overhead_fraction(label) * 100.0
+        );
+    }
+}
+
+/// The "performance of LLC-fitting benchmarks" study: Maya loses slightly
+/// when the working set fits the baseline LLC but not Maya's smaller data
+/// store.
+pub fn llc_fitting(scale: Scale) {
+    header(
+        "llcfit",
+        "LLC-fitting benchmarks (MPKI < 0.5): Maya normalized WS",
+        "benchmark\tmaya\tmpki_baseline",
+    );
+    let mut alone = AloneIpcCache::new();
+    let mut sum = 0.0;
+    for name in FITTING_NAMES {
+        let mix = homogeneous(name, 8);
+        let base_run = run_mix(Design::Baseline, &mix, scale);
+        let base = ws_of(&base_run, &mut alone, &mix, scale);
+        let maya = ws_of(&run_mix(Design::Maya, &mix, scale), &mut alone, &mix, scale) / base;
+        sum += maya;
+        println!("{name}\t{maya:.4}\t{:.2}", base_run.avg_mpki());
+    }
+    println!("AVG\t{:.4}\t-", sum / FITTING_NAMES.len() as f64);
+}
+
+/// Ablation: what reuse filtering buys. Compares three 12 MB-data-store
+/// designs — Maya (reuse-filtered), a 12 MB Mirage (always-fill, global
+/// random eviction), and a 12 MB 12-way baseline — against the 16 MB
+/// baseline. Shrinking without filtering costs several percent; Maya
+/// recovers it (paper Section I's ~5% claim).
+pub fn ablate_reuse_filtering(scale: Scale) {
+    header(
+        "ablate-reuse",
+        "12MB designs vs 16MB baseline: reuse filtering vs plain shrink",
+        "benchmark\tmaya12\tmirage12\tbaseline12",
+    );
+    let benches = ["mcf", "omnetpp", "xalancbmk", "wrf", "fotonik3d", "cactuBSSN", "xz", "pop2"];
+    let mut alone = AloneIpcCache::new();
+    let mut sums = [0.0f64; 3];
+    for name in benches {
+        let mix = homogeneous(name, 8);
+        let base = ws_of(&run_mix(Design::Baseline, &mix, scale), &mut alone, &mix, scale);
+        let cores = mix.specs.len();
+        let cfg = system_config(cores, scale);
+        // Maya (12 MB data store).
+        let maya = ws_of(&run_mix(Design::Maya, &mix, scale), &mut alone, &mix, scale) / base;
+        // Mirage shrunk to 12 MB: 6 base + 6 extra ways/skew, 16K sets.
+        let mirage12 = {
+            let llc = Box::new(MirageCache::new(MirageConfig {
+                sets_per_skew: cfg.baseline_llc_lines() / 16,
+                skews: 2,
+                base_ways_per_skew: 6,
+                extra_ways_per_skew: 6,
+                skew_selection: SkewSelection::LoadAware,
+                seed: SEED,
+            }));
+            let r = System::new(cfg.clone(), llc, &mix, SEED).run();
+            ws_of(&r, &mut alone, &mix, scale) / base
+        };
+        // A 12-way (12 MB) conventional baseline.
+        let baseline12 = {
+            let llc = Box::new(SetAssocCache::new(SetAssocConfig {
+                seed: SEED,
+                ..SetAssocConfig::new(cfg.baseline_llc_lines() / 16, 12, Policy::Drrip)
+            }));
+            let r = System::new(cfg.clone(), llc, &mix, SEED).run();
+            ws_of(&r, &mut alone, &mix, scale) / base
+        };
+        sums = [sums[0] + maya, sums[1] + mirage12, sums[2] + baseline12];
+        println!("{name}\t{maya:.3}\t{mirage12:.3}\t{baseline12:.3}");
+    }
+    let n = benches.len() as f64;
+    println!("AVG\t{:.3}\t{:.3}\t{:.3}", sums[0] / n, sums[1] / n, sums[2] / n);
+}
+
+/// Sensitivity to LLC size: Maya with 6–48 MB data stores versus the
+/// correspondingly sized baselines (paper: the 6 MB configuration fares
+/// best; gains shrink as the LLC grows).
+pub fn sensitivity_llc_size(scale: Scale) {
+    header(
+        "sens-llc",
+        "Maya normalized WS vs LLC size (8-core)",
+        "baseline_mb\tmaya_norm_ws",
+    );
+    let benches = ["mcf", "omnetpp", "fotonik3d", "xz"];
+    for baseline_mb in [8usize, 16, 32, 64] {
+        let lines = baseline_mb * 1024 * 1024 / 64;
+        let mut alone = AloneIpcCache::new();
+        let mut sum = 0.0;
+        for name in benches {
+            let mix = homogeneous(name, 8);
+            let cfg = system_config(8, scale);
+            let run = |design: Design| {
+                let llc = design.build(lines, SEED);
+                System::new(cfg.clone(), llc, &mix, SEED).run()
+            };
+            let base = ws_of(&run(Design::Baseline), &mut alone, &mix, scale);
+            sum += ws_of(&run(Design::Maya), &mut alone, &mix, scale) / base;
+        }
+        println!("{baseline_mb}\t{:.3}", sum / benches.len() as f64);
+    }
+}
+
+/// Sensitivity to core count: Maya vs baseline at 8, 16, and 32 cores
+/// (2 MB baseline LLC per core).
+pub fn sensitivity_core_count(scale: Scale) {
+    header(
+        "sens-cores",
+        "Maya normalized WS vs core count",
+        "cores\tmaya_norm_ws",
+    );
+    let benches = ["mcf", "fotonik3d", "xz"];
+    for cores in [8usize, 16, 32] {
+        let mut alone = AloneIpcCache::new();
+        let mut sum = 0.0;
+        for name in benches {
+            let mix = homogeneous(name, cores);
+            let base = ws_of(&run_mix(Design::Baseline, &mix, scale), &mut alone, &mix, scale);
+            sum += ws_of(&run_mix(Design::Maya, &mix, scale), &mut alone, &mix, scale) / base;
+        }
+        println!("{cores}\t{:.3}", sum / benches.len() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_runs_at_quick_scale() {
+        // Smoke test over a single benchmark worth of work: call the
+        // plumbing directly rather than the full 20-benchmark sweep.
+        let mix = homogeneous("lbm", 1);
+        let r = run_mix(Design::Baseline, &mix, Scale::quick());
+        assert!(r.dead_block_fraction().is_some() || r.llc.data_fills > 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (see DESIGN.md for the experiment index).
+//!
+//! Each experiment is a function that prints a TSV block to stdout; the
+//! `experiments` binary dispatches on experiment ids (`fig1`, `tab8`, ...).
+//! The [`Scale`] knob trades run length for fidelity: `Scale::default()`
+//! targets minutes-per-experiment on a laptop; `Scale::quick()` is used by
+//! tests and CI smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod designs;
+pub mod experiments;
+pub mod perf;
+pub mod plot;
+
+/// Simulation-length scaling shared by all performance experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Warm-up instructions per core.
+    pub warmup: u64,
+    /// Measured instructions per core.
+    pub measure: u64,
+    /// Monte-Carlo iterations for the bucket-and-balls experiments.
+    pub mc_iterations: u64,
+    /// Trials for the occupancy-attack median.
+    pub attack_trials: usize,
+}
+
+impl Scale {
+    /// The default scale: enough for stable steady-state statistics.
+    pub fn standard() -> Self {
+        Self {
+            warmup: 1_000_000,
+            measure: 3_000_000,
+            mc_iterations: 20_000_000,
+            attack_trials: 15,
+        }
+    }
+
+    /// A fast scale for smoke tests.
+    pub fn quick() -> Self {
+        Self {
+            warmup: 100_000,
+            measure: 300_000,
+            mc_iterations: 500_000,
+            attack_trials: 5,
+        }
+    }
+
+    /// Multiplies all lengths by `factor`.
+    pub fn scaled_by(self, factor: f64) -> Self {
+        let f = |x: u64| ((x as f64 * factor).max(1.0)) as u64;
+        Self {
+            warmup: f(self.warmup),
+            measure: f(self.measure),
+            mc_iterations: f(self.mc_iterations),
+            attack_trials: self.attack_trials,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::standard()
+    }
+}

@@ -1,0 +1,120 @@
+//! Shared performance-run machinery: building systems, alone-IPC caching,
+//! and normalized weighted speedup.
+
+use std::collections::HashMap;
+
+use champsim_lite::{weighted_speedup, DramConfig, RunResult, System, SystemConfig};
+use workloads::mixes::{homogeneous, Mix};
+
+use crate::designs::Design;
+use crate::Scale;
+
+/// Fixed seed so every experiment is reproducible end to end.
+pub const SEED: u64 = 0x4d41_5941; // "MAYA"
+
+/// Builds the Table V system configuration for `cores` cores at `scale`.
+pub fn system_config(cores: usize, scale: Scale) -> SystemConfig {
+    SystemConfig {
+        cores,
+        ..SystemConfig::eight_core_default().with_instructions(scale.warmup, scale.measure)
+    }
+}
+
+/// Runs `mix` on `design`, sizing the LLC for the mix's core count
+/// (2 MB of baseline capacity per core).
+pub fn run_mix(design: Design, mix: &Mix, scale: Scale) -> RunResult {
+    run_mix_with(design, mix, scale, |cfg| cfg)
+}
+
+/// [`run_mix`] with a configuration hook (used e.g. to enable the
+/// page-coloring DRAM bank partition).
+pub fn run_mix_with(
+    design: Design,
+    mix: &Mix,
+    scale: Scale,
+    tweak: impl FnOnce(SystemConfig) -> SystemConfig,
+) -> RunResult {
+    let cores = mix.specs.len();
+    let cfg = tweak(system_config(cores, scale));
+    let llc = design.build(cfg.baseline_llc_lines(), SEED);
+    System::new(cfg, llc, mix, SEED).run()
+}
+
+/// Computes (and memoizes) each benchmark's alone-IPC on the baseline
+/// system: one core, but the full shared-LLC capacity of `cores` cores, as
+/// the weighted-speedup methodology requires.
+#[derive(Debug, Default)]
+pub struct AloneIpcCache {
+    cache: HashMap<(String, usize), f64>,
+}
+
+impl AloneIpcCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The alone IPC of `benchmark` on a `cores`-sized LLC.
+    pub fn get(&mut self, benchmark: &str, cores: usize, scale: Scale) -> f64 {
+        let key = (benchmark.to_string(), cores);
+        if let Some(&v) = self.cache.get(&key) {
+            return v;
+        }
+        let cfg = SystemConfig {
+            cores: 1,
+            // The alone run sees the full multi-core DRAM.
+            dram: DramConfig::ddr4_default(),
+            ..system_config(1, scale)
+        };
+        let llc = Design::Baseline.build(cores * 32 * 1024, SEED);
+        let mix = homogeneous(benchmark, 1);
+        let ipc = System::new(cfg, llc, &mix, SEED).run().cores[0].ipc();
+        self.cache.insert(key, ipc);
+        ipc
+    }
+}
+
+/// Weighted speedup of a run result given per-core alone IPCs.
+pub fn ws_of(result: &RunResult, alone: &mut AloneIpcCache, mix: &Mix, scale: Scale) -> f64 {
+    let shared: Vec<f64> = result.cores.iter().map(|c| c.ipc()).collect();
+    let alone: Vec<f64> = mix
+        .specs
+        .iter()
+        .map(|s| alone.get(s.name, mix.specs.len(), scale))
+        .collect();
+    weighted_speedup(&shared, &alone)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alone_ipc_is_memoized_and_positive() {
+        let mut cache = AloneIpcCache::new();
+        let scale = Scale::quick();
+        let a = cache.get("mcf", 8, scale);
+        let b = cache.get("mcf", 8, scale);
+        assert!(a > 0.0);
+        assert_eq!(a, b);
+        assert_eq!(cache.cache.len(), 1);
+    }
+
+    #[test]
+    fn run_mix_produces_per_core_results() {
+        let mix = homogeneous("lbm", 2);
+        let r = run_mix(Design::Baseline, &mix, Scale::quick());
+        assert_eq!(r.cores.len(), 2);
+        assert!(r.cores.iter().all(|c| c.ipc() > 0.0));
+    }
+
+    #[test]
+    fn weighted_speedup_combines_mix_and_alone() {
+        let mix = homogeneous("xz", 2);
+        let scale = Scale::quick();
+        let r = run_mix(Design::Baseline, &mix, scale);
+        let mut alone = AloneIpcCache::new();
+        let ws = ws_of(&r, &mut alone, &mix, scale);
+        assert!(ws > 0.0 && ws <= 2.5, "WS {ws} out of range for 2 cores");
+    }
+}

@@ -1,0 +1,211 @@
+//! A dependency-free SVG plotter for the experiment harness's TSV output —
+//! the counterpart of the paper artifact's `plot.sh` (which emits PDFs).
+//!
+//! [`parse_blocks`] reads the `experiments` binary's output (blocks of
+//! `# id: title`, a header row, then TSV rows); [`render_bars`] turns one
+//! block into a grouped bar chart. The `plot` binary wires the two
+//! together: `plot experiments_output.txt plots/`.
+
+/// One parsed experiment block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Experiment id (`fig9`, `tab8`, ...).
+    pub id: String,
+    /// Human title from the header comment.
+    pub title: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Rows: first cell is the label, the rest are cells (numeric or not).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Block {
+    /// Indices of columns (≥1) whose cells all parse as finite numbers.
+    pub fn numeric_columns(&self) -> Vec<usize> {
+        (1..self.columns.len())
+            .filter(|&c| {
+                !self.rows.is_empty()
+                    && self.rows.iter().all(|r| {
+                        r.get(c)
+                            .map(|cell| cell.parse::<f64>().map(|v| v.is_finite()).unwrap_or(false))
+                            .unwrap_or(false)
+                    })
+            })
+            .collect()
+    }
+}
+
+/// Parses harness output into blocks.
+pub fn parse_blocks(text: &str) -> Vec<Block> {
+    let mut blocks = Vec::new();
+    let mut lines = text.lines().peekable();
+    while let Some(line) = lines.next() {
+        let Some(rest) = line.strip_prefix("# ") else { continue };
+        let Some((id, title)) = rest.split_once(": ") else { continue };
+        let Some(header) = lines.next() else { break };
+        let columns: Vec<String> = header.split('\t').map(str::to_string).collect();
+        let mut rows = Vec::new();
+        while let Some(&peek) = lines.peek() {
+            if peek.is_empty() || peek.starts_with('#') {
+                break;
+            }
+            let row: Vec<String> =
+                lines.next().expect("peeked").split('\t').map(str::to_string).collect();
+            if row.len() == columns.len() {
+                rows.push(row);
+            }
+        }
+        blocks.push(Block { id: id.to_string(), title: title.to_string(), columns, rows });
+    }
+    blocks
+}
+
+/// Placeholder-palette series colors (colorblind-safe).
+const COLORS: [&str; 6] = ["#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377"];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders one block as a grouped bar chart SVG. Returns `None` when the
+/// block has no numeric columns to plot.
+pub fn render_bars(block: &Block) -> Option<String> {
+    let numeric = block.numeric_columns();
+    if numeric.is_empty() || block.rows.is_empty() {
+        return None;
+    }
+    let (w, h) = (60 + block.rows.len() * (18 * numeric.len() + 14) + 40, 360usize);
+    let (left, top, bottom) = (60.0, 40.0, 70.0);
+    let plot_h = h as f64 - top - bottom;
+    let max = block
+        .rows
+        .iter()
+        .flat_map(|r| numeric.iter().map(|&c| r[c].parse::<f64>().unwrap_or(0.0)))
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" font-family="sans-serif" font-size="11">"#
+    ));
+    svg.push_str(&format!(
+        r#"<text x="{left}" y="20" font-size="14" font-weight="bold">{} — {}</text>"#,
+        esc(&block.id),
+        esc(&block.title)
+    ));
+    // Y axis with 5 gridlines.
+    for g in 0..=5 {
+        let v = max * f64::from(g) / 5.0;
+        let y = top + plot_h - plot_h * f64::from(g) / 5.0;
+        svg.push_str(&format!(
+            r#"<line x1="{left}" y1="{y:.1}" x2="{}" y2="{y:.1}" stroke='#ddd'/>"#,
+            w as f64 - 20.0
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{v:.3}</text>"#,
+            left - 6.0,
+            y + 4.0
+        ));
+    }
+    // Bars.
+    let group_w = 18.0 * numeric.len() as f64 + 14.0;
+    for (ri, row) in block.rows.iter().enumerate() {
+        let x0 = left + 10.0 + ri as f64 * group_w;
+        for (si, &c) in numeric.iter().enumerate() {
+            let v = row[c].parse::<f64>().unwrap_or(0.0);
+            let bh = plot_h * v / max;
+            let x = x0 + si as f64 * 18.0;
+            let y = top + plot_h - bh;
+            svg.push_str(&format!(
+                r#"<rect x="{x:.1}" y="{y:.1}" width="16" height="{bh:.1}" fill="{}"/>"#,
+                COLORS[si % COLORS.len()]
+            ));
+        }
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end" transform="rotate(-45 {:.1} {:.1})">{}</text>"#,
+            x0 + group_w / 2.0,
+            top + plot_h + 14.0,
+            x0 + group_w / 2.0,
+            top + plot_h + 14.0,
+            esc(&row[0])
+        ));
+    }
+    // Legend.
+    for (si, &c) in numeric.iter().enumerate() {
+        let y = top + 10.0 + si as f64 * 16.0;
+        svg.push_str(&format!(
+            r#"<rect x="{:.1}" y="{:.1}" width="12" height="12" fill="{}"/>"#,
+            w as f64 - 150.0,
+            y,
+            COLORS[si % COLORS.len()]
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{:.1}">{}</text>"#,
+            w as f64 - 133.0,
+            y + 10.0,
+            esc(&block.columns[c])
+        ));
+    }
+    svg.push_str("</svg>");
+    Some(svg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "# fig9: normalized weighted speedup\n\
+benchmark\tmirage\tmaya\n\
+mcf\t0.947\t0.989\n\
+lbm\t1.006\t0.997\n\
+\n\
+# demo-flush: does Flush+Reload observe the victim?\n\
+cache\tleaks\n\
+baseline\ttrue\n\
+maya\tfalse\n";
+
+    #[test]
+    fn parses_two_blocks_with_rows() {
+        let blocks = parse_blocks(SAMPLE);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].id, "fig9");
+        assert_eq!(blocks[0].rows.len(), 2);
+        assert_eq!(blocks[1].rows[1], vec!["maya", "false"]);
+    }
+
+    #[test]
+    fn numeric_column_detection() {
+        let blocks = parse_blocks(SAMPLE);
+        assert_eq!(blocks[0].numeric_columns(), vec![1, 2]);
+        assert!(blocks[1].numeric_columns().is_empty());
+    }
+
+    #[test]
+    fn renders_numeric_blocks_only() {
+        let blocks = parse_blocks(SAMPLE);
+        let svg = render_bars(&blocks[0]).expect("numeric block renders");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("mcf"));
+        assert!(svg.matches("<rect").count() >= 4, "two rows x two series + legend");
+        assert!(render_bars(&blocks[1]).is_none(), "non-numeric block skipped");
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let b = Block {
+            id: "x<y".into(),
+            title: "a & b".into(),
+            columns: vec!["l".into(), "v".into()],
+            rows: vec![vec!["<tag>".into(), "1.0".into()]],
+        };
+        let svg = render_bars(&b).expect("renders");
+        assert!(!svg.contains("<tag>"));
+        assert!(svg.contains("&lt;tag&gt;"));
+    }
+
+    #[test]
+    fn empty_input_yields_no_blocks() {
+        assert!(parse_blocks("").is_empty());
+        assert!(parse_blocks("no headers here\n1\t2\n").is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! The [`CacheModel`] trait: the common interface every LLC design
+//! implements so the simulator, the attack framework, and the experiment
+//! harness can swap designs freely.
+
+use crate::types::{CacheStats, DomainId, Request, Response};
+
+/// A last-level-cache model.
+///
+/// Implementations include the non-secure set-associative baseline
+/// ([`SetAssocCache`](crate::SetAssocCache)), a true fully-associative cache
+/// ([`FullyAssocCache`](crate::FullyAssocCache)), and the secure designs
+/// ([`MirageCache`](crate::MirageCache), [`MayaCache`](crate::MayaCache)),
+/// plus the partitioned baselines used in Table XI.
+///
+/// The trait is object-safe: the simulator holds a `Box<dyn CacheModel>`.
+pub trait CacheModel {
+    /// Performs one access and reports what happened, including any dirty
+    /// lines displaced to memory.
+    fn access(&mut self, req: Request) -> Response;
+
+    /// Invalidates one line for one domain (the `clflush` path). Returns
+    /// true if a valid matching entry existed.
+    ///
+    /// With SDID isolation a flush only removes the *requesting domain's*
+    /// copy, which is the property that defeats Flush+Reload.
+    fn flush_line(&mut self, line: u64, domain: DomainId) -> bool;
+
+    /// Invalidates the entire cache (key-refresh response to an SAE).
+    fn flush_all(&mut self);
+
+    /// True if a demand read for `line` from `domain` would be served from
+    /// the data store right now (a timing-observable hit). Does not perturb
+    /// any state.
+    fn probe(&self, line: u64, domain: DomainId) -> bool;
+
+    /// Cumulative statistics.
+    fn stats(&self) -> &CacheStats;
+
+    /// Clears statistics without touching cache contents (used at the end of
+    /// warm-up).
+    fn reset_stats(&mut self);
+
+    /// Extra lookup latency in cycles on top of the baseline LLC latency
+    /// (randomization cipher plus tag-to-data indirection: 4 for Maya and
+    /// Mirage, 0 for the baseline).
+    fn extra_latency(&self) -> u32;
+
+    /// Number of data-store entries (lines the cache can actually hold).
+    fn capacity_lines(&self) -> usize;
+
+    /// Short human-readable design name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_dyn(_: &mut dyn CacheModel) {}
+    }
+}

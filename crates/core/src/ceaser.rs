@@ -1,0 +1,359 @@
+//! CEASER and CEASER-S (Qureshi, MICRO 2018 / ISCA 2019) — the encrypted-
+//! address randomized LLCs of the paper's Background section.
+//!
+//! CEASER keeps a conventional set-associative organization but computes
+//! the set index from a PRINCE-encrypted line address, and *re-keys*
+//! periodically (the remapping period) so an attacker cannot accumulate an
+//! eviction set under one mapping. CEASER-S adds two skews with random skew
+//! selection. Both still perform address-correlated evictions on every
+//! conflict (SAEs), so their security rests entirely on remapping faster
+//! than eviction-set construction — the cited analysis requires re-keying
+//! every 14 (CEASER-S) / 39 (ScatterCache) evictions against the fastest
+//! attacks, which is why Mirage/Maya abandoned the approach.
+//!
+//! Remapping is modelled as an epoch re-key with incremental set migration:
+//! when the key epoch advances, lines are revalidated lazily — a line
+//! installed under an old epoch is treated as missing (its slot gets
+//! reclaimed on demand), which matches the throughput effect of gradual
+//! remaps without simulating the mover pipeline.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use prince_cipher::IndexFunction;
+
+use crate::cache::CacheModel;
+use crate::replacement::{Policy, ReplacementState};
+use crate::types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};
+
+/// Configuration of a [`CeaserCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CeaserConfig {
+    /// Sets per skew; must be a power of two.
+    pub sets_per_skew: usize,
+    /// Skews: 1 for CEASER, 2 for CEASER-S.
+    pub skews: usize,
+    /// Ways per skew.
+    pub ways_per_skew: usize,
+    /// Fills between re-keys (the remapping period); `0` disables
+    /// remapping (insecure, for ablations).
+    pub remap_period: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl CeaserConfig {
+    /// Classic CEASER: single skew, 16 ways.
+    pub fn ceaser(lines: usize, remap_period: u64, seed: u64) -> Self {
+        Self { sets_per_skew: lines / 16, skews: 1, ways_per_skew: 16, remap_period, seed }
+    }
+
+    /// CEASER-S: two skews of 8 ways.
+    pub fn ceaser_s(lines: usize, remap_period: u64, seed: u64) -> Self {
+        Self { sets_per_skew: lines / 16, skews: 2, ways_per_skew: 8, remap_period, seed }
+    }
+
+    /// Total lines.
+    pub fn lines(&self) -> usize {
+        self.sets_per_skew * self.skews * self.ways_per_skew
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    tag: u64,
+    sdid: DomainId,
+    dirty: bool,
+    reused: bool,
+    /// Key epoch the line was installed under; stale lines are lazily
+    /// invalidated after a re-key.
+    epoch: u32,
+}
+
+/// The CEASER / CEASER-S model.
+///
+/// # Examples
+///
+/// ```
+/// use maya_core::{CeaserCache, CeaserConfig, CacheModel, Request, DomainId};
+///
+/// let mut c = CeaserCache::new(CeaserConfig::ceaser_s(4096, 10_000, 3));
+/// c.access(Request::read(77, DomainId(0)));
+/// assert!(c.probe(77, DomainId(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CeaserCache {
+    config: CeaserConfig,
+    index: IndexFunction,
+    lines: Vec<Line>,
+    repl: ReplacementState,
+    stats: CacheStats,
+    rng: SmallRng,
+    fills_since_remap: u64,
+    epoch: u32,
+    /// Re-keys performed (inspection hook for tests/experiments).
+    remaps: u64,
+}
+
+impl CeaserCache {
+    /// Builds the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count is not a power of two or any dimension is
+    /// zero.
+    pub fn new(config: CeaserConfig) -> Self {
+        assert!(config.sets_per_skew.is_power_of_two(), "sets must be a power of two");
+        assert!(config.skews > 0 && config.ways_per_skew > 0);
+        Self {
+            index: IndexFunction::from_seed(config.seed, config.skews, config.sets_per_skew),
+            lines: vec![Line::default(); config.lines()],
+            repl: ReplacementState::new(
+                Policy::Lru,
+                config.sets_per_skew * config.skews,
+                config.ways_per_skew,
+            ),
+            stats: CacheStats::default(),
+            rng: SmallRng::seed_from_u64(config.seed ^ 0xcea5e2),
+            fills_since_remap: 0,
+            epoch: 0,
+            remaps: 0,
+            config,
+        }
+    }
+
+    /// Number of re-keys performed so far.
+    pub fn remaps(&self) -> u64 {
+        self.remaps
+    }
+
+    #[inline]
+    fn slot(&self, skew: usize, set: usize, way: usize) -> usize {
+        (skew * self.config.sets_per_skew + set) * self.config.ways_per_skew + way
+    }
+
+    fn live(&self, idx: usize) -> bool {
+        let l = &self.lines[idx];
+        l.valid && l.epoch == self.epoch
+    }
+
+    fn find(&self, line: u64, domain: DomainId) -> Option<(usize, usize, usize)> {
+        for skew in 0..self.config.skews {
+            let set = self.index.set_index(skew, line);
+            for way in 0..self.config.ways_per_skew {
+                let i = self.slot(skew, set, way);
+                if self.live(i) && self.lines[i].tag == line && self.lines[i].sdid == domain {
+                    return Some((skew, set, way));
+                }
+            }
+        }
+        None
+    }
+
+    fn maybe_remap(&mut self) {
+        if self.config.remap_period == 0 {
+            return;
+        }
+        self.fills_since_remap += 1;
+        if self.fills_since_remap >= self.config.remap_period {
+            self.fills_since_remap = 0;
+            self.epoch = self.epoch.wrapping_add(1);
+            self.remaps += 1;
+            // Dirty lines are drained to memory by the remap engine; the
+            // requester never waits for them, so only the counter moves.
+            let dirty = self.lines.iter().filter(|l| l.valid && l.dirty).count() as u64;
+            self.stats.writebacks_out += dirty;
+            self.index = IndexFunction::from_seed(
+                self.config.seed ^ (u64::from(self.epoch) << 32),
+                self.config.skews,
+                self.config.sets_per_skew,
+            );
+        }
+    }
+}
+
+impl CacheModel for CeaserCache {
+    fn access(&mut self, req: Request) -> Response {
+        match req.kind {
+            AccessKind::Read | AccessKind::Prefetch => self.stats.reads += 1,
+            AccessKind::Writeback => self.stats.writebacks_in += 1,
+        }
+        let mut wb = Writebacks::none();
+        if let Some((skew, set, way)) = self.find(req.line, req.domain) {
+            let i = self.slot(skew, set, way);
+            match req.kind {
+                AccessKind::Read => self.lines[i].reused = true,
+                AccessKind::Writeback => self.lines[i].dirty = true,
+                AccessKind::Prefetch => {}
+            }
+            self.repl.on_hit(skew * self.config.sets_per_skew + set, way);
+            self.stats.data_hits += 1;
+            return Response { event: AccessEvent::DataHit, writebacks: wb, sae: false };
+        }
+        self.stats.tag_misses += 1;
+        // Random skew, then invalid (or stale-epoch) way, else LRU victim.
+        let skew = self.rng.gen_range(0..self.config.skews);
+        let set = self.index.set_index(skew, req.line);
+        let flat_set = skew * self.config.sets_per_skew + set;
+        let invalid = (0..self.config.ways_per_skew)
+            .find(|&w| !self.live(self.slot(skew, set, w)));
+        let mut sae = false;
+        let way = match invalid {
+            Some(w) => w,
+            None => {
+                let w = self.repl.choose_victim(flat_set, &mut self.rng, |_| true);
+                let i = self.slot(skew, set, w);
+                let victim = self.lines[i];
+                if victim.dirty {
+                    self.stats.writebacks_out += 1;
+                    wb.push(victim.tag);
+                }
+                if victim.reused {
+                    self.stats.reused_evictions += 1;
+                } else {
+                    self.stats.dead_evictions += 1;
+                }
+                if victim.sdid != req.domain {
+                    self.stats.cross_domain_evictions += 1;
+                }
+                self.stats.saes += 1;
+                sae = true;
+                w
+            }
+        };
+        let i = self.slot(skew, set, way);
+        self.lines[i] = Line {
+            valid: true,
+            tag: req.line,
+            sdid: req.domain,
+            dirty: req.kind == AccessKind::Writeback,
+            reused: false,
+            epoch: self.epoch,
+        };
+        self.repl.on_fill(flat_set, way);
+        self.stats.tag_fills += 1;
+        self.stats.data_fills += 1;
+        self.maybe_remap();
+        Response { event: AccessEvent::Miss, writebacks: wb, sae }
+    }
+
+    fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {
+        if let Some((skew, set, way)) = self.find(line, domain) {
+            let i = self.slot(skew, set, way);
+            if self.lines[i].dirty {
+                self.stats.writebacks_out += 1;
+            }
+            self.lines[i].valid = false;
+            self.stats.flushes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn flush_all(&mut self) {
+        for l in &mut self.lines {
+            l.valid = false;
+        }
+    }
+
+    fn probe(&self, line: u64, domain: DomainId) -> bool {
+        self.find(line, domain).is_some()
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn extra_latency(&self) -> u32 {
+        3
+    }
+
+    fn capacity_lines(&self) -> usize {
+        self.config.lines()
+    }
+
+    fn name(&self) -> &'static str {
+        if self.config.skews > 1 {
+            "ceaser-s"
+        } else {
+            "ceaser"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ceaser_s() -> CeaserCache {
+        CeaserCache::new(CeaserConfig::ceaser_s(1024, 0, 3))
+    }
+
+    #[test]
+    fn miss_then_hit_both_variants() {
+        for cfg in [CeaserConfig::ceaser(1024, 0, 3), CeaserConfig::ceaser_s(1024, 0, 3)] {
+            let mut c = CeaserCache::new(cfg);
+            let d = DomainId(0);
+            assert_eq!(c.access(Request::read(5, d)).event, AccessEvent::Miss);
+            assert!(c.access(Request::read(5, d)).is_data_hit());
+        }
+    }
+
+    #[test]
+    fn conflicts_cause_saes_once_warm() {
+        let mut c = ceaser_s();
+        let cap = c.capacity_lines() as u64;
+        for a in 0..4 * cap {
+            c.access(Request::read(a, DomainId(0)));
+        }
+        assert!(c.stats().saes > cap / 2, "saes {}", c.stats().saes);
+    }
+
+    #[test]
+    fn remap_rekeys_and_invalidates_stale_lines() {
+        let mut c = CeaserCache::new(CeaserConfig::ceaser_s(1024, 100, 3));
+        let d = DomainId(0);
+        c.access(Request::read(7, d));
+        c.access(Request::read(7, d));
+        assert!(c.probe(7, d));
+        // 100 more fills trigger a re-key; line 7's old-epoch copy is stale.
+        for a in 1000..1101u64 {
+            c.access(Request::read(a, d));
+        }
+        assert_eq!(c.remaps(), 1);
+        assert!(!c.probe(7, d), "stale-epoch lines must read as missing");
+    }
+
+    #[test]
+    fn remap_drains_dirty_lines() {
+        let mut c = CeaserCache::new(CeaserConfig::ceaser_s(1024, 64, 3));
+        let d = DomainId(0);
+        for a in 0..64u64 {
+            c.access(Request::writeback(a, d));
+        }
+        assert!(c.remaps() >= 1);
+        assert!(c.stats().writebacks_out >= 32, "wb {}", c.stats().writebacks_out);
+    }
+
+    #[test]
+    fn remap_period_zero_never_remaps() {
+        let mut c = ceaser_s();
+        for a in 0..10_000u64 {
+            c.access(Request::read(a, DomainId(0)));
+        }
+        assert_eq!(c.remaps(), 0);
+    }
+
+    #[test]
+    fn domains_are_isolated() {
+        let mut c = ceaser_s();
+        c.access(Request::read(9, DomainId(1)));
+        assert!(!c.probe(9, DomainId(2)));
+    }
+}

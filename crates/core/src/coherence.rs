@@ -1,0 +1,292 @@
+//! The MOESI coherence protocol backing the 3 coherence bits each tag
+//! entry carries (Table VIII).
+//!
+//! The LLC models in this crate track only validity and dirtiness — enough
+//! for rate-mode workloads, where cores never share lines. This module
+//! supplies the full protocol for completeness: the per-line state machine,
+//! its 3-bit encoding, and a small multi-cache checker
+//! ([`CoherenceDomain`]) that enforces the protocol's global invariants
+//! (single writer, single owner) and is exercised by the test suite.
+
+/// MOESI states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Moesi {
+    /// Not present.
+    #[default]
+    Invalid,
+    /// Present in several caches, clean, memory up to date.
+    Shared,
+    /// Sole copy, clean.
+    Exclusive,
+    /// Present in several caches; this one is responsible for the dirty
+    /// data.
+    Owned,
+    /// Sole copy, dirty.
+    Modified,
+}
+
+impl Moesi {
+    /// The 3-bit hardware encoding (one of the 8 code points; three are
+    /// unused, as in typical directory implementations).
+    pub fn encode(self) -> u8 {
+        match self {
+            Moesi::Invalid => 0b000,
+            Moesi::Shared => 0b001,
+            Moesi::Exclusive => 0b010,
+            Moesi::Owned => 0b011,
+            Moesi::Modified => 0b100,
+        }
+    }
+
+    /// Decodes the 3-bit encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for the three unused code points.
+    pub fn decode(bits: u8) -> Option<Self> {
+        match bits {
+            0b000 => Some(Moesi::Invalid),
+            0b001 => Some(Moesi::Shared),
+            0b010 => Some(Moesi::Exclusive),
+            0b011 => Some(Moesi::Owned),
+            0b100 => Some(Moesi::Modified),
+            _ => None,
+        }
+    }
+
+    /// May this cache satisfy a local read without a bus transaction?
+    pub fn readable(self) -> bool {
+        self != Moesi::Invalid
+    }
+
+    /// May this cache write without a bus transaction?
+    pub fn writable(self) -> bool {
+        matches!(self, Moesi::Exclusive | Moesi::Modified)
+    }
+
+    /// Does this cache hold data that memory does not?
+    pub fn holds_dirty(self) -> bool {
+        matches!(self, Moesi::Owned | Moesi::Modified)
+    }
+}
+
+/// Processor-side and snooped bus events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherenceEvent {
+    /// This core reads.
+    LocalRead {
+        /// True when some other cache holds the line (bus shared signal).
+        others_have_it: bool,
+    },
+    /// This core writes.
+    LocalWrite,
+    /// Another cache's read appears on the bus.
+    SnoopRead,
+    /// Another cache's write/upgrade appears on the bus.
+    SnoopWrite,
+    /// The line is evicted from this cache.
+    Evict,
+}
+
+/// Applies one event; returns the next state plus whether this cache must
+/// supply/flush data onto the bus.
+pub fn moesi_transition(state: Moesi, event: CoherenceEvent) -> (Moesi, bool) {
+    use CoherenceEvent as E;
+    use Moesi as S;
+    match (state, event) {
+        (S::Invalid, E::LocalRead { others_have_it: false }) => (S::Exclusive, false),
+        (S::Invalid, E::LocalRead { others_have_it: true }) => (S::Shared, false),
+        (S::Invalid, E::LocalWrite) => (S::Modified, false),
+        (S::Invalid, _) => (S::Invalid, false),
+
+        (S::Shared, E::LocalRead { .. }) => (S::Shared, false),
+        (S::Shared, E::LocalWrite) => (S::Modified, false),
+        (S::Shared, E::SnoopRead) => (S::Shared, false),
+        (S::Shared, E::SnoopWrite) | (S::Shared, E::Evict) => (S::Invalid, false),
+
+        (S::Exclusive, E::LocalRead { .. }) => (S::Exclusive, false),
+        (S::Exclusive, E::LocalWrite) => (S::Modified, false),
+        (S::Exclusive, E::SnoopRead) => (S::Shared, false),
+        (S::Exclusive, E::SnoopWrite) => (S::Invalid, false),
+        (S::Exclusive, E::Evict) => (S::Invalid, false),
+
+        (S::Owned, E::LocalRead { .. }) => (S::Owned, false),
+        (S::Owned, E::LocalWrite) => (S::Modified, false),
+        (S::Owned, E::SnoopRead) => (S::Owned, true), // supplies data
+        (S::Owned, E::SnoopWrite) => (S::Invalid, true),
+        (S::Owned, E::Evict) => (S::Invalid, true), // writeback
+
+        (S::Modified, E::LocalRead { .. }) => (S::Modified, false),
+        (S::Modified, E::LocalWrite) => (S::Modified, false),
+        (S::Modified, E::SnoopRead) => (S::Owned, true), // supplies data
+        (S::Modified, E::SnoopWrite) => (S::Invalid, true),
+        (S::Modified, E::Evict) => (S::Invalid, true), // writeback
+    }
+}
+
+/// A bus of `n` caches tracking one line each, for protocol checking.
+#[derive(Debug, Clone)]
+pub struct CoherenceDomain {
+    states: Vec<Moesi>,
+    /// Writebacks/flushes observed (dirty data supplied to bus or memory).
+    pub data_transfers: u64,
+}
+
+impl CoherenceDomain {
+    /// Creates `n` caches, all Invalid.
+    pub fn new(n: usize) -> Self {
+        Self { states: vec![Moesi::Invalid; n], data_transfers: 0 }
+    }
+
+    /// The state at cache `i`.
+    pub fn state(&self, i: usize) -> Moesi {
+        self.states[i]
+    }
+
+    /// Core `i` reads the line.
+    pub fn read(&mut self, i: usize) {
+        let others = self.states.iter().enumerate().any(|(j, s)| j != i && s.readable());
+        for j in 0..self.states.len() {
+            let (next, flush) = if j == i {
+                moesi_transition(self.states[j], CoherenceEvent::LocalRead { others_have_it: others })
+            } else {
+                moesi_transition(self.states[j], CoherenceEvent::SnoopRead)
+            };
+            self.data_transfers += u64::from(flush);
+            self.states[j] = next;
+        }
+        self.check();
+    }
+
+    /// Core `i` writes the line.
+    pub fn write(&mut self, i: usize) {
+        for j in 0..self.states.len() {
+            let (next, flush) = if j == i {
+                moesi_transition(self.states[j], CoherenceEvent::LocalWrite)
+            } else {
+                moesi_transition(self.states[j], CoherenceEvent::SnoopWrite)
+            };
+            self.data_transfers += u64::from(flush);
+            self.states[j] = next;
+        }
+        self.check();
+    }
+
+    /// Core `i` evicts the line.
+    pub fn evict(&mut self, i: usize) {
+        let (next, flush) = moesi_transition(self.states[i], CoherenceEvent::Evict);
+        self.data_transfers += u64::from(flush);
+        self.states[i] = next;
+        self.check();
+    }
+
+    /// Global protocol invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than one cache is in a writable state, more than one
+    /// holds dirty data, or Exclusive/Modified coexist with any other valid
+    /// copy.
+    pub fn check(&self) {
+        let writable = self.states.iter().filter(|s| s.writable()).count();
+        assert!(writable <= 1, "single-writer violated: {:?}", self.states);
+        let dirty = self.states.iter().filter(|s| s.holds_dirty()).count();
+        assert!(dirty <= 1, "single-owner violated: {:?}", self.states);
+        let exclusiveish = self
+            .states
+            .iter()
+            .filter(|s| matches!(s, Moesi::Exclusive | Moesi::Modified))
+            .count();
+        if exclusiveish == 1 {
+            let valid = self.states.iter().filter(|s| s.readable()).count();
+            assert_eq!(valid, 1, "E/M must be the sole copy: {:?}", self.states);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for s in [Moesi::Invalid, Moesi::Shared, Moesi::Exclusive, Moesi::Owned, Moesi::Modified] {
+            assert_eq!(Moesi::decode(s.encode()), Some(s));
+        }
+        for bits in 0b101..=0b111 {
+            assert_eq!(Moesi::decode(bits), None);
+        }
+    }
+
+    #[test]
+    fn first_read_gets_exclusive_second_demotes_to_shared() {
+        let mut d = CoherenceDomain::new(2);
+        d.read(0);
+        assert_eq!(d.state(0), Moesi::Exclusive);
+        d.read(1);
+        assert_eq!(d.state(0), Moesi::Shared);
+        assert_eq!(d.state(1), Moesi::Shared);
+    }
+
+    #[test]
+    fn write_invalidates_all_other_copies() {
+        let mut d = CoherenceDomain::new(3);
+        d.read(0);
+        d.read(1);
+        d.read(2);
+        d.write(1);
+        assert_eq!(d.state(0), Moesi::Invalid);
+        assert_eq!(d.state(1), Moesi::Modified);
+        assert_eq!(d.state(2), Moesi::Invalid);
+    }
+
+    #[test]
+    fn modified_supplies_data_and_becomes_owned_on_snoop_read() {
+        let mut d = CoherenceDomain::new(2);
+        d.write(0);
+        assert_eq!(d.state(0), Moesi::Modified);
+        let before = d.data_transfers;
+        d.read(1);
+        assert_eq!(d.state(0), Moesi::Owned, "dirty supplier keeps ownership");
+        assert_eq!(d.state(1), Moesi::Shared);
+        assert_eq!(d.data_transfers, before + 1);
+    }
+
+    #[test]
+    fn owned_eviction_writes_back() {
+        let mut d = CoherenceDomain::new(2);
+        d.write(0);
+        d.read(1); // 0: Owned
+        let before = d.data_transfers;
+        d.evict(0);
+        assert_eq!(d.state(0), Moesi::Invalid);
+        assert_eq!(d.data_transfers, before + 1, "owned eviction must flush");
+        // The Shared copy at 1 remains readable.
+        assert!(d.state(1).readable());
+    }
+
+    #[test]
+    fn silent_eviction_of_clean_lines() {
+        let mut d = CoherenceDomain::new(2);
+        d.read(0);
+        let before = d.data_transfers;
+        d.evict(0);
+        assert_eq!(d.data_transfers, before, "clean eviction is silent");
+    }
+
+    #[test]
+    fn random_event_storm_preserves_invariants() {
+        // check() panics on violation; drive many pseudo-random events.
+        let mut d = CoherenceDomain::new(4);
+        let mut x = 0x12345678u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let core = (x >> 33) as usize % 4;
+            match (x >> 60) % 3 {
+                0 => d.read(core),
+                1 => d.write(core),
+                _ => d.evict(core),
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! A true fully-associative cache with random replacement: the ideal that
+//! Mirage and Maya approximate, used as the security reference point in the
+//! occupancy-attack experiment (Figure 8) and as a comparison model in
+//! tests. Impractical to build at LLC sizes (the paper's motivation), but
+//! trivially simulable.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::CacheModel;
+use crate::types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    domain: DomainId,
+    dirty: bool,
+    reused: bool,
+}
+
+/// A fully-associative cache with uniform random replacement.
+///
+/// Lookup is modelled as associative (a hash map stands in for the CAM the
+/// hardware could not afford); replacement draws a victim uniformly from all
+/// resident lines, so evictions leak no address information — the property
+/// the randomized designs emulate.
+///
+/// # Examples
+///
+/// ```
+/// use maya_core::{FullyAssocCache, CacheModel, Request, DomainId};
+///
+/// let mut c = FullyAssocCache::new(1024, 7);
+/// c.access(Request::read(3, DomainId::ANY));
+/// assert!(c.probe(3, DomainId::ANY));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FullyAssocCache {
+    capacity: usize,
+    lines: Vec<Line>,
+    /// (line, domain) -> index in `lines`.
+    lookup: HashMap<(u64, DomainId), usize>,
+    stats: CacheStats,
+    rng: SmallRng,
+}
+
+impl FullyAssocCache {
+    /// Creates a cache holding `capacity` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            lines: Vec::with_capacity(capacity),
+            lookup: HashMap::with_capacity(capacity * 2),
+            stats: CacheStats::default(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    fn evict_random(&mut self, requester: DomainId, wb: &mut Writebacks) {
+        let idx = self.rng.gen_range(0..self.lines.len());
+        let victim = self.lines[idx];
+        if victim.dirty {
+            self.stats.writebacks_out += 1;
+            wb.push(victim.tag);
+        }
+        if victim.reused {
+            self.stats.reused_evictions += 1;
+        } else {
+            self.stats.dead_evictions += 1;
+        }
+        if victim.domain != requester {
+            self.stats.cross_domain_evictions += 1;
+        }
+        self.lookup.remove(&(victim.tag, victim.domain));
+        let last = self.lines.len() - 1;
+        self.lines.swap_remove(idx);
+        if idx < last {
+            let moved = self.lines[idx];
+            self.lookup.insert((moved.tag, moved.domain), idx);
+        }
+    }
+}
+
+impl CacheModel for FullyAssocCache {
+    fn access(&mut self, req: Request) -> Response {
+        match req.kind {
+            AccessKind::Read | AccessKind::Prefetch => self.stats.reads += 1,
+            AccessKind::Writeback => self.stats.writebacks_in += 1,
+        }
+        let mut wb = Writebacks::none();
+        if let Some(&idx) = self.lookup.get(&(req.line, req.domain)) {
+            match req.kind {
+                // Reuse (for dead-block stats) means a demand read hit.
+                AccessKind::Read => self.lines[idx].reused = true,
+                AccessKind::Writeback => self.lines[idx].dirty = true,
+                AccessKind::Prefetch => {}
+            }
+            self.stats.data_hits += 1;
+            return Response { event: AccessEvent::DataHit, writebacks: wb, sae: false };
+        }
+        self.stats.tag_misses += 1;
+        if self.lines.len() == self.capacity {
+            self.evict_random(req.domain, &mut wb);
+        }
+        let idx = self.lines.len();
+        self.lines.push(Line {
+            tag: req.line,
+            domain: req.domain,
+            dirty: req.kind == AccessKind::Writeback,
+            reused: false,
+        });
+        self.lookup.insert((req.line, req.domain), idx);
+        self.stats.tag_fills += 1;
+        self.stats.data_fills += 1;
+        Response { event: AccessEvent::Miss, writebacks: wb, sae: false }
+    }
+
+    fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {
+        if let Some(idx) = self.lookup.remove(&(line, domain)) {
+            if self.lines[idx].dirty {
+                self.stats.writebacks_out += 1;
+            }
+            let last = self.lines.len() - 1;
+            self.lines.swap_remove(idx);
+            if idx < last {
+                let moved = self.lines[idx];
+                self.lookup.insert((moved.tag, moved.domain), idx);
+            }
+            self.stats.flushes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn flush_all(&mut self) {
+        self.lines.clear();
+        self.lookup.clear();
+    }
+
+    fn probe(&self, line: u64, domain: DomainId) -> bool {
+        self.lookup.contains_key(&(line, domain))
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn extra_latency(&self) -> u32 {
+        0
+    }
+
+    fn capacity_lines(&self) -> usize {
+        self.capacity
+    }
+
+    fn name(&self) -> &'static str {
+        "fully-associative"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut c = FullyAssocCache::new(8, 1);
+        for a in 0..100u64 {
+            c.access(Request::read(a, DomainId::ANY));
+            assert!(c.lines.len() <= 8);
+        }
+        assert_eq!(c.lines.len(), 8);
+    }
+
+    #[test]
+    fn no_conflict_misses_within_capacity() {
+        let mut c = FullyAssocCache::new(64, 1);
+        for a in 0..64u64 {
+            c.access(Request::read(a, DomainId::ANY));
+        }
+        // Any address pattern within capacity hits forever.
+        for a in 0..64u64 {
+            assert!(c.access(Request::read(a, DomainId::ANY)).is_data_hit());
+        }
+    }
+
+    #[test]
+    fn lookup_map_stays_consistent_under_eviction_and_flush() {
+        let mut c = FullyAssocCache::new(16, 2);
+        for a in 0..200u64 {
+            c.access(Request::read(a, DomainId(0)));
+            if a % 7 == 0 {
+                c.flush_line(a.saturating_sub(3), DomainId(0));
+            }
+        }
+        for (i, l) in c.lines.iter().enumerate() {
+            assert_eq!(c.lookup[&(l.tag, l.domain)], i);
+        }
+        assert_eq!(c.lookup.len(), c.lines.len());
+    }
+
+    #[test]
+    fn domains_are_isolated() {
+        let mut c = FullyAssocCache::new(8, 3);
+        c.access(Request::writeback(5, DomainId(1)));
+        assert!(c.probe(5, DomainId(1)));
+        assert!(!c.probe(5, DomainId(2)));
+        assert!(!c.flush_line(5, DomainId(2)));
+        assert!(c.flush_line(5, DomainId(1)));
+        assert_eq!(c.stats().writebacks_out, 1);
+    }
+}

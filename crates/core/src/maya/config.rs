@@ -1,0 +1,121 @@
+//! Configuration of the Maya cache geometry.
+
+use crate::mirage::SkewSelection;
+
+/// Geometry and policy parameters of a [`MayaCache`](crate::MayaCache).
+///
+/// The paper's default (Section III-C) for an 8-core system: 2 skews of
+/// 16K sets each, 6 base ways + 3 reuse ways + 6 invalid ways per skew.
+/// That yields 192K priority-1 entries (= data-store entries, 12 MB of
+/// data), 96K priority-0 entries, and 192K invalid tags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MayaConfig {
+    /// Sets per skew; must be a power of two.
+    pub sets_per_skew: usize,
+    /// Number of skews (2 in the paper).
+    pub skews: usize,
+    /// Base ways per skew — the number of priority-1 entries per set per
+    /// skew at steady state (6 default).
+    pub base_ways_per_skew: usize,
+    /// Reuse ways per skew — the number of priority-0 (tag-only) entries per
+    /// set per skew at steady state (3 default).
+    pub reuse_ways_per_skew: usize,
+    /// Extra invalid ways per skew provisioned so that fills always find an
+    /// invalid tag (6 default — the value at which an SAE occurs once in
+    /// 10^16 years).
+    pub invalid_ways_per_skew: usize,
+    /// Skew-selection policy; [`SkewSelection::LoadAware`] is required for
+    /// the security guarantee.
+    pub skew_selection: SkewSelection,
+    /// Master seed for index-function keys and replacement randomness.
+    pub seed: u64,
+}
+
+impl MayaConfig {
+    /// The paper's default 12 MB configuration (8-core system).
+    pub fn default_12mb(seed: u64) -> Self {
+        Self::with_sets(16 * 1024, seed)
+    }
+
+    /// The default way mix (6 base + 3 reuse + 6 invalid per skew) at an
+    /// arbitrary power-of-two set count.
+    pub fn with_sets(sets_per_skew: usize, seed: u64) -> Self {
+        Self {
+            sets_per_skew,
+            skews: 2,
+            base_ways_per_skew: 6,
+            reuse_ways_per_skew: 3,
+            invalid_ways_per_skew: 6,
+            skew_selection: SkewSelection::LoadAware,
+            seed,
+        }
+    }
+
+    /// The Maya counterpart of a non-secure baseline with `baseline_lines`
+    /// data entries (16-way): same set count (`baseline_lines / 16`), data
+    /// store shrunk to 12/16 of the baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline_lines` is not 16 times a power of two.
+    pub fn for_baseline_lines(baseline_lines: usize, seed: u64) -> Self {
+        assert!(baseline_lines % 16 == 0, "baseline lines must be a multiple of 16");
+        let sets = baseline_lines / 16;
+        assert!(sets.is_power_of_two(), "baseline geometry must give power-of-two sets");
+        Self::with_sets(sets, seed)
+    }
+
+    /// Total tag ways per skew (base + reuse + invalid; 15 by default).
+    pub fn ways_per_skew(&self) -> usize {
+        self.base_ways_per_skew + self.reuse_ways_per_skew + self.invalid_ways_per_skew
+    }
+
+    /// Number of data-store entries (= steady-state priority-1 tags).
+    pub fn data_entries(&self) -> usize {
+        self.sets_per_skew * self.skews * self.base_ways_per_skew
+    }
+
+    /// Steady-state number of priority-0 (tag-only) entries.
+    pub fn p0_capacity(&self) -> usize {
+        self.sets_per_skew * self.skews * self.reuse_ways_per_skew
+    }
+
+    /// Total tag-store entries across skews, sets, and ways.
+    pub fn tag_entries(&self) -> usize {
+        self.sets_per_skew * self.skews * self.ways_per_skew()
+    }
+
+    /// Data-store capacity in bytes for 64-byte lines.
+    pub fn data_bytes(&self) -> usize {
+        self.data_entries() * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_table_viii() {
+        let c = MayaConfig::default_12mb(0);
+        assert_eq!(c.tag_entries(), 491_520); // 480K tags
+        assert_eq!(c.data_entries(), 196_608); // 192K data entries
+        assert_eq!(c.p0_capacity(), 98_304); // 96K priority-0 entries
+        assert_eq!(c.ways_per_skew(), 15);
+        assert_eq!(c.data_bytes(), 12 * 1024 * 1024);
+    }
+
+    #[test]
+    fn baseline_scaling_keeps_sets() {
+        // 2 MB baseline: 32K lines, 2K sets.
+        let c = MayaConfig::for_baseline_lines(32 * 1024, 0);
+        assert_eq!(c.sets_per_skew, 2048);
+        assert_eq!(c.data_bytes(), (12 * 1024 * 1024) / 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn bad_baseline_lines_rejected() {
+        MayaConfig::for_baseline_lines(100, 0);
+    }
+}

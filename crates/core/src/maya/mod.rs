@@ -1,0 +1,767 @@
+//! The Maya cache — the paper's primary contribution.
+//!
+//! Maya provides the illusion of a fully-associative, randomly-replaced LLC
+//! (like [Mirage](crate::MirageCache)) while *shrinking* the data store by
+//! only caching lines that demonstrate reuse:
+//!
+//! * The skewed tag store holds three kinds of entries per set and skew:
+//!   **base ways** for priority-1 entries (tag + data), **reuse ways** for
+//!   priority-0 entries (tag only, awaiting their first reuse), and
+//!   **invalid ways** reserved so every fill finds an invalid tag.
+//! * A demand miss installs a *priority-0* tag; the data is not cached. On
+//!   the first reuse the entry is *promoted* to priority-1 and a data entry
+//!   is allocated.
+//! * Two global random eviction policies keep the steady-state composition
+//!   fixed: **global random data eviction** downgrades a uniformly random
+//!   priority-1 entry to priority-0 whenever a data entry is needed, and
+//!   **global random tag eviction** invalidates a uniformly random
+//!   priority-0 entry whenever the priority-0 population would exceed its
+//!   steady-state target.
+//!
+//! Because victims are drawn uniformly from the whole cache, an eviction
+//! carries no information about addresses, and because invalid tags are
+//! over-provisioned per set, set-associative evictions (SAEs) — the events
+//! eviction-set attacks need — essentially never happen (once in 10^32 line
+//! installs for the default geometry; see the `security-model` crate).
+
+mod config;
+mod state;
+
+pub use config::MayaConfig;
+pub use state::{transition, InvalidTransition, TagEvent, TagState};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use prince_cipher::IndexFunction;
+
+use crate::cache::CacheModel;
+use crate::mirage::SkewSelection;
+use crate::types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};
+
+/// Sentinel for "no pointer".
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct TagEntry {
+    state: TagState,
+    tag: u64,
+    sdid: DomainId,
+    /// Forward pointer into the data store (valid iff priority-1).
+    fptr: u32,
+    /// Back-index into the priority-0 list (valid iff priority-0).
+    p0_pos: u32,
+    /// Whether the data entry has been re-referenced since promotion
+    /// (dead-block accounting for the data store).
+    data_reused: bool,
+}
+
+impl Default for TagEntry {
+    fn default() -> Self {
+        Self {
+            state: TagState::Invalid,
+            tag: 0,
+            sdid: DomainId::ANY,
+            fptr: NONE,
+            p0_pos: NONE,
+            data_reused: false,
+        }
+    }
+}
+
+/// The Maya LLC model.
+///
+/// # Examples
+///
+/// ```
+/// use maya_core::{MayaCache, MayaConfig, CacheModel, Request, DomainId, AccessEvent};
+///
+/// let mut llc = MayaCache::new(MayaConfig::with_sets(256, 42));
+/// let d = DomainId(1);
+/// // First touch: tag-only fill, observed as a miss.
+/// assert_eq!(llc.access(Request::read(7, d)).event, AccessEvent::Miss);
+/// // First reuse: promoted to priority-1, data now cached — but this
+/// // access itself still fetched from memory.
+/// assert_eq!(llc.access(Request::read(7, d)).event, AccessEvent::TagHitPromoted);
+/// // From now on the line hits.
+/// assert!(llc.access(Request::read(7, d)).is_data_hit());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MayaCache {
+    config: MayaConfig,
+    index: IndexFunction,
+    tags: Vec<TagEntry>,
+    /// All priority-0 tag positions (flat indices), for O(1) uniform global
+    /// random tag eviction.
+    p0_list: Vec<u32>,
+    /// Reverse pointers: owning tag index per data entry, `NONE` when free.
+    rptr: Vec<u32>,
+    free_data: Vec<u32>,
+    /// Allocated data-entry indices, for O(1) uniform global random data
+    /// eviction; `data_pos[d]` is the back-index.
+    allocated: Vec<u32>,
+    data_pos: Vec<u32>,
+    stats: CacheStats,
+    rng: SmallRng,
+}
+
+impl MayaCache {
+    /// Builds a Maya cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count is not a power of two or any way count is
+    /// zero (invalid ways may be zero only for deliberately insecure
+    /// ablation configs, which are still accepted).
+    pub fn new(config: MayaConfig) -> Self {
+        assert!(config.sets_per_skew.is_power_of_two(), "sets must be a power of two");
+        assert!(config.skews >= 2, "Maya requires at least two skews");
+        assert!(config.base_ways_per_skew > 0, "base ways must be positive");
+        assert!(config.reuse_ways_per_skew > 0, "reuse ways must be positive");
+        let index = IndexFunction::from_seed(config.seed, config.skews, config.sets_per_skew);
+        let data_entries = config.data_entries();
+        Self {
+            tags: vec![TagEntry::default(); config.tag_entries()],
+            p0_list: Vec::with_capacity(config.p0_capacity() + 1),
+            rptr: vec![NONE; data_entries],
+            free_data: (0..data_entries as u32).rev().collect(),
+            allocated: Vec::with_capacity(data_entries),
+            data_pos: vec![NONE; data_entries],
+            stats: CacheStats::default(),
+            rng: SmallRng::seed_from_u64(config.seed ^ 0x6d61_7961),
+            index,
+            config,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &MayaConfig {
+        &self.config
+    }
+
+    /// Current number of priority-0 (tag-only) entries.
+    pub fn p0_count(&self) -> usize {
+        self.p0_list.len()
+    }
+
+    /// Current number of priority-1 (tag + data) entries.
+    pub fn p1_count(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// The state of the tag entry for `line` in `domain`, if one exists.
+    pub fn tag_state(&self, line: u64, domain: DomainId) -> Option<TagState> {
+        self.find(line, domain).map(|i| self.tags[i].state)
+    }
+
+    /// Re-keys the index function and flushes the cache — the paper's
+    /// response to an observed SAE.
+    pub fn rekey(&mut self, new_seed: u64) {
+        self.index =
+            IndexFunction::from_seed(new_seed, self.config.skews, self.config.sets_per_skew);
+        self.flush_all();
+    }
+
+    #[inline]
+    fn flat(&self, skew: usize, set: usize, way: usize) -> usize {
+        (skew * self.config.sets_per_skew + set) * self.config.ways_per_skew() + way
+    }
+
+    fn find(&self, line: u64, domain: DomainId) -> Option<usize> {
+        let ways = self.config.ways_per_skew();
+        for skew in 0..self.config.skews {
+            let set = self.index.set_index(skew, line);
+            for way in 0..ways {
+                let i = self.flat(skew, set, way);
+                let e = &self.tags[i];
+                if e.state.is_valid() && e.tag == line && e.sdid == domain {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    fn invalid_ways_in(&self, skew: usize, set: usize) -> usize {
+        (0..self.config.ways_per_skew())
+            .filter(|&w| !self.tags[self.flat(skew, set, w)].state.is_valid())
+            .count()
+    }
+
+    // --- priority-0 list maintenance -------------------------------------
+
+    fn p0_insert(&mut self, tag_idx: usize) {
+        self.tags[tag_idx].p0_pos = self.p0_list.len() as u32;
+        self.p0_list.push(tag_idx as u32);
+    }
+
+    fn p0_remove(&mut self, tag_idx: usize) {
+        let pos = self.tags[tag_idx].p0_pos as usize;
+        debug_assert_eq!(self.p0_list[pos], tag_idx as u32);
+        self.p0_list.swap_remove(pos);
+        if pos < self.p0_list.len() {
+            let moved = self.p0_list[pos] as usize;
+            self.tags[moved].p0_pos = pos as u32;
+        }
+        self.tags[tag_idx].p0_pos = NONE;
+    }
+
+    // --- data store maintenance -------------------------------------------
+
+    fn data_alloc(&mut self, tag_idx: usize) -> u32 {
+        let d = self.free_data.pop().expect("data store full: evict before alloc");
+        self.rptr[d as usize] = tag_idx as u32;
+        self.data_pos[d as usize] = self.allocated.len() as u32;
+        self.allocated.push(d);
+        d
+    }
+
+    fn data_free(&mut self, d: u32) {
+        let pos = self.data_pos[d as usize] as usize;
+        self.allocated.swap_remove(pos);
+        if pos < self.allocated.len() {
+            let moved = self.allocated[pos];
+            self.data_pos[moved as usize] = pos as u32;
+        }
+        self.data_pos[d as usize] = NONE;
+        self.rptr[d as usize] = NONE;
+        self.free_data.push(d);
+    }
+
+    // --- the two global random eviction policies ---------------------------
+
+    /// Global random data eviction: a uniformly random priority-1 entry is
+    /// downgraded to priority-0 and its data entry released. Dirty data is
+    /// written back.
+    fn global_data_eviction(&mut self, requester: DomainId, wb: &mut Writebacks) {
+        let d = self.allocated[self.rng.gen_range(0..self.allocated.len())];
+        let tag_idx = self.rptr[d as usize] as usize;
+        let e = self.tags[tag_idx];
+        debug_assert!(e.state.has_data());
+        if e.state == TagState::Priority1Dirty {
+            self.stats.writebacks_out += 1;
+            wb.push(e.tag);
+        }
+        if e.data_reused {
+            self.stats.reused_evictions += 1;
+        } else {
+            self.stats.dead_evictions += 1;
+        }
+        if e.sdid != requester {
+            self.stats.cross_domain_evictions += 1;
+        }
+        self.data_free(d);
+        self.tags[tag_idx].state = TagState::Priority0;
+        self.tags[tag_idx].fptr = NONE;
+        self.p0_insert(tag_idx);
+        self.stats.global_data_evictions += 1;
+    }
+
+    /// Global random tag eviction: a uniformly random priority-0 entry is
+    /// invalidated. Runs only when the priority-0 population exceeds its
+    /// steady-state target (so the reuse ways fill up first, as in the
+    /// paper).
+    fn global_tag_eviction_if_needed(&mut self) {
+        if self.p0_list.len() <= self.config.p0_capacity() {
+            return;
+        }
+        let victim = self.p0_list[self.rng.gen_range(0..self.p0_list.len())] as usize;
+        self.p0_remove(victim);
+        self.tags[victim].state = TagState::Invalid;
+        self.stats.global_tag_evictions += 1;
+    }
+
+    // --- fills --------------------------------------------------------------
+
+    /// Chooses the tag way for a new fill using load-aware skew selection;
+    /// returns `(flat_index, sae)`. On an SAE the victim is evicted here.
+    fn choose_fill_slot(&mut self, line: u64, requester: DomainId, wb: &mut Writebacks) -> (usize, bool) {
+        let ways = self.config.ways_per_skew();
+        // Invalid-way counts per skew for this line's candidate sets.
+        let mut best_skew = 0;
+        let mut best_inv = 0;
+        let mut ties = 0u32;
+        for skew in 0..self.config.skews {
+            let set = self.index.set_index(skew, line);
+            let inv = self.invalid_ways_in(skew, set);
+            let better = match self.config.skew_selection {
+                SkewSelection::LoadAware => inv > best_inv,
+                SkewSelection::Random => false,
+            };
+            let tie = match self.config.skew_selection {
+                SkewSelection::LoadAware => skew > 0 && inv == best_inv,
+                SkewSelection::Random => skew > 0,
+            };
+            if skew == 0 || better {
+                best_skew = skew;
+                best_inv = inv;
+                ties = 1;
+            } else if tie {
+                // Reservoir-sample among tied skews for an unbiased pick.
+                ties += 1;
+                if self.rng.gen_range(0..ties) == 0 {
+                    best_skew = skew;
+                    best_inv = inv;
+                }
+            }
+        }
+        let set = self.index.set_index(best_skew, line);
+        if let Some(way) =
+            (0..ways).find(|&w| !self.tags[self.flat(best_skew, set, w)].state.is_valid())
+        {
+            return (self.flat(best_skew, set, way), false);
+        }
+        // Set-associative eviction: every way of the chosen set is valid
+        // (and, with load-aware selection, so is the other skew's set).
+        // Evict a random priority-0 way if one exists, else a random way.
+        self.stats.saes += 1;
+        let p0_ways: Vec<usize> = (0..ways)
+            .filter(|&w| self.tags[self.flat(best_skew, set, w)].state == TagState::Priority0)
+            .collect();
+        let way = if p0_ways.is_empty() {
+            self.rng.gen_range(0..ways)
+        } else {
+            p0_ways[self.rng.gen_range(0..p0_ways.len())]
+        };
+        let idx = self.flat(best_skew, set, way);
+        self.evict_any(idx, requester, wb);
+        (idx, true)
+    }
+
+    /// Evicts whatever occupies `tag_idx` (used only on the SAE path and
+    /// flushes).
+    fn evict_any(&mut self, tag_idx: usize, requester: DomainId, wb: &mut Writebacks) {
+        let e = self.tags[tag_idx];
+        match e.state {
+            TagState::Invalid => {}
+            TagState::Priority0 => {
+                self.p0_remove(tag_idx);
+            }
+            TagState::Priority1Clean | TagState::Priority1Dirty => {
+                if e.state == TagState::Priority1Dirty {
+                    self.stats.writebacks_out += 1;
+                    wb.push(e.tag);
+                }
+                if e.data_reused {
+                    self.stats.reused_evictions += 1;
+                } else {
+                    self.stats.dead_evictions += 1;
+                }
+                if e.sdid != requester {
+                    self.stats.cross_domain_evictions += 1;
+                }
+                self.data_free(e.fptr);
+            }
+        }
+        self.tags[tag_idx].state = TagState::Invalid;
+        self.tags[tag_idx].fptr = NONE;
+    }
+
+    /// Installs a priority-0 (tag-only) entry for a demand-read miss.
+    fn install_p0(&mut self, line: u64, domain: DomainId, wb: &mut Writebacks) -> bool {
+        let (idx, sae) = self.choose_fill_slot(line, domain, wb);
+        self.tags[idx] = TagEntry {
+            state: TagState::Priority0,
+            tag: line,
+            sdid: domain,
+            fptr: NONE,
+            p0_pos: NONE,
+            data_reused: false,
+        };
+        self.p0_insert(idx);
+        self.stats.tag_fills += 1;
+        self.global_tag_eviction_if_needed();
+        sae
+    }
+
+    /// Installs a priority-1 dirty entry for a writeback miss.
+    fn install_p1_dirty(&mut self, line: u64, domain: DomainId, wb: &mut Writebacks) -> bool {
+        if self.free_data.is_empty() {
+            self.global_data_eviction(domain, wb);
+        }
+        let (idx, sae) = self.choose_fill_slot(line, domain, wb);
+        self.tags[idx] = TagEntry {
+            state: TagState::Priority1Dirty,
+            tag: line,
+            sdid: domain,
+            fptr: NONE,
+            p0_pos: NONE,
+            data_reused: false,
+        };
+        let d = self.data_alloc(idx);
+        self.tags[idx].fptr = d;
+        self.stats.tag_fills += 1;
+        self.stats.data_fills += 1;
+        self.global_tag_eviction_if_needed();
+        sae
+    }
+
+    /// Promotes a priority-0 entry to priority-1 on its first reuse.
+    fn promote(&mut self, tag_idx: usize, kind: AccessKind, wb: &mut Writebacks) {
+        let domain = self.tags[tag_idx].sdid;
+        self.p0_remove(tag_idx);
+        if self.free_data.is_empty() {
+            self.global_data_eviction(domain, wb);
+        }
+        let d = self.data_alloc(tag_idx);
+        let e = &mut self.tags[tag_idx];
+        e.fptr = d;
+        e.data_reused = false;
+        e.state = match kind {
+            AccessKind::Read | AccessKind::Prefetch => TagState::Priority1Clean,
+            AccessKind::Writeback => TagState::Priority1Dirty,
+        };
+        self.stats.data_fills += 1;
+    }
+
+    /// Exhaustively checks the structure's invariants; used by tests and the
+    /// property suite. Not part of the public API contract.
+    #[doc(hidden)]
+    pub fn validate(&self) {
+        let mut p0 = 0usize;
+        let mut p1 = 0usize;
+        for (i, e) in self.tags.iter().enumerate() {
+            match e.state {
+                TagState::Invalid => {
+                    debug_assert!(true);
+                }
+                TagState::Priority0 => {
+                    p0 += 1;
+                    let pos = e.p0_pos as usize;
+                    assert!(pos < self.p0_list.len(), "stale p0_pos");
+                    assert_eq!(self.p0_list[pos] as usize, i, "p0 back-index broken");
+                    assert_eq!(e.fptr, NONE, "priority-0 entry with a data pointer");
+                }
+                TagState::Priority1Clean | TagState::Priority1Dirty => {
+                    p1 += 1;
+                    let d = e.fptr as usize;
+                    assert!(d < self.rptr.len(), "fptr out of range");
+                    assert_eq!(self.rptr[d] as usize, i, "fptr/rptr mismatch");
+                }
+            }
+        }
+        assert_eq!(p0, self.p0_list.len(), "p0 population mismatch");
+        assert_eq!(p1, self.allocated.len(), "p1 population mismatch");
+        assert!(p0 <= self.config.p0_capacity() , "p0 population exceeds capacity");
+        assert_eq!(
+            self.allocated.len() + self.free_data.len(),
+            self.config.data_entries(),
+            "data entries leaked"
+        );
+    }
+}
+
+impl CacheModel for MayaCache {
+    fn access(&mut self, req: Request) -> Response {
+        match req.kind {
+            AccessKind::Read | AccessKind::Prefetch => self.stats.reads += 1,
+            AccessKind::Writeback => self.stats.writebacks_in += 1,
+        }
+        let mut wb = Writebacks::none();
+        if let Some(i) = self.find(req.line, req.domain) {
+            match self.tags[i].state {
+                TagState::Priority1Clean | TagState::Priority1Dirty => {
+                    match req.kind {
+                        // Reuse (for dead-block stats) means a demand read.
+                        AccessKind::Read => self.tags[i].data_reused = true,
+                        AccessKind::Writeback => {
+                            self.tags[i].state = TagState::Priority1Dirty;
+                        }
+                        AccessKind::Prefetch => {}
+                    }
+                    self.stats.data_hits += 1;
+                    return Response { event: AccessEvent::DataHit, writebacks: wb, sae: false };
+                }
+                TagState::Priority0 => {
+                    // Only *demand* touches prove reuse. A prefetch hitting
+                    // a tag-only entry promotes nothing — otherwise every
+                    // prefetched stream line would be "promoted" by its
+                    // single demand use, defeating the reuse filter.
+                    if req.kind == AccessKind::Prefetch {
+                        return Response { event: AccessEvent::Miss, writebacks: wb, sae: false };
+                    }
+                    self.stats.tag_only_hits += 1;
+                    self.promote(i, req.kind, &mut wb);
+                    return Response {
+                        event: AccessEvent::TagHitPromoted,
+                        writebacks: wb,
+                        sae: false,
+                    };
+                }
+                TagState::Invalid => unreachable!("find() only returns valid entries"),
+            }
+        }
+        match req.kind {
+            // Maya does not allocate for prefetch misses: speculative lines
+            // live in the inner levels until a demand touch makes a case
+            // for them. (Installing priority-0 here would let the
+            // prefetch+demand pair of a dead streaming line masquerade as
+            // reuse.)
+            AccessKind::Prefetch => {
+                return Response { event: AccessEvent::Miss, writebacks: wb, sae: false };
+            }
+            _ => {}
+        }
+        self.stats.tag_misses += 1;
+        let sae = match req.kind {
+            AccessKind::Read | AccessKind::Prefetch => {
+                self.install_p0(req.line, req.domain, &mut wb)
+            }
+            AccessKind::Writeback => self.install_p1_dirty(req.line, req.domain, &mut wb),
+        };
+        Response { event: AccessEvent::Miss, writebacks: wb, sae }
+    }
+
+    fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {
+        if let Some(i) = self.find(line, domain) {
+            let mut wb = Writebacks::none();
+            self.evict_any(i, domain, &mut wb);
+            self.stats.flushes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn flush_all(&mut self) {
+        for t in &mut self.tags {
+            *t = TagEntry::default();
+        }
+        self.p0_list.clear();
+        let n = self.rptr.len();
+        self.rptr.fill(NONE);
+        self.data_pos.fill(NONE);
+        self.allocated.clear();
+        self.free_data = (0..n as u32).rev().collect();
+    }
+
+    fn probe(&self, line: u64, domain: DomainId) -> bool {
+        self.find(line, domain)
+            .map(|i| self.tags[i].state.has_data())
+            .unwrap_or(false)
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn extra_latency(&self) -> u32 {
+        // Three cycles of PRINCE plus one cycle of tag-to-data indirection;
+        // tag stores wider than the default 15 ways/skew (5 or 7 reuse
+        // ways) pay one more tag-lookup cycle (paper Section III-C).
+        4 + u32::from(self.config.ways_per_skew() > 15)
+    }
+
+    fn capacity_lines(&self) -> usize {
+        self.config.data_entries()
+    }
+
+    fn name(&self) -> &'static str {
+        "maya"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MayaCache {
+        // 2 skews * 16 sets * (3 base + 2 reuse + 3 invalid) ways.
+        MayaCache::new(MayaConfig {
+            sets_per_skew: 16,
+            skews: 2,
+            base_ways_per_skew: 3,
+            reuse_ways_per_skew: 2,
+            invalid_ways_per_skew: 3,
+            skew_selection: SkewSelection::LoadAware,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn read_path_miss_promote_hit() {
+        let mut c = tiny();
+        let d = DomainId(0);
+        assert_eq!(c.access(Request::read(1, d)).event, AccessEvent::Miss);
+        assert_eq!(c.tag_state(1, d), Some(TagState::Priority0));
+        assert!(!c.probe(1, d), "priority-0 entries must not serve data");
+        assert_eq!(c.access(Request::read(1, d)).event, AccessEvent::TagHitPromoted);
+        assert_eq!(c.tag_state(1, d), Some(TagState::Priority1Clean));
+        assert!(c.probe(1, d));
+        assert_eq!(c.access(Request::read(1, d)).event, AccessEvent::DataHit);
+        c.validate();
+    }
+
+    #[test]
+    fn writeback_miss_installs_dirty_p1_directly() {
+        let mut c = tiny();
+        let d = DomainId(0);
+        assert_eq!(c.access(Request::writeback(5, d)).event, AccessEvent::Miss);
+        assert_eq!(c.tag_state(5, d), Some(TagState::Priority1Dirty));
+        assert!(c.probe(5, d));
+        c.validate();
+    }
+
+    #[test]
+    fn writeback_to_p0_promotes_to_dirty() {
+        let mut c = tiny();
+        let d = DomainId(0);
+        c.access(Request::read(5, d));
+        assert_eq!(c.access(Request::writeback(5, d)).event, AccessEvent::TagHitPromoted);
+        assert_eq!(c.tag_state(5, d), Some(TagState::Priority1Dirty));
+        c.validate();
+    }
+
+    #[test]
+    fn write_hit_dirties_clean_p1() {
+        let mut c = tiny();
+        let d = DomainId(0);
+        c.access(Request::read(5, d));
+        c.access(Request::read(5, d)); // promote clean
+        assert_eq!(c.tag_state(5, d), Some(TagState::Priority1Clean));
+        c.access(Request::writeback(5, d));
+        assert_eq!(c.tag_state(5, d), Some(TagState::Priority1Dirty));
+        c.validate();
+    }
+
+    #[test]
+    fn p0_population_never_exceeds_capacity() {
+        let mut c = tiny();
+        let cap = c.config().p0_capacity();
+        for a in 0..10_000u64 {
+            c.access(Request::read(a, DomainId(0)));
+            assert!(c.p0_count() <= cap);
+        }
+        assert_eq!(c.p0_count(), cap, "steady state should pin p0 at capacity");
+        assert!(c.stats().global_tag_evictions > 0);
+        c.validate();
+    }
+
+    #[test]
+    fn data_store_fills_only_on_reuse() {
+        let mut c = tiny();
+        // A pure streaming scan never promotes anything.
+        for a in 0..10_000u64 {
+            c.access(Request::read(a, DomainId(0)));
+        }
+        assert_eq!(c.p1_count(), 0, "streaming must not occupy the data store");
+        assert_eq!(c.stats().data_fills, 0);
+        c.validate();
+    }
+
+    #[test]
+    fn reused_working_set_occupies_data_store() {
+        let mut c = tiny();
+        let d = DomainId(0);
+        let ws = 20u64;
+        for _ in 0..4 {
+            for a in 0..ws {
+                c.access(Request::read(a, d));
+            }
+        }
+        assert_eq!(c.p1_count(), ws as usize);
+        for a in 0..ws {
+            assert!(c.access(Request::read(a, d)).is_data_hit());
+        }
+        c.validate();
+    }
+
+    #[test]
+    fn global_data_eviction_downgrades_victims() {
+        let mut c = tiny();
+        let d = DomainId(0);
+        let cap = c.capacity_lines() as u64;
+        // Promote far more lines than the data store holds.
+        for a in 0..(4 * cap) {
+            c.access(Request::read(a, d));
+            c.access(Request::read(a, d));
+        }
+        assert_eq!(c.p1_count(), cap as usize);
+        assert!(c.stats().global_data_evictions > 0);
+        c.validate();
+    }
+
+    #[test]
+    fn no_sae_under_heavy_mixed_load() {
+        // Paper-level invalid-tag provisioning (6 invalid ways/skew); the
+        // `tiny()` config deliberately under-provisions to exercise SAEs.
+        let mut c = MayaCache::new(MayaConfig {
+            sets_per_skew: 16,
+            skews: 2,
+            base_ways_per_skew: 3,
+            reuse_ways_per_skew: 2,
+            invalid_ways_per_skew: 6,
+            skew_selection: SkewSelection::LoadAware,
+            seed: 11,
+        });
+        let d = DomainId(0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100_000 {
+            let a = rng.gen_range(0..4096u64);
+            if rng.gen_bool(0.2) {
+                c.access(Request::writeback(a, d));
+            } else {
+                c.access(Request::read(a, d));
+            }
+        }
+        assert_eq!(c.stats().saes, 0, "3 invalid ways/skew should suffice at this scale");
+        c.validate();
+    }
+
+    #[test]
+    fn sdid_isolates_domains() {
+        let mut c = tiny();
+        c.access(Request::read(1, DomainId(0)));
+        c.access(Request::read(1, DomainId(0)));
+        assert!(c.probe(1, DomainId(0)));
+        assert!(!c.probe(1, DomainId(1)));
+        assert_eq!(c.tag_state(1, DomainId(1)), None);
+        // Domain 1's flush cannot remove domain 0's copy.
+        assert!(!c.flush_line(1, DomainId(1)));
+        assert!(c.probe(1, DomainId(0)));
+        c.validate();
+    }
+
+    #[test]
+    fn flush_line_writes_back_dirty_data() {
+        let mut c = tiny();
+        let d = DomainId(0);
+        c.access(Request::writeback(9, d));
+        assert!(c.flush_line(9, d));
+        assert_eq!(c.stats().writebacks_out, 1);
+        assert_eq!(c.tag_state(9, d), None);
+        c.validate();
+    }
+
+    #[test]
+    fn rekey_flushes_everything() {
+        let mut c = tiny();
+        for a in 0..100u64 {
+            c.access(Request::read(a, DomainId(0)));
+            c.access(Request::read(a, DomainId(0)));
+        }
+        c.rekey(1234);
+        assert_eq!(c.p0_count(), 0);
+        assert_eq!(c.p1_count(), 0);
+        for a in 0..100u64 {
+            assert_eq!(c.tag_state(a, DomainId(0)), None);
+        }
+        c.validate();
+    }
+
+    #[test]
+    fn dirty_victims_of_global_data_eviction_write_back() {
+        let mut c = tiny();
+        let d = DomainId(0);
+        let cap = c.capacity_lines() as u64;
+        for a in 0..(3 * cap) {
+            c.access(Request::writeback(a, d));
+        }
+        assert!(c.stats().writebacks_out > 0);
+        c.validate();
+    }
+}

@@ -1,0 +1,173 @@
+//! The tag-entry state machine of Figure 3 of the paper, expressed as a pure
+//! transition function so the protocol can be tested independently of the
+//! cache's bookkeeping.
+//!
+//! A Maya tag entry is in one of four states:
+//!
+//! * **Invalid** — the way holds no line.
+//! * **Priority-0** — a valid tag with *no* data entry (reuse-detection).
+//! * **Priority-1 clean** — tag and data present, data matches memory.
+//! * **Priority-1 dirty** — tag and data present, data modified.
+
+/// The state of one Maya tag entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TagState {
+    /// No valid line in this way.
+    #[default]
+    Invalid,
+    /// Valid tag, no data entry ("tag-only"): awaiting its first reuse.
+    Priority0,
+    /// Valid tag with a clean data entry.
+    Priority1Clean,
+    /// Valid tag with a modified data entry.
+    Priority1Dirty,
+}
+
+impl TagState {
+    /// True for either priority-1 state (a data entry exists).
+    pub fn has_data(self) -> bool {
+        matches!(self, TagState::Priority1Clean | TagState::Priority1Dirty)
+    }
+
+    /// True for any valid state.
+    pub fn is_valid(self) -> bool {
+        self != TagState::Invalid
+    }
+}
+
+/// Events that drive the Figure-3 state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagEvent {
+    /// A demand read arrives for this tag.
+    DemandRead,
+    /// A writeback (or demand write) arrives for this tag.
+    Write,
+    /// This entry was chosen by global random *data* eviction.
+    GlobalDataEviction,
+    /// This entry was chosen by global random *tag* eviction.
+    GlobalTagEviction,
+    /// The line was flushed (clflush or whole-cache flush).
+    Flush,
+}
+
+/// Error returned by [`transition`] for event/state pairs the protocol
+/// forbids (e.g. data eviction of an entry that has no data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidTransition {
+    /// State the entry was in.
+    pub state: TagState,
+    /// Event that was (incorrectly) applied.
+    pub event: TagEvent,
+}
+
+impl std::fmt::Display for InvalidTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event {:?} is not legal in state {:?}", self.event, self.state)
+    }
+}
+
+impl std::error::Error for InvalidTransition {}
+
+/// Applies one event to one state, per Figure 3 of the paper.
+///
+/// # Errors
+///
+/// Returns [`InvalidTransition`] for pairs the protocol forbids:
+/// global data eviction of a non-priority-1 entry, and global tag eviction
+/// of anything but a priority-0 entry.
+///
+/// # Examples
+///
+/// ```
+/// use maya_core::maya::{transition, TagEvent, TagState};
+///
+/// // A fresh read installs tag-only; the reuse promotes it.
+/// let s = transition(TagState::Invalid, TagEvent::DemandRead)?;
+/// assert_eq!(s, TagState::Priority0);
+/// let s = transition(s, TagEvent::DemandRead)?;
+/// assert_eq!(s, TagState::Priority1Clean);
+/// # Ok::<(), maya_core::maya::InvalidTransition>(())
+/// ```
+pub fn transition(state: TagState, event: TagEvent) -> Result<TagState, InvalidTransition> {
+    use TagEvent as E;
+    use TagState as S;
+    match (state, event) {
+        // Fills into an invalid way.
+        (S::Invalid, E::DemandRead) => Ok(S::Priority0),
+        (S::Invalid, E::Write) => Ok(S::Priority1Dirty),
+        // Reuse promotes a tag-only entry; dirtiness tracks the request.
+        (S::Priority0, E::DemandRead) => Ok(S::Priority1Clean),
+        (S::Priority0, E::Write) => Ok(S::Priority1Dirty),
+        // Hits on priority-1 entries.
+        (S::Priority1Clean, E::DemandRead) => Ok(S::Priority1Clean),
+        (S::Priority1Clean, E::Write) => Ok(S::Priority1Dirty),
+        (S::Priority1Dirty, E::DemandRead | E::Write) => Ok(S::Priority1Dirty),
+        // Random global evictions.
+        (S::Priority1Clean | S::Priority1Dirty, E::GlobalDataEviction) => Ok(S::Priority0),
+        (S::Priority0, E::GlobalTagEviction) => Ok(S::Invalid),
+        // Flush invalidates any valid entry.
+        (s, E::Flush) if s.is_valid() => Ok(S::Invalid),
+        (state, event) => Err(InvalidTransition { state, event }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TagEvent as E;
+    use TagState as S;
+
+    #[test]
+    fn read_path_promotes_through_p0() {
+        let s = transition(S::Invalid, E::DemandRead).unwrap();
+        assert_eq!(s, S::Priority0);
+        assert!(!s.has_data());
+        let s = transition(s, E::DemandRead).unwrap();
+        assert_eq!(s, S::Priority1Clean);
+        assert!(s.has_data());
+    }
+
+    #[test]
+    fn write_to_invalid_goes_straight_to_dirty_p1() {
+        assert_eq!(transition(S::Invalid, E::Write).unwrap(), S::Priority1Dirty);
+    }
+
+    #[test]
+    fn write_dirties_clean_p1() {
+        assert_eq!(transition(S::Priority1Clean, E::Write).unwrap(), S::Priority1Dirty);
+    }
+
+    #[test]
+    fn data_eviction_downgrades_both_p1_states() {
+        assert_eq!(transition(S::Priority1Clean, E::GlobalDataEviction).unwrap(), S::Priority0);
+        assert_eq!(transition(S::Priority1Dirty, E::GlobalDataEviction).unwrap(), S::Priority0);
+    }
+
+    #[test]
+    fn tag_eviction_only_applies_to_p0() {
+        assert_eq!(transition(S::Priority0, E::GlobalTagEviction).unwrap(), S::Invalid);
+        assert!(transition(S::Priority1Clean, E::GlobalTagEviction).is_err());
+        assert!(transition(S::Invalid, E::GlobalTagEviction).is_err());
+    }
+
+    #[test]
+    fn data_eviction_of_dataless_entry_is_illegal() {
+        assert!(transition(S::Priority0, E::GlobalDataEviction).is_err());
+        assert!(transition(S::Invalid, E::GlobalDataEviction).is_err());
+    }
+
+    #[test]
+    fn flush_invalidates_all_valid_states() {
+        for s in [S::Priority0, S::Priority1Clean, S::Priority1Dirty] {
+            assert_eq!(transition(s, E::Flush).unwrap(), S::Invalid);
+        }
+        assert!(transition(S::Invalid, E::Flush).is_err());
+    }
+
+    #[test]
+    fn error_display_names_state_and_event() {
+        let e = transition(S::Invalid, E::GlobalTagEviction).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("GlobalTagEviction") && msg.contains("Invalid"));
+    }
+}

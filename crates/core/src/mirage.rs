@@ -1,0 +1,495 @@
+//! The Mirage cache (Saileshwar & Qureshi, USENIX Security 2021): the prior
+//! state-of-the-art that Maya improves upon, implemented here both as a
+//! comparison baseline and as a security reference.
+//!
+//! Mirage provides the illusion of a fully-associative LLC with three
+//! mechanisms, all reproduced here:
+//!
+//! 1. **Decoupled tag and data stores.** Tags live in a skewed-associative
+//!    structure; data entries are position-independent and linked by
+//!    forward/reverse pointers.
+//! 2. **Over-provisioned invalid tags with load-aware skew selection.** Each
+//!    skew has `base + extra` ways; fills go to whichever candidate set has
+//!    more invalid tags, which (with enough extra ways) makes set-associative
+//!    evictions (SAEs) astronomically rare.
+//! 3. **Global random data eviction.** Replacement candidates are drawn
+//!    uniformly from the *entire* data store, so evictions carry no
+//!    information about addresses.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use prince_cipher::IndexFunction;
+
+use crate::cache::CacheModel;
+use crate::types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};
+
+/// How fills choose between the two candidate sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SkewSelection {
+    /// Fill the set with more invalid tags (Mirage/Maya default). Required
+    /// for the security guarantee.
+    LoadAware,
+    /// Pick a skew uniformly at random (ScatterCache-style; insecure — kept
+    /// for the ablation study).
+    Random,
+}
+
+/// Configuration of a [`MirageCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MirageConfig {
+    /// Sets per skew; must be a power of two.
+    pub sets_per_skew: usize,
+    /// Number of skews (2 in the paper).
+    pub skews: usize,
+    /// Base ways per skew; `sets * skews * base_ways` equals the number of
+    /// data entries (8 for the 16 MB / 16-way-equivalent configuration).
+    pub base_ways_per_skew: usize,
+    /// Extra (invalid) ways per skew provisioned for security (6 default).
+    pub extra_ways_per_skew: usize,
+    /// Skew-selection policy.
+    pub skew_selection: SkewSelection,
+    /// Master seed for the index-function keys and replacement randomness.
+    pub seed: u64,
+}
+
+impl MirageConfig {
+    /// The paper's default geometry scaled to `data_entries` lines
+    /// (e.g. `256 * 1024` for the 16 MB LLC): 2 skews, 8 base + 6 extra
+    /// ways per skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_entries` is not divisible into a power-of-two set
+    /// count.
+    pub fn for_data_entries(data_entries: usize, seed: u64) -> Self {
+        let (skews, base) = (2, 8);
+        let sets = data_entries / (skews * base);
+        assert!(sets.is_power_of_two(), "data entries must give power-of-two sets");
+        Self {
+            sets_per_skew: sets,
+            skews,
+            base_ways_per_skew: base,
+            extra_ways_per_skew: 6,
+            skew_selection: SkewSelection::LoadAware,
+            seed,
+        }
+    }
+
+    /// Total tag-store ways per skew.
+    pub fn ways_per_skew(&self) -> usize {
+        self.base_ways_per_skew + self.extra_ways_per_skew
+    }
+
+    /// Number of data-store entries.
+    pub fn data_entries(&self) -> usize {
+        self.sets_per_skew * self.skews * self.base_ways_per_skew
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TagEntry {
+    valid: bool,
+    tag: u64,
+    sdid: DomainId,
+    dirty: bool,
+    reused: bool,
+    /// Forward pointer into the data store; meaningful when `valid`.
+    fptr: u32,
+}
+
+/// Reverse pointer for each data entry (index into the tag store),
+/// `u32::MAX` when free.
+const FREE: u32 = u32::MAX;
+
+/// The Mirage LLC model.
+///
+/// # Examples
+///
+/// ```
+/// use maya_core::{MirageCache, MirageConfig, CacheModel, Request, DomainId};
+///
+/// let mut llc = MirageCache::new(MirageConfig::for_data_entries(32 * 1024, 1));
+/// let d = DomainId(3);
+/// llc.access(Request::read(0x1000, d));
+/// assert!(llc.probe(0x1000, d));
+/// assert!(!llc.probe(0x1000, DomainId(4))); // SDID-isolated copy
+/// ```
+#[derive(Debug, Clone)]
+pub struct MirageCache {
+    config: MirageConfig,
+    index: IndexFunction,
+    tags: Vec<TagEntry>,
+    /// Reverse pointers: `rptr[d]` is the flat tag index owning data entry
+    /// `d`, or `FREE`.
+    rptr: Vec<u32>,
+    /// Free data-entry indices (cold-start only; empty once warm).
+    free_data: Vec<u32>,
+    /// Allocated data-entry indices for O(1) uniform victim selection;
+    /// `data_list_pos[d]` is the back-index, `FREE` when unallocated.
+    allocated: Vec<u32>,
+    data_list_pos: Vec<u32>,
+    stats: CacheStats,
+    rng: SmallRng,
+}
+
+impl MirageCache {
+    /// Builds a Mirage cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count is not a power of two or if any dimension is
+    /// zero.
+    pub fn new(config: MirageConfig) -> Self {
+        assert!(config.sets_per_skew.is_power_of_two(), "sets must be a power of two");
+        assert!(config.skews > 0 && config.base_ways_per_skew > 0);
+        let tag_count = config.sets_per_skew * config.skews * config.ways_per_skew();
+        let data_entries = config.data_entries();
+        let index = IndexFunction::from_seed(config.seed, config.skews, config.sets_per_skew);
+        Self {
+            tags: vec![TagEntry::default(); tag_count],
+            rptr: vec![FREE; data_entries],
+            free_data: (0..data_entries as u32).rev().collect(),
+            allocated: Vec::with_capacity(data_entries),
+            data_list_pos: vec![FREE; data_entries],
+            stats: CacheStats::default(),
+            rng: SmallRng::seed_from_u64(config.seed ^ 0x6d69_7261_6765),
+            index,
+            config,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &MirageConfig {
+        &self.config
+    }
+
+    /// Re-keys the index function and flushes the cache (the paper's
+    /// response to an SAE event).
+    pub fn rekey(&mut self, new_seed: u64) {
+        self.index =
+            IndexFunction::from_seed(new_seed, self.config.skews, self.config.sets_per_skew);
+        self.flush_all();
+    }
+
+    #[inline]
+    fn flat(&self, skew: usize, set: usize, way: usize) -> usize {
+        (skew * self.config.sets_per_skew + set) * self.config.ways_per_skew() + way
+    }
+
+    fn find(&self, line: u64, domain: DomainId) -> Option<usize> {
+        let ways = self.config.ways_per_skew();
+        for skew in 0..self.config.skews {
+            let set = self.index.set_index(skew, line);
+            for way in 0..ways {
+                let i = self.flat(skew, set, way);
+                let e = &self.tags[i];
+                if e.valid && e.tag == line && e.sdid == domain {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    fn invalid_ways_in(&self, skew: usize, set: usize) -> usize {
+        (0..self.config.ways_per_skew())
+            .filter(|&w| !self.tags[self.flat(skew, set, w)].valid)
+            .count()
+    }
+
+    fn alloc_data(&mut self, tag_idx: usize) -> u32 {
+        let d = self.free_data.pop().expect("data store full: evict before alloc");
+        self.rptr[d as usize] = tag_idx as u32;
+        self.data_list_pos[d as usize] = self.allocated.len() as u32;
+        self.allocated.push(d);
+        d
+    }
+
+    fn free_data_entry(&mut self, d: u32) {
+        let pos = self.data_list_pos[d as usize] as usize;
+        let last = *self.allocated.last().expect("allocated list empty");
+        self.allocated.swap_remove(pos);
+        if pos < self.allocated.len() {
+            self.data_list_pos[last as usize] = pos as u32;
+        }
+        self.data_list_pos[d as usize] = FREE;
+        self.rptr[d as usize] = FREE;
+        self.free_data.push(d);
+    }
+
+    /// Invalidates the tag at `tag_idx` and releases its data entry,
+    /// recording writeback/reuse/interference statistics.
+    fn evict_tag(&mut self, tag_idx: usize, requester: DomainId, wb: &mut Writebacks) {
+        let e = self.tags[tag_idx];
+        debug_assert!(e.valid);
+        if e.dirty {
+            self.stats.writebacks_out += 1;
+            wb.push(e.tag);
+        }
+        if e.reused {
+            self.stats.reused_evictions += 1;
+        } else {
+            self.stats.dead_evictions += 1;
+        }
+        if e.sdid != requester {
+            self.stats.cross_domain_evictions += 1;
+        }
+        self.free_data_entry(e.fptr);
+        self.tags[tag_idx].valid = false;
+    }
+
+    /// Global random data eviction: evicts a uniformly random line from the
+    /// whole data store.
+    fn global_eviction(&mut self, requester: DomainId, wb: &mut Writebacks) {
+        let victim_data = self.allocated[self.rng.gen_range(0..self.allocated.len())];
+        let tag_idx = self.rptr[victim_data as usize] as usize;
+        self.evict_tag(tag_idx, requester, wb);
+        self.stats.global_data_evictions += 1;
+    }
+
+    /// Chooses the target set for a fill; returns `(flat_way_index, sae)`.
+    fn choose_fill_slot(&mut self, line: u64, requester: DomainId, wb: &mut Writebacks) -> (usize, bool) {
+        debug_assert_eq!(self.config.skews, 2, "fill policy assumes two skews");
+        let sets = [self.index.set_index(0, line), self.index.set_index(1, line)];
+        let inv = [self.invalid_ways_in(0, sets[0]), self.invalid_ways_in(1, sets[1])];
+        let skew = match self.config.skew_selection {
+            SkewSelection::LoadAware => {
+                use std::cmp::Ordering;
+                match inv[0].cmp(&inv[1]) {
+                    Ordering::Greater => 0,
+                    Ordering::Less => 1,
+                    Ordering::Equal => usize::from(self.rng.gen::<bool>()),
+                }
+            }
+            SkewSelection::Random => usize::from(self.rng.gen::<bool>()),
+        };
+        let ways = self.config.ways_per_skew();
+        let set = sets[skew];
+        if let Some(way) = (0..ways).find(|&w| !self.tags[self.flat(skew, set, w)].valid) {
+            return (self.flat(skew, set, way), false);
+        }
+        // Set-associative eviction: both candidate sets may be full (the
+        // chosen one certainly is). Evict a random valid way of the chosen
+        // set — the security-critical, address-correlated event.
+        self.stats.saes += 1;
+        let way = self.rng.gen_range(0..ways);
+        let idx = self.flat(skew, set, way);
+        self.evict_tag(idx, requester, wb);
+        (idx, true)
+    }
+}
+
+impl CacheModel for MirageCache {
+    fn access(&mut self, req: Request) -> Response {
+        match req.kind {
+            AccessKind::Read | AccessKind::Prefetch => self.stats.reads += 1,
+            AccessKind::Writeback => self.stats.writebacks_in += 1,
+        }
+        let mut wb = Writebacks::none();
+        if let Some(i) = self.find(req.line, req.domain) {
+            match req.kind {
+                // Reuse (for dead-block stats) means a demand read hit.
+                AccessKind::Read => self.tags[i].reused = true,
+                AccessKind::Writeback => self.tags[i].dirty = true,
+                AccessKind::Prefetch => {}
+            }
+            self.stats.data_hits += 1;
+            return Response { event: AccessEvent::DataHit, writebacks: wb, sae: false };
+        }
+        self.stats.tag_misses += 1;
+        // Fill: free a data entry if the store is full, then place the tag.
+        if self.free_data.is_empty() {
+            self.global_eviction(req.domain, &mut wb);
+        }
+        let (tag_idx, sae) = self.choose_fill_slot(req.line, req.domain, &mut wb);
+        let data_idx = self.alloc_data(tag_idx);
+        self.tags[tag_idx] = TagEntry {
+            valid: true,
+            tag: req.line,
+            sdid: req.domain,
+            dirty: req.kind == AccessKind::Writeback,
+            reused: false,
+            fptr: data_idx,
+        };
+        self.stats.tag_fills += 1;
+        self.stats.data_fills += 1;
+        Response { event: AccessEvent::Miss, writebacks: wb, sae }
+    }
+
+    fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {
+        if let Some(i) = self.find(line, domain) {
+            if self.tags[i].dirty {
+                self.stats.writebacks_out += 1;
+            }
+            self.free_data_entry(self.tags[i].fptr);
+            self.tags[i].valid = false;
+            self.stats.flushes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn flush_all(&mut self) {
+        for t in &mut self.tags {
+            t.valid = false;
+        }
+        let n = self.rptr.len();
+        self.rptr.fill(FREE);
+        self.data_list_pos.fill(FREE);
+        self.allocated.clear();
+        self.free_data = (0..n as u32).rev().collect();
+    }
+
+    fn probe(&self, line: u64, domain: DomainId) -> bool {
+        self.find(line, domain).is_some()
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn extra_latency(&self) -> u32 {
+        4
+    }
+
+    fn capacity_lines(&self) -> usize {
+        self.config.data_entries()
+    }
+
+    fn name(&self) -> &'static str {
+        "mirage"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MirageCache {
+        // 2 skews * 16 sets * 4 base ways = 128 data entries, 2 extra ways.
+        MirageCache::new(MirageConfig {
+            sets_per_skew: 16,
+            skews: 2,
+            base_ways_per_skew: 4,
+            extra_ways_per_skew: 2,
+            skew_selection: SkewSelection::LoadAware,
+            seed: 7,
+        })
+    }
+
+    fn check_pointers(c: &MirageCache) {
+        // Every allocated data entry's rptr names a valid tag whose fptr
+        // points back; counts agree.
+        let valid_tags = c.tags.iter().filter(|t| t.valid).count();
+        assert_eq!(valid_tags, c.allocated.len());
+        for &d in &c.allocated {
+            let t = c.rptr[d as usize];
+            assert_ne!(t, FREE);
+            let e = &c.tags[t as usize];
+            assert!(e.valid);
+            assert_eq!(e.fptr, d);
+        }
+        assert_eq!(c.allocated.len() + c.free_data.len(), c.config.data_entries());
+    }
+
+    #[test]
+    fn miss_then_hit_with_pointer_consistency() {
+        let mut c = tiny();
+        let d = DomainId(0);
+        assert_eq!(c.access(Request::read(1, d)).event, AccessEvent::Miss);
+        assert_eq!(c.access(Request::read(1, d)).event, AccessEvent::DataHit);
+        check_pointers(&c);
+    }
+
+    #[test]
+    fn domains_get_duplicated_copies() {
+        let mut c = tiny();
+        c.access(Request::read(1, DomainId(0)));
+        assert!(!c.probe(1, DomainId(1)));
+        c.access(Request::read(1, DomainId(1)));
+        assert!(c.probe(1, DomainId(0)));
+        assert!(c.probe(1, DomainId(1)));
+        check_pointers(&c);
+    }
+
+    #[test]
+    fn global_eviction_keeps_data_store_exactly_full() {
+        let mut c = tiny();
+        let cap = c.capacity_lines();
+        for a in 0..(3 * cap) as u64 {
+            c.access(Request::read(a, DomainId(0)));
+            assert!(c.allocated.len() <= cap);
+        }
+        assert_eq!(c.allocated.len(), cap);
+        assert!(c.stats().global_data_evictions > 0);
+        check_pointers(&c);
+    }
+
+    #[test]
+    fn no_sae_under_heavy_fill_with_load_aware_selection() {
+        // Paper-level invalid-tag provisioning (6 extra ways/skew); the
+        // `tiny()` config deliberately under-provisions to exercise SAEs.
+        let mut c = MirageCache::new(MirageConfig {
+            sets_per_skew: 16,
+            skews: 2,
+            base_ways_per_skew: 4,
+            extra_ways_per_skew: 6,
+            skew_selection: SkewSelection::LoadAware,
+            seed: 7,
+        });
+        for a in 0..50_000u64 {
+            c.access(Request::read(a, DomainId(0)));
+        }
+        assert_eq!(c.stats().saes, 0, "load-aware Mirage should see no SAE at this scale");
+        check_pointers(&c);
+    }
+
+    #[test]
+    fn dirty_lines_write_back_on_eviction_or_flush() {
+        let mut c = tiny();
+        let d = DomainId(0);
+        c.access(Request::writeback(9, d));
+        assert!(c.flush_line(9, d));
+        assert_eq!(c.stats().writebacks_out, 1);
+        check_pointers(&c);
+    }
+
+    #[test]
+    fn flush_all_then_rekey_restores_cold_state() {
+        let mut c = tiny();
+        for a in 0..200u64 {
+            c.access(Request::read(a, DomainId(0)));
+        }
+        c.rekey(99);
+        assert_eq!(c.allocated.len(), 0);
+        for a in 0..200u64 {
+            assert!(!c.probe(a, DomainId(0)));
+        }
+        check_pointers(&c);
+    }
+
+    #[test]
+    fn dead_block_stats_accumulate() {
+        let mut c = tiny();
+        // Fill far beyond capacity without reuse: every eviction is dead.
+        for a in 0..1000u64 {
+            c.access(Request::read(a, DomainId(0)));
+        }
+        assert!(c.stats().dead_evictions > 0);
+        assert_eq!(c.stats().reused_evictions, 0);
+    }
+
+    #[test]
+    fn writeback_miss_installs_dirty_line() {
+        let mut c = tiny();
+        let d = DomainId(0);
+        assert_eq!(c.access(Request::writeback(5, d)).event, AccessEvent::Miss);
+        assert!(c.probe(5, d));
+    }
+}

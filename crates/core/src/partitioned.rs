@@ -1,0 +1,154 @@
+//! Constructors for the secure LLC-partitioning baselines of Table XI.
+//!
+//! Partitioning mitigates both conflict- and occupancy-based attacks by
+//! giving each security domain a private slice of the LLC, at a significant
+//! performance cost (Table XI: −19% page coloring, −16% DAWG, −9% BCE).
+//! All three are modelled on top of [`SetAssocCache`]:
+//!
+//! * **DAWG** (Kiriansky et al., MICRO 2018) — way partitioning: each domain
+//!   owns `ways / domains` ways of every set. Full set count, tiny
+//!   associativity per domain.
+//! * **Page coloring** (Bourgeat et al., MICRO 2019 / classic OS technique)
+//!   — set partitioning: each domain owns `sets / domains` sets. The DRAM
+//!   side-effect (a domain's pages are confined to a DRAM region, shrinking
+//!   its bank-level parallelism) is modelled by the simulator, not here.
+//! * **BCE** (Saileshwar et al., SEED 2021) — flexible set partitioning at
+//!   64 KB granularity: domain allocations need not be equal, so the harness
+//!   can size them to demand.
+
+use crate::baseline::{Partitioning, SetAssocCache, SetAssocConfig};
+use crate::replacement::Policy;
+
+/// Lines per 64 KB allocation unit (64-byte lines).
+pub const BCE_UNIT_LINES: usize = 1024;
+
+/// Builds a DAWG-style way-partitioned LLC: `domains` equal way groups.
+///
+/// # Panics
+///
+/// Panics if `ways` is not divisible by `domains`.
+pub fn dawg(sets: usize, ways: usize, domains: usize, policy: Policy) -> SetAssocCache {
+    assert!(domains > 0 && ways % domains == 0, "ways must divide evenly among domains");
+    let per = ways / domains;
+    let assignments = (0..domains).map(|d| (d * per, per)).collect();
+    SetAssocCache::new(SetAssocConfig {
+        partitioning: Partitioning::Ways(assignments),
+        ..SetAssocConfig::new(sets, ways, policy)
+    })
+}
+
+/// Builds a page-coloring-style set-partitioned LLC: `domains` equal set
+/// regions.
+///
+/// # Panics
+///
+/// Panics if `sets / domains` is not a power of two.
+pub fn page_coloring(sets: usize, ways: usize, domains: usize, policy: Policy) -> SetAssocCache {
+    assert!(domains > 0 && sets % domains == 0, "sets must divide evenly among domains");
+    let per = sets / domains;
+    assert!(per.is_power_of_two(), "per-domain set count must be a power of two");
+    let assignments = (0..domains).map(|d| (d * per, per)).collect();
+    SetAssocCache::new(SetAssocConfig {
+        partitioning: Partitioning::Sets(assignments),
+        ..SetAssocConfig::new(sets, ways, policy)
+    })
+}
+
+/// Builds a BCE-style flexibly set-partitioned LLC.
+///
+/// `units` gives each domain's allocation in 64 KB units; each domain's set
+/// share is `units * BCE_UNIT_LINES / ways` sets, packed contiguously.
+/// Unlike page coloring, allocations may be unequal (sized to each domain's
+/// working set) and are independent of DRAM placement.
+///
+/// # Panics
+///
+/// Panics if any allocation is zero, any domain's set share is not a power
+/// of two, or the allocations exceed the cache.
+pub fn bce(sets: usize, ways: usize, units: &[usize], policy: Policy) -> SetAssocCache {
+    let mut assignments = Vec::with_capacity(units.len());
+    let mut next = 0usize;
+    for &u in units {
+        assert!(u > 0, "every domain needs at least one 64KB unit");
+        let lines = u * BCE_UNIT_LINES;
+        assert!(lines % ways == 0, "allocation must be whole sets");
+        let n = lines / ways;
+        assert!(n.is_power_of_two(), "per-domain set count must be a power of two");
+        assignments.push((next, n));
+        next += n;
+    }
+    assert!(next <= sets, "allocations exceed the cache ({next} > {sets} sets)");
+    SetAssocCache::new(SetAssocConfig {
+        partitioning: Partitioning::Sets(assignments),
+        ..SetAssocConfig::new(sets, ways, policy)
+    })
+}
+
+/// Extra directory/mask storage each technique needs, as a fraction of the
+/// baseline LLC storage (the paper's Table XI storage column: +0.5% for
+/// page coloring and DAWG, +2% for BCE's indirection tables).
+pub fn storage_overhead_fraction(technique: &str) -> f64 {
+    match technique {
+        "page-coloring" | "dawg" => 0.005,
+        "bce" => 0.02,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheModel;
+    use crate::types::{DomainId, Request};
+
+    #[test]
+    fn dawg_gives_each_domain_private_ways() {
+        let mut c = dawg(64, 16, 8, Policy::Lru);
+        // Every domain can hold exactly 2 lines per set.
+        for d in 0..8u16 {
+            for i in 0..3u64 {
+                c.access(Request::read(i * 64, DomainId(d))); // same set, 3 lines
+            }
+        }
+        // Each domain's third line evicted one of its own two, never a peer's.
+        assert_eq!(c.stats().cross_domain_evictions, 0);
+        assert_eq!(c.stats().dead_evictions + c.stats().reused_evictions, 8);
+    }
+
+    #[test]
+    fn page_coloring_divides_sets_equally() {
+        let c = page_coloring(64, 16, 8, Policy::Srrip);
+        assert_eq!(c.capacity_lines(), 1024);
+    }
+
+    #[test]
+    fn bce_accepts_unequal_allocations() {
+        // 1024 sets * 16 ways = 16K lines = 1 MB. Domains sized 4/2/2 units
+        // of 64KB => 256/128/128 sets.
+        let c = bce(1024, 16, &[4, 2, 2], Policy::Srrip);
+        let mut probe_domains = vec![];
+        for d in 0..3u16 {
+            probe_domains.push(DomainId(d));
+        }
+        assert_eq!(c.capacity_lines(), 16 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the cache")]
+    fn bce_rejects_oversubscription() {
+        bce(64, 16, &[4, 4], Policy::Srrip); // 128 sets needed, 64 available
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn dawg_rejects_indivisible_ways() {
+        dawg(64, 16, 3, Policy::Lru);
+    }
+
+    #[test]
+    fn storage_overheads_match_table_xi() {
+        assert_eq!(storage_overhead_fraction("page-coloring"), 0.005);
+        assert_eq!(storage_overhead_fraction("dawg"), 0.005);
+        assert_eq!(storage_overhead_fraction("bce"), 0.02);
+    }
+}

@@ -1,0 +1,43 @@
+//! Prints the analytic model's reproduction of the paper's headline
+//! security numbers (Tables I and IV, and the W = 13/14/15 sweep of
+//! Section IV-B) for a quick eyeball comparison.
+//!
+//! ```text
+//! cargo run --release -p security-model --example paper_numbers
+//! ```
+
+use security_model::analytic::{installs_to_years, AnalyticModel};
+
+fn main() {
+    let m = AnalyticModel::new(3.0, 6.0);
+    println!("-- Section IV-B: installs per SAE at W ways/skew (paper: 1e8, 1e16, 4e32)");
+    for w in [13usize, 14, 15] {
+        let i = m.installs_per_sae(w);
+        println!("W={w}: {i:.2e} installs, {:.2e} yrs", installs_to_years(i));
+    }
+    println!("-- Table I (6 invalid ways/skew; paper: 2e36, 4e32, 7e31, 2e30):");
+    for r in [1.0f64, 3.0, 5.0, 7.0] {
+        let m = AnalyticModel::new(r, 6.0);
+        let w = 6 + r as usize + 6;
+        println!("reuse={r}: {:.2e}", m.installs_per_sae(w));
+    }
+    println!("-- Table I (5 invalid ways/skew; paper: 1e18, 1e16, 6e15, 1e15):");
+    for r in [1.0f64, 3.0, 5.0, 7.0] {
+        let m = AnalyticModel::new(r, 6.0);
+        let w = 6 + r as usize + 5;
+        println!("reuse={r}: {:.2e}", m.installs_per_sae(w));
+    }
+    println!("-- Table IV (rows 8/18/36-way; columns 4/5/6 invalid ways/skew):");
+    for (r, b) in [(1.0f64, 3.0), (3.0, 6.0), (6.0, 12.0)] {
+        for inv in [4usize, 5, 6] {
+            let m = AnalyticModel::new(r, b);
+            let w = (r + b) as usize + inv;
+            print!("  ({r}+{b},inv={inv}): {:.1e}", m.installs_per_sae(w));
+        }
+        println!();
+    }
+    println!(
+        "-- Pr(n=0) solved by normalization: {:.3e} (paper's trillion-iteration run: 7.7e-7)",
+        m.distribution(40)[0]
+    );
+}

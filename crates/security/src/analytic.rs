@@ -1,0 +1,260 @@
+//! The analytical Birth–Death Markov model of Section IV-B (Equations 1–6).
+//!
+//! The number of balls in a bucket is modelled as a Birth–Death chain: a
+//! birth is a load-aware ball throw, a death is a global random eviction.
+//! In the steady state the net conversion rate between adjacent occupancies
+//! is zero, which yields the recursion (Equation 5):
+//!
+//! ```text
+//! Pr(n = N+1) = (avg / (N+1)) * ( Pr(n=N)^2 + 2 * Pr(n=N) * Pr(n>N) )
+//! ```
+//!
+//! where `avg` is the average number of balls per bucket (9 for the default
+//! Maya geometry: 3 priority-0 + 6 priority-1). The priority split cancels
+//! out of Equation 4 — evictions remove priority-0 balls at rate
+//! `E[n0 | n] / total_p0`, and `E[n0 | n] = (p0/avg)·n` — so the same
+//! recursion also covers Mirage-style single-population models.
+//!
+//! The paper seeds the recursion with `Pr(n=0)` measured from a trillion
+//! Monte-Carlo iterations (≈ 7.7e-7). This module supports that, and also a
+//! self-contained mode that *solves* for `Pr(n=0)` by requiring the
+//! distribution to be normalized — the two agree (see tests), so the
+//! expensive calibration run is optional.
+
+/// The Birth–Death occupancy model for one bucket population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticModel {
+    avg_p0: f64,
+    avg_p1: f64,
+}
+
+impl AnalyticModel {
+    /// Creates a model from the average priority-0 and priority-1 balls per
+    /// bucket (3 and 6 for default Maya; for Mirage pass `(0.0, 8.0)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the average load is not positive.
+    pub fn new(avg_p0: f64, avg_p1: f64) -> Self {
+        assert!(avg_p0 >= 0.0 && avg_p1 >= 0.0 && avg_p0 + avg_p1 > 0.0);
+        Self { avg_p0, avg_p1 }
+    }
+
+    /// Average balls per bucket.
+    pub fn average_load(&self) -> f64 {
+        self.avg_p0 + self.avg_p1
+    }
+
+    /// The occupancy distribution `Pr(n = N)` for `N` in `0..=max_n`,
+    /// seeded with a known `Pr(n = 0)` (Equation 5 forward iteration,
+    /// switching to the Equation 6 approximation once `Pr < 0.01` as the
+    /// paper does).
+    pub fn distribution_from_seed(&self, pr0: f64, max_n: usize) -> Vec<f64> {
+        let avg = self.average_load();
+        let mut pr = Vec::with_capacity(max_n + 1);
+        pr.push(pr0);
+        let mut cumulative = pr0;
+        for n in 0..max_n {
+            let p_n = pr[n];
+            if !p_n.is_finite() || p_n > 1e6 {
+                // An over-large seed makes the recursion diverge; saturate
+                // so the normalization search sees "mass > 1" without NaNs.
+                pr.push(f64::MAX);
+                cumulative = f64::MAX;
+                continue;
+            }
+            let p_gt = (1.0 - cumulative).clamp(0.0, 1.0);
+            // Equation 6 (drop the Pr(n>N) term) applies only in the decay
+            // tail, where almost all mass is already behind us; during the
+            // ramp-up Pr(n>N) ~= 1 and must be kept (Equation 5). Naively
+            // using `1 - cumulative` in the deep tail would also be wrong:
+            // it bottoms out at f64 rounding noise (~1e-16) instead of the
+            // true tail mass, which is why the approximation exists.
+            let in_tail = p_n < 0.01 && cumulative > 0.5;
+            let next = if in_tail {
+                (avg / (n as f64 + 1.0)) * p_n * p_n
+            } else {
+                (avg / (n as f64 + 1.0)) * (p_n * p_n + 2.0 * p_n * p_gt)
+            };
+            pr.push(next);
+            cumulative += next;
+        }
+        pr
+    }
+
+    /// Solves for `Pr(n = 0)` such that the distribution normalizes to 1,
+    /// then returns the distribution. This removes the need for a
+    /// trillion-iteration Monte-Carlo calibration.
+    pub fn distribution(&self, max_n: usize) -> Vec<f64> {
+        // The cumulative mass is strictly increasing in the seed, so bisect.
+        let total = |seed: f64| -> f64 { self.distribution_from_seed(seed, max_n).iter().sum() };
+        let (mut lo, mut hi) = (1e-300f64, 1.0f64);
+        for _ in 0..2000 {
+            let mid = (lo * hi).sqrt(); // geometric bisection across many decades
+            if total(mid) < 1.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi / lo < 1.0 + 1e-14 {
+                break;
+            }
+        }
+        self.distribution_from_seed((lo * hi).sqrt(), max_n)
+    }
+
+    /// The probability that a ball throw spills a bucket of the given
+    /// capacity: `Pr(n = capacity + 1)` in the unlimited-capacity model
+    /// (paper Section IV-B, "Frequency of spills").
+    pub fn spill_probability(&self, capacity: usize) -> f64 {
+        self.distribution(capacity + 1)[capacity + 1]
+    }
+
+    /// Expected line installs per set-associative eviction for a tag store
+    /// with `capacity` ways per skew.
+    pub fn installs_per_sae(&self, capacity: usize) -> f64 {
+        1.0 / self.spill_probability(capacity)
+    }
+}
+
+/// Converts an install count to years, assuming one LLC fill per
+/// nanosecond (the paper's deliberately attacker-friendly assumption).
+pub fn installs_to_years(installs: f64) -> f64 {
+    installs * 1e-9 / (3600.0 * 24.0 * 365.0)
+}
+
+/// Formats an install count the way the paper reports it (`4e32 (1e16 yrs)`).
+pub fn format_installs(installs: f64) -> String {
+    let years = installs_to_years(installs);
+    if years >= 1.0 {
+        format!("{installs:.0e} installs ({years:.0e} yrs)")
+    } else if years * 365.0 >= 1.0 {
+        format!("{installs:.0e} installs ({:.0} days)", years * 365.0)
+    } else {
+        format!("{installs:.0e} installs ({:.1} s)", years * 365.0 * 24.0 * 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_model() -> AnalyticModel {
+        AnalyticModel::new(3.0, 6.0)
+    }
+
+    #[test]
+    fn distribution_normalizes() {
+        let d = default_model().distribution(40);
+        let total: f64 = d.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+    }
+
+    #[test]
+    fn solved_seed_matches_paper_order_of_magnitude() {
+        // The paper's trillion-iteration run measured Pr(n=0) ~= 7.7e-7.
+        let d = default_model().distribution(40);
+        assert!(
+            d[0] > 1e-7 && d[0] < 1e-5,
+            "Pr(n=0) = {} should be within an order of magnitude of 7.7e-7",
+            d[0]
+        );
+    }
+
+    #[test]
+    fn distribution_peaks_near_average_load() {
+        let d = default_model().distribution(40);
+        let mode = d.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert!((8..=10).contains(&mode), "mode {mode} should be near 9");
+    }
+
+    #[test]
+    fn tail_decays_double_exponentially() {
+        let d = default_model().distribution(24);
+        // Each further way should shrink the probability by an accelerating
+        // factor: Pr(n)/Pr(n+1) grows with n.
+        let r13 = d[13] / d[14];
+        let r14 = d[14] / d[15];
+        let r15 = d[15] / d[16];
+        assert!(r14 > r13 && r15 > r14, "ratios {r13:.2e} {r14:.2e} {r15:.2e}");
+    }
+
+    #[test]
+    fn paper_headline_numbers_for_13_14_15_ways() {
+        // Paper: for W = 13, 14, 15, an SAE every ~1e8, ~1e16, ~1e32 installs.
+        let m = default_model();
+        let w13 = m.installs_per_sae(13);
+        let w14 = m.installs_per_sae(14);
+        let w15 = m.installs_per_sae(15);
+        assert!(w13 > 1e6 && w13 < 1e11, "W=13: {w13:.2e}");
+        assert!(w14 > 1e12 && w14 < 1e20, "W=14: {w14:.2e}");
+        assert!(w15 > 1e28 && w15 < 1e38, "W=15: {w15:.2e}");
+    }
+
+    #[test]
+    fn more_reuse_ways_weaken_security_at_fixed_invalid_ways() {
+        // Table I trend: with 6 invalid ways/skew, security degrades as
+        // reuse ways grow from 1 to 7.
+        let installs: Vec<f64> = [1.0, 3.0, 5.0, 7.0]
+            .iter()
+            .map(|&r| {
+                let m = AnalyticModel::new(r, 6.0);
+                let capacity = 6 + r as usize + 6;
+                m.installs_per_sae(capacity)
+            })
+            .collect();
+        for pair in installs.windows(2) {
+            assert!(pair[0] > pair[1], "security must decrease: {installs:?}");
+        }
+        assert!(installs[1] > 1e28, "3 reuse ways must stay beyond lifetime");
+    }
+
+    #[test]
+    fn fewer_invalid_ways_weaken_security() {
+        // Table I columns: 5 vs 6 invalid ways at 3 reuse ways.
+        let m = default_model();
+        let w5 = m.installs_per_sae(6 + 3 + 5);
+        let w6 = m.installs_per_sae(6 + 3 + 6);
+        assert!(w6 / w5 > 1e6, "one extra invalid way must buy many orders: {w5:.2e} vs {w6:.2e}");
+    }
+
+    #[test]
+    fn higher_associativity_weakens_security_table_iv() {
+        // Table IV rows: 8-way (3+1), 18-way (6+3), 36-way (12+6), all with
+        // 6 extra invalid ways per skew.
+        let configs = [(1.0, 3.0, 4usize), (3.0, 6.0, 9), (6.0, 12.0, 18)];
+        let installs: Vec<f64> = configs
+            .iter()
+            .map(|&(r, b, load)| AnalyticModel::new(r, b).installs_per_sae(load + 6))
+            .collect();
+        assert!(
+            installs[0] > installs[1] && installs[1] > installs[2],
+            "security must fall with associativity: {installs:?}"
+        );
+        assert!(installs[2] > 1e20, "even 36-way must exceed system lifetime");
+    }
+
+    #[test]
+    fn year_conversion_matches_paper_scale() {
+        // 4e32 installs at 1 ns/install ~= 1.3e16 years.
+        let years = installs_to_years(4e32);
+        assert!(years > 1e15 && years < 1e17, "{years:.2e}");
+    }
+
+    #[test]
+    fn format_installs_switches_units() {
+        assert!(format_installs(1e32).contains("yrs"));
+        assert!(format_installs(1e16).contains("days"));
+        assert!(format_installs(1e8).contains('s'));
+    }
+
+    #[test]
+    fn seeded_and_solved_distributions_agree() {
+        let m = default_model();
+        let solved = m.distribution(30);
+        let seeded = m.distribution_from_seed(solved[0], 30);
+        for (a, b) in solved.iter().zip(&seeded) {
+            assert!((a - b).abs() <= 1e-12 * a.max(1e-300));
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! The bucket-and-balls Monte-Carlo simulator (paper Section IV-A).
+//!
+//! Buckets are tag-store sets; balls are valid tag entries (priority-0 or
+//! priority-1). A ball throw models a fill with load-aware skew selection:
+//! one random bucket per skew is chosen and the ball goes to the bucket with
+//! *fewer* balls. A **spill** — both candidate buckets at capacity — models
+//! a set-associative eviction, the event the attacker needs.
+//!
+//! Each iteration replays the three worst-case access types of Figure 5:
+//!
+//! 1. **Demand tag miss** — throw a priority-0 ball, then remove a uniformly
+//!    random priority-0 ball (global random tag eviction).
+//! 2. **Demand/writeback tag hit on priority-0** — upgrade a random
+//!    priority-0 ball to priority-1, downgrade a random priority-1 ball
+//!    (global random data eviction).
+//! 3. **Writeback tag miss** — throw a priority-1 ball, downgrade a random
+//!    priority-1 ball, remove a random priority-0 ball.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::BallsConfig;
+
+/// Results of a Monte-Carlo run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BallsOutcome {
+    /// Iterations executed (3 accesses each).
+    pub iterations: u64,
+    /// Ball throws (line installs) performed: 2 per iteration.
+    pub installs: u64,
+    /// Observed bucket spills (SAEs).
+    pub spills: u64,
+    /// Time-averaged probability that a bucket holds `n` balls, indexed by
+    /// `n` (the Figure 7 histogram).
+    pub occupancy: Vec<f64>,
+}
+
+impl BallsOutcome {
+    /// Installs per SAE, or `None` if no spill was observed.
+    pub fn installs_per_sae(&self) -> Option<f64> {
+        (self.spills > 0).then(|| self.installs as f64 / self.spills as f64)
+    }
+}
+
+/// The bucket-and-balls simulator.
+///
+/// # Examples
+///
+/// ```
+/// use security_model::{balls::BallsSim, config::BallsConfig};
+///
+/// let mut sim = BallsSim::new(BallsConfig::small(9));
+/// let out = sim.run(50_000);
+/// // Capacity 9 equals the average load, so spills are frequent.
+/// assert!(out.spills > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BallsSim {
+    config: BallsConfig,
+    /// Balls per bucket, indexed by flat bucket id (skew-major).
+    n_total: Vec<u16>,
+    /// One entry per priority-0 ball: the bucket holding it.
+    p0_balls: Vec<u32>,
+    /// One entry per priority-1 ball: the bucket holding it.
+    p1_balls: Vec<u32>,
+    /// `bucket_count[n]` = number of buckets currently holding `n` balls.
+    bucket_count: Vec<u64>,
+    /// Accumulated `bucket_count` over iterations (occupancy integral).
+    occupancy_acc: Vec<u128>,
+    accumulated_iterations: u64,
+    spills: u64,
+    installs: u64,
+    rng: SmallRng,
+}
+
+impl BallsSim {
+    /// Builds the simulator and fills buckets to the steady-state load
+    /// (exactly `avg_p0` priority-0 and `avg_p1` priority-1 balls per
+    /// bucket, as the paper initializes its model).
+    pub fn new(config: BallsConfig) -> Self {
+        config.validate();
+        let buckets = config.total_buckets();
+        let avg = config.avg_p0_per_bucket + config.avg_p1_per_bucket;
+        let mut p0_balls = Vec::with_capacity(config.total_p0());
+        let mut p1_balls = Vec::with_capacity(config.total_p1());
+        for b in 0..buckets as u32 {
+            p0_balls.extend(std::iter::repeat(b).take(config.avg_p0_per_bucket));
+            p1_balls.extend(std::iter::repeat(b).take(config.avg_p1_per_bucket));
+        }
+        // Histogram is sized generously: occupancy can exceed capacity only
+        // transiently inside an access, never between them.
+        let hist_len = config.bucket_capacity + 2;
+        let mut bucket_count = vec![0u64; hist_len];
+        bucket_count[avg] = buckets as u64;
+        Self {
+            n_total: vec![avg as u16; buckets],
+            p0_balls,
+            p1_balls,
+            occupancy_acc: vec![0u128; hist_len],
+            bucket_count,
+            accumulated_iterations: 0,
+            spills: 0,
+            installs: 0,
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BallsConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn bump(&mut self, bucket: u32, delta: i32) {
+        let n = &mut self.n_total[bucket as usize];
+        self.bucket_count[*n as usize] -= 1;
+        *n = (*n as i32 + delta) as u16;
+        self.bucket_count[*n as usize] += 1;
+    }
+
+    /// Load-aware skew selection: one random bucket per skew, insert into
+    /// the one with fewer balls (ties broken randomly). Returns the chosen
+    /// bucket; records a spill if every candidate is at capacity.
+    fn throw(&mut self) -> u32 {
+        let per = self.config.buckets_per_skew as u32;
+        let mut chosen = self.rng.gen_range(0..per);
+        let mut chosen_n = self.n_total[chosen as usize];
+        for skew in 1..self.config.skews as u32 {
+            let cand = skew * per + self.rng.gen_range(0..per);
+            let cand_n = self.n_total[cand as usize];
+            if cand_n < chosen_n || (cand_n == chosen_n && self.rng.gen::<bool>()) {
+                chosen = cand;
+                chosen_n = cand_n;
+            }
+        }
+        self.installs += 1;
+        if chosen_n as usize >= self.config.bucket_capacity {
+            // Spill: the set has no invalid way; a resident ball must be
+            // evicted to admit the new one (an SAE). Remove a priority-0
+            // ball from this bucket if one exists, else a priority-1 ball.
+            self.spills += 1;
+            if !self.remove_from_bucket_p0(chosen) {
+                self.remove_from_bucket_p1(chosen);
+            }
+        }
+        chosen
+    }
+
+    /// Removes one priority-0 ball resident in `bucket`; false if none.
+    /// Only used on the (rare) spill path, so the scan cost is irrelevant.
+    fn remove_from_bucket_p0(&mut self, bucket: u32) -> bool {
+        if let Some(i) = self.p0_balls.iter().position(|&b| b == bucket) {
+            self.p0_balls.swap_remove(i);
+            self.bump(bucket, -1);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn remove_from_bucket_p1(&mut self, bucket: u32) -> bool {
+        if let Some(i) = self.p1_balls.iter().position(|&b| b == bucket) {
+            self.p1_balls.swap_remove(i);
+            self.bump(bucket, -1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Global random tag eviction, performed only while the priority-0
+    /// population exceeds its steady-state target (exactly like the cache:
+    /// a spill-path eviction already freed one slot, so no extra eviction
+    /// follows).
+    fn global_tag_eviction_if_needed(&mut self) {
+        while self.p0_balls.len() > self.config.total_p0() {
+            let i = self.rng.gen_range(0..self.p0_balls.len());
+            let victim = self.p0_balls.swap_remove(i);
+            self.bump(victim, -1);
+        }
+    }
+
+    /// Global random data eviction (priority-1 downgrade), performed only
+    /// while the priority-1 population exceeds its target.
+    fn global_data_eviction_if_needed(&mut self) {
+        while self.p1_balls.len() > self.config.total_p1() {
+            let j = self.rng.gen_range(0..self.p1_balls.len());
+            let downgraded = self.p1_balls.swap_remove(j);
+            self.p0_balls.push(downgraded);
+        }
+    }
+
+    /// Figure 5(a): demand tag miss.
+    fn demand_tag_miss(&mut self) {
+        let bucket = self.throw();
+        self.p0_balls.push(bucket);
+        self.bump(bucket, 1);
+        self.global_tag_eviction_if_needed();
+    }
+
+    /// Figure 5(b): demand or writeback tag hit on a priority-0 entry.
+    fn tag_hit_upgrade(&mut self) {
+        // Upgrade a random priority-0 ball (same bucket, new type).
+        let i = self.rng.gen_range(0..self.p0_balls.len());
+        let bucket = self.p0_balls.swap_remove(i);
+        self.p1_balls.push(bucket);
+        // Global random data eviction (a no-op while a spill-path eviction
+        // has left the priority-1 population below target — the "data store
+        // not yet full" case of the paper).
+        self.global_data_eviction_if_needed();
+    }
+
+    /// Figure 5(c): writeback tag miss.
+    fn writeback_tag_miss(&mut self) {
+        let bucket = self.throw();
+        self.p1_balls.push(bucket);
+        self.bump(bucket, 1);
+        self.global_data_eviction_if_needed();
+        self.global_tag_eviction_if_needed();
+    }
+
+    /// Runs `iterations` iterations (three accesses each) and returns the
+    /// cumulative outcome. Can be called repeatedly; statistics accumulate.
+    pub fn run(&mut self, iterations: u64) -> BallsOutcome {
+        for _ in 0..iterations {
+            self.demand_tag_miss();
+            self.tag_hit_upgrade();
+            self.writeback_tag_miss();
+            for (acc, &c) in self.occupancy_acc.iter_mut().zip(&self.bucket_count) {
+                *acc += u128::from(c);
+            }
+        }
+        self.accumulated_iterations += iterations;
+        self.outcome()
+    }
+
+    /// The cumulative outcome so far.
+    pub fn outcome(&self) -> BallsOutcome {
+        let total_samples =
+            self.accumulated_iterations as f64 * self.config.total_buckets() as f64;
+        let occupancy = self
+            .occupancy_acc
+            .iter()
+            .map(|&a| if total_samples > 0.0 { a as f64 / total_samples } else { 0.0 })
+            .collect();
+        BallsOutcome {
+            iterations: self.accumulated_iterations,
+            installs: self.installs,
+            spills: self.spills,
+            occupancy,
+        }
+    }
+
+    /// Checks the population invariants (ball conservation, histogram
+    /// consistency). Test hook.
+    #[doc(hidden)]
+    pub fn validate(&self) {
+        // Spill-path evictions can leave either population transiently one
+        // or two below target (it self-heals on the next access of that
+        // type); it must never exceed the target.
+        let p0_deficit = self.config.total_p0() as i64 - self.p0_balls.len() as i64;
+        let p1_deficit = self.config.total_p1() as i64 - self.p1_balls.len() as i64;
+        assert!((0..=2).contains(&p0_deficit), "p0 population drifted by {p0_deficit}");
+        assert!((0..=2).contains(&p1_deficit), "p1 population drifted by {p1_deficit}");
+        let mut per_bucket = vec![0u16; self.config.total_buckets()];
+        for &b in self.p0_balls.iter().chain(&self.p1_balls) {
+            per_bucket[b as usize] += 1;
+        }
+        assert_eq!(per_bucket, self.n_total, "bucket occupancies inconsistent");
+        let mut hist = vec![0u64; self.bucket_count.len()];
+        for &n in &self.n_total {
+            hist[n as usize] += 1;
+        }
+        assert_eq!(hist, self.bucket_count, "histogram inconsistent");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populations_are_conserved() {
+        let mut sim = BallsSim::new(BallsConfig::small(12));
+        sim.run(5_000);
+        sim.validate();
+    }
+
+    #[test]
+    fn capacity_at_average_load_spills_constantly() {
+        let mut sim = BallsSim::new(BallsConfig::small(9));
+        let out = sim.run(20_000);
+        assert!(out.spills > 100, "capacity 9 must spill frequently, got {}", out.spills);
+    }
+
+    #[test]
+    fn spill_rate_decreases_steeply_with_capacity() {
+        let spills_at = |cap: usize| {
+            let mut sim = BallsSim::new(BallsConfig::small(cap));
+            sim.run(20_000).spills
+        };
+        let s9 = spills_at(9);
+        let s10 = spills_at(10);
+        let s11 = spills_at(11);
+        assert!(s9 > 3 * s10.max(1), "9→10 must cut spills sharply ({s9} vs {s10})");
+        assert!(s10 > 3 * s11.max(1), "10→11 must cut spills sharply ({s10} vs {s11})");
+    }
+
+    #[test]
+    fn occupancy_histogram_sums_to_one_and_centers_on_average() {
+        let mut sim = BallsSim::new(BallsConfig::small(13));
+        let out = sim.run(5_000);
+        let total: f64 = out.occupancy.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "histogram must be a distribution, got {total}");
+        let mean: f64 = out.occupancy.iter().enumerate().map(|(n, p)| n as f64 * p).sum();
+        assert!((mean - 9.0).abs() < 0.05, "mean occupancy must stay ~9, got {mean}");
+        // The mode sits at the average load.
+        let mode = out
+            .occupancy
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(mode, 9);
+    }
+
+    #[test]
+    fn installs_count_two_throws_per_iteration() {
+        let mut sim = BallsSim::new(BallsConfig::small(13));
+        let out = sim.run(1_000);
+        assert_eq!(out.installs, 2_000);
+        assert_eq!(out.iterations, 1_000);
+    }
+
+    #[test]
+    fn no_spills_reported_as_none() {
+        let mut sim = BallsSim::new(BallsConfig::small(15));
+        let out = sim.run(2_000);
+        if out.spills == 0 {
+            assert_eq!(out.installs_per_sae(), None);
+        }
+    }
+
+    #[test]
+    fn runs_accumulate_across_calls() {
+        let mut sim = BallsSim::new(BallsConfig::small(12));
+        sim.run(1_000);
+        let out = sim.run(1_000);
+        assert_eq!(out.iterations, 2_000);
+        assert_eq!(out.installs, 4_000);
+        sim.validate();
+    }
+}

@@ -1,0 +1,94 @@
+//! Parameters of the bucket-and-balls model (paper Table II).
+
+/// Configuration of a bucket-and-balls experiment.
+///
+/// The defaults mirror Table II of the paper: 2 skews of 16K buckets, an
+/// average of 3 priority-0 and 6 priority-1 balls per bucket, and a bucket
+/// capacity swept from 9 to 15 ways per skew.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BallsConfig {
+    /// Buckets per skew (cache sets per skew).
+    pub buckets_per_skew: usize,
+    /// Number of skews.
+    pub skews: usize,
+    /// Steady-state priority-0 balls per bucket (reuse ways per skew).
+    pub avg_p0_per_bucket: usize,
+    /// Steady-state priority-1 balls per bucket (base ways per skew).
+    pub avg_p1_per_bucket: usize,
+    /// Bucket capacity (total tag ways per skew).
+    pub bucket_capacity: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BallsConfig {
+    /// Table II defaults at a given bucket capacity.
+    pub fn paper_default(bucket_capacity: usize) -> Self {
+        Self {
+            buckets_per_skew: 16 * 1024,
+            skews: 2,
+            avg_p0_per_bucket: 3,
+            avg_p1_per_bucket: 6,
+            bucket_capacity,
+            seed: 0xba11,
+        }
+    }
+
+    /// A smaller geometry for fast tests; same per-bucket averages.
+    pub fn small(bucket_capacity: usize) -> Self {
+        Self { buckets_per_skew: 512, ..Self::paper_default(bucket_capacity) }
+    }
+
+    /// Total number of buckets across skews.
+    pub fn total_buckets(&self) -> usize {
+        self.buckets_per_skew * self.skews
+    }
+
+    /// Total priority-0 balls at steady state.
+    pub fn total_p0(&self) -> usize {
+        self.total_buckets() * self.avg_p0_per_bucket
+    }
+
+    /// Total priority-1 balls at steady state.
+    pub fn total_p1(&self) -> usize {
+        self.total_buckets() * self.avg_p1_per_bucket
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity cannot even hold the average load or any
+    /// dimension is zero.
+    pub fn validate(&self) {
+        assert!(self.buckets_per_skew > 0 && self.skews > 0);
+        assert!(
+            self.avg_p0_per_bucket > 0 && self.avg_p1_per_bucket > 0,
+            "the Maya balls model needs both ball populations"
+        );
+        assert!(
+            self.bucket_capacity >= self.avg_p0_per_bucket + self.avg_p1_per_bucket,
+            "bucket capacity below average load: buckets cannot hold steady state"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table_ii() {
+        let c = BallsConfig::paper_default(15);
+        assert_eq!(c.total_buckets(), 32 * 1024);
+        assert_eq!(c.total_p0(), 96 * 1024);
+        assert_eq!(c.total_p1(), 192 * 1024);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "below average load")]
+    fn undersized_capacity_rejected() {
+        BallsConfig::paper_default(8).validate();
+    }
+}

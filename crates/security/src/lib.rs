@@ -1,0 +1,36 @@
+//! Security models for Maya-style randomized caches (paper Section IV).
+//!
+//! Two complementary estimators of the set-associative-eviction (SAE) rate:
+//!
+//! * [`balls`] — the **bucket-and-balls Monte-Carlo simulator** of Section
+//!   IV-A: buckets are tag-store sets, priority-0/priority-1 balls are
+//!   tag-only/tag+data entries, and each iteration replays the three
+//!   worst-case LLC access types of Figure 5 (demand tag miss, tag hit on a
+//!   priority-0 entry, writeback tag miss).
+//! * [`analytic`] — the **Birth–Death Markov model** of Section IV-B
+//!   (Equations 1–6), which extrapolates the per-bucket occupancy
+//!   distribution to regimes where spills are too rare to simulate
+//!   (10^16–10^40 installs per SAE), exactly as the paper does for
+//!   14–15 ways per skew.
+//!
+//! The Monte-Carlo run validates the analytic model at observable
+//! occupancies (Figure 7); the analytic model then supplies Tables I and IV.
+//!
+//! # Examples
+//!
+//! ```
+//! use security_model::analytic::AnalyticModel;
+//!
+//! // Paper default: 6 priority-1 + 3 priority-0 balls per bucket on
+//! // average, 15 ways per skew.
+//! let model = AnalyticModel::new(3.0, 6.0);
+//! let installs = model.installs_per_sae(15);
+//! assert!(installs > 1e30, "default Maya must be secure beyond system lifetime");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod balls;
+pub mod config;

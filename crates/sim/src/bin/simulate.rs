@@ -1,0 +1,109 @@
+//! `simulate`: run one multi-core simulation from the command line.
+//!
+//! ```text
+//! simulate --benchmark mcf --design maya [--cores 8] [--instructions 2000000] [--seed 42]
+//! ```
+//!
+//! Designs: `baseline`, `mirage`, `maya`, `fully-assoc`, `scatter`,
+//! `ceaser`, `ceaser-s`, `threshold`.
+
+use champsim_lite::{System, SystemConfig};
+use maya_core::{
+    CacheModel, CeaserCache, CeaserConfig, FullyAssocCache, MayaCache, MayaConfig, MirageCache,
+    MirageConfig, Policy, ScatterCache, ScatterConfig, SetAssocCache, SetAssocConfig,
+    ThresholdCache, ThresholdConfig,
+};
+use workloads::mixes::homogeneous;
+
+fn build_design(name: &str, lines: usize, seed: u64) -> Box<dyn CacheModel> {
+    match name {
+        "baseline" => Box::new(SetAssocCache::new(SetAssocConfig {
+            seed,
+            ..SetAssocConfig::new(lines / 16, 16, Policy::Drrip)
+        })),
+        "mirage" => Box::new(MirageCache::new(MirageConfig::for_data_entries(lines, seed))),
+        "maya" => Box::new(MayaCache::new(MayaConfig::for_baseline_lines(lines, seed))),
+        "fully-assoc" => Box::new(FullyAssocCache::new(lines, seed)),
+        "scatter" => Box::new(ScatterCache::new(ScatterConfig::for_lines(lines, seed))),
+        "ceaser" => Box::new(CeaserCache::new(CeaserConfig::ceaser(lines, 100_000, seed))),
+        "ceaser-s" => Box::new(CeaserCache::new(CeaserConfig::ceaser_s(lines, 100_000, seed))),
+        "threshold" => {
+            Box::new(ThresholdCache::new(ThresholdConfig::paper_discussion(lines, seed)))
+        }
+        other => {
+            eprintln!("error: unknown design {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut benchmark = "mcf".to_string();
+    let mut design = "maya".to_string();
+    let mut cores = 8usize;
+    let mut instructions = 2_000_000u64;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        i += 1;
+        let value = |i: usize| -> String {
+            args.get(i).cloned().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--benchmark" => benchmark = value(i),
+            "--design" => design = value(i),
+            "--cores" => cores = value(i).parse().expect("--cores"),
+            "--instructions" => instructions = value(i).parse().expect("--instructions"),
+            "--seed" => seed = value(i).parse().expect("--seed"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: simulate --benchmark <name> --design <design> \
+                     [--cores N] [--instructions N] [--seed S]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("error: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let cfg = SystemConfig {
+        cores,
+        ..SystemConfig::eight_core_default().with_instructions(instructions / 4, instructions)
+    };
+    let llc = build_design(&design, cfg.baseline_llc_lines(), seed);
+    let mix = homogeneous(&benchmark, cores);
+    let mut sys = System::new(cfg, llc, &mix, seed);
+    let r = sys.run();
+
+    println!("design        {}", r.llc_name);
+    println!("benchmark     {benchmark} x {cores} cores");
+    println!("ipc_sum       {:.3}", r.ipc_sum());
+    println!("avg_mpki      {:.2}", r.avg_mpki());
+    println!(
+        "dead_blocks   {}",
+        r.dead_block_fraction().map(|d| format!("{:.1}%", d * 100.0)).unwrap_or("n/a".into())
+    );
+    println!("llc_hits      {}", r.llc.data_hits);
+    println!("llc_saes      {}", r.llc.saes);
+    println!("cross_evict   {}", r.llc.cross_domain_evictions);
+    println!("dram_reads    {}", r.dram.0);
+    println!("dram_writes   {}", r.dram.1);
+    for (i, c) in r.cores.iter().enumerate() {
+        println!(
+            "core{i:<2}        ipc={:.3} mpki={:.2} late_pf={} timely_pf={}",
+            c.ipc(),
+            c.mpki(),
+            c.late_prefetch_merges,
+            c.timely_prefetch_hits
+        );
+    }
+}

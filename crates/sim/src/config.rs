@@ -1,0 +1,142 @@
+//! Simulated-system configuration (paper Table V).
+
+/// Geometry and latency of one private cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLevelConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Hit latency in cycles.
+    pub latency: u32,
+}
+
+impl CacheLevelConfig {
+    /// Capacity in bytes (64-byte lines).
+    pub fn bytes(&self) -> usize {
+        self.sets * self.ways * 64
+    }
+}
+
+/// DDR4-like DRAM timing and geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Independent channels.
+    pub channels: usize,
+    /// Banks per channel.
+    pub banks_per_channel: usize,
+    /// Row-buffer size in cache lines (4 KB = 64 lines).
+    pub row_lines: u64,
+    /// tRP = tRCD = tCAS, in core cycles (12.5 ns at 4 GHz = 50).
+    pub t_rp_rcd_cas: u64,
+    /// Data-burst occupancy of a bank per access, in core cycles.
+    pub burst_cycles: u64,
+    /// When set, each domain's traffic is confined to
+    /// `total_banks / domains` banks — the DRAM side-effect of page
+    /// coloring (LLC and DRAM partitions cannot be managed independently).
+    pub bank_partition_domains: Option<usize>,
+}
+
+impl DramConfig {
+    /// The paper's DDR4-3200, two channels per 8 cores.
+    pub fn ddr4_default() -> Self {
+        Self {
+            channels: 2,
+            banks_per_channel: 16,
+            row_lines: 64,
+            t_rp_rcd_cas: 50,
+            burst_cycles: 8,
+            bank_partition_domains: None,
+        }
+    }
+
+    /// Total banks across channels.
+    pub fn total_banks(&self) -> usize {
+        self.channels * self.banks_per_channel
+    }
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of cores (= security domains in rate mode).
+    pub cores: usize,
+    /// Retirement width for non-memory instructions.
+    pub commit_width: u32,
+    /// Maximum outstanding misses per core (L1D MSHRs).
+    pub mlp: usize,
+    /// L1 data cache (48 KB, 12-way, 5 cycles).
+    pub l1d: CacheLevelConfig,
+    /// L2 cache (512 KB, 8-way, 10 cycles).
+    pub l2: CacheLevelConfig,
+    /// LLC base hit latency in cycles; the design adds its own
+    /// `extra_latency` on top.
+    pub llc_latency: u32,
+    /// Stride-prefetch degree at L1D (0 disables prefetching).
+    pub prefetch_degree: u32,
+    /// Instructions to warm up per core before measurement.
+    pub warmup_instructions: u64,
+    /// Instructions to measure per core.
+    pub measure_instructions: u64,
+    /// DRAM model parameters.
+    pub dram: DramConfig,
+}
+
+impl SystemConfig {
+    /// The paper's 8-core configuration (Table V) with a simulation length
+    /// suitable for minutes-scale runs (the paper used 200M + 200M
+    /// instructions per core on a cluster for days; steady-state cache
+    /// statistics with synthetic workloads converge far earlier).
+    pub fn eight_core_default() -> Self {
+        Self {
+            cores: 8,
+            commit_width: 4,
+            mlp: 16,
+            l1d: CacheLevelConfig { sets: 64, ways: 12, latency: 5 },
+            l2: CacheLevelConfig { sets: 1024, ways: 8, latency: 10 },
+            llc_latency: 24,
+            prefetch_degree: 4,
+            warmup_instructions: 500_000,
+            measure_instructions: 2_000_000,
+            dram: DramConfig::ddr4_default(),
+        }
+    }
+
+    /// A single-core variant (Figure 1 uses a 1-core, 2 MB-LLC system).
+    pub fn single_core_default() -> Self {
+        Self { cores: 1, ..Self::eight_core_default() }
+    }
+
+    /// Shrinks run length for unit tests.
+    pub fn with_instructions(mut self, warmup: u64, measure: u64) -> Self {
+        self.warmup_instructions = warmup;
+        self.measure_instructions = measure;
+        self
+    }
+
+    /// Baseline LLC lines for this core count (2 MB of 16-way per core).
+    pub fn baseline_llc_lines(&self) -> usize {
+        self.cores * 32 * 1024
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_geometry() {
+        let c = SystemConfig::eight_core_default();
+        assert_eq!(c.l1d.bytes(), 48 * 1024);
+        assert_eq!(c.l2.bytes(), 512 * 1024);
+        assert_eq!(c.dram.total_banks(), 32);
+        assert_eq!(c.baseline_llc_lines() * 64, 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn single_core_shrinks_only_core_count() {
+        let c = SystemConfig::single_core_default();
+        assert_eq!(c.cores, 1);
+        assert_eq!(c.baseline_llc_lines() * 64, 2 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,179 @@
+//! The DDR4-like DRAM model: open-page row buffers and per-bank busy-time
+//! bookkeeping.
+//!
+//! The model captures the two DRAM effects that matter for comparing LLC
+//! designs: **row-buffer locality** (sequential streams pay tCAS, random
+//! chases pay tRP+tRCD+tCAS) and **bank-level parallelism** (streams
+//! saturate banks, so extra LLC misses and writebacks translate into queue
+//! delay for everyone). Address mapping keeps a 4 KB page in one row:
+//! `page = line >> 6`, `channel/bank` from the low page bits, `row` above.
+
+use crate::config::DramConfig;
+use maya_core::DomainId;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    busy_until: u64,
+    open_row: u64,
+    row_valid: bool,
+}
+
+/// The DRAM subsystem shared by all cores.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    config: DramConfig,
+    banks: Vec<Bank>,
+    reads: u64,
+    writes: u64,
+    row_hits: u64,
+}
+
+impl Dram {
+    /// Builds the DRAM model.
+    pub fn new(config: DramConfig) -> Self {
+        Self {
+            banks: vec![Bank::default(); config.total_banks()],
+            config,
+            reads: 0,
+            writes: 0,
+            row_hits: 0,
+        }
+    }
+
+    /// Maps a line to `(bank index, row)`, honouring page-coloring bank
+    /// partitions when configured.
+    fn locate(&self, line: u64, domain: DomainId) -> (usize, u64) {
+        let page = line / self.config.row_lines;
+        let total = self.config.total_banks() as u64;
+        let row = page / total;
+        let bank = match self.config.bank_partition_domains {
+            None => (page % total) as usize,
+            Some(domains) => {
+                let per = (total as usize / domains).max(1);
+                let base = (domain.0 as usize % domains) * per;
+                base + (page % per as u64) as usize
+            }
+        };
+        (bank, row)
+    }
+
+    /// Services one read at time `now`; returns the latency the requester
+    /// observes and updates bank occupancy. Row hits cost tCAS and keep the
+    /// bank busy only for the data burst (column accesses pipeline); row
+    /// misses pay precharge + activate + CAS and hold the bank for the row
+    /// cycle.
+    fn service(&mut self, line: u64, domain: DomainId, now: u64) -> u64 {
+        let (bank_idx, row) = self.locate(line, domain);
+        let t = self.config.t_rp_rcd_cas;
+        let bank = &mut self.banks[bank_idx];
+        let start = now.max(bank.busy_until);
+        let (latency, occupancy) = if bank.row_valid && bank.open_row == row {
+            self.row_hits += 1;
+            (t, self.config.burst_cycles) // CAS; bursts pipeline
+        } else {
+            (3 * t, 2 * t + self.config.burst_cycles) // RP+RCD+CAS; row cycle
+        };
+        bank.open_row = row;
+        bank.row_valid = true;
+        bank.busy_until = start + occupancy;
+        (start - now) + latency + self.config.burst_cycles
+    }
+
+    /// A demand read: returns the observed latency in cycles.
+    pub fn read(&mut self, line: u64, domain: DomainId, now: u64) -> u64 {
+        self.reads += 1;
+        self.service(line, domain, now)
+    }
+
+    /// A writeback. Modern controllers buffer writes and drain them in
+    /// batches during read-idle gaps, so a write neither stalls the
+    /// requester nor steals the reads' open row; it only consumes bank
+    /// bandwidth (one burst).
+    pub fn write(&mut self, line: u64, domain: DomainId, now: u64) {
+        self.writes += 1;
+        let (bank_idx, _row) = self.locate(line, domain);
+        let bank = &mut self.banks[bank_idx];
+        let start = now.max(bank.busy_until);
+        bank.busy_until = start + self.config.burst_cycles;
+    }
+
+    /// `(reads, writes, row hits)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.reads, self.writes, self.row_hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(DramConfig::ddr4_default())
+    }
+
+    #[test]
+    fn sequential_lines_hit_the_open_row() {
+        let mut d = dram();
+        let first = d.read(0, DomainId::ANY, 0);
+        // Lines 1..63 share line 0's 4 KB page -> row hits, cheaper.
+        let second = d.read(1, DomainId::ANY, 10_000);
+        assert!(second < first, "row hit {second} must beat row miss {first}");
+        assert_eq!(d.counters().2, 1);
+    }
+
+    #[test]
+    fn random_rows_pay_full_activate() {
+        let mut d = dram();
+        let t = DramConfig::ddr4_default().t_rp_rcd_cas;
+        let lat = d.read(0, DomainId::ANY, 0);
+        assert_eq!(lat, 3 * t + DramConfig::ddr4_default().burst_cycles);
+    }
+
+    #[test]
+    fn busy_bank_queues_requests() {
+        let mut d = dram();
+        d.read(0, DomainId::ANY, 0);
+        // Same bank, immediately after: must wait for the first burst.
+        let lat = d.read(64 * 32, DomainId::ANY, 1);
+        let unqueued = d.read(64 * 32, DomainId::ANY, 1_000_000);
+        assert!(lat > unqueued, "queued {lat} vs unqueued {unqueued}");
+    }
+
+    #[test]
+    fn different_banks_proceed_in_parallel() {
+        let mut d = dram();
+        let a = d.read(0, DomainId::ANY, 0);
+        // Next page maps to the next bank: no queueing despite time 0.
+        let b = d.read(64, DomainId::ANY, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bank_partitioning_shrinks_parallelism() {
+        let cfg = DramConfig { bank_partition_domains: Some(8), ..DramConfig::ddr4_default() };
+        let mut d = Dram::new(cfg);
+        // Domain 0 owns 4 banks: pages 0..4 occupy them all, page 4 queues
+        // behind page 0.
+        let mut latencies = vec![];
+        for page in 0..5u64 {
+            latencies.push(d.read(page * 64, DomainId(0), 0));
+        }
+        assert!(
+            latencies[4] > latencies[0],
+            "5th page must queue in a 4-bank partition: {latencies:?}"
+        );
+        // Unpartitioned DRAM has 32 banks: no queueing for 5 pages.
+        let mut free = dram();
+        let l: Vec<u64> = (0..5u64).map(|p| free.read(p * 64, DomainId(0), 0)).collect();
+        assert!(l.iter().all(|&x| x == l[0]));
+    }
+
+    #[test]
+    fn writes_occupy_banks_without_blocking_requester() {
+        let mut d = dram();
+        d.write(0, DomainId::ANY, 0);
+        let lat = d.read(64 * 32, DomainId::ANY, 0); // same bank as line 0
+        let free = dram().read(64 * 32, DomainId::ANY, 0);
+        assert!(lat > free, "reads must queue behind writebacks");
+    }
+}

@@ -1,0 +1,56 @@
+//! `champsim-lite`: a trace-driven multi-core cache-hierarchy timing
+//! simulator, standing in for ChampSim in the Maya reproduction.
+//!
+//! # Model
+//!
+//! The simulator reproduces the parts of the paper's Table V system that
+//! determine *relative* LLC-design performance:
+//!
+//! * **Cores** — a ROB/MSHR-limited memory-level-parallelism model: up to
+//!   [`SystemConfig::mlp`] loads outstanding, value-dependent loads
+//!   (pointer chases) serialized, four-wide retirement of non-memory
+//!   instructions. This captures the two regimes that differentiate cache
+//!   designs: bandwidth-bound streaming (misses overlap) and latency-bound
+//!   chasing (misses serialize, so the randomized designs' 4-cycle lookup
+//!   adder is visible).
+//! * **Hierarchy** — per-core L1D (48 KB/12-way) and L2 (512 KB/8-way, LRU)
+//!   with dirty-writeback propagation, a shared pluggable LLC (any
+//!   `maya_core::CacheModel`), non-inclusive fill, and an IPCP-inspired
+//!   per-PC stride prefetcher at L1D that fills into L2.
+//! * **DRAM** — DDR4-like: 2 channels × 16 banks, 4 KB open-page row
+//!   buffers, bank busy-time bookkeeping (so streaming saturates banks and
+//!   row misses cost tRP+tRCD+tCAS).
+//!
+//! What is deliberately left out (and why it is safe): instruction fetch and
+//! TLBs (identical across LLC designs), full OOO scheduling (the MLP window
+//! bounds what matters), and cache coherence traffic (the paper's workloads
+//! are rate-mode: no sharing).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use champsim_lite::{System, SystemConfig};
+//! use maya_core::{MayaCache, MayaConfig};
+//! use workloads::mixes::homogeneous;
+//!
+//! let cfg = SystemConfig::eight_core_default();
+//! let llc = Box::new(MayaCache::new(MayaConfig::default_12mb(1)));
+//! let mut sys = System::new(cfg, llc, &homogeneous("mcf", 8), 42);
+//! let result = sys.run();
+//! println!("core 0 IPC = {:.3}", result.cores[0].ipc());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod dram;
+mod prefetch;
+mod stats;
+mod system;
+
+pub use config::{CacheLevelConfig, DramConfig, SystemConfig};
+pub use dram::Dram;
+pub use prefetch::StridePrefetcher;
+pub use stats::{weighted_speedup, CoreResult, RunResult};
+pub use system::System;

@@ -1,0 +1,139 @@
+//! Run results and the weighted-speedup metric.
+
+use maya_core::CacheStats;
+
+/// Per-core measurement of one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoreResult {
+    /// Instructions retired in the measurement region.
+    pub instructions: u64,
+    /// Cycles elapsed in the measurement region.
+    pub cycles: u64,
+    /// Demand LLC accesses (loads and RFOs; prefetches excluded).
+    pub llc_demand_accesses: u64,
+    /// Demand LLC misses (for Maya this includes tag-only hits, which the
+    /// requester observes as misses).
+    pub llc_demand_misses: u64,
+    /// Demand L2 misses.
+    pub l2_misses: u64,
+    /// Demands that merged with a still-in-flight prefetch (late
+    /// prefetches; counted in `llc_demand_misses` too).
+    pub late_prefetch_merges: u64,
+    /// Demand L2 hits on lines whose prefetch had already completed.
+    pub timely_prefetch_hits: u64,
+}
+
+impl CoreResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// LLC demand misses per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.llc_demand_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+/// Result of one multi-core run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-core results.
+    pub cores: Vec<CoreResult>,
+    /// LLC-internal statistics (fills, evictions, SAEs, ...).
+    pub llc: CacheStats,
+    /// DRAM `(reads, writes, row hits)`.
+    pub dram: (u64, u64, u64),
+    /// Name of the LLC design that produced this run.
+    pub llc_name: &'static str,
+}
+
+impl RunResult {
+    /// Sum of per-core IPCs (throughput).
+    pub fn ipc_sum(&self) -> f64 {
+        self.cores.iter().map(CoreResult::ipc).sum()
+    }
+
+    /// Average LLC MPKI across cores.
+    pub fn avg_mpki(&self) -> f64 {
+        if self.cores.is_empty() {
+            return 0.0;
+        }
+        self.cores.iter().map(CoreResult::mpki).sum::<f64>() / self.cores.len() as f64
+    }
+
+    /// Fraction of evicted LLC data entries that were never reused
+    /// (Figure 1's metric).
+    pub fn dead_block_fraction(&self) -> Option<f64> {
+        self.llc.dead_block_fraction()
+    }
+}
+
+/// The weighted-speedup metric (Snavely & Tullsen):
+/// `WS = Σ_i IPC_i^shared / IPC_i^alone`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or an alone-IPC is zero.
+pub fn weighted_speedup(shared: &[f64], alone: &[f64]) -> f64 {
+    assert_eq!(shared.len(), alone.len(), "core counts must match");
+    shared
+        .iter()
+        .zip(alone)
+        .map(|(&s, &a)| {
+            assert!(a > 0.0, "alone IPC must be positive");
+            s / a
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_mpki_compute() {
+        let c = CoreResult {
+            instructions: 2000,
+            cycles: 1000,
+            llc_demand_accesses: 30,
+            llc_demand_misses: 10,
+            l2_misses: 30,
+            ..CoreResult::default()
+        };
+        assert_eq!(c.ipc(), 2.0);
+        assert_eq!(c.mpki(), 5.0);
+    }
+
+    #[test]
+    fn zero_cycles_yield_zero_ipc() {
+        assert_eq!(CoreResult::default().ipc(), 0.0);
+        assert_eq!(CoreResult::default().mpki(), 0.0);
+    }
+
+    #[test]
+    fn weighted_speedup_equals_core_count_when_unaffected() {
+        let ws = weighted_speedup(&[1.0, 2.0], &[1.0, 2.0]);
+        assert_eq!(ws, 2.0);
+    }
+
+    #[test]
+    fn weighted_speedup_reflects_slowdown() {
+        let ws = weighted_speedup(&[0.5, 1.0], &[1.0, 1.0]);
+        assert_eq!(ws, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_lengths_panic() {
+        weighted_speedup(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,462 @@
+//! The multi-core system: cores with ROB/MSHR-limited memory-level
+//! parallelism, private L1D/L2, a shared pluggable LLC, and shared DRAM.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use maya_core::{
+    AccessKind, CacheModel, DomainId, Policy, Request, SetAssocCache, SetAssocConfig,
+};
+use workloads::mixes::Mix;
+use workloads::spec::SyntheticTrace;
+use workloads::TraceGenerator;
+
+use crate::config::SystemConfig;
+use crate::dram::Dram;
+use crate::prefetch::StridePrefetcher;
+use crate::stats::{CoreResult, RunResult};
+
+/// One simulated core and its private hierarchy.
+#[derive(Debug)]
+struct Core {
+    gen: SyntheticTrace,
+    domain: DomainId,
+    l1d: SetAssocCache,
+    l2: SetAssocCache,
+    prefetcher: StridePrefetcher,
+    /// Core clock in cycles.
+    t: u64,
+    /// Residual instructions not yet converted to whole cycles.
+    instr_carry: u32,
+    /// Completion times of in-flight misses (MSHR occupancy).
+    outstanding: BinaryHeap<Reverse<u64>>,
+    /// Completion time of the most recent load (dependence chain head).
+    last_load_completion: u64,
+    /// Total instructions retired (warm-up + measurement).
+    retired: u64,
+    /// Lines with an in-flight prefetch: line -> cycle the data arrives.
+    /// A demand that finds its line still in flight merges with the
+    /// prefetch (counted as an LLC demand miss, waiting the residual
+    /// latency) — this is what keeps an idealized prefetcher from
+    /// pretending streams are free.
+    inflight_prefetch: HashMap<u64, u64>,
+    measuring: bool,
+    meas_start_cycle: u64,
+    meas: CoreResult,
+}
+
+/// The simulated system (see the crate docs for the model).
+pub struct System {
+    config: SystemConfig,
+    llc: Box<dyn CacheModel>,
+    dram: Dram,
+    cores: Vec<Core>,
+    warmed: usize,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("cores", &self.cores.len())
+            .field("llc", &self.llc.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl System {
+    /// Builds a system running `mix` on the given LLC design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix's core count differs from the configuration's.
+    pub fn new(config: SystemConfig, llc: Box<dyn CacheModel>, mix: &Mix, seed: u64) -> Self {
+        assert_eq!(
+            mix.specs.len(),
+            config.cores,
+            "mix has {} cores but the system is configured for {}",
+            mix.specs.len(),
+            config.cores
+        );
+        let cores = mix
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| Core {
+                gen: spec.generator(i, seed),
+                domain: DomainId(i as u16),
+                l1d: SetAssocCache::new(SetAssocConfig {
+                    seed: seed ^ (i as u64) << 8 ^ 0x11,
+                    ..SetAssocConfig::new(config.l1d.sets, config.l1d.ways, Policy::Lru)
+                }),
+                l2: SetAssocCache::new(SetAssocConfig {
+                    seed: seed ^ (i as u64) << 8 ^ 0x22,
+                    ..SetAssocConfig::new(config.l2.sets, config.l2.ways, Policy::Lru)
+                }),
+                prefetcher: StridePrefetcher::new(config.prefetch_degree),
+                t: 0,
+                instr_carry: 0,
+                outstanding: BinaryHeap::new(),
+                last_load_completion: 0,
+                retired: 0,
+                inflight_prefetch: HashMap::new(),
+                measuring: false,
+                meas_start_cycle: 0,
+                meas: CoreResult::default(),
+            })
+            .collect();
+        Self {
+            dram: Dram::new(config.dram),
+            llc,
+            cores,
+            warmed: 0,
+            config,
+        }
+    }
+
+    /// Immutable access to the LLC (e.g. to inspect design-specific state).
+    pub fn llc(&self) -> &dyn CacheModel {
+        self.llc.as_ref()
+    }
+
+    /// Runs warm-up plus measurement and returns the results.
+    pub fn run(&mut self) -> RunResult {
+        let target = self.config.warmup_instructions + self.config.measure_instructions;
+        loop {
+            // Advance the core that is furthest behind in time, so cores
+            // interleave at the shared LLC and DRAM realistically.
+            let next = (0..self.cores.len())
+                .filter(|&i| self.cores[i].retired < target)
+                .min_by_key(|&i| self.cores[i].t);
+            match next {
+                Some(i) => self.step(i),
+                None => break,
+            }
+        }
+        let cores = self
+            .cores
+            .iter()
+            .map(|c| {
+                let drain = c.outstanding.iter().map(|r| r.0).max().unwrap_or(c.t);
+                let mut m = c.meas.clone();
+                m.cycles = drain.max(c.t).saturating_sub(c.meas_start_cycle);
+                m
+            })
+            .collect();
+        RunResult {
+            cores,
+            llc: self.llc.stats().clone(),
+            dram: self.dram.counters(),
+            llc_name: self.llc.name(),
+        }
+    }
+
+    /// Executes one trace record (gap instructions plus one memory access)
+    /// on core `i`.
+    fn step(&mut self, i: usize) {
+        let access = self.cores[i].gen.next_access();
+        let line = access.addr >> 6;
+        {
+            let core = &mut self.cores[i];
+            // Retire the gap instructions at commit width.
+            let total = core.instr_carry + access.gap;
+            core.t += u64::from(total / self.config.commit_width);
+            core.instr_carry = total % self.config.commit_width;
+            core.retired += u64::from(access.gap) + 1;
+            if core.measuring {
+                core.meas.instructions += u64::from(access.gap) + 1;
+            }
+        }
+        if access.is_write {
+            self.store(i, line, access.pc);
+        } else {
+            self.load(i, line, access.pc, access.dependent);
+        }
+        // Warm-up boundary: start measuring this core; when the last core
+        // warms up, zero the shared-LLC statistics so Figure-1-style
+        // eviction accounting covers only the measurement region.
+        if !self.cores[i].measuring && self.cores[i].retired >= self.config.warmup_instructions {
+            let core = &mut self.cores[i];
+            core.measuring = true;
+            core.meas_start_cycle = core.t;
+            self.warmed += 1;
+            if self.warmed == self.cores.len() {
+                self.llc.reset_stats();
+            }
+        }
+    }
+
+    fn load(&mut self, i: usize, line: u64, pc: u64, dependent: bool) {
+        if dependent {
+            let core = &mut self.cores[i];
+            core.t = core.t.max(core.last_load_completion);
+        }
+        let prefetches = self.cores[i].prefetcher.observe(pc, line);
+        let r1 = self.cores[i].l1d.access(Request::read(line, DomainId::ANY));
+        let l1_lat = u64::from(self.config.l1d.latency);
+        let latency = if r1.is_data_hit() {
+            l1_lat
+        } else {
+            let l1_victims: Vec<u64> = r1.writebacks.iter().collect();
+            for v in l1_victims {
+                self.l2_writeback(i, v);
+            }
+            l1_lat + self.walk_below_l1(i, line, true)
+        };
+        let core = &mut self.cores[i];
+        if latency > l1_lat {
+            // A real miss occupies an MSHR; stall when the window is full.
+            if core.outstanding.len() >= self.config.mlp {
+                if let Some(Reverse(free_at)) = core.outstanding.pop() {
+                    core.t = core.t.max(free_at);
+                }
+            }
+            let completion = core.t + latency;
+            core.outstanding.push(Reverse(completion));
+            core.last_load_completion = completion;
+        } else {
+            core.last_load_completion = core.t + latency;
+        }
+        // Retire completed misses from the window.
+        let now = core.t;
+        while matches!(core.outstanding.peek(), Some(&Reverse(c)) if c <= now) {
+            core.outstanding.pop();
+        }
+        for p in prefetches {
+            self.prefetch_fill(i, p);
+        }
+    }
+
+    /// Write-allocate store: dirties L1D; a miss issues an RFO that behaves
+    /// like a load for the hierarchy and the MSHR window, but the store
+    /// itself never stalls retirement (write-buffer semantics).
+    fn store(&mut self, i: usize, line: u64, pc: u64) {
+        // The L1D prefetcher trains on all demand accesses, stores
+        // included — write-heavy streams would otherwise break stride
+        // detection.
+        let prefetches = self.cores[i].prefetcher.observe(pc, line);
+        let r1 = self.cores[i].l1d.access(Request::writeback(line, DomainId::ANY));
+        if !r1.is_data_hit() {
+            let l1_victims: Vec<u64> = r1.writebacks.iter().collect();
+            for v in l1_victims {
+                self.l2_writeback(i, v);
+            }
+            let latency = self.walk_below_l1(i, line, true);
+            let core = &mut self.cores[i];
+            if core.outstanding.len() >= self.config.mlp {
+                if let Some(Reverse(free_at)) = core.outstanding.pop() {
+                    core.t = core.t.max(free_at);
+                }
+            }
+            core.outstanding.push(Reverse(core.t + latency));
+        }
+        for p in prefetches {
+            self.prefetch_fill(i, p);
+        }
+    }
+
+    /// L2 → LLC → DRAM walk for a request that missed L1. Returns the
+    /// latency beyond the L1 access. `demand` distinguishes demand traffic
+    /// (counted in MPKI, waits on in-flight prefetches) from prefetches
+    /// (inserted at distant priority, never counted).
+    fn walk_below_l1(&mut self, i: usize, line: u64, demand: bool) -> u64 {
+        let kind = if demand { AccessKind::Read } else { AccessKind::Prefetch };
+        // The L2 treats prefetch fills as ordinary fills (normal insertion
+        // priority); prefetch-awareness matters at the shared LLC.
+        let r2 = self.cores[i].l2.access(Request::read(line, DomainId::ANY));
+        let l2_lat = u64::from(self.config.l2.latency);
+        if r2.is_data_hit() {
+            if !demand {
+                return l2_lat;
+            }
+            // Timeliness: a line prefetched but not yet arrived makes this
+            // demand a *late-prefetch* miss — it merges with the prefetch
+            // and waits out the residual latency.
+            let now = self.cores[i].t;
+            if let Some(ready_at) = self.cores[i].inflight_prefetch.remove(&line) {
+                if ready_at > now {
+                    self.cores[i].prefetcher.note_late();
+                    if self.cores[i].measuring {
+                        self.cores[i].meas.l2_misses += 1;
+                        self.cores[i].meas.llc_demand_accesses += 1;
+                        self.cores[i].meas.llc_demand_misses += 1;
+                        self.cores[i].meas.late_prefetch_merges += 1;
+                    }
+                    return (ready_at - now).max(l2_lat);
+                }
+                self.cores[i].prefetcher.note_timely();
+                if self.cores[i].measuring {
+                    self.cores[i].meas.timely_prefetch_hits += 1;
+                }
+            }
+            return l2_lat;
+        }
+        self.cores[i].inflight_prefetch.remove(&line);
+        let l2_victims: Vec<u64> = r2.writebacks.iter().collect();
+        for v in l2_victims {
+            self.llc_writeback(i, v);
+        }
+        if demand && self.cores[i].measuring {
+            self.cores[i].meas.l2_misses += 1;
+            self.cores[i].meas.llc_demand_accesses += 1;
+        }
+        let domain = self.cores[i].domain;
+        let llc_lat = u64::from(self.config.llc_latency) + u64::from(self.llc.extra_latency());
+        let r3 = self.llc.access(Request { line, kind, domain });
+        let now = self.cores[i].t + l2_lat + llc_lat;
+        for wb in r3.writebacks.iter() {
+            self.dram.write(wb, domain, now);
+        }
+        if r3.is_data_hit() {
+            return l2_lat + llc_lat;
+        }
+        if demand && self.cores[i].measuring {
+            self.cores[i].meas.llc_demand_misses += 1;
+        }
+        l2_lat + llc_lat + self.dram.read(line, domain, now)
+    }
+
+    /// A dirty L2 victim written back to the LLC; its own victims go to
+    /// DRAM.
+    fn llc_writeback(&mut self, i: usize, line: u64) {
+        let domain = self.cores[i].domain;
+        let r = self.llc.access(Request::writeback(line, domain));
+        let now = self.cores[i].t;
+        for wb in r.writebacks.iter() {
+            self.dram.write(wb, domain, now);
+        }
+    }
+
+    /// A dirty L1 victim written back into L2 (allocating); L2 victims
+    /// cascade to the LLC.
+    fn l2_writeback(&mut self, i: usize, line: u64) {
+        let r = self.cores[i].l2.access(Request::writeback(line, DomainId::ANY));
+        let victims: Vec<u64> = r.writebacks.iter().collect();
+        for v in victims {
+            self.llc_writeback(i, v);
+        }
+    }
+
+    /// A prefetch fill into L2: exercises the LLC and DRAM (occupying
+    /// banks), records the line's arrival time for the timeliness check,
+    /// and is excluded from demand MPKI. Lines already in L2 or already in
+    /// flight are not refetched.
+    fn prefetch_fill(&mut self, i: usize, line: u64) {
+        if self.cores[i].l2.probe(line, DomainId::ANY)
+            || self.cores[i].inflight_prefetch.contains_key(&line)
+        {
+            return;
+        }
+        let latency = self.walk_below_l1(i, line, false);
+        let core = &mut self.cores[i];
+        core.inflight_prefetch.insert(line, core.t + latency);
+        // Bound the table: drop entries whose data already arrived.
+        if core.inflight_prefetch.len() > 32 * 1024 {
+            let now = core.t;
+            core.inflight_prefetch.retain(|_, &mut ready| ready > now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_core::{MayaCache, MayaConfig, MirageCache, MirageConfig};
+    use workloads::mixes::homogeneous;
+
+    fn small_cfg(cores: usize) -> SystemConfig {
+        SystemConfig {
+            cores,
+            ..SystemConfig::eight_core_default().with_instructions(20_000, 50_000)
+        }
+    }
+
+    fn baseline_llc(lines: usize) -> Box<dyn CacheModel> {
+        Box::new(SetAssocCache::new(SetAssocConfig::new(lines / 16, 16, Policy::Srrip)))
+    }
+
+    #[test]
+    fn single_core_run_produces_sane_ipc() {
+        let cfg = small_cfg(1);
+        let mut sys = System::new(cfg, baseline_llc(32 * 1024), &homogeneous("mcf", 1), 1);
+        let r = sys.run();
+        let ipc = r.cores[0].ipc();
+        assert!(ipc > 0.01 && ipc < 4.0, "IPC {ipc} out of range");
+        assert!(r.cores[0].mpki() > 1.0, "mcf must be memory-intensive");
+    }
+
+    #[test]
+    fn llc_fitting_workload_barely_misses() {
+        // Needs a long enough run for the (small) working set to warm up.
+        let cfg = SystemConfig {
+            cores: 1,
+            ..SystemConfig::eight_core_default().with_instructions(300_000, 300_000)
+        };
+        let mut sys = System::new(cfg, baseline_llc(32 * 1024), &homogeneous("leela", 1), 1);
+        let r = sys.run();
+        assert!(r.cores[0].mpki() < 3.0, "leela MPKI {} should be tiny", r.cores[0].mpki());
+    }
+
+    #[test]
+    fn streaming_workload_has_high_dead_block_fraction() {
+        // The 32K-line LLC must fill and start evicting before dead-block
+        // accounting says anything.
+        let cfg = SystemConfig {
+            cores: 1,
+            ..SystemConfig::eight_core_default().with_instructions(100_000, 600_000)
+        };
+        let mut sys = System::new(cfg, baseline_llc(32 * 1024), &homogeneous("lbm", 1), 1);
+        let r = sys.run();
+        let dead = r.dead_block_fraction().expect("lbm must evict");
+        assert!(dead > 0.9, "lbm dead fraction {dead} must be ~1");
+    }
+
+    #[test]
+    fn maya_llc_plugs_in_and_runs() {
+        let cfg = small_cfg(2);
+        let llc = Box::new(MayaCache::new(MayaConfig::for_baseline_lines(64 * 1024, 3)));
+        let mut sys = System::new(cfg, llc, &homogeneous("mcf", 2), 1);
+        let r = sys.run();
+        assert_eq!(r.llc_name, "maya");
+        assert_eq!(r.llc.saes, 0, "no SAE expected in a short run");
+        assert!(r.cores.iter().all(|c| c.ipc() > 0.0));
+    }
+
+    #[test]
+    fn mirage_llc_plugs_in_and_runs() {
+        let cfg = small_cfg(2);
+        let llc = Box::new(MirageCache::new(MirageConfig::for_data_entries(64 * 1024, 3)));
+        let mut sys = System::new(cfg, llc, &homogeneous("bwaves", 2), 1);
+        let r = sys.run();
+        assert_eq!(r.llc_name, "mirage");
+        assert!(r.cores.iter().all(|c| c.ipc() > 0.0));
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_results_exactly() {
+        let run = || {
+            let cfg = small_cfg(1);
+            let mut sys = System::new(cfg, baseline_llc(32 * 1024), &homogeneous("xz", 1), 9);
+            sys.run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.cores[0], b.cores[0]);
+        assert_eq!(a.dram, b.dram);
+    }
+
+    #[test]
+    #[should_panic(expected = "configured for")]
+    fn core_count_mismatch_panics() {
+        let cfg = small_cfg(4);
+        System::new(cfg, baseline_llc(1024), &homogeneous("mcf", 2), 1);
+    }
+
+    #[test]
+    fn pointer_chase_is_slower_than_cached_working_set() {
+        let cfg = small_cfg(1);
+        let mut chase = System::new(cfg.clone(), baseline_llc(32 * 1024), &homogeneous("mcf", 1), 1);
+        let mut hits = System::new(cfg, baseline_llc(32 * 1024), &homogeneous("leela", 1), 1);
+        let slow = chase.run().cores[0].ipc();
+        let fast = hits.run().cores[0].ipc();
+        assert!(fast > 2.0 * slow, "cache-resident {fast} vs chase {slow}");
+    }
+}

@@ -1,0 +1,59 @@
+//! `tracegen`: writes a synthetic benchmark trace to a binary file.
+//!
+//! ```text
+//! tracegen <benchmark> <count> <output.trc> [--core N] [--seed S] [--list]
+//! ```
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use workloads::spec::{benchmark, ALL_NAMES, FITTING_NAMES};
+use workloads::trace_file::write_trace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("available benchmarks:");
+        for n in ALL_NAMES.iter().chain(FITTING_NAMES.iter()) {
+            println!("  {n}");
+        }
+        return;
+    }
+    if args.len() < 3 {
+        eprintln!("usage: tracegen <benchmark> <count> <output.trc> [--core N] [--seed S]");
+        eprintln!("       tracegen --list");
+        exit(2);
+    }
+    let name = &args[0];
+    let count: u64 = args[1].parse().unwrap_or_else(|_| die("count must be an integer"));
+    let path = PathBuf::from(&args[2]);
+    let mut core = 0usize;
+    let mut seed = 42u64;
+    let mut i = 3;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--core" => {
+                i += 1;
+                core = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| die("--core"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| die("--seed"));
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    let spec = benchmark(name)
+        .unwrap_or_else(|| die(&format!("unknown benchmark {name}; see --list")));
+    let mut gen = spec.generator(core, seed);
+    if let Err(e) = write_trace(&path, &mut gen, count) {
+        die(&format!("writing {}: {e}", path.display()));
+    }
+    eprintln!("wrote {count} records of {name} (core {core}, seed {seed}) to {}", path.display());
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(2);
+}

@@ -1,0 +1,244 @@
+//! The archetypal access-pattern components that benchmark presets compose.
+//!
+//! Each component owns a disjoint address region and produces line-granular
+//! accesses within it. Four archetypes cover the behaviours that matter at
+//! the LLC:
+//!
+//! * [`Component::Stream`] — a monotone scan over an effectively unbounded
+//!   region: pure compulsory misses, 100% dead blocks (the `lbm` regime).
+//! * [`Component::WorkingSet`] — Zipf- or uniform-distributed references to
+//!   a fixed set of lines: temporal reuse whose hit level depends on how the
+//!   set size compares to L2 and LLC capacities.
+//! * [`Component::PointerChase`] — a pseudo-random dependent walk over a
+//!   region (the `mcf`/graph regime): reuse exists but at distances that
+//!   defeat small caches.
+//! * [`Component::Scan`] — a repeated sequential pass over a fixed region:
+//!   reuse at a distance equal to the region size (hits iff the cache holds
+//!   the whole region; the `streaming-with-fit` regime).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Line size in bytes.
+pub const LINE: u64 = 64;
+
+/// One access-pattern archetype. All sizes are in cache lines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Component {
+    /// Monotone streaming scan with the given stride (in lines) over a
+    /// region that wraps only after `region_lines`.
+    Stream {
+        /// Region size in lines; make it large enough never to wrap during
+        /// a run (no reuse).
+        region_lines: u64,
+        /// Stride between consecutive accesses, in lines.
+        stride_lines: u64,
+    },
+    /// Temporal reuse over a fixed set of lines.
+    WorkingSet {
+        /// Working-set size in lines.
+        lines: u64,
+        /// Zipf skew `s` (0.0 = uniform). Higher values concentrate
+        /// references on a few hot lines.
+        zipf: f64,
+    },
+    /// Pseudo-random dependent walk over a region.
+    PointerChase {
+        /// Region size in lines.
+        lines: u64,
+    },
+    /// Repeated sequential scan over a fixed region.
+    Scan {
+        /// Region size in lines.
+        lines: u64,
+    },
+    /// A phased working set: uniform reuse over a region that shifts to a
+    /// fresh region every `epoch_accesses` accesses. Within an epoch lines
+    /// are reused heavily; at the phase change the old region ages out of
+    /// the cache *after* having been reused — the low-dead-block regime of
+    /// `cactuBSSN`/`cam4` in Figure 1.
+    Phased {
+        /// Lines per epoch region.
+        lines: u64,
+        /// Accesses before the region shifts.
+        epoch_accesses: u64,
+    },
+}
+
+/// Runtime state for one component instance.
+#[derive(Debug, Clone)]
+pub(crate) struct ComponentState {
+    component: Component,
+    /// Base byte address of this component's region.
+    base: u64,
+    /// Stream/scan cursor or chase position (in lines).
+    cursor: u64,
+    /// Zipf inverse-CDF table (line index per quantile bucket), lazily
+    /// built for skewed working sets.
+    zipf_table: Vec<u32>,
+    rng: SmallRng,
+    pc_base: u64,
+}
+
+/// Number of quantile buckets used to approximate a Zipf distribution.
+const ZIPF_BUCKETS: usize = 4096;
+
+impl ComponentState {
+    pub(crate) fn new(component: Component, base: u64, seed: u64, pc_base: u64) -> Self {
+        let zipf_table = match component {
+            Component::WorkingSet { lines, zipf } if zipf > 0.0 => {
+                build_zipf_table(lines, zipf)
+            }
+            _ => Vec::new(),
+        };
+        Self {
+            component,
+            base,
+            cursor: 0,
+            zipf_table,
+            rng: SmallRng::seed_from_u64(seed),
+            pc_base,
+        }
+    }
+
+    /// Next `(byte address, pc, dependent)` triple for this component.
+    /// Pointer-chase accesses are value-dependent on the previous load.
+    pub(crate) fn next(&mut self) -> (u64, u64, bool) {
+        match self.component {
+            Component::Stream { region_lines, stride_lines } => {
+                self.cursor = (self.cursor + stride_lines) % region_lines;
+                (self.base + self.cursor * LINE, self.pc_base, false)
+            }
+            Component::WorkingSet { lines, zipf } => {
+                let line = if zipf > 0.0 {
+                    u64::from(self.zipf_table[self.rng.gen_range(0..self.zipf_table.len())])
+                } else {
+                    self.rng.gen_range(0..lines)
+                };
+                (self.base + line * LINE, self.pc_base + 8, false)
+            }
+            Component::PointerChase { lines } => {
+                // A multiplicative-hash walk: deterministic, full-period-ish,
+                // and unpredictable to a stride prefetcher — like chasing
+                // pointers through a large arena.
+                self.cursor = self
+                    .cursor
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(self.rng.gen_range(1..lines))
+                    % lines;
+                (self.base + self.cursor * LINE, self.pc_base + 16, true)
+            }
+            Component::Scan { lines } => {
+                self.cursor = (self.cursor + 1) % lines;
+                (self.base + self.cursor * LINE, self.pc_base + 24, false)
+            }
+            Component::Phased { lines, epoch_accesses } => {
+                self.cursor += 1;
+                // Cycle through 64 disjoint epoch regions.
+                let region = (self.cursor / epoch_accesses) % 64;
+                let line = region * lines + self.rng.gen_range(0..lines);
+                (self.base + line * LINE, self.pc_base + 32, false)
+            }
+        }
+    }
+}
+
+/// Builds the inverse-CDF quantile table for a Zipf(`s`) distribution over
+/// `lines` ranks. Sampling a uniform bucket then indexing this table gives
+/// approximately Zipf-distributed lines in O(1).
+fn build_zipf_table(lines: u64, s: f64) -> Vec<u32> {
+    let n = lines.min(1 << 22) as usize; // cap table inputs for memory safety
+    let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut table = Vec::with_capacity(ZIPF_BUCKETS);
+    let mut acc = 0.0;
+    let mut k = 0usize;
+    for b in 0..ZIPF_BUCKETS {
+        let target = (b as f64 + 0.5) / ZIPF_BUCKETS as f64 * total;
+        while acc + weights[k] < target && k + 1 < n {
+            acc += weights[k];
+            k += 1;
+        }
+        table.push(k as u32);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(c: Component) -> ComponentState {
+        ComponentState::new(c, 0, 99, 0x400000)
+    }
+
+    #[test]
+    fn stream_advances_by_stride_and_never_reuses_early() {
+        let mut s = state(Component::Stream { region_lines: 1 << 30, stride_lines: 1 });
+        let mut last = 0;
+        for _ in 0..10_000 {
+            let (addr, _, _) = s.next();
+            assert!(addr > last, "stream must be monotone before wrap");
+            last = addr;
+        }
+    }
+
+    #[test]
+    fn working_set_stays_in_bounds() {
+        let lines = 128;
+        let mut s = state(Component::WorkingSet { lines, zipf: 0.0 });
+        for _ in 0..10_000 {
+            let (addr, _, _) = s.next();
+            assert!(addr / LINE < lines);
+        }
+    }
+
+    #[test]
+    fn zipf_concentrates_mass_on_low_ranks() {
+        let lines = 1024;
+        let mut s = state(Component::WorkingSet { lines, zipf: 1.2 });
+        let mut head = 0u64;
+        let total = 20_000;
+        for _ in 0..total {
+            let (addr, _, _) = s.next();
+            if addr / LINE < 32 {
+                head += 1;
+            }
+        }
+        // Under uniform sampling the head would get ~3%; Zipf(1.2) gives it
+        // the majority.
+        assert!(head > total / 2, "Zipf head mass too small: {head}/{total}");
+    }
+
+    #[test]
+    fn pointer_chase_covers_its_region() {
+        let lines = 256;
+        let mut seen = vec![false; lines as usize];
+        let mut s = state(Component::PointerChase { lines });
+        for _ in 0..20_000 {
+            let (addr, _, _) = s.next();
+            seen[(addr / LINE) as usize] = true;
+        }
+        let covered = seen.iter().filter(|&&b| b).count();
+        assert!(covered > 200, "chase must cover most of the region: {covered}/256");
+    }
+
+    #[test]
+    fn scan_revisits_with_period_equal_to_region() {
+        let lines = 64;
+        let mut s = state(Component::Scan { lines });
+        let (first, _, _) = s.next();
+        for _ in 1..lines {
+            s.next();
+        }
+        let (wrapped, _, _) = s.next();
+        assert_eq!(first, wrapped, "scan must wrap exactly at the region size");
+    }
+
+    #[test]
+    fn components_use_distinct_pcs() {
+        let mut a = state(Component::Stream { region_lines: 1024, stride_lines: 1 });
+        let mut b = state(Component::Scan { lines: 1024 });
+        assert_ne!(a.next().1, b.next().1, "distinct components need distinct PCs");
+    }
+}

@@ -1,0 +1,126 @@
+//! Multi-core workload mixes: homogeneous rate mixes (Figure 9) and the 21
+//! heterogeneous mixes of Table VI (Figure 10).
+
+use crate::spec::{benchmark, BenchmarkSpec};
+
+/// MPKI bin of a heterogeneous mix (Table VI's last column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MpkiBin {
+    /// Low-MPKI mixes (M1–M7).
+    Low,
+    /// Medium-MPKI mixes (M8–M14).
+    Medium,
+    /// High-MPKI mixes (M15–M21).
+    High,
+}
+
+impl std::fmt::Display for MpkiBin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MpkiBin::Low => "LOW",
+            MpkiBin::Medium => "MEDIUM",
+            MpkiBin::High => "HIGH",
+        })
+    }
+}
+
+/// A named multi-core mix: one benchmark preset per core.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    /// Mix name (`mcf-rate`, `M7`, ...).
+    pub name: String,
+    /// Per-core benchmark specs; `specs.len()` is the core count.
+    pub specs: Vec<BenchmarkSpec>,
+    /// MPKI bin for heterogeneous mixes, `None` for homogeneous ones.
+    pub bin: Option<MpkiBin>,
+}
+
+/// Builds a homogeneous rate mix: `cores` copies of one benchmark.
+///
+/// # Panics
+///
+/// Panics if the benchmark name is unknown.
+pub fn homogeneous(name: &str, cores: usize) -> Mix {
+    let spec = benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    Mix {
+        name: format!("{name}-rate"),
+        specs: vec![spec; cores],
+        bin: None,
+    }
+}
+
+/// The 21 heterogeneous 8-core mixes of Table VI, in order M1..M21.
+pub fn hetero_mixes() -> Vec<Mix> {
+    fn m(name: &str, bin: MpkiBin, comp: &[(&str, usize)]) -> Mix {
+        let mut specs = Vec::with_capacity(8);
+        for &(b, n) in comp {
+            let s = benchmark(b).unwrap_or_else(|| panic!("unknown benchmark {b}"));
+            specs.extend(std::iter::repeat(s).take(n));
+        }
+        assert_eq!(specs.len(), 8, "mix {name} must have 8 cores");
+        Mix { name: name.to_string(), specs, bin: Some(bin) }
+    }
+    use MpkiBin::{High, Low, Medium};
+    vec![
+        m("M1", Low, &[("cactuBSSN", 2), ("wrf", 1), ("xalancbmk", 1), ("pop2", 1), ("roms", 1), ("xz", 1), ("sssp", 1)]),
+        m("M2", Low, &[("bwaves", 1), ("mcf", 1), ("cactuBSSN", 1), ("wrf", 1), ("xalancbmk", 1), ("xz", 1), ("bfs", 1), ("sssp", 1)]),
+        m("M3", Low, &[("mcf", 1), ("cactuBSSN", 1), ("omnetpp", 1), ("xalancbmk", 1), ("roms", 1), ("bfs", 1), ("cc", 1), ("sssp", 1)]),
+        m("M4", Low, &[("perlbench", 1), ("bwaves", 1), ("mcf", 3), ("cam4", 1), ("xz", 1), ("bc", 1)]),
+        m("M5", Low, &[("perlbench", 1), ("mcf", 2), ("cactuBSSN", 1), ("roms", 1), ("xz", 1), ("bc", 1), ("pr", 1)]),
+        m("M6", Low, &[("gcc", 1), ("mcf", 2), ("cactuBSSN", 1), ("lbm", 2), ("fotonik3d", 1), ("roms", 1)]),
+        m("M7", Low, &[("bwaves", 1), ("mcf", 1), ("cactuBSSN", 1), ("pop2", 1), ("xz", 1), ("bc", 2), ("sssp", 1)]),
+        m("M8", Medium, &[("gcc", 2), ("bwaves", 1), ("x264", 1), ("bc", 1), ("cc", 1), ("pr", 1), ("sssp", 1)]),
+        m("M9", Medium, &[("gcc", 1), ("cactuBSSN", 1), ("lbm", 1), ("xalancbmk", 1), ("x264", 1), ("cam4", 1), ("pr", 1), ("sssp", 1)]),
+        m("M10", Medium, &[("mcf", 3), ("lbm", 1), ("wrf", 1), ("fotonik3d", 2), ("sssp", 1)]),
+        m("M11", Medium, &[("mcf", 3), ("lbm", 1), ("omnetpp", 1), ("pop2", 1), ("roms", 1), ("cc", 1)]),
+        m("M12", Medium, &[("mcf", 2), ("cactuBSSN", 1), ("fotonik3d", 1), ("roms", 2), ("cc", 1), ("pr", 1)]),
+        m("M13", Medium, &[("bwaves", 1), ("mcf", 1), ("xalancbmk", 1), ("fotonik3d", 1), ("roms", 2), ("bc", 1), ("sssp", 1)]),
+        m("M14", Medium, &[("mcf", 1), ("lbm", 1), ("xalancbmk", 1), ("roms", 1), ("bc", 1), ("cc", 1), ("sssp", 2)]),
+        m("M15", High, &[("bwaves", 1), ("cactuBSSN", 1), ("lbm", 1), ("roms", 2), ("bfs", 1), ("pr", 1), ("sssp", 1)]),
+        m("M16", High, &[("mcf", 3), ("cactuBSSN", 1), ("lbm", 1), ("bfs", 2), ("cc", 1)]),
+        m("M17", High, &[("mcf", 1), ("cactuBSSN", 1), ("wrf", 1), ("xalancbmk", 1), ("x264", 1), ("bc", 1), ("pr", 2)]),
+        m("M18", High, &[("omnetpp", 1), ("wrf", 1), ("fotonik3d", 1), ("roms", 1), ("bc", 2), ("cc", 1), ("sssp", 1)]),
+        m("M19", High, &[("bwaves", 1), ("mcf", 2), ("cactuBSSN", 1), ("xalancbmk", 1), ("bfs", 1), ("pr", 1), ("sssp", 1)]),
+        m("M20", High, &[("perlbench", 1), ("mcf", 2), ("omnetpp", 1), ("fotonik3d", 1), ("pr", 1), ("sssp", 2)]),
+        m("M21", High, &[("gcc", 1), ("bwaves", 1), ("mcf", 2), ("lbm", 1), ("bc", 1), ("pr", 2)]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_21_hetero_mixes_of_8_cores_each() {
+        let mixes = hetero_mixes();
+        assert_eq!(mixes.len(), 21);
+        for (i, m) in mixes.iter().enumerate() {
+            assert_eq!(m.name, format!("M{}", i + 1));
+            assert_eq!(m.specs.len(), 8);
+        }
+    }
+
+    #[test]
+    fn bins_split_seven_seven_seven() {
+        let mixes = hetero_mixes();
+        let count = |b| mixes.iter().filter(|m| m.bin == Some(b)).count();
+        assert_eq!(count(MpkiBin::Low), 7);
+        assert_eq!(count(MpkiBin::Medium), 7);
+        assert_eq!(count(MpkiBin::High), 7);
+    }
+
+    #[test]
+    fn homogeneous_replicates_one_spec() {
+        let m = homogeneous("lbm", 8);
+        assert_eq!(m.specs.len(), 8);
+        assert!(m.specs.iter().all(|s| s.name == "lbm"));
+        assert_eq!(m.bin, None);
+        assert_eq!(m.name, "lbm-rate");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_homogeneous_name_panics() {
+        homogeneous("nope", 8);
+    }
+}

@@ -1,0 +1,470 @@
+//! The benchmark catalog: per-benchmark presets approximating the LLC
+//! behaviour of the SPEC CPU2017 and GAP workloads the paper evaluates.
+//!
+//! Each preset composes weighted [`Component`]s. The parameters place every
+//! benchmark in its qualitative regime relative to the simulated hierarchy
+//! (512 KB L2 = 8K lines, 2 MB LLC/core = 32K lines):
+//!
+//! * `lbm` — write-heavy pure stream, near-zero LLC hit rate (the paper's
+//!   worst case for Mirage's latency adder).
+//! * `mcf` — huge pointer chase plus a medium reused set: high MPKI, high
+//!   dead-block fraction, big win from interference reduction.
+//! * `cactuBSSN`, `cam4` — working sets that largely fit the LLC: *low*
+//!   dead-block fraction, the workloads where Maya's smaller data store
+//!   costs performance.
+//! * GAP kernels (`bfs`, `cc`, `pr`, `sssp`, `bc`) — irregular chases over
+//!   multi-megabyte graphs with small hot hub sets.
+//!
+//! Presets are approximations tuned against the experiment harness, not
+//! fitted to the original traces (which require a 35 GB download).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::components::{Component, ComponentState};
+use crate::{Access, TraceGenerator};
+
+/// Which suite a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU2017 memory-intensive subset (LLC MPKI > 1).
+    Spec,
+    /// GAP graph-processing benchmarks.
+    Gap,
+    /// SPEC CPU2017 LLC-fitting benchmarks (MPKI < 0.5).
+    SpecFitting,
+}
+
+/// A benchmark preset: weighted components plus traffic parameters.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (matches the paper's figures).
+    pub name: &'static str,
+    /// Suite membership.
+    pub suite: Suite,
+    /// `(weight, component)` mixture.
+    pub parts: Vec<(f64, Component)>,
+    /// Fraction of memory accesses that are stores.
+    pub write_fraction: f64,
+    /// Memory operations per instruction (sets the gap between accesses).
+    pub mem_ratio: f64,
+}
+
+impl BenchmarkSpec {
+    /// Instantiates a deterministic trace generator for one core.
+    ///
+    /// Each core gets a disjoint 1 TB address region (`core << 40`), so
+    /// homogeneous mixes model rate-mode runs (no sharing).
+    pub fn generator(&self, core: usize, seed: u64) -> SyntheticTrace {
+        let mut mix = 0x9e3779b97f4a7c15u64
+            .wrapping_mul(seed ^ (core as u64) << 32 ^ hash_name(self.name));
+        mix ^= mix >> 29;
+        let core_base = (core as u64) << 40;
+        let states = self
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, c))| {
+                let base = core_base + ((i as u64 + 1) << 32);
+                let pc_base = 0x40_0000 + ((i as u64) << 12) + hash_name(self.name) % 4096 * 64;
+                ComponentState::new(c, base, mix.wrapping_add(i as u64), pc_base)
+            })
+            .collect();
+        let total: f64 = self.parts.iter().map(|&(w, _)| w).sum();
+        let cdf = self
+            .parts
+            .iter()
+            .scan(0.0, |acc, &(w, _)| {
+                *acc += w / total;
+                Some(*acc)
+            })
+            .collect();
+        let mean_gap = (1.0 / self.mem_ratio - 1.0).max(0.0);
+        SyntheticTrace {
+            name: self.name,
+            states,
+            cdf,
+            write_fraction: self.write_fraction,
+            mean_gap,
+            rng: SmallRng::seed_from_u64(mix ^ 0x7ace),
+        }
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100000001b3))
+}
+
+/// A running trace generator (see [`BenchmarkSpec::generator`]).
+#[derive(Debug, Clone)]
+pub struct SyntheticTrace {
+    name: &'static str,
+    states: Vec<ComponentState>,
+    cdf: Vec<f64>,
+    write_fraction: f64,
+    mean_gap: f64,
+    rng: SmallRng,
+}
+
+impl TraceGenerator for SyntheticTrace {
+    fn next_access(&mut self) -> Access {
+        let u: f64 = self.rng.gen();
+        let idx = self.cdf.iter().position(|&c| u <= c).unwrap_or(self.cdf.len() - 1);
+        let (addr, pc, dependent) = self.states[idx].next();
+        // Gap jitter of ±1 keeps cores from lock-stepping; rounding (not
+        // truncation) preserves the configured memory intensity in
+        // expectation.
+        let gap = (self.mean_gap + self.rng.gen_range(-1.0..1.0)).max(0.0).round() as u32;
+        Access { addr, is_write: self.rng.gen_bool(self.write_fraction), pc, gap, dependent }
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// Looks up a benchmark preset by name.
+pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
+    use Component::{Phased, PointerChase, Scan, Stream, WorkingSet};
+    const HUGE: u64 = 1 << 30; // streams never wrap within a run
+    let spec = |suite, parts: Vec<(f64, Component)>, wf, mr| BenchmarkSpec {
+        name: canonical_name(name),
+        suite,
+        parts,
+        write_fraction: wf,
+        mem_ratio: mr,
+    };
+    let s = match name {
+        // --- SPEC CPU2017, memory-intensive ---
+        "mcf" => spec(
+            Suite::Spec,
+            vec![
+                (0.50, PointerChase { lines: 1_500_000 }),
+                (0.32, WorkingSet { lines: 24_000, zipf: 0.9 }),
+                (0.18, Stream { region_lines: HUGE, stride_lines: 1 }),
+            ],
+            0.18,
+            0.36,
+        ),
+        // lbm streams through two grids (read A, write B) with almost zero
+        // LLC load hit rate — the paper's worst case for the randomized
+        // designs' extra lookup latency.
+        "lbm" => spec(
+            Suite::Spec,
+            vec![
+                (0.55, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (0.45, Stream { region_lines: HUGE, stride_lines: 1 }),
+            ],
+            0.45,
+            0.38,
+        ),
+        "omnetpp" => spec(
+            Suite::Spec,
+            vec![
+                (0.40, PointerChase { lines: 512_000 }),
+                (0.40, WorkingSet { lines: 30_000, zipf: 0.8 }),
+                (0.20, Stream { region_lines: HUGE, stride_lines: 1 }),
+            ],
+            0.25,
+            0.33,
+        ),
+        "xalancbmk" => spec(
+            Suite::Spec,
+            vec![
+                (0.50, WorkingSet { lines: 48_000, zipf: 1.0 }),
+                (0.30, PointerChase { lines: 256_000 }),
+                (0.20, Stream { region_lines: HUGE, stride_lines: 1 }),
+            ],
+            0.15,
+            0.34,
+        ),
+        "bwaves" => spec(
+            Suite::Spec,
+            vec![
+                (0.60, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (0.30, Scan { lines: 40_000 }),
+                (0.10, WorkingSet { lines: 6_000, zipf: 0.5 }),
+            ],
+            0.25,
+            0.37,
+        ),
+        "cactuBSSN" => spec(
+            Suite::Spec,
+            vec![
+                (0.70, Phased { lines: 18_000, epoch_accesses: 120_000 }),
+                (0.22, Scan { lines: 10_000 }),
+                (0.08, Stream { region_lines: HUGE, stride_lines: 2 }),
+            ],
+            0.30,
+            0.33,
+        ),
+        "cam4" => spec(
+            Suite::Spec,
+            vec![
+                (0.72, Phased { lines: 20_000, epoch_accesses: 150_000 }),
+                (0.18, Scan { lines: 8_000 }),
+                (0.10, Stream { region_lines: HUGE, stride_lines: 1 }),
+            ],
+            0.28,
+            0.31,
+        ),
+        "wrf" => spec(
+            Suite::Spec,
+            vec![
+                (0.42, Scan { lines: 22_000 }),
+                (0.30, WorkingSet { lines: 14_000, zipf: 0.6 }),
+                (0.28, Stream { region_lines: HUGE, stride_lines: 1 }),
+            ],
+            0.30,
+            0.34,
+        ),
+        "fotonik3d" => spec(
+            Suite::Spec,
+            vec![
+                (0.48, Scan { lines: 20_000 }),
+                (0.37, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (0.15, WorkingSet { lines: 8_000, zipf: 0.4 }),
+            ],
+            0.32,
+            0.36,
+        ),
+        "roms" => spec(
+            Suite::Spec,
+            vec![
+                (0.50, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (0.30, Scan { lines: 24_000 }),
+                (0.20, WorkingSet { lines: 8_000, zipf: 0.4 }),
+            ],
+            0.33,
+            0.35,
+        ),
+        "pop2" => spec(
+            Suite::Spec,
+            vec![
+                (0.40, WorkingSet { lines: 20_000, zipf: 0.6 }),
+                (0.38, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (0.22, PointerChase { lines: 64_000 }),
+            ],
+            0.28,
+            0.32,
+        ),
+        "gcc" => spec(
+            Suite::Spec,
+            vec![
+                (0.58, WorkingSet { lines: 12_000, zipf: 1.1 }),
+                (0.25, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (0.17, PointerChase { lines: 20_000 }),
+            ],
+            0.22,
+            0.30,
+        ),
+        "perlbench" => spec(
+            Suite::Spec,
+            vec![
+                (0.70, WorkingSet { lines: 9_000, zipf: 1.2 }),
+                (0.15, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (0.15, PointerChase { lines: 20_000 }),
+            ],
+            0.25,
+            0.30,
+        ),
+        "x264" => spec(
+            Suite::Spec,
+            vec![
+                (0.42, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (0.43, WorkingSet { lines: 10_000, zipf: 0.7 }),
+                (0.15, Scan { lines: 8_000 }),
+            ],
+            0.30,
+            0.31,
+        ),
+        "xz" => spec(
+            Suite::Spec,
+            vec![
+                (0.42, PointerChase { lines: 128_000 }),
+                (0.38, WorkingSet { lines: 16_000, zipf: 0.8 }),
+                (0.20, Stream { region_lines: HUGE, stride_lines: 1 }),
+            ],
+            0.28,
+            0.33,
+        ),
+        // --- GAP graph kernels ---
+        "bfs" => spec(
+            Suite::Gap,
+            vec![
+                (0.58, PointerChase { lines: 1_000_000 }),
+                (0.27, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (0.15, WorkingSet { lines: 16_000, zipf: 1.3 }),
+            ],
+            0.15,
+            0.38,
+        ),
+        "cc" => spec(
+            Suite::Gap,
+            vec![
+                (0.68, PointerChase { lines: 1_000_000 }),
+                (0.22, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (0.10, WorkingSet { lines: 8_000, zipf: 1.1 }),
+            ],
+            0.18,
+            0.38,
+        ),
+        "pr" => spec(
+            Suite::Gap,
+            vec![
+                (0.42, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (0.36, PointerChase { lines: 768_000 }),
+                (0.22, WorkingSet { lines: 32_000, zipf: 1.1 }),
+            ],
+            0.22,
+            0.40,
+        ),
+        "sssp" => spec(
+            Suite::Gap,
+            vec![
+                (0.62, PointerChase { lines: 1_000_000 }),
+                (0.18, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (0.20, WorkingSet { lines: 16_000, zipf: 1.0 }),
+            ],
+            0.20,
+            0.39,
+        ),
+        "bc" => spec(
+            Suite::Gap,
+            vec![
+                (0.58, PointerChase { lines: 768_000 }),
+                (0.26, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (0.16, WorkingSet { lines: 16_000, zipf: 1.0 }),
+            ],
+            0.20,
+            0.38,
+        ),
+        // --- SPEC CPU2017, LLC-fitting (MPKI < 0.5) ---
+        "leela" => spec(
+            Suite::SpecFitting,
+            vec![
+                (0.90, WorkingSet { lines: 4_000, zipf: 0.8 }),
+                (0.10, Stream { region_lines: HUGE, stride_lines: 1 }),
+            ],
+            0.20,
+            0.28,
+        ),
+        "deepsjeng" => spec(
+            Suite::SpecFitting,
+            vec![
+                (0.88, WorkingSet { lines: 6_000, zipf: 0.7 }),
+                (0.12, Stream { region_lines: HUGE, stride_lines: 1 }),
+            ],
+            0.22,
+            0.28,
+        ),
+        "exchange2" => spec(
+            Suite::SpecFitting,
+            vec![(1.0, WorkingSet { lines: 2_000, zipf: 0.6 })],
+            0.25,
+            0.26,
+        ),
+        _ => return None,
+    };
+    Some(s)
+}
+
+fn canonical_name(name: &str) -> &'static str {
+    ALL_NAMES
+        .iter()
+        .chain(FITTING_NAMES.iter())
+        .find(|&&n| n == name)
+        .copied()
+        .expect("canonical_name only called for known benchmarks")
+}
+
+/// The 15 SPEC + 5 GAP memory-intensive benchmarks of Figures 1 and 9.
+pub const ALL_NAMES: [&str; 20] = [
+    "perlbench", "gcc", "bwaves", "mcf", "cactuBSSN", "lbm", "omnetpp", "wrf", "xalancbmk",
+    "x264", "fotonik3d", "roms", "pop2", "cam4", "xz", // SPEC
+    "bfs", "cc", "pr", "sssp", "bc", // GAP
+];
+
+/// SPEC-suite subset of [`ALL_NAMES`].
+pub const SPEC_NAMES: [&str; 15] = [
+    "perlbench", "gcc", "bwaves", "mcf", "cactuBSSN", "lbm", "omnetpp", "wrf", "xalancbmk",
+    "x264", "fotonik3d", "roms", "pop2", "cam4", "xz",
+];
+
+/// GAP-suite subset of [`ALL_NAMES`].
+pub const GAP_NAMES: [&str; 5] = ["bfs", "cc", "pr", "sssp", "bc"];
+
+/// LLC-fitting benchmarks used for the "Performance of LLC fitting
+/// benchmarks" study.
+pub const FITTING_NAMES: [&str; 3] = ["leela", "deepsjeng", "exchange2"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalog_name_resolves() {
+        for n in ALL_NAMES.iter().chain(FITTING_NAMES.iter()) {
+            let s = benchmark(n).unwrap_or_else(|| panic!("missing preset for {n}"));
+            assert_eq!(s.name, *n);
+            assert!(!s.parts.is_empty());
+            let w: f64 = s.parts.iter().map(|p| p.0).sum();
+            assert!(w > 0.0);
+            assert!(s.write_fraction >= 0.0 && s.write_fraction < 1.0);
+            assert!(s.mem_ratio > 0.0 && s.mem_ratio < 1.0);
+        }
+    }
+
+    #[test]
+    fn unknown_names_return_none() {
+        assert!(benchmark("notabench").is_none());
+    }
+
+    #[test]
+    fn lbm_is_stream_dominated() {
+        let s = benchmark("lbm").unwrap();
+        let stream_w: f64 = s
+            .parts
+            .iter()
+            .filter(|(_, c)| matches!(c, Component::Stream { .. }))
+            .map(|p| p.0)
+            .sum();
+        assert!(stream_w > 0.8);
+        assert!(s.write_fraction > 0.4, "lbm is write-heavy");
+    }
+
+    #[test]
+    fn suites_partition_correctly() {
+        for n in SPEC_NAMES {
+            assert_eq!(benchmark(n).unwrap().suite, Suite::Spec);
+        }
+        for n in GAP_NAMES {
+            assert_eq!(benchmark(n).unwrap().suite, Suite::Gap);
+        }
+        for n in FITTING_NAMES {
+            assert_eq!(benchmark(n).unwrap().suite, Suite::SpecFitting);
+        }
+    }
+
+    #[test]
+    fn generator_respects_write_fraction_roughly() {
+        let mut g = benchmark("lbm").unwrap().generator(0, 1);
+        let writes = (0..20_000).filter(|_| g.next_access().is_write).count();
+        let frac = writes as f64 / 20_000.0;
+        assert!((frac - 0.45).abs() < 0.03, "write fraction {frac}");
+    }
+
+    #[test]
+    fn generator_gap_tracks_mem_ratio() {
+        let spec = benchmark("mcf").unwrap();
+        let mut g = spec.generator(0, 1);
+        let n = 20_000;
+        let total_instr: u64 = (0..n).map(|_| u64::from(g.next_access().gap) + 1).sum();
+        let measured_ratio = n as f64 / total_instr as f64;
+        assert!(
+            (measured_ratio - spec.mem_ratio).abs() < 0.08,
+            "mem ratio {measured_ratio} vs {}",
+            spec.mem_ratio
+        );
+    }
+}

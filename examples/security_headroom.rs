@@ -1,0 +1,57 @@
+//! Security headroom explorer: how the SAE rate responds to the tag-store
+//! geometry, using both the analytic Birth–Death model and a live
+//! Monte-Carlo cross-check.
+//!
+//! ```text
+//! cargo run --release --example security_headroom [reuse_ways] [invalid_ways]
+//! ```
+//!
+//! Defaults reproduce the paper's design point (3 reuse + 6 invalid
+//! ways/skew -> one SAE in ~10^16 years).
+
+use maya_repro::security_model::analytic::{format_installs, installs_to_years, AnalyticModel};
+use maya_repro::security_model::balls::BallsSim;
+use maya_repro::security_model::config::BallsConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let reuse: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let invalid: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+    let base = 6usize;
+    let capacity = base + reuse + invalid;
+
+    println!(
+        "geometry: {base} base + {reuse} reuse + {invalid} invalid ways/skew \
+         (capacity {capacity})\n"
+    );
+
+    let model = AnalyticModel::new(reuse as f64, base as f64);
+    println!("analytic occupancy distribution (Birth-Death chain):");
+    let dist = model.distribution(capacity + 1);
+    for (n, p) in dist.iter().enumerate() {
+        let bar = "#".repeat((p * 120.0).round() as usize);
+        println!("  n={n:<2} Pr={p:.3e} {bar}");
+    }
+
+    let installs = model.installs_per_sae(capacity);
+    println!("\nset-associative eviction expected every {}", format_installs(installs));
+    let years = installs_to_years(installs);
+    let verdict = if years > 100.0 { "beyond system lifetime: SECURE" } else { "within reach of an attacker: NOT SECURE" };
+    println!("at one fill per nanosecond that is {years:.1e} years — {verdict}");
+
+    // Cross-check the head of the distribution with a short Monte-Carlo run.
+    println!("\nMonte-Carlo cross-check (2M iterations, 1K buckets/skew):");
+    let mut sim = BallsSim::new(BallsConfig {
+        buckets_per_skew: 1024,
+        avg_p0_per_bucket: reuse,
+        avg_p1_per_bucket: base,
+        bucket_capacity: capacity,
+        ..BallsConfig::paper_default(capacity)
+    });
+    let out = sim.run(2_000_000);
+    println!("  spills observed: {}", out.spills);
+    for n in (capacity.saturating_sub(4))..=capacity {
+        let e = out.occupancy.get(n).copied().unwrap_or(0.0);
+        println!("  n={n:<2} experimental {e:.3e} vs analytic {:.3e}", dist[n]);
+    }
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure into experiments_output.txt.
+#
+# The default scale below is sized for a single-core machine; raise --scale
+# for higher-fidelity runs (the paper-facing shapes are stable across
+# scales — see EXPERIMENTS.md). Experiments are ordered so the most
+# important results land first if the run is interrupted.
+set -uo pipefail
+
+OUT=${1:-experiments_output.txt}
+BIN=./target/release/experiments
+SCALE=${SCALE:-0.08}
+
+: > "$OUT"
+run() {
+  echo "== running: $* ==" >&2
+  "$BIN" "$@" >> "$OUT" 2>> "$OUT.log"
+  echo >> "$OUT"
+}
+
+# Fast, deterministic results first.
+run tab8 tab9 tab1 tab4
+run demo-flush demo-eviction demo-randomized
+run ablate-skew ablate-threshold --scale "$SCALE"
+run fig7 --scale "$SCALE"
+# Headline performance sweeps.
+run fig9 --scale "$SCALE"
+run fig1 --scale "$SCALE"
+run fig10 --scale "$SCALE"
+run fig4 --scale "$SCALE"
+# Security Monte-Carlo and the attack experiment.
+run fig6 --scale "$SCALE"
+run fig8 --scale "$SCALE"
+# Secondary tables and studies.
+run tab11 --scale "$SCALE"
+run tab7 --scale "$SCALE"
+run llcfit --scale "$SCALE"
+run ablate-reuse --scale "$SCALE"
+run sens-llc --scale "$SCALE"
+run sens-cores --scale "$SCALE"
+run tab10 --scale "$SCALE"
+echo "all experiments written to $OUT" >&2

@@ -1,0 +1,26 @@
+//! Maya cache reproduction — workspace root.
+//!
+//! This crate re-exports the workspace's public surface so the runnable
+//! examples under `examples/` and the cross-crate integration tests under
+//! `tests/` have one import root. The substance lives in the member crates:
+//!
+//! * [`maya_core`] — the Maya cache and every comparison design.
+//! * [`prince_cipher`] — the PRINCE cipher and index randomization.
+//! * [`security_model`] — bucket-and-balls and analytic SAE-rate models.
+//! * [`workloads`] — synthetic SPEC/GAP-like trace generators.
+//! * [`champsim_lite`] — the multi-core timing simulator.
+//! * [`attacks`] — eviction, occupancy, and flush attack framework.
+//! * [`power_model`] — the P-CACTI-substitute area/power model.
+//!
+//! See README.md for the quickstart and DESIGN.md for the experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use attacks;
+pub use champsim_lite;
+pub use maya_core;
+pub use power_model;
+pub use prince_cipher;
+pub use security_model;
+pub use workloads;

@@ -1,0 +1,188 @@
+//! Conformance suite: every `CacheModel` implementation must satisfy the
+//! same behavioural contract. Each check runs against the baseline (three
+//! replacement policies), the partitioned variants, Mirage, Maya, and the
+//! fully-associative reference.
+
+use maya_repro::maya_core::{
+    partitioned, AccessEvent, CacheModel, DomainId, FullyAssocCache, MayaCache, MayaConfig,
+    MirageCache, MirageConfig, Policy, Request, SetAssocCache, SetAssocConfig,
+};
+
+/// Builds one instance of every design, all with ≥ 512 lines of capacity.
+fn all_models() -> Vec<Box<dyn CacheModel>> {
+    vec![
+        Box::new(SetAssocCache::new(SetAssocConfig::new(64, 16, Policy::Lru))),
+        Box::new(SetAssocCache::new(SetAssocConfig::new(64, 16, Policy::Srrip))),
+        Box::new(SetAssocCache::new(SetAssocConfig::new(64, 16, Policy::Drrip))),
+        Box::new(SetAssocCache::new(SetAssocConfig::new(64, 16, Policy::Random))),
+        Box::new(partitioned::dawg(64, 16, 8, Policy::Lru)),
+        Box::new(partitioned::page_coloring(64, 16, 8, Policy::Srrip)),
+        Box::new(MirageCache::new(MirageConfig::for_data_entries(1024, 9))),
+        Box::new(MayaCache::new(MayaConfig::with_sets(64, 9))),
+        Box::new(FullyAssocCache::new(1024, 9)),
+    ]
+}
+
+/// Two touches of the same line must make it observable (`probe`) and a
+/// third access must be a data hit, in every design.
+#[test]
+fn two_touches_cache_a_line_everywhere() {
+    for mut c in all_models() {
+        let d = DomainId(1);
+        c.access(Request::read(42, d));
+        c.access(Request::read(42, d));
+        assert!(c.probe(42, d), "{}: line not resident after two touches", c.name());
+        assert_eq!(
+            c.access(Request::read(42, d)).event,
+            AccessEvent::DataHit,
+            "{}: third touch must hit",
+            c.name()
+        );
+    }
+}
+
+/// `probe` must never mutate state: two probes bracketing nothing must
+/// agree, and stats must not move.
+#[test]
+fn probe_is_side_effect_free() {
+    for mut c in all_models() {
+        let d = DomainId(1);
+        c.access(Request::read(7, d));
+        c.access(Request::read(7, d));
+        let stats_before = c.stats().clone();
+        let a = c.probe(7, d);
+        let b = c.probe(7, d);
+        assert_eq!(a, b, "{}", c.name());
+        assert_eq!(&stats_before, c.stats(), "{}: probe mutated stats", c.name());
+    }
+}
+
+/// Flushing a resident line removes it; flushing again reports absence.
+#[test]
+fn flush_semantics_are_uniform() {
+    for mut c in all_models() {
+        let d = DomainId(1);
+        c.access(Request::read(9, d));
+        c.access(Request::read(9, d));
+        assert!(c.flush_line(9, d), "{}", c.name());
+        assert!(!c.probe(9, d), "{}", c.name());
+        assert!(!c.flush_line(9, d), "{}", c.name());
+    }
+}
+
+/// `flush_all` leaves a completely cold cache.
+#[test]
+fn flush_all_empties_every_design() {
+    for mut c in all_models() {
+        let d = DomainId(1);
+        for line in 0..256u64 {
+            c.access(Request::read(line, d));
+            c.access(Request::read(line, d));
+        }
+        c.flush_all();
+        for line in 0..256u64 {
+            assert!(!c.probe(line, d), "{}: line {line} survived flush_all", c.name());
+        }
+    }
+}
+
+/// Accounting identity: reads + writebacks_in equals hit + miss +
+/// (tag-only hits) classifications.
+#[test]
+fn stats_classification_is_exhaustive() {
+    for mut c in all_models() {
+        let d = DomainId(1);
+        for i in 0..2000u64 {
+            let line = i % 700;
+            if i % 5 == 0 {
+                c.access(Request::writeback(line, d));
+            } else {
+                c.access(Request::read(line, d));
+            }
+        }
+        let s = c.stats();
+        assert_eq!(
+            s.accesses(),
+            s.data_hits + s.tag_only_hits + s.tag_misses,
+            "{}: accesses must partition into hit/tag-only/miss",
+            c.name()
+        );
+    }
+}
+
+/// Stats reset touches statistics only — cache contents survive.
+#[test]
+fn reset_stats_preserves_contents() {
+    for mut c in all_models() {
+        let d = DomainId(1);
+        c.access(Request::read(3, d));
+        c.access(Request::read(3, d));
+        c.reset_stats();
+        assert_eq!(c.stats().accesses(), 0, "{}", c.name());
+        assert!(c.probe(3, d), "{}: reset_stats evicted a line", c.name());
+    }
+}
+
+/// Capacity is honoured: after a huge distinct-line storm with double
+/// touches, resident lines never exceed `capacity_lines`.
+#[test]
+fn capacity_is_never_exceeded() {
+    for mut c in all_models() {
+        let d = DomainId(1);
+        let cap = c.capacity_lines() as u64;
+        for line in 0..4 * cap {
+            c.access(Request::read(line, d));
+            c.access(Request::read(line, d));
+        }
+        let resident = (0..4 * cap).filter(|&l| c.probe(l, d)).count();
+        assert!(
+            resident <= c.capacity_lines(),
+            "{}: {resident} resident > capacity {}",
+            c.name(),
+            c.capacity_lines()
+        );
+    }
+}
+
+/// Writeback conservation under eviction pressure: every line that was
+/// dirtied either leaves through a reported writeback or is still resident
+/// dirty (observable by flushing it and counting `writebacks_out`).
+#[test]
+fn dirty_data_is_conserved() {
+    for mut c in all_models() {
+        let d = DomainId(1);
+        let n = 3 * c.capacity_lines() as u64;
+        let mut reported = 0u64;
+        for line in 0..n {
+            reported += c.access(Request::writeback(line, d)).writebacks.len() as u64;
+        }
+        let evicted_dirty = c.stats().writebacks_out;
+        assert_eq!(
+            reported, evicted_dirty,
+            "{}: Response writebacks and stats must agree",
+            c.name()
+        );
+        // Flush the remainder: afterwards total writebacks equal the number
+        // of distinct dirtied lines.
+        for line in 0..n {
+            c.flush_line(line, d);
+        }
+        assert_eq!(
+            c.stats().writebacks_out,
+            n,
+            "{}: every dirty line must be written back exactly once",
+            c.name()
+        );
+    }
+}
+
+/// The designs report their advertised lookup-latency adders.
+#[test]
+fn extra_latency_matches_design_class() {
+    for c in all_models() {
+        match c.name() {
+            "maya" | "mirage" => assert_eq!(c.extra_latency(), 4, "{}", c.name()),
+            _ => assert_eq!(c.extra_latency(), 0, "{}", c.name()),
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-crate integration tests: the full stack (workloads → simulator →
+//! cache models) reproduces the paper's qualitative claims end to end.
+
+use maya_repro::champsim_lite::{System, SystemConfig};
+use maya_repro::maya_core::{
+    CacheModel, MayaCache, MayaConfig, MirageCache, MirageConfig, Policy, SetAssocCache,
+    SetAssocConfig,
+};
+use maya_repro::workloads::mixes::homogeneous;
+
+fn cfg(cores: usize) -> SystemConfig {
+    SystemConfig { cores, ..SystemConfig::eight_core_default().with_instructions(150_000, 450_000) }
+}
+
+fn baseline(lines: usize) -> Box<dyn CacheModel> {
+    Box::new(SetAssocCache::new(SetAssocConfig::new(lines / 16, 16, Policy::Drrip)))
+}
+
+fn maya(lines: usize) -> Box<dyn CacheModel> {
+    Box::new(MayaCache::new(MayaConfig::for_baseline_lines(lines, 7)))
+}
+
+fn mirage(lines: usize) -> Box<dyn CacheModel> {
+    Box::new(MirageCache::new(MirageConfig::for_data_entries(lines, 7)))
+}
+
+/// The headline security claim, end to end: across every design point we
+/// simulate, the secure designs record zero set-associative evictions.
+#[test]
+fn no_saes_across_full_simulations() {
+    for name in ["mcf", "lbm", "bfs"] {
+        let mix = homogeneous(name, 2);
+        let lines = 2 * 32 * 1024;
+        for llc in [maya(lines), mirage(lines)] {
+            let design = llc.name();
+            let r = System::new(cfg(2), llc, &mix, 1).run();
+            assert_eq!(r.llc.saes, 0, "{design} recorded an SAE under {name}");
+        }
+    }
+}
+
+/// Figure 1's claim: streaming workloads leave the overwhelming majority of
+/// LLC data-store fills dead, on both the baseline and Mirage.
+#[test]
+fn streaming_dead_blocks_dominate() {
+    let mix = homogeneous("lbm", 1);
+    let lines = 32 * 1024;
+    for llc in [baseline(lines), mirage(lines)] {
+        let design = llc.name();
+        let r = System::new(cfg(1), llc, &mix, 1).run();
+        let dead = r.dead_block_fraction().unwrap_or(0.0);
+        assert!(dead > 0.9, "{design}: lbm dead fraction {dead}");
+    }
+}
+
+/// Maya's core mechanism at system scale: under a streaming workload the
+/// data store holds almost nothing, because streams never earn promotion.
+#[test]
+fn maya_data_store_filters_streams() {
+    let mix = homogeneous("lbm", 1);
+    let lines = 32 * 1024;
+    let llc = Box::new(MayaCache::new(MayaConfig::for_baseline_lines(lines, 7)));
+    let mut sys = System::new(cfg(1), llc, &mix, 1);
+    let r = sys.run();
+    // lbm writes ~45% of its stream: writebacks do install priority-1
+    // entries, but the demand-read stream must not.
+    let maya_fills = r.llc.data_fills;
+    let mix_b = homogeneous("lbm", 1);
+    let rb = System::new(cfg(1), baseline(lines), &mix_b, 1).run();
+    assert!(
+        maya_fills < rb.llc.data_fills / 2,
+        "Maya must fill far less data than the baseline: {maya_fills} vs {}",
+        rb.llc.data_fills
+    );
+}
+
+/// Weighted-speedup plumbing: Maya lands within a few percent of the
+/// baseline on a reuse-friendly workload, despite its smaller data store
+/// and extra lookup latency.
+#[test]
+fn maya_tracks_baseline_on_reuse_friendly_workload() {
+    let mix = homogeneous("xalancbmk", 2);
+    let lines = 2 * 32 * 1024;
+    let rb = System::new(cfg(2), baseline(lines), &mix, 1).run();
+    let rm = System::new(cfg(2), maya(lines), &mix, 1).run();
+    let ratio = rm.ipc_sum() / rb.ipc_sum();
+    assert!(
+        (0.85..=1.25).contains(&ratio),
+        "Maya/baseline IPC ratio {ratio} out of plausible band"
+    );
+}
+
+/// The MPKI bookkeeping matches between the simulator's demand counters
+/// and the cache's own statistics.
+#[test]
+fn simulator_and_cache_counters_agree() {
+    let mix = homogeneous("mcf", 1);
+    let lines = 32 * 1024;
+    let llc = baseline(lines);
+    let mut sys = System::new(cfg(1), llc, &mix, 1);
+    let r = sys.run();
+    let demand_total: u64 = r.cores.iter().map(|c| c.llc_demand_accesses).sum();
+    // The cache sees demand reads plus prefetch reads plus writebacks, so
+    // its read counter must dominate the simulator's demand counter.
+    assert!(r.llc.reads >= demand_total);
+    assert!(r.cores[0].llc_demand_misses <= r.cores[0].llc_demand_accesses);
+    assert!(r.cores[0].l2_misses >= r.cores[0].llc_demand_accesses);
+}
+
+/// Determinism across the whole stack: same seed, same everything.
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let mix = homogeneous("omnetpp", 2);
+        let lines = 2 * 32 * 1024;
+        System::new(cfg(2), maya(lines), &mix, 99).run()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.cores[0], b.cores[0]);
+    assert_eq!(a.cores[1], b.cores[1]);
+    assert_eq!(a.llc, b.llc);
+}
