@@ -78,7 +78,9 @@ pub fn build_eviction_set(
     seed: u64,
 ) -> Option<Vec<u64>> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut pool: Vec<u64> = (0..pool_size).map(|_| rng.gen_range(1 << 20..1 << 28)).collect();
+    let mut pool: Vec<u64> = (0..pool_size)
+        .map(|_| rng.gen_range(1 << 20..1 << 28))
+        .collect();
 
     let evicts = |cache: &mut dyn CacheModel, set: &[u64]| -> bool {
         cache.flush_all();

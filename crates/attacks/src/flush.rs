@@ -56,7 +56,10 @@ mod tests {
     #[test]
     fn baseline_without_domains_leaks() {
         let mut c = SetAssocCache::new(SetAssocConfig::new(1024, 16, Policy::Lru));
-        assert!(flush_reload_leaks(&mut c), "a shared non-isolated cache must leak");
+        assert!(
+            flush_reload_leaks(&mut c),
+            "a shared non-isolated cache must leak"
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl<'a> OccupancyAttack<'a> {
     /// For reuse-filtered designs (Maya) the prime loop touches every line
     /// twice so the attacker's data actually occupies the data store.
     pub fn new(cache: &'a mut dyn CacheModel, attacker_lines: u64) -> Self {
-        let mut a = Self { cache, attacker_lines };
+        let mut a = Self {
+            cache,
+            attacker_lines,
+        };
         for _ in 0..2 {
             a.walk_own_lines();
         }
@@ -168,7 +171,10 @@ mod tests {
         let mut attack = OccupancyAttack::new(&mut cache, 256);
         let mut v = AesVictim::new([1; 16], 1 << 30);
         let s = attack.sample(&mut v);
-        assert!(s > 0, "a 64-line victim must displace something from a full cache");
+        assert!(
+            s > 0,
+            "a 64-line victim must displace something from a full cache"
+        );
     }
 
     #[test]
@@ -178,7 +184,10 @@ mod tests {
         let mut light = ModExpVictim::new(0xf, 1 << 30);
         let mut heavy = ModExpVictim::new(u64::MAX, 1 << 30);
         let r = encryptions_to_distinguish(&mut attack, &mut light, &mut heavy, 4.0, 10_000);
-        assert!(r.encryptions < 1_000, "hamming-weight leak should be fast: {r:?}");
+        assert!(
+            r.encryptions < 1_000,
+            "hamming-weight leak should be fast: {r:?}"
+        );
         assert!(r.mean_a < r.mean_b, "heavier exponent must displace more");
     }
 

@@ -131,7 +131,9 @@ fn expand_key(key: [u8; 16]) -> [[u32; 4]; 11] {
     for i in 0..4 {
         w[i] = u32::from_be_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
     }
-    let rcon = [0x01u32, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+    let rcon = [
+        0x01u32, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36,
+    ];
     for i in 4..44 {
         let mut t = w[i - 1];
         if i % 4 == 0 {
@@ -287,9 +289,8 @@ mod tests {
     #[test]
     fn t0_satisfies_mixcolumns_identity() {
         // For every x: bytes of T0[x] are (2s, s, s, 3s).
-        for x in 0..256 {
+        for (x, &s) in SBOX.iter().enumerate() {
             let [a, b, c, d] = t0(x).to_be_bytes();
-            let s = SBOX[x];
             assert_eq!(b, s);
             assert_eq!(c, s);
             assert_eq!(a, xtime(s));

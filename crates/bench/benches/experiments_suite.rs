@@ -8,7 +8,12 @@ use maya_bench::Scale;
 use workloads::mixes::homogeneous;
 
 fn bench_experiment_unit(c: &mut Criterion) {
-    let scale = Scale { warmup: 20_000, measure: 50_000, mc_iterations: 0, attack_trials: 0 };
+    let scale = Scale {
+        warmup: 20_000,
+        measure: 50_000,
+        mc_iterations: 0,
+        attack_trials: 0,
+    };
     let mix = homogeneous("mcf", 2);
     let mut g = c.benchmark_group("simulator_run_2core_70k_instr");
     g.sample_size(10);

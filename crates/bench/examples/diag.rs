@@ -4,7 +4,12 @@ use maya_bench::Scale;
 use workloads::mixes::homogeneous;
 
 fn main() {
-    let scale = Scale { warmup: 300_000, measure: 900_000, mc_iterations: 0, attack_trials: 0 };
+    let scale = Scale {
+        warmup: 300_000,
+        measure: 900_000,
+        mc_iterations: 0,
+        attack_trials: 0,
+    };
     for name in ["lbm", "bwaves"] {
         let mix = homogeneous(name, 8);
         for d in [Design::Baseline, Design::Mirage, Design::Maya] {

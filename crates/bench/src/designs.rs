@@ -1,8 +1,9 @@
 //! LLC design catalog: builds any evaluated design at any system scale.
 
 use maya_core::{
-    partitioned, CacheModel, FullyAssocCache, MayaCache, MayaConfig, MirageCache, MirageConfig,
-    Policy, SetAssocCache, SetAssocConfig,
+    partitioned, CacheModel, CeaserCache, CeaserConfig, FullyAssocCache, MayaCache, MayaConfig,
+    MirageCache, MirageConfig, Policy, ScatterCache, ScatterConfig, SetAssocCache, SetAssocConfig,
+    ThresholdCache, ThresholdConfig,
 };
 use power_model::maya_iso_config;
 
@@ -30,9 +31,42 @@ pub enum Design {
     /// BCE flexible set-partitioning (equal 64 KB-unit allocations here;
     /// full DRAM parallelism, unlike page coloring).
     Bce,
+    /// CEASER: encrypted set indexing with periodic remapping (100k-access
+    /// epoch), single skew.
+    Ceaser,
+    /// CEASER-S: CEASER with two skews.
+    CeaserS,
+    /// ScatterCache-style skewed randomized indexing (no remapping).
+    Scatter,
+    /// The threshold-replacement strawman from the paper's discussion of
+    /// storage-efficient fully-associative designs.
+    Threshold,
 }
 
 impl Design {
+    /// Every design, one representative variant each (the Figure-4 reuse
+    /// sweep is represented by the default [`Design::Maya`]). Used by
+    /// catalog-wide tests so new designs cannot dodge coverage.
+    pub fn all() -> Vec<Design> {
+        vec![
+            Design::Baseline,
+            Design::Mirage,
+            Design::MirageLite,
+            Design::Maya,
+            Design::MayaReuseWays(1),
+            Design::MayaReuseWays(7),
+            Design::MayaIso,
+            Design::FullyAssociative,
+            Design::Dawg,
+            Design::PageColoring,
+            Design::Bce,
+            Design::Ceaser,
+            Design::CeaserS,
+            Design::Scatter,
+            Design::Threshold,
+        ]
+    }
+
     /// Experiment-facing identifier.
     pub fn id(&self) -> String {
         match self {
@@ -46,6 +80,10 @@ impl Design {
             Design::Dawg => "dawg".into(),
             Design::PageColoring => "page-coloring".into(),
             Design::Bce => "bce".into(),
+            Design::Ceaser => "ceaser".into(),
+            Design::CeaserS => "ceaser-s".into(),
+            Design::Scatter => "scatter".into(),
+            Design::Threshold => "threshold".into(),
         }
     }
 
@@ -63,16 +101,18 @@ impl Design {
                 seed,
                 ..SetAssocConfig::new(sets, 16, Policy::Drrip)
             })),
-            Design::Mirage => {
-                Box::new(MirageCache::new(MirageConfig::for_data_entries(baseline_lines, seed)))
-            }
+            Design::Mirage => Box::new(MirageCache::new(MirageConfig::for_data_entries(
+                baseline_lines,
+                seed,
+            ))),
             Design::MirageLite => Box::new(MirageCache::new(MirageConfig {
                 extra_ways_per_skew: 5,
                 ..MirageConfig::for_data_entries(baseline_lines, seed)
             })),
-            Design::Maya => {
-                Box::new(MayaCache::new(MayaConfig::for_baseline_lines(baseline_lines, seed)))
-            }
+            Design::Maya => Box::new(MayaCache::new(MayaConfig::for_baseline_lines(
+                baseline_lines,
+                seed,
+            ))),
             Design::MayaReuseWays(r) => Box::new(MayaCache::new(MayaConfig {
                 reuse_ways_per_skew: *r,
                 ..MayaConfig::for_baseline_lines(baseline_lines, seed)
@@ -90,8 +130,31 @@ impl Design {
             Design::Bce => {
                 // Equal allocations sized to the whole cache, in 64 KB units.
                 let units_per_domain = baseline_lines / 8 / partitioned::BCE_UNIT_LINES;
-                Box::new(partitioned::bce(sets, 16, &[units_per_domain; 8], Policy::Drrip))
+                Box::new(partitioned::bce(
+                    sets,
+                    16,
+                    &[units_per_domain; 8],
+                    Policy::Drrip,
+                ))
             }
+            Design::Ceaser => Box::new(CeaserCache::new(CeaserConfig::ceaser(
+                baseline_lines,
+                100_000,
+                seed,
+            ))),
+            Design::CeaserS => Box::new(CeaserCache::new(CeaserConfig::ceaser_s(
+                baseline_lines,
+                100_000,
+                seed,
+            ))),
+            Design::Scatter => Box::new(ScatterCache::new(ScatterConfig::for_lines(
+                baseline_lines,
+                seed,
+            ))),
+            Design::Threshold => Box::new(ThresholdCache::new(ThresholdConfig::paper_discussion(
+                baseline_lines,
+                seed,
+            ))),
         }
     }
 }
@@ -103,22 +166,19 @@ mod tests {
     #[test]
     fn all_designs_build_at_16mb_scale() {
         let lines = 256 * 1024;
-        for d in [
-            Design::Baseline,
-            Design::Mirage,
-            Design::MirageLite,
-            Design::Maya,
-            Design::MayaReuseWays(1),
-            Design::MayaReuseWays(7),
-            Design::MayaIso,
-            Design::FullyAssociative,
-            Design::Dawg,
-            Design::PageColoring,
-            Design::Bce,
-        ] {
+        for d in Design::all() {
             let c = d.build(lines, 1);
             assert!(c.capacity_lines() > 0, "{}", d.id());
         }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<String> = Design::all().iter().map(|d| d.id()).collect();
+        ids.sort();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate design ids");
     }
 
     #[test]

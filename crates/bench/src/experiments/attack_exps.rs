@@ -67,13 +67,8 @@ pub fn fig8_occupancy_attack(scale: Scale) {
                         Box::new(ModExpVictim::new(0xffff_0fff_ffff_ff0f, 2 << 30)),
                     ),
                 };
-                let r = encryptions_to_distinguish(
-                    &mut attack,
-                    a.as_mut(),
-                    b.as_mut(),
-                    4.0,
-                    20_000,
-                );
+                let r =
+                    encryptions_to_distinguish(&mut attack, a.as_mut(), b.as_mut(), 4.0, 20_000);
                 medians.push(r.encryptions);
             }
             results.push((kind, median(medians)));
@@ -102,7 +97,8 @@ pub fn demo_eviction() {
         "baseline\t{}\t{}\t{}",
         r.fills_until_eviction,
         r.saes,
-        set.map(|s| format!("found({} lines)", s.len())).unwrap_or("none".into())
+        set.map(|s| format!("found({} lines)", s.len()))
+            .unwrap_or("none".into())
     );
     let mut maya = MayaCache::new(MayaConfig::with_sets(256, 3));
     let r = targeted_eviction(&mut maya, 256, 100_000);
@@ -111,11 +107,15 @@ pub fn demo_eviction() {
         "maya\t{}\t{}\t{}",
         r.fills_until_eviction,
         r.saes,
-        set.map(|s| format!("found({} lines)", s.len())).unwrap_or("none".into())
+        set.map(|s| format!("found({} lines)", s.len()))
+            .unwrap_or("none".into())
     );
     let mut mirage = MirageCache::new(MirageConfig::for_data_entries(8 * 1024, 3));
     let r = targeted_eviction(&mut mirage, 256, 100_000);
-    println!("mirage\t{}\t{}\tnot-attempted", r.fills_until_eviction, r.saes);
+    println!(
+        "mirage\t{}\t{}\tnot-attempted",
+        r.fills_until_eviction, r.saes
+    );
 }
 
 /// Demonstration (paper Section II-B): the SAE behaviour of the whole
@@ -135,7 +135,9 @@ pub fn demo_randomized_lineage() {
         Box::new(CeaserCache::new(CeaserConfig::ceaser(lines, 100_000, 3))),
         Box::new(CeaserCache::new(CeaserConfig::ceaser_s(lines, 100_000, 3))),
         Box::new(ScatterCache::new(ScatterConfig::for_lines(lines, 3))),
-        Box::new(ThresholdCache::new(ThresholdConfig::paper_discussion(lines, 3))),
+        Box::new(ThresholdCache::new(ThresholdConfig::paper_discussion(
+            lines, 3,
+        ))),
         Box::new(MirageCache::new(MirageConfig::for_data_entries(lines, 3))),
         Box::new(MayaCache::new(MayaConfig::for_baseline_lines(lines, 3))),
     ];
@@ -161,7 +163,11 @@ pub fn demo_randomized_lineage() {
 /// Demonstration: Flush+Reload leaks on the baseline, not on the SDID
 /// designs.
 pub fn demo_flush_reload() {
-    header("demo-flush", "does Flush+Reload observe the victim?", "cache\tleaks");
+    header(
+        "demo-flush",
+        "does Flush+Reload observe the victim?",
+        "cache\tleaks",
+    );
     let mut baseline = SetAssocCache::new(SetAssocConfig::new(1024, 16, Policy::Lru));
     println!("baseline\t{}", flush_reload_leaks(&mut baseline));
     let mut maya = MayaCache::new(MayaConfig::with_sets(256, 3));

@@ -13,9 +13,29 @@ use crate::Scale;
 
 /// All experiment ids in paper order.
 pub const ALL_IDS: &[&str] = &[
-    "fig1", "tab1", "fig4", "fig6", "fig7", "tab4", "fig8", "fig9", "fig10", "tab7", "tab8",
-    "tab9", "tab10", "tab11", "llcfit", "ablate-skew", "ablate-reuse", "ablate-threshold", "sens-llc", "sens-cores",
-    "demo-eviction", "demo-flush", "demo-randomized",
+    "fig1",
+    "tab1",
+    "fig4",
+    "fig6",
+    "fig7",
+    "tab4",
+    "fig8",
+    "fig9",
+    "fig10",
+    "tab7",
+    "tab8",
+    "tab9",
+    "tab10",
+    "tab11",
+    "llcfit",
+    "ablate-skew",
+    "ablate-reuse",
+    "ablate-threshold",
+    "sens-llc",
+    "sens-cores",
+    "demo-eviction",
+    "demo-flush",
+    "demo-randomized",
 ];
 
 /// Runs one experiment by id at the given scale. Returns false for an

@@ -2,8 +2,8 @@
 //! Tables VII and XI, plus the LLC-fitting study, sensitivity studies, and
 //! the reuse-filtering ablation.
 
-use maya_core::{MirageCache, MirageConfig, Policy, SetAssocCache, SetAssocConfig, SkewSelection};
 use champsim_lite::{DramConfig, System};
+use maya_core::{MirageCache, MirageConfig, Policy, SetAssocCache, SetAssocConfig, SkewSelection};
 use workloads::mixes::{hetero_mixes, homogeneous, MpkiBin};
 use workloads::spec::{ALL_NAMES, FITTING_NAMES, GAP_NAMES, SPEC_NAMES};
 
@@ -25,13 +25,20 @@ pub fn fig1_dead_blocks(scale: Scale) {
     for name in ALL_NAMES {
         let mix = homogeneous(name, 1);
         let dead = |design: Design| -> f64 {
-            run_mix(design, &mix, scale).dead_block_fraction().unwrap_or(0.0) * 100.0
+            run_mix(design, &mix, scale)
+                .dead_block_fraction()
+                .unwrap_or(0.0)
+                * 100.0
         };
         let (b, m) = (dead(Design::Baseline), dead(Design::Mirage));
         sums = (sums.0 + b, sums.1 + m, sums.2 + 1);
         println!("{name}\t{b:.1}\t{m:.1}");
     }
-    println!("AVG\t{:.1}\t{:.1}", sums.0 / sums.2 as f64, sums.1 / sums.2 as f64);
+    println!(
+        "AVG\t{:.1}\t{:.1}",
+        sums.0 / sums.2 as f64,
+        sums.1 / sums.2 as f64
+    );
 }
 
 /// Figure 9: weighted speedup of Maya and Mirage, normalized to the
@@ -47,9 +54,18 @@ pub fn fig9_homogeneous(scale: Scale) {
         let mut sums = (0.0f64, 0.0f64);
         for name in names {
             let mix = homogeneous(name, 8);
-            let base = ws_of(&run_mix(Design::Baseline, &mix, scale), &mut alone, &mix, scale);
-            let mirage =
-                ws_of(&run_mix(Design::Mirage, &mix, scale), &mut alone, &mix, scale) / base;
+            let base = ws_of(
+                &run_mix(Design::Baseline, &mix, scale),
+                &mut alone,
+                &mix,
+                scale,
+            );
+            let mirage = ws_of(
+                &run_mix(Design::Mirage, &mix, scale),
+                &mut alone,
+                &mix,
+                scale,
+            ) / base;
             let maya = ws_of(&run_mix(Design::Maya, &mix, scale), &mut alone, &mix, scale) / base;
             sums = (sums.0 + mirage, sums.1 + maya);
             println!("{name}\t{mirage:.3}\t{maya:.3}");
@@ -72,8 +88,18 @@ pub fn fig10_heterogeneous(scale: Scale) {
     let mut alone = AloneIpcCache::new();
     let mut bins: std::collections::HashMap<MpkiBin, (f64, f64, usize)> = Default::default();
     for mix in hetero_mixes() {
-        let base = ws_of(&run_mix(Design::Baseline, &mix, scale), &mut alone, &mix, scale);
-        let mirage = ws_of(&run_mix(Design::Mirage, &mix, scale), &mut alone, &mix, scale) / base;
+        let base = ws_of(
+            &run_mix(Design::Baseline, &mix, scale),
+            &mut alone,
+            &mix,
+            scale,
+        );
+        let mirage = ws_of(
+            &run_mix(Design::Mirage, &mix, scale),
+            &mut alone,
+            &mix,
+            scale,
+        ) / base;
         let maya = ws_of(&run_mix(Design::Maya, &mix, scale), &mut alone, &mix, scale) / base;
         let bin = mix.bin.expect("hetero mixes are binned");
         let e = bins.entry(bin).or_default();
@@ -145,7 +171,12 @@ pub fn fig4_reuse_way_performance(scale: Scale) {
     let mut sums = [0.0f64; 4];
     for name in SPEC_NAMES {
         let mix = homogeneous(name, 8);
-        let base = ws_of(&run_mix(Design::Baseline, &mix, scale), &mut alone, &mix, scale);
+        let base = ws_of(
+            &run_mix(Design::Baseline, &mix, scale),
+            &mut alone,
+            &mix,
+            scale,
+        );
         let mut cells = Vec::with_capacity(4);
         for (i, &r) in reuse_ways.iter().enumerate() {
             let ws = ws_of(
@@ -184,7 +215,12 @@ pub fn tab11_partitioning(scale: Scale) {
         let mut sum = 0.0;
         for name in benches {
             let mix = homogeneous(name, 8);
-            let base = ws_of(&run_mix(Design::Baseline, &mix, scale), &mut alone, &mix, scale);
+            let base = ws_of(
+                &run_mix(Design::Baseline, &mix, scale),
+                &mut alone,
+                &mix,
+                scale,
+            );
             let r = run_mix_with(design, &mix, scale, |mut cfg| {
                 if partition_dram {
                     cfg.dram = DramConfig {
@@ -245,12 +281,26 @@ pub fn ablate_reuse_filtering(scale: Scale) {
         "12MB designs vs 16MB baseline: reuse filtering vs plain shrink",
         "benchmark\tmaya12\tmirage12\tbaseline12",
     );
-    let benches = ["mcf", "omnetpp", "xalancbmk", "wrf", "fotonik3d", "cactuBSSN", "xz", "pop2"];
+    let benches = [
+        "mcf",
+        "omnetpp",
+        "xalancbmk",
+        "wrf",
+        "fotonik3d",
+        "cactuBSSN",
+        "xz",
+        "pop2",
+    ];
     let mut alone = AloneIpcCache::new();
     let mut sums = [0.0f64; 3];
     for name in benches {
         let mix = homogeneous(name, 8);
-        let base = ws_of(&run_mix(Design::Baseline, &mix, scale), &mut alone, &mix, scale);
+        let base = ws_of(
+            &run_mix(Design::Baseline, &mix, scale),
+            &mut alone,
+            &mix,
+            scale,
+        );
         let cores = mix.specs.len();
         let cfg = system_config(cores, scale);
         // Maya (12 MB data store).
@@ -281,7 +331,12 @@ pub fn ablate_reuse_filtering(scale: Scale) {
         println!("{name}\t{maya:.3}\t{mirage12:.3}\t{baseline12:.3}");
     }
     let n = benches.len() as f64;
-    println!("AVG\t{:.3}\t{:.3}\t{:.3}", sums[0] / n, sums[1] / n, sums[2] / n);
+    println!(
+        "AVG\t{:.3}\t{:.3}\t{:.3}",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n
+    );
 }
 
 /// Sensitivity to LLC size: Maya with 6–48 MB data stores versus the
@@ -326,7 +381,12 @@ pub fn sensitivity_core_count(scale: Scale) {
         let mut sum = 0.0;
         for name in benches {
             let mix = homogeneous(name, cores);
-            let base = ws_of(&run_mix(Design::Baseline, &mix, scale), &mut alone, &mix, scale);
+            let base = ws_of(
+                &run_mix(Design::Baseline, &mix, scale),
+                &mut alone,
+                &mix,
+                scale,
+            );
             sum += ws_of(&run_mix(Design::Maya, &mix, scale), &mut alone, &mix, scale) / base;
         }
         println!("{cores}\t{:.3}", sum / benches.len() as f64);

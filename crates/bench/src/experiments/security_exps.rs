@@ -42,8 +42,11 @@ pub fn tab4_associativity() {
     );
     // (label, reuse/skew, base/skew) per the paper: 8-way = 3+1,
     // 18-way = 6+3, 36-way = 12+6.
-    for (label, reuse, base) in [("8-way(3+1)", 1.0, 3.0), ("18-way(6+3)", 3.0, 6.0), ("36-way(12+6)", 6.0, 12.0)]
-    {
+    for (label, reuse, base) in [
+        ("8-way(3+1)", 1.0, 3.0),
+        ("18-way(6+3)", 3.0, 6.0),
+        ("36-way(12+6)", 6.0, 12.0),
+    ] {
         let model = AnalyticModel::new(reuse, base);
         let load = (reuse + base) as usize;
         let cells: Vec<String> = [4usize, 5, 6]
@@ -92,9 +95,9 @@ pub fn fig7_occupancy_distribution(scale: Scale) {
     let mut sim = BallsSim::new(BallsConfig::paper_default(15));
     let out = sim.run(scale.mc_iterations);
     let analytic = AnalyticModel::new(3.0, 6.0).distribution(16);
-    for n in 0..=15 {
+    for (n, a) in analytic.iter().enumerate().take(16) {
         let e = out.occupancy.get(n).copied().unwrap_or(0.0);
-        println!("{n}\t{e:.3e}\t{:.3e}", analytic[n]);
+        println!("{n}\t{e:.3e}\t{a:.3e}");
     }
 }
 
@@ -108,9 +111,10 @@ pub fn ablate_skew_selection(scale: Scale) {
         "selection\tfills\tsaes",
     );
     let fills = (scale.measure * 4).max(1_000_000);
-    for (label, selection) in
-        [("load-aware", SkewSelection::LoadAware), ("random", SkewSelection::Random)]
-    {
+    for (label, selection) in [
+        ("load-aware", SkewSelection::LoadAware),
+        ("random", SkewSelection::Random),
+    ] {
         let mut cache = MayaCache::new(MayaConfig {
             skew_selection: selection,
             ..MayaConfig::with_sets(1024, 7)
@@ -140,14 +144,16 @@ pub fn ablate_threshold(scale: Scale) {
     );
     let fills = (scale.measure * 4).max(2_000_000);
     // Analytic: average 12 valid entries per 16-way bucket.
-    let analytic_threshold =
-        format_installs(AnalyticModel::new(0.0, 12.0).installs_per_sae(16));
+    let analytic_threshold = format_installs(AnalyticModel::new(0.0, 12.0).installs_per_sae(16));
     let analytic_maya = format_installs(AnalyticModel::new(3.0, 6.0).installs_per_sae(15));
     let mut t = ThresholdCache::new(ThresholdConfig::paper_discussion(64 * 1024, 7));
     for i in 0..fills {
         t.access(Request::writeback(i, DomainId(0)));
     }
-    println!("threshold-75\t{fills}\t{}\t{analytic_threshold}", t.stats().saes);
+    println!(
+        "threshold-75\t{fills}\t{}\t{analytic_threshold}",
+        t.stats().saes
+    );
     let mut m = MayaCache::new(MayaConfig::for_baseline_lines(64 * 1024, 7));
     for i in 0..fills {
         m.access(Request::writeback(i, DomainId(0)));
@@ -168,7 +174,10 @@ mod tests {
             t.access(Request::writeback(i, DomainId(0)));
             m.access(Request::writeback(i, DomainId(0)));
         }
-        assert!(t.stats().saes > 0, "threshold design must spill at this scale");
+        assert!(
+            t.stats().saes > 0,
+            "threshold design must spill at this scale"
+        );
         assert_eq!(m.stats().saes, 0, "Maya must not");
     }
 

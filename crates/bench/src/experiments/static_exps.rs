@@ -83,15 +83,19 @@ pub fn tab10_summary(scale: Scale) {
         let mut ratio_sum = 0.0;
         for b in benches {
             let mix = homogeneous(b, 8);
-            let base = ws_of(&run_mix(Design::Baseline, &mix, scale), &mut alone, &mix, scale);
+            let base = ws_of(
+                &run_mix(Design::Baseline, &mix, scale),
+                &mut alone,
+                &mix,
+                scale,
+            );
             let d = ws_of(&run_mix(design, &mix, scale), &mut alone, &mix, scale);
             ratio_sum += d / base;
         }
         (ratio_sum / benches.len() as f64 - 1.0) * 100.0
     };
 
-    let storage_pct =
-        |r: &StorageReport| format!("{:+.1}%", r.overhead_vs(&b_rep) * 100.0);
+    let storage_pct = |r: &StorageReport| format!("{:+.1}%", r.overhead_vs(&b_rep) * 100.0);
 
     println!(
         "maya\t{}\t{}\t{:+.2}%",

@@ -40,8 +40,12 @@ pub fn parse_blocks(text: &str) -> Vec<Block> {
     let mut blocks = Vec::new();
     let mut lines = text.lines().peekable();
     while let Some(line) = lines.next() {
-        let Some(rest) = line.strip_prefix("# ") else { continue };
-        let Some((id, title)) = rest.split_once(": ") else { continue };
+        let Some(rest) = line.strip_prefix("# ") else {
+            continue;
+        };
+        let Some((id, title)) = rest.split_once(": ") else {
+            continue;
+        };
         let Some(header) = lines.next() else { break };
         let columns: Vec<String> = header.split('\t').map(str::to_string).collect();
         let mut rows = Vec::new();
@@ -49,22 +53,35 @@ pub fn parse_blocks(text: &str) -> Vec<Block> {
             if peek.is_empty() || peek.starts_with('#') {
                 break;
             }
-            let row: Vec<String> =
-                lines.next().expect("peeked").split('\t').map(str::to_string).collect();
+            let row: Vec<String> = lines
+                .next()
+                .expect("peeked")
+                .split('\t')
+                .map(str::to_string)
+                .collect();
             if row.len() == columns.len() {
                 rows.push(row);
             }
         }
-        blocks.push(Block { id: id.to_string(), title: title.to_string(), columns, rows });
+        blocks.push(Block {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns,
+            rows,
+        });
     }
     blocks
 }
 
 /// Placeholder-palette series colors (colorblind-safe).
-const COLORS: [&str; 6] = ["#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377"];
+const COLORS: [&str; 6] = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377",
+];
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders one block as a grouped bar chart SVG. Returns `None` when the
@@ -74,7 +91,10 @@ pub fn render_bars(block: &Block) -> Option<String> {
     if numeric.is_empty() || block.rows.is_empty() {
         return None;
     }
-    let (w, h) = (60 + block.rows.len() * (18 * numeric.len() + 14) + 40, 360usize);
+    let (w, h) = (
+        60 + block.rows.len() * (18 * numeric.len() + 14) + 40,
+        360usize,
+    );
     let (left, top, bottom) = (60.0, 40.0, 70.0);
     let plot_h = h as f64 - top - bottom;
     let max = block
@@ -186,8 +206,14 @@ maya\tfalse\n";
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>"));
         assert!(svg.contains("mcf"));
-        assert!(svg.matches("<rect").count() >= 4, "two rows x two series + legend");
-        assert!(render_bars(&blocks[1]).is_none(), "non-numeric block skipped");
+        assert!(
+            svg.matches("<rect").count() >= 4,
+            "two rows x two series + legend"
+        );
+        assert!(
+            render_bars(&blocks[1]).is_none(),
+            "non-numeric block skipped"
+        );
     }
 
     #[test]

@@ -43,7 +43,13 @@ pub struct SetAssocConfig {
 impl SetAssocConfig {
     /// A convenient unpartitioned configuration.
     pub fn new(sets: usize, ways: usize, policy: Policy) -> Self {
-        Self { sets, ways, policy, partitioning: Partitioning::None, seed: 0x5e7_a550c }
+        Self {
+            sets,
+            ways,
+            policy,
+            partitioning: Partitioning::None,
+            seed: 0x5e7_a550c,
+        }
     }
 }
 
@@ -94,12 +100,18 @@ impl SetAssocCache {
             Partitioning::None => {}
             Partitioning::Ways(parts) => {
                 for &(first, n) in parts {
-                    assert!(n > 0 && first + n <= config.ways, "way partition out of range");
+                    assert!(
+                        n > 0 && first + n <= config.ways,
+                        "way partition out of range"
+                    );
                 }
             }
             Partitioning::Sets(parts) => {
                 for &(first, n) in parts {
-                    assert!(n.is_power_of_two(), "set partition sizes must be powers of two");
+                    assert!(
+                        n.is_power_of_two(),
+                        "set partition sizes must be powers of two"
+                    );
                     assert!(first + n <= config.sets, "set partition out of range");
                 }
             }
@@ -174,8 +186,8 @@ impl SetAssocCache {
 
     fn fill(&mut self, set: usize, line: u64, req: &Request, wb: &mut Writebacks) {
         let (first_way, n_ways) = self.way_range(req.domain);
-        let invalid = (first_way..first_way + n_ways)
-            .find(|&w| !self.lines[self.line_index(set, w)].valid);
+        let invalid =
+            (first_way..first_way + n_ways).find(|&w| !self.lines[self.line_index(set, w)].valid);
         let way = match invalid {
             Some(w) => w,
             None => {
@@ -230,11 +242,19 @@ impl CacheModel for SetAssocCache {
                 AccessKind::Prefetch => {}
             }
             self.stats.data_hits += 1;
-            return Response { event: AccessEvent::DataHit, writebacks: wb, sae: false };
+            return Response {
+                event: AccessEvent::DataHit,
+                writebacks: wb,
+                sae: false,
+            };
         }
         self.stats.tag_misses += 1;
         self.fill(set, req.line, &req, &mut wb);
-        Response { event: AccessEvent::Miss, writebacks: wb, sae: false }
+        Response {
+            event: AccessEvent::Miss,
+            writebacks: wb,
+            sae: false,
+        }
     }
 
     fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {
@@ -286,6 +306,60 @@ impl CacheModel for SetAssocCache {
             Partitioning::Ways(_) => "dawg",
             Partitioning::Sets(_) => "set-partitioned",
         }
+    }
+
+    fn audit(&self) -> Result<(), String> {
+        let mut seen: Vec<(usize, u64, DomainId)> = Vec::new();
+        for set in 0..self.config.sets {
+            for way in 0..self.config.ways {
+                let l = &self.lines[self.line_index(set, way)];
+                if !l.valid {
+                    continue;
+                }
+                // Partition tables are indexed by domain id; a resident
+                // line from an unknown domain means the partition config
+                // was bypassed somewhere.
+                let known = match &self.config.partitioning {
+                    Partitioning::None => true,
+                    Partitioning::Ways(parts) | Partitioning::Sets(parts) => {
+                        (l.domain.0 as usize) < parts.len()
+                    }
+                };
+                if !known {
+                    return Err(format!(
+                        "set {set} way {way}: resident domain {} has no partition assignment",
+                        l.domain.0
+                    ));
+                }
+                let home = self.set_of(l.tag, l.domain);
+                if home != set {
+                    return Err(format!(
+                        "set {set} way {way}: tag {:#x} (domain {}) belongs in set {home}",
+                        l.tag, l.domain.0
+                    ));
+                }
+                let (first, n) = self.way_range(l.domain);
+                if way < first || way >= first + n {
+                    return Err(format!(
+                        "set {set} way {way}: domain {} may only occupy ways {first}..{}",
+                        l.domain.0,
+                        first + n
+                    ));
+                }
+                seen.push((set, l.tag, l.domain));
+            }
+        }
+        seen.sort_unstable();
+        for pair in seen.windows(2) {
+            if pair[0] == pair[1] {
+                let (set, tag, domain) = pair[0];
+                return Err(format!(
+                    "duplicate resident line: tag {tag:#x} (domain {}) twice in set {set}",
+                    domain.0
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -50,6 +50,22 @@ pub trait CacheModel {
 
     /// Short human-readable design name for reports.
     fn name(&self) -> &'static str;
+
+    /// Checks the model's internal structural invariants.
+    ///
+    /// Returns `Err` with a description of the first corruption found:
+    /// dangling forward/reverse pointers, inconsistent occupancy counters,
+    /// illegal tag states, and the like. The default is a no-op so simple
+    /// models need not implement it; the stateful designs (Maya, Mirage,
+    /// the baseline, the fully-associative reference) override it, and the
+    /// simulator's checked mode (`System::run_checked` in `champsim-lite`)
+    /// calls it periodically.
+    ///
+    /// Auditing must not perturb any state — it is read-only by contract
+    /// (`&self`).
+    fn audit(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

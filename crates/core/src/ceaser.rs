@@ -45,12 +45,24 @@ pub struct CeaserConfig {
 impl CeaserConfig {
     /// Classic CEASER: single skew, 16 ways.
     pub fn ceaser(lines: usize, remap_period: u64, seed: u64) -> Self {
-        Self { sets_per_skew: lines / 16, skews: 1, ways_per_skew: 16, remap_period, seed }
+        Self {
+            sets_per_skew: lines / 16,
+            skews: 1,
+            ways_per_skew: 16,
+            remap_period,
+            seed,
+        }
     }
 
     /// CEASER-S: two skews of 8 ways.
     pub fn ceaser_s(lines: usize, remap_period: u64, seed: u64) -> Self {
-        Self { sets_per_skew: lines / 16, skews: 2, ways_per_skew: 8, remap_period, seed }
+        Self {
+            sets_per_skew: lines / 16,
+            skews: 2,
+            ways_per_skew: 8,
+            remap_period,
+            seed,
+        }
     }
 
     /// Total lines.
@@ -104,7 +116,10 @@ impl CeaserCache {
     /// Panics if the set count is not a power of two or any dimension is
     /// zero.
     pub fn new(config: CeaserConfig) -> Self {
-        assert!(config.sets_per_skew.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            config.sets_per_skew.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(config.skews > 0 && config.ways_per_skew > 0);
         Self {
             index: IndexFunction::from_seed(config.seed, config.skews, config.sets_per_skew),
@@ -187,17 +202,21 @@ impl CacheModel for CeaserCache {
                 AccessKind::Writeback => self.lines[i].dirty = true,
                 AccessKind::Prefetch => {}
             }
-            self.repl.on_hit(skew * self.config.sets_per_skew + set, way);
+            self.repl
+                .on_hit(skew * self.config.sets_per_skew + set, way);
             self.stats.data_hits += 1;
-            return Response { event: AccessEvent::DataHit, writebacks: wb, sae: false };
+            return Response {
+                event: AccessEvent::DataHit,
+                writebacks: wb,
+                sae: false,
+            };
         }
         self.stats.tag_misses += 1;
         // Random skew, then invalid (or stale-epoch) way, else LRU victim.
         let skew = self.rng.gen_range(0..self.config.skews);
         let set = self.index.set_index(skew, req.line);
         let flat_set = skew * self.config.sets_per_skew + set;
-        let invalid = (0..self.config.ways_per_skew)
-            .find(|&w| !self.live(self.slot(skew, set, w)));
+        let invalid = (0..self.config.ways_per_skew).find(|&w| !self.live(self.slot(skew, set, w)));
         let mut sae = false;
         let way = match invalid {
             Some(w) => w,
@@ -235,7 +254,11 @@ impl CacheModel for CeaserCache {
         self.stats.tag_fills += 1;
         self.stats.data_fills += 1;
         self.maybe_remap();
-        Response { event: AccessEvent::Miss, writebacks: wb, sae }
+        Response {
+            event: AccessEvent::Miss,
+            writebacks: wb,
+            sae,
+        }
     }
 
     fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {
@@ -297,7 +320,10 @@ mod tests {
 
     #[test]
     fn miss_then_hit_both_variants() {
-        for cfg in [CeaserConfig::ceaser(1024, 0, 3), CeaserConfig::ceaser_s(1024, 0, 3)] {
+        for cfg in [
+            CeaserConfig::ceaser(1024, 0, 3),
+            CeaserConfig::ceaser_s(1024, 0, 3),
+        ] {
             let mut c = CeaserCache::new(cfg);
             let d = DomainId(0);
             assert_eq!(c.access(Request::read(5, d)).event, AccessEvent::Miss);
@@ -338,7 +364,11 @@ mod tests {
             c.access(Request::writeback(a, d));
         }
         assert!(c.remaps() >= 1);
-        assert!(c.stats().writebacks_out >= 32, "wb {}", c.stats().writebacks_out);
+        assert!(
+            c.stats().writebacks_out >= 32,
+            "wb {}",
+            c.stats().writebacks_out
+        );
     }
 
     #[test]

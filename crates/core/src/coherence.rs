@@ -94,8 +94,18 @@ pub fn moesi_transition(state: Moesi, event: CoherenceEvent) -> (Moesi, bool) {
     use CoherenceEvent as E;
     use Moesi as S;
     match (state, event) {
-        (S::Invalid, E::LocalRead { others_have_it: false }) => (S::Exclusive, false),
-        (S::Invalid, E::LocalRead { others_have_it: true }) => (S::Shared, false),
+        (
+            S::Invalid,
+            E::LocalRead {
+                others_have_it: false,
+            },
+        ) => (S::Exclusive, false),
+        (
+            S::Invalid,
+            E::LocalRead {
+                others_have_it: true,
+            },
+        ) => (S::Shared, false),
         (S::Invalid, E::LocalWrite) => (S::Modified, false),
         (S::Invalid, _) => (S::Invalid, false),
 
@@ -135,7 +145,10 @@ pub struct CoherenceDomain {
 impl CoherenceDomain {
     /// Creates `n` caches, all Invalid.
     pub fn new(n: usize) -> Self {
-        Self { states: vec![Moesi::Invalid; n], data_transfers: 0 }
+        Self {
+            states: vec![Moesi::Invalid; n],
+            data_transfers: 0,
+        }
     }
 
     /// The state at cache `i`.
@@ -145,10 +158,19 @@ impl CoherenceDomain {
 
     /// Core `i` reads the line.
     pub fn read(&mut self, i: usize) {
-        let others = self.states.iter().enumerate().any(|(j, s)| j != i && s.readable());
+        let others = self
+            .states
+            .iter()
+            .enumerate()
+            .any(|(j, s)| j != i && s.readable());
         for j in 0..self.states.len() {
             let (next, flush) = if j == i {
-                moesi_transition(self.states[j], CoherenceEvent::LocalRead { others_have_it: others })
+                moesi_transition(
+                    self.states[j],
+                    CoherenceEvent::LocalRead {
+                        others_have_it: others,
+                    },
+                )
             } else {
                 moesi_transition(self.states[j], CoherenceEvent::SnoopRead)
             };
@@ -210,7 +232,13 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        for s in [Moesi::Invalid, Moesi::Shared, Moesi::Exclusive, Moesi::Owned, Moesi::Modified] {
+        for s in [
+            Moesi::Invalid,
+            Moesi::Shared,
+            Moesi::Exclusive,
+            Moesi::Owned,
+            Moesi::Modified,
+        ] {
             assert_eq!(Moesi::decode(s.encode()), Some(s));
         }
         for bits in 0b101..=0b111 {

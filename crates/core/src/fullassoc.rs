@@ -4,7 +4,7 @@
 //! tests. Impractical to build at LLC sizes (the paper's motivation), but
 //! trivially simulable.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -22,8 +22,9 @@ struct Line {
 
 /// A fully-associative cache with uniform random replacement.
 ///
-/// Lookup is modelled as associative (a hash map stands in for the CAM the
-/// hardware could not afford); replacement draws a victim uniformly from all
+/// Lookup is modelled as associative (an ordered map stands in for the CAM
+/// the hardware could not afford; ordered rather than hashed so iteration
+/// order can never leak into results); replacement draws a victim uniformly from all
 /// resident lines, so evictions leak no address information — the property
 /// the randomized designs emulate.
 ///
@@ -41,7 +42,7 @@ pub struct FullyAssocCache {
     capacity: usize,
     lines: Vec<Line>,
     /// (line, domain) -> index in `lines`.
-    lookup: HashMap<(u64, DomainId), usize>,
+    lookup: BTreeMap<(u64, DomainId), usize>,
     stats: CacheStats,
     rng: SmallRng,
 }
@@ -57,7 +58,7 @@ impl FullyAssocCache {
         Self {
             capacity,
             lines: Vec::with_capacity(capacity),
-            lookup: HashMap::with_capacity(capacity * 2),
+            lookup: BTreeMap::new(),
             stats: CacheStats::default(),
             rng: SmallRng::seed_from_u64(seed),
         }
@@ -103,7 +104,11 @@ impl CacheModel for FullyAssocCache {
                 AccessKind::Prefetch => {}
             }
             self.stats.data_hits += 1;
-            return Response { event: AccessEvent::DataHit, writebacks: wb, sae: false };
+            return Response {
+                event: AccessEvent::DataHit,
+                writebacks: wb,
+                sae: false,
+            };
         }
         self.stats.tag_misses += 1;
         if self.lines.len() == self.capacity {
@@ -119,7 +124,11 @@ impl CacheModel for FullyAssocCache {
         self.lookup.insert((req.line, req.domain), idx);
         self.stats.tag_fills += 1;
         self.stats.data_fills += 1;
-        Response { event: AccessEvent::Miss, writebacks: wb, sae: false }
+        Response {
+            event: AccessEvent::Miss,
+            writebacks: wb,
+            sae: false,
+        }
     }
 
     fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {
@@ -167,6 +176,36 @@ impl CacheModel for FullyAssocCache {
 
     fn name(&self) -> &'static str {
         "fully-associative"
+    }
+
+    fn audit(&self) -> Result<(), String> {
+        if self.lines.len() > self.capacity {
+            return Err(format!(
+                "occupancy {} exceeds capacity {}",
+                self.lines.len(),
+                self.capacity
+            ));
+        }
+        if self.lookup.len() != self.lines.len() {
+            return Err(format!(
+                "lookup has {} entries for {} lines",
+                self.lookup.len(),
+                self.lines.len()
+            ));
+        }
+        for (i, l) in self.lines.iter().enumerate() {
+            match self.lookup.get(&(l.tag, l.domain)) {
+                Some(&idx) if idx == i => {}
+                Some(&idx) => {
+                    return Err(format!(
+                        "line {i} (tag {:#x}) maps to index {idx} in lookup",
+                        l.tag
+                    ));
+                }
+                None => return Err(format!("line {i} (tag {:#x}) missing from lookup", l.tag)),
+            }
+        }
+        Ok(())
     }
 }
 

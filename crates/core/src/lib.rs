@@ -49,6 +49,4 @@ pub use mirage::{MirageCache, MirageConfig, SkewSelection};
 pub use replacement::Policy;
 pub use scatter::{ScatterCache, ScatterConfig};
 pub use threshold::{ThresholdCache, ThresholdConfig};
-pub use types::{
-    AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks,
-};
+pub use types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};

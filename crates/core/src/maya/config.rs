@@ -59,9 +59,15 @@ impl MayaConfig {
     ///
     /// Panics if `baseline_lines` is not 16 times a power of two.
     pub fn for_baseline_lines(baseline_lines: usize, seed: u64) -> Self {
-        assert!(baseline_lines % 16 == 0, "baseline lines must be a multiple of 16");
+        assert!(
+            baseline_lines.is_multiple_of(16),
+            "baseline lines must be a multiple of 16"
+        );
         let sets = baseline_lines / 16;
-        assert!(sets.is_power_of_two(), "baseline geometry must give power-of-two sets");
+        assert!(
+            sets.is_power_of_two(),
+            "baseline geometry must give power-of-two sets"
+        );
         Self::with_sets(sets, seed)
     }
 

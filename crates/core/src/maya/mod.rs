@@ -114,10 +114,16 @@ impl MayaCache {
     /// zero (invalid ways may be zero only for deliberately insecure
     /// ablation configs, which are still accepted).
     pub fn new(config: MayaConfig) -> Self {
-        assert!(config.sets_per_skew.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            config.sets_per_skew.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(config.skews >= 2, "Maya requires at least two skews");
         assert!(config.base_ways_per_skew > 0, "base ways must be positive");
-        assert!(config.reuse_ways_per_skew > 0, "reuse ways must be positive");
+        assert!(
+            config.reuse_ways_per_skew > 0,
+            "reuse ways must be positive"
+        );
         let index = IndexFunction::from_seed(config.seed, config.skews, config.sets_per_skew);
         let data_entries = config.data_entries();
         Self {
@@ -190,6 +196,18 @@ impl MayaCache {
 
     // --- priority-0 list maintenance -------------------------------------
 
+    /// Applies a tag-state change, debug-asserting that it is a legal
+    /// Figure-3 transition for `event` (see [`transition`]). Release
+    /// builds pay nothing.
+    fn set_state_checked(&mut self, tag_idx: usize, event: TagEvent, new_state: TagState) {
+        debug_assert_eq!(
+            transition(self.tags[tag_idx].state, event),
+            Ok(new_state),
+            "illegal tag transition at tag {tag_idx}"
+        );
+        self.tags[tag_idx].state = new_state;
+    }
+
     fn p0_insert(&mut self, tag_idx: usize) {
         self.tags[tag_idx].p0_pos = self.p0_list.len() as u32;
         self.p0_list.push(tag_idx as u32);
@@ -209,7 +227,10 @@ impl MayaCache {
     // --- data store maintenance -------------------------------------------
 
     fn data_alloc(&mut self, tag_idx: usize) -> u32 {
-        let d = self.free_data.pop().expect("data store full: evict before alloc");
+        let d = self
+            .free_data
+            .pop()
+            .expect("data store full: evict before alloc");
         self.rptr[d as usize] = tag_idx as u32;
         self.data_pos[d as usize] = self.allocated.len() as u32;
         self.allocated.push(d);
@@ -251,7 +272,7 @@ impl MayaCache {
             self.stats.cross_domain_evictions += 1;
         }
         self.data_free(d);
-        self.tags[tag_idx].state = TagState::Priority0;
+        self.set_state_checked(tag_idx, TagEvent::GlobalDataEviction, TagState::Priority0);
         self.tags[tag_idx].fptr = NONE;
         self.p0_insert(tag_idx);
         self.stats.global_data_evictions += 1;
@@ -267,7 +288,7 @@ impl MayaCache {
         }
         let victim = self.p0_list[self.rng.gen_range(0..self.p0_list.len())] as usize;
         self.p0_remove(victim);
-        self.tags[victim].state = TagState::Invalid;
+        self.set_state_checked(victim, TagEvent::GlobalTagEviction, TagState::Invalid);
         self.stats.global_tag_evictions += 1;
     }
 
@@ -275,7 +296,12 @@ impl MayaCache {
 
     /// Chooses the tag way for a new fill using load-aware skew selection;
     /// returns `(flat_index, sae)`. On an SAE the victim is evicted here.
-    fn choose_fill_slot(&mut self, line: u64, requester: DomainId, wb: &mut Writebacks) -> (usize, bool) {
+    fn choose_fill_slot(
+        &mut self,
+        line: u64,
+        requester: DomainId,
+        wb: &mut Writebacks,
+    ) -> (usize, bool) {
         let ways = self.config.ways_per_skew();
         // Invalid-way counts per skew for this line's candidate sets.
         let mut best_skew = 0;
@@ -353,13 +379,21 @@ impl MayaCache {
                 self.data_free(e.fptr);
             }
         }
-        self.tags[tag_idx].state = TagState::Invalid;
+        if e.state.is_valid() {
+            // SAE evictions and flushes are the same protocol edge.
+            self.set_state_checked(tag_idx, TagEvent::Flush, TagState::Invalid);
+        }
         self.tags[tag_idx].fptr = NONE;
     }
 
     /// Installs a priority-0 (tag-only) entry for a demand-read miss.
     fn install_p0(&mut self, line: u64, domain: DomainId, wb: &mut Writebacks) -> bool {
         let (idx, sae) = self.choose_fill_slot(line, domain, wb);
+        debug_assert_eq!(
+            transition(self.tags[idx].state, TagEvent::DemandRead),
+            Ok(TagState::Priority0),
+            "fill slot {idx} was not invalid"
+        );
         self.tags[idx] = TagEntry {
             state: TagState::Priority0,
             tag: line,
@@ -380,6 +414,11 @@ impl MayaCache {
             self.global_data_eviction(domain, wb);
         }
         let (idx, sae) = self.choose_fill_slot(line, domain, wb);
+        debug_assert_eq!(
+            transition(self.tags[idx].state, TagEvent::Write),
+            Ok(TagState::Priority1Dirty),
+            "fill slot {idx} was not invalid"
+        );
         self.tags[idx] = TagEntry {
             state: TagState::Priority1Dirty,
             tag: line,
@@ -399,6 +438,13 @@ impl MayaCache {
     /// Promotes a priority-0 entry to priority-1 on its first reuse.
     fn promote(&mut self, tag_idx: usize, kind: AccessKind, wb: &mut Writebacks) {
         let domain = self.tags[tag_idx].sdid;
+        let (event, new_state) = match kind {
+            AccessKind::Read | AccessKind::Prefetch => {
+                (TagEvent::DemandRead, TagState::Priority1Clean)
+            }
+            AccessKind::Writeback => (TagEvent::Write, TagState::Priority1Dirty),
+        };
+        self.set_state_checked(tag_idx, event, new_state);
         self.p0_remove(tag_idx);
         if self.free_data.is_empty() {
             self.global_data_eviction(domain, wb);
@@ -407,47 +453,17 @@ impl MayaCache {
         let e = &mut self.tags[tag_idx];
         e.fptr = d;
         e.data_reused = false;
-        e.state = match kind {
-            AccessKind::Read | AccessKind::Prefetch => TagState::Priority1Clean,
-            AccessKind::Writeback => TagState::Priority1Dirty,
-        };
         self.stats.data_fills += 1;
     }
 
-    /// Exhaustively checks the structure's invariants; used by tests and the
-    /// property suite. Not part of the public API contract.
+    /// Exhaustively checks the structure's invariants, panicking on the
+    /// first violation; used by tests and the property suite. Thin wrapper
+    /// over [`CacheModel::audit`]. Not part of the public API contract.
     #[doc(hidden)]
     pub fn validate(&self) {
-        let mut p0 = 0usize;
-        let mut p1 = 0usize;
-        for (i, e) in self.tags.iter().enumerate() {
-            match e.state {
-                TagState::Invalid => {
-                    debug_assert!(true);
-                }
-                TagState::Priority0 => {
-                    p0 += 1;
-                    let pos = e.p0_pos as usize;
-                    assert!(pos < self.p0_list.len(), "stale p0_pos");
-                    assert_eq!(self.p0_list[pos] as usize, i, "p0 back-index broken");
-                    assert_eq!(e.fptr, NONE, "priority-0 entry with a data pointer");
-                }
-                TagState::Priority1Clean | TagState::Priority1Dirty => {
-                    p1 += 1;
-                    let d = e.fptr as usize;
-                    assert!(d < self.rptr.len(), "fptr out of range");
-                    assert_eq!(self.rptr[d] as usize, i, "fptr/rptr mismatch");
-                }
-            }
+        if let Err(e) = self.audit() {
+            panic!("MayaCache invariant violated: {e}");
         }
-        assert_eq!(p0, self.p0_list.len(), "p0 population mismatch");
-        assert_eq!(p1, self.allocated.len(), "p1 population mismatch");
-        assert!(p0 <= self.config.p0_capacity() , "p0 population exceeds capacity");
-        assert_eq!(
-            self.allocated.len() + self.free_data.len(),
-            self.config.data_entries(),
-            "data entries leaked"
-        );
     }
 }
 
@@ -465,12 +481,16 @@ impl CacheModel for MayaCache {
                         // Reuse (for dead-block stats) means a demand read.
                         AccessKind::Read => self.tags[i].data_reused = true,
                         AccessKind::Writeback => {
-                            self.tags[i].state = TagState::Priority1Dirty;
+                            self.set_state_checked(i, TagEvent::Write, TagState::Priority1Dirty);
                         }
                         AccessKind::Prefetch => {}
                     }
                     self.stats.data_hits += 1;
-                    return Response { event: AccessEvent::DataHit, writebacks: wb, sae: false };
+                    return Response {
+                        event: AccessEvent::DataHit,
+                        writebacks: wb,
+                        sae: false,
+                    };
                 }
                 TagState::Priority0 => {
                     // Only *demand* touches prove reuse. A prefetch hitting
@@ -478,7 +498,11 @@ impl CacheModel for MayaCache {
                     // prefetched stream line would be "promoted" by its
                     // single demand use, defeating the reuse filter.
                     if req.kind == AccessKind::Prefetch {
-                        return Response { event: AccessEvent::Miss, writebacks: wb, sae: false };
+                        return Response {
+                            event: AccessEvent::Miss,
+                            writebacks: wb,
+                            sae: false,
+                        };
                     }
                     self.stats.tag_only_hits += 1;
                     self.promote(i, req.kind, &mut wb);
@@ -491,16 +515,17 @@ impl CacheModel for MayaCache {
                 TagState::Invalid => unreachable!("find() only returns valid entries"),
             }
         }
-        match req.kind {
-            // Maya does not allocate for prefetch misses: speculative lines
-            // live in the inner levels until a demand touch makes a case
-            // for them. (Installing priority-0 here would let the
-            // prefetch+demand pair of a dead streaming line masquerade as
-            // reuse.)
-            AccessKind::Prefetch => {
-                return Response { event: AccessEvent::Miss, writebacks: wb, sae: false };
-            }
-            _ => {}
+        // Maya does not allocate for prefetch misses: speculative lines
+        // live in the inner levels until a demand touch makes a case
+        // for them. (Installing priority-0 here would let the
+        // prefetch+demand pair of a dead streaming line masquerade as
+        // reuse.)
+        if req.kind == AccessKind::Prefetch {
+            return Response {
+                event: AccessEvent::Miss,
+                writebacks: wb,
+                sae: false,
+            };
         }
         self.stats.tag_misses += 1;
         let sae = match req.kind {
@@ -509,7 +534,11 @@ impl CacheModel for MayaCache {
             }
             AccessKind::Writeback => self.install_p1_dirty(req.line, req.domain, &mut wb),
         };
-        Response { event: AccessEvent::Miss, writebacks: wb, sae }
+        Response {
+            event: AccessEvent::Miss,
+            writebacks: wb,
+            sae,
+        }
     }
 
     fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {
@@ -563,6 +592,121 @@ impl CacheModel for MayaCache {
     fn name(&self) -> &'static str {
         "maya"
     }
+
+    fn audit(&self) -> Result<(), String> {
+        let mut p0 = 0usize;
+        let mut p1 = 0usize;
+        for (i, e) in self.tags.iter().enumerate() {
+            match e.state {
+                TagState::Invalid => {
+                    // Invalid entries must hold no pointers: a stale fptr
+                    // would double-map a data entry on the next fill, and a
+                    // stale p0_pos would corrupt the p0 list's swap_remove.
+                    if e.fptr != NONE {
+                        return Err(format!("invalid tag {i} still holds fptr {}", e.fptr));
+                    }
+                    if e.p0_pos != NONE {
+                        return Err(format!("invalid tag {i} still holds p0_pos {}", e.p0_pos));
+                    }
+                }
+                TagState::Priority0 => {
+                    p0 += 1;
+                    let pos = e.p0_pos as usize;
+                    if pos >= self.p0_list.len() {
+                        return Err(format!("tag {i}: stale p0_pos {pos}"));
+                    }
+                    if self.p0_list[pos] as usize != i {
+                        return Err(format!(
+                            "tag {i}: p0 back-index broken (p0_list[{pos}] = {})",
+                            self.p0_list[pos]
+                        ));
+                    }
+                    if e.fptr != NONE {
+                        return Err(format!("priority-0 tag {i} holds data pointer {}", e.fptr));
+                    }
+                }
+                TagState::Priority1Clean | TagState::Priority1Dirty => {
+                    p1 += 1;
+                    let d = e.fptr as usize;
+                    if d >= self.rptr.len() {
+                        return Err(format!("tag {i}: fptr {d} out of range"));
+                    }
+                    if self.rptr[d] as usize != i {
+                        return Err(format!(
+                            "tag {i}: fptr/rptr mismatch (rptr[{d}] = {})",
+                            self.rptr[d]
+                        ));
+                    }
+                    if e.p0_pos != NONE {
+                        return Err(format!(
+                            "priority-1 tag {i} still holds p0_pos {}",
+                            e.p0_pos
+                        ));
+                    }
+                }
+            }
+        }
+        if p0 != self.p0_list.len() {
+            return Err(format!(
+                "p0 population mismatch: {p0} tags vs {} listed",
+                self.p0_list.len()
+            ));
+        }
+        if p1 != self.allocated.len() {
+            return Err(format!(
+                "p1 population mismatch: {p1} tags vs {} allocated",
+                self.allocated.len()
+            ));
+        }
+        if p0 > self.config.p0_capacity() {
+            return Err(format!(
+                "p0 population {p0} exceeds capacity {}",
+                self.config.p0_capacity()
+            ));
+        }
+        if self.allocated.len() + self.free_data.len() != self.config.data_entries() {
+            return Err(format!(
+                "data entries leaked: {} allocated + {} free != {}",
+                self.allocated.len(),
+                self.free_data.len(),
+                self.config.data_entries()
+            ));
+        }
+        // Reverse direction of the fptr/rptr bijection, plus the back-index
+        // array that makes O(1) random data eviction possible.
+        for (pos, &d) in self.allocated.iter().enumerate() {
+            let d = d as usize;
+            if self.data_pos[d] as usize != pos {
+                return Err(format!(
+                    "allocated[{pos}] = data {d} but data_pos[{d}] = {}",
+                    self.data_pos[d]
+                ));
+            }
+            let t = self.rptr[d];
+            if t == NONE {
+                return Err(format!("allocated data {d} has no owning tag"));
+            }
+            if self.tags[t as usize].fptr as usize != d {
+                return Err(format!(
+                    "rptr/fptr mismatch: data {d} claims tag {t} whose fptr is {}",
+                    self.tags[t as usize].fptr
+                ));
+            }
+        }
+        for &d in &self.free_data {
+            let d = d as usize;
+            if self.rptr[d] != NONE {
+                return Err(format!("free data {d} still has rptr {}", self.rptr[d]));
+            }
+            if self.data_pos[d] != NONE {
+                return Err(format!(
+                    "free data {d} still has data_pos {}",
+                    self.data_pos[d]
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -589,7 +733,10 @@ mod tests {
         assert_eq!(c.access(Request::read(1, d)).event, AccessEvent::Miss);
         assert_eq!(c.tag_state(1, d), Some(TagState::Priority0));
         assert!(!c.probe(1, d), "priority-0 entries must not serve data");
-        assert_eq!(c.access(Request::read(1, d)).event, AccessEvent::TagHitPromoted);
+        assert_eq!(
+            c.access(Request::read(1, d)).event,
+            AccessEvent::TagHitPromoted
+        );
         assert_eq!(c.tag_state(1, d), Some(TagState::Priority1Clean));
         assert!(c.probe(1, d));
         assert_eq!(c.access(Request::read(1, d)).event, AccessEvent::DataHit);
@@ -611,7 +758,10 @@ mod tests {
         let mut c = tiny();
         let d = DomainId(0);
         c.access(Request::read(5, d));
-        assert_eq!(c.access(Request::writeback(5, d)).event, AccessEvent::TagHitPromoted);
+        assert_eq!(
+            c.access(Request::writeback(5, d)).event,
+            AccessEvent::TagHitPromoted
+        );
         assert_eq!(c.tag_state(5, d), Some(TagState::Priority1Dirty));
         c.validate();
     }
@@ -708,7 +858,11 @@ mod tests {
                 c.access(Request::read(a, d));
             }
         }
-        assert_eq!(c.stats().saes, 0, "3 invalid ways/skew should suffice at this scale");
+        assert_eq!(
+            c.stats().saes,
+            0,
+            "3 invalid ways/skew should suffice at this scale"
+        );
         c.validate();
     }
 

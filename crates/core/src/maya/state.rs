@@ -62,7 +62,11 @@ pub struct InvalidTransition {
 
 impl std::fmt::Display for InvalidTransition {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "event {:?} is not legal in state {:?}", self.event, self.state)
+        write!(
+            f,
+            "event {:?} is not legal in state {:?}",
+            self.event, self.state
+        )
     }
 }
 
@@ -134,18 +138,30 @@ mod tests {
 
     #[test]
     fn write_dirties_clean_p1() {
-        assert_eq!(transition(S::Priority1Clean, E::Write).unwrap(), S::Priority1Dirty);
+        assert_eq!(
+            transition(S::Priority1Clean, E::Write).unwrap(),
+            S::Priority1Dirty
+        );
     }
 
     #[test]
     fn data_eviction_downgrades_both_p1_states() {
-        assert_eq!(transition(S::Priority1Clean, E::GlobalDataEviction).unwrap(), S::Priority0);
-        assert_eq!(transition(S::Priority1Dirty, E::GlobalDataEviction).unwrap(), S::Priority0);
+        assert_eq!(
+            transition(S::Priority1Clean, E::GlobalDataEviction).unwrap(),
+            S::Priority0
+        );
+        assert_eq!(
+            transition(S::Priority1Dirty, E::GlobalDataEviction).unwrap(),
+            S::Priority0
+        );
     }
 
     #[test]
     fn tag_eviction_only_applies_to_p0() {
-        assert_eq!(transition(S::Priority0, E::GlobalTagEviction).unwrap(), S::Invalid);
+        assert_eq!(
+            transition(S::Priority0, E::GlobalTagEviction).unwrap(),
+            S::Invalid
+        );
         assert!(transition(S::Priority1Clean, E::GlobalTagEviction).is_err());
         assert!(transition(S::Invalid, E::GlobalTagEviction).is_err());
     }

@@ -65,7 +65,10 @@ impl MirageConfig {
     pub fn for_data_entries(data_entries: usize, seed: u64) -> Self {
         let (skews, base) = (2, 8);
         let sets = data_entries / (skews * base);
-        assert!(sets.is_power_of_two(), "data entries must give power-of-two sets");
+        assert!(
+            sets.is_power_of_two(),
+            "data entries must give power-of-two sets"
+        );
         Self {
             sets_per_skew: sets,
             skews,
@@ -141,7 +144,10 @@ impl MirageCache {
     /// Panics if the set count is not a power of two or if any dimension is
     /// zero.
     pub fn new(config: MirageConfig) -> Self {
-        assert!(config.sets_per_skew.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            config.sets_per_skew.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(config.skews > 0 && config.base_ways_per_skew > 0);
         let tag_count = config.sets_per_skew * config.skews * config.ways_per_skew();
         let data_entries = config.data_entries();
@@ -199,7 +205,10 @@ impl MirageCache {
     }
 
     fn alloc_data(&mut self, tag_idx: usize) -> u32 {
-        let d = self.free_data.pop().expect("data store full: evict before alloc");
+        let d = self
+            .free_data
+            .pop()
+            .expect("data store full: evict before alloc");
         self.rptr[d as usize] = tag_idx as u32;
         self.data_list_pos[d as usize] = self.allocated.len() as u32;
         self.allocated.push(d);
@@ -249,10 +258,18 @@ impl MirageCache {
     }
 
     /// Chooses the target set for a fill; returns `(flat_way_index, sae)`.
-    fn choose_fill_slot(&mut self, line: u64, requester: DomainId, wb: &mut Writebacks) -> (usize, bool) {
+    fn choose_fill_slot(
+        &mut self,
+        line: u64,
+        requester: DomainId,
+        wb: &mut Writebacks,
+    ) -> (usize, bool) {
         debug_assert_eq!(self.config.skews, 2, "fill policy assumes two skews");
         let sets = [self.index.set_index(0, line), self.index.set_index(1, line)];
-        let inv = [self.invalid_ways_in(0, sets[0]), self.invalid_ways_in(1, sets[1])];
+        let inv = [
+            self.invalid_ways_in(0, sets[0]),
+            self.invalid_ways_in(1, sets[1]),
+        ];
         let skew = match self.config.skew_selection {
             SkewSelection::LoadAware => {
                 use std::cmp::Ordering;
@@ -295,7 +312,11 @@ impl CacheModel for MirageCache {
                 AccessKind::Prefetch => {}
             }
             self.stats.data_hits += 1;
-            return Response { event: AccessEvent::DataHit, writebacks: wb, sae: false };
+            return Response {
+                event: AccessEvent::DataHit,
+                writebacks: wb,
+                sae: false,
+            };
         }
         self.stats.tag_misses += 1;
         // Fill: free a data entry if the store is full, then place the tag.
@@ -314,7 +335,11 @@ impl CacheModel for MirageCache {
         };
         self.stats.tag_fills += 1;
         self.stats.data_fills += 1;
-        Response { event: AccessEvent::Miss, writebacks: wb, sae }
+        Response {
+            event: AccessEvent::Miss,
+            writebacks: wb,
+            sae,
+        }
     }
 
     fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {
@@ -365,6 +390,79 @@ impl CacheModel for MirageCache {
     fn name(&self) -> &'static str {
         "mirage"
     }
+
+    fn audit(&self) -> Result<(), String> {
+        // Forward direction: every valid tag owns exactly the data entry
+        // its fptr names.
+        let mut valid_tags = 0usize;
+        for (i, e) in self.tags.iter().enumerate() {
+            if !e.valid {
+                continue;
+            }
+            valid_tags += 1;
+            let d = e.fptr as usize;
+            if d >= self.rptr.len() {
+                return Err(format!("tag {i}: fptr {d} out of range"));
+            }
+            if self.rptr[d] as usize != i {
+                return Err(format!(
+                    "tag {i}: fptr/rptr mismatch (rptr[{d}] = {})",
+                    self.rptr[d]
+                ));
+            }
+        }
+        if valid_tags != self.allocated.len() {
+            return Err(format!(
+                "population mismatch: {valid_tags} valid tags vs {} allocated data entries",
+                self.allocated.len()
+            ));
+        }
+        if self.allocated.len() + self.free_data.len() != self.config.data_entries() {
+            return Err(format!(
+                "data entries leaked: {} allocated + {} free != {}",
+                self.allocated.len(),
+                self.free_data.len(),
+                self.config.data_entries()
+            ));
+        }
+        // Reverse direction plus the O(1)-eviction back-index array.
+        for (pos, &d) in self.allocated.iter().enumerate() {
+            let d = d as usize;
+            if self.data_list_pos[d] as usize != pos {
+                return Err(format!(
+                    "allocated[{pos}] = data {d} but data_list_pos[{d}] = {}",
+                    self.data_list_pos[d]
+                ));
+            }
+            let t = self.rptr[d];
+            if t == FREE {
+                return Err(format!("allocated data {d} has no owning tag"));
+            }
+            let e = &self.tags[t as usize];
+            if !e.valid {
+                return Err(format!("data {d} owned by invalid tag {t}"));
+            }
+            if e.fptr as usize != d {
+                return Err(format!(
+                    "rptr/fptr mismatch: data {d} claims tag {t} whose fptr is {}",
+                    e.fptr
+                ));
+            }
+        }
+        for &d in &self.free_data {
+            let d = d as usize;
+            if self.rptr[d] != FREE {
+                return Err(format!("free data {d} still has rptr {}", self.rptr[d]));
+            }
+            if self.data_list_pos[d] != FREE {
+                return Err(format!(
+                    "free data {d} still has data_list_pos {}",
+                    self.data_list_pos[d]
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -384,18 +482,9 @@ mod tests {
     }
 
     fn check_pointers(c: &MirageCache) {
-        // Every allocated data entry's rptr names a valid tag whose fptr
-        // points back; counts agree.
-        let valid_tags = c.tags.iter().filter(|t| t.valid).count();
-        assert_eq!(valid_tags, c.allocated.len());
-        for &d in &c.allocated {
-            let t = c.rptr[d as usize];
-            assert_ne!(t, FREE);
-            let e = &c.tags[t as usize];
-            assert!(e.valid);
-            assert_eq!(e.fptr, d);
-        }
-        assert_eq!(c.allocated.len() + c.free_data.len(), c.config.data_entries());
+        // The full structural audit: fptr/rptr bijection in both
+        // directions, back-index consistency, population counts.
+        c.audit().expect("MirageCache invariant violated");
     }
 
     #[test]
@@ -446,7 +535,11 @@ mod tests {
         for a in 0..50_000u64 {
             c.access(Request::read(a, DomainId(0)));
         }
-        assert_eq!(c.stats().saes, 0, "load-aware Mirage should see no SAE at this scale");
+        assert_eq!(
+            c.stats().saes,
+            0,
+            "load-aware Mirage should see no SAE at this scale"
+        );
         check_pointers(&c);
     }
 

@@ -28,7 +28,10 @@ pub const BCE_UNIT_LINES: usize = 1024;
 ///
 /// Panics if `ways` is not divisible by `domains`.
 pub fn dawg(sets: usize, ways: usize, domains: usize, policy: Policy) -> SetAssocCache {
-    assert!(domains > 0 && ways % domains == 0, "ways must divide evenly among domains");
+    assert!(
+        domains > 0 && ways.is_multiple_of(domains),
+        "ways must divide evenly among domains"
+    );
     let per = ways / domains;
     let assignments = (0..domains).map(|d| (d * per, per)).collect();
     SetAssocCache::new(SetAssocConfig {
@@ -44,9 +47,15 @@ pub fn dawg(sets: usize, ways: usize, domains: usize, policy: Policy) -> SetAsso
 ///
 /// Panics if `sets / domains` is not a power of two.
 pub fn page_coloring(sets: usize, ways: usize, domains: usize, policy: Policy) -> SetAssocCache {
-    assert!(domains > 0 && sets % domains == 0, "sets must divide evenly among domains");
+    assert!(
+        domains > 0 && sets.is_multiple_of(domains),
+        "sets must divide evenly among domains"
+    );
     let per = sets / domains;
-    assert!(per.is_power_of_two(), "per-domain set count must be a power of two");
+    assert!(
+        per.is_power_of_two(),
+        "per-domain set count must be a power of two"
+    );
     let assignments = (0..domains).map(|d| (d * per, per)).collect();
     SetAssocCache::new(SetAssocConfig {
         partitioning: Partitioning::Sets(assignments),
@@ -71,13 +80,19 @@ pub fn bce(sets: usize, ways: usize, units: &[usize], policy: Policy) -> SetAsso
     for &u in units {
         assert!(u > 0, "every domain needs at least one 64KB unit");
         let lines = u * BCE_UNIT_LINES;
-        assert!(lines % ways == 0, "allocation must be whole sets");
+        assert!(lines.is_multiple_of(ways), "allocation must be whole sets");
         let n = lines / ways;
-        assert!(n.is_power_of_two(), "per-domain set count must be a power of two");
+        assert!(
+            n.is_power_of_two(),
+            "per-domain set count must be a power of two"
+        );
         assignments.push((next, n));
         next += n;
     }
-    assert!(next <= sets, "allocations exceed the cache ({next} > {sets} sets)");
+    assert!(
+        next <= sets,
+        "allocations exceed the cache ({next} > {sets} sets)"
+    );
     SetAssocCache::new(SetAssocConfig {
         partitioning: Partitioning::Sets(assignments),
         ..SetAssocConfig::new(sets, ways, policy)

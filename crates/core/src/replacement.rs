@@ -61,7 +61,14 @@ pub struct ReplacementState {
 impl ReplacementState {
     /// Creates replacement state for `sets * ways` entries.
     pub fn new(policy: Policy, sets: usize, ways: usize) -> Self {
-        Self { policy, ways, state: vec![0; sets * ways], clock: 0, psel: 0, bip_ctr: 0 }
+        Self {
+            policy,
+            ways,
+            state: vec![0; sets * ways],
+            clock: 0,
+            psel: 0,
+            bip_ctr: 0,
+        }
     }
 
     #[inline]
@@ -114,7 +121,7 @@ impl ReplacementState {
                 };
                 let rrpv = if bimodal {
                     self.bip_ctr = self.bip_ctr.wrapping_add(1);
-                    if self.bip_ctr % 32 == 0 {
+                    if self.bip_ctr.is_multiple_of(32) {
                         RRPV_INSERT
                     } else {
                         RRPV_MAX
@@ -166,7 +173,10 @@ impl ReplacementState {
         eligible: impl Fn(usize) -> bool,
     ) -> usize {
         let eligible_ways: Vec<usize> = (0..self.ways).filter(|&w| eligible(w)).collect();
-        assert!(!eligible_ways.is_empty(), "no eligible victim way in set {set}");
+        assert!(
+            !eligible_ways.is_empty(),
+            "no eligible victim way in set {set}"
+        );
         match self.policy {
             Policy::Lru => *eligible_ways
                 .iter()
@@ -249,7 +259,10 @@ mod tests {
         for _ in 0..256 {
             seen[r.choose_victim(0, &mut g, |_| true)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "random policy never chose some way");
+        assert!(
+            seen.iter().all(|&s| s),
+            "random policy never chose some way"
+        );
     }
 
     #[test]

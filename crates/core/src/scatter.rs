@@ -35,7 +35,11 @@ impl ScatterConfig {
     /// A 16-way configuration holding `lines` cache lines.
     pub fn for_lines(lines: usize, seed: u64) -> Self {
         let ways = 16;
-        Self { sets: lines / ways, ways, seed }
+        Self {
+            sets: lines / ways,
+            ways,
+            seed,
+        }
     }
 }
 
@@ -84,7 +88,7 @@ impl ScatterCache {
             index: IndexFunction::from_seed(config.seed, config.ways, config.sets),
             lines: vec![Line::default(); config.sets * config.ways],
             stats: CacheStats::default(),
-            rng: SmallRng::seed_from_u64(config.seed ^ 0x5ca7_7e2),
+            rng: SmallRng::seed_from_u64(config.seed ^ 0x05ca_77e2),
             config,
         }
     }
@@ -102,7 +106,9 @@ impl ScatterCache {
     fn find(&self, line: u64, domain: DomainId) -> Option<usize> {
         (0..self.config.ways)
             .map(|w| self.slot(w, line))
-            .find(|&i| self.lines[i].valid && self.lines[i].tag == line && self.lines[i].sdid == domain)
+            .find(|&i| {
+                self.lines[i].valid && self.lines[i].tag == line && self.lines[i].sdid == domain
+            })
     }
 }
 
@@ -120,7 +126,11 @@ impl CacheModel for ScatterCache {
                 AccessKind::Prefetch => {}
             }
             self.stats.data_hits += 1;
-            return Response { event: AccessEvent::DataHit, writebacks: wb, sae: false };
+            return Response {
+                event: AccessEvent::DataHit,
+                writebacks: wb,
+                sae: false,
+            };
         }
         self.stats.tag_misses += 1;
         // Prefer an invalid candidate slot; otherwise evict the occupant of
@@ -162,7 +172,11 @@ impl CacheModel for ScatterCache {
         };
         self.stats.tag_fills += 1;
         self.stats.data_fills += 1;
-        Response { event: AccessEvent::Miss, writebacks: wb, sae }
+        Response {
+            event: AccessEvent::Miss,
+            writebacks: wb,
+            sae,
+        }
     }
 
     fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {
@@ -215,7 +229,11 @@ mod tests {
     use super::*;
 
     fn small() -> ScatterCache {
-        ScatterCache::new(ScatterConfig { sets: 64, ways: 8, seed: 5 })
+        ScatterCache::new(ScatterConfig {
+            sets: 64,
+            ways: 8,
+            seed: 5,
+        })
     }
 
     #[test]
@@ -257,13 +275,15 @@ mod tests {
         // the same set index (that would collapse scattering to set-assoc).
         let mut differing = 0;
         for line in 0..64u64 {
-            let sets: Vec<usize> =
-                (0..8).map(|w| c.slot(w, line) / c.config.ways).collect();
+            let sets: Vec<usize> = (0..8).map(|w| c.slot(w, line) / c.config.ways).collect();
             if sets.iter().any(|&s| s != sets[0]) {
                 differing += 1;
             }
         }
-        assert!(differing > 60, "per-way scattering looks broken: {differing}/64");
+        assert!(
+            differing > 60,
+            "per-way scattering looks broken: {differing}/64"
+        );
     }
 
     #[test]

@@ -92,8 +92,14 @@ impl ThresholdCache {
     /// Panics if the set count is not a power of two or the cap is not in
     /// `(0, 1]`.
     pub fn new(config: ThresholdConfig) -> Self {
-        assert!(config.sets_per_skew.is_power_of_two(), "sets must be a power of two");
-        assert!(config.occupancy_cap > 0.0 && config.occupancy_cap <= 1.0, "cap must be in (0,1]");
+        assert!(
+            config.sets_per_skew.is_power_of_two(),
+            "sets must be a power of two"
+        );
+        assert!(
+            config.occupancy_cap > 0.0 && config.occupancy_cap <= 1.0,
+            "cap must be in (0,1]"
+        );
         Self {
             index: IndexFunction::from_seed(config.seed, config.skews, config.sets_per_skew),
             lines: vec![Line::default(); config.entries()],
@@ -167,7 +173,11 @@ impl CacheModel for ThresholdCache {
                 AccessKind::Prefetch => {}
             }
             self.stats.data_hits += 1;
-            return Response { event: AccessEvent::DataHit, writebacks: wb, sae: false };
+            return Response {
+                event: AccessEvent::DataHit,
+                writebacks: wb,
+                sae: false,
+            };
         }
         self.stats.tag_misses += 1;
         // Global cap: evict a uniformly random valid entry first if full.
@@ -199,8 +209,8 @@ impl CacheModel for ThresholdCache {
             }
         }
         let (skew, set, _) = best;
-        let invalid = (0..self.config.ways_per_skew)
-            .find(|&w| !self.lines[self.slot(skew, set, w)].valid);
+        let invalid =
+            (0..self.config.ways_per_skew).find(|&w| !self.lines[self.slot(skew, set, w)].valid);
         let mut sae = false;
         let way = match invalid {
             Some(w) => w,
@@ -227,7 +237,11 @@ impl CacheModel for ThresholdCache {
         self.valid_list.push(i as u32);
         self.stats.tag_fills += 1;
         self.stats.data_fills += 1;
-        Response { event: AccessEvent::Miss, writebacks: wb, sae }
+        Response {
+            event: AccessEvent::Miss,
+            writebacks: wb,
+            sae,
+        }
     }
 
     fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {

@@ -54,17 +54,29 @@ pub struct Request {
 impl Request {
     /// Convenience constructor for a demand read.
     pub fn read(line: u64, domain: DomainId) -> Self {
-        Self { line, kind: AccessKind::Read, domain }
+        Self {
+            line,
+            kind: AccessKind::Read,
+            domain,
+        }
     }
 
     /// Convenience constructor for a writeback.
     pub fn writeback(line: u64, domain: DomainId) -> Self {
-        Self { line, kind: AccessKind::Writeback, domain }
+        Self {
+            line,
+            kind: AccessKind::Writeback,
+            domain,
+        }
     }
 
     /// Convenience constructor for a prefetch.
     pub fn prefetch(line: u64, domain: DomainId) -> Self {
-        Self { line, kind: AccessKind::Prefetch, domain }
+        Self {
+            line,
+            kind: AccessKind::Prefetch,
+            domain,
+        }
     }
 }
 
@@ -106,7 +118,10 @@ impl Writebacks {
     /// Panics if more than two writebacks are pushed, which no model can
     /// legitimately produce for one request.
     pub fn push(&mut self, line: u64) {
-        assert!((self.len as usize) < self.buf.len(), "more than two writebacks for one request");
+        assert!(
+            (self.len as usize) < self.buf.len(),
+            "more than two writebacks for one request"
+        );
         self.buf[self.len as usize] = line;
         self.len += 1;
     }
@@ -250,14 +265,21 @@ mod tests {
 
     #[test]
     fn demand_misses_include_tag_only_hits() {
-        let s = CacheStats { tag_misses: 5, tag_only_hits: 3, ..Default::default() };
+        let s = CacheStats {
+            tag_misses: 5,
+            tag_only_hits: 3,
+            ..Default::default()
+        };
         assert_eq!(s.demand_misses(), 8);
     }
 
     #[test]
     fn request_constructors_set_kind() {
         assert_eq!(Request::read(1, DomainId(2)).kind, AccessKind::Read);
-        assert_eq!(Request::writeback(1, DomainId(2)).kind, AccessKind::Writeback);
+        assert_eq!(
+            Request::writeback(1, DomainId(2)).kind,
+            AccessKind::Writeback
+        );
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! `maya-lint`: the workspace's static-analysis pass.
+//!
+//! Every security number this reproduction reports rests on invariants that
+//! ordinary compilation does not check: all randomness must flow from
+//! explicit `SmallRng` seeds, simulation results must never depend on
+//! hasher state, and every `CacheModel` implementation must be registered
+//! in the experiment catalog so nothing silently escapes evaluation. This
+//! crate machine-checks those rules (see [`rules`]) over the whole
+//! workspace source tree, with zero external dependencies: a small
+//! comment/string-aware scanner ([`scan`]) stands in for a full parser,
+//! which is all these token-level rules need.
+//!
+//! Run it with `cargo run -p maya-lint`; it exits non-zero and prints
+//! `file:line: [rule] message` diagnostics on any violation. Suppress a
+//! single line — with justification — via a `lint: allow(<rule>)` comment
+//! on that line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+/// One lint finding, pointing at a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-indexed line number.
+    pub line: usize,
+    /// Stable rule identifier (e.g. `determinism/entropy`).
+    pub rule: &'static str,
+    /// Human-readable explanation and fix hint.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}

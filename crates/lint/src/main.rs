@@ -1,0 +1,72 @@
+//! Command-line entry point for `maya-lint`.
+//!
+//! Usage: `cargo run -p maya-lint [-- --root <path>]`. Scans the
+//! workspace (by default the one this binary was built from), prints one
+//! `file:line: [rule] message` diagnostic per violation, and exits with
+//! status 1 if any were found.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("error: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "maya-lint: static-analysis pass for the Maya reproduction workspace\n\
+                     \n\
+                     USAGE: maya-lint [--root <workspace-dir>]\n\
+                     \n\
+                     Rules: determinism/entropy, determinism/wall-clock,\n\
+                     determinism/hash-container, safety/crate-attrs,\n\
+                     model/design-registry. Exit 0 = clean, 1 = violations."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.canonicalize() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "error: cannot resolve workspace root {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    match maya_lint::workspace::run(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("maya-lint: workspace clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            eprintln!("maya-lint: {} violation(s) found", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("maya-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! The lint rules.
+//!
+//! Three families, matching the invariants in `CLAUDE.md` / `DESIGN.md`:
+//!
+//! 1. **Determinism** — no ambient entropy anywhere
+//!    ([`RULE_ENTROPY`]), no wall-clock reads in model crates
+//!    ([`RULE_WALL_CLOCK`]), and no iteration-order-sensitive hash
+//!    containers in model-crate production code ([`RULE_HASH`]).
+//! 2. **Safety/doc hygiene** — every crate root must carry
+//!    `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`
+//!    ([`RULE_ATTRS`]).
+//! 3. **Model registry** — every `CacheModel` implementor must be wired
+//!    into `maya_bench::designs::Design` so experiments cover it
+//!    ([`RULE_REGISTRY`]).
+//!
+//! Each rule takes pre-scanned text (see [`crate::scan`]) plus the raw
+//! source for `lint: allow(...)` markers, and returns [`Diagnostic`]s.
+
+use crate::scan;
+use crate::Diagnostic;
+
+/// Rule id: ambient entropy sources are banned workspace-wide.
+pub const RULE_ENTROPY: &str = "determinism/entropy";
+/// Rule id: wall-clock reads are banned in deterministic model crates.
+pub const RULE_WALL_CLOCK: &str = "determinism/wall-clock";
+/// Rule id: hash containers are banned in model-crate production code.
+pub const RULE_HASH: &str = "determinism/hash-container";
+/// Rule id: crate roots must carry the safety/doc attributes.
+pub const RULE_ATTRS: &str = "safety/crate-attrs";
+/// Rule id: every `CacheModel` impl must be a registered `Design`.
+pub const RULE_REGISTRY: &str = "model/design-registry";
+
+/// Identifiers that reach ambient entropy. Any appearance — tests
+/// included — breaks exact reproducibility across runs.
+const ENTROPY_IDENTS: &[(&str, &str)] = &[
+    (
+        "thread_rng",
+        "seeds from OS entropy; use an explicit SmallRng seed",
+    ),
+    (
+        "from_entropy",
+        "seeds from OS entropy; use SmallRng::seed_from_u64",
+    ),
+    ("from_os_rng", "seeds from OS entropy; use an explicit seed"),
+    ("OsRng", "is an OS entropy source; use a seeded SmallRng"),
+    (
+        "SystemTime",
+        "reads the wall clock; results must not depend on time",
+    ),
+];
+
+/// Deterministic model crates: simulation results must be a pure function
+/// of (trace, seed) here. `maya-bench` is excluded — its experiment
+/// driver legitimately reports wall-clock runtimes.
+pub const MODEL_CRATES: &[&str] = &[
+    "maya-core",
+    "champsim-lite",
+    "attacks",
+    "workloads",
+    "security-model",
+    "prince-cipher",
+];
+
+/// Returns true if `crate_name` is one of the deterministic model crates.
+pub fn is_model_crate(crate_name: &str) -> bool {
+    MODEL_CRATES.contains(&crate_name)
+}
+
+/// Emit a diagnostic for each hit of `ident` in `text`, unless the line
+/// carries an allow marker for `rule` in the raw source.
+fn flag_ident(
+    file: &str,
+    raw: &str,
+    text: &str,
+    ident: &str,
+    rule: &'static str,
+    message: String,
+) -> Vec<Diagnostic> {
+    let allowed = scan::allow_lines(raw, rule);
+    scan::find_ident(text, ident)
+        .into_iter()
+        .map(|at| scan::line_of(text, at))
+        .filter(|line| !allowed.contains(line))
+        .map(|line| Diagnostic {
+            file: file.to_string(),
+            line,
+            rule,
+            message: message.clone(),
+        })
+        .collect()
+}
+
+/// Determinism: ban ambient entropy identifiers in all code (tests too).
+///
+/// `stripped` is the comment/string-stripped source (test regions are
+/// *not* masked: entropy in tests is just as much of a repro hazard).
+pub fn check_entropy(file: &str, raw: &str, stripped: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (ident, why) in ENTROPY_IDENTS {
+        out.extend(flag_ident(
+            file,
+            raw,
+            stripped,
+            ident,
+            RULE_ENTROPY,
+            format!("`{ident}` {why}"),
+        ));
+    }
+    out
+}
+
+/// Determinism: ban `Instant` (wall-clock) in model crates.
+pub fn check_wall_clock(
+    file: &str,
+    crate_name: &str,
+    raw: &str,
+    stripped: &str,
+) -> Vec<Diagnostic> {
+    if !is_model_crate(crate_name) {
+        return Vec::new();
+    }
+    flag_ident(
+        file,
+        raw,
+        stripped,
+        "Instant",
+        RULE_WALL_CLOCK,
+        format!("`Instant` reads the wall clock; `{crate_name}` must be deterministic"),
+    )
+}
+
+/// Determinism: ban `HashMap`/`HashSet` in model-crate production code.
+///
+/// `masked` must have both comments/strings stripped *and* test regions
+/// masked — tests may use hash containers for bookkeeping because they
+/// never feed simulation results.
+pub fn check_hash_containers(
+    file: &str,
+    crate_name: &str,
+    raw: &str,
+    masked: &str,
+) -> Vec<Diagnostic> {
+    if !is_model_crate(crate_name) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for ident in ["HashMap", "HashSet"] {
+        out.extend(flag_ident(
+            file,
+            raw,
+            masked,
+            ident,
+            RULE_HASH,
+            format!(
+                "`{ident}` iteration order depends on hasher state; use \
+                 BTreeMap/BTreeSet (or index by Vec) in model code"
+            ),
+        ));
+    }
+    out
+}
+
+/// Safety: the crate root must carry both required inner attributes.
+///
+/// `root_file` is the workspace-relative path of the crate root
+/// (`src/lib.rs`, or `src/main.rs` for pure binaries); `stripped` its
+/// stripped source.
+pub fn check_crate_attrs(root_file: &str, stripped: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for attr in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
+        if !stripped.contains(attr) {
+            out.push(Diagnostic {
+                file: root_file.to_string(),
+                line: 1,
+                rule: RULE_ATTRS,
+                message: format!("crate root is missing `{attr}`"),
+            });
+        }
+    }
+    out
+}
+
+/// Collect the names of types with a non-test `impl CacheModel for T`.
+///
+/// `masked` must be stripped and test-masked. Handles optional path
+/// prefixes (`impl maya_core::CacheModel for T`). `impl Trait for` with
+/// other traits, trait *definitions*, and `dyn CacheModel` uses do not
+/// match.
+pub fn cache_model_impls(masked: &str) -> Vec<(String, usize)> {
+    let b = masked.as_bytes();
+    let mut found = Vec::new();
+    for at in scan::find_ident(masked, "CacheModel") {
+        // Backwards: skip `::`-joined path segments and whitespace until
+        // we either hit `impl` (match) or anything else (no match).
+        let mut i = at;
+        let impl_found = loop {
+            // Skip whitespace.
+            while i > 0 && (b[i - 1] as char).is_whitespace() {
+                i -= 1;
+            }
+            if i >= 2 && &b[i - 2..i] == b"::" {
+                i -= 2;
+                // Skip the path segment identifier.
+                while i > 0 && (b[i - 1] == b'_' || b[i - 1].is_ascii_alphanumeric()) {
+                    i -= 1;
+                }
+                continue;
+            }
+            if i >= 4 && &b[i - 4..i] == b"impl" {
+                let before = if i >= 5 { b[i - 5] } else { b' ' };
+                break !(before == b'_' || before.is_ascii_alphanumeric());
+            }
+            break false;
+        };
+        if !impl_found {
+            continue;
+        }
+        // Forwards: expect `for <Ident>`.
+        let mut j = at + "CacheModel".len();
+        while j < b.len() && (b[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if j + 3 > b.len() || &b[j..j + 3] != b"for" {
+            continue;
+        }
+        j += 3;
+        while j < b.len() && (b[j] as char).is_whitespace() {
+            j += 1;
+        }
+        let start = j;
+        while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+            j += 1;
+        }
+        if j > start {
+            found.push((masked[start..j].to_string(), scan::line_of(masked, at)));
+        }
+    }
+    found
+}
+
+/// Registry: every `CacheModel` implementor found in `impls` (name, line,
+/// file) must appear as an identifier in the designs-registry source.
+pub fn check_design_registry(
+    impls: &[(String, usize, String)],
+    designs_masked: &str,
+) -> Vec<Diagnostic> {
+    impls
+        .iter()
+        .filter(|(name, _, _)| scan::find_ident(designs_masked, name).is_empty())
+        .map(|(name, line, file)| Diagnostic {
+            file: file.clone(),
+            line: *line,
+            rule: RULE_REGISTRY,
+            message: format!(
+                "`{name}` implements CacheModel but is not referenced in \
+                 maya_bench::designs — add a Design variant so experiments cover it"
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{mask_test_regions, strip_comments_and_strings};
+
+    fn prep(src: &str) -> (String, String) {
+        let stripped = strip_comments_and_strings(src);
+        let masked = mask_test_regions(&stripped);
+        (stripped, masked)
+    }
+
+    #[test]
+    fn entropy_rule_catches_thread_rng() {
+        let src = "fn f() {\n    let mut r = rand::thread_rng();\n}";
+        let (stripped, _) = prep(src);
+        let d = check_entropy("x.rs", src, &stripped);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[0].rule, RULE_ENTROPY);
+    }
+
+    #[test]
+    fn entropy_rule_catches_from_entropy_and_system_time() {
+        let src = "let r = SmallRng::from_entropy();\nlet t = std::time::SystemTime::now();";
+        let (stripped, _) = prep(src);
+        let d = check_entropy("x.rs", src, &stripped);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn entropy_rule_ignores_comments_and_strings() {
+        let src = "// thread_rng is banned\nlet s = \"from_entropy\";";
+        let (stripped, _) = prep(src);
+        assert!(check_entropy("x.rs", src, &stripped).is_empty());
+    }
+
+    #[test]
+    fn entropy_rule_applies_inside_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { rand::thread_rng(); }\n}";
+        let (stripped, _) = prep(src);
+        assert_eq!(check_entropy("x.rs", src, &stripped).len(), 1);
+    }
+
+    #[test]
+    fn entropy_rule_honors_allow_marker() {
+        let src = "let r = thread_rng(); // lint: allow(determinism/entropy)";
+        let (stripped, _) = prep(src);
+        assert!(check_entropy("x.rs", src, &stripped).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_rule_is_scoped_to_model_crates() {
+        let src = "let t = std::time::Instant::now();";
+        let (stripped, _) = prep(src);
+        assert_eq!(
+            check_wall_clock("x.rs", "maya-core", src, &stripped).len(),
+            1
+        );
+        assert!(check_wall_clock("x.rs", "maya-bench", src, &stripped).is_empty());
+    }
+
+    #[test]
+    fn hash_rule_flags_production_code_only() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u64, u64>) {}\n\
+                   #[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}";
+        let (_, masked) = prep(src);
+        let d = check_hash_containers("x.rs", "champsim-lite", src, &masked);
+        assert_eq!(d.len(), 2); // the use + the fn signature; not the test
+        assert!(d.iter().all(|d| d.message.contains("HashMap")));
+    }
+
+    #[test]
+    fn hash_rule_ignores_non_model_crates() {
+        let src = "use std::collections::HashMap;";
+        let (_, masked) = prep(src);
+        assert!(check_hash_containers("x.rs", "maya-lint", src, &masked).is_empty());
+    }
+
+    #[test]
+    fn attrs_rule_requires_both_attributes() {
+        let ok = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nfn main() {}";
+        assert!(check_crate_attrs("src/lib.rs", ok).is_empty());
+        let missing = "#![forbid(unsafe_code)]\nfn main() {}";
+        let d = check_crate_attrs("src/lib.rs", missing);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("missing_docs"));
+    }
+
+    #[test]
+    fn registry_finds_impls_with_and_without_paths() {
+        let src = "impl CacheModel for MayaCache {}\n\
+                   impl maya_core::CacheModel for NewThing {}\n\
+                   pub trait CacheModel {}\n\
+                   fn f(c: &dyn CacheModel) {}\n\
+                   #[cfg(test)]\nmod t { impl CacheModel for TestOnly {} }";
+        let (_, masked) = prep(src);
+        let names: Vec<String> = cache_model_impls(&masked)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, vec!["MayaCache".to_string(), "NewThing".to_string()]);
+    }
+
+    #[test]
+    fn registry_flags_unregistered_designs() {
+        let impls = vec![
+            ("MayaCache".to_string(), 3, "a.rs".to_string()),
+            ("RogueCache".to_string(), 9, "b.rs".to_string()),
+        ];
+        let designs = "pub enum Design { Maya }\nfn build() { MayaCache::new(); }";
+        let d = check_design_registry(&impls, designs);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("RogueCache"));
+        assert_eq!(d[0].file, "b.rs");
+        assert_eq!(d[0].line, 9);
+    }
+}

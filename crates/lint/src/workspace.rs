@@ -1,0 +1,251 @@
+//! Workspace discovery and rule orchestration.
+//!
+//! Finds every package (the root `maya-repro` package plus `crates/*`),
+//! loads their Rust sources, and applies the [`crate::rules`] with the
+//! right per-rule scope: entropy everywhere, wall-clock and hash
+//! containers in model crates, crate attributes on crate roots, and the
+//! design registry over non-test `src/` code.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::rules;
+use crate::scan;
+use crate::Diagnostic;
+
+/// A workspace member package.
+#[derive(Debug, Clone)]
+pub struct Package {
+    /// Package name as declared in its `Cargo.toml`.
+    pub name: String,
+    /// Absolute path of the package directory.
+    pub dir: PathBuf,
+}
+
+/// Locate all workspace packages under `root`: the root package itself
+/// plus every `crates/<dir>` containing a `Cargo.toml`. Sorted by name
+/// so diagnostics are stable.
+pub fn find_packages(root: &Path) -> Result<Vec<Package>, String> {
+    let mut pkgs = Vec::new();
+    let root_manifest = root.join("Cargo.toml");
+    if let Some(name) = package_name(&root_manifest)? {
+        pkgs.push(Package {
+            name,
+            dir: root.to_path_buf(),
+        });
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)
+            .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .collect();
+        entries.sort();
+        for dir in entries {
+            if let Some(name) = package_name(&dir.join("Cargo.toml"))? {
+                pkgs.push(Package { name, dir });
+            }
+        }
+    }
+    pkgs.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(pkgs)
+}
+
+/// Extract `name = "..."` from a manifest's `[package]` section, or
+/// `None` for a virtual (workspace-only) manifest.
+fn package_name(manifest: &Path) -> Result<Option<String>, String> {
+    let text =
+        fs::read_to_string(manifest).map_err(|e| format!("reading {}: {e}", manifest.display()))?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package && line.starts_with("name") {
+            if let Some(eq) = line.find('=') {
+                let v = line[eq + 1..].trim().trim_matches('"');
+                return Ok(Some(v.to_string()));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// All `.rs` files under a package's `src/`, `tests/`, `examples/` and
+/// `benches/` directories, recursively, sorted for stable output.
+pub fn rust_files(pkg_dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for sub in ["src", "tests", "examples", "benches"] {
+        collect_rs(&pkg_dir.join(sub), &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Run every rule over the workspace rooted at `root`.
+///
+/// Returns the full set of diagnostics sorted by file, line, and rule;
+/// an `Err` means the workspace itself could not be read (missing
+/// manifests, unreadable files) rather than a lint finding.
+pub fn run(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let packages = find_packages(root)?;
+    if packages.is_empty() {
+        return Err(format!("no packages found under {}", root.display()));
+    }
+
+    let designs_path = root.join("crates/bench/src/designs.rs");
+    let designs_raw = fs::read_to_string(&designs_path)
+        .map_err(|e| format!("design registry {}: {e}", designs_path.display()))?;
+    let designs_masked = scan::mask_test_regions(&scan::strip_comments_and_strings(&designs_raw));
+
+    let mut diags = Vec::new();
+    let mut impls: Vec<(String, usize, String)> = Vec::new();
+
+    for pkg in &packages {
+        // Safety/doc attributes on the crate root.
+        let lib = pkg.dir.join("src/lib.rs");
+        let main = pkg.dir.join("src/main.rs");
+        let crate_root = if lib.is_file() {
+            Some(lib)
+        } else if main.is_file() {
+            Some(main)
+        } else {
+            None // virtual-ish package (root carries only tests/examples)
+        };
+        if let Some(ref cr) = crate_root {
+            let raw =
+                fs::read_to_string(cr).map_err(|e| format!("reading {}: {e}", cr.display()))?;
+            let stripped = scan::strip_comments_and_strings(&raw);
+            diags.extend(rules::check_crate_attrs(&rel(root, cr), &stripped));
+        }
+
+        for file in rust_files(&pkg.dir) {
+            let raw = fs::read_to_string(&file)
+                .map_err(|e| format!("reading {}: {e}", file.display()))?;
+            let relpath = rel(root, &file);
+            let stripped = scan::strip_comments_and_strings(&raw);
+            let masked = scan::mask_test_regions(&stripped);
+
+            diags.extend(rules::check_entropy(&relpath, &raw, &stripped));
+            diags.extend(rules::check_wall_clock(
+                &relpath, &pkg.name, &raw, &stripped,
+            ));
+            diags.extend(rules::check_hash_containers(
+                &relpath, &pkg.name, &raw, &masked,
+            ));
+
+            // Registry: only production code under src/ must register;
+            // integration tests may build throwaway models.
+            if file.starts_with(pkg.dir.join("src")) {
+                for (name, line) in rules::cache_model_impls(&masked) {
+                    impls.push((name, line, relpath.clone()));
+                }
+            }
+        }
+    }
+
+    diags.extend(rules::check_design_registry(&impls, &designs_masked));
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(diags)
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_all_workspace_packages() {
+        let pkgs = find_packages(&repo_root()).unwrap();
+        let names: Vec<&str> = pkgs.iter().map(|p| p.name.as_str()).collect();
+        for expected in [
+            "maya-repro",
+            "maya-core",
+            "maya-bench",
+            "maya-lint",
+            "champsim-lite",
+            "attacks",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "missing package {expected} in {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_tree_produces_no_diagnostics() {
+        let diags = run(&repo_root()).unwrap();
+        assert!(
+            diags.is_empty(),
+            "expected clean tree, got:\n{}",
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn registry_scan_sees_the_real_implementations() {
+        let root = repo_root();
+        let mut names = Vec::new();
+        for pkg in find_packages(&root).unwrap() {
+            for file in rust_files(&pkg.dir) {
+                if !file.starts_with(pkg.dir.join("src")) {
+                    continue;
+                }
+                let raw = fs::read_to_string(&file).unwrap();
+                let masked = scan::mask_test_regions(&scan::strip_comments_and_strings(&raw));
+                names.extend(
+                    rules::cache_model_impls(&masked)
+                        .into_iter()
+                        .map(|(n, _)| n),
+                );
+            }
+        }
+        for expected in [
+            "MayaCache",
+            "MirageCache",
+            "SetAssocCache",
+            "FullyAssocCache",
+        ] {
+            assert!(
+                names.contains(&expected.to_string()),
+                "did not find impl for {expected}"
+            );
+        }
+    }
+}

@@ -78,9 +78,13 @@ pub struct PowerModel {
     area: Affine,
 }
 
+/// One calibration row: (design, data KB, tag KB, read nJ, write nJ,
+/// static mW, area mm²).
+type CalibrationRow = (&'static str, f64, f64, f64, f64, f64, f64);
+
 /// Paper Table IX calibration rows: (design, data KB, tag KB, read nJ,
 /// write nJ, static mW, area mm²). Sizes come from Table VIII.
-const CALIBRATION: [(&str, f64, f64, f64, f64, f64, f64); 3] = [
+const CALIBRATION: [CalibrationRow; 3] = [
     ("baseline", 16_384.0, 928.0, 3.153, 4.652, 622.0, 14.868),
     ("mirage", 16_992.0, 3_864.0, 3.274, 4.857, 735.0, 15.887),
     ("maya", 12_744.0, 4_200.0, 2.661, 4.116, 588.0, 10.686),
@@ -89,9 +93,11 @@ const CALIBRATION: [(&str, f64, f64, f64, f64, f64, f64); 3] = [
 impl PowerModel {
     /// Builds the model calibrated on the paper's three published rows.
     pub fn calibrated() -> Self {
-        let pick = |f: fn(&(&str, f64, f64, f64, f64, f64, f64)) -> f64| {
-            let pts: Vec<(f64, f64, f64)> =
-                CALIBRATION.iter().map(|row| (row.1, row.2, f(row))).collect();
+        let pick = |f: fn(&CalibrationRow) -> f64| {
+            let pts: Vec<(f64, f64, f64)> = CALIBRATION
+                .iter()
+                .map(|row| (row.1, row.2, f(row)))
+                .collect();
             Affine::calibrate([pts[0], pts[1], pts[2]])
         };
         Self {
@@ -186,18 +192,38 @@ mod tests {
         let (b, mirage, maya) = (&rows[0], &rows[1], &rows[2]);
         // Maya: 28.11% area saving, 5.46% static-power saving.
         assert!(close(1.0 - maya.area_mm2 / b.area_mm2, 0.2811, 0.02));
-        assert!(close(1.0 - maya.static_power_mw / b.static_power_mw, 0.0546, 0.02));
+        assert!(close(
+            1.0 - maya.static_power_mw / b.static_power_mw,
+            0.0546,
+            0.02
+        ));
         // Mirage: +6.86% area, +18.16% static power.
         assert!(close(mirage.area_mm2 / b.area_mm2 - 1.0, 0.0686, 0.02));
-        assert!(close(mirage.static_power_mw / b.static_power_mw - 1.0, 0.1816, 0.02));
+        assert!(close(
+            mirage.static_power_mw / b.static_power_mw - 1.0,
+            0.1816,
+            0.02
+        ));
         // Maya dynamic energy savings: 15.55% read, 11.40% write.
-        assert!(close(1.0 - maya.read_energy_nj / b.read_energy_nj, 0.1555, 0.02));
-        assert!(close(1.0 - maya.write_energy_nj / b.write_energy_nj, 0.1140, 0.02));
+        assert!(close(
+            1.0 - maya.read_energy_nj / b.read_energy_nj,
+            0.1555,
+            0.02
+        ));
+        assert!(close(
+            1.0 - maya.write_energy_nj / b.write_energy_nj,
+            0.1140,
+            0.02
+        ));
     }
 
     #[test]
     fn affine_solver_recovers_known_coefficients() {
-        let truth = Affine { alpha: 1.5, beta: 0.25, gamma: -0.75 };
+        let truth = Affine {
+            alpha: 1.5,
+            beta: 0.25,
+            gamma: -0.75,
+        };
         let pt = |d: f64, t: f64| (d, t, truth.eval(d, t));
         let fit = Affine::calibrate([pt(1.0, 2.0), pt(3.0, 1.0), pt(2.0, 5.0)]);
         assert!((fit.alpha - truth.alpha).abs() < 1e-9);
@@ -216,6 +242,9 @@ mod tests {
         let m = PowerModel::calibrated();
         let rows = m.table_ix();
         let (mirage, iso) = (&rows[1], &rows[3]);
-        assert!(close(iso.area_mm2, mirage.area_mm2, 0.05), "{iso:?} vs {mirage:?}");
+        assert!(
+            close(iso.area_mm2, mirage.area_mm2, 0.05),
+            "{iso:?} vs {mirage:?}"
+        );
     }
 }

@@ -201,11 +201,36 @@ mod tests {
     /// The five test vectors from the PRINCE paper (Appendix A):
     /// `(plaintext, k0, k1, ciphertext)`.
     const VECTORS: [(u64, u64, u64, u64); 5] = [
-        (0x0000000000000000, 0x0000000000000000, 0x0000000000000000, 0x818665aa0d02dfda),
-        (0xffffffffffffffff, 0x0000000000000000, 0x0000000000000000, 0x604ae6ca03c20ada),
-        (0x0000000000000000, 0xffffffffffffffff, 0x0000000000000000, 0x9fb51935fc3df524),
-        (0x0000000000000000, 0x0000000000000000, 0xffffffffffffffff, 0x78a54cbe737bb7ef),
-        (0x0123456789abcdef, 0x0000000000000000, 0xfedcba9876543210, 0xae25ad3ca8fa9ccf),
+        (
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x818665aa0d02dfda,
+        ),
+        (
+            0xffffffffffffffff,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x604ae6ca03c20ada,
+        ),
+        (
+            0x0000000000000000,
+            0xffffffffffffffff,
+            0x0000000000000000,
+            0x9fb51935fc3df524,
+        ),
+        (
+            0x0000000000000000,
+            0x0000000000000000,
+            0xffffffffffffffff,
+            0x78a54cbe737bb7ef,
+        ),
+        (
+            0x0123456789abcdef,
+            0x0000000000000000,
+            0xfedcba9876543210,
+            0xae25ad3ca8fa9ccf,
+        ),
     ];
 
     #[test]
@@ -279,7 +304,9 @@ mod tests {
     fn different_keys_disagree_quickly() {
         let a = Prince::new(1, 2);
         let b = Prince::new(1, 3);
-        let collisions = (0..1024u64).filter(|&i| a.encrypt(i) == b.encrypt(i)).count();
+        let collisions = (0..1024u64)
+            .filter(|&i| a.encrypt(i) == b.encrypt(i))
+            .count();
         assert_eq!(collisions, 0);
     }
 }

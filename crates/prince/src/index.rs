@@ -133,7 +133,10 @@ mod tests {
             .filter(|&a| f.set_index(0, a) == f.set_index(1, a))
             .count();
         // Two independent uniform mappings collide on ~1/1024 of addresses.
-        assert!(same < 50, "skew mappings look correlated: {same} collisions");
+        assert!(
+            same < 50,
+            "skew mappings look correlated: {same} collisions"
+        );
     }
 
     #[test]
@@ -155,7 +158,10 @@ mod tests {
                 d * d / expected
             })
             .sum();
-        assert!(chi2 < 400.0, "chi-squared {chi2} too high for uniform mapping");
+        assert!(
+            chi2 < 400.0,
+            "chi-squared {chi2} too high for uniform mapping"
+        );
     }
 
     #[test]

@@ -131,7 +131,10 @@ pub fn format_installs(installs: f64) -> String {
     } else if years * 365.0 >= 1.0 {
         format!("{installs:.0e} installs ({:.0} days)", years * 365.0)
     } else {
-        format!("{installs:.0e} installs ({:.1} s)", years * 365.0 * 24.0 * 3600.0)
+        format!(
+            "{installs:.0e} installs ({:.1} s)",
+            years * 365.0 * 24.0 * 3600.0
+        )
     }
 }
 
@@ -164,7 +167,12 @@ mod tests {
     #[test]
     fn distribution_peaks_near_average_load() {
         let d = default_model().distribution(40);
-        let mode = d.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let mode = d
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert!((8..=10).contains(&mode), "mode {mode} should be near 9");
     }
 
@@ -176,7 +184,10 @@ mod tests {
         let r13 = d[13] / d[14];
         let r14 = d[14] / d[15];
         let r15 = d[15] / d[16];
-        assert!(r14 > r13 && r15 > r14, "ratios {r13:.2e} {r14:.2e} {r15:.2e}");
+        assert!(
+            r14 > r13 && r15 > r14,
+            "ratios {r13:.2e} {r14:.2e} {r15:.2e}"
+        );
     }
 
     #[test]
@@ -215,7 +226,10 @@ mod tests {
         let m = default_model();
         let w5 = m.installs_per_sae(6 + 3 + 5);
         let w6 = m.installs_per_sae(6 + 3 + 6);
-        assert!(w6 / w5 > 1e6, "one extra invalid way must buy many orders: {w5:.2e} vs {w6:.2e}");
+        assert!(
+            w6 / w5 > 1e6,
+            "one extra invalid way must buy many orders: {w5:.2e} vs {w6:.2e}"
+        );
     }
 
     #[test]
@@ -231,7 +245,10 @@ mod tests {
             installs[0] > installs[1] && installs[1] > installs[2],
             "security must fall with associativity: {installs:?}"
         );
-        assert!(installs[2] > 1e20, "even 36-way must exceed system lifetime");
+        assert!(
+            installs[2] > 1e20,
+            "even 36-way must exceed system lifetime"
+        );
     }
 
     #[test]

@@ -84,8 +84,8 @@ impl BallsSim {
         let mut p0_balls = Vec::with_capacity(config.total_p0());
         let mut p1_balls = Vec::with_capacity(config.total_p1());
         for b in 0..buckets as u32 {
-            p0_balls.extend(std::iter::repeat(b).take(config.avg_p0_per_bucket));
-            p1_balls.extend(std::iter::repeat(b).take(config.avg_p1_per_bucket));
+            p0_balls.extend(std::iter::repeat_n(b, config.avg_p0_per_bucket));
+            p1_balls.extend(std::iter::repeat_n(b, config.avg_p1_per_bucket));
         }
         // Histogram is sized generously: occupancy can exceed capacity only
         // transiently inside an access, never between them.
@@ -237,12 +237,17 @@ impl BallsSim {
 
     /// The cumulative outcome so far.
     pub fn outcome(&self) -> BallsOutcome {
-        let total_samples =
-            self.accumulated_iterations as f64 * self.config.total_buckets() as f64;
+        let total_samples = self.accumulated_iterations as f64 * self.config.total_buckets() as f64;
         let occupancy = self
             .occupancy_acc
             .iter()
-            .map(|&a| if total_samples > 0.0 { a as f64 / total_samples } else { 0.0 })
+            .map(|&a| {
+                if total_samples > 0.0 {
+                    a as f64 / total_samples
+                } else {
+                    0.0
+                }
+            })
             .collect();
         BallsOutcome {
             iterations: self.accumulated_iterations,
@@ -261,8 +266,14 @@ impl BallsSim {
         // type); it must never exceed the target.
         let p0_deficit = self.config.total_p0() as i64 - self.p0_balls.len() as i64;
         let p1_deficit = self.config.total_p1() as i64 - self.p1_balls.len() as i64;
-        assert!((0..=2).contains(&p0_deficit), "p0 population drifted by {p0_deficit}");
-        assert!((0..=2).contains(&p1_deficit), "p1 population drifted by {p1_deficit}");
+        assert!(
+            (0..=2).contains(&p0_deficit),
+            "p0 population drifted by {p0_deficit}"
+        );
+        assert!(
+            (0..=2).contains(&p1_deficit),
+            "p1 population drifted by {p1_deficit}"
+        );
         let mut per_bucket = vec![0u16; self.config.total_buckets()];
         for &b in self.p0_balls.iter().chain(&self.p1_balls) {
             per_bucket[b as usize] += 1;
@@ -291,7 +302,11 @@ mod tests {
     fn capacity_at_average_load_spills_constantly() {
         let mut sim = BallsSim::new(BallsConfig::small(9));
         let out = sim.run(20_000);
-        assert!(out.spills > 100, "capacity 9 must spill frequently, got {}", out.spills);
+        assert!(
+            out.spills > 100,
+            "capacity 9 must spill frequently, got {}",
+            out.spills
+        );
     }
 
     #[test]
@@ -303,8 +318,14 @@ mod tests {
         let s9 = spills_at(9);
         let s10 = spills_at(10);
         let s11 = spills_at(11);
-        assert!(s9 > 3 * s10.max(1), "9→10 must cut spills sharply ({s9} vs {s10})");
-        assert!(s10 > 3 * s11.max(1), "10→11 must cut spills sharply ({s10} vs {s11})");
+        assert!(
+            s9 > 3 * s10.max(1),
+            "9→10 must cut spills sharply ({s9} vs {s10})"
+        );
+        assert!(
+            s10 > 3 * s11.max(1),
+            "10→11 must cut spills sharply ({s10} vs {s11})"
+        );
     }
 
     #[test]
@@ -312,9 +333,20 @@ mod tests {
         let mut sim = BallsSim::new(BallsConfig::small(13));
         let out = sim.run(5_000);
         let total: f64 = out.occupancy.iter().sum();
-        assert!((total - 1.0).abs() < 1e-9, "histogram must be a distribution, got {total}");
-        let mean: f64 = out.occupancy.iter().enumerate().map(|(n, p)| n as f64 * p).sum();
-        assert!((mean - 9.0).abs() < 0.05, "mean occupancy must stay ~9, got {mean}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "histogram must be a distribution, got {total}"
+        );
+        let mean: f64 = out
+            .occupancy
+            .iter()
+            .enumerate()
+            .map(|(n, p)| n as f64 * p)
+            .sum();
+        assert!(
+            (mean - 9.0).abs() < 0.05,
+            "mean occupancy must stay ~9, got {mean}"
+        );
         // The mode sits at the average load.
         let mode = out
             .occupancy

@@ -36,7 +36,10 @@ impl BallsConfig {
 
     /// A smaller geometry for fast tests; same per-bucket averages.
     pub fn small(bucket_capacity: usize) -> Self {
-        Self { buckets_per_skew: 512, ..Self::paper_default(bucket_capacity) }
+        Self {
+            buckets_per_skew: 512,
+            ..Self::paper_default(bucket_capacity)
+        }
     }
 
     /// Total number of buckets across skews.

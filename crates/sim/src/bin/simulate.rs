@@ -21,15 +21,19 @@ fn build_design(name: &str, lines: usize, seed: u64) -> Box<dyn CacheModel> {
             seed,
             ..SetAssocConfig::new(lines / 16, 16, Policy::Drrip)
         })),
-        "mirage" => Box::new(MirageCache::new(MirageConfig::for_data_entries(lines, seed))),
+        "mirage" => Box::new(MirageCache::new(MirageConfig::for_data_entries(
+            lines, seed,
+        ))),
         "maya" => Box::new(MayaCache::new(MayaConfig::for_baseline_lines(lines, seed))),
         "fully-assoc" => Box::new(FullyAssocCache::new(lines, seed)),
         "scatter" => Box::new(ScatterCache::new(ScatterConfig::for_lines(lines, seed))),
         "ceaser" => Box::new(CeaserCache::new(CeaserConfig::ceaser(lines, 100_000, seed))),
-        "ceaser-s" => Box::new(CeaserCache::new(CeaserConfig::ceaser_s(lines, 100_000, seed))),
-        "threshold" => {
-            Box::new(ThresholdCache::new(ThresholdConfig::paper_discussion(lines, seed)))
-        }
+        "ceaser-s" => Box::new(CeaserCache::new(CeaserConfig::ceaser_s(
+            lines, 100_000, seed,
+        ))),
+        "threshold" => Box::new(ThresholdCache::new(ThresholdConfig::paper_discussion(
+            lines, seed,
+        ))),
         other => {
             eprintln!("error: unknown design {other}");
             std::process::exit(2);
@@ -90,7 +94,9 @@ fn main() {
     println!("avg_mpki      {:.2}", r.avg_mpki());
     println!(
         "dead_blocks   {}",
-        r.dead_block_fraction().map(|d| format!("{:.1}%", d * 100.0)).unwrap_or("n/a".into())
+        r.dead_block_fraction()
+            .map(|d| format!("{:.1}%", d * 100.0))
+            .unwrap_or("n/a".into())
     );
     println!("llc_hits      {}", r.llc.data_hits);
     println!("llc_saes      {}", r.llc.saes);

@@ -92,8 +92,16 @@ impl SystemConfig {
             cores: 8,
             commit_width: 4,
             mlp: 16,
-            l1d: CacheLevelConfig { sets: 64, ways: 12, latency: 5 },
-            l2: CacheLevelConfig { sets: 1024, ways: 8, latency: 10 },
+            l1d: CacheLevelConfig {
+                sets: 64,
+                ways: 12,
+                latency: 5,
+            },
+            l2: CacheLevelConfig {
+                sets: 1024,
+                ways: 8,
+                latency: 10,
+            },
             llc_latency: 24,
             prefetch_degree: 4,
             warmup_instructions: 500_000,
@@ -104,7 +112,10 @@ impl SystemConfig {
 
     /// A single-core variant (Figure 1 uses a 1-core, 2 MB-LLC system).
     pub fn single_core_default() -> Self {
-        Self { cores: 1, ..Self::eight_core_default() }
+        Self {
+            cores: 1,
+            ..Self::eight_core_default()
+        }
     }
 
     /// Shrinks run length for unit tests.

@@ -117,7 +117,10 @@ mod tests {
         let first = d.read(0, DomainId::ANY, 0);
         // Lines 1..63 share line 0's 4 KB page -> row hits, cheaper.
         let second = d.read(1, DomainId::ANY, 10_000);
-        assert!(second < first, "row hit {second} must beat row miss {first}");
+        assert!(
+            second < first,
+            "row hit {second} must beat row miss {first}"
+        );
         assert_eq!(d.counters().2, 1);
     }
 
@@ -150,7 +153,10 @@ mod tests {
 
     #[test]
     fn bank_partitioning_shrinks_parallelism() {
-        let cfg = DramConfig { bank_partition_domains: Some(8), ..DramConfig::ddr4_default() };
+        let cfg = DramConfig {
+            bank_partition_domains: Some(8),
+            ..DramConfig::ddr4_default()
+        };
         let mut d = Dram::new(cfg);
         // Domain 0 owns 4 banks: pages 0..4 occupy them all, page 4 queues
         // behind page 0.
@@ -164,7 +170,9 @@ mod tests {
         );
         // Unpartitioned DRAM has 32 banks: no queueing for 5 pages.
         let mut free = dram();
-        let l: Vec<u64> = (0..5u64).map(|p| free.read(p * 64, DomainId(0), 0)).collect();
+        let l: Vec<u64> = (0..5u64)
+            .map(|p| free.read(p * 64, DomainId(0), 0))
+            .collect();
         assert!(l.iter().all(|&x| x == l[0]));
     }
 

@@ -47,7 +47,13 @@ impl StridePrefetcher {
 
     /// [`StridePrefetcher::new`] with an explicit lookahead distance.
     pub fn with_distance(degree: u32, distance: u32) -> Self {
-        Self { table: vec![Entry::default(); 256], degree, distance, issued: 0, timely_streak: 0 }
+        Self {
+            table: vec![Entry::default(); 256],
+            degree,
+            distance,
+            issued: 0,
+            timely_streak: 0,
+        }
     }
 
     /// Feedback: a demand merged with a still-in-flight prefetch (the
@@ -101,7 +107,12 @@ impl StridePrefetcher {
             }
             e.last_line = line;
         } else {
-            *e = Entry { tag: pc, last_line: line, stride: 0, confidence: 0 };
+            *e = Entry {
+                tag: pc,
+                last_line: line,
+                stride: 0,
+                confidence: 0,
+            };
         }
         self.issued += out.len() as u64;
         out
@@ -157,7 +168,10 @@ mod tests {
         for i in (0..20u64).rev() {
             out.extend(p.observe(pc, 1000 + i));
         }
-        assert!(out.iter().any(|&l| l < 1000), "descending stream must prefetch downward");
+        assert!(
+            out.iter().any(|&l| l < 1000),
+            "descending stream must prefetch downward"
+        );
     }
 
     #[test]

@@ -2,11 +2,9 @@
 //! parallelism, private L1D/L2, a shared pluggable LLC, and shared DRAM.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
-use maya_core::{
-    AccessKind, CacheModel, DomainId, Policy, Request, SetAssocCache, SetAssocConfig,
-};
+use maya_core::{AccessKind, CacheModel, DomainId, Policy, Request, SetAssocCache, SetAssocConfig};
 use workloads::mixes::Mix;
 use workloads::spec::SyntheticTrace;
 use workloads::TraceGenerator;
@@ -38,8 +36,9 @@ struct Core {
     /// A demand that finds its line still in flight merges with the
     /// prefetch (counted as an LLC demand miss, waiting the residual
     /// latency) — this is what keeps an idealized prefetcher from
-    /// pretending streams are free.
-    inflight_prefetch: HashMap<u64, u64>,
+    /// pretending streams are free. Ordered map: simulation results must
+    /// never depend on hasher iteration order.
+    inflight_prefetch: BTreeMap<u64, u64>,
     measuring: bool,
     meas_start_cycle: u64,
     meas: CoreResult,
@@ -98,7 +97,7 @@ impl System {
                 outstanding: BinaryHeap::new(),
                 last_load_completion: 0,
                 retired: 0,
-                inflight_prefetch: HashMap::new(),
+                inflight_prefetch: BTreeMap::new(),
                 measuring: false,
                 meas_start_cycle: 0,
                 meas: CoreResult::default(),
@@ -120,7 +119,32 @@ impl System {
 
     /// Runs warm-up plus measurement and returns the results.
     pub fn run(&mut self) -> RunResult {
+        self.run_impl(None)
+    }
+
+    /// Like [`run`](Self::run), but audits the LLC's structural invariants
+    /// (see `CacheModel::audit`) every `AUDIT_INTERVAL` trace records and
+    /// once more after the run completes.
+    ///
+    /// This is the checked-simulation mode used by tests: corruption is
+    /// caught within ~10k accesses of its introduction rather than
+    /// surfacing as silently wrong statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the audit's description if the LLC reports corruption.
+    pub fn run_checked(&mut self) -> RunResult {
+        const AUDIT_INTERVAL: u64 = 10_000;
+        let result = self.run_impl(Some(AUDIT_INTERVAL));
+        if let Err(e) = self.llc.audit() {
+            panic!("LLC '{}' corrupt after checked run: {e}", self.llc.name());
+        }
+        result
+    }
+
+    fn run_impl(&mut self, audit_every: Option<u64>) -> RunResult {
         let target = self.config.warmup_instructions + self.config.measure_instructions;
+        let mut steps: u64 = 0;
         loop {
             // Advance the core that is furthest behind in time, so cores
             // interleave at the shared LLC and DRAM realistically.
@@ -130,6 +154,17 @@ impl System {
             match next {
                 Some(i) => self.step(i),
                 None => break,
+            }
+            steps += 1;
+            if let Some(every) = audit_every {
+                if steps.is_multiple_of(every) {
+                    if let Err(e) = self.llc.audit() {
+                        panic!(
+                            "LLC '{}' corrupt after {steps} trace records: {e}",
+                            self.llc.name()
+                        );
+                    }
+                }
             }
         }
         let cores = self
@@ -234,7 +269,9 @@ impl System {
         // included — write-heavy streams would otherwise break stride
         // detection.
         let prefetches = self.cores[i].prefetcher.observe(pc, line);
-        let r1 = self.cores[i].l1d.access(Request::writeback(line, DomainId::ANY));
+        let r1 = self.cores[i]
+            .l1d
+            .access(Request::writeback(line, DomainId::ANY));
         if !r1.is_data_hit() {
             let l1_victims: Vec<u64> = r1.writebacks.iter().collect();
             for v in l1_victims {
@@ -259,7 +296,11 @@ impl System {
     /// (counted in MPKI, waits on in-flight prefetches) from prefetches
     /// (inserted at distant priority, never counted).
     fn walk_below_l1(&mut self, i: usize, line: u64, demand: bool) -> u64 {
-        let kind = if demand { AccessKind::Read } else { AccessKind::Prefetch };
+        let kind = if demand {
+            AccessKind::Read
+        } else {
+            AccessKind::Prefetch
+        };
         // The L2 treats prefetch fills as ordinary fills (normal insertion
         // priority); prefetch-awareness matters at the shared LLC.
         let r2 = self.cores[i].l2.access(Request::read(line, DomainId::ANY));
@@ -329,7 +370,9 @@ impl System {
     /// A dirty L1 victim written back into L2 (allocating); L2 victims
     /// cascade to the LLC.
     fn l2_writeback(&mut self, i: usize, line: u64) {
-        let r = self.cores[i].l2.access(Request::writeback(line, DomainId::ANY));
+        let r = self.cores[i]
+            .l2
+            .access(Request::writeback(line, DomainId::ANY));
         let victims: Vec<u64> = r.writebacks.iter().collect();
         for v in victims {
             self.llc_writeback(i, v);
@@ -371,7 +414,11 @@ mod tests {
     }
 
     fn baseline_llc(lines: usize) -> Box<dyn CacheModel> {
-        Box::new(SetAssocCache::new(SetAssocConfig::new(lines / 16, 16, Policy::Srrip)))
+        Box::new(SetAssocCache::new(SetAssocConfig::new(
+            lines / 16,
+            16,
+            Policy::Srrip,
+        )))
     }
 
     #[test]
@@ -393,7 +440,11 @@ mod tests {
         };
         let mut sys = System::new(cfg, baseline_llc(32 * 1024), &homogeneous("leela", 1), 1);
         let r = sys.run();
-        assert!(r.cores[0].mpki() < 3.0, "leela MPKI {} should be tiny", r.cores[0].mpki());
+        assert!(
+            r.cores[0].mpki() < 3.0,
+            "leela MPKI {} should be tiny",
+            r.cores[0].mpki()
+        );
     }
 
     #[test]
@@ -424,11 +475,48 @@ mod tests {
     #[test]
     fn mirage_llc_plugs_in_and_runs() {
         let cfg = small_cfg(2);
-        let llc = Box::new(MirageCache::new(MirageConfig::for_data_entries(64 * 1024, 3)));
+        let llc = Box::new(MirageCache::new(MirageConfig::for_data_entries(
+            64 * 1024,
+            3,
+        )));
         let mut sys = System::new(cfg, llc, &homogeneous("bwaves", 2), 1);
         let r = sys.run();
         assert_eq!(r.llc_name, "mirage");
         assert!(r.cores.iter().all(|c| c.ipc() > 0.0));
+    }
+
+    #[test]
+    fn checked_run_audits_maya_and_mirage_without_findings() {
+        // run_checked() audits the LLC every 10k records; with 70k records
+        // per run this exercises mid-run audits, not just the final one.
+        let cfg = small_cfg(1);
+        let llc = Box::new(MayaCache::new(MayaConfig::for_baseline_lines(32 * 1024, 5)));
+        let mut sys = System::new(cfg.clone(), llc, &homogeneous("mcf", 1), 2);
+        let r = sys.run_checked();
+        assert!(r.cores[0].ipc() > 0.0);
+
+        let llc = Box::new(MirageCache::new(MirageConfig::for_data_entries(
+            32 * 1024,
+            5,
+        )));
+        let mut sys = System::new(cfg, llc, &homogeneous("lbm", 1), 2);
+        let r = sys.run_checked();
+        assert!(r.cores[0].ipc() > 0.0);
+    }
+
+    #[test]
+    fn checked_run_matches_unchecked_run_exactly() {
+        // Auditing is read-only by contract; the checked mode must not
+        // perturb results.
+        let build = || {
+            let cfg = small_cfg(1);
+            let llc = Box::new(MayaCache::new(MayaConfig::for_baseline_lines(32 * 1024, 7)));
+            System::new(cfg, llc, &homogeneous("xz", 1), 4)
+        };
+        let a = build().run();
+        let b = build().run_checked();
+        assert_eq!(a.cores[0], b.cores[0]);
+        assert_eq!(a.dram, b.dram);
     }
 
     #[test]
@@ -453,7 +541,12 @@ mod tests {
     #[test]
     fn pointer_chase_is_slower_than_cached_working_set() {
         let cfg = small_cfg(1);
-        let mut chase = System::new(cfg.clone(), baseline_llc(32 * 1024), &homogeneous("mcf", 1), 1);
+        let mut chase = System::new(
+            cfg.clone(),
+            baseline_llc(32 * 1024),
+            &homogeneous("mcf", 1),
+            1,
+        );
         let mut hits = System::new(cfg, baseline_llc(32 * 1024), &homogeneous("leela", 1), 1);
         let slow = chase.run().cores[0].ipc();
         let fast = hits.run().cores[0].ipc();

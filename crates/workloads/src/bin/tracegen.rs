@@ -25,7 +25,9 @@ fn main() {
         exit(2);
     }
     let name = &args[0];
-    let count: u64 = args[1].parse().unwrap_or_else(|_| die("count must be an integer"));
+    let count: u64 = args[1]
+        .parse()
+        .unwrap_or_else(|_| die("count must be an integer"));
     let path = PathBuf::from(&args[2]);
     let mut core = 0usize;
     let mut seed = 42u64;
@@ -34,23 +36,32 @@ fn main() {
         match args[i].as_str() {
             "--core" => {
                 i += 1;
-                core = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| die("--core"));
+                core = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--core"));
             }
             "--seed" => {
                 i += 1;
-                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| die("--seed"));
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed"));
             }
             other => die(&format!("unknown flag {other}")),
         }
         i += 1;
     }
-    let spec = benchmark(name)
-        .unwrap_or_else(|| die(&format!("unknown benchmark {name}; see --list")));
+    let spec =
+        benchmark(name).unwrap_or_else(|| die(&format!("unknown benchmark {name}; see --list")));
     let mut gen = spec.generator(core, seed);
     if let Err(e) = write_trace(&path, &mut gen, count) {
         die(&format!("writing {}: {e}", path.display()));
     }
-    eprintln!("wrote {count} records of {name} (core {core}, seed {seed}) to {}", path.display());
+    eprintln!(
+        "wrote {count} records of {name} (core {core}, seed {seed}) to {}",
+        path.display()
+    );
 }
 
 fn die(msg: &str) -> ! {

@@ -86,9 +86,7 @@ const ZIPF_BUCKETS: usize = 4096;
 impl ComponentState {
     pub(crate) fn new(component: Component, base: u64, seed: u64, pc_base: u64) -> Self {
         let zipf_table = match component {
-            Component::WorkingSet { lines, zipf } if zipf > 0.0 => {
-                build_zipf_table(lines, zipf)
-            }
+            Component::WorkingSet { lines, zipf } if zipf > 0.0 => build_zipf_table(lines, zipf),
             _ => Vec::new(),
         };
         Self {
@@ -105,7 +103,10 @@ impl ComponentState {
     /// Pointer-chase accesses are value-dependent on the previous load.
     pub(crate) fn next(&mut self) -> (u64, u64, bool) {
         match self.component {
-            Component::Stream { region_lines, stride_lines } => {
+            Component::Stream {
+                region_lines,
+                stride_lines,
+            } => {
                 self.cursor = (self.cursor + stride_lines) % region_lines;
                 (self.base + self.cursor * LINE, self.pc_base, false)
             }
@@ -132,7 +133,10 @@ impl ComponentState {
                 self.cursor = (self.cursor + 1) % lines;
                 (self.base + self.cursor * LINE, self.pc_base + 24, false)
             }
-            Component::Phased { lines, epoch_accesses } => {
+            Component::Phased {
+                lines,
+                epoch_accesses,
+            } => {
                 self.cursor += 1;
                 // Cycle through 64 disjoint epoch regions.
                 let region = (self.cursor / epoch_accesses) % 64;
@@ -174,7 +178,10 @@ mod tests {
 
     #[test]
     fn stream_advances_by_stride_and_never_reuses_early() {
-        let mut s = state(Component::Stream { region_lines: 1 << 30, stride_lines: 1 });
+        let mut s = state(Component::Stream {
+            region_lines: 1 << 30,
+            stride_lines: 1,
+        });
         let mut last = 0;
         for _ in 0..10_000 {
             let (addr, _, _) = s.next();
@@ -220,7 +227,10 @@ mod tests {
             seen[(addr / LINE) as usize] = true;
         }
         let covered = seen.iter().filter(|&&b| b).count();
-        assert!(covered > 200, "chase must cover most of the region: {covered}/256");
+        assert!(
+            covered > 200,
+            "chase must cover most of the region: {covered}/256"
+        );
     }
 
     #[test]
@@ -237,8 +247,15 @@ mod tests {
 
     #[test]
     fn components_use_distinct_pcs() {
-        let mut a = state(Component::Stream { region_lines: 1024, stride_lines: 1 });
+        let mut a = state(Component::Stream {
+            region_lines: 1024,
+            stride_lines: 1,
+        });
         let mut b = state(Component::Scan { lines: 1024 });
-        assert_ne!(a.next().1, b.next().1, "distinct components need distinct PCs");
+        assert_ne!(
+            a.next().1,
+            b.next().1,
+            "distinct components need distinct PCs"
+        );
     }
 }

@@ -81,7 +81,13 @@ mod tests {
 
     #[test]
     fn line_strips_offset_bits() {
-        let a = Access { addr: 0x1234, is_write: false, pc: 0, gap: 0, dependent: false };
+        let a = Access {
+            addr: 0x1234,
+            is_write: false,
+            pc: 0,
+            gap: 0,
+            dependent: false,
+        };
         assert_eq!(a.line(), 0x1234 >> 6);
     }
 

@@ -55,34 +55,283 @@ pub fn hetero_mixes() -> Vec<Mix> {
         let mut specs = Vec::with_capacity(8);
         for &(b, n) in comp {
             let s = benchmark(b).unwrap_or_else(|| panic!("unknown benchmark {b}"));
-            specs.extend(std::iter::repeat(s).take(n));
+            specs.extend(std::iter::repeat_n(s, n));
         }
         assert_eq!(specs.len(), 8, "mix {name} must have 8 cores");
-        Mix { name: name.to_string(), specs, bin: Some(bin) }
+        Mix {
+            name: name.to_string(),
+            specs,
+            bin: Some(bin),
+        }
     }
     use MpkiBin::{High, Low, Medium};
     vec![
-        m("M1", Low, &[("cactuBSSN", 2), ("wrf", 1), ("xalancbmk", 1), ("pop2", 1), ("roms", 1), ("xz", 1), ("sssp", 1)]),
-        m("M2", Low, &[("bwaves", 1), ("mcf", 1), ("cactuBSSN", 1), ("wrf", 1), ("xalancbmk", 1), ("xz", 1), ("bfs", 1), ("sssp", 1)]),
-        m("M3", Low, &[("mcf", 1), ("cactuBSSN", 1), ("omnetpp", 1), ("xalancbmk", 1), ("roms", 1), ("bfs", 1), ("cc", 1), ("sssp", 1)]),
-        m("M4", Low, &[("perlbench", 1), ("bwaves", 1), ("mcf", 3), ("cam4", 1), ("xz", 1), ("bc", 1)]),
-        m("M5", Low, &[("perlbench", 1), ("mcf", 2), ("cactuBSSN", 1), ("roms", 1), ("xz", 1), ("bc", 1), ("pr", 1)]),
-        m("M6", Low, &[("gcc", 1), ("mcf", 2), ("cactuBSSN", 1), ("lbm", 2), ("fotonik3d", 1), ("roms", 1)]),
-        m("M7", Low, &[("bwaves", 1), ("mcf", 1), ("cactuBSSN", 1), ("pop2", 1), ("xz", 1), ("bc", 2), ("sssp", 1)]),
-        m("M8", Medium, &[("gcc", 2), ("bwaves", 1), ("x264", 1), ("bc", 1), ("cc", 1), ("pr", 1), ("sssp", 1)]),
-        m("M9", Medium, &[("gcc", 1), ("cactuBSSN", 1), ("lbm", 1), ("xalancbmk", 1), ("x264", 1), ("cam4", 1), ("pr", 1), ("sssp", 1)]),
-        m("M10", Medium, &[("mcf", 3), ("lbm", 1), ("wrf", 1), ("fotonik3d", 2), ("sssp", 1)]),
-        m("M11", Medium, &[("mcf", 3), ("lbm", 1), ("omnetpp", 1), ("pop2", 1), ("roms", 1), ("cc", 1)]),
-        m("M12", Medium, &[("mcf", 2), ("cactuBSSN", 1), ("fotonik3d", 1), ("roms", 2), ("cc", 1), ("pr", 1)]),
-        m("M13", Medium, &[("bwaves", 1), ("mcf", 1), ("xalancbmk", 1), ("fotonik3d", 1), ("roms", 2), ("bc", 1), ("sssp", 1)]),
-        m("M14", Medium, &[("mcf", 1), ("lbm", 1), ("xalancbmk", 1), ("roms", 1), ("bc", 1), ("cc", 1), ("sssp", 2)]),
-        m("M15", High, &[("bwaves", 1), ("cactuBSSN", 1), ("lbm", 1), ("roms", 2), ("bfs", 1), ("pr", 1), ("sssp", 1)]),
-        m("M16", High, &[("mcf", 3), ("cactuBSSN", 1), ("lbm", 1), ("bfs", 2), ("cc", 1)]),
-        m("M17", High, &[("mcf", 1), ("cactuBSSN", 1), ("wrf", 1), ("xalancbmk", 1), ("x264", 1), ("bc", 1), ("pr", 2)]),
-        m("M18", High, &[("omnetpp", 1), ("wrf", 1), ("fotonik3d", 1), ("roms", 1), ("bc", 2), ("cc", 1), ("sssp", 1)]),
-        m("M19", High, &[("bwaves", 1), ("mcf", 2), ("cactuBSSN", 1), ("xalancbmk", 1), ("bfs", 1), ("pr", 1), ("sssp", 1)]),
-        m("M20", High, &[("perlbench", 1), ("mcf", 2), ("omnetpp", 1), ("fotonik3d", 1), ("pr", 1), ("sssp", 2)]),
-        m("M21", High, &[("gcc", 1), ("bwaves", 1), ("mcf", 2), ("lbm", 1), ("bc", 1), ("pr", 2)]),
+        m(
+            "M1",
+            Low,
+            &[
+                ("cactuBSSN", 2),
+                ("wrf", 1),
+                ("xalancbmk", 1),
+                ("pop2", 1),
+                ("roms", 1),
+                ("xz", 1),
+                ("sssp", 1),
+            ],
+        ),
+        m(
+            "M2",
+            Low,
+            &[
+                ("bwaves", 1),
+                ("mcf", 1),
+                ("cactuBSSN", 1),
+                ("wrf", 1),
+                ("xalancbmk", 1),
+                ("xz", 1),
+                ("bfs", 1),
+                ("sssp", 1),
+            ],
+        ),
+        m(
+            "M3",
+            Low,
+            &[
+                ("mcf", 1),
+                ("cactuBSSN", 1),
+                ("omnetpp", 1),
+                ("xalancbmk", 1),
+                ("roms", 1),
+                ("bfs", 1),
+                ("cc", 1),
+                ("sssp", 1),
+            ],
+        ),
+        m(
+            "M4",
+            Low,
+            &[
+                ("perlbench", 1),
+                ("bwaves", 1),
+                ("mcf", 3),
+                ("cam4", 1),
+                ("xz", 1),
+                ("bc", 1),
+            ],
+        ),
+        m(
+            "M5",
+            Low,
+            &[
+                ("perlbench", 1),
+                ("mcf", 2),
+                ("cactuBSSN", 1),
+                ("roms", 1),
+                ("xz", 1),
+                ("bc", 1),
+                ("pr", 1),
+            ],
+        ),
+        m(
+            "M6",
+            Low,
+            &[
+                ("gcc", 1),
+                ("mcf", 2),
+                ("cactuBSSN", 1),
+                ("lbm", 2),
+                ("fotonik3d", 1),
+                ("roms", 1),
+            ],
+        ),
+        m(
+            "M7",
+            Low,
+            &[
+                ("bwaves", 1),
+                ("mcf", 1),
+                ("cactuBSSN", 1),
+                ("pop2", 1),
+                ("xz", 1),
+                ("bc", 2),
+                ("sssp", 1),
+            ],
+        ),
+        m(
+            "M8",
+            Medium,
+            &[
+                ("gcc", 2),
+                ("bwaves", 1),
+                ("x264", 1),
+                ("bc", 1),
+                ("cc", 1),
+                ("pr", 1),
+                ("sssp", 1),
+            ],
+        ),
+        m(
+            "M9",
+            Medium,
+            &[
+                ("gcc", 1),
+                ("cactuBSSN", 1),
+                ("lbm", 1),
+                ("xalancbmk", 1),
+                ("x264", 1),
+                ("cam4", 1),
+                ("pr", 1),
+                ("sssp", 1),
+            ],
+        ),
+        m(
+            "M10",
+            Medium,
+            &[
+                ("mcf", 3),
+                ("lbm", 1),
+                ("wrf", 1),
+                ("fotonik3d", 2),
+                ("sssp", 1),
+            ],
+        ),
+        m(
+            "M11",
+            Medium,
+            &[
+                ("mcf", 3),
+                ("lbm", 1),
+                ("omnetpp", 1),
+                ("pop2", 1),
+                ("roms", 1),
+                ("cc", 1),
+            ],
+        ),
+        m(
+            "M12",
+            Medium,
+            &[
+                ("mcf", 2),
+                ("cactuBSSN", 1),
+                ("fotonik3d", 1),
+                ("roms", 2),
+                ("cc", 1),
+                ("pr", 1),
+            ],
+        ),
+        m(
+            "M13",
+            Medium,
+            &[
+                ("bwaves", 1),
+                ("mcf", 1),
+                ("xalancbmk", 1),
+                ("fotonik3d", 1),
+                ("roms", 2),
+                ("bc", 1),
+                ("sssp", 1),
+            ],
+        ),
+        m(
+            "M14",
+            Medium,
+            &[
+                ("mcf", 1),
+                ("lbm", 1),
+                ("xalancbmk", 1),
+                ("roms", 1),
+                ("bc", 1),
+                ("cc", 1),
+                ("sssp", 2),
+            ],
+        ),
+        m(
+            "M15",
+            High,
+            &[
+                ("bwaves", 1),
+                ("cactuBSSN", 1),
+                ("lbm", 1),
+                ("roms", 2),
+                ("bfs", 1),
+                ("pr", 1),
+                ("sssp", 1),
+            ],
+        ),
+        m(
+            "M16",
+            High,
+            &[
+                ("mcf", 3),
+                ("cactuBSSN", 1),
+                ("lbm", 1),
+                ("bfs", 2),
+                ("cc", 1),
+            ],
+        ),
+        m(
+            "M17",
+            High,
+            &[
+                ("mcf", 1),
+                ("cactuBSSN", 1),
+                ("wrf", 1),
+                ("xalancbmk", 1),
+                ("x264", 1),
+                ("bc", 1),
+                ("pr", 2),
+            ],
+        ),
+        m(
+            "M18",
+            High,
+            &[
+                ("omnetpp", 1),
+                ("wrf", 1),
+                ("fotonik3d", 1),
+                ("roms", 1),
+                ("bc", 2),
+                ("cc", 1),
+                ("sssp", 1),
+            ],
+        ),
+        m(
+            "M19",
+            High,
+            &[
+                ("bwaves", 1),
+                ("mcf", 2),
+                ("cactuBSSN", 1),
+                ("xalancbmk", 1),
+                ("bfs", 1),
+                ("pr", 1),
+                ("sssp", 1),
+            ],
+        ),
+        m(
+            "M20",
+            High,
+            &[
+                ("perlbench", 1),
+                ("mcf", 2),
+                ("omnetpp", 1),
+                ("fotonik3d", 1),
+                ("pr", 1),
+                ("sssp", 2),
+            ],
+        ),
+        m(
+            "M21",
+            High,
+            &[
+                ("gcc", 1),
+                ("bwaves", 1),
+                ("mcf", 2),
+                ("lbm", 1),
+                ("bc", 1),
+                ("pr", 2),
+            ],
+        ),
     ]
 }
 

@@ -56,8 +56,8 @@ impl BenchmarkSpec {
     /// Each core gets a disjoint 1 TB address region (`core << 40`), so
     /// homogeneous mixes model rate-mode runs (no sharing).
     pub fn generator(&self, core: usize, seed: u64) -> SyntheticTrace {
-        let mut mix = 0x9e3779b97f4a7c15u64
-            .wrapping_mul(seed ^ (core as u64) << 32 ^ hash_name(self.name));
+        let mut mix =
+            0x9e3779b97f4a7c15u64.wrapping_mul(seed ^ (core as u64) << 32 ^ hash_name(self.name));
         mix ^= mix >> 29;
         let core_base = (core as u64) << 40;
         let states = self
@@ -92,7 +92,9 @@ impl BenchmarkSpec {
 }
 
 fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100000001b3))
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+    })
 }
 
 /// A running trace generator (see [`BenchmarkSpec::generator`]).
@@ -109,13 +111,25 @@ pub struct SyntheticTrace {
 impl TraceGenerator for SyntheticTrace {
     fn next_access(&mut self) -> Access {
         let u: f64 = self.rng.gen();
-        let idx = self.cdf.iter().position(|&c| u <= c).unwrap_or(self.cdf.len() - 1);
+        let idx = self
+            .cdf
+            .iter()
+            .position(|&c| u <= c)
+            .unwrap_or(self.cdf.len() - 1);
         let (addr, pc, dependent) = self.states[idx].next();
         // Gap jitter of ±1 keeps cores from lock-stepping; rounding (not
         // truncation) preserves the configured memory intensity in
         // expectation.
-        let gap = (self.mean_gap + self.rng.gen_range(-1.0..1.0)).max(0.0).round() as u32;
-        Access { addr, is_write: self.rng.gen_bool(self.write_fraction), pc, gap, dependent }
+        let gap = (self.mean_gap + self.rng.gen_range(-1.0..1.0))
+            .max(0.0)
+            .round() as u32;
+        Access {
+            addr,
+            is_write: self.rng.gen_bool(self.write_fraction),
+            pc,
+            gap,
+            dependent,
+        }
     }
 
     fn name(&self) -> &str {
@@ -140,8 +154,20 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
             Suite::Spec,
             vec![
                 (0.50, PointerChase { lines: 1_500_000 }),
-                (0.32, WorkingSet { lines: 24_000, zipf: 0.9 }),
-                (0.18, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (
+                    0.32,
+                    WorkingSet {
+                        lines: 24_000,
+                        zipf: 0.9,
+                    },
+                ),
+                (
+                    0.18,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
             ],
             0.18,
             0.36,
@@ -152,8 +178,20 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
         "lbm" => spec(
             Suite::Spec,
             vec![
-                (0.55, Stream { region_lines: HUGE, stride_lines: 1 }),
-                (0.45, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (
+                    0.55,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
+                (
+                    0.45,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
             ],
             0.45,
             0.38,
@@ -162,8 +200,20 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
             Suite::Spec,
             vec![
                 (0.40, PointerChase { lines: 512_000 }),
-                (0.40, WorkingSet { lines: 30_000, zipf: 0.8 }),
-                (0.20, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (
+                    0.40,
+                    WorkingSet {
+                        lines: 30_000,
+                        zipf: 0.8,
+                    },
+                ),
+                (
+                    0.20,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
             ],
             0.25,
             0.33,
@@ -171,9 +221,21 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
         "xalancbmk" => spec(
             Suite::Spec,
             vec![
-                (0.50, WorkingSet { lines: 48_000, zipf: 1.0 }),
+                (
+                    0.50,
+                    WorkingSet {
+                        lines: 48_000,
+                        zipf: 1.0,
+                    },
+                ),
                 (0.30, PointerChase { lines: 256_000 }),
-                (0.20, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (
+                    0.20,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
             ],
             0.15,
             0.34,
@@ -181,9 +243,21 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
         "bwaves" => spec(
             Suite::Spec,
             vec![
-                (0.60, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (
+                    0.60,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
                 (0.30, Scan { lines: 40_000 }),
-                (0.10, WorkingSet { lines: 6_000, zipf: 0.5 }),
+                (
+                    0.10,
+                    WorkingSet {
+                        lines: 6_000,
+                        zipf: 0.5,
+                    },
+                ),
             ],
             0.25,
             0.37,
@@ -191,9 +265,21 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
         "cactuBSSN" => spec(
             Suite::Spec,
             vec![
-                (0.70, Phased { lines: 18_000, epoch_accesses: 120_000 }),
+                (
+                    0.70,
+                    Phased {
+                        lines: 18_000,
+                        epoch_accesses: 120_000,
+                    },
+                ),
                 (0.22, Scan { lines: 10_000 }),
-                (0.08, Stream { region_lines: HUGE, stride_lines: 2 }),
+                (
+                    0.08,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 2,
+                    },
+                ),
             ],
             0.30,
             0.33,
@@ -201,9 +287,21 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
         "cam4" => spec(
             Suite::Spec,
             vec![
-                (0.72, Phased { lines: 20_000, epoch_accesses: 150_000 }),
+                (
+                    0.72,
+                    Phased {
+                        lines: 20_000,
+                        epoch_accesses: 150_000,
+                    },
+                ),
                 (0.18, Scan { lines: 8_000 }),
-                (0.10, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (
+                    0.10,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
             ],
             0.28,
             0.31,
@@ -212,8 +310,20 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
             Suite::Spec,
             vec![
                 (0.42, Scan { lines: 22_000 }),
-                (0.30, WorkingSet { lines: 14_000, zipf: 0.6 }),
-                (0.28, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (
+                    0.30,
+                    WorkingSet {
+                        lines: 14_000,
+                        zipf: 0.6,
+                    },
+                ),
+                (
+                    0.28,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
             ],
             0.30,
             0.34,
@@ -222,8 +332,20 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
             Suite::Spec,
             vec![
                 (0.48, Scan { lines: 20_000 }),
-                (0.37, Stream { region_lines: HUGE, stride_lines: 1 }),
-                (0.15, WorkingSet { lines: 8_000, zipf: 0.4 }),
+                (
+                    0.37,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
+                (
+                    0.15,
+                    WorkingSet {
+                        lines: 8_000,
+                        zipf: 0.4,
+                    },
+                ),
             ],
             0.32,
             0.36,
@@ -231,9 +353,21 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
         "roms" => spec(
             Suite::Spec,
             vec![
-                (0.50, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (
+                    0.50,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
                 (0.30, Scan { lines: 24_000 }),
-                (0.20, WorkingSet { lines: 8_000, zipf: 0.4 }),
+                (
+                    0.20,
+                    WorkingSet {
+                        lines: 8_000,
+                        zipf: 0.4,
+                    },
+                ),
             ],
             0.33,
             0.35,
@@ -241,8 +375,20 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
         "pop2" => spec(
             Suite::Spec,
             vec![
-                (0.40, WorkingSet { lines: 20_000, zipf: 0.6 }),
-                (0.38, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (
+                    0.40,
+                    WorkingSet {
+                        lines: 20_000,
+                        zipf: 0.6,
+                    },
+                ),
+                (
+                    0.38,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
                 (0.22, PointerChase { lines: 64_000 }),
             ],
             0.28,
@@ -251,8 +397,20 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
         "gcc" => spec(
             Suite::Spec,
             vec![
-                (0.58, WorkingSet { lines: 12_000, zipf: 1.1 }),
-                (0.25, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (
+                    0.58,
+                    WorkingSet {
+                        lines: 12_000,
+                        zipf: 1.1,
+                    },
+                ),
+                (
+                    0.25,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
                 (0.17, PointerChase { lines: 20_000 }),
             ],
             0.22,
@@ -261,8 +419,20 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
         "perlbench" => spec(
             Suite::Spec,
             vec![
-                (0.70, WorkingSet { lines: 9_000, zipf: 1.2 }),
-                (0.15, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (
+                    0.70,
+                    WorkingSet {
+                        lines: 9_000,
+                        zipf: 1.2,
+                    },
+                ),
+                (
+                    0.15,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
                 (0.15, PointerChase { lines: 20_000 }),
             ],
             0.25,
@@ -271,8 +441,20 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
         "x264" => spec(
             Suite::Spec,
             vec![
-                (0.42, Stream { region_lines: HUGE, stride_lines: 1 }),
-                (0.43, WorkingSet { lines: 10_000, zipf: 0.7 }),
+                (
+                    0.42,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
+                (
+                    0.43,
+                    WorkingSet {
+                        lines: 10_000,
+                        zipf: 0.7,
+                    },
+                ),
                 (0.15, Scan { lines: 8_000 }),
             ],
             0.30,
@@ -282,8 +464,20 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
             Suite::Spec,
             vec![
                 (0.42, PointerChase { lines: 128_000 }),
-                (0.38, WorkingSet { lines: 16_000, zipf: 0.8 }),
-                (0.20, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (
+                    0.38,
+                    WorkingSet {
+                        lines: 16_000,
+                        zipf: 0.8,
+                    },
+                ),
+                (
+                    0.20,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
             ],
             0.28,
             0.33,
@@ -293,8 +487,20 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
             Suite::Gap,
             vec![
                 (0.58, PointerChase { lines: 1_000_000 }),
-                (0.27, Stream { region_lines: HUGE, stride_lines: 1 }),
-                (0.15, WorkingSet { lines: 16_000, zipf: 1.3 }),
+                (
+                    0.27,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
+                (
+                    0.15,
+                    WorkingSet {
+                        lines: 16_000,
+                        zipf: 1.3,
+                    },
+                ),
             ],
             0.15,
             0.38,
@@ -303,8 +509,20 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
             Suite::Gap,
             vec![
                 (0.68, PointerChase { lines: 1_000_000 }),
-                (0.22, Stream { region_lines: HUGE, stride_lines: 1 }),
-                (0.10, WorkingSet { lines: 8_000, zipf: 1.1 }),
+                (
+                    0.22,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
+                (
+                    0.10,
+                    WorkingSet {
+                        lines: 8_000,
+                        zipf: 1.1,
+                    },
+                ),
             ],
             0.18,
             0.38,
@@ -312,9 +530,21 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
         "pr" => spec(
             Suite::Gap,
             vec![
-                (0.42, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (
+                    0.42,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
                 (0.36, PointerChase { lines: 768_000 }),
-                (0.22, WorkingSet { lines: 32_000, zipf: 1.1 }),
+                (
+                    0.22,
+                    WorkingSet {
+                        lines: 32_000,
+                        zipf: 1.1,
+                    },
+                ),
             ],
             0.22,
             0.40,
@@ -323,8 +553,20 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
             Suite::Gap,
             vec![
                 (0.62, PointerChase { lines: 1_000_000 }),
-                (0.18, Stream { region_lines: HUGE, stride_lines: 1 }),
-                (0.20, WorkingSet { lines: 16_000, zipf: 1.0 }),
+                (
+                    0.18,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
+                (
+                    0.20,
+                    WorkingSet {
+                        lines: 16_000,
+                        zipf: 1.0,
+                    },
+                ),
             ],
             0.20,
             0.39,
@@ -333,8 +575,20 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
             Suite::Gap,
             vec![
                 (0.58, PointerChase { lines: 768_000 }),
-                (0.26, Stream { region_lines: HUGE, stride_lines: 1 }),
-                (0.16, WorkingSet { lines: 16_000, zipf: 1.0 }),
+                (
+                    0.26,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
+                (
+                    0.16,
+                    WorkingSet {
+                        lines: 16_000,
+                        zipf: 1.0,
+                    },
+                ),
             ],
             0.20,
             0.38,
@@ -343,8 +597,20 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
         "leela" => spec(
             Suite::SpecFitting,
             vec![
-                (0.90, WorkingSet { lines: 4_000, zipf: 0.8 }),
-                (0.10, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (
+                    0.90,
+                    WorkingSet {
+                        lines: 4_000,
+                        zipf: 0.8,
+                    },
+                ),
+                (
+                    0.10,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
             ],
             0.20,
             0.28,
@@ -352,15 +618,33 @@ pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
         "deepsjeng" => spec(
             Suite::SpecFitting,
             vec![
-                (0.88, WorkingSet { lines: 6_000, zipf: 0.7 }),
-                (0.12, Stream { region_lines: HUGE, stride_lines: 1 }),
+                (
+                    0.88,
+                    WorkingSet {
+                        lines: 6_000,
+                        zipf: 0.7,
+                    },
+                ),
+                (
+                    0.12,
+                    Stream {
+                        region_lines: HUGE,
+                        stride_lines: 1,
+                    },
+                ),
             ],
             0.22,
             0.28,
         ),
         "exchange2" => spec(
             Suite::SpecFitting,
-            vec![(1.0, WorkingSet { lines: 2_000, zipf: 0.6 })],
+            vec![(
+                1.0,
+                WorkingSet {
+                    lines: 2_000,
+                    zipf: 0.6,
+                },
+            )],
             0.25,
             0.26,
         ),
@@ -380,15 +664,45 @@ fn canonical_name(name: &str) -> &'static str {
 
 /// The 15 SPEC + 5 GAP memory-intensive benchmarks of Figures 1 and 9.
 pub const ALL_NAMES: [&str; 20] = [
-    "perlbench", "gcc", "bwaves", "mcf", "cactuBSSN", "lbm", "omnetpp", "wrf", "xalancbmk",
-    "x264", "fotonik3d", "roms", "pop2", "cam4", "xz", // SPEC
-    "bfs", "cc", "pr", "sssp", "bc", // GAP
+    "perlbench",
+    "gcc",
+    "bwaves",
+    "mcf",
+    "cactuBSSN",
+    "lbm",
+    "omnetpp",
+    "wrf",
+    "xalancbmk",
+    "x264",
+    "fotonik3d",
+    "roms",
+    "pop2",
+    "cam4",
+    "xz", // SPEC
+    "bfs",
+    "cc",
+    "pr",
+    "sssp",
+    "bc", // GAP
 ];
 
 /// SPEC-suite subset of [`ALL_NAMES`].
 pub const SPEC_NAMES: [&str; 15] = [
-    "perlbench", "gcc", "bwaves", "mcf", "cactuBSSN", "lbm", "omnetpp", "wrf", "xalancbmk",
-    "x264", "fotonik3d", "roms", "pop2", "cam4", "xz",
+    "perlbench",
+    "gcc",
+    "bwaves",
+    "mcf",
+    "cactuBSSN",
+    "lbm",
+    "omnetpp",
+    "wrf",
+    "xalancbmk",
+    "x264",
+    "fotonik3d",
+    "roms",
+    "pop2",
+    "cam4",
+    "xz",
 ];
 
 /// GAP-suite subset of [`ALL_NAMES`].

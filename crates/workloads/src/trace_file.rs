@@ -57,11 +57,7 @@ fn unpack(buf: &[u8; 16]) -> Access {
 /// # Errors
 ///
 /// Returns any I/O error from creating or writing the file.
-pub fn write_trace(
-    path: &Path,
-    gen: &mut dyn TraceGenerator,
-    count: u64,
-) -> io::Result<()> {
+pub fn write_trace(path: &Path, gen: &mut dyn TraceGenerator, count: u64) -> io::Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(MAGIC)?;
     w.write_all(&count.to_le_bytes())?;
@@ -92,7 +88,10 @@ impl TraceFile {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a MAYATRC1 trace"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a MAYATRC1 trace",
+            ));
         }
         let mut count_buf = [0u8; 8];
         r.read_exact(&mut count_buf)?;
@@ -107,7 +106,10 @@ impl TraceFile {
             records.push(unpack(&rec));
         }
         Ok(Self {
-            name: path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default(),
+            name: path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default(),
             records,
             cursor: 0,
         })
@@ -193,7 +195,13 @@ mod tests {
             dependent: true,
         };
         assert_eq!(unpack(&pack(&a)), a);
-        let b = Access { addr: 0, pc: 0, gap: 0, is_write: false, dependent: false };
+        let b = Access {
+            addr: 0,
+            pc: 0,
+            gap: 0,
+            is_write: false,
+            dependent: false,
+        };
         assert_eq!(unpack(&pack(&b)), b);
     }
 }

@@ -25,7 +25,10 @@ fn main() {
     println!("== 1. Eviction attack (Prime+Probe's primitive) ==");
     let mut b = baseline();
     let r = targeted_eviction(&mut b, 256, 1_000_000);
-    println!("baseline: victim evicted after {:>6} congruent fills", r.fills_until_eviction);
+    println!(
+        "baseline: victim evicted after {:>6} congruent fills",
+        r.fills_until_eviction
+    );
     let set = build_eviction_set(&mut b, 0x12345, 16_384, 7);
     println!(
         "baseline: group testing found a minimal eviction set of {} lines",
@@ -46,7 +49,10 @@ fn main() {
 
     println!("\n== 2. Flush+Reload (shared-memory attack) ==");
     println!("baseline leaks: {}", flush_reload_leaks(&mut baseline()));
-    println!("maya leaks:     {}  (SDID duplication)", flush_reload_leaks(&mut maya()));
+    println!(
+        "maya leaks:     {}  (SDID duplication)",
+        flush_reload_leaks(&mut maya())
+    );
 
     println!("\n== 3. Occupancy attack (not mitigated by design — but not worsened) ==");
     for (name, mut cache) in [

@@ -46,8 +46,20 @@ fn main() {
                 Policy::Srrip,
             ))),
         ),
-        ("mirage", Box::new(MirageCache::new(MirageConfig::for_data_entries(baseline_lines, 7)))),
-        ("maya", Box::new(MayaCache::new(MayaConfig::for_baseline_lines(baseline_lines, 7)))),
+        (
+            "mirage",
+            Box::new(MirageCache::new(MirageConfig::for_data_entries(
+                baseline_lines,
+                7,
+            ))),
+        ),
+        (
+            "maya",
+            Box::new(MayaCache::new(MayaConfig::for_baseline_lines(
+                baseline_lines,
+                7,
+            ))),
+        ),
     ];
 
     for (name, llc) in designs {

@@ -35,7 +35,10 @@ fn main() {
     assert_eq!(llc.tag_state(line, domain), Some(TagState::Priority1Clean));
 
     let r = llc.access(Request::read(line, domain));
-    println!("steady state  -> {:?} (served from the data store)", r.event);
+    println!(
+        "steady state  -> {:?} (served from the data store)",
+        r.event
+    );
     assert!(r.is_data_hit());
 
     // A streaming scan cannot occupy the data store at all.
@@ -47,9 +50,16 @@ fn main() {
          stream, {} tag-only entries live (reuse ways), victim line still {}",
         llc.p1_count() - 1,
         llc.p0_count(),
-        if llc.probe(line, domain) { "cached" } else { "evicted" },
+        if llc.probe(line, domain) {
+            "cached"
+        } else {
+            "evicted"
+        },
     );
-    println!("set-associative evictions during all of this: {}", llc.stats().saes);
+    println!(
+        "set-associative evictions during all of this: {}",
+        llc.stats().saes
+    );
 
     println!("\n== Why this matters for storage (paper Table VIII) ==");
     let (base, mirage, maya) = table_viii_reports();

@@ -34,9 +34,16 @@ fn main() {
     }
 
     let installs = model.installs_per_sae(capacity);
-    println!("\nset-associative eviction expected every {}", format_installs(installs));
+    println!(
+        "\nset-associative eviction expected every {}",
+        format_installs(installs)
+    );
     let years = installs_to_years(installs);
-    let verdict = if years > 100.0 { "beyond system lifetime: SECURE" } else { "within reach of an attacker: NOT SECURE" };
+    let verdict = if years > 100.0 {
+        "beyond system lifetime: SECURE"
+    } else {
+        "within reach of an attacker: NOT SECURE"
+    };
     println!("at one fill per nanosecond that is {years:.1e} years — {verdict}");
 
     // Cross-check the head of the distribution with a short Monte-Carlo run.
@@ -50,8 +57,13 @@ fn main() {
     });
     let out = sim.run(2_000_000);
     println!("  spills observed: {}", out.spills);
-    for n in (capacity.saturating_sub(4))..=capacity {
+    for (n, a) in dist
+        .iter()
+        .enumerate()
+        .take(capacity + 1)
+        .skip(capacity.saturating_sub(4))
+    {
         let e = out.occupancy.get(n).copied().unwrap_or(0.0);
-        println!("  n={n:<2} experimental {e:.3e} vs analytic {:.3e}", dist[n]);
+        println!("  n={n:<2} experimental {e:.3e} vs analytic {a:.3e}");
     }
 }

@@ -12,9 +12,21 @@ use maya_repro::maya_core::{
 fn all_models() -> Vec<Box<dyn CacheModel>> {
     vec![
         Box::new(SetAssocCache::new(SetAssocConfig::new(64, 16, Policy::Lru))),
-        Box::new(SetAssocCache::new(SetAssocConfig::new(64, 16, Policy::Srrip))),
-        Box::new(SetAssocCache::new(SetAssocConfig::new(64, 16, Policy::Drrip))),
-        Box::new(SetAssocCache::new(SetAssocConfig::new(64, 16, Policy::Random))),
+        Box::new(SetAssocCache::new(SetAssocConfig::new(
+            64,
+            16,
+            Policy::Srrip,
+        ))),
+        Box::new(SetAssocCache::new(SetAssocConfig::new(
+            64,
+            16,
+            Policy::Drrip,
+        ))),
+        Box::new(SetAssocCache::new(SetAssocConfig::new(
+            64,
+            16,
+            Policy::Random,
+        ))),
         Box::new(partitioned::dawg(64, 16, 8, Policy::Lru)),
         Box::new(partitioned::page_coloring(64, 16, 8, Policy::Srrip)),
         Box::new(MirageCache::new(MirageConfig::for_data_entries(1024, 9))),
@@ -31,7 +43,11 @@ fn two_touches_cache_a_line_everywhere() {
         let d = DomainId(1);
         c.access(Request::read(42, d));
         c.access(Request::read(42, d));
-        assert!(c.probe(42, d), "{}: line not resident after two touches", c.name());
+        assert!(
+            c.probe(42, d),
+            "{}: line not resident after two touches",
+            c.name()
+        );
         assert_eq!(
             c.access(Request::read(42, d)).event,
             AccessEvent::DataHit,
@@ -53,7 +69,12 @@ fn probe_is_side_effect_free() {
         let a = c.probe(7, d);
         let b = c.probe(7, d);
         assert_eq!(a, b, "{}", c.name());
-        assert_eq!(&stats_before, c.stats(), "{}: probe mutated stats", c.name());
+        assert_eq!(
+            &stats_before,
+            c.stats(),
+            "{}: probe mutated stats",
+            c.name()
+        );
     }
 }
 
@@ -81,7 +102,11 @@ fn flush_all_empties_every_design() {
         }
         c.flush_all();
         for line in 0..256u64 {
-            assert!(!c.probe(line, d), "{}: line {line} survived flush_all", c.name());
+            assert!(
+                !c.probe(line, d),
+                "{}: line {line} survived flush_all",
+                c.name()
+            );
         }
     }
 }
@@ -158,7 +183,8 @@ fn dirty_data_is_conserved() {
         }
         let evicted_dirty = c.stats().writebacks_out;
         assert_eq!(
-            reported, evicted_dirty,
+            reported,
+            evicted_dirty,
             "{}: Response writebacks and stats must agree",
             c.name()
         );

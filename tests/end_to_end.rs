@@ -9,11 +9,18 @@ use maya_repro::maya_core::{
 use maya_repro::workloads::mixes::homogeneous;
 
 fn cfg(cores: usize) -> SystemConfig {
-    SystemConfig { cores, ..SystemConfig::eight_core_default().with_instructions(150_000, 450_000) }
+    SystemConfig {
+        cores,
+        ..SystemConfig::eight_core_default().with_instructions(150_000, 450_000)
+    }
 }
 
 fn baseline(lines: usize) -> Box<dyn CacheModel> {
-    Box::new(SetAssocCache::new(SetAssocConfig::new(lines / 16, 16, Policy::Drrip)))
+    Box::new(SetAssocCache::new(SetAssocConfig::new(
+        lines / 16,
+        16,
+        Policy::Drrip,
+    )))
 }
 
 fn maya(lines: usize) -> Box<dyn CacheModel> {

@@ -193,3 +193,89 @@ proptest! {
         prop_assert_eq!(total_out, dirty.len() as u64);
     }
 }
+
+// --- determinism and audit coverage over the whole design catalog --------
+//
+// Plain (non-proptest) tests: they enumerate `Design::all()` so every
+// registered design — including ones added later — is covered without
+// editing this file.
+
+use maya_bench::designs::Design;
+use maya_repro::maya_core::AccessKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic mixed trace (reads, writebacks, prefetches, occasional
+/// flushes) over a bounded address space, driven into `c`. Returns after
+/// `ops` operations.
+fn drive_mixed(c: &mut dyn CacheModel, seed: u64, ops: usize) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..ops {
+        let line = rng.gen_range(0..8192u64);
+        let dom = DomainId(rng.gen_range(0..4u16));
+        match rng.gen_range(0..10u32) {
+            0..=5 => {
+                c.access(Request::read(line, dom));
+            }
+            6..=7 => {
+                c.access(Request::writeback(line, dom));
+            }
+            8 => {
+                c.access(Request {
+                    line,
+                    kind: AccessKind::Prefetch,
+                    domain: dom,
+                });
+            }
+            _ => {
+                c.flush_line(line, dom);
+            }
+        }
+    }
+}
+
+/// Every design in the catalog is bit-identical across two runs with the
+/// same seed: same stats, same probe outcomes. This is the workspace's
+/// determinism contract — all randomness flows from the explicit seed.
+#[test]
+fn every_design_is_bit_identical_across_reruns() {
+    for design in Design::all() {
+        let run = || {
+            let mut c = design.build(32 * 1024, 0xD5EED);
+            drive_mixed(c.as_mut(), 0xACE5, 6_000);
+            let probes: Vec<bool> = (0..256u64).map(|l| c.probe(l, DomainId(1))).collect();
+            (c.stats().clone(), probes)
+        };
+        let (stats_a, probes_a) = run();
+        let (stats_b, probes_b) = run();
+        assert_eq!(
+            stats_a,
+            stats_b,
+            "{}: stats diverged across reruns",
+            design.id()
+        );
+        assert_eq!(
+            probes_a,
+            probes_b,
+            "{}: probe outcomes diverged",
+            design.id()
+        );
+    }
+}
+
+/// After a long mixed workload every design still passes its structural
+/// audit — and a flush_all later, too. Designs without a specific audit
+/// inherit the no-op default, so this also pins that audit() stays
+/// object-safe and callable through `dyn CacheModel`.
+#[test]
+fn audit_passes_after_long_mixed_workloads() {
+    for design in Design::all() {
+        let mut c = design.build(32 * 1024, 0xF00D);
+        drive_mixed(c.as_mut(), 0xBEEF, 20_000);
+        c.audit()
+            .unwrap_or_else(|e| panic!("{}: audit failed after mixed workload: {e}", design.id()));
+        c.flush_all();
+        c.audit()
+            .unwrap_or_else(|e| panic!("{}: audit failed after flush_all: {e}", design.id()));
+    }
+}

@@ -23,8 +23,8 @@ fn monte_carlo_and_analytic_distributions_agree() {
     let mut sim = BallsSim::new(BallsConfig::small(15));
     let out = sim.run(300_000);
     let analytic = AnalyticModel::new(3.0, 6.0).distribution(15);
-    for n in 5..=12 {
-        let (e, a) = (out.occupancy[n], analytic[n]);
+    for (n, &a) in analytic.iter().enumerate().take(13).skip(5) {
+        let e = out.occupancy[n];
         assert!(
             e > 0.0 && (e / a).log10().abs() < 0.5,
             "n={n}: experimental {e:.3e} vs analytic {a:.3e}"
@@ -50,7 +50,11 @@ fn real_cache_occupancies_match_the_balls_model() {
     }
     let p0 = cache.p0_count();
     let p1 = cache.p1_count();
-    assert_eq!(p0, config.p0_capacity(), "p0 population must pin at capacity");
+    assert_eq!(
+        p0,
+        config.p0_capacity(),
+        "p0 population must pin at capacity"
+    );
     assert_eq!(p1, config.data_entries(), "data store must be full");
     // Average bucket load = 9 balls, as in Table II.
     let buckets = config.sets_per_skew * config.skews;
@@ -67,7 +71,10 @@ fn analytic_monotonicity_along_all_axes() {
     // Invalid ways.
     let m = AnalyticModel::new(3.0, 6.0);
     let by_invalid: Vec<f64> = (3..=7).map(|inv| m.installs_per_sae(9 + inv)).collect();
-    assert!(by_invalid.windows(2).all(|w| w[1] > w[0] * 100.0), "{by_invalid:?}");
+    assert!(
+        by_invalid.windows(2).all(|w| w[1] > w[0] * 100.0),
+        "{by_invalid:?}"
+    );
     // Reuse ways at fixed capacity budget.
     let by_reuse: Vec<f64> = [1usize, 3, 5, 7]
         .iter()
@@ -100,5 +107,8 @@ fn default_provisioning_survives_fill_storms() {
 
     let mut sim = BallsSim::new(BallsConfig::small(15));
     let out = sim.run(500_000);
-    assert_eq!(out.spills, 0, "balls model must agree: no spills at capacity 15");
+    assert_eq!(
+        out.spills, 0,
+        "balls model must agree: no spills at capacity 15"
+    );
 }
