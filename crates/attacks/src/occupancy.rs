@@ -13,6 +13,7 @@
 //! predictable attacker lines, strengthening the signal.
 
 use maya_core::{CacheModel, DomainId, Request};
+use maya_obs::{EventKind, ProbeHandle};
 
 use crate::victims::Victim;
 
@@ -25,6 +26,7 @@ pub const VICTIM: DomainId = DomainId(2);
 pub struct OccupancyAttack<'a> {
     cache: &'a mut dyn CacheModel,
     attacker_lines: u64,
+    probe: ProbeHandle,
 }
 
 impl<'a> std::fmt::Debug for OccupancyAttack<'a> {
@@ -44,11 +46,19 @@ impl<'a> OccupancyAttack<'a> {
         let mut a = Self {
             cache,
             attacker_lines,
+            probe: ProbeHandle::none(),
         };
         for _ in 0..2 {
             a.walk_own_lines();
         }
         a
+    }
+
+    /// Attaches an observability probe; every measurement round emits one
+    /// [`EventKind::OccupancySample`] carrying the observed signal. The
+    /// probe sees what the attacker sees — it never influences the attack.
+    pub fn attach_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 
     /// Accesses every attacker line once; returns how many had been evicted
@@ -74,7 +84,10 @@ impl<'a> OccupancyAttack<'a> {
         victim.run(&mut |line| {
             cache.access(Request::read(line, VICTIM));
         });
-        self.walk_own_lines()
+        let evicted = self.walk_own_lines();
+        self.probe
+            .emit_with(|| EventKind::OccupancySample { evicted });
+        evicted
     }
 }
 
@@ -199,6 +212,27 @@ mod tests {
         let mut b = ModExpVictim::new(0xff00, 1 << 30);
         let r = encryptions_to_distinguish(&mut attack, &mut a, &mut b, 6.0, 300);
         assert_eq!(r.encryptions, 300, "same key must hit the budget: {r:?}");
+    }
+
+    #[test]
+    fn attached_probe_sees_every_sample() {
+        use maya_obs::RingBufferProbe;
+        let mut cache = FullyAssocCache::new(256, 1);
+        let mut attack = OccupancyAttack::new(&mut cache, 256);
+        let (handle, rc) = ProbeHandle::of(RingBufferProbe::new(16));
+        attack.attach_probe(handle);
+        let mut v = AesVictim::new([1; 16], 1 << 30);
+        let s0 = attack.sample(&mut v);
+        let s1 = attack.sample(&mut v);
+        let seen: Vec<u64> = rc
+            .borrow()
+            .events()
+            .map(|e| match e.kind {
+                EventKind::OccupancySample { evicted } => evicted,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(seen, vec![s0, s1]);
     }
 
     #[test]

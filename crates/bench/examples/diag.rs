@@ -1,6 +1,19 @@
+//! `diag`: the quick calibration run used before full experiment sweeps
+//! (see CLAUDE.md). Prints one line per (benchmark, design) and writes the
+//! same numbers — plus wall-clock throughput — as JSONL to
+//! `BENCH_diag.json` so successive calibration runs can be diffed.
+//!
+//! Wall-clock timing is allowed here: maya-bench is harness code, not a
+//! model crate, and the timings land only in the scratch JSON (gitignored),
+//! never in simulation results.
+
+use std::io::Write;
+use std::time::Instant;
+
 use maya_bench::designs::Design;
 use maya_bench::perf::run_mix;
 use maya_bench::Scale;
+use maya_obs::json::Obj;
 use workloads::mixes::homogeneous;
 
 fn main() {
@@ -10,10 +23,18 @@ fn main() {
         mc_iterations: 0,
         attack_trials: 0,
     };
+    let mut lines = vec![Obj::new()
+        .str("type", "run")
+        .str("tool", "diag")
+        .u64("warmup", scale.warmup)
+        .u64("measure", scale.measure)
+        .finish()];
     for name in ["lbm", "bwaves"] {
         let mix = homogeneous(name, 8);
         for d in [Design::Baseline, Design::Mirage, Design::Maya] {
+            let wall = Instant::now();
             let r = run_mix(d, &mix, scale);
+            let secs = wall.elapsed().as_secs_f64();
             let late: u64 = r.cores.iter().map(|c| c.late_prefetch_merges).sum();
             let timely: u64 = r.cores.iter().map(|c| c.timely_prefetch_hits).sum();
             let dem: u64 = r.cores.iter().map(|c| c.llc_demand_accesses).sum();
@@ -23,6 +44,29 @@ fn main() {
                 d.id(), r.ipc_sum(), r.avg_mpki(), r.dram.0,
                 r.dram.2 as f64 / (r.dram.0 + r.dram.1).max(1) as f64,
             );
+            let lookups = r.llc.reads + r.llc.writebacks_in;
+            let fills = r.llc.data_fills;
+            let cycles = r.cores.iter().map(|c| c.cycles).max().unwrap_or(0);
+            lines.push(
+                Obj::new()
+                    .str("type", "diag")
+                    .str("benchmark", name)
+                    .str("design", &d.id())
+                    .f64("ipc_sum", r.ipc_sum())
+                    .f64("mpki", r.avg_mpki())
+                    .u64("llc_lookups", lookups)
+                    .u64("llc_fills", fills)
+                    .u64("run_cycles", cycles)
+                    .f64("wall_seconds", secs)
+                    .f64("lookups_per_sec", lookups as f64 / secs.max(1e-9))
+                    .f64("fills_per_sec", fills as f64 / secs.max(1e-9))
+                    .finish(),
+            );
         }
     }
+    let mut f = std::fs::File::create("BENCH_diag.json").expect("create BENCH_diag.json");
+    for line in &lines {
+        writeln!(f, "{line}").expect("write BENCH_diag.json");
+    }
+    eprintln!("wrote BENCH_diag.json ({} records)", lines.len());
 }

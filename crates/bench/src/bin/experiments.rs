@@ -2,12 +2,14 @@
 //! figures.
 //!
 //! ```text
-//! experiments [--scale F] [--quick] <id>... | all | perf | security | static
+//! experiments [--scale F] [--quick] [--metrics-dir DIR] <id>... | all | perf | security | static
 //! ```
 //!
 //! Ids follow the paper (`fig1`, `tab8`, ...); see DESIGN.md's experiment
 //! index. `--quick` shrinks runs for smoke testing; `--scale 2.0` doubles
-//! the default instruction/iteration budgets.
+//! the default instruction/iteration budgets. `--metrics-dir DIR` writes a
+//! JSONL metrics sidecar (counters, histograms, snapshots — see DESIGN.md's
+//! Observability section) per timing run into `DIR`.
 
 use maya_bench::experiments::{self, ALL_IDS};
 use maya_bench::Scale;
@@ -27,6 +29,16 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--scale needs a number"));
                 scale = scale.scaled_by(f);
+            }
+            "--metrics-dir" => {
+                i += 1;
+                let dir = std::path::PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--metrics-dir needs a path")),
+                );
+                std::fs::create_dir_all(&dir)
+                    .unwrap_or_else(|e| die(&format!("--metrics-dir {}: {e}", dir.display())));
+                maya_bench::perf::set_metrics_dir(Some(dir));
             }
             "--help" | "-h" => {
                 usage();
@@ -65,7 +77,10 @@ fn main() {
 }
 
 fn usage() {
-    eprintln!("usage: experiments [--quick] [--scale F] <id>... | all | perf | security | static");
+    eprintln!(
+        "usage: experiments [--quick] [--scale F] [--metrics-dir DIR] \
+         <id>... | all | perf | security | static"
+    );
     eprintln!("ids: {}", ALL_IDS.join(" "));
 }
 

@@ -1,13 +1,48 @@
 //! Shared performance-run machinery: building systems, alone-IPC caching,
 //! and normalized weighted speedup.
 
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 use champsim_lite::{weighted_speedup, DramConfig, RunResult, System, SystemConfig};
+use maya_obs::{run_header, write_jsonl, MetricsProbe, ProbeHandle};
 use workloads::mixes::{homogeneous, Mix};
 
 use crate::designs::Design;
 use crate::Scale;
+
+thread_local! {
+    /// Ambient sidecar directory: when set, every [`run_mix_with`] call on
+    /// this thread writes a JSONL metrics sidecar next to its TSV output.
+    static METRICS_DIR: RefCell<Option<PathBuf>> = const { RefCell::new(None) };
+    /// Deterministic per-thread ordinal so sidecar filenames never collide.
+    static RUN_ORDINAL: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Snapshot period used for experiment sidecars (cycles).
+const SIDECAR_SAMPLE_EVERY: u64 = 100_000;
+
+/// Directs every subsequent [`run_mix_with`] call on this thread to write
+/// a `metrics_<ordinal>_<design>_<mix>.jsonl` sidecar into `dir` (`None`
+/// disables). Attaching the collector never changes simulation results —
+/// probes are strictly read-only.
+pub fn set_metrics_dir(dir: Option<PathBuf>) {
+    METRICS_DIR.with(|d| *d.borrow_mut() = dir);
+}
+
+fn sidecar_path(design: Design, mix: &Mix) -> Option<PathBuf> {
+    METRICS_DIR.with(|d| {
+        d.borrow().as_ref().map(|dir| {
+            let n = RUN_ORDINAL.with(|o| {
+                let n = o.get();
+                o.set(n + 1);
+                n
+            });
+            dir.join(format!("metrics_{n:04}_{}_{}.jsonl", design.id(), mix.name))
+        })
+    })
+}
 
 /// Fixed seed so every experiment is reproducible end to end.
 pub const SEED: u64 = 0x4d41_5941; // "MAYA"
@@ -37,7 +72,24 @@ pub fn run_mix_with(
     let cores = mix.specs.len();
     let cfg = tweak(system_config(cores, scale));
     let llc = design.build(cfg.baseline_llc_lines(), SEED);
-    System::new(cfg, llc, mix, SEED).run()
+    let mut sys = System::new(cfg, llc, mix, SEED);
+    let sidecar = sidecar_path(design, mix).map(|path| {
+        let (handle, rc) = ProbeHandle::of(MetricsProbe::new(SIDECAR_SAMPLE_EVERY));
+        sys.set_probe(handle.clone());
+        (path, handle, rc)
+    });
+    let result = sys.run();
+    if let Some((path, handle, rc)) = sidecar {
+        rc.borrow_mut().finalize(handle.cycle());
+        let header = run_header(&design.id(), &mix.name, SEED, SIDECAR_SAMPLE_EVERY);
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("create sidecar {}: {e}", path.display())),
+        );
+        write_jsonl(&mut f, header, &rc.borrow())
+            .unwrap_or_else(|e| panic!("write sidecar {}: {e}", path.display()));
+    }
+    result
 }
 
 /// Computes (and memoizes) each benchmark's alone-IPC on the baseline
@@ -106,6 +158,31 @@ mod tests {
         let r = run_mix(Design::Baseline, &mix, Scale::quick());
         assert_eq!(r.cores.len(), 2);
         assert!(r.cores.iter().all(|c| c.ipc() > 0.0));
+    }
+
+    #[test]
+    fn metrics_sidecar_is_written_and_never_perturbs_results() {
+        let mix = homogeneous("xz", 1);
+        let scale = Scale::quick();
+        let plain = run_mix(Design::Maya, &mix, scale);
+        let dir = std::env::temp_dir().join("maya_bench_sidecar_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        set_metrics_dir(Some(dir.clone()));
+        let observed = run_mix(Design::Maya, &mix, scale);
+        set_metrics_dir(None);
+        assert_eq!(plain.cores, observed.cores, "probe must be read-only");
+        assert_eq!(plain.dram, observed.dram);
+        let sidecar = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .find(|e| {
+                let n = e.file_name().to_string_lossy().into_owned();
+                n.starts_with("metrics_") && n.contains("maya") && n.ends_with(".jsonl")
+            })
+            .expect("sidecar file must exist");
+        let text = std::fs::read_to_string(sidecar.path()).unwrap();
+        assert!(text.starts_with(r#"{"type":"run""#));
+        assert!(text.lines().last().unwrap().starts_with(r#"{"type":"end""#));
     }
 
     #[test]

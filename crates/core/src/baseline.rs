@@ -7,6 +7,8 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use maya_obs::{EventKind, EvictionCause, ProbeHandle};
+
 use crate::cache::CacheModel;
 use crate::replacement::{Policy, ReplacementState};
 use crate::types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};
@@ -83,6 +85,7 @@ pub struct SetAssocCache {
     stats: CacheStats,
     rng: SmallRng,
     set_mask: u64,
+    probe: ProbeHandle,
 }
 
 impl SetAssocCache {
@@ -122,6 +125,7 @@ impl SetAssocCache {
             stats: CacheStats::default(),
             rng: SmallRng::seed_from_u64(config.seed),
             set_mask: config.sets as u64 - 1,
+            probe: ProbeHandle::none(),
             config,
         }
     }
@@ -182,6 +186,15 @@ impl SetAssocCache {
             self.stats.cross_domain_evictions += 1;
         }
         self.lines[idx].valid = false;
+        self.probe.emit_with(|| EventKind::Eviction {
+            line: victim.tag,
+            cause: EvictionCause::Replacement,
+            had_data: true,
+            dirty: victim.dirty,
+            reused: victim.reused,
+            downgraded: false,
+            skew: 0,
+        });
     }
 
     fn fill(&mut self, set: usize, line: u64, req: &Request, wb: &mut Writebacks) {
@@ -213,6 +226,11 @@ impl SetAssocCache {
         self.repl.on_fill(set, way);
         self.stats.data_fills += 1;
         self.stats.tag_fills += 1;
+        self.probe.emit_with(|| EventKind::Fill {
+            line,
+            tag_only: false,
+            skew: 0,
+        });
     }
 }
 
@@ -242,6 +260,8 @@ impl CacheModel for SetAssocCache {
                 AccessKind::Prefetch => {}
             }
             self.stats.data_hits += 1;
+            let line = req.line;
+            self.probe.emit_with(|| EventKind::Hit { line });
             return Response {
                 event: AccessEvent::DataHit,
                 writebacks: wb,
@@ -249,6 +269,8 @@ impl CacheModel for SetAssocCache {
             };
         }
         self.stats.tag_misses += 1;
+        let line = req.line;
+        self.probe.emit_with(|| EventKind::Miss { line });
         self.fill(set, req.line, &req, &mut wb);
         Response {
             event: AccessEvent::Miss,
@@ -265,8 +287,18 @@ impl CacheModel for SetAssocCache {
             if self.lines[idx].dirty {
                 self.stats.writebacks_out += 1;
             }
+            let victim = self.lines[idx];
             self.lines[idx].valid = false;
             self.stats.flushes += 1;
+            self.probe.emit_with(|| EventKind::Eviction {
+                line: victim.tag,
+                cause: EvictionCause::Flush,
+                had_data: true,
+                dirty: victim.dirty,
+                reused: victim.reused,
+                downgraded: false,
+                skew: 0,
+            });
             true
         } else {
             false
@@ -277,6 +309,7 @@ impl CacheModel for SetAssocCache {
         for l in &mut self.lines {
             l.valid = false;
         }
+        self.probe.emit(EventKind::FlushAll);
     }
 
     fn probe(&self, line: u64, domain: DomainId) -> bool {
@@ -306,6 +339,10 @@ impl CacheModel for SetAssocCache {
             Partitioning::Ways(_) => "dawg",
             Partitioning::Sets(_) => "set-partitioned",
         }
+    }
+
+    fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 
     fn audit(&self) -> Result<(), String> {

@@ -3,6 +3,7 @@
 //! harness can swap designs freely.
 
 use crate::types::{CacheStats, DomainId, Request, Response};
+use maya_obs::ProbeHandle;
 
 /// A last-level-cache model.
 ///
@@ -66,6 +67,13 @@ pub trait CacheModel {
     fn audit(&self) -> Result<(), String> {
         Ok(())
     }
+
+    /// Attaches an observability probe (see `maya-obs`). Models emit
+    /// structured events through the handle; the default ignores it, and
+    /// every model defaults to an inactive handle, so un-instrumented runs
+    /// are bit-identical to instrumented ones. Attaching a probe must
+    /// never change model behaviour — probes observe, they do not steer.
+    fn set_probe(&mut self, _probe: ProbeHandle) {}
 }
 
 #[cfg(test)]

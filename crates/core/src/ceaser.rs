@@ -20,6 +20,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use maya_obs::{EventKind, EvictionCause, ProbeHandle};
 use prince_cipher::IndexFunction;
 
 use crate::cache::CacheModel;
@@ -106,6 +107,7 @@ pub struct CeaserCache {
     epoch: u32,
     /// Re-keys performed (inspection hook for tests/experiments).
     remaps: u64,
+    probe: ProbeHandle,
 }
 
 impl CeaserCache {
@@ -134,6 +136,7 @@ impl CeaserCache {
             fills_since_remap: 0,
             epoch: 0,
             remaps: 0,
+            probe: ProbeHandle::none(),
             config,
         }
     }
@@ -184,6 +187,7 @@ impl CeaserCache {
                 self.config.skews,
                 self.config.sets_per_skew,
             );
+            self.probe.emit(EventKind::EpochRekey);
         }
     }
 }
@@ -205,6 +209,8 @@ impl CacheModel for CeaserCache {
             self.repl
                 .on_hit(skew * self.config.sets_per_skew + set, way);
             self.stats.data_hits += 1;
+            let line = req.line;
+            self.probe.emit_with(|| EventKind::Hit { line });
             return Response {
                 event: AccessEvent::DataHit,
                 writebacks: wb,
@@ -212,6 +218,8 @@ impl CacheModel for CeaserCache {
             };
         }
         self.stats.tag_misses += 1;
+        let line = req.line;
+        self.probe.emit_with(|| EventKind::Miss { line });
         // Random skew, then invalid (or stale-epoch) way, else LRU victim.
         let skew = self.rng.gen_range(0..self.config.skews);
         let set = self.index.set_index(skew, req.line);
@@ -238,6 +246,15 @@ impl CacheModel for CeaserCache {
                 }
                 self.stats.saes += 1;
                 sae = true;
+                self.probe.emit_with(|| EventKind::Eviction {
+                    line: victim.tag,
+                    cause: EvictionCause::Sae,
+                    had_data: true,
+                    dirty: victim.dirty,
+                    reused: victim.reused,
+                    downgraded: false,
+                    skew: skew as u8,
+                });
                 w
             }
         };
@@ -253,6 +270,11 @@ impl CacheModel for CeaserCache {
         self.repl.on_fill(flat_set, way);
         self.stats.tag_fills += 1;
         self.stats.data_fills += 1;
+        self.probe.emit_with(|| EventKind::Fill {
+            line,
+            tag_only: false,
+            skew: skew as u8,
+        });
         self.maybe_remap();
         Response {
             event: AccessEvent::Miss,
@@ -264,11 +286,21 @@ impl CacheModel for CeaserCache {
     fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {
         if let Some((skew, set, way)) = self.find(line, domain) {
             let i = self.slot(skew, set, way);
-            if self.lines[i].dirty {
+            let victim = self.lines[i];
+            if victim.dirty {
                 self.stats.writebacks_out += 1;
             }
             self.lines[i].valid = false;
             self.stats.flushes += 1;
+            self.probe.emit_with(|| EventKind::Eviction {
+                line: victim.tag,
+                cause: EvictionCause::Flush,
+                had_data: true,
+                dirty: victim.dirty,
+                reused: victim.reused,
+                downgraded: false,
+                skew: skew as u8,
+            });
             true
         } else {
             false
@@ -279,6 +311,7 @@ impl CacheModel for CeaserCache {
         for l in &mut self.lines {
             l.valid = false;
         }
+        self.probe.emit(EventKind::FlushAll);
     }
 
     fn probe(&self, line: u64, domain: DomainId) -> bool {
@@ -307,6 +340,10 @@ impl CacheModel for CeaserCache {
         } else {
             "ceaser"
         }
+    }
+
+    fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 }
 

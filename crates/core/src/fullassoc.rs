@@ -9,6 +9,8 @@ use std::collections::BTreeMap;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use maya_obs::{EventKind, EvictionCause, ProbeHandle};
+
 use crate::cache::CacheModel;
 use crate::types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};
 
@@ -45,6 +47,7 @@ pub struct FullyAssocCache {
     lookup: BTreeMap<(u64, DomainId), usize>,
     stats: CacheStats,
     rng: SmallRng,
+    probe: ProbeHandle,
 }
 
 impl FullyAssocCache {
@@ -61,6 +64,7 @@ impl FullyAssocCache {
             lookup: BTreeMap::new(),
             stats: CacheStats::default(),
             rng: SmallRng::seed_from_u64(seed),
+            probe: ProbeHandle::none(),
         }
     }
 
@@ -79,6 +83,10 @@ impl FullyAssocCache {
         if victim.domain != requester {
             self.stats.cross_domain_evictions += 1;
         }
+        // Uniform random victim selection over the whole cache is the ideal
+        // global data eviction that Mirage and Maya approximate; count it
+        // under the same statistic so the designs compare like for like.
+        self.stats.global_data_evictions += 1;
         self.lookup.remove(&(victim.tag, victim.domain));
         let last = self.lines.len() - 1;
         self.lines.swap_remove(idx);
@@ -86,6 +94,15 @@ impl FullyAssocCache {
             let moved = self.lines[idx];
             self.lookup.insert((moved.tag, moved.domain), idx);
         }
+        self.probe.emit_with(|| EventKind::Eviction {
+            line: victim.tag,
+            cause: EvictionCause::GlobalData,
+            had_data: true,
+            dirty: victim.dirty,
+            reused: victim.reused,
+            downgraded: false,
+            skew: 0,
+        });
     }
 }
 
@@ -104,6 +121,8 @@ impl CacheModel for FullyAssocCache {
                 AccessKind::Prefetch => {}
             }
             self.stats.data_hits += 1;
+            let line = req.line;
+            self.probe.emit_with(|| EventKind::Hit { line });
             return Response {
                 event: AccessEvent::DataHit,
                 writebacks: wb,
@@ -111,6 +130,8 @@ impl CacheModel for FullyAssocCache {
             };
         }
         self.stats.tag_misses += 1;
+        let line = req.line;
+        self.probe.emit_with(|| EventKind::Miss { line });
         if self.lines.len() == self.capacity {
             self.evict_random(req.domain, &mut wb);
         }
@@ -124,6 +145,11 @@ impl CacheModel for FullyAssocCache {
         self.lookup.insert((req.line, req.domain), idx);
         self.stats.tag_fills += 1;
         self.stats.data_fills += 1;
+        self.probe.emit_with(|| EventKind::Fill {
+            line,
+            tag_only: false,
+            skew: 0,
+        });
         Response {
             event: AccessEvent::Miss,
             writebacks: wb,
@@ -133,7 +159,8 @@ impl CacheModel for FullyAssocCache {
 
     fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {
         if let Some(idx) = self.lookup.remove(&(line, domain)) {
-            if self.lines[idx].dirty {
+            let victim = self.lines[idx];
+            if victim.dirty {
                 self.stats.writebacks_out += 1;
             }
             let last = self.lines.len() - 1;
@@ -143,6 +170,15 @@ impl CacheModel for FullyAssocCache {
                 self.lookup.insert((moved.tag, moved.domain), idx);
             }
             self.stats.flushes += 1;
+            self.probe.emit_with(|| EventKind::Eviction {
+                line: victim.tag,
+                cause: EvictionCause::Flush,
+                had_data: true,
+                dirty: victim.dirty,
+                reused: victim.reused,
+                downgraded: false,
+                skew: 0,
+            });
             true
         } else {
             false
@@ -152,6 +188,7 @@ impl CacheModel for FullyAssocCache {
     fn flush_all(&mut self) {
         self.lines.clear();
         self.lookup.clear();
+        self.probe.emit(EventKind::FlushAll);
     }
 
     fn probe(&self, line: u64, domain: DomainId) -> bool {
@@ -176,6 +213,10 @@ impl CacheModel for FullyAssocCache {
 
     fn name(&self) -> &'static str {
         "fully-associative"
+    }
+
+    fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 
     fn audit(&self) -> Result<(), String> {

@@ -33,6 +33,7 @@ pub use state::{transition, InvalidTransition, TagEvent, TagState};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use maya_obs::{EventKind, EvictionCause, ProbeHandle};
 use prince_cipher::IndexFunction;
 
 use crate::cache::CacheModel;
@@ -103,6 +104,7 @@ pub struct MayaCache {
     data_pos: Vec<u32>,
     stats: CacheStats,
     rng: SmallRng,
+    probe: ProbeHandle,
 }
 
 impl MayaCache {
@@ -135,6 +137,7 @@ impl MayaCache {
             data_pos: vec![NONE; data_entries],
             stats: CacheStats::default(),
             rng: SmallRng::seed_from_u64(config.seed ^ 0x6d61_7961),
+            probe: ProbeHandle::none(),
             index,
             config,
         }
@@ -166,11 +169,18 @@ impl MayaCache {
         self.index =
             IndexFunction::from_seed(new_seed, self.config.skews, self.config.sets_per_skew);
         self.flush_all();
+        self.probe.emit(EventKind::EpochRekey);
     }
 
     #[inline]
     fn flat(&self, skew: usize, set: usize, way: usize) -> usize {
         (skew * self.config.sets_per_skew + set) * self.config.ways_per_skew() + way
+    }
+
+    /// Inverse of [`MayaCache::flat`]: the skew a flat tag index lives in.
+    #[inline]
+    fn skew_of(&self, flat_idx: usize) -> u8 {
+        (flat_idx / (self.config.sets_per_skew * self.config.ways_per_skew())) as u8
     }
 
     fn find(&self, line: u64, domain: DomainId) -> Option<usize> {
@@ -276,6 +286,15 @@ impl MayaCache {
         self.tags[tag_idx].fptr = NONE;
         self.p0_insert(tag_idx);
         self.stats.global_data_evictions += 1;
+        self.probe.emit_with(|| EventKind::Eviction {
+            line: e.tag,
+            cause: EvictionCause::GlobalData,
+            had_data: true,
+            dirty: e.state == TagState::Priority1Dirty,
+            reused: e.data_reused,
+            downgraded: true,
+            skew: self.skew_of(tag_idx),
+        });
     }
 
     /// Global random tag eviction: a uniformly random priority-0 entry is
@@ -287,9 +306,19 @@ impl MayaCache {
             return;
         }
         let victim = self.p0_list[self.rng.gen_range(0..self.p0_list.len())] as usize;
+        let line = self.tags[victim].tag;
         self.p0_remove(victim);
         self.set_state_checked(victim, TagEvent::GlobalTagEviction, TagState::Invalid);
         self.stats.global_tag_evictions += 1;
+        self.probe.emit_with(|| EventKind::Eviction {
+            line,
+            cause: EvictionCause::GlobalTag,
+            had_data: false,
+            dirty: false,
+            reused: false,
+            downgraded: false,
+            skew: self.skew_of(victim),
+        });
     }
 
     // --- fills --------------------------------------------------------------
@@ -350,13 +379,19 @@ impl MayaCache {
             p0_ways[self.rng.gen_range(0..p0_ways.len())]
         };
         let idx = self.flat(best_skew, set, way);
-        self.evict_any(idx, requester, wb);
+        self.evict_any(idx, requester, EvictionCause::Sae, wb);
         (idx, true)
     }
 
     /// Evicts whatever occupies `tag_idx` (used only on the SAE path and
-    /// flushes).
-    fn evict_any(&mut self, tag_idx: usize, requester: DomainId, wb: &mut Writebacks) {
+    /// flushes; `cause` distinguishes the two for the probe).
+    fn evict_any(
+        &mut self,
+        tag_idx: usize,
+        requester: DomainId,
+        cause: EvictionCause,
+        wb: &mut Writebacks,
+    ) {
         let e = self.tags[tag_idx];
         match e.state {
             TagState::Invalid => {}
@@ -382,6 +417,15 @@ impl MayaCache {
         if e.state.is_valid() {
             // SAE evictions and flushes are the same protocol edge.
             self.set_state_checked(tag_idx, TagEvent::Flush, TagState::Invalid);
+            self.probe.emit_with(|| EventKind::Eviction {
+                line: e.tag,
+                cause,
+                had_data: e.state.has_data(),
+                dirty: e.state == TagState::Priority1Dirty,
+                reused: e.data_reused,
+                downgraded: false,
+                skew: self.skew_of(tag_idx),
+            });
         }
         self.tags[tag_idx].fptr = NONE;
     }
@@ -404,6 +448,11 @@ impl MayaCache {
         };
         self.p0_insert(idx);
         self.stats.tag_fills += 1;
+        self.probe.emit_with(|| EventKind::Fill {
+            line,
+            tag_only: true,
+            skew: self.skew_of(idx),
+        });
         self.global_tag_eviction_if_needed();
         sae
     }
@@ -431,6 +480,11 @@ impl MayaCache {
         self.tags[idx].fptr = d;
         self.stats.tag_fills += 1;
         self.stats.data_fills += 1;
+        self.probe.emit_with(|| EventKind::Fill {
+            line,
+            tag_only: false,
+            skew: self.skew_of(idx),
+        });
         self.global_tag_eviction_if_needed();
         sae
     }
@@ -454,6 +508,8 @@ impl MayaCache {
         e.fptr = d;
         e.data_reused = false;
         self.stats.data_fills += 1;
+        let line = self.tags[tag_idx].tag;
+        self.probe.emit_with(|| EventKind::Promotion { line });
     }
 
     /// Exhaustively checks the structure's invariants, panicking on the
@@ -486,6 +542,8 @@ impl CacheModel for MayaCache {
                         AccessKind::Prefetch => {}
                     }
                     self.stats.data_hits += 1;
+                    let line = req.line;
+                    self.probe.emit_with(|| EventKind::Hit { line });
                     return Response {
                         event: AccessEvent::DataHit,
                         writebacks: wb,
@@ -505,6 +563,8 @@ impl CacheModel for MayaCache {
                         };
                     }
                     self.stats.tag_only_hits += 1;
+                    let line = req.line;
+                    self.probe.emit_with(|| EventKind::TagOnlyHit { line });
                     self.promote(i, req.kind, &mut wb);
                     return Response {
                         event: AccessEvent::TagHitPromoted,
@@ -528,6 +588,8 @@ impl CacheModel for MayaCache {
             };
         }
         self.stats.tag_misses += 1;
+        let line = req.line;
+        self.probe.emit_with(|| EventKind::Miss { line });
         let sae = match req.kind {
             AccessKind::Read | AccessKind::Prefetch => {
                 self.install_p0(req.line, req.domain, &mut wb)
@@ -544,7 +606,7 @@ impl CacheModel for MayaCache {
     fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {
         if let Some(i) = self.find(line, domain) {
             let mut wb = Writebacks::none();
-            self.evict_any(i, domain, &mut wb);
+            self.evict_any(i, domain, EvictionCause::Flush, &mut wb);
             self.stats.flushes += 1;
             true
         } else {
@@ -562,6 +624,7 @@ impl CacheModel for MayaCache {
         self.data_pos.fill(NONE);
         self.allocated.clear();
         self.free_data = (0..n as u32).rev().collect();
+        self.probe.emit(EventKind::FlushAll);
     }
 
     fn probe(&self, line: u64, domain: DomainId) -> bool {
@@ -591,6 +654,10 @@ impl CacheModel for MayaCache {
 
     fn name(&self) -> &'static str {
         "maya"
+    }
+
+    fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 
     fn audit(&self) -> Result<(), String> {

@@ -19,6 +19,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use maya_obs::{EventKind, EvictionCause, ProbeHandle};
 use prince_cipher::IndexFunction;
 
 use crate::cache::CacheModel;
@@ -134,6 +135,7 @@ pub struct MirageCache {
     data_list_pos: Vec<u32>,
     stats: CacheStats,
     rng: SmallRng,
+    probe: ProbeHandle,
 }
 
 impl MirageCache {
@@ -160,6 +162,7 @@ impl MirageCache {
             data_list_pos: vec![FREE; data_entries],
             stats: CacheStats::default(),
             rng: SmallRng::seed_from_u64(config.seed ^ 0x6d69_7261_6765),
+            probe: ProbeHandle::none(),
             index,
             config,
         }
@@ -176,11 +179,18 @@ impl MirageCache {
         self.index =
             IndexFunction::from_seed(new_seed, self.config.skews, self.config.sets_per_skew);
         self.flush_all();
+        self.probe.emit(EventKind::EpochRekey);
     }
 
     #[inline]
     fn flat(&self, skew: usize, set: usize, way: usize) -> usize {
         (skew * self.config.sets_per_skew + set) * self.config.ways_per_skew() + way
+    }
+
+    /// Inverse of [`MirageCache::flat`]: the skew a flat tag index lives in.
+    #[inline]
+    fn skew_of(&self, flat_idx: usize) -> u8 {
+        (flat_idx / (self.config.sets_per_skew * self.config.ways_per_skew())) as u8
     }
 
     fn find(&self, line: u64, domain: DomainId) -> Option<usize> {
@@ -229,7 +239,13 @@ impl MirageCache {
 
     /// Invalidates the tag at `tag_idx` and releases its data entry,
     /// recording writeback/reuse/interference statistics.
-    fn evict_tag(&mut self, tag_idx: usize, requester: DomainId, wb: &mut Writebacks) {
+    fn evict_tag(
+        &mut self,
+        tag_idx: usize,
+        requester: DomainId,
+        cause: EvictionCause,
+        wb: &mut Writebacks,
+    ) {
         let e = self.tags[tag_idx];
         debug_assert!(e.valid);
         if e.dirty {
@@ -246,6 +262,15 @@ impl MirageCache {
         }
         self.free_data_entry(e.fptr);
         self.tags[tag_idx].valid = false;
+        self.probe.emit_with(|| EventKind::Eviction {
+            line: e.tag,
+            cause,
+            had_data: true,
+            dirty: e.dirty,
+            reused: e.reused,
+            downgraded: false,
+            skew: self.skew_of(tag_idx),
+        });
     }
 
     /// Global random data eviction: evicts a uniformly random line from the
@@ -253,7 +278,7 @@ impl MirageCache {
     fn global_eviction(&mut self, requester: DomainId, wb: &mut Writebacks) {
         let victim_data = self.allocated[self.rng.gen_range(0..self.allocated.len())];
         let tag_idx = self.rptr[victim_data as usize] as usize;
-        self.evict_tag(tag_idx, requester, wb);
+        self.evict_tag(tag_idx, requester, EvictionCause::GlobalData, wb);
         self.stats.global_data_evictions += 1;
     }
 
@@ -292,7 +317,7 @@ impl MirageCache {
         self.stats.saes += 1;
         let way = self.rng.gen_range(0..ways);
         let idx = self.flat(skew, set, way);
-        self.evict_tag(idx, requester, wb);
+        self.evict_tag(idx, requester, EvictionCause::Sae, wb);
         (idx, true)
     }
 }
@@ -312,6 +337,8 @@ impl CacheModel for MirageCache {
                 AccessKind::Prefetch => {}
             }
             self.stats.data_hits += 1;
+            let line = req.line;
+            self.probe.emit_with(|| EventKind::Hit { line });
             return Response {
                 event: AccessEvent::DataHit,
                 writebacks: wb,
@@ -319,6 +346,8 @@ impl CacheModel for MirageCache {
             };
         }
         self.stats.tag_misses += 1;
+        let line = req.line;
+        self.probe.emit_with(|| EventKind::Miss { line });
         // Fill: free a data entry if the store is full, then place the tag.
         if self.free_data.is_empty() {
             self.global_eviction(req.domain, &mut wb);
@@ -335,6 +364,11 @@ impl CacheModel for MirageCache {
         };
         self.stats.tag_fills += 1;
         self.stats.data_fills += 1;
+        self.probe.emit_with(|| EventKind::Fill {
+            line,
+            tag_only: false,
+            skew: self.skew_of(tag_idx),
+        });
         Response {
             event: AccessEvent::Miss,
             writebacks: wb,
@@ -344,12 +378,22 @@ impl CacheModel for MirageCache {
 
     fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {
         if let Some(i) = self.find(line, domain) {
-            if self.tags[i].dirty {
+            let e = self.tags[i];
+            if e.dirty {
                 self.stats.writebacks_out += 1;
             }
-            self.free_data_entry(self.tags[i].fptr);
+            self.free_data_entry(e.fptr);
             self.tags[i].valid = false;
             self.stats.flushes += 1;
+            self.probe.emit_with(|| EventKind::Eviction {
+                line: e.tag,
+                cause: EvictionCause::Flush,
+                had_data: true,
+                dirty: e.dirty,
+                reused: e.reused,
+                downgraded: false,
+                skew: self.skew_of(i),
+            });
             true
         } else {
             false
@@ -365,6 +409,7 @@ impl CacheModel for MirageCache {
         self.data_list_pos.fill(FREE);
         self.allocated.clear();
         self.free_data = (0..n as u32).rev().collect();
+        self.probe.emit(EventKind::FlushAll);
     }
 
     fn probe(&self, line: u64, domain: DomainId) -> bool {
@@ -389,6 +434,10 @@ impl CacheModel for MirageCache {
 
     fn name(&self) -> &'static str {
         "mirage"
+    }
+
+    fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 
     fn audit(&self) -> Result<(), String> {

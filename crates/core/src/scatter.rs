@@ -15,6 +15,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use maya_obs::{EventKind, EvictionCause, ProbeHandle};
 use prince_cipher::IndexFunction;
 
 use crate::cache::CacheModel;
@@ -70,6 +71,7 @@ pub struct ScatterCache {
     lines: Vec<Line>,
     stats: CacheStats,
     rng: SmallRng,
+    probe: ProbeHandle,
 }
 
 impl ScatterCache {
@@ -89,6 +91,7 @@ impl ScatterCache {
             lines: vec![Line::default(); config.sets * config.ways],
             stats: CacheStats::default(),
             rng: SmallRng::seed_from_u64(config.seed ^ 0x05ca_77e2),
+            probe: ProbeHandle::none(),
             config,
         }
     }
@@ -126,6 +129,8 @@ impl CacheModel for ScatterCache {
                 AccessKind::Prefetch => {}
             }
             self.stats.data_hits += 1;
+            let line = req.line;
+            self.probe.emit_with(|| EventKind::Hit { line });
             return Response {
                 event: AccessEvent::DataHit,
                 writebacks: wb,
@@ -133,6 +138,8 @@ impl CacheModel for ScatterCache {
             };
         }
         self.stats.tag_misses += 1;
+        let line = req.line;
+        self.probe.emit_with(|| EventKind::Miss { line });
         // Prefer an invalid candidate slot; otherwise evict the occupant of
         // a uniformly random way's slot — an address-correlated eviction,
         // i.e. an SAE.
@@ -160,6 +167,15 @@ impl CacheModel for ScatterCache {
                 }
                 self.stats.saes += 1;
                 sae = true;
+                self.probe.emit_with(|| EventKind::Eviction {
+                    line: victim.tag,
+                    cause: EvictionCause::Sae,
+                    had_data: true,
+                    dirty: victim.dirty,
+                    reused: victim.reused,
+                    downgraded: false,
+                    skew: way as u8,
+                });
                 i
             }
         };
@@ -172,6 +188,12 @@ impl CacheModel for ScatterCache {
         };
         self.stats.tag_fills += 1;
         self.stats.data_fills += 1;
+        let fill_way = (idx % self.config.ways) as u8;
+        self.probe.emit_with(|| EventKind::Fill {
+            line,
+            tag_only: false,
+            skew: fill_way,
+        });
         Response {
             event: AccessEvent::Miss,
             writebacks: wb,
@@ -181,11 +203,22 @@ impl CacheModel for ScatterCache {
 
     fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {
         if let Some(i) = self.find(line, domain) {
-            if self.lines[i].dirty {
+            let victim = self.lines[i];
+            if victim.dirty {
                 self.stats.writebacks_out += 1;
             }
             self.lines[i].valid = false;
             self.stats.flushes += 1;
+            let way = (i % self.config.ways) as u8;
+            self.probe.emit_with(|| EventKind::Eviction {
+                line: victim.tag,
+                cause: EvictionCause::Flush,
+                had_data: true,
+                dirty: victim.dirty,
+                reused: victim.reused,
+                downgraded: false,
+                skew: way,
+            });
             true
         } else {
             false
@@ -196,6 +229,7 @@ impl CacheModel for ScatterCache {
         for l in &mut self.lines {
             l.valid = false;
         }
+        self.probe.emit(EventKind::FlushAll);
     }
 
     fn probe(&self, line: u64, domain: DomainId) -> bool {
@@ -221,6 +255,10 @@ impl CacheModel for ScatterCache {
 
     fn name(&self) -> &'static str {
         "scatter-cache"
+    }
+
+    fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 }
 

@@ -13,6 +13,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use maya_obs::{EventKind, EvictionCause, ProbeHandle};
 use prince_cipher::IndexFunction;
 
 use crate::cache::CacheModel;
@@ -82,6 +83,7 @@ pub struct ThresholdCache {
     valid_list: Vec<u32>,
     stats: CacheStats,
     rng: SmallRng,
+    probe: ProbeHandle,
 }
 
 impl ThresholdCache {
@@ -106,6 +108,7 @@ impl ThresholdCache {
             valid_list: Vec::new(),
             stats: CacheStats::default(),
             rng: SmallRng::seed_from_u64(config.seed ^ 0x7423),
+            probe: ProbeHandle::none(),
             config,
         }
     }
@@ -134,7 +137,13 @@ impl ThresholdCache {
         None
     }
 
-    fn invalidate(&mut self, idx: usize, requester: DomainId, wb: &mut Writebacks) {
+    fn invalidate(
+        &mut self,
+        idx: usize,
+        requester: DomainId,
+        wb: &mut Writebacks,
+        cause: EvictionCause,
+    ) {
         let l = self.lines[idx];
         debug_assert!(l.valid);
         if l.dirty {
@@ -156,6 +165,16 @@ impl ThresholdCache {
             self.lines[moved].list_pos = pos as u32;
         }
         self.lines[idx].valid = false;
+        let skew = (idx / (self.config.sets_per_skew * self.config.ways_per_skew)) as u8;
+        self.probe.emit_with(|| EventKind::Eviction {
+            line: l.tag,
+            cause,
+            had_data: true,
+            dirty: l.dirty,
+            reused: l.reused,
+            downgraded: false,
+            skew,
+        });
     }
 }
 
@@ -173,6 +192,8 @@ impl CacheModel for ThresholdCache {
                 AccessKind::Prefetch => {}
             }
             self.stats.data_hits += 1;
+            let line = req.line;
+            self.probe.emit_with(|| EventKind::Hit { line });
             return Response {
                 event: AccessEvent::DataHit,
                 writebacks: wb,
@@ -180,10 +201,12 @@ impl CacheModel for ThresholdCache {
             };
         }
         self.stats.tag_misses += 1;
+        let line = req.line;
+        self.probe.emit_with(|| EventKind::Miss { line });
         // Global cap: evict a uniformly random valid entry first if full.
         if self.valid_list.len() >= self.config.valid_cap() {
             let victim = self.valid_list[self.rng.gen_range(0..self.valid_list.len())] as usize;
-            self.invalidate(victim, req.domain, &mut wb);
+            self.invalidate(victim, req.domain, &mut wb, EvictionCause::GlobalData);
             self.stats.global_data_evictions += 1;
         }
         // Load-aware skew selection over the candidate sets.
@@ -221,7 +244,7 @@ impl CacheModel for ThresholdCache {
                 sae = true;
                 let w = self.rng.gen_range(0..self.config.ways_per_skew);
                 let i = self.slot(skew, set, w);
-                self.invalidate(i, req.domain, &mut wb);
+                self.invalidate(i, req.domain, &mut wb, EvictionCause::Sae);
                 w
             }
         };
@@ -237,6 +260,11 @@ impl CacheModel for ThresholdCache {
         self.valid_list.push(i as u32);
         self.stats.tag_fills += 1;
         self.stats.data_fills += 1;
+        self.probe.emit_with(|| EventKind::Fill {
+            line,
+            tag_only: false,
+            skew: skew as u8,
+        });
         Response {
             event: AccessEvent::Miss,
             writebacks: wb,
@@ -247,7 +275,7 @@ impl CacheModel for ThresholdCache {
     fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {
         if let Some(i) = self.find(line, domain) {
             let mut wb = Writebacks::none();
-            self.invalidate(i, domain, &mut wb);
+            self.invalidate(i, domain, &mut wb, EvictionCause::Flush);
             self.stats.flushes += 1;
             true
         } else {
@@ -260,6 +288,7 @@ impl CacheModel for ThresholdCache {
             l.valid = false;
         }
         self.valid_list.clear();
+        self.probe.emit(EventKind::FlushAll);
     }
 
     fn probe(&self, line: u64, domain: DomainId) -> bool {
@@ -284,6 +313,10 @@ impl CacheModel for ThresholdCache {
 
     fn name(&self) -> &'static str {
         "threshold-75"
+    }
+
+    fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 }
 

@@ -54,6 +54,7 @@ const ENTROPY_IDENTS: &[(&str, &str)] = &[
 /// driver legitimately reports wall-clock runtimes.
 pub const MODEL_CRATES: &[&str] = &[
     "maya-core",
+    "maya-obs",
     "champsim-lite",
     "attacks",
     "workloads",
@@ -318,6 +319,20 @@ mod tests {
             1
         );
         assert!(check_wall_clock("x.rs", "maya-bench", src, &stripped).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_rule_covers_the_observability_crate() {
+        // maya-obs stamps events with *simulated* cycles; a wall-clock read
+        // there would silently break trace reproducibility, so the crate
+        // sits in the model-crate scope like the caches it observes.
+        assert!(is_model_crate("maya-obs"));
+        let src = "fn stamp() -> u64 {\n    let t = std::time::Instant::now();\n    0\n}";
+        let (stripped, _) = prep(src);
+        let d = check_wall_clock("crates/obs/src/probe.rs", "maya-obs", src, &stripped);
+        assert_eq!(d.len(), 1, "Instant in maya-obs must be rejected");
+        assert_eq!(d[0].rule, RULE_WALL_CLOCK);
+        assert_eq!(d[0].line, 2);
     }
 
     #[test]

@@ -1,0 +1,464 @@
+//! The standard in-memory consumer: [`MetricsProbe`] folds the event
+//! stream into a [`MetricsRegistry`], residency gauges, derived
+//! histograms, and a periodic time-series of [`Snapshot`]s.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventKind};
+use crate::metrics::{Histogram, MetricsRegistry};
+use crate::probe::Probe;
+
+/// Upper bound on the tracked-lines maps (reuse distance, P0 lifetime).
+/// When exceeded the map is cleared and `obs.map_resets` is incremented so
+/// truncation is visible rather than silent.
+const MAP_CAP: usize = 1 << 20;
+
+/// Largest tag-store skew count any design uses (Maya/Mirage use 2; the
+/// occupancy histograms cover up to this many).
+pub const MAX_SKEWS: usize = 4;
+
+/// Static histogram names for per-skew occupancy (`&'static str` keeps the
+/// registry allocation-free).
+const SKEW_OCCUPANCY: [&str; MAX_SKEWS] = [
+    "llc.occupancy.skew0",
+    "llc.occupancy.skew1",
+    "llc.occupancy.skew2",
+    "llc.occupancy.skew3",
+];
+
+/// One point of the periodic time-series: cumulative counters and live
+/// gauges at a simulated cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Simulated cycle the sample was taken at (a `sample_every` boundary).
+    pub cycle: u64,
+    /// Data-holding entries currently resident.
+    pub resident_data: u64,
+    /// Tag-only (priority-0) entries currently resident.
+    pub resident_tag_only: u64,
+    /// Instructions retired so far (0 when models run without a driver).
+    pub instructions: u64,
+    /// Cumulative data hits.
+    pub data_hits: u64,
+    /// Cumulative tag-only hits.
+    pub tag_only_hits: u64,
+    /// Cumulative complete misses.
+    pub misses: u64,
+    /// Cumulative fills (tag-only + data).
+    pub fills: u64,
+    /// Cumulative evictions across all causes.
+    pub evictions: u64,
+    /// Cumulative set-associative evictions.
+    pub saes: u64,
+    /// Cumulative DRAM reads (row hits + row conflicts).
+    pub dram_reads: u64,
+}
+
+impl Snapshot {
+    /// Misses per kilo-instruction up to this point, or `None` before any
+    /// instruction has retired.
+    pub fn mpki(&self) -> Option<f64> {
+        (self.instructions > 0).then(|| self.misses as f64 * 1000.0 / self.instructions as f64)
+    }
+}
+
+/// A [`Probe`] that maintains per-event-kind counters, residency gauges,
+/// derived histograms, and an optional periodic snapshot series.
+///
+/// Histograms maintained:
+/// - `llc.reuse_distance` — accesses between touches of the same line
+/// - `llc.p0_lifetime.promoted` / `llc.p0_lifetime.evicted` — cycles a
+///   tag-only entry lived before promotion resp. eviction
+/// - `llc.occupancy.skew<k>` — per-skew resident entries, sampled at every
+///   snapshot boundary
+/// - `dram.row_hit_streak` — consecutive open-row hits between conflicts
+#[derive(Debug, Clone, Default)]
+pub struct MetricsProbe {
+    registry: MetricsRegistry,
+    sample_every: u64,
+    next_sample: u64,
+    snapshots: Vec<Snapshot>,
+    resident_data: u64,
+    resident_tag_only: u64,
+    instructions: u64,
+    skew_occupancy: [u64; MAX_SKEWS],
+    last_touch: BTreeMap<u64, u64>,
+    access_ordinal: u64,
+    p0_born: BTreeMap<u64, u64>,
+    row_streak: u64,
+}
+
+impl MetricsProbe {
+    /// A probe sampling a snapshot every `sample_every` cycles (0 disables
+    /// periodic sampling; [`MetricsProbe::finalize`] still records one).
+    pub fn new(sample_every: u64) -> Self {
+        Self {
+            sample_every,
+            next_sample: sample_every,
+            ..Self::default()
+        }
+    }
+
+    /// The accumulated counters and histograms.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Convenience: current value of counter `name`.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.registry.counter(name)
+    }
+
+    /// Convenience: histogram `name`, if it ever saw a sample.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.registry.histogram(name)
+    }
+
+    /// The snapshot time-series collected so far.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// Data-holding entries currently resident.
+    pub fn resident_data(&self) -> u64 {
+        self.resident_data
+    }
+
+    /// Tag-only entries currently resident.
+    pub fn resident_tag_only(&self) -> u64 {
+        self.resident_tag_only
+    }
+
+    /// Instructions retired so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Flushes open streaks and records a final snapshot at `cycle`. Call
+    /// once when the run ends; guarantees at least one snapshot even for
+    /// runs shorter than `sample_every`.
+    pub fn finalize(&mut self, cycle: u64) {
+        if self.row_streak > 0 {
+            self.registry
+                .observe("dram.row_hit_streak", self.row_streak);
+            self.row_streak = 0;
+        }
+        if self.snapshots.last().map(|s| s.cycle) != Some(cycle) {
+            self.take_snapshot(cycle);
+        }
+    }
+
+    fn take_snapshot(&mut self, cycle: u64) {
+        let r = &self.registry;
+        let evictions = r.counter("llc.eviction.sae")
+            + r.counter("llc.eviction.global_data")
+            + r.counter("llc.eviction.global_tag")
+            + r.counter("llc.eviction.replacement")
+            + r.counter("llc.eviction.flush");
+        let snap = Snapshot {
+            cycle,
+            resident_data: self.resident_data,
+            resident_tag_only: self.resident_tag_only,
+            instructions: self.instructions,
+            data_hits: r.counter("llc.hit.data"),
+            tag_only_hits: r.counter("llc.hit.tag_only"),
+            misses: r.counter("llc.miss"),
+            fills: r.counter("llc.fill.tag_only") + r.counter("llc.fill.data"),
+            evictions,
+            saes: r.counter("llc.eviction.sae"),
+            dram_reads: r.counter("dram.read.row_hit") + r.counter("dram.read.row_conflict"),
+        };
+        self.snapshots.push(snap);
+        for (k, name) in SKEW_OCCUPANCY.iter().enumerate() {
+            if self.skew_occupancy[k] > 0 || self.registry.histogram(name).is_some() {
+                self.registry.observe(name, self.skew_occupancy[k]);
+            }
+        }
+    }
+
+    fn touch(&mut self, line: u64) {
+        if let Some(prev) = self.last_touch.get(&line) {
+            self.registry
+                .observe("llc.reuse_distance", self.access_ordinal - prev);
+        }
+        if self.last_touch.len() >= MAP_CAP {
+            self.last_touch.clear();
+            self.registry.inc("obs.map_resets");
+        }
+        self.last_touch.insert(line, self.access_ordinal);
+        self.access_ordinal += 1;
+    }
+
+    fn skew_gauge(&mut self, skew: u8, delta: i64) {
+        let k = (skew as usize).min(MAX_SKEWS - 1);
+        if delta >= 0 {
+            self.skew_occupancy[k] += delta as u64;
+        } else {
+            self.skew_occupancy[k] = self.skew_occupancy[k].saturating_sub((-delta) as u64);
+        }
+    }
+}
+
+impl Probe for MetricsProbe {
+    fn record(&mut self, event: &Event) {
+        if self.sample_every > 0 && event.cycle >= self.next_sample {
+            // Stamp one snapshot at the highest boundary crossed; a single
+            // large cycle jump yields one sample, not a backlog.
+            let boundary = event.cycle - event.cycle % self.sample_every;
+            self.take_snapshot(boundary.max(self.next_sample));
+            self.next_sample = boundary + self.sample_every;
+        }
+
+        self.registry.inc(event.kind.name());
+        match event.kind {
+            EventKind::Fill {
+                line,
+                tag_only,
+                skew,
+            } => {
+                self.touch(line);
+                if tag_only {
+                    self.resident_tag_only += 1;
+                    if self.p0_born.len() >= MAP_CAP {
+                        self.p0_born.clear();
+                        self.registry.inc("obs.map_resets");
+                    }
+                    self.p0_born.insert(line, event.cycle);
+                } else {
+                    self.resident_data += 1;
+                    self.p0_born.remove(&line);
+                }
+                self.skew_gauge(skew, 1);
+            }
+            EventKind::Hit { line } | EventKind::TagOnlyHit { line } => self.touch(line),
+            EventKind::Promotion { line } => {
+                self.resident_tag_only = self.resident_tag_only.saturating_sub(1);
+                self.resident_data += 1;
+                if let Some(born) = self.p0_born.remove(&line) {
+                    self.registry
+                        .observe("llc.p0_lifetime.promoted", event.cycle.saturating_sub(born));
+                }
+            }
+            EventKind::Miss { .. } => {}
+            EventKind::Eviction {
+                line,
+                had_data,
+                dirty,
+                reused,
+                downgraded,
+                skew,
+                ..
+            } => {
+                if dirty {
+                    self.registry.inc("llc.writeback_out");
+                }
+                if reused {
+                    self.registry.inc("llc.eviction_reused");
+                }
+                if downgraded {
+                    // Maya's global data eviction: the tag stays resident
+                    // as priority-0, so the skew occupancy is unchanged.
+                    self.registry.inc("llc.data_released");
+                    self.registry.inc("llc.eviction_downgraded");
+                    self.resident_data = self.resident_data.saturating_sub(1);
+                    self.resident_tag_only += 1;
+                    self.p0_born.insert(line, event.cycle);
+                } else if had_data {
+                    self.registry.inc("llc.data_released");
+                    self.resident_data = self.resident_data.saturating_sub(1);
+                    self.skew_gauge(skew, -1);
+                } else {
+                    self.resident_tag_only = self.resident_tag_only.saturating_sub(1);
+                    self.skew_gauge(skew, -1);
+                    if let Some(born) = self.p0_born.remove(&line) {
+                        self.registry
+                            .observe("llc.p0_lifetime.evicted", event.cycle.saturating_sub(born));
+                    }
+                }
+            }
+            EventKind::FlushAll => {
+                // Bulk invalidation has no per-line events; fold the lost
+                // residency into counters so conservation laws still hold.
+                self.registry.add("llc.flushed_data", self.resident_data);
+                self.registry
+                    .add("llc.flushed_tag_only", self.resident_tag_only);
+                self.resident_data = 0;
+                self.resident_tag_only = 0;
+                self.skew_occupancy = [0; MAX_SKEWS];
+                self.last_touch.clear();
+                self.p0_born.clear();
+            }
+            EventKind::EpochRekey => {}
+            EventKind::PrefetchIssue { .. } | EventKind::PrefetchLateMerge { .. } => {}
+            EventKind::DramRead { row_hit } => {
+                if row_hit {
+                    self.row_streak += 1;
+                } else {
+                    if self.row_streak > 0 {
+                        self.registry
+                            .observe("dram.row_hit_streak", self.row_streak);
+                    }
+                    self.row_streak = 0;
+                }
+            }
+            EventKind::DramWrite => {}
+            EventKind::Retire { instructions } => {
+                self.instructions += instructions as u64;
+                self.registry.add("core.instructions", instructions as u64);
+            }
+            EventKind::OccupancySample { evicted } => {
+                self.registry.observe("attack.occupancy_evicted", evicted);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EvictionCause;
+
+    fn ev(cycle: u64, kind: EventKind) -> Event {
+        Event { cycle, kind }
+    }
+
+    fn fill(line: u64, tag_only: bool, skew: u8) -> EventKind {
+        EventKind::Fill {
+            line,
+            tag_only,
+            skew,
+        }
+    }
+
+    fn evict(line: u64, had_data: bool, downgraded: bool, skew: u8) -> EventKind {
+        EventKind::Eviction {
+            line,
+            cause: EvictionCause::GlobalData,
+            had_data,
+            dirty: false,
+            reused: false,
+            downgraded,
+            skew,
+        }
+    }
+
+    #[test]
+    fn counters_follow_event_names() {
+        let mut p = MetricsProbe::new(0);
+        p.record(&ev(1, EventKind::Miss { line: 9 }));
+        p.record(&ev(2, fill(9, false, 0)));
+        p.record(&ev(3, EventKind::Hit { line: 9 }));
+        assert_eq!(p.counter("llc.miss"), 1);
+        assert_eq!(p.counter("llc.fill.data"), 1);
+        assert_eq!(p.counter("llc.hit.data"), 1);
+        assert_eq!(p.resident_data(), 1);
+    }
+
+    #[test]
+    fn residency_tracks_fills_promotions_and_downgrades() {
+        let mut p = MetricsProbe::new(0);
+        p.record(&ev(1, fill(1, true, 0)));
+        p.record(&ev(2, fill(2, false, 1)));
+        assert_eq!((p.resident_tag_only(), p.resident_data()), (1, 1));
+        p.record(&ev(5, EventKind::Promotion { line: 1 }));
+        assert_eq!((p.resident_tag_only(), p.resident_data()), (0, 2));
+        // Global data eviction downgrades line 2 back to tag-only.
+        p.record(&ev(6, evict(2, true, true, 1)));
+        assert_eq!((p.resident_tag_only(), p.resident_data()), (1, 1));
+        // The downgraded tag is later evicted outright.
+        p.record(&ev(9, evict(2, false, false, 1)));
+        assert_eq!((p.resident_tag_only(), p.resident_data()), (0, 1));
+        let h = p.histogram("llc.p0_lifetime.evicted").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), Some(3)); // downgraded at 6, evicted at 9
+    }
+
+    #[test]
+    fn p0_lifetime_promoted_measures_cycles() {
+        let mut p = MetricsProbe::new(0);
+        p.record(&ev(10, fill(7, true, 0)));
+        p.record(&ev(25, EventKind::Promotion { line: 7 }));
+        let h = p.histogram("llc.p0_lifetime.promoted").unwrap();
+        assert_eq!((h.count(), h.max()), (1, Some(15)));
+    }
+
+    #[test]
+    fn reuse_distance_counts_intervening_accesses() {
+        let mut p = MetricsProbe::new(0);
+        p.record(&ev(1, fill(1, false, 0)));
+        p.record(&ev(2, fill(2, false, 0)));
+        p.record(&ev(3, EventKind::Hit { line: 1 })); // distance 2
+        let h = p.histogram("llc.reuse_distance").unwrap();
+        assert_eq!((h.count(), h.max()), (1, Some(2)));
+    }
+
+    #[test]
+    fn snapshots_sample_on_cycle_boundaries() {
+        let mut p = MetricsProbe::new(100);
+        p.record(&ev(10, fill(1, false, 0)));
+        p.record(&ev(150, EventKind::Hit { line: 1 }));
+        p.record(&ev(460, EventKind::Hit { line: 1 }));
+        // Crossings at 100 and (single sample for the jump) 400.
+        let cycles: Vec<u64> = p.snapshots().iter().map(|s| s.cycle).collect();
+        assert_eq!(cycles, vec![100, 400]);
+        assert_eq!(p.snapshots()[0].fills, 1);
+        p.finalize(500);
+        assert_eq!(p.snapshots().last().unwrap().cycle, 500);
+        assert_eq!(p.snapshots().last().unwrap().data_hits, 2);
+    }
+
+    #[test]
+    fn finalize_always_leaves_one_snapshot() {
+        let mut p = MetricsProbe::new(0);
+        p.record(&ev(3, fill(1, false, 0)));
+        p.finalize(7);
+        assert_eq!(p.snapshots().len(), 1);
+        assert_eq!(p.snapshots()[0].cycle, 7);
+    }
+
+    #[test]
+    fn dram_row_streaks_flush_on_conflict_and_finalize() {
+        let mut p = MetricsProbe::new(0);
+        for _ in 0..3 {
+            p.record(&ev(1, EventKind::DramRead { row_hit: true }));
+        }
+        p.record(&ev(2, EventKind::DramRead { row_hit: false }));
+        p.record(&ev(3, EventKind::DramRead { row_hit: true }));
+        p.finalize(4);
+        let h = p.histogram("dram.row_hit_streak").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(3));
+        assert_eq!(h.min(), Some(1));
+    }
+
+    #[test]
+    fn flush_all_resets_residency() {
+        let mut p = MetricsProbe::new(0);
+        p.record(&ev(1, fill(1, true, 0)));
+        p.record(&ev(1, fill(2, false, 1)));
+        p.record(&ev(2, EventKind::FlushAll));
+        assert_eq!((p.resident_tag_only(), p.resident_data()), (0, 0));
+    }
+
+    #[test]
+    fn mpki_needs_instructions() {
+        let s = Snapshot::default();
+        assert_eq!(s.mpki(), None);
+        let s = Snapshot {
+            instructions: 2000,
+            misses: 3,
+            ..Snapshot::default()
+        };
+        assert!((s.mpki().unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retire_accumulates_instructions() {
+        let mut p = MetricsProbe::new(0);
+        p.record(&ev(1, EventKind::Retire { instructions: 4 }));
+        p.record(&ev(2, EventKind::Retire { instructions: 6 }));
+        assert_eq!(p.instructions(), 10);
+        assert_eq!(p.counter("core.instructions"), 10);
+        assert_eq!(p.counter("core.retire"), 2);
+    }
+}

@@ -1,0 +1,232 @@
+//! The structured event model: everything the cache hierarchy, DRAM, and
+//! the attack framework can report about one simulated moment.
+//!
+//! Events are plain data stamped with a *simulated* cycle — never
+//! wall-clock time — so a trace is a pure function of (workload, seed) and
+//! two runs of the same configuration produce byte-identical traces.
+
+/// Why a resident entry left the cache (or was downgraded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EvictionCause {
+    /// Set-associative eviction: every tag way of the selected set was
+    /// valid. The security-critical event for randomized designs.
+    Sae,
+    /// Global random data eviction (Mirage/Maya/Threshold): a uniformly
+    /// random data entry was released; in Maya the owning tag survives as
+    /// priority-0.
+    GlobalData,
+    /// Global random tag eviction (Maya): a uniformly random priority-0
+    /// tag was invalidated to hold the tag-only population at its target.
+    GlobalTag,
+    /// Ordinary replacement-policy eviction (set-associative designs).
+    Replacement,
+    /// Explicit invalidation via `flush_line`.
+    Flush,
+}
+
+impl EvictionCause {
+    /// Stable lower-case name used in sinks and counter namespaces.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionCause::Sae => "sae",
+            EvictionCause::GlobalData => "global_data",
+            EvictionCause::GlobalTag => "global_tag",
+            EvictionCause::Replacement => "replacement",
+            EvictionCause::Flush => "flush",
+        }
+    }
+}
+
+/// What happened. Line addresses are cache-line addresses (byte >> 6);
+/// `skew` is the tag-store skew an entry lives in (0 for designs without
+/// skewed indexing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A tag was installed: `tag_only` for Maya's priority-0 fills (no
+    /// data), otherwise tag and data together.
+    Fill {
+        /// Line installed.
+        line: u64,
+        /// True for a priority-0 (tag-only) install.
+        tag_only: bool,
+        /// Tag-store skew chosen for the install.
+        skew: u8,
+    },
+    /// A demand or writeback was served from the data store.
+    Hit {
+        /// Line that hit.
+        line: u64,
+    },
+    /// Maya only: the request found a priority-0 tag — the requester still
+    /// observes a miss, but the entry proves reuse.
+    TagOnlyHit {
+        /// Line that tag-hit.
+        line: u64,
+    },
+    /// Maya only: a priority-0 entry was promoted to priority-1 and a data
+    /// entry allocated for it.
+    Promotion {
+        /// Line promoted.
+        line: u64,
+    },
+    /// Complete miss (no valid tag matched).
+    Miss {
+        /// Line that missed.
+        line: u64,
+    },
+    /// A resident entry was evicted or downgraded.
+    Eviction {
+        /// Line evicted.
+        line: u64,
+        /// Why it was evicted.
+        cause: EvictionCause,
+        /// True if the entry held a data-store entry (false for tag-only).
+        had_data: bool,
+        /// True if the freed data was dirty (a writeback to memory).
+        dirty: bool,
+        /// True if the data had been demand-reused since its fill.
+        reused: bool,
+        /// True if the tag survives as a priority-0 entry (Maya's global
+        /// data eviction downgrades rather than invalidates).
+        downgraded: bool,
+        /// Tag-store skew the victim lived in.
+        skew: u8,
+    },
+    /// The whole cache was invalidated (`flush_all`). Consumers must reset
+    /// any residency accounting.
+    FlushAll,
+    /// The index function was re-keyed (Maya/Mirage rekey, CEASER remap
+    /// epoch).
+    EpochRekey,
+    /// The prefetcher issued a fill for `line` into the hierarchy.
+    PrefetchIssue {
+        /// Line prefetched.
+        line: u64,
+    },
+    /// A demand merged with a still-in-flight prefetch (late prefetch).
+    PrefetchLateMerge {
+        /// Line whose prefetch was late.
+        line: u64,
+    },
+    /// DRAM serviced a read; `row_hit` distinguishes an open-row CAS from
+    /// a full precharge-activate row conflict.
+    DramRead {
+        /// True for an open-row hit.
+        row_hit: bool,
+    },
+    /// DRAM absorbed a writeback burst.
+    DramWrite,
+    /// A core retired `instructions` instructions (trace-record grain).
+    Retire {
+        /// Instructions retired by this record.
+        instructions: u32,
+    },
+    /// The occupancy attacker measured one sample: `evicted` of its lines
+    /// had been displaced by the victim.
+    OccupancySample {
+        /// Attacker lines found missing.
+        evicted: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable counter-namespace name of this kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Fill { tag_only: true, .. } => "llc.fill.tag_only",
+            EventKind::Fill { .. } => "llc.fill.data",
+            EventKind::Hit { .. } => "llc.hit.data",
+            EventKind::TagOnlyHit { .. } => "llc.hit.tag_only",
+            EventKind::Promotion { .. } => "llc.promotion",
+            EventKind::Miss { .. } => "llc.miss",
+            EventKind::Eviction { cause, .. } => match cause {
+                EvictionCause::Sae => "llc.eviction.sae",
+                EvictionCause::GlobalData => "llc.eviction.global_data",
+                EvictionCause::GlobalTag => "llc.eviction.global_tag",
+                EvictionCause::Replacement => "llc.eviction.replacement",
+                EvictionCause::Flush => "llc.eviction.flush",
+            },
+            EventKind::FlushAll => "llc.flush_all",
+            EventKind::EpochRekey => "llc.rekey",
+            EventKind::PrefetchIssue { .. } => "prefetch.issue",
+            EventKind::PrefetchLateMerge { .. } => "prefetch.late_merge",
+            EventKind::DramRead { row_hit: true } => "dram.read.row_hit",
+            EventKind::DramRead { .. } => "dram.read.row_conflict",
+            EventKind::DramWrite => "dram.write",
+            EventKind::Retire { .. } => "core.retire",
+            EventKind::OccupancySample { .. } => "attack.occupancy_sample",
+        }
+    }
+}
+
+/// One cycle-stamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated cycle at which the event occurred (the probe clock's
+    /// value; 0 when models run standalone without a driver).
+    pub cycle: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_namespaced_and_distinct() {
+        let kinds = [
+            EventKind::Fill {
+                line: 0,
+                tag_only: true,
+                skew: 0,
+            },
+            EventKind::Fill {
+                line: 0,
+                tag_only: false,
+                skew: 0,
+            },
+            EventKind::Hit { line: 0 },
+            EventKind::TagOnlyHit { line: 0 },
+            EventKind::Promotion { line: 0 },
+            EventKind::Miss { line: 0 },
+            EventKind::FlushAll,
+            EventKind::EpochRekey,
+            EventKind::PrefetchIssue { line: 0 },
+            EventKind::PrefetchLateMerge { line: 0 },
+            EventKind::DramRead { row_hit: true },
+            EventKind::DramRead { row_hit: false },
+            EventKind::DramWrite,
+            EventKind::Retire { instructions: 1 },
+            EventKind::OccupancySample { evicted: 1 },
+        ];
+        let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate event names");
+        assert!(names.iter().all(|n| n.contains('.')));
+    }
+
+    #[test]
+    fn eviction_names_follow_cause() {
+        for cause in [
+            EvictionCause::Sae,
+            EvictionCause::GlobalData,
+            EvictionCause::GlobalTag,
+            EvictionCause::Replacement,
+            EvictionCause::Flush,
+        ] {
+            let k = EventKind::Eviction {
+                line: 1,
+                cause,
+                had_data: true,
+                dirty: false,
+                reused: false,
+                downgraded: false,
+                skew: 0,
+            };
+            assert_eq!(k.name(), format!("llc.eviction.{}", cause.name()));
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! A hand-rolled, dependency-free JSON object builder.
+//!
+//! Only what the sinks need: flat objects of strings, integers, floats,
+//! booleans, and pre-serialized raw values (for arrays), emitted in
+//! insertion order on a single line.
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes excluded).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An in-order, single-line JSON object under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field (`null` for non-finite values, which JSON cannot
+    /// represent).
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        if v.is_finite() {
+            // `{}` on f64 always prints a valid JSON number.
+            self.buf.push_str(&format!("{v}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-serialized JSON value verbatim (use for arrays).
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Finishes the object as one JSON line (no trailing newline).
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Serializes an iterator of `u64` as a JSON array.
+pub fn array_u64(values: impl IntoIterator<Item = u64>) -> String {
+    let mut buf = String::from("[");
+    for (i, v) in values.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&v.to_string());
+    }
+    buf.push(']');
+    buf
+}
+
+/// Serializes `(lo, hi, count)` bucket triples as a JSON array of arrays.
+pub fn array_buckets(buckets: impl IntoIterator<Item = (u64, u64, u64)>) -> String {
+    let mut buf = String::from("[");
+    for (i, (lo, hi, n)) in buckets.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&format!("[{lo},{hi},{n}]"));
+    }
+    buf.push(']');
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn builds_flat_objects_in_order() {
+        let line = Obj::new()
+            .str("type", "snapshot")
+            .u64("cycle", 42)
+            .f64("mpki", 1.5)
+            .bool("ok", true)
+            .raw("xs", &array_u64([1, 2, 3]))
+            .finish();
+        assert_eq!(
+            line,
+            r#"{"type":"snapshot","cycle":42,"mpki":1.5,"ok":true,"xs":[1,2,3]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Obj::new().f64("x", f64::NAN).finish(), r#"{"x":null}"#);
+        assert_eq!(Obj::new().f64("x", f64::INFINITY).finish(), r#"{"x":null}"#);
+    }
+
+    #[test]
+    fn bucket_arrays_nest() {
+        assert_eq!(array_buckets([(0, 1, 3), (4, 8, 2)]), "[[0,1,3],[4,8,2]]");
+        assert_eq!(array_buckets([]), "[]");
+    }
+
+    #[test]
+    fn whole_floats_print_as_numbers() {
+        assert_eq!(Obj::new().f64("x", 5.0).finish(), r#"{"x":5}"#);
+    }
+}

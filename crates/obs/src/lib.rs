@@ -1,0 +1,37 @@
+//! `maya-obs`: a deterministic, dependency-free observability layer for
+//! the Maya reproduction.
+//!
+//! Every cache model, the simulator, and the attack framework can emit
+//! cycle-stamped structured [`Event`]s through a [`ProbeHandle`]. Handles
+//! default to inactive ([`ProbeHandle::none`]), in which case emission is
+//! one branch and un-instrumented runs stay bit- and speed-identical.
+//! Attaching a probe never changes simulation behaviour — probes receive
+//! copies of plain data, not access to the models.
+//!
+//! The standard consumer is [`MetricsProbe`]: namespaced counters (one per
+//! event name), log2-bucketed [`Histogram`]s (reuse distance, priority-0
+//! lifetime, per-skew occupancy, DRAM row-hit streaks), and a periodic
+//! [`Snapshot`] time-series. Results serialize through the hand-rolled
+//! JSONL/TSV sinks in [`sink`] — this crate deliberately has **zero**
+//! dependencies, so no serialization, time, or randomness crate can leak
+//! into the deterministic core.
+//!
+//! Determinism contract: events carry *simulated* cycles only. This crate
+//! is in maya-lint's model-crate scope, so wall-clock types
+//! (`std::time::Instant`) are rejected by the linter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod probe;
+pub mod sink;
+
+pub use collector::{MetricsProbe, Snapshot, MAX_SKEWS};
+pub use event::{Event, EventKind, EvictionCause};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use probe::{NopProbe, Probe, ProbeHandle};
+pub use sink::{run_header, write_jsonl, write_tsv, RingBufferProbe};

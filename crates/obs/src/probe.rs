@@ -1,0 +1,156 @@
+//! The [`Probe`] trait and the cloneable [`ProbeHandle`] that cache
+//! models, the simulator, and the attack framework hold.
+//!
+//! A handle is either *inactive* (the default — a single branch per
+//! emission, so un-instrumented runs are bit- and speed-identical) or
+//! *attached* to one shared [`Probe`]. All clones of a handle share one
+//! simulated-cycle clock, which the driver (the simulator) advances and
+//! every emitter stamps events with.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+use crate::event::{Event, EventKind};
+
+/// An event consumer. Object-safe; implementations must never perturb the
+/// emitting model (they receive data, not access to the cache).
+pub trait Probe {
+    /// Consumes one event.
+    fn record(&mut self, event: &Event);
+}
+
+/// The do-nothing probe: attaching it must leave every simulation result
+/// bit-identical to an unattached run (tests pin this).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NopProbe;
+
+impl Probe for NopProbe {
+    #[inline]
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// A cloneable, optionally-attached reference to a shared [`Probe`] plus
+/// the shared simulated-cycle clock.
+///
+/// Models store one (defaulting to [`ProbeHandle::none`]); the simulator
+/// clones the same handle into the LLC, the DRAM model, and the
+/// prefetchers so all events land in one stream with one clock.
+#[derive(Clone, Default)]
+pub struct ProbeHandle {
+    sink: Option<Rc<RefCell<dyn Probe>>>,
+    clock: Rc<Cell<u64>>,
+}
+
+impl fmt::Debug for ProbeHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProbeHandle")
+            .field("active", &self.is_active())
+            .field("cycle", &self.clock.get())
+            .finish()
+    }
+}
+
+impl ProbeHandle {
+    /// An inactive handle: every emission is a no-op behind one branch.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Wraps `probe` into an active handle, returning the handle plus a
+    /// typed reference for inspecting the probe after the run.
+    pub fn of<P: Probe + 'static>(probe: P) -> (Self, Rc<RefCell<P>>) {
+        let rc = Rc::new(RefCell::new(probe));
+        let handle = Self {
+            sink: Some(rc.clone()),
+            clock: Rc::new(Cell::new(0)),
+        };
+        (handle, rc)
+    }
+
+    /// True when a probe is attached.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Advances the shared simulated-cycle clock (monotonicity is the
+    /// driver's responsibility; standalone models may leave it at 0).
+    #[inline]
+    pub fn set_cycle(&self, cycle: u64) {
+        self.clock.set(cycle);
+    }
+
+    /// Current value of the shared clock.
+    #[inline]
+    pub fn cycle(&self) -> u64 {
+        self.clock.get()
+    }
+
+    /// Emits one event stamped with the current clock.
+    #[inline]
+    pub fn emit(&self, kind: EventKind) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().record(&Event {
+                cycle: self.clock.get(),
+                kind,
+            });
+        }
+    }
+
+    /// Emits the event produced by `f`, constructing it only when a probe
+    /// is attached — use on hot paths so inactive handles pay one branch.
+    #[inline]
+    pub fn emit_with(&self, f: impl FnOnce() -> EventKind) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().record(&Event {
+                cycle: self.clock.get(),
+                kind: f(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingProbe(u64, u64);
+    impl Probe for CountingProbe {
+        fn record(&mut self, event: &Event) {
+            self.0 += 1;
+            self.1 = event.cycle;
+        }
+    }
+
+    #[test]
+    fn inactive_handle_drops_events() {
+        let h = ProbeHandle::none();
+        assert!(!h.is_active());
+        h.emit(EventKind::FlushAll);
+        h.emit_with(|| EventKind::DramWrite);
+    }
+
+    #[test]
+    fn attached_handle_stamps_the_shared_clock() {
+        let (h, rc) = ProbeHandle::of(CountingProbe(0, 0));
+        assert!(h.is_active());
+        let h2 = h.clone();
+        h.set_cycle(7);
+        h2.emit(EventKind::FlushAll);
+        h2.emit_with(|| EventKind::Miss { line: 3 });
+        assert_eq!(rc.borrow().0, 2);
+        assert_eq!(rc.borrow().1, 7, "clone must share the clock");
+    }
+
+    #[test]
+    fn emit_with_never_builds_events_when_inactive() {
+        let h = ProbeHandle::none();
+        let mut built = false;
+        h.emit_with(|| {
+            built = true;
+            EventKind::FlushAll
+        });
+        assert!(!built);
+    }
+}

@@ -1,0 +1,228 @@
+//! Output sinks: JSONL and TSV writers over a finished [`MetricsProbe`],
+//! and a bounded in-memory [`RingBufferProbe`] for tests.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+use crate::collector::{MetricsProbe, Snapshot};
+use crate::event::Event;
+use crate::json::{self, Obj};
+use crate::probe::Probe;
+
+/// Builds the standard `type:"run"` header record for a metrics file.
+pub fn run_header(design: &str, workload: &str, seed: u64, sample_every: u64) -> Obj {
+    Obj::new()
+        .str("type", "run")
+        .str("design", design)
+        .str("workload", workload)
+        .u64("seed", seed)
+        .u64("sample_every", sample_every)
+}
+
+fn snapshot_line(s: &Snapshot) -> String {
+    let mut o = Obj::new()
+        .str("type", "snapshot")
+        .u64("cycle", s.cycle)
+        .u64("resident_data", s.resident_data)
+        .u64("resident_tag_only", s.resident_tag_only)
+        .u64("instructions", s.instructions)
+        .u64("data_hits", s.data_hits)
+        .u64("tag_only_hits", s.tag_only_hits)
+        .u64("misses", s.misses)
+        .u64("fills", s.fills)
+        .u64("evictions", s.evictions)
+        .u64("saes", s.saes)
+        .u64("dram_reads", s.dram_reads);
+    if let Some(mpki) = s.mpki() {
+        o = o.f64("mpki", mpki);
+    }
+    o.finish()
+}
+
+/// Writes the full JSONL dump of a finished probe: one `run` header line,
+/// the snapshot time-series, every counter, every histogram, and a
+/// trailing `end` record with record counts (a cheap integrity check for
+/// consumers).
+pub fn write_jsonl(w: &mut dyn Write, header: Obj, probe: &MetricsProbe) -> io::Result<()> {
+    writeln!(w, "{}", header.finish())?;
+    for s in probe.snapshots() {
+        writeln!(w, "{}", snapshot_line(s))?;
+    }
+    let mut counters = 0u64;
+    for (name, value) in probe.registry().counters() {
+        writeln!(
+            w,
+            "{}",
+            Obj::new()
+                .str("type", "counter")
+                .str("name", name)
+                .u64("value", value)
+                .finish()
+        )?;
+        counters += 1;
+    }
+    let mut histograms = 0u64;
+    for (name, h) in probe.registry().histograms() {
+        let mut o = Obj::new()
+            .str("type", "histogram")
+            .str("name", name)
+            .u64("count", h.count())
+            .u64("sum", h.sum());
+        if let (Some(min), Some(max), Some(mean)) = (h.min(), h.max(), h.mean()) {
+            o = o.u64("min", min).u64("max", max).f64("mean", mean);
+        }
+        writeln!(
+            w,
+            "{}",
+            o.raw("buckets", &json::array_buckets(h.nonzero_buckets()))
+                .finish()
+        )?;
+        histograms += 1;
+    }
+    writeln!(
+        w,
+        "{}",
+        Obj::new()
+            .str("type", "end")
+            .u64("snapshots", probe.snapshots().len() as u64)
+            .u64("counters", counters)
+            .u64("histograms", histograms)
+            .finish()
+    )?;
+    Ok(())
+}
+
+/// Writes a flat TSV dump: `counter <name> <value>` and
+/// `histogram <name> <count> <sum> <min> <max>` rows, tab-separated.
+pub fn write_tsv(w: &mut dyn Write, probe: &MetricsProbe) -> io::Result<()> {
+    writeln!(w, "kind\tname\tvalue\tsum\tmin\tmax")?;
+    for (name, value) in probe.registry().counters() {
+        writeln!(w, "counter\t{name}\t{value}\t\t\t")?;
+    }
+    for (name, h) in probe.registry().histograms() {
+        writeln!(
+            w,
+            "histogram\t{name}\t{}\t{}\t{}\t{}",
+            h.count(),
+            h.sum(),
+            h.min().map_or(String::new(), |v| v.to_string()),
+            h.max().map_or(String::new(), |v| v.to_string()),
+        )?;
+    }
+    Ok(())
+}
+
+/// A [`Probe`] retaining the last `capacity` events verbatim (plus a total
+/// count), for tests that assert on exact event sequences.
+#[derive(Debug, Clone, Default)]
+pub struct RingBufferProbe {
+    capacity: usize,
+    events: VecDeque<Event>,
+    total: u64,
+}
+
+impl RingBufferProbe {
+    /// A ring retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            total: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Total events ever recorded (including any that fell off the ring).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+impl Probe for RingBufferProbe {
+    fn record(&mut self, event: &Event) {
+        self.total += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn probe_with_traffic() -> MetricsProbe {
+        let mut p = MetricsProbe::new(10);
+        for c in 1..=25u64 {
+            p.record(&Event {
+                cycle: c,
+                kind: EventKind::Fill {
+                    line: c,
+                    tag_only: false,
+                    skew: 0,
+                },
+            });
+        }
+        p.record(&Event {
+            cycle: 26,
+            kind: EventKind::Hit { line: 1 },
+        });
+        p.finalize(30);
+        p
+    }
+
+    #[test]
+    fn jsonl_dump_has_header_snapshots_and_end() {
+        let p = probe_with_traffic();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, run_header("maya", "mix", 42, 10), &p).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with(r#"{"type":"run","design":"maya""#));
+        assert!(lines[1].starts_with(r#"{"type":"snapshot","cycle":10"#));
+        assert!(lines.last().unwrap().starts_with(r#"{"type":"end""#));
+        // Every line is a braced object with balanced quotes.
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert_eq!(line.matches('"').count() % 2, 0, "{line}");
+        }
+        // 3 periodic snapshots (10, 20) + final (30).
+        assert_eq!(p.snapshots().len(), 3);
+        assert!(text.contains(r#""name":"llc.reuse_distance""#));
+        assert!(text.contains(r#""name":"llc.fill.data","value":25"#));
+    }
+
+    #[test]
+    fn tsv_dump_lists_counters_and_histograms() {
+        let p = probe_with_traffic();
+        let mut buf = Vec::new();
+        write_tsv(&mut buf, &p).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("kind\tname\tvalue"));
+        assert!(text.contains("counter\tllc.fill.data\t25"));
+        assert!(text.contains("histogram\tllc.reuse_distance\t1"));
+    }
+
+    #[test]
+    fn ring_buffer_keeps_the_tail() {
+        let mut r = RingBufferProbe::new(2);
+        for c in 0..5u64 {
+            r.record(&Event {
+                cycle: c,
+                kind: EventKind::DramWrite,
+            });
+        }
+        assert_eq!(r.total(), 5);
+        let cycles: Vec<u64> = r.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![3, 4]);
+    }
+}

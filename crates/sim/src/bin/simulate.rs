@@ -2,10 +2,16 @@
 //!
 //! ```text
 //! simulate --benchmark mcf --design maya [--cores 8] [--instructions 2000000] [--seed 42]
+//!          [--metrics out.jsonl] [--metrics-tsv out.tsv] [--sample-every 100000]
 //! ```
 //!
 //! Designs: `baseline`, `mirage`, `maya`, `fully-assoc`, `scatter`,
 //! `ceaser`, `ceaser-s`, `threshold`.
+//!
+//! With `--metrics`, a [`maya_obs::MetricsProbe`] is attached to the whole
+//! system (LLC + DRAM + cores) and its counters, histograms, and periodic
+//! snapshots are written as JSONL after the run. Attaching the probe never
+//! changes simulation results — observability is strictly read-only.
 
 use champsim_lite::{System, SystemConfig};
 use maya_core::{
@@ -13,6 +19,7 @@ use maya_core::{
     MirageConfig, Policy, ScatterCache, ScatterConfig, SetAssocCache, SetAssocConfig,
     ThresholdCache, ThresholdConfig,
 };
+use maya_obs::{run_header, write_jsonl, write_tsv, MetricsProbe, ProbeHandle};
 use workloads::mixes::homogeneous;
 
 fn build_design(name: &str, lines: usize, seed: u64) -> Box<dyn CacheModel> {
@@ -48,6 +55,9 @@ fn main() {
     let mut cores = 8usize;
     let mut instructions = 2_000_000u64;
     let mut seed = 42u64;
+    let mut metrics: Option<String> = None;
+    let mut metrics_tsv: Option<String> = None;
+    let mut sample_every = 100_000u64;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].clone();
@@ -64,10 +74,14 @@ fn main() {
             "--cores" => cores = value(i).parse().expect("--cores"),
             "--instructions" => instructions = value(i).parse().expect("--instructions"),
             "--seed" => seed = value(i).parse().expect("--seed"),
+            "--metrics" => metrics = Some(value(i)),
+            "--metrics-tsv" => metrics_tsv = Some(value(i)),
+            "--sample-every" => sample_every = value(i).parse().expect("--sample-every"),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: simulate --benchmark <name> --design <design> \
-                     [--cores N] [--instructions N] [--seed S]"
+                     [--cores N] [--instructions N] [--seed S] \
+                     [--metrics out.jsonl] [--metrics-tsv out.tsv] [--sample-every N]"
                 );
                 return;
             }
@@ -86,7 +100,28 @@ fn main() {
     let llc = build_design(&design, cfg.baseline_llc_lines(), seed);
     let mix = homogeneous(&benchmark, cores);
     let mut sys = System::new(cfg, llc, &mix, seed);
+    let collector = if metrics.is_some() || metrics_tsv.is_some() {
+        let (handle, rc) = ProbeHandle::of(MetricsProbe::new(sample_every));
+        sys.set_probe(handle.clone());
+        Some((handle, rc))
+    } else {
+        None
+    };
     let r = sys.run();
+    if let Some((handle, rc)) = collector {
+        rc.borrow_mut().finalize(handle.cycle());
+        let probe = rc.borrow();
+        if let Some(path) = &metrics {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(path).expect("--metrics"));
+            let header = run_header(&design, &benchmark, seed, sample_every);
+            write_jsonl(&mut f, header, &probe).expect("write metrics jsonl");
+        }
+        if let Some(path) = &metrics_tsv {
+            let mut f =
+                std::io::BufWriter::new(std::fs::File::create(path).expect("--metrics-tsv"));
+            write_tsv(&mut f, &probe).expect("write metrics tsv");
+        }
+    }
 
     println!("design        {}", r.llc_name);
     println!("benchmark     {benchmark} x {cores} cores");

@@ -10,6 +10,7 @@
 
 use crate::config::DramConfig;
 use maya_core::DomainId;
+use maya_obs::{EventKind, ProbeHandle};
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Bank {
@@ -26,6 +27,7 @@ pub struct Dram {
     reads: u64,
     writes: u64,
     row_hits: u64,
+    probe: ProbeHandle,
 }
 
 impl Dram {
@@ -37,7 +39,14 @@ impl Dram {
             reads: 0,
             writes: 0,
             row_hits: 0,
+            probe: ProbeHandle::none(),
         }
+    }
+
+    /// Attaches an observability probe; DRAM reads and writes emit
+    /// [`EventKind::DramRead`]/[`EventKind::DramWrite`] through it.
+    pub fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 
     /// Maps a line to `(bank index, row)`, honouring page-coloring bank
@@ -67,12 +76,14 @@ impl Dram {
         let t = self.config.t_rp_rcd_cas;
         let bank = &mut self.banks[bank_idx];
         let start = now.max(bank.busy_until);
-        let (latency, occupancy) = if bank.row_valid && bank.open_row == row {
+        let row_hit = bank.row_valid && bank.open_row == row;
+        let (latency, occupancy) = if row_hit {
             self.row_hits += 1;
             (t, self.config.burst_cycles) // CAS; bursts pipeline
         } else {
             (3 * t, 2 * t + self.config.burst_cycles) // RP+RCD+CAS; row cycle
         };
+        self.probe.emit_with(|| EventKind::DramRead { row_hit });
         bank.open_row = row;
         bank.row_valid = true;
         bank.busy_until = start + occupancy;
@@ -91,6 +102,7 @@ impl Dram {
     /// bandwidth (one burst).
     pub fn write(&mut self, line: u64, domain: DomainId, now: u64) {
         self.writes += 1;
+        self.probe.emit(EventKind::DramWrite);
         let (bank_idx, _row) = self.locate(line, domain);
         let bank = &mut self.banks[bank_idx];
         let start = now.max(bank.busy_until);

@@ -5,6 +5,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
 use maya_core::{AccessKind, CacheModel, DomainId, Policy, Request, SetAssocCache, SetAssocConfig};
+use maya_obs::{EventKind, ProbeHandle};
 use workloads::mixes::Mix;
 use workloads::spec::SyntheticTrace;
 use workloads::TraceGenerator;
@@ -51,6 +52,7 @@ pub struct System {
     dram: Dram,
     cores: Vec<Core>,
     warmed: usize,
+    probe: ProbeHandle,
 }
 
 impl std::fmt::Debug for System {
@@ -108,6 +110,7 @@ impl System {
             llc,
             cores,
             warmed: 0,
+            probe: ProbeHandle::none(),
             config,
         }
     }
@@ -115,6 +118,16 @@ impl System {
     /// Immutable access to the LLC (e.g. to inspect design-specific state).
     pub fn llc(&self) -> &dyn CacheModel {
         self.llc.as_ref()
+    }
+
+    /// Attaches an observability probe to the whole system: the LLC, the
+    /// DRAM model, and the core loop all emit through clones of `probe`,
+    /// sharing one simulated-cycle clock that [`System::step`] advances to
+    /// the stepping core's time.
+    pub fn set_probe(&mut self, probe: ProbeHandle) {
+        self.llc.set_probe(probe.clone());
+        self.dram.set_probe(probe.clone());
+        self.probe = probe;
     }
 
     /// Runs warm-up plus measurement and returns the results.
@@ -201,6 +214,13 @@ impl System {
                 core.meas.instructions += u64::from(access.gap) + 1;
             }
         }
+        // Stamp subsequent events (LLC, DRAM, prefetch) with the stepping
+        // core's clock; cores advance in time order, so the stream is
+        // near-monotone.
+        self.probe.set_cycle(self.cores[i].t);
+        self.probe.emit_with(|| EventKind::Retire {
+            instructions: access.gap + 1,
+        });
         if access.is_write {
             self.store(i, line, access.pc);
         } else {
@@ -316,6 +336,8 @@ impl System {
             if let Some(ready_at) = self.cores[i].inflight_prefetch.remove(&line) {
                 if ready_at > now {
                     self.cores[i].prefetcher.note_late();
+                    self.probe
+                        .emit_with(|| EventKind::PrefetchLateMerge { line });
                     if self.cores[i].measuring {
                         self.cores[i].meas.l2_misses += 1;
                         self.cores[i].meas.llc_demand_accesses += 1;
@@ -389,6 +411,7 @@ impl System {
         {
             return;
         }
+        self.probe.emit_with(|| EventKind::PrefetchIssue { line });
         let latency = self.walk_below_l1(i, line, false);
         let core = &mut self.cores[i];
         core.inflight_prefetch.insert(line, core.t + latency);

@@ -5,6 +5,7 @@
 //! `tests/` have one import root. The substance lives in the member crates:
 //!
 //! * [`maya_core`] — the Maya cache and every comparison design.
+//! * [`maya_obs`] — the deterministic event-tracing and metrics layer.
 //! * [`prince_cipher`] — the PRINCE cipher and index randomization.
 //! * [`security_model`] — bucket-and-balls and analytic SAE-rate models.
 //! * [`workloads`] — synthetic SPEC/GAP-like trace generators.
@@ -20,6 +21,7 @@
 pub use attacks;
 pub use champsim_lite;
 pub use maya_core;
+pub use maya_obs;
 pub use power_model;
 pub use prince_cipher;
 pub use security_model;
