@@ -22,12 +22,44 @@ fn bench_cipher(c: &mut Criterion) {
             black_box(cipher.decrypt(x))
         })
     });
+    g.bench_function("reference_encrypt", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(prince_cipher::reference::encrypt(
+                0x0123_4567_89ab_cdef,
+                0xfedc_ba98_7654_3210,
+                x,
+            ))
+        })
+    });
     let f = IndexFunction::from_seed(7, 2, 16 * 1024);
     g.bench_function("set_index_two_skews", |b| {
         let mut a = 0u64;
         b.iter(|| {
             a = a.wrapping_add(64);
             black_box((f.set_index(0, a), f.set_index(1, a)))
+        })
+    });
+    g.bench_function("set_indices_into_two_skews", |b| {
+        let mut a = 0u64;
+        let mut sets = [0usize; 2];
+        b.iter(|| {
+            a = a.wrapping_add(64);
+            f.set_indices_into(a, &mut sets);
+            black_box(sets)
+        })
+    });
+    let memoized = IndexFunction::from_seed(7, 2, 16 * 1024).with_memo(2048);
+    g.bench_function("set_indices_into_memo_hit", |b| {
+        // Repeatedly translate a small resident footprint: all memo hits
+        // after the first pass, the common case inside a cache model.
+        let mut a = 0u64;
+        let mut sets = [0usize; 2];
+        b.iter(|| {
+            a = (a + 64) % (512 * 64);
+            memoized.set_indices_into(a, &mut sets);
+            black_box(sets)
         })
     });
     g.finish();

@@ -1,0 +1,146 @@
+//! `perfbench`: the deterministic perf-regression microbenchmark.
+//!
+//! Measures (a) PRINCE throughput on the fused table-driven path and the
+//! spec-literal reference path, and (b) end-to-end simulator throughput on a
+//! short Maya run, then writes all numbers as JSONL to `BENCH_perf.json`.
+//! The workloads are fixed iteration counts over fixed seeds — no cycle
+//! counters, no adaptive calibration — so successive runs measure the same
+//! work and are directly comparable; only the wall-clock denominators vary
+//! with the host. A checksum cross-checks the fused and reference paths on
+//! every run.
+//!
+//! Wall-clock timing is allowed here: maya-bench is harness code, not a
+//! model crate (see maya-lint's crate registry), and the timings land only
+//! in the scratch JSON, never in simulation results.
+//!
+//! With `--check`, exits non-zero if the fused path is less than
+//! [`MIN_SPEEDUP`]× the reference or below [`MIN_FUSED_BLOCKS_PER_SEC`] —
+//! the CI perf-smoke gate.
+
+use std::io::Write;
+use std::time::Instant;
+
+use maya_bench::designs::Design;
+use maya_bench::perf::run_mix;
+use maya_bench::Scale;
+use maya_obs::json::Obj;
+use prince_cipher::{reference, IndexFunction, Prince};
+use workloads::mixes::homogeneous;
+
+/// Blocks encrypted on the fused path.
+const FUSED_BLOCKS: u64 = 4_000_000;
+/// Blocks encrypted on the reference path (slower, so fewer).
+const REFERENCE_BLOCKS: u64 = 400_000;
+/// Blocks cross-checked fused-vs-reference before timing.
+const CROSS_CHECK_BLOCKS: u64 = 10_000;
+/// Index-derivation calls timed (two skews each).
+const INDEX_CALLS: u64 = 2_000_000;
+/// Required fused/reference speedup (the ISSUE's acceptance floor).
+const MIN_SPEEDUP: f64 = 3.0;
+/// Absolute floor for fused throughput under `--check`. Deliberately
+/// conservative (~5x below a typical single debug-ci core) so only a real
+/// regression — not machine jitter — trips it.
+const MIN_FUSED_BLOCKS_PER_SEC: f64 = 2_000_000.0;
+
+const K0: u64 = 0x0123_4567_89ab_cdef;
+const K1: u64 = 0xfedc_ba98_7654_3210;
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+
+    // Correctness gate before any timing: the two paths must agree.
+    let cipher = Prince::new(K0, K1);
+    let mut checksum = 0u64;
+    for i in 0..CROSS_CHECK_BLOCKS {
+        let fused = cipher.encrypt(i);
+        let refr = reference::encrypt(K0, K1, i);
+        assert_eq!(fused, refr, "fused/reference divergence at block {i}");
+        checksum ^= fused.rotate_left((i % 63) as u32);
+    }
+
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..FUSED_BLOCKS {
+        acc ^= cipher.encrypt(i);
+    }
+    let fused_secs = t.elapsed().as_secs_f64();
+    let fused_bps = FUSED_BLOCKS as f64 / fused_secs.max(1e-9);
+
+    let t = Instant::now();
+    for i in 0..REFERENCE_BLOCKS {
+        acc ^= reference::encrypt(K0, K1, i);
+    }
+    let ref_secs = t.elapsed().as_secs_f64();
+    let ref_bps = REFERENCE_BLOCKS as f64 / ref_secs.max(1e-9);
+    let speedup = fused_bps / ref_bps.max(1e-9);
+
+    // Index derivation, batch API, memo-less (worst case: every call pays
+    // the full per-skew encryptions).
+    let f = IndexFunction::from_seed(7, 2, 16 * 1024);
+    let mut sets = [0usize; 2];
+    let t = Instant::now();
+    for i in 0..INDEX_CALLS {
+        f.set_indices_into(i * 64, &mut sets);
+        acc = acc.wrapping_add((sets[0] ^ sets[1]) as u64);
+    }
+    let index_secs = t.elapsed().as_secs_f64();
+    let index_cps = INDEX_CALLS as f64 / index_secs.max(1e-9);
+
+    // End-to-end simulator throughput: a short Maya run (fixed scale and
+    // workload, the same shape `diag` uses).
+    let scale = Scale {
+        warmup: 100_000,
+        measure: 300_000,
+        mc_iterations: 0,
+        attack_trials: 0,
+    };
+    let mix = homogeneous("lbm", 8);
+    let t = Instant::now();
+    let r = run_mix(Design::Maya, &mix, scale);
+    let e2e_secs = t.elapsed().as_secs_f64();
+    let accesses = r.llc.reads + r.llc.writebacks_in;
+    let e2e_aps = accesses as f64 / e2e_secs.max(1e-9);
+
+    println!("prince fused:     {fused_bps:>12.0} blocks/sec");
+    println!("prince reference: {ref_bps:>12.0} blocks/sec");
+    println!("speedup:          {speedup:>12.1} x");
+    println!("index derivation: {index_cps:>12.0} calls/sec (2 skews/call)");
+    println!("maya end-to-end:  {e2e_aps:>12.0} LLC accesses/sec");
+
+    let line = Obj::new()
+        .str("type", "perf")
+        .str("tool", "perfbench")
+        .u64("fused_blocks", FUSED_BLOCKS)
+        .u64("reference_blocks", REFERENCE_BLOCKS)
+        .u64("cross_check_blocks", CROSS_CHECK_BLOCKS)
+        .u64("checksum", checksum)
+        .u64("sink", acc)
+        .f64("fused_blocks_per_sec", fused_bps)
+        .f64("reference_blocks_per_sec", ref_bps)
+        .f64("speedup", speedup)
+        .f64("index_calls_per_sec", index_cps)
+        .u64("e2e_llc_accesses", accesses)
+        .f64("e2e_accesses_per_sec", e2e_aps)
+        .finish();
+    let mut file = std::fs::File::create("BENCH_perf.json").expect("create BENCH_perf.json");
+    writeln!(file, "{line}").expect("write BENCH_perf.json");
+    eprintln!("wrote BENCH_perf.json");
+
+    if check {
+        let mut failed = false;
+        if speedup < MIN_SPEEDUP {
+            eprintln!("FAIL: speedup {speedup:.2}x below the {MIN_SPEEDUP}x floor");
+            failed = true;
+        }
+        if fused_bps < MIN_FUSED_BLOCKS_PER_SEC {
+            eprintln!(
+                "FAIL: fused throughput {fused_bps:.0} below the {MIN_FUSED_BLOCKS_PER_SEC:.0} blocks/sec floor"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("perf check passed");
+    }
+}

@@ -21,7 +21,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use maya_obs::{EventKind, EvictionCause, ProbeHandle};
-use prince_cipher::IndexFunction;
+use prince_cipher::{IndexFunction, DEFAULT_MEMO_SLOTS, MAX_SKEWS};
 
 use crate::cache::CacheModel;
 use crate::replacement::{Policy, ReplacementState};
@@ -124,7 +124,8 @@ impl CeaserCache {
         );
         assert!(config.skews > 0 && config.ways_per_skew > 0);
         Self {
-            index: IndexFunction::from_seed(config.seed, config.skews, config.sets_per_skew),
+            index: IndexFunction::from_seed(config.seed, config.skews, config.sets_per_skew)
+                .with_memo(DEFAULT_MEMO_SLOTS),
             lines: vec![Line::default(); config.lines()],
             repl: ReplacementState::new(
                 Policy::Lru,
@@ -157,8 +158,10 @@ impl CeaserCache {
     }
 
     fn find(&self, line: u64, domain: DomainId) -> Option<(usize, usize, usize)> {
-        for skew in 0..self.config.skews {
-            let set = self.index.set_index(skew, line);
+        let mut sets_buf = [0usize; MAX_SKEWS];
+        let sets = &mut sets_buf[..self.config.skews];
+        self.index.set_indices_into(line, sets);
+        for (skew, &set) in sets.iter().enumerate() {
             for way in 0..self.config.ways_per_skew {
                 let i = self.slot(skew, set, way);
                 if self.live(i) && self.lines[i].tag == line && self.lines[i].sdid == domain {
@@ -182,11 +185,14 @@ impl CeaserCache {
             // requester never waits for them, so only the counter moves.
             let dirty = self.lines.iter().filter(|l| l.valid && l.dirty).count() as u64;
             self.stats.writebacks_out += dirty;
+            // The fresh IndexFunction starts with an empty memo, so no
+            // old-epoch translation can leak into the new mapping.
             self.index = IndexFunction::from_seed(
                 self.config.seed ^ (u64::from(self.epoch) << 32),
                 self.config.skews,
                 self.config.sets_per_skew,
-            );
+            )
+            .with_memo(DEFAULT_MEMO_SLOTS);
             self.probe.emit(EventKind::EpochRekey);
         }
     }
@@ -406,6 +412,32 @@ mod tests {
             "wb {}",
             c.stats().writebacks_out
         );
+    }
+
+    /// After a remap the index memo must not serve old-epoch translations:
+    /// a line whose translation was memoized before the re-key reads as
+    /// missing afterwards, and re-filling it hits normally under the new
+    /// mapping.
+    #[test]
+    fn remap_invalidates_memoized_indices() {
+        let mut c = CeaserCache::new(CeaserConfig::ceaser_s(1024, 50, 3));
+        let d = DomainId(0);
+        // Memoize line 42's translation via repeated lookups.
+        c.access(Request::read(42, d));
+        for _ in 0..5 {
+            assert!(c.access(Request::read(42, d)).is_data_hit());
+        }
+        // Drive fills until a remap fires.
+        let mut a = 10_000u64;
+        while c.remaps() == 0 {
+            c.access(Request::read(a, d));
+            a += 1;
+        }
+        // Old-epoch copy (and any stale memoized mapping) must be gone...
+        assert!(!c.probe(42, d), "old-epoch line visible after remap");
+        assert_eq!(c.access(Request::read(42, d)).event, AccessEvent::Miss);
+        // ...and the refill works under the new mapping.
+        assert!(c.access(Request::read(42, d)).is_data_hit());
     }
 
     #[test]

@@ -34,7 +34,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use maya_obs::{EventKind, EvictionCause, ProbeHandle};
-use prince_cipher::IndexFunction;
+use prince_cipher::{IndexFunction, DEFAULT_MEMO_SLOTS, MAX_SKEWS};
 
 use crate::cache::CacheModel;
 use crate::mirage::SkewSelection;
@@ -126,7 +126,8 @@ impl MayaCache {
             config.reuse_ways_per_skew > 0,
             "reuse ways must be positive"
         );
-        let index = IndexFunction::from_seed(config.seed, config.skews, config.sets_per_skew);
+        let index = IndexFunction::from_seed(config.seed, config.skews, config.sets_per_skew)
+            .with_memo(DEFAULT_MEMO_SLOTS);
         let data_entries = config.data_entries();
         Self {
             tags: vec![TagEntry::default(); config.tag_entries()],
@@ -166,8 +167,11 @@ impl MayaCache {
     /// Re-keys the index function and flushes the cache — the paper's
     /// response to an observed SAE.
     pub fn rekey(&mut self, new_seed: u64) {
+        // A fresh IndexFunction starts with an empty memo, so no old-epoch
+        // translation can survive the re-key.
         self.index =
-            IndexFunction::from_seed(new_seed, self.config.skews, self.config.sets_per_skew);
+            IndexFunction::from_seed(new_seed, self.config.skews, self.config.sets_per_skew)
+                .with_memo(DEFAULT_MEMO_SLOTS);
         self.flush_all();
         self.probe.emit(EventKind::EpochRekey);
     }
@@ -185,8 +189,10 @@ impl MayaCache {
 
     fn find(&self, line: u64, domain: DomainId) -> Option<usize> {
         let ways = self.config.ways_per_skew();
-        for skew in 0..self.config.skews {
-            let set = self.index.set_index(skew, line);
+        let mut sets_buf = [0usize; MAX_SKEWS];
+        let sets = &mut sets_buf[..self.config.skews];
+        self.index.set_indices_into(line, sets);
+        for (skew, &set) in sets.iter().enumerate() {
             for way in 0..ways {
                 let i = self.flat(skew, set, way);
                 let e = &self.tags[i];
@@ -332,12 +338,14 @@ impl MayaCache {
         wb: &mut Writebacks,
     ) -> (usize, bool) {
         let ways = self.config.ways_per_skew();
+        let mut sets_buf = [0usize; MAX_SKEWS];
+        let sets = &mut sets_buf[..self.config.skews];
+        self.index.set_indices_into(line, sets);
         // Invalid-way counts per skew for this line's candidate sets.
         let mut best_skew = 0;
         let mut best_inv = 0;
         let mut ties = 0u32;
-        for skew in 0..self.config.skews {
-            let set = self.index.set_index(skew, line);
+        for (skew, &set) in sets.iter().enumerate() {
             let inv = self.invalid_ways_in(skew, set);
             let better = match self.config.skew_selection {
                 SkewSelection::LoadAware => inv > best_inv,
@@ -360,7 +368,7 @@ impl MayaCache {
                 }
             }
         }
-        let set = self.index.set_index(best_skew, line);
+        let set = sets_buf[best_skew];
         if let Some(way) =
             (0..ways).find(|&w| !self.tags[self.flat(best_skew, set, w)].state.is_valid())
         {
@@ -370,13 +378,20 @@ impl MayaCache {
         // (and, with load-aware selection, so is the other skew's set).
         // Evict a random priority-0 way if one exists, else a random way.
         self.stats.saes += 1;
-        let p0_ways: Vec<usize> = (0..ways)
+        // Count-then-select keeps the pick allocation-free while drawing the
+        // exact RNG value the old Vec-collecting code drew (the count equals
+        // the collected length).
+        let p0_count = (0..ways)
             .filter(|&w| self.tags[self.flat(best_skew, set, w)].state == TagState::Priority0)
-            .collect();
-        let way = if p0_ways.is_empty() {
+            .count();
+        let way = if p0_count == 0 {
             self.rng.gen_range(0..ways)
         } else {
-            p0_ways[self.rng.gen_range(0..p0_ways.len())]
+            let nth = self.rng.gen_range(0..p0_count);
+            (0..ways)
+                .filter(|&w| self.tags[self.flat(best_skew, set, w)].state == TagState::Priority0)
+                .nth(nth)
+                .expect("nth < count of matching ways")
         };
         let idx = self.flat(best_skew, set, way);
         self.evict_any(idx, requester, EvictionCause::Sae, wb);

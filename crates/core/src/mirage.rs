@@ -20,7 +20,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use maya_obs::{EventKind, EvictionCause, ProbeHandle};
-use prince_cipher::IndexFunction;
+use prince_cipher::{IndexFunction, DEFAULT_MEMO_SLOTS, MAX_SKEWS};
 
 use crate::cache::CacheModel;
 use crate::types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};
@@ -153,7 +153,8 @@ impl MirageCache {
         assert!(config.skews > 0 && config.base_ways_per_skew > 0);
         let tag_count = config.sets_per_skew * config.skews * config.ways_per_skew();
         let data_entries = config.data_entries();
-        let index = IndexFunction::from_seed(config.seed, config.skews, config.sets_per_skew);
+        let index = IndexFunction::from_seed(config.seed, config.skews, config.sets_per_skew)
+            .with_memo(DEFAULT_MEMO_SLOTS);
         Self {
             tags: vec![TagEntry::default(); tag_count],
             rptr: vec![FREE; data_entries],
@@ -176,8 +177,11 @@ impl MirageCache {
     /// Re-keys the index function and flushes the cache (the paper's
     /// response to an SAE event).
     pub fn rekey(&mut self, new_seed: u64) {
+        // A fresh IndexFunction starts with an empty memo, so no old-epoch
+        // translation can survive the re-key.
         self.index =
-            IndexFunction::from_seed(new_seed, self.config.skews, self.config.sets_per_skew);
+            IndexFunction::from_seed(new_seed, self.config.skews, self.config.sets_per_skew)
+                .with_memo(DEFAULT_MEMO_SLOTS);
         self.flush_all();
         self.probe.emit(EventKind::EpochRekey);
     }
@@ -195,8 +199,10 @@ impl MirageCache {
 
     fn find(&self, line: u64, domain: DomainId) -> Option<usize> {
         let ways = self.config.ways_per_skew();
-        for skew in 0..self.config.skews {
-            let set = self.index.set_index(skew, line);
+        let mut sets_buf = [0usize; MAX_SKEWS];
+        let sets = &mut sets_buf[..self.config.skews];
+        self.index.set_indices_into(line, sets);
+        for (skew, &set) in sets.iter().enumerate() {
             for way in 0..ways {
                 let i = self.flat(skew, set, way);
                 let e = &self.tags[i];
@@ -290,7 +296,8 @@ impl MirageCache {
         wb: &mut Writebacks,
     ) -> (usize, bool) {
         debug_assert_eq!(self.config.skews, 2, "fill policy assumes two skews");
-        let sets = [self.index.set_index(0, line), self.index.set_index(1, line)];
+        let mut sets = [0usize; 2];
+        self.index.set_indices_into(line, &mut sets);
         let inv = [
             self.invalid_ways_in(0, sets[0]),
             self.invalid_ways_in(1, sets[1]),

@@ -172,29 +172,36 @@ impl ReplacementState {
         rng: &mut SmallRng,
         eligible: impl Fn(usize) -> bool,
     ) -> usize {
-        let eligible_ways: Vec<usize> = (0..self.ways).filter(|&w| eligible(w)).collect();
-        assert!(
-            !eligible_ways.is_empty(),
-            "no eligible victim way in set {set}"
-        );
+        // Allocation-free: iterate the eligible ways in place rather than
+        // collecting them. Iteration order matches the old Vec, so LRU's
+        // first-minimum tie-break and the Random draw (count == collected
+        // length) are unchanged — the RNG sequence is preserved exactly.
+        let count = (0..self.ways).filter(|&w| eligible(w)).count();
+        assert!(count > 0, "no eligible victim way in set {set}");
         match self.policy {
-            Policy::Lru => *eligible_ways
-                .iter()
-                .min_by_key(|&&w| self.state[self.idx(set, w)])
+            Policy::Lru => (0..self.ways)
+                .filter(|&w| eligible(w))
+                .min_by_key(|&w| self.state[self.idx(set, w)])
                 .expect("non-empty"),
             Policy::Srrip | Policy::Drrip => loop {
-                if let Some(&w) = eligible_ways
-                    .iter()
-                    .find(|&&w| self.state[self.idx(set, w)] >= u32::from(RRPV_MAX))
+                if let Some(w) = (0..self.ways)
+                    .filter(|&w| eligible(w))
+                    .find(|&w| self.state[self.idx(set, w)] >= u32::from(RRPV_MAX))
                 {
                     break w;
                 }
-                for &w in &eligible_ways {
+                for w in (0..self.ways).filter(|&w| eligible(w)) {
                     let i = self.idx(set, w);
                     self.state[i] += 1;
                 }
             },
-            Policy::Random => eligible_ways[rng.gen_range(0..eligible_ways.len())],
+            Policy::Random => {
+                let nth = rng.gen_range(0..count);
+                (0..self.ways)
+                    .filter(|&w| eligible(w))
+                    .nth(nth)
+                    .expect("nth < count of eligible ways")
+            }
         }
     }
 }

@@ -16,7 +16,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use maya_obs::{EventKind, EvictionCause, ProbeHandle};
-use prince_cipher::IndexFunction;
+use prince_cipher::{IndexFunction, DEFAULT_MEMO_SLOTS, MAX_SKEWS};
 
 use crate::cache::CacheModel;
 use crate::types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};
@@ -87,7 +87,8 @@ impl ScatterCache {
             // One "skew" per way: each way's slot comes from its own keyed
             // index function (SCv1 with the SDID folded into the key would
             // add per-domain scattering; tag+SDID matching models it).
-            index: IndexFunction::from_seed(config.seed, config.ways, config.sets),
+            index: IndexFunction::from_seed(config.seed, config.ways, config.sets)
+                .with_memo(DEFAULT_MEMO_SLOTS),
             lines: vec![Line::default(); config.sets * config.ways],
             stats: CacheStats::default(),
             rng: SmallRng::seed_from_u64(config.seed ^ 0x05ca_77e2),
@@ -107,8 +108,12 @@ impl ScatterCache {
     }
 
     fn find(&self, line: u64, domain: DomainId) -> Option<usize> {
-        (0..self.config.ways)
-            .map(|w| self.slot(w, line))
+        let mut sets_buf = [0usize; MAX_SKEWS];
+        let sets = &mut sets_buf[..self.config.ways];
+        self.index.set_indices_into(line, sets);
+        sets.iter()
+            .enumerate()
+            .map(|(w, &s)| s * self.config.ways + w)
             .find(|&i| {
                 self.lines[i].valid && self.lines[i].tag == line && self.lines[i].sdid == domain
             })

@@ -14,7 +14,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use maya_obs::{EventKind, EvictionCause, ProbeHandle};
-use prince_cipher::IndexFunction;
+use prince_cipher::{IndexFunction, DEFAULT_MEMO_SLOTS, MAX_SKEWS};
 
 use crate::cache::CacheModel;
 use crate::mirage::SkewSelection;
@@ -103,7 +103,8 @@ impl ThresholdCache {
             "cap must be in (0,1]"
         );
         Self {
-            index: IndexFunction::from_seed(config.seed, config.skews, config.sets_per_skew),
+            index: IndexFunction::from_seed(config.seed, config.skews, config.sets_per_skew)
+                .with_memo(DEFAULT_MEMO_SLOTS),
             lines: vec![Line::default(); config.entries()],
             valid_list: Vec::new(),
             stats: CacheStats::default(),
@@ -124,8 +125,10 @@ impl ThresholdCache {
     }
 
     fn find(&self, line: u64, domain: DomainId) -> Option<usize> {
-        for skew in 0..self.config.skews {
-            let set = self.index.set_index(skew, line);
+        let mut sets_buf = [0usize; MAX_SKEWS];
+        let sets = &mut sets_buf[..self.config.skews];
+        self.index.set_indices_into(line, sets);
+        for (skew, &set) in sets.iter().enumerate() {
             for way in 0..self.config.ways_per_skew {
                 let i = self.slot(skew, set, way);
                 let l = &self.lines[i];
@@ -210,10 +213,12 @@ impl CacheModel for ThresholdCache {
             self.stats.global_data_evictions += 1;
         }
         // Load-aware skew selection over the candidate sets.
+        let mut sets_buf = [0usize; MAX_SKEWS];
+        let cand_sets = &mut sets_buf[..self.config.skews];
+        self.index.set_indices_into(req.line, cand_sets);
         let mut best = (0usize, 0usize, 0usize); // (skew, set, invalid ways)
         let mut ties = 0u32;
-        for skew in 0..self.config.skews {
-            let set = self.index.set_index(skew, req.line);
+        for (skew, &set) in cand_sets.iter().enumerate() {
             let inv = (0..self.config.ways_per_skew)
                 .filter(|&w| !self.lines[self.slot(skew, set, w)].valid)
                 .count();

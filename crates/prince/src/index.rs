@@ -7,8 +7,40 @@
 //! address space, distinct addresses never alias before the truncation to
 //! `log2(sets)` bits, and an attacker without the key cannot predict or
 //! invert the mapping.
+//!
+//! # Hot-path shape
+//!
+//! Index derivation sits on every cache lookup, so the API is built to be
+//! allocation-free and batch-friendly:
+//!
+//! * [`IndexFunction::set_indices_into`] writes all per-skew indices into a
+//!   caller-provided slice (a stack array in the cache models) — no `Vec`
+//!   per access.
+//! * An optional **memo table** ([`IndexFunction::with_memo`]) caches the
+//!   translations of recently seen line addresses, direct-mapped on the low
+//!   address bits. A typical model access re-derives the same line's
+//!   indices two or three times (lookup, fill-slot choice, install); the
+//!   memo collapses the repeats to table reads. The memo is a pure-function
+//!   cache: enabling it never changes any derived index, only the work done
+//!   to produce it. It is a *simulation-only* shortcut — see DESIGN.md's
+//!   Performance notes — and is tied to the key epoch: re-keying (CEASER-S
+//!   remaps, Maya/Mirage rekey) constructs a fresh `IndexFunction`, which
+//!   starts with an empty memo.
+
+use std::cell::Cell;
 
 use crate::Prince;
+
+/// Upper bound on the number of skews an [`IndexFunction`] serves.
+///
+/// Exists so cache models can derive all per-skew indices into a fixed
+/// stack array (`[0usize; MAX_SKEWS]`) without allocating. ScatterCache
+/// uses one "skew" per way (16 in the paper's geometry); 32 leaves room
+/// for sensitivity studies.
+pub const MAX_SKEWS: usize = 32;
+
+/// Default memo-table slot count used by the cache models (power of two).
+pub const DEFAULT_MEMO_SLOTS: usize = 2048;
 
 /// Identifies one skew of a skewed-associative cache.
 ///
@@ -16,6 +48,45 @@ use crate::Prince;
 /// sensitivity studies can model more.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SkewIndex(pub usize);
+
+/// Direct-mapped cache of recent line-address translations.
+///
+/// Uses interior mutability (`Cell`) because translation happens on `&self`
+/// paths (`probe`, `find`). This is safe single-threaded state: entries are
+/// only ever *filled* with values the ciphers would recompute identically,
+/// so observable behavior is independent of memo contents.
+#[derive(Debug, Clone)]
+struct Memo {
+    /// Line address memoized in each slot.
+    tags: Box<[Cell<u64>]>,
+    /// Whether the slot holds a translation (separate from `tags` so every
+    /// `u64` remains a representable address).
+    valid: Box<[Cell<bool>]>,
+    /// Per-skew set indices, flattened as `slot * skews + skew`.
+    sets: Box<[Cell<u32>]>,
+    mask: u64,
+}
+
+impl Memo {
+    fn new(slots: usize, skews: usize) -> Self {
+        assert!(
+            slots.is_power_of_two(),
+            "memo slots must be a power of two, got {slots}"
+        );
+        Self {
+            tags: vec![Cell::new(0); slots].into_boxed_slice(),
+            valid: vec![Cell::new(false); slots].into_boxed_slice(),
+            sets: vec![Cell::new(0); slots * skews].into_boxed_slice(),
+            mask: slots as u64 - 1,
+        }
+    }
+
+    fn clear(&self) {
+        for v in self.valid.iter() {
+            v.set(false);
+        }
+    }
+}
 
 /// A keyed address-to-set mapping with one independent permutation per skew.
 ///
@@ -29,12 +100,18 @@ pub struct SkewIndex(pub usize);
 /// let set0 = f.set_index(0, 0x4_0000);
 /// let set1 = f.set_index(1, 0x4_0000);
 /// assert!(set0 < 16 * 1024 && set1 < 16 * 1024);
+///
+/// // Batch form: both skews in one call, no allocation.
+/// let mut sets = [0usize; 2];
+/// f.set_indices_into(0x4_0000, &mut sets);
+/// assert_eq!(sets, [set0, set1]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct IndexFunction {
     ciphers: Vec<Prince>,
     sets_per_skew: usize,
     mask: u64,
+    memo: Option<Memo>,
 }
 
 impl IndexFunction {
@@ -42,9 +119,15 @@ impl IndexFunction {
     ///
     /// # Panics
     ///
-    /// Panics if `keys` is empty or `sets_per_skew` is not a power of two.
+    /// Panics if `keys` is empty or longer than [`MAX_SKEWS`], or if
+    /// `sets_per_skew` is not a power of two.
     pub fn new(keys: &[u128], sets_per_skew: usize) -> Self {
         assert!(!keys.is_empty(), "at least one skew key is required");
+        assert!(
+            keys.len() <= MAX_SKEWS,
+            "at most {MAX_SKEWS} skews are supported, got {}",
+            keys.len()
+        );
         assert!(
             sets_per_skew.is_power_of_two(),
             "sets_per_skew must be a power of two, got {sets_per_skew}"
@@ -53,6 +136,7 @@ impl IndexFunction {
             ciphers: keys.iter().map(|&k| Prince::from_key128(k)).collect(),
             sets_per_skew,
             mask: sets_per_skew as u64 - 1,
+            memo: None,
         }
     }
 
@@ -65,7 +149,8 @@ impl IndexFunction {
     ///
     /// # Panics
     ///
-    /// Panics if `skews` is zero or `sets_per_skew` is not a power of two.
+    /// Panics if `skews` is zero or above [`MAX_SKEWS`], or if
+    /// `sets_per_skew` is not a power of two.
     pub fn from_seed(seed: u64, skews: usize, sets_per_skew: usize) -> Self {
         assert!(skews > 0, "at least one skew is required");
         let mut state = seed;
@@ -82,6 +167,40 @@ impl IndexFunction {
         Self::new(&keys, sets_per_skew)
     }
 
+    /// Attaches a direct-mapped memo table with `slots` entries (builder
+    /// style). Memoization never changes any derived index; it only avoids
+    /// re-encrypting recently translated line addresses. The memo starts
+    /// empty and is dropped with the function, so a re-key that constructs
+    /// a fresh `IndexFunction` can never serve stale-epoch translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is not a power of two or the set count does not
+    /// fit the memo's 32-bit entries.
+    pub fn with_memo(mut self, slots: usize) -> Self {
+        assert!(
+            u32::try_from(self.sets_per_skew).is_ok(),
+            "memo entries are 32-bit; sets_per_skew {} does not fit",
+            self.sets_per_skew
+        );
+        self.memo = Some(Memo::new(slots, self.ciphers.len()));
+        self
+    }
+
+    /// Whether a memo table is attached (inspection hook for tests).
+    pub fn has_memo(&self) -> bool {
+        self.memo.is_some()
+    }
+
+    /// Empties the memo table, if any. Exposed for explicit epoch
+    /// invalidation; re-keying by constructing a new `IndexFunction` makes
+    /// this unnecessary on the usual paths.
+    pub fn clear_memo(&self) {
+        if let Some(m) = &self.memo {
+            m.clear();
+        }
+    }
+
     /// Number of skews this function serves.
     pub fn skews(&self) -> usize {
         self.ciphers.len()
@@ -92,6 +211,19 @@ impl IndexFunction {
         self.sets_per_skew
     }
 
+    /// Encrypts `line_addr` under every skew's key and records the
+    /// translations in memo slot `slot`.
+    #[inline]
+    fn memo_fill(&self, memo: &Memo, slot: usize, line_addr: u64) {
+        let skews = self.ciphers.len();
+        for (skew, c) in self.ciphers.iter().enumerate() {
+            let set = (c.encrypt(line_addr) & self.mask) as u32;
+            memo.sets[slot * skews + skew].set(set);
+        }
+        memo.tags[slot].set(line_addr);
+        memo.valid[slot].set(true);
+    }
+
     /// Maps a line address to its set in the given skew.
     ///
     /// # Panics
@@ -99,16 +231,46 @@ impl IndexFunction {
     /// Panics if `skew` is out of range.
     #[inline]
     pub fn set_index(&self, skew: usize, line_addr: u64) -> usize {
+        assert!(skew < self.ciphers.len(), "skew {skew} out of range");
+        if let Some(memo) = &self.memo {
+            let slot = (line_addr & memo.mask) as usize;
+            if !(memo.valid[slot].get() && memo.tags[slot].get() == line_addr) {
+                self.memo_fill(memo, slot, line_addr);
+            }
+            return memo.sets[slot * self.ciphers.len() + skew].get() as usize;
+        }
         (self.ciphers[skew].encrypt(line_addr) & self.mask) as usize
     }
 
-    /// Maps a line address to its set in every skew at once.
+    /// Maps a line address to its set in every skew at once, writing the
+    /// results into `out` (index `s` receives skew `s`'s set). This is the
+    /// batch form the cache models use with a stack array — no allocation
+    /// per access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from [`skews`](Self::skews).
     #[inline]
-    pub fn all_set_indices(&self, line_addr: u64) -> Vec<usize> {
-        self.ciphers
-            .iter()
-            .map(|c| (c.encrypt(line_addr) & self.mask) as usize)
-            .collect()
+    pub fn set_indices_into(&self, line_addr: u64, out: &mut [usize]) {
+        let skews = self.ciphers.len();
+        assert_eq!(
+            out.len(),
+            skews,
+            "output slice must hold exactly one index per skew"
+        );
+        if let Some(memo) = &self.memo {
+            let slot = (line_addr & memo.mask) as usize;
+            if !(memo.valid[slot].get() && memo.tags[slot].get() == line_addr) {
+                self.memo_fill(memo, slot, line_addr);
+            }
+            for (skew, o) in out.iter_mut().enumerate() {
+                *o = memo.sets[slot * skews + skew].get() as usize;
+            }
+            return;
+        }
+        for (o, c) in out.iter_mut().zip(self.ciphers.iter()) {
+            *o = (c.encrypt(line_addr) & self.mask) as usize;
+        }
     }
 }
 
@@ -181,13 +343,91 @@ mod tests {
     }
 
     #[test]
-    fn all_set_indices_matches_per_skew_queries() {
+    #[should_panic(expected = "at most")]
+    fn too_many_skews_panics() {
+        IndexFunction::from_seed(1, MAX_SKEWS + 1, 64);
+    }
+
+    #[test]
+    fn set_indices_into_matches_per_skew_queries() {
         let f = IndexFunction::from_seed(3, 3, 512);
         for addr in [0u64, 1, 0xdead_beef, u64::MAX] {
-            let all = f.all_set_indices(addr);
+            let mut all = [0usize; 3];
+            f.set_indices_into(addr, &mut all);
             for (skew, &idx) in all.iter().enumerate() {
                 assert_eq!(idx, f.set_index(skew, addr));
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "one index per skew")]
+    fn wrong_output_length_panics() {
+        let f = IndexFunction::from_seed(3, 3, 512);
+        let mut out = [0usize; 2];
+        f.set_indices_into(1, &mut out);
+    }
+
+    /// The memo is strictly transparent: with a tiny (conflict-heavy) memo,
+    /// every query pattern returns exactly what a memo-less twin computes —
+    /// including interleaved single-skew and batch queries, repeats, and
+    /// slot-colliding addresses.
+    #[test]
+    fn memo_is_transparent_under_conflicts() {
+        let plain = IndexFunction::from_seed(99, 2, 1024);
+        let memoized = IndexFunction::from_seed(99, 2, 1024).with_memo(16);
+        assert!(memoized.has_memo() && !plain.has_memo());
+        let mut state = 0x1234u64;
+        for i in 0..20_000u64 {
+            // Mix sequential addresses (heavy slot reuse) with pseudo-random
+            // ones (slot conflicts), plus exact repeats.
+            state = state.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i);
+            let addr = if i % 3 == 0 { i / 3 } else { state };
+            assert_eq!(memoized.set_index(0, addr), plain.set_index(0, addr));
+            assert_eq!(memoized.set_index(1, addr), plain.set_index(1, addr));
+            let mut a = [0usize; 2];
+            let mut b = [0usize; 2];
+            memoized.set_indices_into(addr, &mut a);
+            plain.set_indices_into(addr, &mut b);
+            assert_eq!(a, b);
+            // Re-query the same address: the memo hit must be identical.
+            assert_eq!(memoized.set_index(1, addr), plain.set_index(1, addr));
+        }
+    }
+
+    /// Key-epoch semantics: a re-key constructs a fresh `IndexFunction`, so
+    /// a warm memo from the old epoch can never leak translations into the
+    /// new one (this is the CEASER-S remap pattern).
+    #[test]
+    fn memo_does_not_survive_rekey() {
+        let seed = 0xcea5e2u64;
+        let old = IndexFunction::from_seed(seed, 2, 256).with_memo(64);
+        // Warm the old epoch's memo.
+        for addr in 0..1000u64 {
+            old.set_index(0, addr);
+        }
+        // New epoch: fresh function, fresh memo (what CeaserCache does).
+        let new = IndexFunction::from_seed(seed ^ (1 << 32), 2, 256).with_memo(64);
+        let plain_new = IndexFunction::from_seed(seed ^ (1 << 32), 2, 256);
+        let mut differs = 0;
+        for addr in 0..1000u64 {
+            assert_eq!(new.set_index(0, addr), plain_new.set_index(0, addr));
+            assert_eq!(new.set_index(1, addr), plain_new.set_index(1, addr));
+            if new.set_index(0, addr) != old.set_index(0, addr) {
+                differs += 1;
+            }
+        }
+        // And the epochs genuinely use different mappings.
+        assert!(differs > 900, "re-key changed only {differs}/1000 mappings");
+    }
+
+    /// `clear_memo` empties the table without changing any result.
+    #[test]
+    fn clear_memo_is_invisible() {
+        let f = IndexFunction::from_seed(5, 2, 128).with_memo(32);
+        let before: Vec<usize> = (0..500u64).map(|a| f.set_index(0, a)).collect();
+        f.clear_memo();
+        let after: Vec<usize> = (0..500u64).map(|a| f.set_index(0, a)).collect();
+        assert_eq!(before, after);
     }
 }

@@ -10,9 +10,16 @@
 //! This crate provides:
 //!
 //! * [`Prince`] — the full cipher (encrypt/decrypt), validated against the
-//!   five published test vectors from the PRINCE paper.
+//!   five published test vectors from the PRINCE paper. The hot path runs
+//!   each round as 16 fused-table loads (S-box, `M'`, and ShiftRows
+//!   precomposed per nibble position — see the `tables` module).
+//! * [`reference`] — the spec-literal implementation kept as the
+//!   correctness oracle; the fused path is cross-checked against it bit
+//!   for bit.
 //! * [`IndexFunction`] — per-skew set-index derivation for skewed randomized
-//!   caches, as used by the `maya-core` cache models.
+//!   caches, as used by the `maya-core` cache models. Batch-friendly and
+//!   allocation-free ([`IndexFunction::set_indices_into`]), with an
+//!   optional per-key-epoch memo table for recently translated addresses.
 //!
 //! # Examples
 //!
@@ -31,6 +38,8 @@
 
 mod cipher;
 mod index;
+pub mod reference;
+mod tables;
 
 pub use cipher::Prince;
-pub use index::{IndexFunction, SkewIndex};
+pub use index::{IndexFunction, SkewIndex, DEFAULT_MEMO_SLOTS, MAX_SKEWS};
