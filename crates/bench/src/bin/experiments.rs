@@ -2,22 +2,42 @@
 //! figures.
 //!
 //! ```text
-//! experiments [--scale F] [--quick] [--metrics-dir DIR] <id>... | all | perf | security | static
+//! experiments [--scale F] [--quick] [--jobs N] [--no-cache] [--cache-dir DIR]
+//!             [--metrics-dir DIR] <id>... | all | perf | security | static
 //! ```
 //!
 //! Ids follow the paper (`fig1`, `tab8`, ...); see DESIGN.md's experiment
 //! index. `--quick` shrinks runs for smoke testing; `--scale 2.0` doubles
-//! the default instruction/iteration budgets. `--metrics-dir DIR` writes a
-//! JSONL metrics sidecar (counters, histograms, snapshots — see DESIGN.md's
-//! Observability section) per timing run into `DIR`.
+//! the default instruction/iteration budgets.
+//!
+//! `--jobs N` (or the `JOBS=` environment variable) runs each experiment's
+//! cells on N worker threads; the default is the machine's available
+//! parallelism and `--jobs 1` reproduces the serial path. Output is
+//! byte-identical at any job count — cells are reassembled in job-id
+//! order. Completed cells are cached under `target/exp-cache/` and reused
+//! on reruns; `--no-cache` bypasses the cache and `--cache-dir DIR` moves
+//! it.
+//!
+//! `--metrics-dir DIR` writes a JSONL metrics sidecar (counters,
+//! histograms, snapshots — see DESIGN.md's Observability section) per
+//! timing run into `DIR`, plus one `sweep_<id>.jsonl` per experiment with
+//! per-job wall times and cache-hit flags. Sidecars require every cell to
+//! actually execute, so `--metrics-dir` implies `--no-cache`.
+
+use std::path::PathBuf;
 
 use maya_bench::experiments::{self, ALL_IDS};
+use maya_bench::sched::RunOpts;
 use maya_bench::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::standard();
     let mut ids: Vec<String> = Vec::new();
+    let mut jobs: Option<usize> = None;
+    let mut no_cache = false;
+    let mut cache_dir = PathBuf::from("target/exp-cache");
+    let mut metrics = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -30,15 +50,33 @@ fn main() {
                     .unwrap_or_else(|| die("--scale needs a number"));
                 scale = scale.scaled_by(f);
             }
+            "--jobs" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--jobs needs a positive integer"));
+                jobs = Some(n);
+            }
+            "--no-cache" => no_cache = true,
+            "--cache-dir" => {
+                i += 1;
+                cache_dir = PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--cache-dir needs a path")),
+                );
+            }
             "--metrics-dir" => {
                 i += 1;
-                let dir = std::path::PathBuf::from(
+                let dir = PathBuf::from(
                     args.get(i)
                         .unwrap_or_else(|| die("--metrics-dir needs a path")),
                 );
                 std::fs::create_dir_all(&dir)
                     .unwrap_or_else(|e| die(&format!("--metrics-dir {}: {e}", dir.display())));
                 maya_bench::perf::set_metrics_dir(Some(dir));
+                metrics = true;
             }
             "--help" | "-h" => {
                 usage();
@@ -52,6 +90,26 @@ fn main() {
         usage();
         std::process::exit(2);
     }
+    let jobs = jobs
+        .or_else(|| {
+            std::env::var("JOBS")
+                .ok()
+                .map(|v| match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => die("JOBS must be a positive integer"),
+                })
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    let opts = RunOpts {
+        jobs,
+        // Sidecars are written only by cells that execute, so a cache hit
+        // would silently drop its metrics file: metrics runs are uncached.
+        cache_dir: (!no_cache && !metrics).then_some(cache_dir),
+    };
     let expanded: Vec<&str> = ids
         .iter()
         .flat_map(|id| match id.as_str() {
@@ -70,18 +128,27 @@ fn main() {
         if n > 0 {
             println!();
         }
-        let t = std::time::Instant::now();
-        assert!(experiments::run(id, scale), "dispatch must know {id}");
-        eprintln!("[{id} done in {:.1}s]", t.elapsed().as_secs_f64());
+        let summary = experiments::run_with(id, scale, &opts)
+            .unwrap_or_else(|| panic!("dispatch must know {id}"));
+        eprintln!(
+            "[{id} done in {:.1}s: {} jobs, {} cached, {} worker{}]",
+            summary.wall_secs,
+            summary.jobs,
+            summary.cache_hits,
+            summary.workers,
+            if summary.workers == 1 { "" } else { "s" }
+        );
     }
 }
 
 fn usage() {
     eprintln!(
-        "usage: experiments [--quick] [--scale F] [--metrics-dir DIR] \
+        "usage: experiments [--quick] [--scale F] [--jobs N] [--no-cache] \
+         [--cache-dir DIR] [--metrics-dir DIR] \
          <id>... | all | perf | security | static"
     );
     eprintln!("ids: {}", ALL_IDS.join(" "));
+    eprintln!("env: JOBS=N sets the default worker count");
 }
 
 fn die(msg: &str) -> ! {

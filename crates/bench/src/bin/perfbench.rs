@@ -1,8 +1,10 @@
 //! `perfbench`: the deterministic perf-regression microbenchmark.
 //!
 //! Measures (a) PRINCE throughput on the fused table-driven path and the
-//! spec-literal reference path, and (b) end-to-end simulator throughput on a
-//! short Maya run, then writes all numbers as JSONL to `BENCH_perf.json`.
+//! spec-literal reference path, (b) end-to-end simulator throughput on a
+//! short Maya run, and (c) cold-versus-warm sweep wall time per experiment
+//! family through the `sched` engine and its result cache, then writes all
+//! numbers as JSONL to `BENCH_perf.json`.
 //! The workloads are fixed iteration counts over fixed seeds — no cycle
 //! counters, no adaptive calibration — so successive runs measure the same
 //! work and are directly comparable; only the wall-clock denominators vary
@@ -14,14 +16,18 @@
 //! in the scratch JSON, never in simulation results.
 //!
 //! With `--check`, exits non-zero if the fused path is less than
-//! [`MIN_SPEEDUP`]× the reference or below [`MIN_FUSED_BLOCKS_PER_SEC`] —
-//! the CI perf-smoke gate.
+//! [`MIN_SPEEDUP`]× the reference, below [`MIN_FUSED_BLOCKS_PER_SEC`], or
+//! if the warm-cache sweep rerun takes more than [`MAX_WARM_FRACTION`] of
+//! the cold total — the CI perf-smoke gate.
 
 use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use maya_bench::designs::Design;
+use maya_bench::experiments;
 use maya_bench::perf::run_mix;
+use maya_bench::sched::{self, RunOpts};
 use maya_bench::Scale;
 use maya_obs::json::Obj;
 use prince_cipher::{reference, IndexFunction, Prince};
@@ -42,8 +48,44 @@ const MIN_SPEEDUP: f64 = 3.0;
 /// regression — not machine jitter — trips it.
 const MIN_FUSED_BLOCKS_PER_SEC: f64 = 2_000_000.0;
 
+/// Warm-cache rerun budget as a fraction of the cold sweep total (the
+/// ISSUE's acceptance floor: a fully cached rerun must cost at most a
+/// quarter of the cold time).
+const MAX_WARM_FRACTION: f64 = 0.25;
+
 const K0: u64 = 0x0123_4567_89ab_cdef;
 const K1: u64 = 0xfedc_ba98_7654_3210;
+
+/// Experiment families timed cold-vs-warm through the sweep cache. Quick
+/// scale keeps the cold pass in seconds while leaving enough work that
+/// cache-hit savings dominate cache-probe overheads.
+const SWEEP_FAMILIES: [(&str, &[&str]); 4] = [
+    ("static", &["tab8", "tab9", "tab1", "tab4"]),
+    ("security", &["fig6", "ablate-skew"]),
+    ("attack", &["demo-flush", "demo-eviction"]),
+    ("perf", &["llcfit"]),
+];
+
+/// Runs every experiment of a family through the scheduler against
+/// `cache_dir`, returning (total wall seconds, total jobs, total cache
+/// hits, concatenated output).
+fn run_family(ids: &[&str], scale: Scale, cache_dir: &Path) -> (f64, usize, usize, String) {
+    let opts = RunOpts {
+        jobs: 1,
+        cache_dir: Some(cache_dir.to_path_buf()),
+    };
+    let mut text = String::new();
+    let (mut jobs, mut hits) = (0, 0);
+    let t = Instant::now();
+    for id in ids {
+        let sw = experiments::sweep(id, scale).unwrap_or_else(|| panic!("unknown id {id}"));
+        let (out, summary) = sched::execute(sw, &opts);
+        text.push_str(&out);
+        jobs += summary.jobs;
+        hits += summary.cache_hits;
+    }
+    (t.elapsed().as_secs_f64(), jobs, hits, text)
+}
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
@@ -107,6 +149,47 @@ fn main() {
     println!("index derivation: {index_cps:>12.0} calls/sec (2 skews/call)");
     println!("maya end-to-end:  {e2e_aps:>12.0} LLC accesses/sec");
 
+    // Sweep engine: cold (empty cache) vs warm (fully cached) wall time
+    // per experiment family, at quick scale, serial workers — the cache is
+    // what's being measured, not thread scaling.
+    let scale = Scale::quick();
+    let cache_root = PathBuf::from("target/exp-cache-perfbench");
+    let _ = std::fs::remove_dir_all(&cache_root);
+    let mut sweep_lines = Vec::new();
+    let (mut cold_total, mut warm_total) = (0.0f64, 0.0f64);
+    for (family, ids) in SWEEP_FAMILIES {
+        let dir = cache_root.join(family);
+        let (cold_secs, jobs, cold_hits, cold_text) = run_family(ids, scale, &dir);
+        let (warm_secs, _, warm_hits, warm_text) = run_family(ids, scale, &dir);
+        assert_eq!(cold_hits, 0, "{family}: cold pass must not hit the cache");
+        assert_eq!(warm_hits, jobs, "{family}: warm pass must be fully cached");
+        assert_eq!(cold_text, warm_text, "{family}: cached output diverged");
+        println!(
+            "sweep {family:<9} cold {cold_secs:>7.2}s  warm {warm_secs:>7.2}s  \
+             ({jobs} jobs, warm/cold {:.3})",
+            warm_secs / cold_secs.max(1e-9)
+        );
+        cold_total += cold_secs;
+        warm_total += warm_secs;
+        sweep_lines.push(
+            Obj::new()
+                .str("type", "sweep")
+                .str("tool", "perfbench")
+                .str("family", family)
+                .str("experiments", &ids.join(","))
+                .u64("jobs", jobs as u64)
+                .f64("cold_secs", cold_secs)
+                .f64("warm_secs", warm_secs)
+                .f64("warm_fraction", warm_secs / cold_secs.max(1e-9))
+                .finish(),
+        );
+    }
+    let warm_fraction_total = warm_total / cold_total.max(1e-9);
+    println!(
+        "sweep total:      cold {cold_total:>7.2}s  warm {warm_total:>7.2}s  \
+         (warm/cold {warm_fraction_total:.3})"
+    );
+
     let line = Obj::new()
         .str("type", "perf")
         .str("tool", "perfbench")
@@ -122,8 +205,19 @@ fn main() {
         .u64("e2e_llc_accesses", accesses)
         .f64("e2e_accesses_per_sec", e2e_aps)
         .finish();
+    let total_line = Obj::new()
+        .str("type", "sweep-total")
+        .str("tool", "perfbench")
+        .f64("cold_secs", cold_total)
+        .f64("warm_secs", warm_total)
+        .f64("warm_fraction", warm_fraction_total)
+        .finish();
     let mut file = std::fs::File::create("BENCH_perf.json").expect("create BENCH_perf.json");
     writeln!(file, "{line}").expect("write BENCH_perf.json");
+    for l in &sweep_lines {
+        writeln!(file, "{l}").expect("write BENCH_perf.json");
+    }
+    writeln!(file, "{total_line}").expect("write BENCH_perf.json");
     eprintln!("wrote BENCH_perf.json");
 
     if check {
@@ -135,6 +229,15 @@ fn main() {
         if fused_bps < MIN_FUSED_BLOCKS_PER_SEC {
             eprintln!(
                 "FAIL: fused throughput {fused_bps:.0} below the {MIN_FUSED_BLOCKS_PER_SEC:.0} blocks/sec floor"
+            );
+            failed = true;
+        }
+        if warm_fraction_total > MAX_WARM_FRACTION {
+            eprintln!(
+                "FAIL: warm-cache rerun took {:.0}% of the cold sweep time \
+                 (budget {:.0}%)",
+                warm_fraction_total * 100.0,
+                MAX_WARM_FRACTION * 100.0
             );
             failed = true;
         }

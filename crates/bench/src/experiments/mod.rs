@@ -1,14 +1,20 @@
-//! One module per group of paper experiments; [`run`] dispatches by id.
+//! One module per group of paper experiments; [`sweep`] enumerates an
+//! experiment's independent cells and [`run`]/[`run_with`] execute them
+//! through the [`crate::sched`] engine.
 //!
-//! Every experiment prints a self-describing TSV block: a `# <id>: ...`
+//! Every experiment produces a self-describing TSV block: a `# <id>: ...`
 //! header comment, a column-header row, then data rows. Shapes to expect
 //! are documented in DESIGN.md and the measured outcomes in EXPERIMENTS.md.
+//! Blocks are assembled from per-cell outputs in job-id order, so they are
+//! byte-identical at any `--jobs` count and whether cells were computed or
+//! served from the result cache.
 
 pub mod attack_exps;
 pub mod perf_exps;
 pub mod security_exps;
 pub mod static_exps;
 
+use crate::sched::{self, RunOpts, Sweep, SweepSummary};
 use crate::Scale;
 
 /// All experiment ids in paper order.
@@ -38,10 +44,10 @@ pub const ALL_IDS: &[&str] = &[
     "demo-randomized",
 ];
 
-/// Runs one experiment by id at the given scale. Returns false for an
-/// unknown id.
-pub fn run(id: &str, scale: Scale) -> bool {
-    match id {
+/// Enumerates one experiment's job cells at the given scale. Returns
+/// `None` for an unknown id.
+pub fn sweep(id: &str, scale: Scale) -> Option<Sweep> {
+    Some(match id {
         "fig1" => perf_exps::fig1_dead_blocks(scale),
         "tab1" => security_exps::tab1_reuse_ways(),
         "fig4" => perf_exps::fig4_reuse_way_performance(scale),
@@ -65,15 +71,23 @@ pub fn run(id: &str, scale: Scale) -> bool {
         "demo-eviction" => attack_exps::demo_eviction(),
         "demo-flush" => attack_exps::demo_flush_reload(),
         "demo-randomized" => attack_exps::demo_randomized_lineage(),
-        _ => return false,
-    }
-    true
+        _ => return None,
+    })
 }
 
-/// Prints the standard experiment header.
-pub(crate) fn header(id: &str, what: &str, columns: &str) {
-    println!("# {id}: {what}");
-    println!("{columns}");
+/// Runs one experiment by id through the sweep engine, printing its block
+/// to stdout. Returns `None` for an unknown id.
+pub fn run_with(id: &str, scale: Scale, opts: &RunOpts) -> Option<SweepSummary> {
+    let sw = sweep(id, scale)?;
+    let (text, summary) = sched::execute(sw, opts);
+    print!("{text}");
+    Some(summary)
+}
+
+/// Runs one experiment serially and uncached (the historical path).
+/// Returns false for an unknown id.
+pub fn run(id: &str, scale: Scale) -> bool {
+    run_with(id, scale, &RunOpts::serial()).is_some()
 }
 
 #[cfg(test)]
@@ -83,6 +97,7 @@ mod tests {
     #[test]
     fn unknown_id_is_rejected() {
         assert!(!run("not-an-experiment", Scale::quick()));
+        assert!(sweep("not-an-experiment", Scale::quick()).is_none());
     }
 
     #[test]
@@ -91,5 +106,13 @@ mod tests {
         assert!(run("tab9", Scale::quick()));
         assert!(run("tab1", Scale::quick()));
         assert!(run("tab4", Scale::quick()));
+    }
+
+    #[test]
+    fn every_id_enumerates_at_least_one_job() {
+        for id in ALL_IDS {
+            let sw = sweep(id, Scale::quick()).unwrap_or_else(|| panic!("{id} must enumerate"));
+            assert!(!sw.is_empty(), "{id} enumerated no jobs");
+        }
     }
 }

@@ -1,59 +1,127 @@
 //! Performance experiments (ChampSim-lite runs): Figures 1, 4, 9, 10 and
 //! Tables VII and XI, plus the LLC-fitting study, sensitivity studies, and
 //! the reuse-filtering ablation.
+//!
+//! Each experiment enumerates one job per output row (benchmark, mix, or
+//! configuration point); a job runs every design the row compares — plus
+//! the alone-IPC runs its weighted-speedup normalization needs — so cells
+//! stay self-contained and the scheduler can run them in any order.
 
 use champsim_lite::{DramConfig, System};
 use maya_core::{MirageCache, MirageConfig, Policy, SetAssocCache, SetAssocConfig, SkewSelection};
 use workloads::mixes::{hetero_mixes, homogeneous, MpkiBin};
 use workloads::spec::{ALL_NAMES, FITTING_NAMES, GAP_NAMES, SPEC_NAMES};
 
-use super::header;
 use crate::designs::Design;
 use crate::perf::{run_mix, run_mix_with, system_config, ws_of, AloneIpcCache, SEED};
+use crate::sched::{concat_texts, CellOut, Sweep};
 use crate::Scale;
 
 /// Figure 1: percentage of dead blocks inserted into the LLC for the 15
 /// SPEC and 5 GAP benchmarks, single-core system with 2 MB baseline and
 /// Mirage LLCs.
-pub fn fig1_dead_blocks(scale: Scale) {
-    header(
+pub fn fig1_dead_blocks(scale: Scale) -> Sweep {
+    let mut sw = Sweep::new(
         "fig1",
         "% dead blocks at a 1-core 2MB LLC (baseline and Mirage)",
         "benchmark\tbaseline_dead%\tmirage_dead%",
     );
-    let mut sums = (0.0f64, 0.0f64, 0usize);
     for name in ALL_NAMES {
-        let mix = homogeneous(name, 1);
-        let dead = |design: Design| -> f64 {
-            run_mix(design, &mix, scale)
-                .dead_block_fraction()
-                .unwrap_or(0.0)
-                * 100.0
-        };
-        let (b, m) = (dead(Design::Baseline), dead(Design::Mirage));
-        sums = (sums.0 + b, sums.1 + m, sums.2 + 1);
-        println!("{name}\t{b:.1}\t{m:.1}");
+        sw.job("baseline+mirage", name, SEED, scale, move || {
+            let mix = homogeneous(name, 1);
+            let dead = |design: Design| -> f64 {
+                run_mix(design, &mix, scale)
+                    .dead_block_fraction()
+                    .unwrap_or(0.0)
+                    * 100.0
+            };
+            let (b, m) = (dead(Design::Baseline), dead(Design::Mirage));
+            CellOut {
+                text: format!("{name}\t{b:.1}\t{m:.1}\n"),
+                stats: vec![b, m],
+            }
+        });
     }
-    println!(
-        "AVG\t{:.1}\t{:.1}",
-        sums.0 / sums.2 as f64,
-        sums.1 / sums.2 as f64
+    sw.assemble_with(|outs| {
+        let mut s = concat_texts(outs);
+        let n = outs.len() as f64;
+        let (b, m) = outs
+            .iter()
+            .fold((0.0, 0.0), |a, o| (a.0 + o.stats[0], a.1 + o.stats[1]));
+        s.push_str(&format!("AVG\t{:.1}\t{:.1}\n", b / n, m / n));
+        s
+    });
+    sw
+}
+
+/// One fig9-style cell: normalized weighted speedup of Mirage and Maya on
+/// a homogeneous 8-core mix of `name`.
+fn norm_ws_cell(name: &'static str, scale: Scale) -> CellOut {
+    let mix = homogeneous(name, 8);
+    let mut alone = AloneIpcCache::new();
+    let base = ws_of(
+        &run_mix(Design::Baseline, &mix, scale),
+        &mut alone,
+        &mix,
+        scale,
     );
+    let mirage = ws_of(
+        &run_mix(Design::Mirage, &mix, scale),
+        &mut alone,
+        &mix,
+        scale,
+    ) / base;
+    let maya = ws_of(&run_mix(Design::Maya, &mix, scale), &mut alone, &mix, scale) / base;
+    CellOut {
+        text: format!("{name}\t{mirage:.3}\t{maya:.3}\n"),
+        stats: vec![mirage, maya],
+    }
 }
 
 /// Figure 9: weighted speedup of Maya and Mirage, normalized to the
 /// baseline, for 8-core homogeneous SPEC and GAP mixes.
-pub fn fig9_homogeneous(scale: Scale) {
-    header(
+pub fn fig9_homogeneous(scale: Scale) -> Sweep {
+    let mut sw = Sweep::new(
         "fig9",
         "normalized weighted speedup, 8-core homogeneous mixes",
         "benchmark\tmirage\tmaya",
     );
-    let mut alone = AloneIpcCache::new();
-    let mut avg = |names: &[&str], label: &str| {
-        let mut sums = (0.0f64, 0.0f64);
-        for name in names {
-            let mix = homogeneous(name, 8);
+    for name in SPEC_NAMES.into_iter().chain(GAP_NAMES) {
+        sw.job("mirage+maya", name, SEED, scale, move || {
+            norm_ws_cell(name, scale)
+        });
+    }
+    let n_spec = SPEC_NAMES.len();
+    sw.assemble_with(move |outs| {
+        let mut s = String::new();
+        for (range, label) in [(0..n_spec, "AVG-SPEC"), (n_spec..outs.len(), "AVG-GAP")] {
+            let group = &outs[range];
+            let n = group.len() as f64;
+            let (mirage, maya) = group
+                .iter()
+                .fold((0.0, 0.0), |a, o| (a.0 + o.stats[0], a.1 + o.stats[1]));
+            s.push_str(&concat_texts(group));
+            s.push_str(&format!("{label}\t{:.3}\t{:.3}\n", mirage / n, maya / n));
+        }
+        s
+    });
+    sw
+}
+
+/// Figure 10: normalized weighted speedup for the 21 heterogeneous mixes,
+/// with Low/Medium/High MPKI bin averages.
+pub fn fig10_heterogeneous(scale: Scale) -> Sweep {
+    let mut sw = Sweep::new(
+        "fig10",
+        "normalized weighted speedup, 8-core heterogeneous mixes M1-M21",
+        "mix\tbin\tmirage\tmaya",
+    );
+    let mut bins = Vec::new();
+    for mix in hetero_mixes() {
+        let bin = mix.bin.expect("hetero mixes are binned");
+        bins.push(bin);
+        sw.job("mirage+maya", mix.name.clone(), SEED, scale, move || {
+            let mut alone = AloneIpcCache::new();
             let base = ws_of(
                 &run_mix(Design::Baseline, &mix, scale),
                 &mut alone,
@@ -67,207 +135,244 @@ pub fn fig9_homogeneous(scale: Scale) {
                 scale,
             ) / base;
             let maya = ws_of(&run_mix(Design::Maya, &mix, scale), &mut alone, &mix, scale) / base;
-            sums = (sums.0 + mirage, sums.1 + maya);
-            println!("{name}\t{mirage:.3}\t{maya:.3}");
+            CellOut {
+                text: format!("{}\t{}\t{mirage:.3}\t{maya:.3}\n", mix.name, bin),
+                stats: vec![mirage, maya],
+            }
+        });
+    }
+    sw.assemble_with(move |outs| {
+        let mut s = concat_texts(outs);
+        for bin in [MpkiBin::Low, MpkiBin::Medium, MpkiBin::High] {
+            let group: Vec<&CellOut> = outs
+                .iter()
+                .zip(&bins)
+                .filter(|(_, b)| **b == bin)
+                .map(|(o, _)| o)
+                .collect();
+            let n = group.len() as f64;
+            let (m, y) = group
+                .iter()
+                .fold((0.0, 0.0), |a, o| (a.0 + o.stats[0], a.1 + o.stats[1]));
+            s.push_str(&format!("AVG-{bin}\t-\t{:.3}\t{:.3}\n", m / n, y / n));
         }
-        let n = names.len() as f64;
-        println!("{label}\t{:.3}\t{:.3}", sums.0 / n, sums.1 / n);
-    };
-    avg(&SPEC_NAMES, "AVG-SPEC");
-    avg(&GAP_NAMES, "AVG-GAP");
-}
-
-/// Figure 10: normalized weighted speedup for the 21 heterogeneous mixes,
-/// with Low/Medium/High MPKI bin averages.
-pub fn fig10_heterogeneous(scale: Scale) {
-    header(
-        "fig10",
-        "normalized weighted speedup, 8-core heterogeneous mixes M1-M21",
-        "mix\tbin\tmirage\tmaya",
-    );
-    let mut alone = AloneIpcCache::new();
-    let mut bins: std::collections::HashMap<MpkiBin, (f64, f64, usize)> = Default::default();
-    for mix in hetero_mixes() {
-        let base = ws_of(
-            &run_mix(Design::Baseline, &mix, scale),
-            &mut alone,
-            &mix,
-            scale,
-        );
-        let mirage = ws_of(
-            &run_mix(Design::Mirage, &mix, scale),
-            &mut alone,
-            &mix,
-            scale,
-        ) / base;
-        let maya = ws_of(&run_mix(Design::Maya, &mix, scale), &mut alone, &mix, scale) / base;
-        let bin = mix.bin.expect("hetero mixes are binned");
-        let e = bins.entry(bin).or_default();
-        *e = (e.0 + mirage, e.1 + maya, e.2 + 1);
-        println!("{}\t{}\t{mirage:.3}\t{maya:.3}", mix.name, bin);
-    }
-    for bin in [MpkiBin::Low, MpkiBin::Medium, MpkiBin::High] {
-        let (m, y, n) = bins[&bin];
-        println!("AVG-{bin}\t-\t{:.3}\t{:.3}", m / n as f64, y / n as f64);
-    }
+        s
+    });
+    sw
 }
 
 /// Table VII: average LLC MPKI for the three designs over homogeneous
 /// (SPEC+GAP) and heterogeneous (binned) workloads.
-pub fn tab7_mpki(scale: Scale) {
-    header(
+pub fn tab7_mpki(scale: Scale) -> Sweep {
+    const DESIGNS: [Design; 3] = [Design::Baseline, Design::Mirage, Design::Maya];
+    let mut sw = Sweep::new(
         "tab7",
         "average LLC MPKI (paper Table VII)",
         "workloads\tbaseline\tmirage\tmaya",
     );
-    let designs = [Design::Baseline, Design::Mirage, Design::Maya];
-    let mut rate = [0.0f64; 3];
+    let mpki_stats = move |mix: workloads::mixes::Mix| -> CellOut {
+        CellOut::stats(
+            DESIGNS
+                .iter()
+                .map(|d| run_mix(*d, &mix, scale).avg_mpki())
+                .collect(),
+        )
+    };
     for name in ALL_NAMES {
-        let mix = homogeneous(name, 8);
-        for (i, d) in designs.iter().enumerate() {
-            rate[i] += run_mix(*d, &mix, scale).avg_mpki();
-        }
+        sw.job("baseline+mirage+maya", name, SEED, scale, move || {
+            mpki_stats(homogeneous(name, 8))
+        });
     }
-    let n = ALL_NAMES.len() as f64;
-    println!(
-        "SPEC+GAP-RATE\t{:.1}\t{:.1}\t{:.1}",
-        rate[0] / n,
-        rate[1] / n,
-        rate[2] / n
-    );
-    let mut bins: std::collections::HashMap<MpkiBin, ([f64; 3], usize)> = Default::default();
+    let n_homo = ALL_NAMES.len();
+    let mut bins = Vec::new();
     for mix in hetero_mixes() {
-        let e = bins.entry(mix.bin.expect("binned")).or_default();
-        for (i, d) in designs.iter().enumerate() {
-            e.0[i] += run_mix(*d, &mix, scale).avg_mpki();
-        }
-        e.1 += 1;
-    }
-    for (bin, label) in [
-        (MpkiBin::Low, "HETERO-LOW"),
-        (MpkiBin::Medium, "HETERO-MEDIUM"),
-        (MpkiBin::High, "HETERO-HIGH"),
-    ] {
-        let (sums, n) = bins[&bin];
-        println!(
-            "{label}\t{:.2}\t{:.2}\t{:.2}",
-            sums[0] / n as f64,
-            sums[1] / n as f64,
-            sums[2] / n as f64
+        bins.push(mix.bin.expect("binned"));
+        sw.job(
+            "baseline+mirage+maya",
+            mix.name.clone(),
+            SEED,
+            scale,
+            move || mpki_stats(mix),
         );
     }
+    sw.assemble_with(move |outs| {
+        let avg = |group: &[&CellOut]| -> [f64; 3] {
+            let n = group.len() as f64;
+            let mut sums = [0.0f64; 3];
+            for o in group {
+                for (s, v) in sums.iter_mut().zip(&o.stats) {
+                    *s += v;
+                }
+            }
+            sums.map(|s| s / n)
+        };
+        let homo: Vec<&CellOut> = outs[..n_homo].iter().collect();
+        let r = avg(&homo);
+        let mut s = format!("SPEC+GAP-RATE\t{:.1}\t{:.1}\t{:.1}\n", r[0], r[1], r[2]);
+        for (bin, label) in [
+            (MpkiBin::Low, "HETERO-LOW"),
+            (MpkiBin::Medium, "HETERO-MEDIUM"),
+            (MpkiBin::High, "HETERO-HIGH"),
+        ] {
+            let group: Vec<&CellOut> = outs[n_homo..]
+                .iter()
+                .zip(&bins)
+                .filter(|(_, b)| **b == bin)
+                .map(|(o, _)| o)
+                .collect();
+            let r = avg(&group);
+            s.push_str(&format!("{label}\t{:.2}\t{:.2}\t{:.2}\n", r[0], r[1], r[2]));
+        }
+        s
+    });
+    sw
 }
 
 /// Figure 4: Maya performance (normalized weighted speedup vs baseline) as
 /// the reuse ways per skew sweep over 1, 3, 5, 7 — SPEC homogeneous mixes.
-pub fn fig4_reuse_way_performance(scale: Scale) {
-    header(
+pub fn fig4_reuse_way_performance(scale: Scale) -> Sweep {
+    const REUSE_WAYS: [usize; 4] = [1, 3, 5, 7];
+    let mut sw = Sweep::new(
         "fig4",
         "Maya normalized WS vs reuse ways per skew (SPEC homogeneous)",
         "benchmark\tr1\tr3\tr5\tr7",
     );
-    let mut alone = AloneIpcCache::new();
-    let reuse_ways = [1usize, 3, 5, 7];
-    let mut sums = [0.0f64; 4];
     for name in SPEC_NAMES {
-        let mix = homogeneous(name, 8);
-        let base = ws_of(
-            &run_mix(Design::Baseline, &mix, scale),
-            &mut alone,
-            &mix,
-            scale,
-        );
-        let mut cells = Vec::with_capacity(4);
-        for (i, &r) in reuse_ways.iter().enumerate() {
-            let ws = ws_of(
-                &run_mix(Design::MayaReuseWays(r), &mix, scale),
-                &mut alone,
-                &mix,
-                scale,
-            ) / base;
-            sums[i] += ws;
-            cells.push(format!("{ws:.3}"));
-        }
-        println!("{name}\t{}", cells.join("\t"));
-    }
-    let n = SPEC_NAMES.len() as f64;
-    println!(
-        "AVG\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
-        sums[0] / n,
-        sums[1] / n,
-        sums[2] / n,
-        sums[3] / n
-    );
-}
-
-/// Table XI: performance and storage of the secure partitioning baselines.
-/// Page coloring additionally partitions DRAM banks (its defining
-/// limitation); DAWG and BCE use the full DRAM.
-pub fn tab11_partitioning(scale: Scale) {
-    header(
-        "tab11",
-        "secure partitioning techniques (paper Table XI), SPEC homogeneous",
-        "technique\tperformance\tstorage",
-    );
-    let mut alone = AloneIpcCache::new();
-    let benches = SPEC_NAMES;
-    let mut norm = |design: Design, partition_dram: bool| -> f64 {
-        let mut sum = 0.0;
-        for name in benches {
+        sw.job("maya-r1..r7", name, SEED, scale, move || {
             let mix = homogeneous(name, 8);
+            let mut alone = AloneIpcCache::new();
             let base = ws_of(
                 &run_mix(Design::Baseline, &mix, scale),
                 &mut alone,
                 &mix,
                 scale,
             );
-            let r = run_mix_with(design, &mix, scale, |mut cfg| {
-                if partition_dram {
-                    cfg.dram = DramConfig {
-                        bank_partition_domains: Some(8),
-                        ..DramConfig::ddr4_default()
-                    };
-                }
-                cfg
-            });
-            sum += ws_of(&r, &mut alone, &mix, scale) / base;
+            let mut stats = Vec::with_capacity(REUSE_WAYS.len());
+            let mut cells = Vec::with_capacity(REUSE_WAYS.len());
+            for r in REUSE_WAYS {
+                let ws = ws_of(
+                    &run_mix(Design::MayaReuseWays(r), &mix, scale),
+                    &mut alone,
+                    &mix,
+                    scale,
+                ) / base;
+                stats.push(ws);
+                cells.push(format!("{ws:.3}"));
+            }
+            CellOut {
+                text: format!("{name}\t{}\n", cells.join("\t")),
+                stats,
+            }
+        });
+    }
+    sw.assemble_with(|outs| {
+        let mut s = concat_texts(outs);
+        let n = outs.len() as f64;
+        let mut sums = [0.0f64; 4];
+        for o in outs {
+            for (a, v) in sums.iter_mut().zip(&o.stats) {
+                *a += v;
+            }
         }
-        (sum / benches.len() as f64 - 1.0) * 100.0
-    };
-    let rows = [
+        s.push_str(&format!(
+            "AVG\t{:.3}\t{:.3}\t{:.3}\t{:.3}\n",
+            sums[0] / n,
+            sums[1] / n,
+            sums[2] / n,
+            sums[3] / n
+        ));
+        s
+    });
+    sw
+}
+
+/// Table XI: performance and storage of the secure partitioning baselines.
+/// Page coloring additionally partitions DRAM banks (its defining
+/// limitation); DAWG and BCE use the full DRAM.
+pub fn tab11_partitioning(scale: Scale) -> Sweep {
+    const ROWS: [(&str, Design, bool); 3] = [
         ("page-coloring", Design::PageColoring, true),
         ("dawg", Design::Dawg, false),
         ("bce", Design::Bce, false),
     ];
-    for (label, design, dram_part) in rows {
-        println!(
-            "{label}\t{:+.1}%\t{:+.1}%",
-            norm(design, dram_part),
-            maya_core::partitioned::storage_overhead_fraction(label) * 100.0
-        );
+    let mut sw = Sweep::new(
+        "tab11",
+        "secure partitioning techniques (paper Table XI), SPEC homogeneous",
+        "technique\tperformance\tstorage",
+    );
+    for name in SPEC_NAMES {
+        sw.job("partitioned", name, SEED, scale, move || {
+            let mix = homogeneous(name, 8);
+            let mut alone = AloneIpcCache::new();
+            let base = ws_of(
+                &run_mix(Design::Baseline, &mix, scale),
+                &mut alone,
+                &mix,
+                scale,
+            );
+            CellOut::stats(
+                ROWS.iter()
+                    .map(|(_, design, partition_dram)| {
+                        let r = run_mix_with(*design, &mix, scale, |mut cfg| {
+                            if *partition_dram {
+                                cfg.dram = DramConfig {
+                                    bank_partition_domains: Some(8),
+                                    ..DramConfig::ddr4_default()
+                                };
+                            }
+                            cfg
+                        });
+                        ws_of(&r, &mut alone, &mix, scale) / base
+                    })
+                    .collect(),
+            )
+        });
     }
+    sw.assemble_with(|outs| {
+        let n = outs.len() as f64;
+        let mut s = String::new();
+        for (i, (label, _, _)) in ROWS.iter().enumerate() {
+            let avg: f64 = outs.iter().map(|o| o.stats[i]).sum::<f64>() / n;
+            s.push_str(&format!(
+                "{label}\t{:+.1}%\t{:+.1}%\n",
+                (avg - 1.0) * 100.0,
+                maya_core::partitioned::storage_overhead_fraction(label) * 100.0
+            ));
+        }
+        s
+    });
+    sw
 }
 
 /// The "performance of LLC-fitting benchmarks" study: Maya loses slightly
 /// when the working set fits the baseline LLC but not Maya's smaller data
 /// store.
-pub fn llc_fitting(scale: Scale) {
-    header(
+pub fn llc_fitting(scale: Scale) -> Sweep {
+    let mut sw = Sweep::new(
         "llcfit",
         "LLC-fitting benchmarks (MPKI < 0.5): Maya normalized WS",
         "benchmark\tmaya\tmpki_baseline",
     );
-    let mut alone = AloneIpcCache::new();
-    let mut sum = 0.0;
     for name in FITTING_NAMES {
-        let mix = homogeneous(name, 8);
-        let base_run = run_mix(Design::Baseline, &mix, scale);
-        let base = ws_of(&base_run, &mut alone, &mix, scale);
-        let maya = ws_of(&run_mix(Design::Maya, &mix, scale), &mut alone, &mix, scale) / base;
-        sum += maya;
-        println!("{name}\t{maya:.4}\t{:.2}", base_run.avg_mpki());
+        sw.job("maya", name, SEED, scale, move || {
+            let mix = homogeneous(name, 8);
+            let mut alone = AloneIpcCache::new();
+            let base_run = run_mix(Design::Baseline, &mix, scale);
+            let base = ws_of(&base_run, &mut alone, &mix, scale);
+            let maya = ws_of(&run_mix(Design::Maya, &mix, scale), &mut alone, &mix, scale) / base;
+            CellOut {
+                text: format!("{name}\t{maya:.4}\t{:.2}\n", base_run.avg_mpki()),
+                stats: vec![maya],
+            }
+        });
     }
-    println!("AVG\t{:.4}\t-", sum / FITTING_NAMES.len() as f64);
+    sw.assemble_with(|outs| {
+        let mut s = concat_texts(outs);
+        let avg: f64 = outs.iter().map(|o| o.stats[0]).sum::<f64>() / outs.len() as f64;
+        s.push_str(&format!("AVG\t{avg:.4}\t-\n"));
+        s
+    });
+    sw
 }
 
 /// Ablation: what reuse filtering buys. Compares three 12 MB-data-store
@@ -275,13 +380,8 @@ pub fn llc_fitting(scale: Scale) {
 /// random eviction), and a 12 MB 12-way baseline — against the 16 MB
 /// baseline. Shrinking without filtering costs several percent; Maya
 /// recovers it (paper Section I's ~5% claim).
-pub fn ablate_reuse_filtering(scale: Scale) {
-    header(
-        "ablate-reuse",
-        "12MB designs vs 16MB baseline: reuse filtering vs plain shrink",
-        "benchmark\tmaya12\tmirage12\tbaseline12",
-    );
-    let benches = [
+pub fn ablate_reuse_filtering(scale: Scale) -> Sweep {
+    const BENCHES: [&str; 8] = [
         "mcf",
         "omnetpp",
         "xalancbmk",
@@ -291,106 +391,153 @@ pub fn ablate_reuse_filtering(scale: Scale) {
         "xz",
         "pop2",
     ];
-    let mut alone = AloneIpcCache::new();
-    let mut sums = [0.0f64; 3];
-    for name in benches {
-        let mix = homogeneous(name, 8);
-        let base = ws_of(
-            &run_mix(Design::Baseline, &mix, scale),
-            &mut alone,
-            &mix,
-            scale,
-        );
-        let cores = mix.specs.len();
-        let cfg = system_config(cores, scale);
-        // Maya (12 MB data store).
-        let maya = ws_of(&run_mix(Design::Maya, &mix, scale), &mut alone, &mix, scale) / base;
-        // Mirage shrunk to 12 MB: 6 base + 6 extra ways/skew, 16K sets.
-        let mirage12 = {
-            let llc = Box::new(MirageCache::new(MirageConfig {
-                sets_per_skew: cfg.baseline_llc_lines() / 16,
-                skews: 2,
-                base_ways_per_skew: 6,
-                extra_ways_per_skew: 6,
-                skew_selection: SkewSelection::LoadAware,
-                seed: SEED,
-            }));
-            let r = System::new(cfg.clone(), llc, &mix, SEED).run();
-            ws_of(&r, &mut alone, &mix, scale) / base
-        };
-        // A 12-way (12 MB) conventional baseline.
-        let baseline12 = {
-            let llc = Box::new(SetAssocCache::new(SetAssocConfig {
-                seed: SEED,
-                ..SetAssocConfig::new(cfg.baseline_llc_lines() / 16, 12, Policy::Drrip)
-            }));
-            let r = System::new(cfg.clone(), llc, &mix, SEED).run();
-            ws_of(&r, &mut alone, &mix, scale) / base
-        };
-        sums = [sums[0] + maya, sums[1] + mirage12, sums[2] + baseline12];
-        println!("{name}\t{maya:.3}\t{mirage12:.3}\t{baseline12:.3}");
-    }
-    let n = benches.len() as f64;
-    println!(
-        "AVG\t{:.3}\t{:.3}\t{:.3}",
-        sums[0] / n,
-        sums[1] / n,
-        sums[2] / n
+    let mut sw = Sweep::new(
+        "ablate-reuse",
+        "12MB designs vs 16MB baseline: reuse filtering vs plain shrink",
+        "benchmark\tmaya12\tmirage12\tbaseline12",
     );
-}
-
-/// Sensitivity to LLC size: Maya with 6–48 MB data stores versus the
-/// correspondingly sized baselines (paper: the 6 MB configuration fares
-/// best; gains shrink as the LLC grows).
-pub fn sensitivity_llc_size(scale: Scale) {
-    header(
-        "sens-llc",
-        "Maya normalized WS vs LLC size (8-core)",
-        "baseline_mb\tmaya_norm_ws",
-    );
-    let benches = ["mcf", "omnetpp", "fotonik3d", "xz"];
-    for baseline_mb in [8usize, 16, 32, 64] {
-        let lines = baseline_mb * 1024 * 1024 / 64;
-        let mut alone = AloneIpcCache::new();
-        let mut sum = 0.0;
-        for name in benches {
+    for name in BENCHES {
+        sw.job("maya12+mirage12+baseline12", name, SEED, scale, move || {
             let mix = homogeneous(name, 8);
-            let cfg = system_config(8, scale);
-            let run = |design: Design| {
-                let llc = design.build(lines, SEED);
-                System::new(cfg.clone(), llc, &mix, SEED).run()
-            };
-            let base = ws_of(&run(Design::Baseline), &mut alone, &mix, scale);
-            sum += ws_of(&run(Design::Maya), &mut alone, &mix, scale) / base;
-        }
-        println!("{baseline_mb}\t{:.3}", sum / benches.len() as f64);
-    }
-}
-
-/// Sensitivity to core count: Maya vs baseline at 8, 16, and 32 cores
-/// (2 MB baseline LLC per core).
-pub fn sensitivity_core_count(scale: Scale) {
-    header(
-        "sens-cores",
-        "Maya normalized WS vs core count",
-        "cores\tmaya_norm_ws",
-    );
-    let benches = ["mcf", "fotonik3d", "xz"];
-    for cores in [8usize, 16, 32] {
-        let mut alone = AloneIpcCache::new();
-        let mut sum = 0.0;
-        for name in benches {
-            let mix = homogeneous(name, cores);
+            let mut alone = AloneIpcCache::new();
             let base = ws_of(
                 &run_mix(Design::Baseline, &mix, scale),
                 &mut alone,
                 &mix,
                 scale,
             );
-            sum += ws_of(&run_mix(Design::Maya, &mix, scale), &mut alone, &mix, scale) / base;
-        }
-        println!("{cores}\t{:.3}", sum / benches.len() as f64);
+            let cores = mix.specs.len();
+            let cfg = system_config(cores, scale);
+            // Maya (12 MB data store).
+            let maya = ws_of(&run_mix(Design::Maya, &mix, scale), &mut alone, &mix, scale) / base;
+            // Mirage shrunk to 12 MB: 6 base + 6 extra ways/skew, 16K sets.
+            let mirage12 = {
+                let llc = Box::new(MirageCache::new(MirageConfig {
+                    sets_per_skew: cfg.baseline_llc_lines() / 16,
+                    skews: 2,
+                    base_ways_per_skew: 6,
+                    extra_ways_per_skew: 6,
+                    skew_selection: SkewSelection::LoadAware,
+                    seed: SEED,
+                }));
+                let r = System::new(cfg.clone(), llc, &mix, SEED).run();
+                ws_of(&r, &mut alone, &mix, scale) / base
+            };
+            // A 12-way (12 MB) conventional baseline.
+            let baseline12 = {
+                let llc = Box::new(SetAssocCache::new(SetAssocConfig {
+                    seed: SEED,
+                    ..SetAssocConfig::new(cfg.baseline_llc_lines() / 16, 12, Policy::Drrip)
+                }));
+                let r = System::new(cfg.clone(), llc, &mix, SEED).run();
+                ws_of(&r, &mut alone, &mix, scale) / base
+            };
+            CellOut {
+                text: format!("{name}\t{maya:.3}\t{mirage12:.3}\t{baseline12:.3}\n"),
+                stats: vec![maya, mirage12, baseline12],
+            }
+        });
     }
+    sw.assemble_with(|outs| {
+        let mut s = concat_texts(outs);
+        let n = outs.len() as f64;
+        let mut sums = [0.0f64; 3];
+        for o in outs {
+            for (a, v) in sums.iter_mut().zip(&o.stats) {
+                *a += v;
+            }
+        }
+        s.push_str(&format!(
+            "AVG\t{:.3}\t{:.3}\t{:.3}\n",
+            sums[0] / n,
+            sums[1] / n,
+            sums[2] / n
+        ));
+        s
+    });
+    sw
+}
+
+/// Sensitivity to LLC size: Maya with 6–48 MB data stores versus the
+/// correspondingly sized baselines (paper: the 6 MB configuration fares
+/// best; gains shrink as the LLC grows).
+pub fn sensitivity_llc_size(scale: Scale) -> Sweep {
+    const BENCHES: [&str; 4] = ["mcf", "omnetpp", "fotonik3d", "xz"];
+    const SIZES_MB: [usize; 4] = [8, 16, 32, 64];
+    let mut sw = Sweep::new(
+        "sens-llc",
+        "Maya normalized WS vs LLC size (8-core)",
+        "baseline_mb\tmaya_norm_ws",
+    );
+    for baseline_mb in SIZES_MB {
+        for name in BENCHES {
+            let workload = format!("{name}@{baseline_mb}mb");
+            sw.job("maya", workload, SEED, scale, move || {
+                let lines = baseline_mb * 1024 * 1024 / 64;
+                let mix = homogeneous(name, 8);
+                let mut alone = AloneIpcCache::new();
+                let cfg = system_config(8, scale);
+                let run = |design: Design| {
+                    let llc = design.build(lines, SEED);
+                    System::new(cfg.clone(), llc, &mix, SEED).run()
+                };
+                let base = ws_of(&run(Design::Baseline), &mut alone, &mix, scale);
+                CellOut::stats(vec![
+                    ws_of(&run(Design::Maya), &mut alone, &mix, scale) / base,
+                ])
+            });
+        }
+    }
+    sw.assemble_with(|outs| {
+        let mut s = String::new();
+        for (i, baseline_mb) in SIZES_MB.iter().enumerate() {
+            let group = &outs[i * BENCHES.len()..(i + 1) * BENCHES.len()];
+            let avg: f64 = group.iter().map(|o| o.stats[0]).sum::<f64>() / group.len() as f64;
+            s.push_str(&format!("{baseline_mb}\t{avg:.3}\n"));
+        }
+        s
+    });
+    sw
+}
+
+/// Sensitivity to core count: Maya vs baseline at 8, 16, and 32 cores
+/// (2 MB baseline LLC per core).
+pub fn sensitivity_core_count(scale: Scale) -> Sweep {
+    const BENCHES: [&str; 3] = ["mcf", "fotonik3d", "xz"];
+    const CORES: [usize; 3] = [8, 16, 32];
+    let mut sw = Sweep::new(
+        "sens-cores",
+        "Maya normalized WS vs core count",
+        "cores\tmaya_norm_ws",
+    );
+    for cores in CORES {
+        for name in BENCHES {
+            let workload = format!("{name}@{cores}c");
+            sw.job("maya", workload, SEED, scale, move || {
+                let mix = homogeneous(name, cores);
+                let mut alone = AloneIpcCache::new();
+                let base = ws_of(
+                    &run_mix(Design::Baseline, &mix, scale),
+                    &mut alone,
+                    &mix,
+                    scale,
+                );
+                CellOut::stats(vec![
+                    ws_of(&run_mix(Design::Maya, &mix, scale), &mut alone, &mix, scale) / base,
+                ])
+            });
+        }
+    }
+    sw.assemble_with(|outs| {
+        let mut s = String::new();
+        for (i, cores) in CORES.iter().enumerate() {
+            let group = &outs[i * BENCHES.len()..(i + 1) * BENCHES.len()];
+            let avg: f64 = group.iter().map(|o| o.stats[0]).sum::<f64>() / group.len() as f64;
+            s.push_str(&format!("{cores}\t{avg:.3}\n"));
+        }
+        s
+    });
+    sw
 }
 
 #[cfg(test)]
@@ -404,5 +551,18 @@ mod tests {
         let mix = homogeneous("lbm", 1);
         let r = run_mix(Design::Baseline, &mix, Scale::quick());
         assert!(r.dead_block_fraction().is_some() || r.llc.data_fills > 0);
+    }
+
+    #[test]
+    fn perf_sweeps_enumerate_one_job_per_row() {
+        let scale = Scale::quick();
+        assert_eq!(fig1_dead_blocks(scale).len(), ALL_NAMES.len());
+        assert_eq!(
+            fig9_homogeneous(scale).len(),
+            SPEC_NAMES.len() + GAP_NAMES.len()
+        );
+        assert_eq!(fig10_heterogeneous(scale).len(), hetero_mixes().len());
+        assert_eq!(sensitivity_llc_size(scale).len(), 16);
+        assert_eq!(sensitivity_core_count(scale).len(), 9);
     }
 }

@@ -10,102 +10,142 @@ use security_model::analytic::{format_installs, AnalyticModel};
 use security_model::balls::BallsSim;
 use security_model::config::BallsConfig;
 
-use super::header;
+use crate::sched::{CellOut, Sweep};
 use crate::Scale;
+
+/// Occupancy-histogram sampling stride for the deep fig6 sweeps: fig6 only
+/// reads iteration and spill counts, never the occupancy distribution, so
+/// sampling 1-in-64 iterations cuts per-iteration bookkeeping without
+/// changing any reported statistic.
+const FIG6_OCCUPANCY_STRIDE: u64 = 64;
 
 /// Table I: cache-line installs per SAE as reuse ways vary from 1 to 7,
 /// for 5 and 6 invalid ways per skew (analytic model; the paper's own
 /// methodology for such rare events).
-pub fn tab1_reuse_ways() {
-    header(
+pub fn tab1_reuse_ways() -> Sweep {
+    Sweep::serial(
         "tab1",
         "installs per SAE vs reuse ways (6 base ways/skew)",
         "reuse_ways\tinvalid5\tinvalid6",
-    );
-    for reuse in [1usize, 3, 5, 7] {
-        let model = AnalyticModel::new(reuse as f64, 6.0);
-        let row: Vec<String> = [5usize, 6]
-            .iter()
-            .map(|&inv| format_installs(model.installs_per_sae(6 + reuse + inv)))
-            .collect();
-        println!("{reuse}\t{}\t{}", row[0], row[1]);
-    }
+        "analytic",
+        || {
+            let mut s = String::new();
+            for reuse in [1usize, 3, 5, 7] {
+                let model = AnalyticModel::new(reuse as f64, 6.0);
+                let row: Vec<String> = [5usize, 6]
+                    .iter()
+                    .map(|&inv| format_installs(model.installs_per_sae(6 + reuse + inv)))
+                    .collect();
+                s.push_str(&format!("{reuse}\t{}\t{}\n", row[0], row[1]));
+            }
+            s
+        },
+    )
 }
 
 /// Table IV: installs per SAE as the base associativity varies (8, 18, 36
 /// total ways) for 4–6 extra invalid ways per skew.
-pub fn tab4_associativity() {
-    header(
+pub fn tab4_associativity() -> Sweep {
+    Sweep::serial(
         "tab4",
         "installs per SAE vs tag-store associativity",
         "assoc\tinvalid4\tinvalid5\tinvalid6",
-    );
-    // (label, reuse/skew, base/skew) per the paper: 8-way = 3+1,
-    // 18-way = 6+3, 36-way = 12+6.
-    for (label, reuse, base) in [
-        ("8-way(3+1)", 1.0, 3.0),
-        ("18-way(6+3)", 3.0, 6.0),
-        ("36-way(12+6)", 6.0, 12.0),
-    ] {
-        let model = AnalyticModel::new(reuse, base);
-        let load = (reuse + base) as usize;
-        let cells: Vec<String> = [4usize, 5, 6]
-            .iter()
-            .map(|&inv| format_installs(model.installs_per_sae(load + inv)))
-            .collect();
-        println!("{label}\t{}\t{}\t{}", cells[0], cells[1], cells[2]);
-    }
+        "analytic",
+        || {
+            let mut s = String::new();
+            // (label, reuse/skew, base/skew) per the paper: 8-way = 3+1,
+            // 18-way = 6+3, 36-way = 12+6.
+            for (label, reuse, base) in [
+                ("8-way(3+1)", 1.0, 3.0),
+                ("18-way(6+3)", 3.0, 6.0),
+                ("36-way(12+6)", 6.0, 12.0),
+            ] {
+                let model = AnalyticModel::new(reuse, base);
+                let load = (reuse + base) as usize;
+                let cells: Vec<String> = [4usize, 5, 6]
+                    .iter()
+                    .map(|&inv| format_installs(model.installs_per_sae(load + inv)))
+                    .collect();
+                s.push_str(&format!(
+                    "{label}\t{}\t{}\t{}\n",
+                    cells[0], cells[1], cells[2]
+                ));
+            }
+            s
+        },
+    )
 }
 
 /// Figure 6: Monte-Carlo iterations per bucket spill for bucket capacities
 /// 9–13 (14–15 produce no spill at any feasible scale; the analytic model
-/// covers them — see fig7/tab1).
-pub fn fig6_spill_frequency(scale: Scale) {
-    header(
+/// covers them — see fig7/tab1). One job per capacity; each capacity owns
+/// its seeded simulator, so cells are order-independent.
+pub fn fig6_spill_frequency(scale: Scale) -> Sweep {
+    let mut sw = Sweep::new(
         "fig6",
         "bucket-and-balls iterations per spill vs bucket capacity",
         "capacity\titerations\tspills\titers_per_spill",
     );
     for capacity in 9..=13usize {
-        let mut sim = BallsSim::new(BallsConfig::paper_default(capacity));
-        // Run in slices until we have enough spills or exhaust the budget.
-        let slice = (scale.mc_iterations / 20).max(10_000);
-        let mut out = sim.outcome();
-        while out.iterations < scale.mc_iterations && out.spills < 100 {
-            out = sim.run(slice);
-        }
-        let per = out
-            .installs_per_sae()
-            .map(|_| format!("{:.3e}", out.iterations as f64 / out.spills as f64))
-            .unwrap_or_else(|| format!(">{:.1e}", out.iterations));
-        println!("{capacity}\t{}\t{}\t{per}", out.iterations, out.spills);
+        let cfg = BallsConfig::paper_default(capacity);
+        sw.job(
+            "balls",
+            format!("cap{capacity}"),
+            cfg.seed,
+            scale,
+            move || {
+                let mut sim = BallsSim::new(cfg).with_occupancy_stride(FIG6_OCCUPANCY_STRIDE);
+                // Run in slices until we have enough spills or exhaust the budget.
+                let slice = (scale.mc_iterations / 20).max(10_000);
+                let mut out = sim.outcome();
+                while out.iterations < scale.mc_iterations && out.spills < 100 {
+                    out = sim.run(slice);
+                }
+                let per = out
+                    .installs_per_sae()
+                    .map(|_| format!("{:.3e}", out.iterations as f64 / out.spills as f64))
+                    .unwrap_or_else(|| format!(">{:.1e}", out.iterations));
+                CellOut::text(format!(
+                    "{capacity}\t{}\t{}\t{per}\n",
+                    out.iterations, out.spills
+                ))
+            },
+        );
     }
+    sw
 }
 
 /// Figure 7: the per-bucket occupancy distribution Pr(n = N) — Monte-Carlo
 /// experimental values next to the analytic Birth–Death estimates.
-pub fn fig7_occupancy_distribution(scale: Scale) {
-    header(
+pub fn fig7_occupancy_distribution(scale: Scale) -> Sweep {
+    let mut sw = Sweep::new(
         "fig7",
         "Pr(bucket holds N balls): experimental vs analytic",
         "n\texperimental\tanalytic",
     );
     // Experimental: unconstrained capacity is approximated by the largest
-    // configured capacity (15, the design point).
-    let mut sim = BallsSim::new(BallsConfig::paper_default(15));
-    let out = sim.run(scale.mc_iterations);
-    let analytic = AnalyticModel::new(3.0, 6.0).distribution(16);
-    for (n, a) in analytic.iter().enumerate().take(16) {
-        let e = out.occupancy.get(n).copied().unwrap_or(0.0);
-        println!("{n}\t{e:.3e}\t{a:.3e}");
-    }
+    // configured capacity (15, the design point). Occupancy is the output
+    // here, so the histogram samples every iteration (stride 1).
+    let cfg = BallsConfig::paper_default(15);
+    sw.job("balls+analytic", "cap15", cfg.seed, scale, move || {
+        let mut sim = BallsSim::new(cfg);
+        let out = sim.run(scale.mc_iterations);
+        let analytic = AnalyticModel::new(3.0, 6.0).distribution(16);
+        let mut s = String::new();
+        for (n, a) in analytic.iter().enumerate().take(16) {
+            let e = out.occupancy.get(n).copied().unwrap_or(0.0);
+            s.push_str(&format!("{n}\t{e:.3e}\t{a:.3e}\n"));
+        }
+        CellOut::text(s)
+    });
+    sw
 }
 
 /// Ablation: load-aware versus random skew selection. Drives a real Maya
 /// cache (not the balls model) with a filling workload and counts SAEs —
 /// random selection leaks SAEs almost immediately, load-aware does not.
-pub fn ablate_skew_selection(scale: Scale) {
-    header(
+pub fn ablate_skew_selection(scale: Scale) -> Sweep {
+    let mut sw = Sweep::new(
         "ablate-skew",
         "SAEs under load-aware vs random skew selection (real cache, fill storm)",
         "selection\tfills\tsaes",
@@ -115,19 +155,22 @@ pub fn ablate_skew_selection(scale: Scale) {
         ("load-aware", SkewSelection::LoadAware),
         ("random", SkewSelection::Random),
     ] {
-        let mut cache = MayaCache::new(MayaConfig {
-            skew_selection: selection,
-            ..MayaConfig::with_sets(1024, 7)
+        sw.job("maya", label, crate::perf::SEED, scale, move || {
+            let mut cache = MayaCache::new(MayaConfig {
+                skew_selection: selection,
+                ..MayaConfig::with_sets(1024, 7)
+            });
+            // Writeback misses install priority-1 entries directly, driving
+            // buckets to the full 9-ball steady state (a read-only storm would
+            // only ever create the 3 priority-0 balls per bucket and could
+            // never spill a 15-way set).
+            for i in 0..fills {
+                cache.access(Request::writeback(i, DomainId(0)));
+            }
+            CellOut::text(format!("{label}\t{fills}\t{}\n", cache.stats().saes))
         });
-        // Writeback misses install priority-1 entries directly, driving
-        // buckets to the full 9-ball steady state (a read-only storm would
-        // only ever create the 3 priority-0 balls per bucket and could
-        // never spill a 15-way set).
-        for i in 0..fills {
-            cache.access(Request::writeback(i, DomainId(0)));
-        }
-        println!("{label}\t{fills}\t{}", cache.stats().saes);
     }
+    sw
 }
 
 /// Ablation (paper Section VI, "Summary"): the alternative of keeping a
@@ -136,34 +179,46 @@ pub fn ablate_skew_selection(scale: Scale) {
 /// only ~4 spare ways per skew), and a real capped cache spills within
 /// millions of fills at simulable scale, while Maya at the same effective
 /// capacity records none.
-pub fn ablate_threshold(scale: Scale) {
-    header(
+pub fn ablate_threshold(scale: Scale) -> Sweep {
+    let mut sw = Sweep::new(
         "ablate-threshold",
         "75%-occupancy threshold design vs Maya (same 12MB effective capacity)",
         "design\tfills\tsaes\tanalytic_installs_per_sae",
     );
     let fills = (scale.measure * 4).max(2_000_000);
-    // Analytic: average 12 valid entries per 16-way bucket.
-    let analytic_threshold = format_installs(AnalyticModel::new(0.0, 12.0).installs_per_sae(16));
-    let analytic_maya = format_installs(AnalyticModel::new(3.0, 6.0).installs_per_sae(15));
-    let mut t = ThresholdCache::new(ThresholdConfig::paper_discussion(64 * 1024, 7));
-    for i in 0..fills {
-        t.access(Request::writeback(i, DomainId(0)));
-    }
-    println!(
-        "threshold-75\t{fills}\t{}\t{analytic_threshold}",
-        t.stats().saes
+    sw.job(
+        "threshold",
+        "fill-storm",
+        crate::perf::SEED,
+        scale,
+        move || {
+            // Analytic: average 12 valid entries per 16-way bucket.
+            let analytic = format_installs(AnalyticModel::new(0.0, 12.0).installs_per_sae(16));
+            let mut t = ThresholdCache::new(ThresholdConfig::paper_discussion(64 * 1024, 7));
+            for i in 0..fills {
+                t.access(Request::writeback(i, DomainId(0)));
+            }
+            CellOut::text(format!(
+                "threshold-75\t{fills}\t{}\t{analytic}\n",
+                t.stats().saes
+            ))
+        },
     );
-    let mut m = MayaCache::new(MayaConfig::for_baseline_lines(64 * 1024, 7));
-    for i in 0..fills {
-        m.access(Request::writeback(i, DomainId(0)));
-    }
-    println!("maya\t{fills}\t{}\t{analytic_maya}", m.stats().saes);
+    sw.job("maya", "fill-storm", crate::perf::SEED, scale, move || {
+        let analytic = format_installs(AnalyticModel::new(3.0, 6.0).installs_per_sae(15));
+        let mut m = MayaCache::new(MayaConfig::for_baseline_lines(64 * 1024, 7));
+        for i in 0..fills {
+            m.access(Request::writeback(i, DomainId(0)));
+        }
+        CellOut::text(format!("maya\t{fills}\t{}\t{analytic}\n", m.stats().saes))
+    });
+    sw
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::{self, RunOpts};
 
     #[test]
     fn threshold_design_is_insecure_but_maya_is_not() {
@@ -183,8 +238,12 @@ mod tests {
 
     #[test]
     fn fast_experiments_print_without_panicking() {
-        tab1_reuse_ways();
-        tab4_associativity();
+        for sw in [tab1_reuse_ways(), tab4_associativity()] {
+            let (text, summary) = sched::execute(sw, &RunOpts::serial());
+            assert!(text.starts_with("# tab"));
+            assert!(text.ends_with('\n'));
+            assert_eq!(summary.jobs, 1);
+        }
     }
 
     #[test]

@@ -6,134 +6,158 @@ use power_model::{maya_iso_config, PowerModel};
 use security_model::analytic::{format_installs, AnalyticModel};
 use workloads::mixes::homogeneous;
 
-use super::header;
 use crate::designs::Design;
-use crate::perf::{run_mix, ws_of, AloneIpcCache};
+use crate::perf::{run_mix, ws_of, AloneIpcCache, SEED};
+use crate::sched::{CellOut, Sweep};
 use crate::Scale;
 
 /// Table VIII: the storage breakdown for baseline, Mirage, and Maya.
-pub fn tab8_storage() {
-    header(
+pub fn tab8_storage() -> Sweep {
+    Sweep::serial(
         "tab8",
         "storage breakdown (paper Table VIII)",
         "field\tbaseline\tmirage\tmaya",
-    );
-    let (b, m, y) = table_viii_reports();
-    let row = |name: &str, f: &dyn Fn(&StorageReport) -> String| {
-        println!("{name}\t{}\t{}\t{}", f(&b), f(&m), f(&y));
-    };
-    row("tag_bits", &|r| r.tag_bits.to_string());
-    row("coherence_bits", &|r| r.coherence_bits.to_string());
-    row("priority_bits", &|r| r.priority_bits.to_string());
-    row("fptr_bits", &|r| r.fptr_bits.to_string());
-    row("sdid_bits", &|r| r.sdid_bits.to_string());
-    row("tag_entry_bits", &|r| r.tag_entry_bits().to_string());
-    row("tag_entries", &|r| r.tag_entries.to_string());
-    row("tag_store_kb", &|r| format!("{:.0}", r.tag_store_kb()));
-    row("data_entry_bits", &|r| r.data_entry_bits().to_string());
-    row("data_entries", &|r| r.data_entries.to_string());
-    row("data_store_kb", &|r| format!("{:.0}", r.data_store_kb()));
-    row("total_kb", &|r| format!("{:.0}", r.total_kb()));
-    println!(
-        "overhead_vs_baseline\t0.0%\t{:+.1}%\t{:+.1}%",
-        m.overhead_vs(&b) * 100.0,
-        y.overhead_vs(&b) * 100.0
-    );
+        "static",
+        || {
+            let (b, m, y) = table_viii_reports();
+            let mut s = String::new();
+            let mut row = |name: &str, f: &dyn Fn(&StorageReport) -> String| {
+                s.push_str(&format!("{name}\t{}\t{}\t{}\n", f(&b), f(&m), f(&y)));
+            };
+            row("tag_bits", &|r| r.tag_bits.to_string());
+            row("coherence_bits", &|r| r.coherence_bits.to_string());
+            row("priority_bits", &|r| r.priority_bits.to_string());
+            row("fptr_bits", &|r| r.fptr_bits.to_string());
+            row("sdid_bits", &|r| r.sdid_bits.to_string());
+            row("tag_entry_bits", &|r| r.tag_entry_bits().to_string());
+            row("tag_entries", &|r| r.tag_entries.to_string());
+            row("tag_store_kb", &|r| format!("{:.0}", r.tag_store_kb()));
+            row("data_entry_bits", &|r| r.data_entry_bits().to_string());
+            row("data_entries", &|r| r.data_entries.to_string());
+            row("data_store_kb", &|r| format!("{:.0}", r.data_store_kb()));
+            row("total_kb", &|r| format!("{:.0}", r.total_kb()));
+            s.push_str(&format!(
+                "overhead_vs_baseline\t0.0%\t{:+.1}%\t{:+.1}%\n",
+                m.overhead_vs(&b) * 100.0,
+                y.overhead_vs(&b) * 100.0
+            ));
+            s
+        },
+    )
 }
 
 /// Table IX: read/write energy, static power, and area for all four
 /// designs (calibrated P-CACTI substitute).
-pub fn tab9_power() {
-    header(
+pub fn tab9_power() -> Sweep {
+    Sweep::serial(
         "tab9",
         "energy, power, and area (paper Table IX; P-CACTI substitute)",
         "design\tread_nj\twrite_nj\tstatic_mw\tarea_mm2",
-    );
-    for e in PowerModel::calibrated().table_ix() {
-        println!(
-            "{}\t{:.3}\t{:.3}\t{:.0}\t{:.3}",
-            e.design, e.read_energy_nj, e.write_energy_nj, e.static_power_mw, e.area_mm2
-        );
-    }
+        "static",
+        || {
+            let mut s = String::new();
+            for e in PowerModel::calibrated().table_ix() {
+                s.push_str(&format!(
+                    "{}\t{:.3}\t{:.3}\t{:.0}\t{:.3}\n",
+                    e.design, e.read_energy_nj, e.write_energy_nj, e.static_power_mw, e.area_mm2
+                ));
+            }
+            s
+        },
+    )
 }
+
+/// The designs of Table X, row order fixed by the paper.
+const TAB10_DESIGNS: [Design; 4] = [
+    Design::Maya,
+    Design::Mirage,
+    Design::MirageLite,
+    Design::MayaIso,
+];
 
 /// Table X: the summary — security, storage, and performance for Maya,
 /// Mirage, Mirage-Lite, and Maya-ISO. Security comes from the analytic
 /// model, storage from Table VIII machinery, performance from a
-/// representative subset of SPEC homogeneous mixes.
-pub fn tab10_summary(scale: Scale) {
-    header(
+/// representative subset of SPEC homogeneous mixes — one job per
+/// benchmark; the cheap analytic columns are computed at assembly.
+pub fn tab10_summary(scale: Scale) -> Sweep {
+    let mut sw = Sweep::new(
         "tab10",
         "summary: security / storage / performance (paper Table X)",
         "design\tsecurity\tstorage\tperformance",
     );
-    let (b_rep, mirage_rep, maya_rep) = table_viii_reports();
-    let iso_rep = StorageReport::maya(&maya_iso_config());
-
-    // Analytic security: (avg p0/bucket, avg p1/bucket, capacity).
-    let security = |p0: f64, p1: f64, cap: usize| {
-        format_installs(AnalyticModel::new(p0, p1).installs_per_sae(cap))
-    };
-
     // Performance: average normalized weighted speedup over a representative
     // SPEC subset (full sweeps live in fig9).
     let benches = ["mcf", "lbm", "cactuBSSN", "fotonik3d", "xz", "gcc"];
-    let mut alone = AloneIpcCache::new();
-    let mut perf = |design: Design| -> f64 {
-        let mut ratio_sum = 0.0;
-        for b in benches {
+    for b in benches {
+        sw.job("maya+mirage+lite+iso", b, SEED, scale, move || {
             let mix = homogeneous(b, 8);
+            let mut alone = AloneIpcCache::new();
             let base = ws_of(
                 &run_mix(Design::Baseline, &mix, scale),
                 &mut alone,
                 &mix,
                 scale,
             );
-            let d = ws_of(&run_mix(design, &mix, scale), &mut alone, &mix, scale);
-            ratio_sum += d / base;
-        }
-        (ratio_sum / benches.len() as f64 - 1.0) * 100.0
-    };
-
-    let storage_pct = |r: &StorageReport| format!("{:+.1}%", r.overhead_vs(&b_rep) * 100.0);
-
-    println!(
-        "maya\t{}\t{}\t{:+.2}%",
-        security(3.0, 6.0, 15),
-        storage_pct(&maya_rep),
-        perf(Design::Maya)
-    );
-    println!(
-        "mirage\t{}\t{}\t{:+.2}%",
-        security(0.0, 8.0, 14),
-        storage_pct(&mirage_rep),
-        perf(Design::Mirage)
-    );
-    println!(
-        "mirage-lite\t{}\t{}\t{:+.2}%",
-        security(0.0, 8.0, 13),
-        {
+            CellOut::stats(
+                TAB10_DESIGNS
+                    .iter()
+                    .map(|&d| ws_of(&run_mix(d, &mix, scale), &mut alone, &mix, scale) / base)
+                    .collect(),
+            )
+        });
+    }
+    sw.assemble_with(move |outs| {
+        let (b_rep, mirage_rep, maya_rep) = table_viii_reports();
+        let iso_rep = StorageReport::maya(&maya_iso_config());
+        let lite_rep = {
             let mut lite = mirage_rep;
             lite.tag_entries = 16 * 1024 * 2 * 13;
-            storage_pct(&lite)
-        },
-        perf(Design::MirageLite)
-    );
-    println!(
-        "maya-iso\t{}\t{}\t{:+.2}%",
-        security(4.0, 8.0, 18),
-        storage_pct(&iso_rep),
-        perf(Design::MayaIso)
-    );
+            lite
+        };
+
+        // Analytic security: (avg p0/bucket, avg p1/bucket, capacity).
+        let security = |p0: f64, p1: f64, cap: usize| {
+            format_installs(AnalyticModel::new(p0, p1).installs_per_sae(cap))
+        };
+        let storage_pct = |r: &StorageReport| format!("{:+.1}%", r.overhead_vs(&b_rep) * 100.0);
+        let perf = |i: usize| -> f64 {
+            let sum: f64 = outs.iter().map(|o| o.stats[i]).sum();
+            (sum / outs.len() as f64 - 1.0) * 100.0
+        };
+
+        let rows = [
+            ("maya", security(3.0, 6.0, 15), storage_pct(&maya_rep)),
+            ("mirage", security(0.0, 8.0, 14), storage_pct(&mirage_rep)),
+            (
+                "mirage-lite",
+                security(0.0, 8.0, 13),
+                storage_pct(&lite_rep),
+            ),
+            ("maya-iso", security(4.0, 8.0, 18), storage_pct(&iso_rep)),
+        ];
+        let mut s = String::new();
+        for (i, (name, sec, sto)) in rows.into_iter().enumerate() {
+            s.push_str(&format!("{name}\t{sec}\t{sto}\t{:+.2}%\n", perf(i)));
+        }
+        s
+    });
+    sw
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::{self, RunOpts};
 
     #[test]
     fn static_tables_print() {
-        tab8_storage();
-        tab9_power();
+        for (sw, rows) in [(tab8_storage(), 13), (tab9_power(), 4)] {
+            let id = sw.id;
+            let (text, _) = sched::execute(sw, &RunOpts::serial());
+            assert!(text.starts_with(&format!("# {id}:")));
+            // Header comment + column row + data rows.
+            assert_eq!(text.lines().count(), 2 + rows, "{id}");
+        }
     }
 }

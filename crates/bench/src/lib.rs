@@ -1,11 +1,15 @@
 //! The experiment harness: regenerates every table and figure of the
 //! paper's evaluation (see DESIGN.md for the experiment index).
 //!
-//! Each experiment is a function that prints a TSV block to stdout; the
-//! `experiments` binary dispatches on experiment ids (`fig1`, `tab8`, ...).
-//! The [`Scale`] knob trades run length for fidelity: `Scale::default()`
-//! targets minutes-per-experiment on a laptop; `Scale::quick()` is used by
-//! tests and CI smoke runs.
+//! Each experiment enumerates its independent `(design × workload ×
+//! scale)` cells as [`sched`] jobs; the scheduler executes them on a
+//! scoped thread pool (`--jobs N`, byte-identical output at any worker
+//! count), serves repeats from the on-disk result cache, and reassembles
+//! the TSV block in job-id order. The `experiments` binary dispatches on
+//! experiment ids (`fig1`, `tab8`, ...). The [`Scale`] knob trades run
+//! length for fidelity: `Scale::default()` targets
+//! minutes-per-experiment on a laptop; `Scale::quick()` is used by tests
+//! and CI smoke runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,6 +18,7 @@ pub mod designs;
 pub mod experiments;
 pub mod perf;
 pub mod plot;
+pub mod sched;
 
 /// Simulation-length scaling shared by all performance experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -15,31 +15,63 @@ use crate::Scale;
 thread_local! {
     /// Ambient sidecar directory: when set, every [`run_mix_with`] call on
     /// this thread writes a JSONL metrics sidecar next to its TSV output.
+    /// Thread-local so parallel tests cannot race; the sweep scheduler
+    /// propagates the dispatcher's setting into its workers.
     static METRICS_DIR: RefCell<Option<PathBuf>> = const { RefCell::new(None) };
-    /// Deterministic per-thread ordinal so sidecar filenames never collide.
+    /// Deterministic per-thread ordinal so sidecar filenames never collide
+    /// on the legacy (non-sweep) path.
     static RUN_ORDINAL: Cell<u64> = const { Cell::new(0) };
+    /// Active sweep cell on this thread: `(experiment, job id)` plus a
+    /// per-cell run ordinal. Sidecar names derive from the job id — not
+    /// from worker identity or completion order — so `--metrics-dir`
+    /// output is identical at any `--jobs` count.
+    static JOB_CONTEXT: RefCell<Option<(String, usize, u64)>> = const { RefCell::new(None) };
 }
 
 /// Snapshot period used for experiment sidecars (cycles).
 const SIDECAR_SAMPLE_EVERY: u64 = 100_000;
 
 /// Directs every subsequent [`run_mix_with`] call on this thread to write
-/// a `metrics_<ordinal>_<design>_<mix>.jsonl` sidecar into `dir` (`None`
-/// disables). Attaching the collector never changes simulation results —
-/// probes are strictly read-only.
+/// a `metrics_...jsonl` sidecar into `dir` (`None` disables). Attaching
+/// the collector never changes simulation results — probes are strictly
+/// read-only.
 pub fn set_metrics_dir(dir: Option<PathBuf>) {
     METRICS_DIR.with(|d| *d.borrow_mut() = dir);
+}
+
+/// The sidecar directory active on this thread, if any.
+pub fn metrics_dir() -> Option<PathBuf> {
+    METRICS_DIR.with(|d| d.borrow().clone())
+}
+
+/// Marks the sweep cell subsequent runs on this thread belong to (used by
+/// the scheduler; `None` restores the legacy per-thread ordinal naming).
+pub fn set_job_context(ctx: Option<(String, usize)>) {
+    JOB_CONTEXT.with(|c| *c.borrow_mut() = ctx.map(|(exp, id)| (exp, id, 0)));
 }
 
 fn sidecar_path(design: Design, mix: &Mix) -> Option<PathBuf> {
     METRICS_DIR.with(|d| {
         d.borrow().as_ref().map(|dir| {
-            let n = RUN_ORDINAL.with(|o| {
-                let n = o.get();
-                o.set(n + 1);
-                n
+            let name = JOB_CONTEXT.with(|c| {
+                if let Some((exp, job, ordinal)) = c.borrow_mut().as_mut() {
+                    let k = *ordinal;
+                    *ordinal += 1;
+                    format!(
+                        "metrics_{exp}_j{job:03}_{k}_{}_{}.jsonl",
+                        design.id(),
+                        mix.name
+                    )
+                } else {
+                    let n = RUN_ORDINAL.with(|o| {
+                        let n = o.get();
+                        o.set(n + 1);
+                        n
+                    });
+                    format!("metrics_{n:04}_{}_{}.jsonl", design.id(), mix.name)
+                }
             });
-            dir.join(format!("metrics_{n:04}_{}_{}.jsonl", design.id(), mix.name))
+            dir.join(name)
         })
     })
 }

@@ -1,0 +1,575 @@
+//! The deterministic parallel sweep engine.
+//!
+//! Every paper experiment is a sweep of independent `(design × workload ×
+//! scale)` cells. This module turns each experiment into an enumerated
+//! list of [`Job`]s, executes them on a scoped `std::thread` pool
+//! (`--jobs N`; `--jobs 1` reproduces the historical serial path), and
+//! reassembles per-cell outputs **in job-id order**, so the assembled
+//! experiment block is byte-for-byte identical at any worker count.
+//!
+//! Determinism argument, in full:
+//!
+//! 1. Every job is a pure function of its enumeration-time inputs (design,
+//!    workload, seed, scale). Jobs share no mutable state — each builds
+//!    its own caches, RNGs (explicitly seeded), and alone-IPC memo — so a
+//!    job computes the same [`CellOut`] on any thread at any time.
+//! 2. The scheduler only chooses *when and where* a job runs, never what
+//!    it computes; results are written into a slot indexed by job id.
+//! 3. Assembly reads the slots in job-id order after all workers join.
+//!    Thread count therefore affects wall-clock only.
+//!
+//! On top sits an **incremental result cache**: each cell's output is
+//! keyed by a content hash of (cache schema, crate version, experiment
+//! id, job id, design, workload, seed, scale) and persisted under
+//! `target/exp-cache/<experiment>/`, so re-running `./run_experiments.sh`
+//! after an unrelated change skips completed cells. The key deliberately
+//! excludes anything host- or time-dependent. Code changes that alter
+//! experiment *outputs* must bump [`CACHE_SCHEMA`] (or the workspace
+//! version); `--no-cache` bypasses the cache entirely.
+//!
+//! Thread spawns are pinned to this module by maya-lint's
+//! `determinism/thread-spawn` rule: nothing else in the workspace may
+//! spawn, so all parallelism flows through the ordered-reassembly path.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use maya_obs::sweep::{JobRecord, SweepRecord};
+
+use crate::perf;
+use crate::Scale;
+
+/// Bump when an output-affecting change lands without a version bump, so
+/// stale cached cells cannot leak into regenerated outputs.
+pub const CACHE_SCHEMA: u32 = 1;
+
+/// The output of one sweep cell: the TSV rows it contributes (possibly
+/// empty) plus the raw statistics the sweep's assembler needs for summary
+/// rows (averages, medians, bins).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CellOut {
+    /// This cell's rows; each line ends with `\n`. May be empty for cells
+    /// whose values only feed aggregate rows.
+    pub text: String,
+    /// Raw values for the assembler (serialized bit-exactly by the cache).
+    pub stats: Vec<f64>,
+}
+
+impl CellOut {
+    /// A cell that contributes rows but no aggregate statistics.
+    pub fn text(text: String) -> Self {
+        Self {
+            text,
+            stats: Vec::new(),
+        }
+    }
+
+    /// A cell that contributes aggregate statistics but no rows of its own.
+    pub fn stats(stats: Vec<f64>) -> Self {
+        Self {
+            text: String::new(),
+            stats,
+        }
+    }
+}
+
+/// The work closure of a job.
+pub type Work = Box<dyn FnOnce() -> CellOut + Send>;
+
+/// One enumerated sweep cell: metadata (which keys the result cache and
+/// names the cell in sidecars) plus the closure that computes it.
+pub struct Job {
+    /// Dense id; assembly order. Assigned by [`Sweep::job`].
+    pub id: usize,
+    /// Experiment id this cell belongs to (`fig9`, ...).
+    pub experiment: String,
+    /// Design label (`maya`, `baseline+mirage+maya`, `analytic`, ...).
+    pub design: String,
+    /// Workload label (benchmark, mix, capacity, trial, ...).
+    pub workload: String,
+    /// The seed the cell's simulations flow from.
+    pub seed: u64,
+    /// Simulation scale the cell runs at.
+    pub scale: Scale,
+    work: Work,
+}
+
+/// How a sweep turns its ordered cell outputs into the experiment body.
+type Assemble = Box<dyn FnOnce(&[CellOut]) -> String>;
+
+/// An experiment as an enumerated list of jobs plus an assembly step.
+pub struct Sweep {
+    /// Experiment id (`fig9`, `tab8`, ...).
+    pub id: &'static str,
+    what: &'static str,
+    columns: &'static str,
+    jobs: Vec<Job>,
+    assemble: Option<Assemble>,
+}
+
+impl Sweep {
+    /// Starts an empty sweep with the standard experiment header.
+    pub fn new(id: &'static str, what: &'static str, columns: &'static str) -> Self {
+        Self {
+            id,
+            what,
+            columns,
+            jobs: Vec::new(),
+            assemble: None,
+        }
+    }
+
+    /// Appends a job; ids are assigned densely in call order, which is
+    /// also the assembly order.
+    pub fn job(
+        &mut self,
+        design: impl Into<String>,
+        workload: impl Into<String>,
+        seed: u64,
+        scale: Scale,
+        work: impl FnOnce() -> CellOut + Send + 'static,
+    ) {
+        self.jobs.push(Job {
+            id: self.jobs.len(),
+            experiment: self.id.to_string(),
+            design: design.into(),
+            workload: workload.into(),
+            seed,
+            scale,
+            work: Box::new(work),
+        });
+    }
+
+    /// A single-cell sweep for serial (analytic/demo) experiments whose
+    /// output is scale-independent; the fixed scale keeps their cache
+    /// entries valid across `--scale` changes.
+    pub fn serial(
+        id: &'static str,
+        what: &'static str,
+        columns: &'static str,
+        design: &str,
+        body: impl FnOnce() -> String + Send + 'static,
+    ) -> Self {
+        let mut sw = Self::new(id, what, columns);
+        sw.job(design, "all", 0, Scale::quick(), move || {
+            CellOut::text(body())
+        });
+        sw
+    }
+
+    /// Installs a custom assembler, used when the body is not simply the
+    /// cell texts in order (aggregate AVG rows, binned summaries, medians).
+    /// The assembler runs serially after all jobs complete.
+    pub fn assemble_with(&mut self, f: impl FnOnce(&[CellOut]) -> String + 'static) {
+        self.assemble = Some(Box::new(f));
+    }
+
+    /// Number of enumerated jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if the sweep has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// Concatenates cell texts in job-id order (the default assembly).
+pub fn concat_texts(outs: &[CellOut]) -> String {
+    let mut s = String::with_capacity(outs.iter().map(|o| o.text.len()).sum());
+    for o in outs {
+        s.push_str(&o.text);
+    }
+    s
+}
+
+/// Execution options for a sweep.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Worker threads. 1 reproduces the historical serial path exactly.
+    pub jobs: usize,
+    /// Result-cache directory, or `None` to bypass the cache.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl RunOpts {
+    /// Serial, uncached execution — the historical behaviour.
+    pub fn serial() -> Self {
+        Self {
+            jobs: 1,
+            cache_dir: None,
+        }
+    }
+
+    /// Parallel execution with `jobs` workers and no cache.
+    pub fn parallel(jobs: usize) -> Self {
+        Self {
+            jobs,
+            cache_dir: None,
+        }
+    }
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+/// What a sweep execution did, for summary lines and sidecars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSummary {
+    /// Experiment id.
+    pub experiment: String,
+    /// Total jobs executed (computed or served from cache).
+    pub jobs: usize,
+    /// Jobs served from the result cache.
+    pub cache_hits: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Total wall time of the execute call, in seconds.
+    pub wall_secs: f64,
+}
+
+/// Executes a sweep and returns the fully assembled experiment block
+/// (header line, column row, body) plus a summary. Output is independent
+/// of `opts.jobs` and of cache state; see the module docs for why.
+pub fn execute(sweep: Sweep, opts: &RunOpts) -> (String, SweepSummary) {
+    let t0 = Instant::now();
+    let n = sweep.jobs.len();
+    let workers = opts.jobs.max(1).min(n.max(1));
+    // Per-slot results; workers claim job indices from a shared counter.
+    struct Slot {
+        out: CellOut,
+        meta: JobRecord,
+    }
+    let slots: Vec<Mutex<Option<Slot>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let pending: Vec<Mutex<Option<Job>>> = sweep
+        .jobs
+        .into_iter()
+        .map(|j| Mutex::new(Some(j)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    // Workers inherit the dispatcher thread's metrics-sidecar directory.
+    let metrics_dir = perf::metrics_dir();
+
+    let run_slice = || {
+        perf::set_metrics_dir(metrics_dir.clone());
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let job = pending[i]
+                .lock()
+                .expect("job slot poisoned")
+                .take()
+                .expect("job claimed twice");
+            let t = Instant::now();
+            let (out, meta, cache_hit) = run_job(opts, job);
+            let slot = Slot {
+                meta: JobRecord {
+                    experiment: meta.experiment,
+                    job: i as u64,
+                    design: meta.design,
+                    workload: meta.workload,
+                    seed: meta.seed,
+                    wall_secs: t.elapsed().as_secs_f64(),
+                    cache_hit,
+                },
+                out,
+            };
+            *slots[i].lock().expect("result slot poisoned") = Some(slot);
+        }
+        perf::set_metrics_dir(None);
+    };
+
+    if workers <= 1 {
+        // The serial path never spawns: byte-identity with the historical
+        // single-threaded harness is trivially preserved.
+        run_slice();
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(run_slice);
+            }
+        });
+    }
+
+    let mut outs = Vec::with_capacity(n);
+    let mut metas = Vec::with_capacity(n);
+    for slot in slots {
+        let s = slot
+            .into_inner()
+            .expect("result slot poisoned")
+            .expect("job produced no result");
+        outs.push(s.out);
+        metas.push(s.meta);
+    }
+    let cache_hits = metas.iter().filter(|m| m.cache_hit).count();
+
+    let body = match sweep.assemble {
+        Some(f) => f(&outs),
+        None => concat_texts(&outs),
+    };
+    let text = format!(
+        "# {}: {}\n{}\n{}",
+        sweep.id, sweep.what, sweep.columns, body
+    );
+
+    let summary = SweepSummary {
+        experiment: sweep.id.to_string(),
+        jobs: n,
+        cache_hits,
+        workers,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    };
+    write_sweep_sidecar(&metrics_dir, &metas, &summary);
+    (text, summary)
+}
+
+/// Runs one job, consulting and populating the result cache. Returns the
+/// cell output, the job's plain metadata (the closure consumes the job),
+/// and whether the cache served it.
+fn run_job(opts: &RunOpts, job: Job) -> (CellOut, JobMeta, bool) {
+    let meta = JobMeta {
+        experiment: job.experiment.clone(),
+        design: job.design.clone(),
+        workload: job.workload.clone(),
+        seed: job.seed,
+    };
+    let path = opts
+        .cache_dir
+        .as_ref()
+        .map(|dir| cache_path(dir, &job.experiment, cache_key(&job)));
+    if let Some(ref p) = path {
+        if let Some(out) = cache_load(p) {
+            return (out, meta, true);
+        }
+    }
+    // Sidecar filenames derive from (experiment, job id), not from worker
+    // identity, so `--metrics-dir` output is deterministic too.
+    perf::set_job_context(Some((job.experiment.clone(), job.id)));
+    let out = (job.work)();
+    perf::set_job_context(None);
+    if let Some(ref p) = path {
+        cache_store(p, &out);
+    }
+    (out, meta, false)
+}
+
+/// Plain-data job metadata (the closure consumes the [`Job`] itself).
+struct JobMeta {
+    experiment: String,
+    design: String,
+    workload: String,
+    seed: u64,
+}
+
+/// Writes the per-job wall-time / cache-hit sidecar when a metrics
+/// directory is active (`sweep_<experiment>.jsonl`).
+fn write_sweep_sidecar(dir: &Option<PathBuf>, jobs: &[JobRecord], summary: &SweepSummary) {
+    let Some(dir) = dir else { return };
+    let record = SweepRecord {
+        experiment: summary.experiment.clone(),
+        jobs: summary.jobs as u64,
+        cache_hits: summary.cache_hits as u64,
+        workers: summary.workers as u64,
+        wall_secs: summary.wall_secs,
+    };
+    let path = dir.join(format!("sweep_{}.jsonl", summary.experiment));
+    let file = fs::File::create(&path)
+        .unwrap_or_else(|e| panic!("create sweep sidecar {}: {e}", path.display()));
+    let mut w = std::io::BufWriter::new(file);
+    maya_obs::sweep::write_sweep_jsonl(&mut w, jobs, &record)
+        .unwrap_or_else(|e| panic!("write sweep sidecar {}: {e}", path.display()));
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------------
+
+/// 128-bit FNV-1a over the canonical cell description. Deterministic
+/// across hosts and runs (unlike `DefaultHasher`, which is seeded).
+fn fnv128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The content key of a job: everything that determines its output.
+fn cache_key(job: &Job) -> u128 {
+    let s = &job.scale;
+    let canonical = format!(
+        "schema={CACHE_SCHEMA}|crate={}|exp={}|job={}|design={}|workload={}|seed={}|scale={},{},{},{}",
+        env!("CARGO_PKG_VERSION"),
+        job.experiment,
+        job.id,
+        job.design,
+        job.workload,
+        job.seed,
+        s.warmup,
+        s.measure,
+        s.mc_iterations,
+        s.attack_trials,
+    );
+    fnv128(canonical.as_bytes())
+}
+
+fn cache_path(dir: &Path, experiment: &str, key: u128) -> PathBuf {
+    dir.join(experiment).join(format!("{key:032x}.cell"))
+}
+
+const CACHE_MAGIC: &str = "maya-exp-cache 1";
+
+/// Loads a cached cell; any parse mismatch is a miss (the cell recomputes
+/// and the file is rewritten), so corruption can never alter output.
+fn cache_load(path: &Path) -> Option<CellOut> {
+    let raw = fs::read_to_string(path).ok()?;
+    let mut lines = raw.splitn(4, '\n');
+    if lines.next()? != CACHE_MAGIC {
+        return None;
+    }
+    let stats_line = lines.next()?.strip_prefix("stats ")?;
+    let stats: Vec<f64> = if stats_line.is_empty() {
+        Vec::new()
+    } else {
+        stats_line
+            .split(',')
+            .map(|h| u64::from_str_radix(h, 16).ok().map(f64::from_bits))
+            .collect::<Option<Vec<f64>>>()?
+    };
+    let len: usize = lines.next()?.strip_prefix("text ")?.parse().ok()?;
+    let text = lines.next()?;
+    if text.len() != len {
+        return None;
+    }
+    Some(CellOut {
+        text: text.to_string(),
+        stats,
+    })
+}
+
+/// Persists a cell atomically (write-then-rename, unique temp per key) so
+/// concurrent workers and interrupted runs never leave torn files.
+fn cache_store(path: &Path, out: &CellOut) {
+    let Some(parent) = path.parent() else { return };
+    if fs::create_dir_all(parent).is_err() {
+        return; // Caching is best-effort; the run itself already succeeded.
+    }
+    let stats: Vec<String> = out
+        .stats
+        .iter()
+        .map(|v| format!("{:016x}", v.to_bits()))
+        .collect();
+    let payload = format!(
+        "{CACHE_MAGIC}\nstats {}\ntext {}\n{}",
+        stats.join(","),
+        out.text.len(),
+        out.text
+    );
+    let tmp = path.with_extension("cell.tmp");
+    if fs::write(&tmp, payload).is_ok() {
+        let _ = fs::rename(&tmp, path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep() -> Sweep {
+        let mut sw = Sweep::new("t-sweep", "test sweep", "col");
+        for i in 0..6u64 {
+            sw.job("d", format!("w{i}"), i, Scale::quick(), move || CellOut {
+                text: format!("row{i}\n"),
+                stats: vec![i as f64 * 0.5],
+            });
+        }
+        sw.assemble_with(|outs| {
+            let mut s = concat_texts(outs);
+            let sum: f64 = outs.iter().map(|o| o.stats[0]).sum();
+            s.push_str(&format!("SUM\t{sum:.1}\n"));
+            s
+        });
+        sw
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_byte_for_byte() {
+        let (a, sa) = execute(tiny_sweep(), &RunOpts::serial());
+        let (b, sb) = execute(tiny_sweep(), &RunOpts::parallel(4));
+        assert_eq!(a, b);
+        assert_eq!(sa.jobs, 6);
+        assert_eq!(sb.workers, 4);
+        assert!(a.starts_with("# t-sweep: test sweep\ncol\nrow0\n"));
+        assert!(a.ends_with("SUM\t7.5\n"));
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_job_count() {
+        let mut sw = Sweep::new("t-one", "one", "c");
+        sw.job("d", "w", 0, Scale::quick(), || CellOut::text("x\n".into()));
+        let (_, s) = execute(sw, &RunOpts::parallel(16));
+        assert_eq!(s.workers, 1);
+    }
+
+    #[test]
+    fn cache_roundtrip_preserves_text_and_stats_bit_exactly() {
+        let dir = std::env::temp_dir().join("maya_sched_cache_roundtrip");
+        let _ = fs::remove_dir_all(&dir);
+        let out = CellOut {
+            text: "a\tb\nc\td\n".into(),
+            stats: vec![0.1, -3.5e300, f64::MIN_POSITIVE, 0.0],
+        };
+        let path = cache_path(&dir, "exp", 0xabcd);
+        cache_store(&path, &out);
+        assert_eq!(cache_load(&path), Some(out));
+        // Corruption is a miss, never an error.
+        fs::write(&path, "garbage").unwrap();
+        assert_eq!(cache_load(&path), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_key_separates_jobs_and_scales() {
+        let mk = |seed: u64, scale: Scale| {
+            let mut sw = Sweep::new("k", "k", "k");
+            sw.job("d", "w", seed, scale, CellOut::default);
+            sw.jobs.pop().unwrap()
+        };
+        let base = cache_key(&mk(1, Scale::quick()));
+        assert_eq!(
+            base,
+            cache_key(&mk(1, Scale::quick())),
+            "key must be stable"
+        );
+        assert_ne!(base, cache_key(&mk(2, Scale::quick())));
+        assert_ne!(base, cache_key(&mk(1, Scale::quick().scaled_by(2.0))));
+    }
+
+    #[test]
+    fn cached_execution_reports_hits_and_matches_cold_output() {
+        let dir = std::env::temp_dir().join("maya_sched_cache_exec");
+        let _ = fs::remove_dir_all(&dir);
+        let opts = RunOpts {
+            jobs: 2,
+            cache_dir: Some(dir.clone()),
+        };
+        let (cold, sc) = execute(tiny_sweep(), &opts);
+        assert_eq!(sc.cache_hits, 0);
+        let (warm, sw) = execute(tiny_sweep(), &opts);
+        assert_eq!(cold, warm);
+        assert_eq!(sw.cache_hits, sw.jobs);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

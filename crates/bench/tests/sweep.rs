@@ -1,0 +1,129 @@
+//! Integration tests for the sweep engine: serial-vs-parallel output
+//! equivalence and result-cache correctness across whole experiments.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+use maya_bench::experiments;
+use maya_bench::sched::{self, RunOpts};
+use maya_bench::Scale;
+
+/// A scale small enough that a whole experiment subset runs in seconds in
+/// debug builds, but still exercises every cell kind (simulator runs,
+/// Monte Carlo, analytic tables, attack demos).
+fn tiny() -> Scale {
+    Scale {
+        warmup: 2_000,
+        measure: 6_000,
+        mc_iterations: 20_000,
+        attack_trials: 3,
+    }
+}
+
+/// Experiments covering every cell kind that still run quickly at
+/// [`tiny`] scale.
+const FAST_IDS: [&str; 8] = [
+    "tab1",
+    "tab4",
+    "tab8",
+    "tab9",
+    "fig6",
+    "fig7",
+    "demo-flush",
+    "llcfit",
+];
+
+fn run(id: &str, opts: &RunOpts) -> (String, sched::SweepSummary) {
+    let sw = experiments::sweep(id, tiny()).unwrap_or_else(|| panic!("unknown id {id}"));
+    sched::execute(sw, opts)
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("maya_sweep_tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn parallel_output_is_byte_identical_to_serial() {
+    for id in FAST_IDS {
+        let (serial, s1) = run(id, &RunOpts::serial());
+        let (parallel, s4) = run(id, &RunOpts::parallel(4));
+        assert_eq!(s1.workers, 1);
+        assert_eq!(s4.workers, 4.min(s1.jobs), "{id}: workers clamp to jobs");
+        assert_eq!(
+            serial, parallel,
+            "{id}: --jobs 4 must reproduce --jobs 1 byte for byte"
+        );
+    }
+}
+
+#[test]
+fn warm_cache_reproduces_cold_output_exactly() {
+    let dir = fresh_dir("warm_equals_cold");
+    for id in FAST_IDS {
+        let opts = RunOpts {
+            jobs: 2,
+            cache_dir: Some(dir.clone()),
+        };
+        let (cold, cs) = run(id, &opts);
+        assert_eq!(cs.cache_hits, 0, "{id}: first run must be all misses");
+        let (warm, ws) = run(id, &opts);
+        assert_eq!(ws.cache_hits, ws.jobs, "{id}: rerun must be fully cached");
+        assert_eq!(cold, warm, "{id}: cached rerun must be byte-identical");
+    }
+}
+
+#[test]
+fn corrupted_cache_entries_are_recomputed_not_trusted() {
+    let dir = fresh_dir("poisoned");
+    let opts = RunOpts {
+        jobs: 1,
+        cache_dir: Some(dir.clone()),
+    };
+    let (cold, summary) = run("fig6", &opts);
+    assert!(summary.jobs > 1);
+    // Poison three cells, one per parse-failure path: unparsable stats
+    // hex, a truncated (empty) file, and a text-length mismatch.
+    let mut cells: Vec<PathBuf> = std::fs::read_dir(dir.join("fig6"))
+        .expect("cache dir exists")
+        .map(|e| e.unwrap().path())
+        .collect();
+    cells.sort();
+    assert_eq!(cells.len(), summary.jobs, "one cache file per job");
+    std::fs::write(&cells[0], "maya-exp-cache 1\nstats zz\ntext 4\njunk").unwrap();
+    std::fs::write(&cells[1], "").unwrap();
+    std::fs::write(&cells[2], "maya-exp-cache 1\nstats \ntext 999\njunk").unwrap();
+    let (rerun, rs) = run("fig6", &opts);
+    assert_eq!(
+        rs.cache_hits,
+        summary.jobs - 3,
+        "poisoned cells must miss and recompute"
+    );
+    assert_eq!(cold, rerun, "corruption can never alter output");
+    // The recomputed cells are re-stored: a further rerun is fully cached.
+    let (_, rs2) = run("fig6", &opts);
+    assert_eq!(rs2.cache_hits, summary.jobs);
+}
+
+#[test]
+fn cache_keys_isolate_scales() {
+    let dir = fresh_dir("scales");
+    let opts = RunOpts {
+        jobs: 1,
+        cache_dir: Some(dir.clone()),
+    };
+    let sw = experiments::sweep("fig6", tiny()).unwrap();
+    let (_, first) = sched::execute(sw, &opts);
+    assert_eq!(first.cache_hits, 0);
+    // A different scale is a different cell: nothing may be served from
+    // the tiny-scale cache.
+    let bigger = Scale {
+        mc_iterations: 40_000,
+        ..tiny()
+    };
+    let sw = experiments::sweep("fig6", bigger).unwrap();
+    let (_, second) = sched::execute(sw, &opts);
+    assert_eq!(second.cache_hits, 0, "scale must be part of the cache key");
+}

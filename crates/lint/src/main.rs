@@ -30,8 +30,9 @@ fn main() -> ExitCode {
                      USAGE: maya-lint [--root <workspace-dir>]\n\
                      \n\
                      Rules: determinism/entropy, determinism/wall-clock,\n\
-                     determinism/hash-container, safety/crate-attrs,\n\
-                     model/design-registry. Exit 0 = clean, 1 = violations."
+                     determinism/hash-container, determinism/thread-spawn,\n\
+                     safety/crate-attrs, model/design-registry.\n\
+                     Exit 0 = clean, 1 = violations."
                 );
                 return ExitCode::SUCCESS;
             }

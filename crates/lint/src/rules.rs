@@ -4,8 +4,9 @@
 //!
 //! 1. **Determinism** — no ambient entropy anywhere
 //!    ([`RULE_ENTROPY`]), no wall-clock reads in model crates
-//!    ([`RULE_WALL_CLOCK`]), and no iteration-order-sensitive hash
-//!    containers in model-crate production code ([`RULE_HASH`]).
+//!    ([`RULE_WALL_CLOCK`]), no iteration-order-sensitive hash
+//!    containers in model-crate production code ([`RULE_HASH`]), and no
+//!    thread creation outside the sweep scheduler ([`RULE_THREADS`]).
 //! 2. **Safety/doc hygiene** — every crate root must carry
 //!    `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`
 //!    ([`RULE_ATTRS`]).
@@ -25,6 +26,8 @@ pub const RULE_ENTROPY: &str = "determinism/entropy";
 pub const RULE_WALL_CLOCK: &str = "determinism/wall-clock";
 /// Rule id: hash containers are banned in model-crate production code.
 pub const RULE_HASH: &str = "determinism/hash-container";
+/// Rule id: thread creation is pinned to the sweep scheduler.
+pub const RULE_THREADS: &str = "determinism/thread-spawn";
 /// Rule id: crate roots must carry the safety/doc attributes.
 pub const RULE_ATTRS: &str = "safety/crate-attrs";
 /// Rule id: every `CacheModel` impl must be a registered `Design`.
@@ -107,6 +110,50 @@ pub fn check_entropy(file: &str, raw: &str, stripped: &str) -> Vec<Diagnostic> {
             stripped,
             ident,
             RULE_ENTROPY,
+            format!("`{ident}` {why}"),
+        ));
+    }
+    out
+}
+
+/// The one file allowed to create threads: the sweep scheduler. Output
+/// determinism under parallelism rests on every cell being a pure
+/// function assembled in job-id order — ad-hoc threading elsewhere would
+/// re-introduce scheduling-dependent results, so `spawn` (std threads),
+/// `rayon`, and `crossbeam` are banned outside it.
+pub const SCHEDULER_FILE: &str = "crates/bench/src/sched.rs";
+
+/// Identifiers that create or imply thread-based parallelism.
+const THREAD_IDENTS: &[(&str, &str)] = &[
+    (
+        "spawn",
+        "creates a thread; route parallelism through maya_bench::sched",
+    ),
+    (
+        "rayon",
+        "is a thread-pool library; route parallelism through maya_bench::sched",
+    ),
+    (
+        "crossbeam",
+        "is a threading library; route parallelism through maya_bench::sched",
+    ),
+];
+
+/// Determinism: ban thread creation everywhere but the sweep scheduler
+/// ([`SCHEDULER_FILE`]), whose job-id-ordered assembly is the one audited
+/// way to run cells in parallel without output divergence.
+pub fn check_thread_spawn(file: &str, raw: &str, stripped: &str) -> Vec<Diagnostic> {
+    if file == SCHEDULER_FILE {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (ident, why) in THREAD_IDENTS {
+        out.extend(flag_ident(
+            file,
+            raw,
+            stripped,
+            ident,
+            RULE_THREADS,
             format!("`{ident}` {why}"),
         ));
     }
@@ -311,6 +358,37 @@ mod tests {
         let src = "let r = thread_rng(); // lint: allow(determinism/entropy)";
         let (stripped, _) = prep(src);
         assert!(check_entropy("x.rs", src, &stripped).is_empty());
+    }
+
+    #[test]
+    fn thread_rule_flags_spawns_outside_the_scheduler() {
+        let src = "fn f() {\n    std::thread::spawn(|| {});\n}";
+        let (stripped, _) = prep(src);
+        let d = check_thread_spawn("crates/bench/src/perf.rs", src, &stripped);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RULE_THREADS);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn thread_rule_exempts_the_scheduler_only() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        let (stripped, _) = prep(src);
+        assert!(check_thread_spawn(SCHEDULER_FILE, src, &stripped).is_empty());
+        assert_eq!(
+            check_thread_spawn("crates/core/src/maya.rs", src, &stripped).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn thread_rule_catches_pool_libraries_and_honors_allow() {
+        let src = "use rayon::prelude::all;\nlet c = crossbeam::channel();";
+        let (stripped, _) = prep(src);
+        assert_eq!(check_thread_spawn("x.rs", src, &stripped).len(), 2);
+        let allowed = "let h = std::thread::spawn(f); // lint: allow(determinism/thread-spawn)";
+        let (stripped, _) = prep(allowed);
+        assert!(check_thread_spawn("x.rs", allowed, &stripped).is_empty());
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //!
 //! Finds every package (the root `maya-repro` package plus `crates/*`),
 //! loads their Rust sources, and applies the [`crate::rules`] with the
-//! right per-rule scope: entropy everywhere, wall-clock and hash
-//! containers in model crates, crate attributes on crate roots, and the
-//! design registry over non-test `src/` code.
+//! right per-rule scope: entropy and thread creation everywhere (the
+//! sweep scheduler excepted), wall-clock and hash containers in model
+//! crates, crate attributes on crate roots, and the design registry over
+//! non-test `src/` code.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -145,6 +146,7 @@ pub fn run(root: &Path) -> Result<Vec<Diagnostic>, String> {
             let masked = scan::mask_test_regions(&stripped);
 
             diags.extend(rules::check_entropy(&relpath, &raw, &stripped));
+            diags.extend(rules::check_thread_spawn(&relpath, &raw, &stripped));
             diags.extend(rules::check_wall_clock(
                 &relpath, &pkg.name, &raw, &stripped,
             ));

@@ -29,6 +29,7 @@ pub mod json;
 pub mod metrics;
 pub mod probe;
 pub mod sink;
+pub mod sweep;
 
 pub use collector::{MetricsProbe, Snapshot, MAX_SKEWS};
 pub use event::{Event, EventKind, EvictionCause};

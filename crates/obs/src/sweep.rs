@@ -1,0 +1,126 @@
+//! Sidecar records for the experiment sweep engine.
+//!
+//! The `maya-bench` scheduler executes experiments as enumerated job
+//! cells; when a metrics directory is active it writes one
+//! `sweep_<experiment>.jsonl` sidecar per experiment with a `job` line per
+//! cell (wall time, cache hit) and a trailing `sweep` summary line.
+//!
+//! This module only *formats* those records. Wall times are measured by
+//! the harness and passed in as plain seconds: `maya-obs` sits in
+//! maya-lint's model-crate scope, where wall-clock reads are banned.
+
+use std::io::{self, Write};
+
+use crate::json::Obj;
+
+/// One executed sweep cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Experiment id (`fig9`, ...).
+    pub experiment: String,
+    /// Dense job id; the assembly order of the cell's output.
+    pub job: u64,
+    /// Design label of the cell.
+    pub design: String,
+    /// Workload label of the cell.
+    pub workload: String,
+    /// Seed the cell's simulations flow from.
+    pub seed: u64,
+    /// Wall time the harness measured for the cell, in seconds.
+    pub wall_secs: f64,
+    /// True if the result cache served the cell without recomputing.
+    pub cache_hit: bool,
+}
+
+impl JobRecord {
+    /// The single-line JSON form.
+    pub fn to_json_line(&self) -> String {
+        Obj::new()
+            .str("type", "job")
+            .str("experiment", &self.experiment)
+            .u64("job", self.job)
+            .str("design", &self.design)
+            .str("workload", &self.workload)
+            .u64("seed", self.seed)
+            .f64("wall_secs", self.wall_secs)
+            .bool("cache_hit", self.cache_hit)
+            .finish()
+    }
+}
+
+/// The summary of one executed sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRecord {
+    /// Experiment id.
+    pub experiment: String,
+    /// Total cells.
+    pub jobs: u64,
+    /// Cells served from the result cache.
+    pub cache_hits: u64,
+    /// Worker threads used.
+    pub workers: u64,
+    /// Total wall time of the sweep, in seconds.
+    pub wall_secs: f64,
+}
+
+impl SweepRecord {
+    /// The single-line JSON form.
+    pub fn to_json_line(&self) -> String {
+        Obj::new()
+            .str("type", "sweep")
+            .str("experiment", &self.experiment)
+            .u64("jobs", self.jobs)
+            .u64("cache_hits", self.cache_hits)
+            .u64("workers", self.workers)
+            .f64("wall_secs", self.wall_secs)
+            .finish()
+    }
+}
+
+/// Writes the sweep sidecar stream: every job line, then the summary.
+pub fn write_sweep_jsonl<W: Write>(
+    w: &mut W,
+    jobs: &[JobRecord],
+    summary: &SweepRecord,
+) -> io::Result<()> {
+    for job in jobs {
+        writeln!(w, "{}", job.to_json_line())?;
+    }
+    writeln!(w, "{}", summary.to_json_line())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_serialize_to_flat_json_lines() {
+        let job = JobRecord {
+            experiment: "fig9".into(),
+            job: 3,
+            design: "maya".into(),
+            workload: "mcf-rate".into(),
+            seed: 7,
+            wall_secs: 0.25,
+            cache_hit: true,
+        };
+        let line = job.to_json_line();
+        assert!(line.starts_with(r#"{"type":"job","experiment":"fig9","job":3"#));
+        assert!(line.contains(r#""cache_hit":true"#));
+
+        let mut buf = Vec::new();
+        let summary = SweepRecord {
+            experiment: "fig9".into(),
+            jobs: 20,
+            cache_hits: 13,
+            workers: 4,
+            wall_secs: 1.5,
+        };
+        write_sweep_jsonl(&mut buf, &[job], &summary).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].starts_with(r#"{"type":"sweep""#));
+        assert!(lines[1].contains(r#""cache_hits":13"#));
+    }
+}

@@ -5,16 +5,25 @@
 # for higher-fidelity runs (the paper-facing shapes are stable across
 # scales — see EXPERIMENTS.md). Experiments are ordered so the most
 # important results land first if the run is interrupted.
+#
+# Env knobs: SCALE= (fidelity), JOBS= (worker threads; output is
+# byte-identical at any count), NO_CACHE=1 (bypass the target/exp-cache
+# result cache — an interrupted or re-run sweep otherwise reuses every
+# completed cell).
 set -uo pipefail
 
 OUT=${1:-experiments_output.txt}
 BIN=./target/release/experiments
 SCALE=${SCALE:-0.08}
 
+EXTRA=()
+[[ -n "${JOBS:-}" ]] && EXTRA+=(--jobs "$JOBS")
+[[ -n "${NO_CACHE:-}" ]] && EXTRA+=(--no-cache)
+
 : > "$OUT"
 run() {
   echo "== running: $* ==" >&2
-  "$BIN" "$@" >> "$OUT" 2>> "$OUT.log"
+  "$BIN" "$@" ${EXTRA[@]+"${EXTRA[@]}"} >> "$OUT" 2>> "$OUT.log"
   echo >> "$OUT"
 }
 
