@@ -124,6 +124,9 @@ fn main() {
                 .unwrap_or_else(|| die(&format!("unknown experiment id: {one}")))],
         })
         .collect();
+    // Failures are contained per cell and reported at the end: every
+    // requested experiment gets to run before the harness exits non-zero.
+    let mut failed_cells = 0usize;
     for (n, id) in expanded.iter().enumerate() {
         if n > 0 {
             println!();
@@ -131,13 +134,29 @@ fn main() {
         let summary = experiments::run_with(id, scale, &opts)
             .unwrap_or_else(|| panic!("dispatch must know {id}"));
         eprintln!(
-            "[{id} done in {:.1}s: {} jobs, {} cached, {} worker{}]",
+            "[{id} done in {:.1}s: {} jobs, {} cached, {} worker{}{}]",
             summary.wall_secs,
             summary.jobs,
             summary.cache_hits,
             summary.workers,
-            if summary.workers == 1 { "" } else { "s" }
+            if summary.workers == 1 { "" } else { "s" },
+            if summary.failed.is_empty() {
+                String::new()
+            } else {
+                format!(", {} FAILED", summary.failed.len())
+            }
         );
+        for f in &summary.failed {
+            eprintln!(
+                "  FAILED {id} job {} ({} / {}): {}",
+                f.job, f.design, f.workload, f.message
+            );
+        }
+        failed_cells += summary.failed.len();
+    }
+    if failed_cells > 0 {
+        eprintln!("error: {failed_cells} cell(s) failed; see FAILED lines above");
+        std::process::exit(1);
     }
 }
 

@@ -5,6 +5,7 @@ use maya_core::{
     MirageCache, MirageConfig, Policy, ScatterCache, ScatterConfig, SetAssocCache, SetAssocConfig,
     ThresholdCache, ThresholdConfig,
 };
+use maya_fault::{FaultPlan, FaultyModel, RecoveryPolicy};
 use power_model::maya_iso_config;
 
 /// Every LLC design the evaluation touches.
@@ -157,6 +158,21 @@ impl Design {
             ))),
         }
     }
+
+    /// Builds the design wrapped in a [`FaultyModel`] decorator: the
+    /// robustness experiment's entry point, and handy anywhere a design
+    /// should run under a fault schedule (`scrub_every` = 0 disables
+    /// scrubbing).
+    pub fn build_with_faults(
+        &self,
+        baseline_lines: usize,
+        seed: u64,
+        plan: FaultPlan,
+        policy: RecoveryPolicy,
+        scrub_every: u64,
+    ) -> FaultyModel {
+        FaultyModel::new(self.build(baseline_lines, seed), plan, policy, scrub_every)
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +203,19 @@ mod tests {
         assert_eq!(c.capacity_lines(), 192 * 1024);
         let iso = Design::MayaIso.build(256 * 1024, 1);
         assert_eq!(iso.capacity_lines(), 256 * 1024);
+    }
+
+    #[test]
+    fn faulty_wrapper_builds_for_every_design() {
+        for d in Design::all() {
+            let c = d.build_with_faults(8192, 1, FaultPlan::empty(), RecoveryPolicy::Quarantine, 0);
+            assert_eq!(
+                c.capacity_lines(),
+                d.build(8192, 1).capacity_lines(),
+                "{}",
+                d.id()
+            );
+        }
     }
 
     #[test]

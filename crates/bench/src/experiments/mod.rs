@@ -11,6 +11,7 @@
 
 pub mod attack_exps;
 pub mod perf_exps;
+pub mod robustness_exps;
 pub mod security_exps;
 pub mod static_exps;
 
@@ -39,6 +40,7 @@ pub const ALL_IDS: &[&str] = &[
     "ablate-threshold",
     "sens-llc",
     "sens-cores",
+    "robustness",
     "demo-eviction",
     "demo-flush",
     "demo-randomized",
@@ -68,6 +70,7 @@ pub fn sweep(id: &str, scale: Scale) -> Option<Sweep> {
         "ablate-reuse" => perf_exps::ablate_reuse_filtering(scale),
         "sens-llc" => perf_exps::sensitivity_llc_size(scale),
         "sens-cores" => perf_exps::sensitivity_core_count(scale),
+        "robustness" => robustness_exps::robustness(scale),
         "demo-eviction" => attack_exps::demo_eviction(),
         "demo-flush" => attack_exps::demo_flush_reload(),
         "demo-randomized" => attack_exps::demo_randomized_lineage(),

@@ -32,6 +32,7 @@
 //! spawn, so all parallelism flows through the ordered-reassembly path.
 
 use std::fs;
+use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -220,6 +221,20 @@ impl Default for RunOpts {
     }
 }
 
+/// A cell whose work panicked; the scheduler contained the panic, recorded
+/// it here, and kept executing every other cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedCell {
+    /// Dense job id of the failed cell.
+    pub job: usize,
+    /// Design label of the cell.
+    pub design: String,
+    /// Workload label of the cell.
+    pub workload: String,
+    /// The panic message (or a placeholder for non-string payloads).
+    pub message: String,
+}
+
 /// What a sweep execution did, for summary lines and sidecars.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSummary {
@@ -231,6 +246,9 @@ pub struct SweepSummary {
     pub cache_hits: usize,
     /// Worker threads used.
     pub workers: usize,
+    /// Cells whose work panicked, in job-id order. The sweep still ran
+    /// every other cell; callers decide whether failures are fatal.
+    pub failed: Vec<FailedCell>,
     /// Total wall time of the execute call, in seconds.
     pub wall_secs: f64,
 }
@@ -238,6 +256,13 @@ pub struct SweepSummary {
 /// Executes a sweep and returns the fully assembled experiment block
 /// (header line, column row, body) plus a summary. Output is independent
 /// of `opts.jobs` and of cache state; see the module docs for why.
+///
+/// A cell that panics is contained: its failure is recorded in
+/// [`SweepSummary::failed`] and every other cell still runs. A sweep with
+/// failures falls back to concatenated assembly (the custom assembler may
+/// assume statistics the dead cells never produced) and marks each failed
+/// cell with a `# FAILED` row in job-id order, keeping the degraded output
+/// deterministic too.
 pub fn execute(sweep: Sweep, opts: &RunOpts) -> (String, SweepSummary) {
     let t0 = Instant::now();
     let n = sweep.jobs.len();
@@ -246,6 +271,7 @@ pub fn execute(sweep: Sweep, opts: &RunOpts) -> (String, SweepSummary) {
     struct Slot {
         out: CellOut,
         meta: JobRecord,
+        failure: Option<FailedCell>,
     }
     let slots: Vec<Mutex<Option<Slot>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let pending: Vec<Mutex<Option<Job>>> = sweep
@@ -270,7 +296,7 @@ pub fn execute(sweep: Sweep, opts: &RunOpts) -> (String, SweepSummary) {
                 .take()
                 .expect("job claimed twice");
             let t = Instant::now();
-            let (out, meta, cache_hit) = run_job(opts, job);
+            let (out, meta, cache_hit, failure) = run_job(opts, job);
             let slot = Slot {
                 meta: JobRecord {
                     experiment: meta.experiment,
@@ -280,8 +306,10 @@ pub fn execute(sweep: Sweep, opts: &RunOpts) -> (String, SweepSummary) {
                     seed: meta.seed,
                     wall_secs: t.elapsed().as_secs_f64(),
                     cache_hit,
+                    failed: failure.is_some(),
                 },
                 out,
+                failure,
             };
             *slots[i].lock().expect("result slot poisoned") = Some(slot);
         }
@@ -302,6 +330,7 @@ pub fn execute(sweep: Sweep, opts: &RunOpts) -> (String, SweepSummary) {
 
     let mut outs = Vec::with_capacity(n);
     let mut metas = Vec::with_capacity(n);
+    let mut failed = Vec::new();
     for slot in slots {
         let s = slot
             .into_inner()
@@ -309,12 +338,30 @@ pub fn execute(sweep: Sweep, opts: &RunOpts) -> (String, SweepSummary) {
             .expect("job produced no result");
         outs.push(s.out);
         metas.push(s.meta);
+        if let Some(f) = s.failure {
+            failed.push(f);
+        }
     }
     let cache_hits = metas.iter().filter(|m| m.cache_hit).count();
 
-    let body = match sweep.assemble {
-        Some(f) => f(&outs),
-        None => concat_texts(&outs),
+    let body = if failed.is_empty() {
+        match sweep.assemble {
+            Some(f) => f(&outs),
+            None => concat_texts(&outs),
+        }
+    } else {
+        // Degraded assembly: the custom assembler may index into stats the
+        // dead cells never produced, so fall back to concatenation and
+        // mark every failure in place (job-id order keeps this
+        // deterministic).
+        let mut s = concat_texts(&outs);
+        for f in &failed {
+            s.push_str(&format!(
+                "# FAILED job={} design={} workload={}: {}\n",
+                f.job, f.design, f.workload, f.message
+            ));
+        }
+        s
     };
     let text = format!(
         "# {}: {}\n{}\n{}",
@@ -326,6 +373,7 @@ pub fn execute(sweep: Sweep, opts: &RunOpts) -> (String, SweepSummary) {
         jobs: n,
         cache_hits,
         workers,
+        failed,
         wall_secs: t0.elapsed().as_secs_f64(),
     };
     write_sweep_sidecar(&metrics_dir, &metas, &summary);
@@ -334,8 +382,10 @@ pub fn execute(sweep: Sweep, opts: &RunOpts) -> (String, SweepSummary) {
 
 /// Runs one job, consulting and populating the result cache. Returns the
 /// cell output, the job's plain metadata (the closure consumes the job),
-/// and whether the cache served it.
-fn run_job(opts: &RunOpts, job: Job) -> (CellOut, JobMeta, bool) {
+/// whether the cache served it, and the contained failure if the work
+/// panicked. Failed cells produce an empty [`CellOut`] and are never
+/// cached, so a fixed build recomputes them.
+fn run_job(opts: &RunOpts, job: Job) -> (CellOut, JobMeta, bool, Option<FailedCell>) {
     let meta = JobMeta {
         experiment: job.experiment.clone(),
         design: job.design.clone(),
@@ -348,18 +398,37 @@ fn run_job(opts: &RunOpts, job: Job) -> (CellOut, JobMeta, bool) {
         .map(|dir| cache_path(dir, &job.experiment, cache_key(&job)));
     if let Some(ref p) = path {
         if let Some(out) = cache_load(p) {
-            return (out, meta, true);
+            return (out, meta, true, None);
         }
     }
     // Sidecar filenames derive from (experiment, job id), not from worker
     // identity, so `--metrics-dir` output is deterministic too.
     perf::set_job_context(Some((job.experiment.clone(), job.id)));
-    let out = (job.work)();
+    let id = job.id;
+    let result = panic::catch_unwind(AssertUnwindSafe(job.work));
     perf::set_job_context(None);
-    if let Some(ref p) = path {
-        cache_store(p, &out);
+    match result {
+        Ok(out) => {
+            if let Some(ref p) = path {
+                cache_store(p, &out);
+            }
+            (out, meta, false, None)
+        }
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            let failure = FailedCell {
+                job: id,
+                design: meta.design.clone(),
+                workload: meta.workload.clone(),
+                message,
+            };
+            (CellOut::default(), meta, false, Some(failure))
+        }
     }
-    (out, meta, false)
 }
 
 /// Plain-data job metadata (the closure consumes the [`Job`] itself).
@@ -379,6 +448,7 @@ fn write_sweep_sidecar(dir: &Option<PathBuf>, jobs: &[JobRecord], summary: &Swee
         jobs: summary.jobs as u64,
         cache_hits: summary.cache_hits as u64,
         workers: summary.workers as u64,
+        failed: summary.failed.len() as u64,
         wall_secs: summary.wall_secs,
     };
     let path = dir.join(format!("sweep_{}.jsonl", summary.experiment));
@@ -555,6 +625,97 @@ mod tests {
         );
         assert_ne!(base, cache_key(&mk(2, Scale::quick())));
         assert_ne!(base, cache_key(&mk(1, Scale::quick().scaled_by(2.0))));
+    }
+
+    /// Six cells, one of which (job 2) panics.
+    fn wounded_sweep() -> Sweep {
+        let mut sw = Sweep::new("t-wounded", "panic isolation", "col");
+        for i in 0..6u64 {
+            sw.job("d", format!("w{i}"), i, Scale::quick(), move || {
+                assert!(i != 2, "cell {i} exploded");
+                CellOut::text(format!("row{i}\n"))
+            });
+        }
+        sw
+    }
+
+    #[test]
+    fn panicking_job_is_contained_and_reported() {
+        let (text, s) = execute(wounded_sweep(), &RunOpts::parallel(3));
+        assert_eq!(s.failed.len(), 1);
+        let f = &s.failed[0];
+        assert_eq!(f.job, 2);
+        assert_eq!(f.workload, "w2");
+        assert!(f.message.contains("cell 2 exploded"), "{}", f.message);
+        // Every healthy cell still ran and appears in order.
+        for i in [0u64, 1, 3, 4, 5] {
+            assert!(text.contains(&format!("row{i}\n")), "{text}");
+        }
+        assert!(
+            text.contains("# FAILED job=2 design=d workload=w2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn failures_disable_the_custom_assembler_deterministically() {
+        let mut sw = wounded_sweep();
+        sw.assemble_with(|outs| format!("AGG over {} cells\n", outs.len()));
+        let (a, sa) = execute(sw, &RunOpts::serial());
+        assert!(!a.contains("AGG"), "custom assembler must be skipped: {a}");
+        assert_eq!(sa.failed.len(), 1);
+        let mut sw2 = wounded_sweep();
+        sw2.assemble_with(|outs| format!("AGG over {} cells\n", outs.len()));
+        let (b, _) = execute(sw2, &RunOpts::parallel(4));
+        assert_eq!(a, b, "degraded output must not depend on worker count");
+    }
+
+    #[test]
+    fn failed_cells_are_never_cached() {
+        let dir = std::env::temp_dir().join("maya_sched_cache_failed");
+        let _ = fs::remove_dir_all(&dir);
+        let opts = RunOpts {
+            jobs: 1,
+            cache_dir: Some(dir.clone()),
+        };
+        let (cold, _) = execute(wounded_sweep(), &opts);
+        let (warm, s) = execute(wounded_sweep(), &opts);
+        assert_eq!(cold, warm);
+        // The panicked cell recomputes (and fails again); the other five
+        // are served from the cache.
+        assert_eq!(s.cache_hits, 5);
+        assert_eq!(s.failed.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A mid-sweep kill leaves a partial cache: only the cells finished
+    /// before the kill are on disk. A warm rerun must complete the sweep
+    /// and produce output identical to a never-interrupted run.
+    #[test]
+    fn partial_cache_resumes_to_identical_output() {
+        let dir = std::env::temp_dir().join("maya_sched_cache_resume");
+        let _ = fs::remove_dir_all(&dir);
+        let opts = RunOpts {
+            jobs: 2,
+            cache_dir: Some(dir.clone()),
+        };
+        // Simulate the killed run: only the first three cells completed.
+        // Job ids (and therefore cache keys) match the full sweep's first
+        // three jobs exactly.
+        let mut partial = Sweep::new("t-sweep", "test sweep", "col");
+        for i in 0..3u64 {
+            partial.job("d", format!("w{i}"), i, Scale::quick(), move || CellOut {
+                text: format!("row{i}\n"),
+                stats: vec![i as f64 * 0.5],
+            });
+        }
+        execute(partial, &opts);
+
+        let (resumed, s) = execute(tiny_sweep(), &opts);
+        assert_eq!(s.cache_hits, 3, "the surviving cells must be reused");
+        let (reference, _) = execute(tiny_sweep(), &RunOpts::serial());
+        assert_eq!(resumed, reference);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

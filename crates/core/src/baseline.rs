@@ -5,11 +5,11 @@
 //! flexible set-partitioning).
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use maya_obs::{EventKind, EvictionCause, ProbeHandle};
 
-use crate::cache::CacheModel;
+use crate::cache::{CacheModel, FaultKind};
 use crate::replacement::{Policy, ReplacementState};
 use crate::types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};
 
@@ -397,6 +397,87 @@ impl CacheModel for SetAssocCache {
             }
         }
         Ok(())
+    }
+
+    fn inject_fault(&mut self, kind: FaultKind, rng: &mut SmallRng) -> Option<String> {
+        let valid: Vec<usize> = (0..self.lines.len())
+            .filter(|&i| self.lines[i].valid)
+            .collect();
+        if valid.is_empty() {
+            return None;
+        }
+        match kind {
+            // A plain array has no priority states, no pointers, and no
+            // index key to interrupt.
+            FaultKind::PriorityFlip | FaultKind::PointerCorrupt | FaultKind::InterruptedRekey => {
+                None
+            }
+            FaultKind::ValidDrop => {
+                let i = valid[rng.gen_range(0..valid.len())];
+                self.lines[i].valid = false;
+                Some(format!("line {i}: valid bit dropped"))
+            }
+            FaultKind::DirtyFlip => {
+                let i = valid[rng.gen_range(0..valid.len())];
+                self.lines[i].dirty = !self.lines[i].dirty;
+                Some(format!("line {i}: dirty bit flipped"))
+            }
+            FaultKind::TagBit => {
+                let i = valid[rng.gen_range(0..valid.len())];
+                let l = self.lines[i];
+                let set = i / self.config.ways;
+                let start = rng.gen_range(0..48u32);
+                // Pick a stuck-at bit that moves the line out of its home
+                // set; a flip mapping back is undetectable by construction.
+                for off in 0..48u32 {
+                    let bit = (start + off) % 48;
+                    let flipped = l.tag ^ (1u64 << bit);
+                    if self.set_of(flipped, l.domain) != set {
+                        self.lines[i].tag = flipped;
+                        return Some(format!("line {i}: tag bit {bit} stuck"));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn quarantine(&mut self) -> u64 {
+        let mut repaired = 0u64;
+        let mut seen: Vec<(usize, u64, DomainId)> = Vec::new();
+        for set in 0..self.config.sets {
+            for way in 0..self.config.ways {
+                let idx = self.line_index(set, way);
+                let l = self.lines[idx];
+                if !l.valid {
+                    continue;
+                }
+                let known = match &self.config.partitioning {
+                    Partitioning::None => true,
+                    Partitioning::Ways(parts) | Partitioning::Sets(parts) => {
+                        (l.domain.0 as usize) < parts.len()
+                    }
+                };
+                let (first, n) = if known {
+                    self.way_range(l.domain)
+                } else {
+                    (0, 0)
+                };
+                let mis_homed = !known
+                    || self.set_of(l.tag, l.domain) != set
+                    || way < first
+                    || way >= first + n
+                    || seen.contains(&(set, l.tag, l.domain));
+                if mis_homed {
+                    // Unreachable (or duplicated) by lookup: drop the line.
+                    self.lines[idx].valid = false;
+                    repaired += 1;
+                } else {
+                    seen.push((set, l.tag, l.domain));
+                }
+            }
+        }
+        repaired
     }
 }
 

@@ -4,6 +4,60 @@
 
 use crate::types::{CacheStats, DomainId, Request, Response};
 use maya_obs::ProbeHandle;
+use rand::rngs::SmallRng;
+
+/// A class of single-event fault that can be injected into a cache model's
+/// tag/metadata arrays (see `maya-fault`). Each kind corrupts one structural
+/// aspect of a design; which kinds a design is susceptible to depends on its
+/// bookkeeping (a plain array has no pointers to corrupt, a Maya/Mirage
+/// entry has a forward pointer, a CEASER line has an epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Maya only: flip a tag entry's priority bit (P0 ↔ P1) without fixing
+    /// the pointer bookkeeping that the state implies.
+    PriorityFlip,
+    /// Clear a valid bit / invalidate a tag entry *without* releasing the
+    /// bookkeeping (data entry, back-indices) that the entry owns.
+    ValidDrop,
+    /// Flip a dirty bit. Structurally silent everywhere: no audit
+    /// redundancy covers dirtiness, so the corruption surfaces only as a
+    /// lost (or spurious) writeback.
+    DirtyFlip,
+    /// Corrupt a forward pointer (Maya/Mirage tag→data, Threshold
+    /// valid-list back-index) to point at the wrong entry.
+    PointerCorrupt,
+    /// Flip one bit of a stored tag, modelling a stuck-at fault in the tag
+    /// array. Detectable by designs whose audit re-derives an entry's home
+    /// set from its tag.
+    TagBit,
+    /// Model a power cut mid-rekey: part of the structure reflects the new
+    /// key/epoch and part the old, leaving bookkeeping inconsistent.
+    InterruptedRekey,
+}
+
+impl FaultKind {
+    /// Every fault kind, in a stable report order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::PriorityFlip,
+        FaultKind::ValidDrop,
+        FaultKind::DirtyFlip,
+        FaultKind::PointerCorrupt,
+        FaultKind::TagBit,
+        FaultKind::InterruptedRekey,
+    ];
+
+    /// Stable lower-case name used in reports and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::PriorityFlip => "priority_flip",
+            FaultKind::ValidDrop => "valid_drop",
+            FaultKind::DirtyFlip => "dirty_flip",
+            FaultKind::PointerCorrupt => "pointer_corrupt",
+            FaultKind::TagBit => "tag_bit",
+            FaultKind::InterruptedRekey => "interrupted_rekey",
+        }
+    }
+}
 
 /// A last-level-cache model.
 ///
@@ -66,6 +120,32 @@ pub trait CacheModel {
     /// (`&self`).
     fn audit(&self) -> Result<(), String> {
         Ok(())
+    }
+
+    /// Injects one fault of class `kind` into the model's metadata, choosing
+    /// the victim entry with `rng` (deterministic for a given rng state).
+    ///
+    /// Returns `Some(description)` when a fault was planted, `None` when the
+    /// kind does not apply to this design (e.g. [`FaultKind::PriorityFlip`]
+    /// on a design without priority states) or no susceptible entry exists
+    /// right now (e.g. an empty cache). The default is `None`: a model that
+    /// does not opt in cannot be corrupted, and `maya-fault` reports the
+    /// fault class as not-applicable rather than silently passing.
+    fn inject_fault(&mut self, _kind: FaultKind, _rng: &mut SmallRng) -> Option<String> {
+        None
+    }
+
+    /// Rebuilds derived bookkeeping from the tag array, invalidating entries
+    /// that cannot be reconciled (the quarantine-and-invalidate recovery
+    /// policy). Returns the number of entries repaired or dropped. Must be
+    /// deterministic and must leave the model in a state where [`audit`]
+    /// passes for any corruption limited to derived structures; corruption
+    /// of the tags themselves may require `flush_all` instead (the caller
+    /// escalates when `audit` still fails afterwards).
+    ///
+    /// [`audit`]: CacheModel::audit
+    fn quarantine(&mut self) -> u64 {
+        0
     }
 
     /// Attaches an observability probe (see `maya-obs`). Models emit

@@ -23,7 +23,7 @@ use rand::{Rng, SeedableRng};
 use maya_obs::{EventKind, EvictionCause, ProbeHandle};
 use prince_cipher::{IndexFunction, DEFAULT_MEMO_SLOTS, MAX_SKEWS};
 
-use crate::cache::CacheModel;
+use crate::cache::{CacheModel, FaultKind};
 use crate::replacement::{Policy, ReplacementState};
 use crate::types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};
 
@@ -350,6 +350,119 @@ impl CacheModel for CeaserCache {
 
     fn set_probe(&mut self, probe: ProbeHandle) {
         self.probe = probe;
+    }
+
+    fn audit(&self) -> Result<(), String> {
+        // Lazy epoch invalidation makes stale (older-epoch) lines legal,
+        // but no line may claim an epoch the cache has not reached, and
+        // every *live* line must sit in its home set under the current key.
+        let mut seen: Vec<(u64, DomainId)> = Vec::new();
+        for (i, l) in self.lines.iter().enumerate() {
+            if !l.valid {
+                continue;
+            }
+            if l.epoch > self.epoch {
+                return Err(format!(
+                    "slot {i}: line epoch {} is ahead of cache epoch {}",
+                    l.epoch, self.epoch
+                ));
+            }
+            if l.epoch != self.epoch {
+                continue;
+            }
+            let ways = self.config.ways_per_skew;
+            let skew = i / (self.config.sets_per_skew * ways);
+            let set = (i / ways) % self.config.sets_per_skew;
+            let home = self.index.set_index(skew, l.tag);
+            if home != set {
+                return Err(format!(
+                    "skew {skew} set {set}: live tag {:#x} hashes to set {home}",
+                    l.tag
+                ));
+            }
+            seen.push((l.tag, l.sdid));
+        }
+        seen.sort_unstable();
+        for pair in seen.windows(2) {
+            if pair[0] == pair[1] {
+                let (tag, domain) = pair[0];
+                return Err(format!(
+                    "duplicate live line: tag {tag:#x} (domain {}) resident twice",
+                    domain.0
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn inject_fault(&mut self, kind: FaultKind, rng: &mut SmallRng) -> Option<String> {
+        let live: Vec<usize> = (0..self.lines.len()).filter(|&i| self.live(i)).collect();
+        if live.is_empty() {
+            return None;
+        }
+        match kind {
+            // No priority states, no pointers.
+            FaultKind::PriorityFlip | FaultKind::PointerCorrupt => None,
+            FaultKind::ValidDrop => {
+                let i = live[rng.gen_range(0..live.len())];
+                self.lines[i].valid = false;
+                Some(format!("slot {i}: valid bit dropped"))
+            }
+            FaultKind::DirtyFlip => {
+                let i = live[rng.gen_range(0..live.len())];
+                self.lines[i].dirty = !self.lines[i].dirty;
+                Some(format!("slot {i}: dirty bit flipped"))
+            }
+            FaultKind::TagBit => {
+                let i = live[rng.gen_range(0..live.len())];
+                let ways = self.config.ways_per_skew;
+                let skew = i / (self.config.sets_per_skew * ways);
+                let set = (i / ways) % self.config.sets_per_skew;
+                let start = rng.gen_range(0..48u32);
+                for off in 0..48u32 {
+                    let bit = (start + off) % 48;
+                    let flipped = self.lines[i].tag ^ (1u64 << bit);
+                    if self.index.set_index(skew, flipped) != set {
+                        self.lines[i].tag = flipped;
+                        return Some(format!("slot {i}: tag bit {bit} stuck"));
+                    }
+                }
+                None
+            }
+            FaultKind::InterruptedRekey => {
+                // A power cut mid-remap: the mover pipeline had already
+                // stamped one line with the next epoch before the cache's
+                // epoch counter advanced.
+                let i = live[rng.gen_range(0..live.len())];
+                self.lines[i].epoch = self.epoch + 1;
+                Some(format!("slot {i}: stamped with future epoch"))
+            }
+        }
+    }
+
+    fn quarantine(&mut self) -> u64 {
+        let mut repaired = 0u64;
+        let mut seen: Vec<(u64, DomainId)> = Vec::new();
+        for i in 0..self.lines.len() {
+            let l = self.lines[i];
+            if !l.valid || l.epoch < self.epoch {
+                continue;
+            }
+            let ways = self.config.ways_per_skew;
+            let skew = i / (self.config.sets_per_skew * ways);
+            let set = (i / ways) % self.config.sets_per_skew;
+            let broken = l.epoch > self.epoch
+                || self.index.set_index(skew, l.tag) != set
+                || seen.contains(&(l.tag, l.sdid));
+            if broken {
+                // Future-epoch, mis-homed, or duplicated: drop the line.
+                self.lines[i].valid = false;
+                repaired += 1;
+            } else {
+                seen.push((l.tag, l.sdid));
+            }
+        }
+        repaired
     }
 }
 

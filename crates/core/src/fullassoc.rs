@@ -11,7 +11,7 @@ use rand::{Rng, SeedableRng};
 
 use maya_obs::{EventKind, EvictionCause, ProbeHandle};
 
-use crate::cache::CacheModel;
+use crate::cache::{CacheModel, FaultKind};
 use crate::types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};
 
 #[derive(Debug, Clone, Copy)]
@@ -247,6 +247,70 @@ impl CacheModel for FullyAssocCache {
             }
         }
         Ok(())
+    }
+
+    fn inject_fault(&mut self, kind: FaultKind, rng: &mut SmallRng) -> Option<String> {
+        if self.lines.is_empty() {
+            return None;
+        }
+        match kind {
+            // No priority states and no index key to interrupt.
+            FaultKind::PriorityFlip | FaultKind::InterruptedRekey => None,
+            FaultKind::ValidDrop => {
+                // Drop the CAM entry without dropping the line: the line
+                // becomes unreachable while still occupying capacity.
+                let i = rng.gen_range(0..self.lines.len());
+                let l = self.lines[i];
+                self.lookup.remove(&(l.tag, l.domain));
+                Some(format!("line {i}: CAM entry dropped"))
+            }
+            FaultKind::DirtyFlip => {
+                let i = rng.gen_range(0..self.lines.len());
+                self.lines[i].dirty = !self.lines[i].dirty;
+                Some(format!("line {i}: dirty bit flipped"))
+            }
+            FaultKind::PointerCorrupt => {
+                // Redirect the CAM entry to the wrong slot.
+                let i = rng.gen_range(0..self.lines.len());
+                let l = self.lines[i];
+                let bad = (i + 1) % self.lines.len();
+                if bad == i {
+                    return None;
+                }
+                self.lookup.insert((l.tag, l.domain), bad);
+                Some(format!("line {i}: CAM pointer redirected to {bad}"))
+            }
+            FaultKind::TagBit => {
+                let i = rng.gen_range(0..self.lines.len());
+                let bit = rng.gen_range(0..48u32);
+                self.lines[i].tag ^= 1u64 << bit;
+                Some(format!("line {i}: tag bit {bit} stuck"))
+            }
+        }
+    }
+
+    fn quarantine(&mut self) -> u64 {
+        let mut repaired = 0u64;
+        // Rebuild the CAM from the line array; duplicate (tag, domain)
+        // pairs and capacity overflow are dropped.
+        self.lookup.clear();
+        let mut i = 0;
+        while i < self.lines.len() {
+            let key = (self.lines[i].tag, self.lines[i].domain);
+            if let std::collections::btree_map::Entry::Vacant(e) = self.lookup.entry(key) {
+                e.insert(i);
+                i += 1;
+            } else {
+                self.lines.swap_remove(i);
+                repaired += 1;
+            }
+        }
+        while self.lines.len() > self.capacity {
+            let l = self.lines.pop().expect("list non-empty");
+            self.lookup.remove(&(l.tag, l.domain));
+            repaired += 1;
+        }
+        repaired
     }
 }
 

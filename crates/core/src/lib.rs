@@ -41,7 +41,7 @@ mod threshold;
 mod types;
 
 pub use baseline::{Partitioning, SetAssocCache, SetAssocConfig};
-pub use cache::CacheModel;
+pub use cache::{CacheModel, FaultKind};
 pub use ceaser::{CeaserCache, CeaserConfig};
 pub use fullassoc::FullyAssocCache;
 pub use maya::{MayaCache, MayaConfig};

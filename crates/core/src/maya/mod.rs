@@ -36,7 +36,7 @@ use rand::{Rng, SeedableRng};
 use maya_obs::{EventKind, EvictionCause, ProbeHandle};
 use prince_cipher::{IndexFunction, DEFAULT_MEMO_SLOTS, MAX_SKEWS};
 
-use crate::cache::CacheModel;
+use crate::cache::{CacheModel, FaultKind};
 use crate::mirage::SkewSelection;
 use crate::types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};
 
@@ -536,6 +536,17 @@ impl MayaCache {
             panic!("MayaCache invariant violated: {e}");
         }
     }
+
+    /// `(skew, set)` a flat tag index belongs to (inverse of [`flat`]).
+    ///
+    /// [`flat`]: MayaCache::flat
+    #[inline]
+    fn home_of(&self, flat_idx: usize) -> (usize, usize) {
+        let ways = self.config.ways_per_skew();
+        let skew = flat_idx / (self.config.sets_per_skew * ways);
+        let set = (flat_idx / ways) % self.config.sets_per_skew;
+        (skew, set)
+    }
 }
 
 impl CacheModel for MayaCache {
@@ -679,6 +690,19 @@ impl CacheModel for MayaCache {
         let mut p0 = 0usize;
         let mut p1 = 0usize;
         for (i, e) in self.tags.iter().enumerate() {
+            if e.state.is_valid() {
+                // A valid tag must live in the set its address hashes to
+                // under the current key — this is what catches stuck-at
+                // faults in the tag array itself.
+                let (skew, set) = self.home_of(i);
+                let home = self.index.set_index(skew, e.tag);
+                if home != set {
+                    return Err(format!(
+                        "tag {i} (line {:#x}) sits in skew {skew} set {set} but hashes to {home}",
+                        e.tag
+                    ));
+                }
+            }
             match e.state {
                 TagState::Invalid => {
                     // Invalid entries must hold no pointers: a stale fptr
@@ -788,6 +812,179 @@ impl CacheModel for MayaCache {
             }
         }
         Ok(())
+    }
+
+    fn inject_fault(&mut self, kind: FaultKind, rng: &mut SmallRng) -> Option<String> {
+        match kind {
+            FaultKind::PriorityFlip => {
+                if !self.allocated.is_empty() {
+                    let d = self.allocated[rng.gen_range(0..self.allocated.len())];
+                    let i = self.rptr[d as usize] as usize;
+                    // Flip P1 -> P0 leaving the forward pointer behind: the
+                    // entry now claims to be tag-only while still owning data.
+                    self.tags[i].state = TagState::Priority0;
+                    Some(format!("tag {i}: priority bit flipped P1 -> P0"))
+                } else if !self.p0_list.is_empty() {
+                    let i = self.p0_list[rng.gen_range(0..self.p0_list.len())] as usize;
+                    // Flip P0 -> P1 without allocating data: fptr stays NONE.
+                    self.tags[i].state = TagState::Priority1Clean;
+                    Some(format!("tag {i}: priority bit flipped P0 -> P1"))
+                } else {
+                    None
+                }
+            }
+            FaultKind::ValidDrop => {
+                let i = if !self.allocated.is_empty() {
+                    let d = self.allocated[rng.gen_range(0..self.allocated.len())];
+                    self.rptr[d as usize] as usize
+                } else if !self.p0_list.is_empty() {
+                    self.p0_list[rng.gen_range(0..self.p0_list.len())] as usize
+                } else {
+                    return None;
+                };
+                // Clear the valid bit without releasing what the entry owns.
+                self.tags[i].state = TagState::Invalid;
+                Some(format!("tag {i}: valid bit dropped, bookkeeping leaked"))
+            }
+            FaultKind::DirtyFlip => {
+                if self.allocated.is_empty() {
+                    return None;
+                }
+                let d = self.allocated[rng.gen_range(0..self.allocated.len())];
+                let i = self.rptr[d as usize] as usize;
+                let s = self.tags[i].state;
+                self.tags[i].state = if s == TagState::Priority1Dirty {
+                    TagState::Priority1Clean
+                } else {
+                    TagState::Priority1Dirty
+                };
+                Some(format!("tag {i}: dirty bit flipped from {s:?}"))
+            }
+            FaultKind::PointerCorrupt => {
+                if self.allocated.is_empty() {
+                    return None;
+                }
+                let d = self.allocated[rng.gen_range(0..self.allocated.len())];
+                let i = self.rptr[d as usize] as usize;
+                let n = self.config.data_entries() as u32;
+                let bad = (self.tags[i].fptr + 1) % n;
+                self.tags[i].fptr = bad;
+                Some(format!("tag {i}: fptr redirected {d} -> {bad}"))
+            }
+            FaultKind::TagBit => {
+                let i = if !self.allocated.is_empty() {
+                    let d = self.allocated[rng.gen_range(0..self.allocated.len())];
+                    self.rptr[d as usize] as usize
+                } else if !self.p0_list.is_empty() {
+                    self.p0_list[rng.gen_range(0..self.p0_list.len())] as usize
+                } else {
+                    return None;
+                };
+                let (skew, set) = self.home_of(i);
+                let start = rng.gen_range(0..48u32);
+                // Pick a stuck-at bit that actually moves the entry out of
+                // its home set (a flip that hashes back to the same set is
+                // undetectable by construction, so it models no stress).
+                for off in 0..48u32 {
+                    let bit = (start + off) % 48;
+                    let flipped = self.tags[i].tag ^ (1u64 << bit);
+                    if self.index.set_index(skew, flipped) != set {
+                        self.tags[i].tag = flipped;
+                        return Some(format!("tag {i}: tag bit {bit} stuck"));
+                    }
+                }
+                None
+            }
+            FaultKind::InterruptedRekey => {
+                // A power cut mid-rekey: skew 0 was already wiped for the
+                // new key, skew 1+ still holds old-key entries, and none of
+                // the shared bookkeeping was updated.
+                let per_skew = self.config.sets_per_skew * self.config.ways_per_skew();
+                let mut wiped = 0usize;
+                for i in 0..per_skew {
+                    if self.tags[i].state.is_valid() {
+                        self.tags[i].state = TagState::Invalid;
+                        wiped += 1;
+                    }
+                }
+                if wiped == 0 {
+                    return None;
+                }
+                Some(format!("rekey interrupted: {wiped} skew-0 tags wiped"))
+            }
+        }
+    }
+
+    fn quarantine(&mut self) -> u64 {
+        let mut repaired = 0u64;
+        let n = self.config.data_entries();
+        // First claim per data entry wins; later claimants are dropped.
+        let mut claimed = vec![NONE; n];
+        self.p0_list.clear();
+        for i in 0..self.tags.len() {
+            let e = self.tags[i];
+            if e.state.is_valid() {
+                let (skew, set) = self.home_of(i);
+                if self.index.set_index(skew, e.tag) != set {
+                    // Mis-homed tag: unreachable by lookup, drop it.
+                    self.tags[i] = TagEntry::default();
+                    repaired += 1;
+                    continue;
+                }
+            }
+            match e.state {
+                TagState::Invalid => {
+                    if e.fptr != NONE || e.p0_pos != NONE {
+                        self.tags[i] = TagEntry::default();
+                        repaired += 1;
+                    }
+                }
+                TagState::Priority0 => {
+                    if e.fptr != NONE {
+                        self.tags[i].fptr = NONE;
+                        repaired += 1;
+                    }
+                    self.tags[i].p0_pos = self.p0_list.len() as u32;
+                    self.p0_list.push(i as u32);
+                }
+                TagState::Priority1Clean | TagState::Priority1Dirty => {
+                    let d = e.fptr as usize;
+                    if e.fptr == NONE || d >= n || claimed[d] != NONE {
+                        self.tags[i] = TagEntry::default();
+                        repaired += 1;
+                    } else {
+                        claimed[d] = i as u32;
+                        if e.p0_pos != NONE {
+                            self.tags[i].p0_pos = NONE;
+                            repaired += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // A flipped priority bit can push the P0 population over its target;
+        // trim deterministically from the end of the rebuilt list.
+        while self.p0_list.len() > self.config.p0_capacity() {
+            let victim = self.p0_list.pop().expect("list non-empty") as usize;
+            self.tags[victim] = TagEntry::default();
+            repaired += 1;
+        }
+        // Rebuild the data-store bookkeeping from the surviving claims.
+        self.allocated.clear();
+        self.rptr.fill(NONE);
+        self.data_pos.fill(NONE);
+        for (d, &t) in claimed.iter().enumerate() {
+            if t != NONE {
+                self.rptr[d] = t;
+                self.data_pos[d] = self.allocated.len() as u32;
+                self.allocated.push(d as u32);
+            }
+        }
+        self.free_data = (0..n as u32)
+            .rev()
+            .filter(|&d| claimed[d as usize] == NONE)
+            .collect();
+        repaired
     }
 }
 

@@ -22,7 +22,7 @@ use rand::{Rng, SeedableRng};
 use maya_obs::{EventKind, EvictionCause, ProbeHandle};
 use prince_cipher::{IndexFunction, DEFAULT_MEMO_SLOTS, MAX_SKEWS};
 
-use crate::cache::CacheModel;
+use crate::cache::{CacheModel, FaultKind};
 use crate::types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};
 
 /// How fills choose between the two candidate sets.
@@ -195,6 +195,17 @@ impl MirageCache {
     #[inline]
     fn skew_of(&self, flat_idx: usize) -> u8 {
         (flat_idx / (self.config.sets_per_skew * self.config.ways_per_skew())) as u8
+    }
+
+    /// `(skew, set)` a flat tag index belongs to (inverse of [`flat`]).
+    ///
+    /// [`flat`]: MirageCache::flat
+    #[inline]
+    fn home_of(&self, flat_idx: usize) -> (usize, usize) {
+        let ways = self.config.ways_per_skew();
+        let skew = flat_idx / (self.config.sets_per_skew * ways);
+        let set = (flat_idx / ways) % self.config.sets_per_skew;
+        (skew, set)
     }
 
     fn find(&self, line: u64, domain: DomainId) -> Option<usize> {
@@ -456,6 +467,16 @@ impl CacheModel for MirageCache {
                 continue;
             }
             valid_tags += 1;
+            // A valid tag must live in the set its address hashes to under
+            // the current key — this catches stuck-at tag-array faults.
+            let (skew, set) = self.home_of(i);
+            let home = self.index.set_index(skew, e.tag);
+            if home != set {
+                return Err(format!(
+                    "tag {i} (line {:#x}) sits in skew {skew} set {set} but hashes to {home}",
+                    e.tag
+                ));
+            }
             let d = e.fptr as usize;
             if d >= self.rptr.len() {
                 return Err(format!("tag {i}: fptr {d} out of range"));
@@ -518,6 +539,118 @@ impl CacheModel for MirageCache {
             }
         }
         Ok(())
+    }
+
+    fn inject_fault(&mut self, kind: FaultKind, rng: &mut SmallRng) -> Option<String> {
+        match kind {
+            // Mirage entries have no priority states.
+            FaultKind::PriorityFlip => None,
+            FaultKind::ValidDrop => {
+                if self.allocated.is_empty() {
+                    return None;
+                }
+                let d = self.allocated[rng.gen_range(0..self.allocated.len())];
+                let i = self.rptr[d as usize] as usize;
+                // Clear the valid bit without releasing the data entry.
+                self.tags[i].valid = false;
+                Some(format!("tag {i}: valid bit dropped, data {d} leaked"))
+            }
+            FaultKind::DirtyFlip => {
+                if self.allocated.is_empty() {
+                    return None;
+                }
+                let d = self.allocated[rng.gen_range(0..self.allocated.len())];
+                let i = self.rptr[d as usize] as usize;
+                self.tags[i].dirty = !self.tags[i].dirty;
+                Some(format!("tag {i}: dirty bit flipped"))
+            }
+            FaultKind::PointerCorrupt => {
+                if self.allocated.is_empty() {
+                    return None;
+                }
+                let d = self.allocated[rng.gen_range(0..self.allocated.len())];
+                let i = self.rptr[d as usize] as usize;
+                let n = self.config.data_entries() as u32;
+                let bad = (self.tags[i].fptr + 1) % n;
+                self.tags[i].fptr = bad;
+                Some(format!("tag {i}: fptr redirected {d} -> {bad}"))
+            }
+            FaultKind::TagBit => {
+                if self.allocated.is_empty() {
+                    return None;
+                }
+                let d = self.allocated[rng.gen_range(0..self.allocated.len())];
+                let i = self.rptr[d as usize] as usize;
+                let (skew, set) = self.home_of(i);
+                let start = rng.gen_range(0..48u32);
+                // Pick a stuck-at bit that actually moves the entry out of
+                // its home set; a flip hashing back to the same set would be
+                // undetectable by construction.
+                for off in 0..48u32 {
+                    let bit = (start + off) % 48;
+                    let flipped = self.tags[i].tag ^ (1u64 << bit);
+                    if self.index.set_index(skew, flipped) != set {
+                        self.tags[i].tag = flipped;
+                        return Some(format!("tag {i}: tag bit {bit} stuck"));
+                    }
+                }
+                None
+            }
+            FaultKind::InterruptedRekey => {
+                // Power cut mid-rekey: skew 0 already wiped for the new key,
+                // the pointer bookkeeping never updated.
+                let per_skew = self.config.sets_per_skew * self.config.ways_per_skew();
+                let mut wiped = 0usize;
+                for i in 0..per_skew {
+                    if self.tags[i].valid {
+                        self.tags[i].valid = false;
+                        wiped += 1;
+                    }
+                }
+                if wiped == 0 {
+                    return None;
+                }
+                Some(format!("rekey interrupted: {wiped} skew-0 tags wiped"))
+            }
+        }
+    }
+
+    fn quarantine(&mut self) -> u64 {
+        let mut repaired = 0u64;
+        let n = self.config.data_entries();
+        // First claim per data entry wins; later claimants are dropped.
+        let mut claimed = vec![FREE; n];
+        for i in 0..self.tags.len() {
+            let e = self.tags[i];
+            if !e.valid {
+                continue;
+            }
+            let (skew, set) = self.home_of(i);
+            let d = e.fptr as usize;
+            if self.index.set_index(skew, e.tag) != set || d >= n || claimed[d] != FREE {
+                // Mis-homed or unreconcilable pointer: drop the entry.
+                self.tags[i].valid = false;
+                repaired += 1;
+            } else {
+                claimed[d] = i as u32;
+            }
+        }
+        // Rebuild the data-store bookkeeping from the surviving claims.
+        self.allocated.clear();
+        self.rptr.fill(FREE);
+        self.data_list_pos.fill(FREE);
+        for (d, &t) in claimed.iter().enumerate() {
+            if t != FREE {
+                self.rptr[d] = t;
+                self.data_list_pos[d] = self.allocated.len() as u32;
+                self.allocated.push(d as u32);
+            }
+        }
+        self.free_data = (0..n as u32)
+            .rev()
+            .filter(|&d| claimed[d as usize] == FREE)
+            .collect();
+        repaired
     }
 }
 

@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 use maya_obs::{EventKind, EvictionCause, ProbeHandle};
 use prince_cipher::{IndexFunction, DEFAULT_MEMO_SLOTS, MAX_SKEWS};
 
-use crate::cache::CacheModel;
+use crate::cache::{CacheModel, FaultKind};
 use crate::types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};
 
 /// Configuration of a [`ScatterCache`].
@@ -264,6 +264,101 @@ impl CacheModel for ScatterCache {
 
     fn set_probe(&mut self, probe: ProbeHandle) {
         self.probe = probe;
+    }
+
+    fn audit(&self) -> Result<(), String> {
+        // Every valid line must occupy the one slot its way's index
+        // function maps it to, and no (tag, sdid) pair may be resident
+        // twice (find() would serve whichever it meets first).
+        let mut seen: Vec<(u64, DomainId)> = Vec::new();
+        for (i, l) in self.lines.iter().enumerate() {
+            if !l.valid {
+                continue;
+            }
+            let way = i % self.config.ways;
+            let set = i / self.config.ways;
+            let home = self.index.set_index(way, l.tag);
+            if home != set {
+                return Err(format!(
+                    "way {way} set {set}: tag {:#x} hashes to set {home}",
+                    l.tag
+                ));
+            }
+            seen.push((l.tag, l.sdid));
+        }
+        seen.sort_unstable();
+        for pair in seen.windows(2) {
+            if pair[0] == pair[1] {
+                let (tag, domain) = pair[0];
+                return Err(format!(
+                    "duplicate resident line: tag {tag:#x} (domain {}) in two ways",
+                    domain.0
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn inject_fault(&mut self, kind: FaultKind, rng: &mut SmallRng) -> Option<String> {
+        let valid: Vec<usize> = (0..self.lines.len())
+            .filter(|&i| self.lines[i].valid)
+            .collect();
+        if valid.is_empty() {
+            return None;
+        }
+        match kind {
+            // No priority states, no pointers, and a fixed key: nothing to
+            // flip, chase, or interrupt.
+            FaultKind::PriorityFlip | FaultKind::PointerCorrupt | FaultKind::InterruptedRekey => {
+                None
+            }
+            FaultKind::ValidDrop => {
+                let i = valid[rng.gen_range(0..valid.len())];
+                self.lines[i].valid = false;
+                Some(format!("slot {i}: valid bit dropped"))
+            }
+            FaultKind::DirtyFlip => {
+                let i = valid[rng.gen_range(0..valid.len())];
+                self.lines[i].dirty = !self.lines[i].dirty;
+                Some(format!("slot {i}: dirty bit flipped"))
+            }
+            FaultKind::TagBit => {
+                let i = valid[rng.gen_range(0..valid.len())];
+                let way = i % self.config.ways;
+                let set = i / self.config.ways;
+                let start = rng.gen_range(0..48u32);
+                for off in 0..48u32 {
+                    let bit = (start + off) % 48;
+                    let flipped = self.lines[i].tag ^ (1u64 << bit);
+                    if self.index.set_index(way, flipped) != set {
+                        self.lines[i].tag = flipped;
+                        return Some(format!("slot {i}: tag bit {bit} stuck"));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn quarantine(&mut self) -> u64 {
+        let mut repaired = 0u64;
+        let mut seen: Vec<(u64, DomainId)> = Vec::new();
+        for i in 0..self.lines.len() {
+            let l = self.lines[i];
+            if !l.valid {
+                continue;
+            }
+            let way = i % self.config.ways;
+            let set = i / self.config.ways;
+            if self.index.set_index(way, l.tag) != set || seen.contains(&(l.tag, l.sdid)) {
+                // Mis-homed or duplicated: unreachable by lookup, drop it.
+                self.lines[i].valid = false;
+                repaired += 1;
+            } else {
+                seen.push((l.tag, l.sdid));
+            }
+        }
+        repaired
     }
 }
 

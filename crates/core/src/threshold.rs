@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 use maya_obs::{EventKind, EvictionCause, ProbeHandle};
 use prince_cipher::{IndexFunction, DEFAULT_MEMO_SLOTS, MAX_SKEWS};
 
-use crate::cache::CacheModel;
+use crate::cache::{CacheModel, FaultKind};
 use crate::mirage::SkewSelection;
 use crate::types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};
 
@@ -322,6 +322,141 @@ impl CacheModel for ThresholdCache {
 
     fn set_probe(&mut self, probe: ProbeHandle) {
         self.probe = probe;
+    }
+
+    fn audit(&self) -> Result<(), String> {
+        // The valid list and the line array must agree in both directions,
+        // the population must respect the global cap, and every valid line
+        // must sit in a home set under the current key.
+        let mut valid = 0usize;
+        for (i, l) in self.lines.iter().enumerate() {
+            if !l.valid {
+                continue;
+            }
+            valid += 1;
+            let ways = self.config.ways_per_skew;
+            let skew = i / (self.config.sets_per_skew * ways);
+            let set = (i / ways) % self.config.sets_per_skew;
+            let home = self.index.set_index(skew, l.tag);
+            if home != set {
+                return Err(format!(
+                    "skew {skew} set {set}: tag {:#x} hashes to set {home}",
+                    l.tag
+                ));
+            }
+            let pos = l.list_pos as usize;
+            if pos >= self.valid_list.len() {
+                return Err(format!("line {i}: stale list_pos {pos}"));
+            }
+            if self.valid_list[pos] as usize != i {
+                return Err(format!(
+                    "line {i}: back-index broken (valid_list[{pos}] = {})",
+                    self.valid_list[pos]
+                ));
+            }
+        }
+        if valid != self.valid_list.len() {
+            return Err(format!(
+                "population mismatch: {valid} valid lines vs {} listed",
+                self.valid_list.len()
+            ));
+        }
+        if valid > self.config.valid_cap() {
+            return Err(format!(
+                "population {valid} exceeds cap {}",
+                self.config.valid_cap()
+            ));
+        }
+        for (pos, &i) in self.valid_list.iter().enumerate() {
+            let i = i as usize;
+            if i >= self.lines.len() {
+                return Err(format!("valid_list[{pos}] = {i} out of range"));
+            }
+            if !self.lines[i].valid {
+                return Err(format!("valid_list[{pos}] points at invalid line {i}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn inject_fault(&mut self, kind: FaultKind, rng: &mut SmallRng) -> Option<String> {
+        if self.valid_list.is_empty() {
+            return None;
+        }
+        match kind {
+            // No priority states and a fixed key.
+            FaultKind::PriorityFlip | FaultKind::InterruptedRekey => None,
+            FaultKind::ValidDrop => {
+                let i = self.valid_list[rng.gen_range(0..self.valid_list.len())] as usize;
+                // Clear the valid bit without removing the list entry.
+                self.lines[i].valid = false;
+                Some(format!("line {i}: valid bit dropped, list entry leaked"))
+            }
+            FaultKind::DirtyFlip => {
+                let i = self.valid_list[rng.gen_range(0..self.valid_list.len())] as usize;
+                self.lines[i].dirty = !self.lines[i].dirty;
+                Some(format!("line {i}: dirty bit flipped"))
+            }
+            FaultKind::PointerCorrupt => {
+                let i = self.valid_list[rng.gen_range(0..self.valid_list.len())] as usize;
+                let n = self.valid_list.len() as u32;
+                let bad = (self.lines[i].list_pos + 1) % n;
+                if bad == self.lines[i].list_pos {
+                    return None;
+                }
+                self.lines[i].list_pos = bad;
+                Some(format!("line {i}: list back-index redirected to {bad}"))
+            }
+            FaultKind::TagBit => {
+                let i = self.valid_list[rng.gen_range(0..self.valid_list.len())] as usize;
+                let ways = self.config.ways_per_skew;
+                let skew = i / (self.config.sets_per_skew * ways);
+                let set = (i / ways) % self.config.sets_per_skew;
+                let start = rng.gen_range(0..48u32);
+                for off in 0..48u32 {
+                    let bit = (start + off) % 48;
+                    let flipped = self.lines[i].tag ^ (1u64 << bit);
+                    if self.index.set_index(skew, flipped) != set {
+                        self.lines[i].tag = flipped;
+                        return Some(format!("line {i}: tag bit {bit} stuck"));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn quarantine(&mut self) -> u64 {
+        let mut repaired = 0u64;
+        // Drop mis-homed lines, then rebuild the valid list (and every
+        // back-index) from the line array; trim any cap overflow from the
+        // end, deterministically.
+        for i in 0..self.lines.len() {
+            let l = self.lines[i];
+            if !l.valid {
+                continue;
+            }
+            let ways = self.config.ways_per_skew;
+            let skew = i / (self.config.sets_per_skew * ways);
+            let set = (i / ways) % self.config.sets_per_skew;
+            if self.index.set_index(skew, l.tag) != set {
+                self.lines[i].valid = false;
+                repaired += 1;
+            }
+        }
+        self.valid_list.clear();
+        for i in 0..self.lines.len() {
+            if self.lines[i].valid {
+                if self.valid_list.len() >= self.config.valid_cap() {
+                    self.lines[i].valid = false;
+                    repaired += 1;
+                } else {
+                    self.lines[i].list_pos = self.valid_list.len() as u32;
+                    self.valid_list.push(i as u32);
+                }
+            }
+        }
+        repaired
     }
 }
 

@@ -1,0 +1,268 @@
+//! Fault campaigns: repeated inject-detect-recover trials that measure a
+//! design's robustness against one fault class.
+//!
+//! Each trial builds a fresh model from a factory, warms it with
+//! deterministic mixed traffic, measures a pre-injection hit-rate window,
+//! injects exactly one fault, then drives a detection horizon with
+//! scrubbing enabled. The trial ends in one of three ways: the scrub
+//! *detects* the corruption (audit failure), the corrupted bookkeeping
+//! makes the model *crash* (a panic, contained per-trial), or the horizon
+//! expires with the fault still *silent*. After recovery the post-recovery
+//! hit-rate window quantifies the performance cost.
+//!
+//! Everything — traffic, victim selection, trial seeds — flows from
+//! `CampaignConfig::seed`, so a campaign's outcome is bit-reproducible.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+
+use maya_core::{CacheModel, DomainId, Request};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::FaultyModel;
+use crate::plan::{FaultClass, FaultPlan, RecoveryPolicy};
+
+/// Parameters of one campaign (one design × one fault class).
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed; every trial derives its model, plan, and traffic seeds
+    /// from it.
+    pub seed: u64,
+    /// Independent inject-detect-recover trials.
+    pub trials: u32,
+    /// Warm-up accesses before the pre-injection measurement window.
+    pub warmup: u64,
+    /// Accesses in each hit-rate measurement window (pre and post).
+    pub probe_window: u64,
+    /// Detection horizon: accesses driven after injection before an
+    /// undetected fault is declared silent.
+    pub horizon: u64,
+    /// Scrub cadence during the horizon (accesses per audit pass).
+    pub scrub_every: u64,
+    /// Distinct lines the driver traffic touches.
+    pub working_set: u64,
+    /// Security domains the traffic is spread over.
+    pub domains: u16,
+    /// Recovery policy applied on detection.
+    pub policy: RecoveryPolicy,
+}
+
+impl CampaignConfig {
+    /// A small campaign sized for tests and smoke runs.
+    pub fn smoke(seed: u64) -> Self {
+        CampaignConfig {
+            seed,
+            trials: 2,
+            warmup: 1500,
+            probe_window: 600,
+            horizon: 3000,
+            scrub_every: 64,
+            working_set: 4096,
+            domains: 2,
+            policy: RecoveryPolicy::Quarantine,
+        }
+    }
+}
+
+/// Aggregated results of a campaign.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignOutcome {
+    /// False when the design is not susceptible to the class (injection
+    /// returned `None` in every trial); all other fields are zero then.
+    pub applicable: bool,
+    /// Trials in which a fault was actually planted.
+    pub trials: u32,
+    /// Trials where a scrub detected the corruption.
+    pub detected: u32,
+    /// Trials where corrupted bookkeeping crashed the model (panic).
+    pub crashed: u32,
+    /// Trials where the horizon expired with the fault undetected.
+    pub silent: u32,
+    /// Sum of accesses-to-detection over detected trials.
+    pub latency_sum: u64,
+    /// Sum over recovered (detected or crashed) trials of the hit-rate drop
+    /// from the pre-injection to the post-recovery window, in percentage
+    /// points.
+    pub overhead_pp_sum: f64,
+    /// Trials contributing to `overhead_pp_sum`.
+    pub overhead_trials: u32,
+    /// Entries repaired or dropped by quarantine across all trials.
+    pub quarantined: u64,
+    /// Recoveries that escalated from quarantine to a full flush.
+    pub escalations: u32,
+}
+
+impl CampaignOutcome {
+    /// Mean accesses from injection to detection, if anything was detected.
+    pub fn mean_detection_latency(&self) -> Option<f64> {
+        (self.detected > 0).then(|| self.latency_sum as f64 / f64::from(self.detected))
+    }
+
+    /// Mean post-recovery hit-rate cost in percentage points.
+    pub fn mean_overhead_pp(&self) -> Option<f64> {
+        (self.overhead_trials > 0).then(|| self.overhead_pp_sum / f64::from(self.overhead_trials))
+    }
+}
+
+/// One deterministic mixed access (reads dominate, some writebacks).
+fn next_request(rng: &mut SmallRng, working_set: u64, domains: u16) -> Request {
+    let line = rng.gen_range(0..working_set);
+    let dom = DomainId(rng.gen_range(0..domains));
+    if rng.gen_bool(0.2) {
+        Request::writeback(line, dom)
+    } else {
+        Request::read(line, dom)
+    }
+}
+
+/// Drives `n` accesses and returns `(reads, data_hits)` over the window.
+fn drive_window(
+    model: &mut FaultyModel,
+    rng: &mut SmallRng,
+    cfg: &CampaignConfig,
+    n: u64,
+) -> (u64, u64) {
+    let mut reads = 0u64;
+    let mut hits = 0u64;
+    for _ in 0..n {
+        let req = next_request(rng, cfg.working_set, cfg.domains);
+        let resp = model.access(req);
+        if matches!(req.kind, maya_core::AccessKind::Read) {
+            reads += 1;
+            if resp.is_data_hit() {
+                hits += 1;
+            }
+        }
+    }
+    (reads, hits)
+}
+
+fn hit_rate((reads, hits): (u64, u64)) -> f64 {
+    if reads == 0 {
+        0.0
+    } else {
+        hits as f64 / reads as f64
+    }
+}
+
+/// Runs a campaign of `cfg.trials` single-fault trials of `class` against
+/// fresh models built by `factory` (which receives a per-trial seed).
+///
+/// Panics raised by corrupted model code are contained per trial and
+/// counted as crashes; the trial then recovers via
+/// [`FaultyModel::force_recover`] and still contributes a post-recovery
+/// measurement when recovery succeeds.
+pub fn run_campaign(
+    factory: &dyn Fn(u64) -> Box<dyn CacheModel>,
+    class: FaultClass,
+    cfg: &CampaignConfig,
+) -> CampaignOutcome {
+    let mut out = CampaignOutcome::default();
+    for trial in 0..cfg.trials {
+        let trial_seed = cfg
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(trial) + 1));
+        let inject_at = cfg.warmup + cfg.probe_window;
+        let plan = FaultPlan::single(trial_seed ^ 0xFA01, inject_at, class);
+        let mut model = FaultyModel::new(factory(trial_seed), plan, cfg.policy, cfg.scrub_every);
+        let mut traffic = SmallRng::seed_from_u64(trial_seed ^ 0x7AFF);
+
+        // Warm up (nothing is injected yet), then measure the healthy
+        // window.
+        drive_window(&mut model, &mut traffic, cfg, cfg.warmup);
+        let pre = hit_rate(drive_window(
+            &mut model,
+            &mut traffic,
+            cfg,
+            cfg.probe_window,
+        ));
+
+        // Detection horizon: the fault fires on the first access below.
+        // Corrupted bookkeeping may panic anywhere in here; contain it.
+        let served = Cell::new(0u64);
+        let horizon_result = panic::catch_unwind(AssertUnwindSafe(|| {
+            for _ in 0..cfg.horizon {
+                let req = next_request(&mut traffic, cfg.working_set, cfg.domains);
+                model.access(req);
+                served.set(served.get() + 1);
+                if model.report().detections > 0 {
+                    break;
+                }
+            }
+        }));
+
+        if model.report().injected == 0 && model.report().not_applicable > 0 {
+            // Design not susceptible to this class: skip the trial.
+            continue;
+        }
+        out.applicable = true;
+        out.trials += 1;
+
+        let crashed = horizon_result.is_err();
+        let detected = model.report().detections > 0;
+        let mut recovered = true;
+        if crashed {
+            out.crashed += 1;
+            // The model may be arbitrarily corrupt; recovery itself can
+            // fail, in which case the trial ends without a post window.
+            recovered = panic::catch_unwind(AssertUnwindSafe(|| model.force_recover())).is_ok();
+        } else if detected {
+            out.detected += 1;
+            out.latency_sum += model.report().detection_latency_sum;
+        } else {
+            out.silent += 1;
+            recovered = false;
+        }
+        out.quarantined += model.report().quarantined;
+        out.escalations += u32::try_from(model.report().escalations).unwrap_or(u32::MAX);
+
+        if recovered && !model.halted() {
+            let post = hit_rate(drive_window(
+                &mut model,
+                &mut traffic,
+                cfg,
+                cfg.probe_window,
+            ));
+            out.overhead_pp_sum += (pre - post) * 100.0;
+            out.overhead_trials += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_core::{FaultKind, MayaCache, MayaConfig};
+
+    fn maya_factory(seed: u64) -> Box<dyn CacheModel> {
+        Box::new(MayaCache::new(MayaConfig::with_sets(64, seed)))
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let cfg = CampaignConfig::smoke(0xC0FFEE);
+        let class = FaultClass::Model(FaultKind::TagBit);
+        let a = run_campaign(&maya_factory, class, &cfg);
+        let b = run_campaign(&maya_factory, class, &cfg);
+        assert_eq!(a, b);
+        assert!(a.applicable);
+        assert_eq!(a.trials, cfg.trials);
+    }
+
+    #[test]
+    fn tag_bit_faults_are_detected_on_maya() {
+        let cfg = CampaignConfig::smoke(0xFEED);
+        let out = run_campaign(&maya_factory, FaultClass::Model(FaultKind::TagBit), &cfg);
+        assert_eq!(out.detected + out.crashed, out.trials, "{out:?}");
+        assert!(out.detected > 0, "{out:?}");
+    }
+
+    #[test]
+    fn dirty_flips_stay_silent_on_maya() {
+        let cfg = CampaignConfig::smoke(0xFEED);
+        let out = run_campaign(&maya_factory, FaultClass::Model(FaultKind::DirtyFlip), &cfg);
+        assert_eq!(out.silent, out.trials, "{out:?}");
+    }
+}

@@ -1,0 +1,34 @@
+//! maya-fault: deterministic fault injection, detection, and recovery for
+//! every cache model in the workspace.
+//!
+//! The paper's security argument assumes the cache's bookkeeping (forward
+//! pointers, priority states, remap epochs) is intact; this crate asks what
+//! happens when it is not. [`FaultyModel`] wraps any `Box<dyn CacheModel>`
+//! and injects scheduled single-event faults — tag bit flips, dropped valid
+//! bits, corrupted pointers, interrupted rekeys, lost writebacks and
+//! flushes — at access-count boundaries, with every random choice drawn
+//! from an explicit seed so a whole campaign is bit-reproducible.
+//!
+//! Detection is `audit()`-driven: the wrapper scrubs the model every
+//! `scrub_every` accesses and, when the audit reports corruption, recovers
+//! according to a [`RecoveryPolicy`] (fail-stop, quarantine-and-invalidate,
+//! or full flush). [`campaign`] measures, per design and fault class, the
+//! detection coverage, mean accesses-to-detection, crash rate, silent-
+//! corruption rate, and post-recovery hit-rate cost that the
+//! `experiments robustness` harness target tabulates.
+//!
+//! With an empty [`FaultPlan`] the wrapper is bit-transparent: responses,
+//! statistics, and probe traffic are identical to the bare model (a test
+//! pins this).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+mod model;
+mod plan;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignOutcome};
+pub use maya_core::FaultKind;
+pub use model::{FaultReport, FaultyModel};
+pub use plan::{FaultClass, FaultPlan, RecoveryPolicy};

@@ -1,0 +1,310 @@
+//! The [`FaultyModel`] decorator: injects planned faults into a wrapped
+//! model, scrubs it with `audit()`, and recovers per policy.
+
+use maya_core::{CacheModel, CacheStats, DomainId, Request, Response, Writebacks};
+use maya_obs::{EventKind, ProbeHandle};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::plan::{FaultClass, FaultPlan, RecoveryPolicy};
+
+/// Counters describing what the wrapper did across its lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Faults actually planted (injection returned a description or a
+    /// transaction fault was armed).
+    pub injected: u64,
+    /// Scheduled faults the wrapped design is not susceptible to
+    /// (`inject_fault` returned `None`).
+    pub not_applicable: u64,
+    /// Scrub passes executed.
+    pub scrubs: u64,
+    /// Scrubs whose audit reported corruption.
+    pub detections: u64,
+    /// Sum over detections of (accesses at detection − accesses at the
+    /// oldest undetected injection): total detection latency.
+    pub detection_latency_sum: u64,
+    /// Recovery actions taken (one per detection, plus forced recoveries).
+    pub recoveries: u64,
+    /// Entries repaired or dropped by quarantine passes.
+    pub quarantined: u64,
+    /// Recoveries where quarantine was insufficient and a full flush ran.
+    pub escalations: u64,
+    /// Writebacks silently discarded by [`FaultClass::DropWriteback`].
+    pub dropped_writebacks: u64,
+    /// Flushes silently swallowed by [`FaultClass::DropFlush`].
+    pub dropped_flushes: u64,
+    /// True once a fail-stop recovery halted the model.
+    pub halted: bool,
+}
+
+/// A transparent fault-injecting wrapper around any cache model.
+///
+/// With an empty [`FaultPlan`] the wrapper forwards everything untouched
+/// and is bit-identical to the bare model (scrubbing only calls the
+/// read-only `audit()`). With a plan, faults fire at their scheduled access
+/// index; a scrub every `scrub_every` accesses audits the model and, on
+/// corruption, recovers per the [`RecoveryPolicy`].
+///
+/// # Examples
+///
+/// ```
+/// use maya_core::{CacheModel, DomainId, FullyAssocCache, Request};
+/// use maya_fault::{FaultPlan, FaultyModel, RecoveryPolicy};
+///
+/// let inner = Box::new(FullyAssocCache::new(64, 7));
+/// let mut c = FaultyModel::new(inner, FaultPlan::empty(), RecoveryPolicy::FlushRekey, 32);
+/// c.access(Request::read(3, DomainId::ANY));
+/// assert!(c.probe(3, DomainId::ANY));
+/// assert_eq!(c.report().injected, 0);
+/// ```
+pub struct FaultyModel {
+    inner: Box<dyn CacheModel>,
+    plan: FaultPlan,
+    next_event: usize,
+    rng: SmallRng,
+    policy: RecoveryPolicy,
+    /// Scrub cadence in accesses; 0 disables scrubbing.
+    scrub_every: u64,
+    accesses: u64,
+    /// Access indices of injected-but-undetected faults.
+    pending: Vec<u64>,
+    drop_writeback_armed: bool,
+    drop_flush_armed: bool,
+    halted: bool,
+    report: FaultReport,
+    probe: ProbeHandle,
+}
+
+impl FaultyModel {
+    /// Wraps `inner`, scheduling faults from `plan` and scrubbing every
+    /// `scrub_every` accesses (0 disables scrubbing).
+    pub fn new(
+        inner: Box<dyn CacheModel>,
+        plan: FaultPlan,
+        policy: RecoveryPolicy,
+        scrub_every: u64,
+    ) -> Self {
+        let rng = SmallRng::seed_from_u64(plan.seed);
+        FaultyModel {
+            inner,
+            plan,
+            next_event: 0,
+            rng,
+            policy,
+            scrub_every,
+            accesses: 0,
+            pending: Vec::new(),
+            drop_writeback_armed: false,
+            drop_flush_armed: false,
+            halted: false,
+            report: FaultReport::default(),
+            probe: ProbeHandle::none(),
+        }
+    }
+
+    /// What the wrapper has injected, detected, and repaired so far.
+    pub fn report(&self) -> &FaultReport {
+        &self.report
+    }
+
+    /// Accesses served (the clock fault schedules are keyed by).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// True once a fail-stop recovery halted the model.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The wrapped model (for test assertions on its state).
+    pub fn inner(&self) -> &dyn CacheModel {
+        self.inner.as_ref()
+    }
+
+    /// Forces a recovery now, regardless of scrub cadence or audit state:
+    /// quarantine, escalate to a full flush if the audit still fails. Used
+    /// by campaigns after a crash (a panic out of corrupted model code) to
+    /// restore service before post-recovery measurement.
+    pub fn force_recover(&mut self) {
+        let q = self.inner.quarantine();
+        self.report.quarantined += q;
+        let escalated = self.inner.audit().is_err();
+        if escalated {
+            self.inner.flush_all();
+            self.report.escalations += 1;
+        }
+        self.report.recoveries += 1;
+        self.pending.clear();
+        self.halted = false;
+        self.probe.emit_with(|| EventKind::Recovered {
+            quarantined: q,
+            escalated,
+        });
+    }
+
+    fn inject_due_faults(&mut self) {
+        while let Some(&(at, class)) = self.plan.events().get(self.next_event) {
+            if at > self.accesses {
+                break;
+            }
+            self.next_event += 1;
+            let planted = match class {
+                FaultClass::Model(kind) => self.inner.inject_fault(kind, &mut self.rng).is_some(),
+                FaultClass::DropWriteback => {
+                    self.drop_writeback_armed = true;
+                    true
+                }
+                FaultClass::DropFlush => {
+                    self.drop_flush_armed = true;
+                    true
+                }
+            };
+            if planted {
+                self.report.injected += 1;
+                self.pending.push(self.accesses);
+                self.probe.emit_with(|| EventKind::FaultInjected {
+                    class: class.name(),
+                });
+            } else {
+                self.report.not_applicable += 1;
+            }
+        }
+    }
+
+    fn scrub(&mut self) {
+        self.report.scrubs += 1;
+        if self.inner.audit().is_ok() {
+            return;
+        }
+        self.report.detections += 1;
+        let oldest = self.pending.first().copied().unwrap_or(self.accesses);
+        self.report.detection_latency_sum += self.accesses - oldest;
+        self.probe.emit(EventKind::FaultDetected);
+        self.recover();
+    }
+
+    fn recover(&mut self) {
+        match self.policy {
+            RecoveryPolicy::FailStop => {
+                self.halted = true;
+                self.report.halted = true;
+                self.probe.emit_with(|| EventKind::Recovered {
+                    quarantined: 0,
+                    escalated: false,
+                });
+            }
+            RecoveryPolicy::Quarantine => {
+                let q = self.inner.quarantine();
+                self.report.quarantined += q;
+                let escalated = self.inner.audit().is_err();
+                if escalated {
+                    self.inner.flush_all();
+                    self.report.escalations += 1;
+                }
+                self.probe.emit_with(|| EventKind::Recovered {
+                    quarantined: q,
+                    escalated,
+                });
+            }
+            RecoveryPolicy::FlushRekey => {
+                self.inner.flush_all();
+                self.probe.emit_with(|| EventKind::Recovered {
+                    quarantined: 0,
+                    escalated: false,
+                });
+            }
+        }
+        self.report.recoveries += 1;
+        self.pending.clear();
+    }
+}
+
+impl CacheModel for FaultyModel {
+    fn access(&mut self, req: Request) -> Response {
+        if self.halted {
+            // Fail-stop: the model refuses service; requesters see misses
+            // and memory absorbs the traffic.
+            self.accesses += 1;
+            return Response {
+                event: maya_core::AccessEvent::Miss,
+                writebacks: Writebacks::none(),
+                sae: false,
+            };
+        }
+        if !self.plan.is_empty() {
+            self.inject_due_faults();
+        }
+        let mut resp = self.inner.access(req);
+        if self.drop_writeback_armed && !resp.writebacks.is_empty() {
+            self.drop_writeback_armed = false;
+            self.report.dropped_writebacks += resp.writebacks.len() as u64;
+            resp.writebacks = Writebacks::none();
+        }
+        self.accesses += 1;
+        if self.scrub_every > 0 && self.accesses.is_multiple_of(self.scrub_every) {
+            self.scrub();
+        }
+        resp
+    }
+
+    fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {
+        if self.halted {
+            return false;
+        }
+        if self.drop_flush_armed {
+            // Swallow the flush: report what the caller would have seen,
+            // but leave the line resident.
+            self.drop_flush_armed = false;
+            self.report.dropped_flushes += 1;
+            return self.inner.probe(line, domain);
+        }
+        self.inner.flush_line(line, domain)
+    }
+
+    fn flush_all(&mut self) {
+        self.inner.flush_all();
+    }
+
+    fn probe(&self, line: u64, domain: DomainId) -> bool {
+        self.inner.probe(line, domain)
+    }
+
+    fn stats(&self) -> &CacheStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+
+    fn extra_latency(&self) -> u32 {
+        self.inner.extra_latency()
+    }
+
+    fn capacity_lines(&self) -> usize {
+        self.inner.capacity_lines()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn audit(&self) -> Result<(), String> {
+        self.inner.audit()
+    }
+
+    fn inject_fault(&mut self, kind: maya_core::FaultKind, rng: &mut SmallRng) -> Option<String> {
+        self.inner.inject_fault(kind, rng)
+    }
+
+    fn quarantine(&mut self) -> u64 {
+        self.inner.quarantine()
+    }
+
+    fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe.clone();
+        self.inner.set_probe(probe);
+    }
+}

@@ -1,0 +1,140 @@
+//! Fault vocabulary, schedules, and recovery policies.
+
+use maya_core::FaultKind;
+
+/// A fault class the wrapper can inject.
+///
+/// Model faults (metadata corruption inside the wrapped design) delegate to
+/// [`maya_core::CacheModel::inject_fault`]; the transaction faults are
+/// implemented by the wrapper itself and apply to any design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultClass {
+    /// Corrupt the wrapped model's metadata (see [`FaultKind`]).
+    Model(FaultKind),
+    /// Silently discard the dirty victim lines of the next access that
+    /// produces writebacks (a lost memory transaction).
+    DropWriteback,
+    /// Silently swallow the next `flush_line` request: the caller observes
+    /// the normal return value but the line stays resident.
+    DropFlush,
+}
+
+impl FaultClass {
+    /// Every fault class, in stable report order: the six metadata kinds
+    /// first, then the two transaction faults.
+    pub const ALL: [FaultClass; 8] = [
+        FaultClass::Model(FaultKind::PriorityFlip),
+        FaultClass::Model(FaultKind::ValidDrop),
+        FaultClass::Model(FaultKind::DirtyFlip),
+        FaultClass::Model(FaultKind::PointerCorrupt),
+        FaultClass::Model(FaultKind::TagBit),
+        FaultClass::Model(FaultKind::InterruptedRekey),
+        FaultClass::DropWriteback,
+        FaultClass::DropFlush,
+    ];
+
+    /// Stable lower-case name used in reports and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Model(k) => k.name(),
+            FaultClass::DropWriteback => "drop_writeback",
+            FaultClass::DropFlush => "drop_flush",
+        }
+    }
+}
+
+/// A deterministic schedule of faults, keyed by access count.
+///
+/// The `seed` feeds the `SmallRng` that picks each fault's victim entry, so
+/// a plan plus a deterministic workload reproduces the exact same corruption
+/// every run. An empty plan makes [`FaultyModel`](crate::FaultyModel)
+/// bit-transparent.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed for victim selection inside `inject_fault`.
+    pub seed: u64,
+    /// `(at_access, class)` pairs; each fires once, just before the access
+    /// with that index (0-based) is served. Kept sorted by access index.
+    events: Vec<(u64, FaultClass)>,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A plan injecting one fault of `class` before access `at`.
+    pub fn single(seed: u64, at: u64, class: FaultClass) -> Self {
+        Self::new(seed, vec![(at, class)])
+    }
+
+    /// A plan from arbitrary `(at_access, class)` events (sorted
+    /// internally; order between same-index events is their given order,
+    /// preserved by stable sort).
+    pub fn new(seed: u64, mut events: Vec<(u64, FaultClass)>) -> Self {
+        events.sort_by_key(|&(at, _)| at);
+        FaultPlan { seed, events }
+    }
+
+    /// The scheduled events, sorted by access index.
+    pub fn events(&self) -> &[(u64, FaultClass)] {
+        &self.events
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// What the wrapper does once a scrub detects corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Stop serving: every later access reports a miss and touches nothing.
+    /// Models a machine-check halt; zero silent-use of corrupt state.
+    FailStop,
+    /// Ask the model to rebuild derived bookkeeping from its tag arrays
+    /// ([`maya_core::CacheModel::quarantine`]), dropping entries it cannot
+    /// reconcile; escalate to a full flush if the audit still fails.
+    Quarantine,
+    /// Invalidate everything (`flush_all`): the paper's key-refresh
+    /// response, maximally safe and maximally expensive.
+    FlushRekey,
+}
+
+impl RecoveryPolicy {
+    /// Stable lower-case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryPolicy::FailStop => "fail_stop",
+            RecoveryPolicy::Quarantine => "quarantine",
+            RecoveryPolicy::FlushRekey => "flush_rekey",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names_are_distinct() {
+        let mut names: Vec<&str> = FaultClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn plans_sort_events() {
+        let p = FaultPlan::new(
+            1,
+            vec![(30, FaultClass::DropFlush), (10, FaultClass::DropWriteback)],
+        );
+        assert_eq!(p.events()[0].0, 10);
+        assert_eq!(p.events()[1].0, 30);
+        assert!(FaultPlan::empty().is_empty());
+    }
+}

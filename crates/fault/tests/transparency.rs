@@ -1,0 +1,184 @@
+//! The fault-free-transparency contract: an empty `FaultPlan` makes
+//! `FaultyModel` bit-identical to the bare model, and each fault class is
+//! caught (or provably silent) per design.
+
+use maya_core::{
+    CacheModel, CeaserCache, CeaserConfig, DomainId, FaultKind, FullyAssocCache, MayaCache,
+    MayaConfig, MirageCache, MirageConfig, Policy, Request, ScatterCache, ScatterConfig,
+    SetAssocCache, SetAssocConfig, ThresholdCache, ThresholdConfig,
+};
+use maya_fault::{FaultClass, FaultPlan, FaultyModel, RecoveryPolicy};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn drive(c: &mut dyn CacheModel, seed: u64, ops: usize) -> Vec<(bool, usize)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut log = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        let line = rng.gen_range(0..4096u64);
+        let dom = DomainId(rng.gen_range(0..3u16));
+        let resp = if rng.gen_bool(0.25) {
+            c.access(Request::writeback(line, dom))
+        } else {
+            c.access(Request::read(line, dom))
+        };
+        log.push((resp.is_data_hit(), resp.writebacks.len()));
+        if rng.gen_bool(0.02) {
+            c.flush_line(line, dom);
+        }
+    }
+    log
+}
+
+fn models(seed: u64) -> Vec<Box<dyn CacheModel>> {
+    vec![
+        Box::new(MayaCache::new(MayaConfig::with_sets(64, seed))),
+        Box::new(MirageCache::new(MirageConfig::for_data_entries(1024, seed))),
+        Box::new(SetAssocCache::new(SetAssocConfig {
+            seed,
+            ..SetAssocConfig::new(128, 8, Policy::Drrip)
+        })),
+        Box::new(FullyAssocCache::new(1024, seed)),
+        Box::new(ThresholdCache::new(ThresholdConfig::paper_discussion(
+            1024, seed,
+        ))),
+        Box::new(ScatterCache::new(ScatterConfig::for_lines(1024, seed))),
+        Box::new(CeaserCache::new(CeaserConfig::ceaser(1024, 100_000, seed))),
+    ]
+}
+
+/// An empty plan perturbs nothing: every response, every probe outcome,
+/// and the full statistics block match the bare model exactly, even with
+/// aggressive scrubbing enabled.
+#[test]
+fn empty_plan_is_bit_transparent() {
+    for (bare, wrapped_inner) in models(0xA11CE).into_iter().zip(models(0xA11CE)) {
+        let name = bare.name();
+        let mut bare = bare;
+        let mut wrapped = FaultyModel::new(
+            wrapped_inner,
+            FaultPlan::empty(),
+            RecoveryPolicy::Quarantine,
+            16,
+        );
+        let log_a = drive(bare.as_mut(), 0xBEEF, 4000);
+        let log_b = drive(&mut wrapped, 0xBEEF, 4000);
+        assert_eq!(log_a, log_b, "{name}: responses diverged");
+        assert_eq!(bare.stats(), wrapped.stats(), "{name}: stats diverged");
+        for l in 0..512u64 {
+            assert_eq!(
+                bare.probe(l, DomainId(1)),
+                wrapped.probe(l, DomainId(1)),
+                "{name}: probe diverged at line {l}"
+            );
+        }
+        assert_eq!(wrapped.report().injected, 0);
+        assert_eq!(wrapped.report().detections, 0);
+        assert!(wrapped.report().scrubs > 0, "scrubbing must have run");
+    }
+}
+
+/// Every fault class that `inject_fault` accepts on a warm model leaves a
+/// state where either `audit()` already fails (detectable) or the design's
+/// documented silent classes apply; `quarantine` (with flush escalation)
+/// then restores a passing audit.
+#[test]
+fn injected_faults_are_audit_visible_or_documented_silent() {
+    for model in models(0x5EED) {
+        let name = model.name();
+        let mut model = model;
+        drive(model.as_mut(), 0xF00D, 3000);
+        for kind in FaultKind::ALL {
+            let mut rng = SmallRng::seed_from_u64(0xDEAD ^ kind as u64);
+            let Some(desc) = model.inject_fault(kind, &mut rng) else {
+                continue;
+            };
+            let caught = model.audit().is_err();
+            // Dirty flips are silent everywhere by design; valid drops are
+            // silent on plain tag arrays (no bookkeeping to contradict).
+            let may_be_silent = matches!(kind, FaultKind::DirtyFlip | FaultKind::ValidDrop);
+            assert!(
+                caught || may_be_silent,
+                "{name}: {} ({desc}) escaped the audit",
+                kind.name()
+            );
+            if caught {
+                model.quarantine();
+                if model.audit().is_err() {
+                    model.flush_all();
+                }
+                assert!(
+                    model.audit().is_ok(),
+                    "{name}: audit still failing after recovery from {}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+/// A planned fault fires at its scheduled access index, is detected by the
+/// next scrub, and the quarantine policy repairs the model in place.
+#[test]
+fn scheduled_fault_is_detected_and_quarantined() {
+    let inner = Box::new(MayaCache::new(MayaConfig::with_sets(64, 9)));
+    let plan = FaultPlan::single(7, 2000, FaultClass::Model(FaultKind::PointerCorrupt));
+    let mut c = FaultyModel::new(inner, plan, RecoveryPolicy::Quarantine, 32);
+    drive(&mut c, 0xCAFE, 4000);
+    let r = c.report();
+    assert_eq!(r.injected, 1);
+    assert_eq!(r.detections, 1, "{r:?}");
+    assert_eq!(r.recoveries, 1);
+    assert!(r.detection_latency_sum <= 32 + 64, "{r:?}");
+    assert!(c.audit().is_ok());
+    assert!(!c.halted());
+}
+
+/// Fail-stop halts the model on detection: later accesses all miss and the
+/// inner state is never touched again.
+#[test]
+fn fail_stop_halts_on_detection() {
+    let inner = Box::new(MayaCache::new(MayaConfig::with_sets(64, 9)));
+    let plan = FaultPlan::single(7, 1000, FaultClass::Model(FaultKind::TagBit));
+    let mut c = FaultyModel::new(inner, plan, RecoveryPolicy::FailStop, 16);
+    drive(&mut c, 0xCAFE, 3000);
+    assert!(c.halted());
+    assert!(c.report().halted);
+    let resp = c.access(Request::read(1, DomainId(0)));
+    assert!(!resp.is_data_hit());
+}
+
+/// Dropped writebacks and dropped flushes fire once, are counted, and
+/// change observable behaviour (a resident line survives its flush).
+#[test]
+fn transaction_faults_fire_once() {
+    let inner = Box::new(SetAssocCache::new(SetAssocConfig {
+        seed: 3,
+        ..SetAssocConfig::new(64, 4, Policy::Drrip)
+    }));
+    let plan = FaultPlan::new(
+        11,
+        vec![
+            (50, FaultClass::DropWriteback),
+            (300, FaultClass::DropFlush),
+        ],
+    );
+    let mut c = FaultyModel::new(inner, plan, RecoveryPolicy::FlushRekey, 0);
+    drive(&mut c, 0xABCD, 250);
+    assert!(c.report().dropped_writebacks > 0);
+    // Park a line, then flush it: the armed drop swallows the flush.
+    c.access(Request::read(42, DomainId(0)));
+    for i in 0..60 {
+        c.access(Request::read(1000 + i, DomainId(0)));
+    }
+    c.access(Request::read(42, DomainId(0)));
+    if c.probe(42, DomainId(0)) {
+        let reported = c.flush_line(42, DomainId(0));
+        assert!(reported, "drop-flush must mimic the normal return value");
+        assert!(
+            c.probe(42, DomainId(0)),
+            "line must survive the swallowed flush"
+        );
+        assert_eq!(c.report().dropped_flushes, 1);
+    }
+}

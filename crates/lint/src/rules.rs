@@ -61,6 +61,7 @@ const ENTROPY_IDENTS: &[(&str, &str)] = &[
 pub const MODEL_CRATES: &[&str] = &[
     "maya-core",
     "maya-obs",
+    "maya-fault",
     "champsim-lite",
     "attacks",
     "workloads",

@@ -309,6 +309,31 @@ impl Probe for MetricsProbe {
             EventKind::OccupancySample { evicted } => {
                 self.registry.observe("attack.occupancy_evicted", evicted);
             }
+            EventKind::FaultInjected { class } => {
+                // Per-class breakdown alongside the aggregate count that
+                // `inc(kind.name())` above already maintained.
+                self.registry.inc(match class {
+                    "priority_flip" => "fault.injected.priority_flip",
+                    "valid_drop" => "fault.injected.valid_drop",
+                    "dirty_flip" => "fault.injected.dirty_flip",
+                    "pointer_corrupt" => "fault.injected.pointer_corrupt",
+                    "tag_bit" => "fault.injected.tag_bit",
+                    "interrupted_rekey" => "fault.injected.interrupted_rekey",
+                    "drop_writeback" => "fault.injected.drop_writeback",
+                    "drop_flush" => "fault.injected.drop_flush",
+                    _ => "fault.injected.other",
+                });
+            }
+            EventKind::FaultDetected => {}
+            EventKind::Recovered {
+                quarantined,
+                escalated,
+            } => {
+                self.registry.add("fault.quarantined_entries", quarantined);
+                if escalated {
+                    self.registry.inc("fault.recovery_escalated");
+                }
+            }
         }
     }
 }

@@ -127,6 +127,21 @@ pub enum EventKind {
         /// Attacker lines found missing.
         evicted: u64,
     },
+    /// A fault was injected into the wrapped model (maya-fault).
+    FaultInjected {
+        /// Stable name of the fault class (e.g. `"tag_bit"`).
+        class: &'static str,
+    },
+    /// A scrub pass found the injected corruption via `audit()`.
+    FaultDetected,
+    /// Recovery completed after a detected fault (or a forced recovery).
+    Recovered {
+        /// Entries the quarantine pass repaired or dropped.
+        quarantined: u64,
+        /// True if quarantine was insufficient and recovery escalated to a
+        /// full flush.
+        escalated: bool,
+    },
 }
 
 impl EventKind {
@@ -155,6 +170,9 @@ impl EventKind {
             EventKind::DramWrite => "dram.write",
             EventKind::Retire { .. } => "core.retire",
             EventKind::OccupancySample { .. } => "attack.occupancy_sample",
+            EventKind::FaultInjected { .. } => "fault.injected",
+            EventKind::FaultDetected => "fault.detected",
+            EventKind::Recovered { .. } => "fault.recovered",
         }
     }
 }
@@ -199,6 +217,12 @@ mod tests {
             EventKind::DramWrite,
             EventKind::Retire { instructions: 1 },
             EventKind::OccupancySample { evicted: 1 },
+            EventKind::FaultInjected { class: "tag_bit" },
+            EventKind::FaultDetected,
+            EventKind::Recovered {
+                quarantined: 0,
+                escalated: false,
+            },
         ];
         let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
         names.sort_unstable();

@@ -30,6 +30,8 @@ pub struct JobRecord {
     pub wall_secs: f64,
     /// True if the result cache served the cell without recomputing.
     pub cache_hit: bool,
+    /// True if the cell's work panicked (the scheduler contained it).
+    pub failed: bool,
 }
 
 impl JobRecord {
@@ -44,6 +46,7 @@ impl JobRecord {
             .u64("seed", self.seed)
             .f64("wall_secs", self.wall_secs)
             .bool("cache_hit", self.cache_hit)
+            .bool("failed", self.failed)
             .finish()
     }
 }
@@ -59,6 +62,8 @@ pub struct SweepRecord {
     pub cache_hits: u64,
     /// Worker threads used.
     pub workers: u64,
+    /// Cells whose work panicked (contained by the scheduler).
+    pub failed: u64,
     /// Total wall time of the sweep, in seconds.
     pub wall_secs: f64,
 }
@@ -72,6 +77,7 @@ impl SweepRecord {
             .u64("jobs", self.jobs)
             .u64("cache_hits", self.cache_hits)
             .u64("workers", self.workers)
+            .u64("failed", self.failed)
             .f64("wall_secs", self.wall_secs)
             .finish()
     }
@@ -103,6 +109,7 @@ mod tests {
             seed: 7,
             wall_secs: 0.25,
             cache_hit: true,
+            failed: false,
         };
         let line = job.to_json_line();
         assert!(line.starts_with(r#"{"type":"job","experiment":"fig9","job":3"#));
@@ -114,6 +121,7 @@ mod tests {
             jobs: 20,
             cache_hits: 13,
             workers: 4,
+            failed: 1,
             wall_secs: 1.5,
         };
         write_sweep_jsonl(&mut buf, &[job], &summary).unwrap();

@@ -11,12 +11,67 @@
 use crate::config::DramConfig;
 use maya_core::DomainId;
 use maya_obs::{EventKind, ProbeHandle};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Bank {
     busy_until: u64,
     open_row: u64,
     row_valid: bool,
+}
+
+/// Deterministic response faults for the DRAM model.
+///
+/// Each demand read independently either *drops* (the response is lost and
+/// the controller retries with linear cycle backoff, up to `max_retries`) or
+/// is *delayed* by a fixed penalty. All draws come from a `SmallRng` seeded
+/// with `seed`, so a faulty-DRAM run is bit-reproducible. A `Dram` without a
+/// plan never touches the RNG and behaves exactly as before.
+#[derive(Debug, Clone, Copy)]
+pub struct DramFaultPlan {
+    /// Seed for the per-read fault draws.
+    pub seed: u64,
+    /// Probability that a read response is dropped and must be retried.
+    pub drop_prob: f64,
+    /// Probability that a (non-dropped) read response is delayed.
+    pub delay_prob: f64,
+    /// Extra cycles a delayed response costs.
+    pub delay_cycles: u64,
+    /// Retries the controller attempts after a drop before escalating.
+    pub max_retries: u32,
+    /// Backoff added per retry attempt: attempt `n` waits `n * backoff`
+    /// cycles before reissuing.
+    pub retry_backoff: u64,
+}
+
+impl DramFaultPlan {
+    /// A mild plan for smoke tests: 2% drops, 5% delays, small penalties.
+    pub fn smoke(seed: u64) -> Self {
+        DramFaultPlan {
+            seed,
+            drop_prob: 0.02,
+            delay_prob: 0.05,
+            delay_cycles: 200,
+            max_retries: 3,
+            retry_backoff: 50,
+        }
+    }
+}
+
+/// Counters describing the faults a [`DramFaultPlan`] produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramFaultCounters {
+    /// Read responses dropped (each retry that is itself dropped counts).
+    pub drops: u64,
+    /// Read responses delayed by `delay_cycles`.
+    pub delays: u64,
+    /// Retry attempts issued after drops.
+    pub retries: u64,
+    /// Reads whose retry budget ran out; the controller escalates and the
+    /// final reissue is served unconditionally so the machine makes
+    /// progress.
+    pub exhausted: u64,
 }
 
 /// The DRAM subsystem shared by all cores.
@@ -27,6 +82,9 @@ pub struct Dram {
     reads: u64,
     writes: u64,
     row_hits: u64,
+    fault_plan: Option<DramFaultPlan>,
+    fault_rng: SmallRng,
+    fault_counters: DramFaultCounters,
     probe: ProbeHandle,
 }
 
@@ -39,8 +97,22 @@ impl Dram {
             reads: 0,
             writes: 0,
             row_hits: 0,
+            fault_plan: None,
+            fault_rng: SmallRng::seed_from_u64(0),
+            fault_counters: DramFaultCounters::default(),
             probe: ProbeHandle::none(),
         }
+    }
+
+    /// Arms deterministic response faults; see [`DramFaultPlan`].
+    pub fn set_fault_plan(&mut self, plan: DramFaultPlan) {
+        self.fault_rng = SmallRng::seed_from_u64(plan.seed);
+        self.fault_plan = Some(plan);
+    }
+
+    /// What the armed fault plan has done so far (all zero when unarmed).
+    pub fn fault_counters(&self) -> DramFaultCounters {
+        self.fault_counters
     }
 
     /// Attaches an observability probe; DRAM reads and writes emit
@@ -91,9 +163,39 @@ impl Dram {
     }
 
     /// A demand read: returns the observed latency in cycles.
+    ///
+    /// With a fault plan armed, the response may be dropped (retried with
+    /// linear cycle backoff, bounded by the plan's retry budget) or delayed;
+    /// either way the returned latency includes the full recovery cost, so
+    /// requesters observe faults purely as extra cycles.
     pub fn read(&mut self, line: u64, domain: DomainId, now: u64) -> u64 {
         self.reads += 1;
-        self.service(line, domain, now)
+        let Some(plan) = self.fault_plan else {
+            return self.service(line, domain, now);
+        };
+        let mut waited = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            if self.fault_rng.gen_bool(plan.drop_prob) {
+                self.fault_counters.drops += 1;
+                if attempt >= plan.max_retries {
+                    // Budget exhausted: the controller escalates and the
+                    // final reissue is served unconditionally.
+                    self.fault_counters.exhausted += 1;
+                    break;
+                }
+                attempt += 1;
+                self.fault_counters.retries += 1;
+                waited += u64::from(attempt) * plan.retry_backoff;
+                continue;
+            }
+            if self.fault_rng.gen_bool(plan.delay_prob) {
+                self.fault_counters.delays += 1;
+                waited += plan.delay_cycles;
+            }
+            break;
+        }
+        waited + self.service(line, domain, now + waited)
     }
 
     /// A writeback. Modern controllers buffer writes and drain them in
@@ -186,6 +288,68 @@ mod tests {
             .map(|p| free.read(p * 64, DomainId(0), 0))
             .collect();
         assert!(l.iter().all(|&x| x == l[0]));
+    }
+
+    #[test]
+    fn unarmed_dram_is_fault_transparent() {
+        let mut plain = dram();
+        let mut armed = dram();
+        // A plan with zero probabilities draws from the RNG but can never
+        // perturb a latency.
+        armed.set_fault_plan(DramFaultPlan {
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            ..DramFaultPlan::smoke(1)
+        });
+        for i in 0..500u64 {
+            let line = (i * 2_654_435_761) % 100_000;
+            assert_eq!(
+                plain.read(line, DomainId::ANY, i * 10),
+                armed.read(line, DomainId::ANY, i * 10)
+            );
+        }
+        assert_eq!(armed.fault_counters(), DramFaultCounters::default());
+    }
+
+    #[test]
+    fn fault_plans_are_deterministic_and_bounded() {
+        let run = || {
+            let mut d = dram();
+            d.set_fault_plan(DramFaultPlan::smoke(42));
+            let mut total = 0u64;
+            for i in 0..2_000u64 {
+                total += d.read((i * 97) % 50_000, DomainId::ANY, i * 20);
+            }
+            (total, d.fault_counters())
+        };
+        let (lat_a, ctr_a) = run();
+        let (lat_b, ctr_b) = run();
+        assert_eq!(lat_a, lat_b);
+        assert_eq!(ctr_a, ctr_b);
+        assert!(ctr_a.drops > 0, "{ctr_a:?}");
+        assert!(ctr_a.delays > 0, "{ctr_a:?}");
+        assert!(ctr_a.retries <= ctr_a.drops);
+        // Every drop either got a retry or exhausted the budget.
+        assert_eq!(ctr_a.retries + ctr_a.exhausted, ctr_a.drops);
+    }
+
+    #[test]
+    fn dropped_responses_pay_backoff() {
+        let mut d = dram();
+        // Always drop: every read burns the whole retry budget with linear
+        // backoff (50 + 100 + 150 cycles), then escalates.
+        d.set_fault_plan(DramFaultPlan {
+            drop_prob: 1.0,
+            delay_prob: 0.0,
+            ..DramFaultPlan::smoke(7)
+        });
+        let faulty = d.read(0, DomainId::ANY, 0);
+        let clean = dram().read(0, DomainId::ANY, 0);
+        assert_eq!(faulty, clean + 50 + 100 + 150);
+        let c = d.fault_counters();
+        assert_eq!(c.drops, 4); // initial + 3 retries, all dropped
+        assert_eq!(c.retries, 3);
+        assert_eq!(c.exhausted, 1);
     }
 
     #[test]

@@ -50,7 +50,7 @@ mod stats;
 mod system;
 
 pub use config::{CacheLevelConfig, DramConfig, SystemConfig};
-pub use dram::Dram;
+pub use dram::{Dram, DramFaultCounters, DramFaultPlan};
 pub use prefetch::StridePrefetcher;
 pub use stats::{weighted_speedup, CoreResult, RunResult};
 pub use system::System;

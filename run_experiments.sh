@@ -47,5 +47,6 @@ run llcfit --scale "$SCALE"
 run ablate-reuse --scale "$SCALE"
 run sens-llc --scale "$SCALE"
 run sens-cores --scale "$SCALE"
+run robustness --scale "$SCALE"
 run tab10 --scale "$SCALE"
 echo "all experiments written to $OUT" >&2

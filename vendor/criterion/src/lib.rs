@@ -1,0 +1,141 @@
+//! A dependency-free, offline subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this crate and patches it over `criterion` (see
+//! `[patch.crates-io]` in the workspace `Cargo.toml`). Bench targets
+//! compile and run against it, but instead of statistical wall-clock
+//! measurement each benchmark closure is executed a small fixed number of
+//! iterations — enough to exercise the benched code deterministically (the
+//! workspace measures real performance with `maya-bench`'s own `perfbench`
+//! binary, not with criterion).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Iterations each `Bencher::iter` closure is run.
+const ITERS_PER_BENCH: u32 = 3;
+
+/// An opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group (accepted, ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes, reported with decimal multiples.
+    BytesDecimal(u64),
+}
+
+/// The benchmark manager handed to each target function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.into(), f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's throughput annotation (ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Sets the sample count (ignored; the stub runs a fixed count).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&self.name, &id, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, mut f: F) {
+    let mut b = Bencher { iters: 0 };
+    f(&mut b);
+    if group.is_empty() {
+        println!("bench {id}: ok ({} iterations)", b.iters);
+    } else {
+        println!("bench {group}/{id}: ok ({} iterations)", b.iters);
+    }
+}
+
+/// The per-benchmark timing harness handed to the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` for the stub's fixed iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..ITERS_PER_BENCH {
+            black_box(f());
+            self.iters += 1;
+        }
+    }
+}
+
+/// Bundles benchmark target functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $cfg;
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits a `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,51 @@
+//! `any::<T>()`: whole-domain strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+/// A strategy sampling the full domain of `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(PhantomData)
+}
+
+macro_rules! any_int {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )+
+    };
+}
+
+any_int! { u8, u16, u32, u64, usize, i8, i16, i32, i64, isize }
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        // Uniform on [0, 1): enough for property tests over floats.
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}

@@ -1,0 +1,145 @@
+//! Strategies: deterministic samplers for test inputs.
+
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A source of values for one proptest argument.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// just samples a value from the deterministic [`TestRng`].
+pub trait Strategy {
+    /// The type of values produced.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The adapter returned by [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A uniform choice between strategies of one type (`prop_oneof!`).
+#[derive(Clone, Debug)]
+pub struct Union<S> {
+    arms: Vec<S>,
+}
+
+impl<S: Strategy> Union<S> {
+    /// Builds the union; panics if `arms` is empty.
+    pub fn new(arms: Vec<S>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + rng.below(span) as $ty
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy! { u8, u16, u32, u64, usize }
+
+macro_rules! signed_range_strategy {
+    ($($ty:ty as $via:ty),+) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as $via).wrapping_sub(self.start as $via) as u64;
+                    ((self.start as $via).wrapping_add(rng.below(span) as $via)) as $ty
+                }
+            }
+        )+
+    };
+}
+
+signed_range_strategy! { i32 as i64, i64 as i128 }
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy! { A }
+tuple_strategy! { A, B }
+tuple_strategy! { A, B, C }
+tuple_strategy! { A, B, C, D }
+tuple_strategy! { A, B, C, D, E }
+tuple_strategy! { A, B, C, D, E, F }

@@ -1,0 +1,151 @@
+//! The `Standard` and `Bernoulli` distributions, matching rand 0.8.5's
+//! sampling exactly.
+
+use crate::RngCore;
+
+/// A type that can produce values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Samples one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "standard" distribution: full-range integers, `[0, 1)` floats, fair
+/// booleans — with rand 0.8.5's exact draw order and bit usage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u16> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u16 {
+        rng.next_u32() as u16
+    }
+}
+
+impl Distribution<u8> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+        rng.next_u32() as u8
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        // 64-bit targets draw a full u64, as rand does via cfg.
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<i64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Distribution<i32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8.5 sign-tests the most significant bit of a u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53-bit multiply construction: uniform on [0, 1).
+        let value = rng.next_u64() >> 11;
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        scale * (value as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24-bit multiply construction: uniform on [0, 1).
+        let value = rng.next_u32() >> 8;
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        scale * (value as f32)
+    }
+}
+
+/// The Bernoulli distribution over `{true, false}` with 64-bit fixed-point
+/// probability, as in rand 0.8.5.
+#[derive(Clone, Copy, Debug)]
+pub struct Bernoulli {
+    /// Probability scaled to `[0, 2^64]`; `u64::MAX` encodes exactly 1.
+    p_int: u64,
+}
+
+const ALWAYS_TRUE: u64 = u64::MAX;
+const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+impl Bernoulli {
+    /// Constructs the distribution; `None` if `p` is outside `[0, 1]`.
+    pub fn new(p: f64) -> Option<Self> {
+        if !(0.0..1.0).contains(&p) {
+            if p == 1.0 {
+                return Some(Bernoulli { p_int: ALWAYS_TRUE });
+            }
+            return None;
+        }
+        Some(Bernoulli {
+            p_int: (p * SCALE) as u64,
+        })
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.p_int == ALWAYS_TRUE {
+            return true;
+        }
+        rng.next_u64() < self.p_int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn floats_are_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bernoulli_edge_cases() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..4000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((800..1200).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn bool_uses_u32_sign_bit() {
+        let mut a = SmallRng::seed_from_u64(3);
+        let mut b = a.clone();
+        let x: bool = a.gen();
+        assert_eq!(x, (b.next_u32() as i32) < 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! A dependency-free, offline re-implementation of the subset of the
+//! `rand` 0.8 API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this crate and patches it over `rand` (see `[patch.crates-io]`
+//! in the workspace `Cargo.toml`). It is written to be *bit-compatible*
+//! with rand 0.8.5 for every call the workspace makes:
+//!
+//! - [`rngs::SmallRng`] is xoshiro256++ (the algorithm rand 0.8 vendors on
+//!   64-bit targets), with the SplitMix64 `seed_from_u64` construction.
+//! - `next_u32` takes the upper 32 bits of `next_u64`, as rand 0.8.5 does.
+//! - [`Rng::gen_range`] over integers uses the widening-multiply rejection
+//!   sampler (Lemire) with rand 0.8.5's zone computation; floats use the
+//!   `[1, 2)`-mantissa construction.
+//! - [`Rng::gen_bool`] uses the 64-bit fixed-point Bernoulli sampler.
+//!
+//! Only the API surface the workspace needs is provided; anything else is
+//! intentionally absent so accidental use fails loudly at compile time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+mod uniform;
+
+pub use distributions::Distribution;
+pub use uniform::{SampleRange, SampleUniform};
+
+/// The core of a random number generator: raw integer output.
+///
+/// Mirrors `rand_core::RngCore` (0.6) minus the fallible methods.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes (little-endian `u64` chunks).
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            let n = rem.len();
+            rem.copy_from_slice(&last[..n]);
+        }
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+///
+/// Mirrors `rand_core::SeedableRng` (0.6); the default `seed_from_u64`
+/// is the PCG-based seed expansion rand_core uses, though [`rngs::SmallRng`]
+/// overrides it with SplitMix64 exactly as rand 0.8.5 does.
+pub trait SeedableRng: Sized {
+    /// The fixed-size byte seed.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-entropy byte seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it over the seed.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // rand_core 0.6's default implementation (PCG32 output function).
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&x[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing random value generation, as an extension of [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: Distribution<T>,
+        Self: Sized,
+    {
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let b = distributions::Bernoulli::new(p)
+            .unwrap_or_else(|| panic!("p={p:?} is outside range [0.0, 1.0]"));
+        b.sample(self)
+    }
+
+    /// Samples a value from the given distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Convenience re-exports mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::rngs::SmallRng;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}

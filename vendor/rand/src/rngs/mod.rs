@@ -1,0 +1,5 @@
+//! The generators this workspace uses: just [`SmallRng`].
+
+mod xoshiro256plusplus;
+
+pub use xoshiro256plusplus::SmallRng;

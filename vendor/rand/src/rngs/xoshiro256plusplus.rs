@@ -1,0 +1,107 @@
+//! `SmallRng`: the xoshiro256++ generator, matching rand 0.8.5 on 64-bit
+//! targets bit for bit (state layout, seeding, and output function).
+
+use crate::{RngCore, SeedableRng};
+
+/// A small-state, fast, non-cryptographic PRNG (xoshiro256++).
+///
+/// Identical output to rand 0.8.5's `SmallRng` on 64-bit platforms: the
+/// same `seed_from_u64` SplitMix64 expansion, the same `++` scrambler, and
+/// the same upper-bits `next_u32`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        if seed.iter().all(|&b| b == 0) {
+            return Self::seed_from_u64(0);
+        }
+        let mut s = [0u64; 4];
+        for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        SmallRng { s }
+    }
+
+    /// Seeds from a `u64` using SplitMix64, exactly as rand 0.8.5 does for
+    /// its vendored xoshiro256++.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut seed = <Self as SeedableRng>::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z = z ^ (z >> 31);
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u32(&mut self) -> u32 {
+        // rand 0.8.5 uses the upper bits here; keep that for compatibility.
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_sequence_from_explicit_state() {
+        // Reference values from the xoshiro256++ C reference implementation
+        // seeded with s = [1, 2, 3, 4].
+        let mut rng = SmallRng {
+            s: [1, 2, 3, 4],
+        };
+        let expected: [u64; 4] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_nonzero() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(SmallRng::seed_from_u64(0).s, [0; 4]);
+    }
+
+    #[test]
+    fn next_u32_takes_upper_bits() {
+        let mut a = SmallRng::seed_from_u64(99);
+        let mut b = a.clone();
+        assert_eq!(a.next_u32(), (b.next_u64() >> 32) as u32);
+    }
+}

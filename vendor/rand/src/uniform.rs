@@ -1,0 +1,238 @@
+//! Uniform range sampling (`Rng::gen_range`), matching rand 0.8.5's
+//! single-sample path: widening-multiply rejection for integers (with the
+//! exact zone computation per integer width) and the `[1, 2)`-mantissa
+//! construction for floats.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// A type that `Rng::gen_range` can sample uniformly.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+    /// Samples uniformly from `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// A range form accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Widening multiply: `(hi, lo)` halves of `a * b`.
+macro_rules! wmul {
+    ($a:expr, $b:expr, u32) => {{
+        let t = ($a as u64) * ($b as u64);
+        ((t >> 32) as u32, t as u32)
+    }};
+    ($a:expr, $b:expr, u64) => {{
+        let t = ($a as u128) * ($b as u128);
+        ((t >> 64) as u64, t as u64)
+    }};
+    ($a:expr, $b:expr, usize) => {{
+        let t = ($a as u128) * ($b as u128);
+        ((t >> 64) as usize, t as usize)
+    }};
+}
+
+macro_rules! draw_large {
+    ($rng:expr, u32) => {
+        $rng.next_u32()
+    };
+    ($rng:expr, u64) => {
+        $rng.next_u64()
+    };
+    ($rng:expr, usize) => {
+        $rng.next_u64() as usize
+    };
+}
+
+macro_rules! standard_draw {
+    ($rng:expr, u8) => {
+        $rng.next_u32() as u8
+    };
+    ($rng:expr, u16) => {
+        $rng.next_u32() as u16
+    };
+    ($rng:expr, u32) => {
+        $rng.next_u32()
+    };
+    ($rng:expr, u64) => {
+        $rng.next_u64()
+    };
+    ($rng:expr, usize) => {
+        $rng.next_u64() as usize
+    };
+    ($rng:expr, i32) => {
+        $rng.next_u32() as i32
+    };
+    ($rng:expr, i64) => {
+        $rng.next_u64() as i64
+    };
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:tt, $unsigned:ty, $u_large:tt) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low < high, "UniformSampler::sample_single: low >= high");
+                Self::sample_single_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                assert!(
+                    low <= high,
+                    "UniformSampler::sample_single_inclusive: low > high"
+                );
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                // `range == 0` encodes the full integer range.
+                if range == 0 {
+                    return standard_draw!(rng, $ty);
+                }
+                let zone = if (<$unsigned>::MAX as u64) <= (u16::MAX as u64) {
+                    // Exact zone for small widths (as rand does for u8/u16).
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    // Conservative but fast approximation.
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = draw_large!(rng, $u_large);
+                    let (hi, lo) = wmul!(v, range, $u_large);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl! { u8, u8, u32 }
+uniform_int_impl! { u16, u16, u32 }
+uniform_int_impl! { u32, u32, u32 }
+uniform_int_impl! { u64, u64, u64 }
+uniform_int_impl! { usize, usize, usize }
+uniform_int_impl! { i32, u32, u32 }
+uniform_int_impl! { i64, u64, u64 }
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $uty:tt, $bits_to_discard:expr, $exp_bias:expr, $fraction_bits:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low < high, "UniformSampler::sample_single: low >= high");
+                let mut scale = high - low;
+                assert!(
+                    scale.is_finite(),
+                    "UniformSampler::sample_single: range overflow"
+                );
+                loop {
+                    // A value in [1, 2): random mantissa under a fixed exponent.
+                    let fraction = draw_large!(rng, $uty) >> $bits_to_discard;
+                    let value1_2 =
+                        <$ty>::from_bits(fraction | (($exp_bias as $uty) << $fraction_bits));
+                    // Multiply-before-add, exactly as rand 0.8.5 writes it.
+                    let res = value1_2 * scale + (low - scale);
+                    if res < high {
+                        return res;
+                    }
+                    // Pathological rounding: shrink the scale by one ULP and
+                    // retry (rand's decrease_masked).
+                    scale = <$ty>::from_bits(scale.to_bits() - 1);
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                assert!(
+                    low <= high,
+                    "UniformSampler::sample_single_inclusive: low > high"
+                );
+                if low == high {
+                    return low;
+                }
+                let scale = high - low;
+                let fraction = draw_large!(rng, $uty) >> $bits_to_discard;
+                let value1_2 =
+                    <$ty>::from_bits(fraction | (($exp_bias as $uty) << $fraction_bits));
+                value1_2 * scale + (low - scale)
+            }
+        }
+    };
+}
+
+uniform_float_impl! { f64, u64, 12, 1023u64, 52 }
+uniform_float_impl! { f32, u32, 9, 127u32, 23 }
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::SmallRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..2000 {
+            let a = rng.gen_range(0..10u32);
+            assert!(a < 10);
+            let b = rng.gen_range(0..4096u64);
+            assert!(b < 4096);
+            let c = rng.gen_range(0..3usize);
+            assert!(c < 3);
+            let d = rng.gen_range(0..4u16);
+            assert!(d < 4);
+            let e = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&e));
+            let f = rng.gen_range(0..=7u64);
+            assert!(f <= 7);
+        }
+    }
+
+    #[test]
+    fn ranges_cover_every_value() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut seen = [false; 8];
+        for _ in 0..256 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "low >= high")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        rng.gen_range(5..5u32);
+    }
+}
