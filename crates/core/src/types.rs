@@ -118,6 +118,7 @@ impl Writebacks {
     /// Panics if more than two writebacks are pushed, which no model can
     /// legitimately produce for one request.
     pub fn push(&mut self, line: u64) {
+        // lint:allow(robustness/panic-path) documented capacity invariant; dropping a writeback would silently corrupt dirty-traffic statistics
         assert!(
             (self.len as usize) < self.buf.len(),
             "more than two writebacks for one request"

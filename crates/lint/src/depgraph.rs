@@ -1,0 +1,267 @@
+//! The workspace dependency graph, parsed from each crate's `Cargo.toml`.
+//!
+//! Cargo manifests in this workspace are plain enough that a minimal
+//! line-oriented TOML reader covers them: section headers, `key = value`
+//! pairs, and inline tables for path dependencies. Each package carries a
+//! *class* under `[package.metadata.maya]` (`class = "model"` etc.);
+//! rules use classes instead of hardcoded crate-name lists, so a new
+//! crate cannot silently escape lint scope — an unclassified crate is
+//! itself a diagnostic.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The architectural role of a package, from `[package.metadata.maya]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Class {
+    /// A cache-design or security-model crate: deterministic, no wall
+    /// clock, no hash-order containers, panic-free hot paths.
+    Model,
+    /// The trace-driven simulator (champsim-lite).
+    Sim,
+    /// The observability layer (maya-obs).
+    Obs,
+    /// The experiment harness (maya-bench): the only crate allowed to
+    /// depend on the scheduler and to spawn threads (in `sched.rs`).
+    Harness,
+    /// Developer tooling (maya-lint itself).
+    Tooling,
+    /// The workspace root package (examples and cross-crate tests).
+    Root,
+    /// A vendored dependency stub under `vendor/`; must stay
+    /// dependency-free.
+    Stub,
+}
+
+impl Class {
+    /// Parses the `class = "..."` manifest value.
+    pub fn parse(s: &str) -> Option<Class> {
+        Some(match s {
+            "model" => Class::Model,
+            "sim" => Class::Sim,
+            "obs" => Class::Obs,
+            "harness" => Class::Harness,
+            "tooling" => Class::Tooling,
+            "root" => Class::Root,
+            "stub" => Class::Stub,
+            _ => return None,
+        })
+    }
+
+    /// The manifest spelling of the class.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Class::Model => "model",
+            Class::Sim => "sim",
+            Class::Obs => "obs",
+            Class::Harness => "harness",
+            Class::Tooling => "tooling",
+            Class::Root => "root",
+            Class::Stub => "stub",
+        }
+    }
+}
+
+/// One package in the workspace (or a vendored stub).
+#[derive(Debug, Clone)]
+pub struct Package {
+    /// Package name from `[package]`.
+    pub name: String,
+    /// Directory containing the manifest, relative to the lint root.
+    pub dir: PathBuf,
+    /// The manifest path relative to the lint root (for diagnostics).
+    pub manifest: PathBuf,
+    /// Declared class, if any.
+    pub class: Option<Class>,
+    /// `[dependencies]` package names.
+    pub deps: Vec<String>,
+    /// `[dev-dependencies]` package names.
+    pub dev_deps: Vec<String>,
+}
+
+impl Package {
+    /// True if `dep` appears in dependencies or dev-dependencies.
+    pub fn depends_on(&self, dep: &str) -> bool {
+        self.deps.iter().any(|d| d == dep) || self.dev_deps.iter().any(|d| d == dep)
+    }
+}
+
+/// The parsed workspace: packages plus vendored stubs.
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    /// All packages: root, `crates/*`, and `vendor/*` stubs.
+    pub packages: Vec<Package>,
+}
+
+impl DepGraph {
+    /// Looks a package up by name.
+    pub fn by_name(&self, name: &str) -> Option<&Package> {
+        self.packages.iter().find(|p| p.name == name)
+    }
+
+    /// The class of the package owning `name`, if declared.
+    pub fn class_of(&self, name: &str) -> Option<Class> {
+        self.by_name(name).and_then(|p| p.class)
+    }
+}
+
+/// Parses one manifest. `rel` is the manifest path relative to the root.
+pub fn parse_manifest(text: &str, rel: &Path) -> Package {
+    let mut section = String::new();
+    let mut pkg = Package {
+        name: String::new(),
+        dir: rel.parent().unwrap_or(Path::new("")).to_path_buf(),
+        manifest: rel.to_path_buf(),
+        class: None,
+        deps: Vec::new(),
+        dev_deps: Vec::new(),
+    };
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim();
+        let val = line[eq + 1..].trim();
+        match section.as_str() {
+            "package" if key == "name" => pkg.name = unquote(val),
+            "package.metadata.maya" if key == "class" => {
+                pkg.class = Class::parse(&unquote(val));
+            }
+            "dependencies" => pkg.deps.push(dep_name(key)),
+            "dev-dependencies" => pkg.dev_deps.push(dep_name(key)),
+            s if s.starts_with("dependencies.") => {
+                // [dependencies.foo] table form.
+                let name = s["dependencies.".len()..].to_string();
+                if !pkg.deps.contains(&name) {
+                    pkg.deps.push(name);
+                }
+            }
+            s if s.starts_with("dev-dependencies.") => {
+                let name = s["dev-dependencies.".len()..].to_string();
+                if !pkg.dev_deps.contains(&name) {
+                    pkg.dev_deps.push(name);
+                }
+            }
+            _ => {}
+        }
+    }
+    pkg.deps.sort();
+    pkg.deps.dedup();
+    pkg.dev_deps.sort();
+    pkg.dev_deps.dedup();
+    pkg
+}
+
+/// A dependency key may be `foo` or `foo.workspace` (dotted form).
+fn dep_name(key: &str) -> String {
+    key.split('.').next().unwrap_or(key).trim().to_string()
+}
+
+fn unquote(v: &str) -> String {
+    v.trim().trim_matches('"').to_string()
+}
+
+/// Loads the dependency graph for the workspace rooted at `root`:
+/// the root manifest, every `crates/*/Cargo.toml`, and every
+/// `vendor/*/Cargo.toml`. Missing directories are skipped (fixture
+/// workspaces may omit `vendor/`).
+pub fn load(root: &Path) -> Result<DepGraph, String> {
+    let mut g = DepGraph::default();
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        let text = fs::read_to_string(&root_manifest)
+            .map_err(|e| format!("read {}: {e}", root_manifest.display()))?;
+        let pkg = parse_manifest(&text, Path::new("Cargo.toml"));
+        if !pkg.name.is_empty() {
+            g.packages.push(pkg);
+        }
+    }
+    for sub in ["crates", "vendor"] {
+        let dir = root.join(sub);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+            .map_err(|e| format!("read {}: {e}", dir.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        entries.sort();
+        for crate_dir in entries {
+            let manifest = crate_dir.join("Cargo.toml");
+            if !manifest.is_file() {
+                continue;
+            }
+            let text = fs::read_to_string(&manifest)
+                .map_err(|e| format!("read {}: {e}", manifest.display()))?;
+            let rel = manifest
+                .strip_prefix(root)
+                .unwrap_or(&manifest)
+                .to_path_buf();
+            let pkg = parse_manifest(&text, &rel);
+            if !pkg.name.is_empty() {
+                g.packages.push(pkg);
+            }
+        }
+    }
+    g.packages.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_package_name_class_and_deps() {
+        let text = r#"
+[package]
+name = "maya-core"
+version = "0.1.0"
+
+[package.metadata.maya]
+class = "model"
+
+[dependencies]
+prince-cipher = { path = "../prince" }
+maya-obs = { path = "../obs" }
+rand = "0.8"
+
+[dev-dependencies]
+proptest = "1"
+"#;
+        let p = parse_manifest(text, Path::new("crates/core/Cargo.toml"));
+        assert_eq!(p.name, "maya-core");
+        assert_eq!(p.class, Some(Class::Model));
+        assert_eq!(p.deps, vec!["maya-obs", "prince-cipher", "rand"]);
+        assert_eq!(p.dev_deps, vec!["proptest"]);
+        assert_eq!(p.dir, Path::new("crates/core"));
+    }
+
+    #[test]
+    fn dotted_and_table_dependency_forms_are_recognized() {
+        let text = "[package]\nname = \"x\"\n[dependencies]\nfoo.workspace = true\n[dependencies.bar]\npath = \"../bar\"\n";
+        let p = parse_manifest(text, Path::new("Cargo.toml"));
+        assert_eq!(p.deps, vec!["bar", "foo"]);
+    }
+
+    #[test]
+    fn real_workspace_loads_every_crate_with_a_class() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let g = load(&root).expect("load workspace graph");
+        let lint = g.by_name("maya-lint").expect("maya-lint present");
+        assert_eq!(lint.class, Some(Class::Tooling));
+        let core = g.by_name("maya-core").expect("maya-core present");
+        assert_eq!(core.class, Some(Class::Model));
+        assert!(core.depends_on("prince-cipher"));
+        for p in &g.packages {
+            assert!(p.class.is_some(), "{} has no maya class", p.name);
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! A dependency-free Rust lexer producing a token stream with spans.
+//!
+//! This replaces the old "blank out comments and strings, then grep"
+//! scanner: rules now ask questions about *tokens* ("is this identifier
+//! followed by `(`?", "is this `+=` outside a test region?") instead of
+//! substring positions, which makes them immune to look-alikes inside
+//! string literals, doc comments, and raw strings, and lets a violation
+//! span multiple lines without escaping detection.
+//!
+//! The lexer handles the full literal grammar the workspace uses: line and
+//! nested block comments, string/char/byte literals with escapes, raw (and
+//! byte-raw) strings with any number of `#`s, raw identifiers (`r#fn`),
+//! lifetimes vs char literals, numeric literals (including `1.5`, `0xff`,
+//! suffixes, and `1..n` ranges), and multi-character operators with
+//! maximal munch. It is *not* a parser: higher-level structure lives in
+//! [`crate::model`].
+//!
+//! Suppression markers (`// lint:allow(rule) reason`) are collected here,
+//! from comment text only — a marker inside a string literal is data, not
+//! a suppression.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `SmallRng`, `r#type` → `type`).
+    Ident,
+    /// A lifetime (`'a`, `'static`), quote excluded from the text.
+    Lifetime,
+    /// An integer literal (`42`, `0xff_u64`).
+    Int,
+    /// A float literal (`1.5`, `2e9`).
+    Float,
+    /// A string, raw-string, byte-string, char, or byte literal.
+    Literal,
+    /// Any operator or delimiter (`::`, `+=`, `{`, `.`); multi-character
+    /// operators are munched maximally.
+    Punct,
+}
+
+/// One lexed token with its position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// The token's text. For [`TokenKind::Literal`] this is a placeholder
+    /// (`"\"\""` etc.), never the literal's contents: rules must not be
+    /// able to match inside data.
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// True if the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if the token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// A `lint:allow(rule) reason` marker found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowMarker {
+    /// 1-indexed line the marker appears on.
+    pub line: usize,
+    /// The rule id inside the parentheses.
+    pub rule: String,
+    /// The justification text after the closing parenthesis (trimmed).
+    pub reason: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// The token stream, in source order.
+    pub tokens: Vec<Token>,
+    /// Suppression markers found in comments.
+    pub allows: Vec<AllowMarker>,
+    /// Lines (1-indexed) that contain at least one token. Used to decide
+    /// whether an allow marker stands alone on its line (and therefore
+    /// applies to the next code line) or annotates its own line.
+    pub code_lines: Vec<bool>,
+}
+
+impl Lexed {
+    /// True if `line` (1-indexed) carries at least one token.
+    pub fn line_has_code(&self, line: usize) -> bool {
+        self.code_lines.get(line).copied().unwrap_or(false)
+    }
+}
+
+/// Multi-character operators, longest first so munching is maximal.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Lexes `src` into tokens and suppression markers.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed {
+        code_lines: vec![false; src.lines().count() + 2],
+        ..Lexed::default()
+    };
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Advance `line` over src[from..to].
+    macro_rules! count_lines {
+        ($from:expr, $to:expr) => {
+            line += b[$from..$to].iter().filter(|&&c| c == b'\n').count()
+        };
+    }
+    macro_rules! push {
+        ($kind:expr, $text:expr) => {{
+            if line < out.code_lines.len() {
+                out.code_lines[line] = true;
+            }
+            out.tokens.push(Token {
+                kind: $kind,
+                text: $text,
+                line,
+            });
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. doc comments).
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            // Doc comments (`///`, `//!`) describe code — a marker spelled
+            // out in documentation must not act as a suppression.
+            let is_doc = b.get(start + 2) == Some(&b'/') || b.get(start + 2) == Some(&b'!');
+            if !is_doc {
+                scan_allow(&src[start..i], line, &mut out.allows);
+            }
+            continue;
+        }
+        // Block comment, nested.
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let start = i;
+            let start_line = line;
+            let is_doc = b.get(start + 2) == Some(&b'*') || b.get(start + 2) == Some(&b'!');
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            // Markers inside block comments apply to their own line.
+            if !is_doc {
+                for (off, text_line) in src[start..i].lines().enumerate() {
+                    scan_allow(text_line, start_line + off, &mut out.allows);
+                }
+            }
+            continue;
+        }
+        // Raw string r"..." / r#"..."# and byte-raw br"..." (and raw
+        // identifiers r#foo).
+        if c == b'r' || (c == b'b' && b.get(i + 1) == Some(&b'r')) {
+            let r_at = if c == b'r' { i } else { i + 1 };
+            let prev_ident = i > 0 && is_ident_byte(b[i - 1]);
+            if !prev_ident {
+                let mut j = r_at + 1;
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    j += 1;
+                    'raw: while j < b.len() {
+                        if b[j] == b'"' {
+                            let mut k = 0;
+                            while k < hashes {
+                                if b.get(j + 1 + k) != Some(&b'#') {
+                                    j += 1;
+                                    continue 'raw;
+                                }
+                                k += 1;
+                            }
+                            j += 1 + hashes;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    push!(TokenKind::Literal, "\"\"".to_string());
+                    count_lines!(i, j.min(b.len()));
+                    i = j;
+                    continue;
+                }
+                if c == b'r' && hashes == 1 && j < b.len() && is_ident_start(b[j]) {
+                    // Raw identifier r#foo: token is the bare identifier.
+                    let start = j;
+                    while j < b.len() && is_ident_byte(b[j]) {
+                        j += 1;
+                    }
+                    push!(TokenKind::Ident, src[start..j].to_string());
+                    i = j;
+                    continue;
+                }
+            }
+        }
+        // String / byte-string literal.
+        if c == b'"'
+            || (c == b'b' && b.get(i + 1) == Some(&b'"') && !(i > 0 && is_ident_byte(b[i - 1])))
+        {
+            let start = i;
+            i += if c == b'"' { 1 } else { 2 };
+            while i < b.len() {
+                match b[i] {
+                    b'\\' => i += 2,
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            let end = i.min(b.len());
+            push!(TokenKind::Literal, "\"\"".to_string());
+            count_lines!(start, end);
+            continue;
+        }
+        // Char literal vs lifetime (and byte char b'x').
+        if c == b'\''
+            || (c == b'b' && b.get(i + 1) == Some(&b'\'') && !(i > 0 && is_ident_byte(b[i - 1])))
+        {
+            let q = if c == b'\'' { i } else { i + 1 };
+            // Escaped char: definitely a literal.
+            if b.get(q + 1) == Some(&b'\\') {
+                let mut j = q + 2;
+                while j < b.len() && b[j] != b'\'' {
+                    j += 1;
+                }
+                i = (j + 1).min(b.len());
+                push!(TokenKind::Literal, "''".to_string());
+                continue;
+            }
+            if q + 1 < b.len() && is_ident_byte(b[q + 1]) {
+                let mut j = q + 1;
+                while j < b.len() && is_ident_byte(b[j]) {
+                    j += 1;
+                }
+                if b.get(j) == Some(&b'\'') && (j == q + 2 || c == b'b') {
+                    // 'x' or b'x' — a char literal.
+                    i = j + 1;
+                    push!(TokenKind::Literal, "''".to_string());
+                    continue;
+                }
+                if c == b'\'' {
+                    // A lifetime: 'ident.
+                    push!(TokenKind::Lifetime, src[q + 1..j].to_string());
+                    i = j;
+                    continue;
+                }
+            }
+            if c == b'\'' {
+                // Single non-ident char like '(' — a literal if closed.
+                if b.get(q + 2) == Some(&b'\'') {
+                    i = q + 3;
+                    push!(TokenKind::Literal, "''".to_string());
+                    continue;
+                }
+                push!(TokenKind::Punct, "'".to_string());
+                i += 1;
+                continue;
+            }
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_byte(b[i]) {
+                i += 1;
+            }
+            push!(TokenKind::Ident, src[start..i].to_string());
+            continue;
+        }
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut float = false;
+            i += 1;
+            if c == b'0'
+                && (b.get(i) == Some(&b'x') || b.get(i) == Some(&b'o') || b.get(i) == Some(&b'b'))
+            {
+                i += 1;
+                while i < b.len() && (is_ident_byte(b[i])) {
+                    i += 1;
+                }
+            } else {
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                    i += 1;
+                }
+                // A '.' continues the number only when followed by a digit
+                // (so `1.max(2)` and `0..n` lex as method call / range).
+                if b.get(i) == Some(&b'.') && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    float = true;
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                // Exponent and/or suffix (e9, f64, u64, usize...).
+                if i < b.len()
+                    && (b[i] == b'e' || b[i] == b'E')
+                    && b.get(i + 1)
+                        .is_some_and(|&n| n.is_ascii_digit() || n == b'-' || n == b'+')
+                {
+                    float = true;
+                    i += 2;
+                }
+                while i < b.len() && is_ident_byte(b[i]) {
+                    if b[i] == b'f' {
+                        float = true;
+                    }
+                    i += 1;
+                }
+            }
+            let kind = if float {
+                TokenKind::Float
+            } else {
+                TokenKind::Int
+            };
+            push!(kind, src[start..i].to_string());
+            continue;
+        }
+        // Operator, maximal munch.
+        let mut matched = false;
+        for op in OPERATORS {
+            if src[i..].starts_with(op) {
+                push!(TokenKind::Punct, (*op).to_string());
+                i += op.len();
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        push!(TokenKind::Punct, (c as char).to_string());
+        i += 1;
+    }
+    out
+}
+
+/// Scans one comment line for a `lint:allow(rule) reason` marker. Also
+/// accepts the legacy `lint: allow(...)` spacing.
+fn scan_allow(text: &str, line: usize, out: &mut Vec<AllowMarker>) {
+    let Some(at) = text.find("lint:") else {
+        return;
+    };
+    let rest = text[at + "lint:".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return;
+    };
+    let Some(close) = rest.find(')') else {
+        return;
+    };
+    out.push(AllowMarker {
+        line,
+        rule: rest[..close].trim().to_string(),
+        reason: rest[close + 1..].trim().to_string(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_ident_tokens() {
+        let src =
+            "let x = 1; // thread_rng\n/* a /* nested OsRng */ b */ let s = \"from_entropy\";";
+        let ids = idents(src);
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(!ids.contains(&"OsRng".to_string()));
+        assert!(!ids.contains(&"from_entropy".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_are_opaque_literals() {
+        let src = "let s = r#\"uses thread_rng()\"#; let t = br\"SystemTime\"; call();";
+        let ids = idents(src);
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(ids.contains(&"call".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_the_bare_name() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "a"));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Literal));
+        let toks2 = lex("let c = '\\n'; let d = '\\''; let e = '('; x()").tokens;
+        assert_eq!(
+            toks2
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            3
+        );
+        assert!(toks2.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn numbers_lex_with_ranges_and_methods_intact() {
+        let toks = lex("0..n; 1.max(2); 1.5e9; 0xff_u64; 3usize").tokens;
+        assert!(toks.iter().any(|t| t.is_punct("..")));
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Float && t.text == "1.5e9"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Int && t.text == "0xff_u64"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Int && t.text == "3usize"));
+    }
+
+    #[test]
+    fn operators_munch_maximally() {
+        let toks = lex("a += 1; b <<= 2; c::d; e -> f; g >>= h").tokens;
+        for op in ["+=", "<<=", "::", "->", ">>="] {
+            assert!(toks.iter().any(|t| t.is_punct(op)), "missing {op}");
+        }
+    }
+
+    #[test]
+    fn line_numbers_are_accurate_across_literals() {
+        let src = "a\nlet s = \"line\ntwo\";\nb";
+        let toks = lex(src).tokens;
+        let a = toks.iter().find(|t| t.is_ident("a")).unwrap();
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(a.line, 1);
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn allow_markers_come_from_comments_only() {
+        let src = "x(); // lint:allow(determinism/entropy) fixture seeds are data\nlet s = \"lint:allow(determinism/entropy) nope\";";
+        let l = lex(src);
+        assert_eq!(l.allows.len(), 1);
+        assert_eq!(l.allows[0].rule, "determinism/entropy");
+        assert_eq!(l.allows[0].line, 1);
+        assert!(l.allows[0].reason.starts_with("fixture"));
+    }
+
+    #[test]
+    fn allow_marker_reason_may_be_empty_for_rules_to_reject() {
+        let l = lex("// lint:allow(determinism/arith)\ny();");
+        assert_eq!(l.allows.len(), 1);
+        assert!(l.allows[0].reason.is_empty());
+        assert!(!l.line_has_code(1));
+        assert!(l.line_has_code(2));
+    }
+
+    #[test]
+    fn legacy_spacing_is_accepted() {
+        let l = lex("x(); // lint: allow(determinism/entropy) seeded fixture");
+        assert_eq!(l.allows.len(), 1);
+    }
+}

@@ -1,26 +1,64 @@
 //! `maya-lint`: the workspace's static-analysis pass.
 //!
-//! Every security number this reproduction reports rests on invariants that
-//! ordinary compilation does not check: all randomness must flow from
-//! explicit `SmallRng` seeds, simulation results must never depend on
-//! hasher state, and every `CacheModel` implementation must be registered
-//! in the experiment catalog so nothing silently escapes evaluation. This
-//! crate machine-checks those rules (see [`rules`]) over the whole
-//! workspace source tree, with zero external dependencies: a small
-//! comment/string-aware scanner ([`scan`]) stands in for a full parser,
-//! which is all these token-level rules need.
+//! Every security number this reproduction reports rests on invariants
+//! that ordinary compilation does not check: all randomness must flow
+//! from explicit `SmallRng` seeds, simulation results must never depend
+//! on hasher state or thread scheduling, per-access hot paths must not
+//! panic out from under `catch_unwind`-at-job-granularity campaigns, and
+//! every `CacheModel` implementation must be registered in the experiment
+//! catalog so nothing silently escapes evaluation.
+//!
+//! This crate machine-checks those rules with zero external dependencies:
+//! a small Rust lexer ([`lexer`]) produces a token stream with spans, an
+//! item-level model ([`model`]) recovers functions/impls/test regions,
+//! and a manifest reader ([`depgraph`]) supplies the workspace dependency
+//! graph and per-crate classification. The rules ([`rules`]) operate on
+//! tokens and graph edges, never on raw text, so identifiers inside
+//! string literals, doc comments, and raw strings cannot false-positive,
+//! and violations split across lines cannot hide.
 //!
 //! Run it with `cargo run -p maya-lint`; it exits non-zero and prints
-//! `file:line: [rule] message` diagnostics on any violation. Suppress a
-//! single line — with justification — via a `lint: allow(<rule>)` comment
-//! on that line.
+//! `file:line: severity [rule] message` diagnostics on any error.
+//! Suppress a single finding — with a mandatory justification — via a
+//! `// lint:allow(<rule>) <reason>` comment on the offending line (or
+//! alone on the line above). Grandfathered findings live in the committed
+//! baseline file `crates/lint/lint.baseline`, which CI requires to stay
+//! empty.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod depgraph;
+pub mod lexer;
+pub mod model;
+pub mod output;
 pub mod rules;
 pub mod scan;
 pub mod workspace;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational; reported but never fails the run. Used for
+    /// baseline-grandfathered findings.
+    Note,
+    /// Suspicious but non-fatal (e.g. a suppression that matches
+    /// nothing). Does not fail the run.
+    Warning,
+    /// A rule violation; the run exits non-zero.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name, as printed and as emitted in JSONL/SARIF.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
 
 /// One lint finding, pointing at a file and line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +69,8 @@ pub struct Diagnostic {
     pub line: usize,
     /// Stable rule identifier (e.g. `determinism/entropy`).
     pub rule: &'static str,
+    /// How serious the finding is.
+    pub severity: Severity,
     /// Human-readable explanation and fix hint.
     pub message: String,
 }
@@ -39,8 +79,12 @@ impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
+            "{}:{}: {} [{}] {}",
+            self.file,
+            self.line,
+            self.severity.as_str(),
+            self.rule,
+            self.message
         )
     }
 }

@@ -1,9 +1,10 @@
 //! Command-line entry point for `maya-lint`.
 //!
-//! Usage: `cargo run -p maya-lint [-- --root <path>]`. Scans the
-//! workspace (by default the one this binary was built from), prints one
-//! `file:line: [rule] message` diagnostic per violation, and exits with
-//! status 1 if any were found.
+//! Usage: `cargo run -p maya-lint [-- OPTIONS]`. Scans the workspace (by
+//! default the one this binary was built from), prints one
+//! `file:line: severity [rule] message` diagnostic per finding, and
+//! exits with status 1 if any error-severity finding remains after
+//! suppressions and the baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -11,35 +12,62 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use maya_lint::output;
+use maya_lint::workspace;
+
+const USAGE: &str = "maya-lint: static-analysis pass for the Maya reproduction workspace
+
+USAGE: maya-lint [OPTIONS]
+
+OPTIONS:
+  --root <dir>        workspace root (default: the build workspace)
+  --baseline <file>   baseline file (default: <root>/crates/lint/lint.baseline;
+                      a missing file means an empty baseline)
+  --write-baseline    write current error findings to the baseline file and exit 0
+  --json <file|->     also emit JSONL diagnostics (one object per line plus a
+                      summary record); `-` writes to stdout instead of the
+                      human-readable report
+  --sarif <file>      also emit a SARIF 2.1.0 log
+  -h, --help          show this help
+
+Rules: determinism/{entropy,wall-clock,hash-container,thread-spawn,
+rng-discipline,arith}, robustness/panic-path, arch/{dep-graph,crate-class},
+safety/crate-attrs, model/design-registry, lint/{allow-syntax,unused-allow}.
+Suppress one finding with `// lint:allow(<rule>) <reason>` on the offending
+line (or alone on the line above). Exit 0 = clean, 1 = errors, 2 = bad usage.";
+
 fn main() -> ExitCode {
     let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut json_out: Option<String> = None;
+    let mut sarif_out: Option<PathBuf> = None;
+
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
                 Some(p) => root = PathBuf::from(p),
-                None => {
-                    eprintln!("error: --root requires a path");
-                    return ExitCode::from(2);
-                }
+                None => return usage_error("--root requires a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage_error("--baseline requires a path"),
+            },
+            "--write-baseline" => write_baseline = true,
+            "--json" => match args.next() {
+                Some(p) => json_out = Some(p),
+                None => return usage_error("--json requires a path (or -)"),
+            },
+            "--sarif" => match args.next() {
+                Some(p) => sarif_out = Some(PathBuf::from(p)),
+                None => return usage_error("--sarif requires a path"),
             },
             "--help" | "-h" => {
-                println!(
-                    "maya-lint: static-analysis pass for the Maya reproduction workspace\n\
-                     \n\
-                     USAGE: maya-lint [--root <workspace-dir>]\n\
-                     \n\
-                     Rules: determinism/entropy, determinism/wall-clock,\n\
-                     determinism/hash-container, determinism/thread-spawn,\n\
-                     safety/crate-attrs, model/design-registry.\n\
-                     Exit 0 = clean, 1 = violations."
-                );
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("error: unknown argument `{other}` (try --help)");
-                return ExitCode::from(2);
-            }
+            other => return usage_error(&format!("unknown argument `{other}` (try --help)")),
         }
     }
     let root = match root.canonicalize() {
@@ -52,22 +80,77 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("crates/lint/lint.baseline"));
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => workspace::parse_baseline(&text),
+        Err(_) => Default::default(), // absent file = empty baseline
+    };
 
-    match maya_lint::workspace::run(&root) {
-        Ok(diags) if diags.is_empty() => {
-            println!("maya-lint: workspace clean ({})", root.display());
-            ExitCode::SUCCESS
-        }
-        Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
-            }
-            eprintln!("maya-lint: {} violation(s) found", diags.len());
-            ExitCode::FAILURE
-        }
+    let report = match workspace::run_with_baseline(&root, &baseline) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("maya-lint: error: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_baseline {
+        let text = workspace::format_baseline(&report.diagnostics);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("maya-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "maya-lint: wrote {} baseline entr{} to {}",
+            report.counts.errors,
+            if report.counts.errors == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &sarif_out {
+        if let Err(e) = std::fs::write(path, output::to_sarif(&report.diagnostics)) {
+            eprintln!("maya-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
         }
     }
+    match json_out.as_deref() {
+        Some("-") => print!("{}", output::to_jsonl(&report.diagnostics)),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, output::to_jsonl(&report.diagnostics)) {
+                eprintln!("maya-lint: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        None => {}
+    }
+
+    if json_out.as_deref() != Some("-") {
+        if report.diagnostics.is_empty() {
+            println!("maya-lint: workspace clean ({})", root.display());
+        } else {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            eprintln!(
+                "maya-lint: {} error(s), {} warning(s), {} note(s)",
+                report.counts.errors, report.counts.warnings, report.counts.notes
+            );
+        }
+    }
+    if report.failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(2)
 }

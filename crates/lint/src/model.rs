@@ -1,0 +1,448 @@
+//! An item-level model of a lexed Rust file.
+//!
+//! Built on the token stream from [`crate::lexer`], this recovers just
+//! enough structure for the rules: which token ranges are `#[cfg(test)]`
+//! code, where each `fn` item's body is, which `impl` blocks exist (and
+//! for which trait/type), which identifiers are *called* (followed by
+//! `(`), and the crate-root attributes. It is deliberately not a parser —
+//! brace matching plus a handful of keyword patterns cover everything the
+//! workspace writes.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// A function item: its name and the token range of its body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: usize,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// Token range of the body, `{`-inclusive .. `}`-inclusive; `None`
+    /// for bodyless declarations (trait methods without defaults).
+    pub body: Option<(usize, usize)>,
+    /// True if the item sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// An `impl` block: `impl Trait for Type { .. }` or `impl Type { .. }`.
+#[derive(Debug, Clone)]
+pub struct ImplItem {
+    /// Name of the implemented trait (last path segment), if any.
+    pub trait_name: Option<String>,
+    /// The self type's leading identifier (e.g. `MayaCache`).
+    pub self_type: String,
+    /// 1-indexed line of the `impl` keyword.
+    pub line: usize,
+    /// Token range of the block body, braces inclusive.
+    pub body: (usize, usize),
+    /// True if the block sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// The structural model of one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileModel {
+    /// Per-token flag: inside a `#[cfg(test)]` item (including the attr).
+    pub test_mask: Vec<bool>,
+    /// All `fn` items, in source order (nested fns included).
+    pub fns: Vec<FnItem>,
+    /// All `impl` blocks, in source order.
+    pub impls: Vec<ImplItem>,
+    /// Identifiers of crate-root inner attributes: for `#![forbid(x)]`
+    /// this records `forbid` and `x`.
+    pub root_attrs: Vec<String>,
+    /// For each token index, the index of its matching delimiter
+    /// (identity for non-delimiters).
+    pub partner: Vec<usize>,
+}
+
+impl FileModel {
+    /// True if token `i` lies in a `#[cfg(test)]` region.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// The innermost fn item whose body contains token `i`, if any.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(lo, hi)| lo <= i && i <= hi))
+            .min_by_key(|f| {
+                let (lo, hi) = f.body.unwrap_or((0, usize::MAX));
+                hi - lo
+            })
+    }
+}
+
+/// Matches each opening delimiter token to its closer. Returns, for every
+/// token index, the index of the matching partner (identity for
+/// non-delimiters or unbalanced tokens).
+fn match_delims(tokens: &[Token]) -> Vec<usize> {
+    let mut partner: Vec<usize> = (0..tokens.len()).collect();
+    let mut stack: Vec<(usize, &str)> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "{" | "(" | "[" => stack.push((i, t.text.as_str())),
+            "}" | ")" | "]" => {
+                let want = match t.text.as_str() {
+                    "}" => "{",
+                    ")" => "(",
+                    _ => "[",
+                };
+                if let Some(pos) = stack.iter().rposition(|&(_, d)| d == want) {
+                    let (open, _) = stack[pos];
+                    stack.truncate(pos);
+                    partner[open] = i;
+                    partner[i] = open;
+                }
+            }
+            _ => {}
+        }
+    }
+    partner
+}
+
+/// Builds the [`FileModel`] for a lexed file.
+pub fn build(lexed: &Lexed) -> FileModel {
+    let tokens = &lexed.tokens;
+    let partner = match_delims(tokens);
+    let mut model = FileModel {
+        test_mask: vec![false; tokens.len()],
+        partner: partner.clone(),
+        ..FileModel::default()
+    };
+
+    // Crate-root inner attributes: `#![...]` before any item keyword.
+    let mut i = 0;
+    while i + 2 < tokens.len() && tokens[i].is_punct("#") && tokens[i + 1].is_punct("!") {
+        if tokens[i + 2].is_punct("[") {
+            let close = partner[i + 2];
+            for t in &tokens[i + 3..close] {
+                if t.kind == TokenKind::Ident {
+                    model.root_attrs.push(t.text.clone());
+                }
+            }
+            i = close + 1;
+        } else {
+            break;
+        }
+    }
+
+    // `#[cfg(test)]` regions: mark from the attribute through the end of
+    // the annotated item (its matching `}` or terminating `;`).
+    let mut idx = 0;
+    while idx < tokens.len() {
+        if tokens[idx].is_punct("#")
+            && tokens.get(idx + 1).is_some_and(|t| t.is_punct("["))
+            && is_cfg_test(tokens, idx + 1, &partner)
+        {
+            let attr_close = partner[idx + 1];
+            // Skip any further attributes on the same item.
+            let mut j = attr_close + 1;
+            while j < tokens.len()
+                && tokens[j].is_punct("#")
+                && tokens.get(j + 1).is_some_and(|t| t.is_punct("["))
+            {
+                j = partner[j + 1] + 1;
+            }
+            // Find the end of the item: first `{` (→ its match) or `;` at
+            // the item's own nesting depth.
+            let mut end = j;
+            let mut k = j;
+            while k < tokens.len() {
+                let t = &tokens[k];
+                if t.is_punct("{") {
+                    end = partner[k];
+                    break;
+                }
+                if t.is_punct(";") {
+                    end = k;
+                    break;
+                }
+                if t.is_punct("(") || t.is_punct("[") {
+                    k = partner[k];
+                }
+                k += 1;
+            }
+            if k >= tokens.len() {
+                end = tokens.len() - 1;
+            }
+            for m in &mut model.test_mask[idx..=end.min(tokens.len() - 1)] {
+                *m = true;
+            }
+            idx = end + 1;
+            continue;
+        }
+        idx += 1;
+    }
+
+    // fn items.
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            continue; // `fn(` in a fn-pointer type
+        }
+        // Scan for the body `{` or a terminating `;`, skipping nested
+        // delimiter groups in the signature (params, where-clause arrays).
+        let mut body = None;
+        let mut k = i + 2;
+        while k < tokens.len() {
+            let tk = &tokens[k];
+            if tk.is_punct("{") {
+                body = Some((k, partner[k]));
+                break;
+            }
+            if tk.is_punct(";") {
+                break;
+            }
+            if tk.is_punct("(") || tk.is_punct("[") {
+                k = partner[k];
+            }
+            k += 1;
+        }
+        model.fns.push(FnItem {
+            name: name_tok.text.clone(),
+            line: t.line,
+            fn_idx: i,
+            body,
+            in_test: model.test_mask[i],
+        });
+    }
+
+    // impl blocks.
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("impl") {
+            continue;
+        }
+        let mut k = i + 1;
+        // Generic parameters directly after `impl`.
+        if tokens.get(k).is_some_and(|t| t.is_punct("<")) {
+            k = skip_angles(tokens, k);
+        }
+        // First path: trait (if followed by `for`) or self type.
+        let (first, mut k2) = read_path(tokens, k, &partner);
+        let Some(first) = first else { continue };
+        let mut trait_name = None;
+        let mut self_type = first;
+        if tokens.get(k2).is_some_and(|t| t.is_ident("for")) {
+            let (second, k3) = read_path(tokens, k2 + 1, &partner);
+            let Some(second) = second else { continue };
+            trait_name = Some(self_type);
+            self_type = second;
+            k2 = k3;
+        }
+        // Body.
+        let mut b = k2;
+        let mut body = None;
+        while b < tokens.len() {
+            if tokens[b].is_punct("{") {
+                body = Some((b, partner[b]));
+                break;
+            }
+            if tokens[b].is_punct(";") {
+                break;
+            }
+            if tokens[b].is_punct("(") || tokens[b].is_punct("[") {
+                b = partner[b];
+            }
+            b += 1;
+        }
+        let Some(body) = body else { continue };
+        model.impls.push(ImplItem {
+            trait_name,
+            self_type,
+            line: t.line,
+            body,
+            in_test: model.test_mask[i],
+        });
+    }
+
+    model
+}
+
+/// Is the attribute group opening at `open_idx` (a `[`) exactly
+/// `cfg(test)` (possibly with extra tokens such as `cfg(all(test, ..))`)?
+fn is_cfg_test(tokens: &[Token], open_idx: usize, partner: &[usize]) -> bool {
+    let close = partner[open_idx];
+    if close <= open_idx {
+        return false;
+    }
+    let inner = &tokens[open_idx + 1..close];
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    for t in inner {
+        if t.is_ident("cfg") {
+            saw_cfg = true;
+        }
+        if t.is_ident("test") {
+            saw_test = true;
+        }
+        if t.is_ident("not") {
+            return false; // cfg(not(test)) is production code
+        }
+    }
+    saw_cfg && saw_test
+}
+
+/// Skips a balanced `<...>` group starting at `open` (which is `<`).
+/// Returns the index just past the matching `>`. `>>` counts as two.
+fn skip_angles(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < tokens.len() {
+        match tokens[k].text.as_str() {
+            "<" | "<<" if tokens[k].kind == TokenKind::Punct => {
+                depth += if tokens[k].text == "<<" { 2 } else { 1 };
+            }
+            ">" | ">>" if tokens[k].kind == TokenKind::Punct => {
+                depth -= if tokens[k].text == ">>" { 2 } else { 1 };
+                if depth <= 0 {
+                    return k + 1;
+                }
+            }
+            "->" => {}
+            _ => {}
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Reads a type/trait path starting at `k`: idents, `::`, angle groups,
+/// leading `&`/lifetimes/`mut`/`dyn`. Returns the last plain identifier
+/// (the name rules care about) and the index just past the path.
+fn read_path(tokens: &[Token], mut k: usize, partner: &[usize]) -> (Option<String>, usize) {
+    let mut last_ident = None;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        match t.kind {
+            TokenKind::Ident => {
+                if t.text == "for" || t.text == "where" {
+                    break;
+                }
+                if t.text == "dyn" || t.text == "mut" {
+                    k += 1;
+                    continue;
+                }
+                last_ident = Some(t.text.clone());
+                k += 1;
+            }
+            TokenKind::Lifetime => {
+                k += 1;
+            }
+            TokenKind::Punct => match t.text.as_str() {
+                "::" | "&" => k += 1,
+                "<" => k = skip_angles(tokens, k),
+                "(" | "[" => k = partner[k] + 1,
+                _ => break,
+            },
+            _ => break,
+        }
+    }
+    (last_ident, k)
+}
+
+/// Collects the set of identifiers that appear *called* (immediately
+/// followed by `(`) within the token range `lo..=hi`. Macro invocations
+/// (`ident!`) are excluded.
+pub fn called_idents(tokens: &[Token], lo: usize, hi: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let hi = hi.min(tokens.len().saturating_sub(1));
+    for i in lo..=hi {
+        if tokens[i].kind == TokenKind::Ident {
+            if let Some(next) = tokens.get(i + 1) {
+                if next.is_punct("(") {
+                    out.push(tokens[i].text.clone());
+                } else if next.is_punct("!") && tokens.get(i + 2).is_some_and(|t| t.is_punct("(")) {
+                    // macro; skip
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_regions_are_masked_through_the_item_end() {
+        let src = "fn live() { x(); }\n#[cfg(test)]\nmod tests {\n    fn t() { bad(); }\n}\nfn live2() {}";
+        let lexed = lex(src);
+        let m = build(&lexed);
+        let bad_idx = lexed.tokens.iter().position(|t| t.is_ident("bad")).unwrap();
+        let x_idx = lexed.tokens.iter().position(|t| t.is_ident("x")).unwrap();
+        assert!(m.in_test(bad_idx));
+        assert!(!m.in_test(x_idx));
+        let live2 = m.fns.iter().find(|f| f.name == "live2").unwrap();
+        assert!(!live2.in_test);
+        let t = m.fns.iter().find(|f| f.name == "t").unwrap();
+        assert!(t.in_test);
+    }
+
+    #[test]
+    fn fn_bodies_span_the_braces() {
+        let src = "fn a(x: [u8; 4]) -> u32 { inner() }\nfn b();";
+        let lexed = lex(src);
+        let m = build(&lexed);
+        let a = &m.fns[0];
+        assert_eq!(a.name, "a");
+        let (lo, hi) = a.body.unwrap();
+        assert!(lexed.tokens[lo].is_punct("{"));
+        assert!(lexed.tokens[hi].is_punct("}"));
+        assert!(called_idents(&lexed.tokens, lo, hi).contains(&"inner".to_string()));
+        assert!(m.fns[1].body.is_none());
+    }
+
+    #[test]
+    fn impl_blocks_resolve_trait_and_self_type() {
+        let src = "impl<'a, T: Clone> CacheModel for MayaCache<'a, T> { fn access(&mut self) {} }\nimpl Plain { fn helper() {} }\nimpl Iterator for Stream { fn next(&mut self) -> Option<u8> { None } }";
+        let m = build(&lex(src));
+        assert_eq!(m.impls.len(), 3);
+        assert_eq!(m.impls[0].trait_name.as_deref(), Some("CacheModel"));
+        assert_eq!(m.impls[0].self_type, "MayaCache");
+        assert_eq!(m.impls[1].trait_name, None);
+        assert_eq!(m.impls[1].self_type, "Plain");
+        assert_eq!(m.impls[2].trait_name.as_deref(), Some("Iterator"));
+        assert_eq!(m.impls[2].self_type, "Stream");
+    }
+
+    #[test]
+    fn root_attrs_are_collected() {
+        let m = build(&lex(
+            "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nfn main() {}",
+        ));
+        for a in ["forbid", "unsafe_code", "warn", "missing_docs"] {
+            assert!(model_has_attr(&m, a), "missing {a}");
+        }
+    }
+
+    fn model_has_attr(m: &FileModel, a: &str) -> bool {
+        m.root_attrs.iter().any(|x| x == a)
+    }
+
+    #[test]
+    fn enclosing_fn_finds_the_innermost() {
+        let src = "fn outer() { fn inner() { mark(); } }";
+        let lexed = lex(src);
+        let m = build(&lexed);
+        let mark = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("mark"))
+            .unwrap();
+        assert_eq!(m.enclosing_fn(mark).unwrap().name, "inner");
+    }
+}

@@ -1,0 +1,174 @@
+//! Machine-readable diagnostic output: JSONL and SARIF.
+//!
+//! Both emitters are hand-rolled (the crate stays dependency-free) and
+//! deterministic: diagnostics are emitted in their sorted order with no
+//! timestamps or absolute paths, so two runs over the same tree produce
+//! byte-identical output. The JSONL stream follows the same conventions
+//! as the `maya-obs` sinks: one single-line JSON object per line, each
+//! carrying a `"type"` tag, with a trailing summary record.
+
+use crate::{rules, Diagnostic, Severity};
+
+/// Escapes a string for inclusion in a JSON value (same escape set the
+/// `maya-obs` JSONL sink uses).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Counts per severity, for summaries and exit codes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Number of error-severity diagnostics.
+    pub errors: usize,
+    /// Number of warning-severity diagnostics.
+    pub warnings: usize,
+    /// Number of note-severity (baseline-grandfathered) diagnostics.
+    pub notes: usize,
+}
+
+/// Tallies the diagnostics by severity.
+pub fn count(diags: &[Diagnostic]) -> Counts {
+    let mut c = Counts::default();
+    for d in diags {
+        match d.severity {
+            Severity::Error => c.errors += 1,
+            Severity::Warning => c.warnings += 1,
+            Severity::Note => c.notes += 1,
+        }
+    }
+    c
+}
+
+/// Renders the JSONL stream: one `{"type":"diagnostic",...}` line per
+/// finding plus a final `{"type":"summary",...}` line.
+pub fn to_jsonl(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!(
+            "{{\"type\":\"diagnostic\",\"file\":\"{}\",\"line\":{},\"severity\":\"{}\",\"rule\":\"{}\",\"message\":\"{}\"}}\n",
+            escape(&d.file),
+            d.line,
+            d.severity.as_str(),
+            escape(d.rule),
+            escape(&d.message)
+        ));
+    }
+    let c = count(diags);
+    out.push_str(&format!(
+        "{{\"type\":\"summary\",\"diagnostics\":{},\"errors\":{},\"warnings\":{},\"notes\":{}}}\n",
+        diags.len(),
+        c.errors,
+        c.warnings,
+        c.notes
+    ));
+    out
+}
+
+/// Renders a minimal SARIF 2.1.0 log: the full rule catalog in the tool
+/// driver plus one result per diagnostic.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"maya-lint\",\"rules\":[",
+    );
+    for (i, (id, desc)) in rules::RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+            escape(id),
+            escape(desc)
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"ruleId\":\"{}\",\"level\":\"{}\",\"message\":{{\"text\":\"{}\"}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+             {{\"uri\":\"{}\"}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+            escape(d.rule),
+            d.severity.as_str(),
+            escape(&d.message),
+            escape(&d.file),
+            d.line
+        ));
+    }
+    out.push_str("]}]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                rule: rules::RULE_ENTROPY,
+                severity: Severity::Error,
+                message: "`thread_rng` seeds from OS entropy".into(),
+            },
+            Diagnostic {
+                file: "a.rs".into(),
+                line: 1,
+                rule: rules::RULE_UNUSED_ALLOW,
+                severity: Severity::Warning,
+                message: "quote \" and backslash \\".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line_with_summary() {
+        let text = to_jsonl(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
+        }
+        assert!(lines[0]
+            .starts_with("{\"type\":\"diagnostic\",\"file\":\"crates/x/src/lib.rs\",\"line\":3"));
+        assert!(lines[2].contains("\"errors\":1"));
+        assert!(lines[2].contains("\"warnings\":1"));
+        assert!(lines[1].contains("quote \\\" and backslash \\\\"));
+    }
+
+    #[test]
+    fn sarif_carries_rule_catalog_and_results() {
+        let text = to_sarif(&sample());
+        assert!(text.contains("\"version\":\"2.1.0\""));
+        for (id, _) in rules::RULES {
+            assert!(text.contains(&format!("\"id\":\"{id}\"")), "missing {id}");
+        }
+        assert!(text.contains("\"uri\":\"crates/x/src/lib.rs\""));
+        assert!(text.contains("\"startLine\":3"));
+        assert!(text.contains("\"level\":\"warning\""));
+    }
+
+    #[test]
+    fn output_is_deterministic_across_renders() {
+        let d = sample();
+        assert_eq!(to_jsonl(&d), to_jsonl(&d));
+        assert_eq!(to_sarif(&d), to_sarif(&d));
+    }
+}

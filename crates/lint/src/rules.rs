@@ -1,37 +1,185 @@
-//! The lint rules.
+//! The lint rules, operating on tokens and the dependency graph.
 //!
-//! Three families, matching the invariants in `CLAUDE.md` / `DESIGN.md`:
+//! Five families, matching the invariants in `CLAUDE.md` / `DESIGN.md`:
 //!
-//! 1. **Determinism** — no ambient entropy anywhere
-//!    ([`RULE_ENTROPY`]), no wall-clock reads in model crates
-//!    ([`RULE_WALL_CLOCK`]), no iteration-order-sensitive hash
-//!    containers in model-crate production code ([`RULE_HASH`]), and no
-//!    thread creation outside the sweep scheduler ([`RULE_THREADS`]).
-//! 2. **Safety/doc hygiene** — every crate root must carry
+//! 1. **Determinism** — no ambient entropy anywhere ([`RULE_ENTROPY`]),
+//!    no wall-clock reads in model/sim/obs crates ([`RULE_WALL_CLOCK`]),
+//!    no hash containers in their non-test code ([`RULE_HASH`]), no
+//!    thread creation outside the sweep scheduler ([`RULE_THREADS`]),
+//!    explicit `SmallRng` seeding and no RNG draws in `Drop` or
+//!    `Iterator::next` ([`RULE_RNG`]), and explicit
+//!    `wrapping_*`/`saturating_*`/`checked_*` counter arithmetic in sim
+//!    and obs code ([`RULE_ARITH`]).
+//! 2. **Robustness** — no panicking calls in per-access hot paths of
+//!    model crates or anywhere in the sweep scheduler ([`RULE_PANIC`]):
+//!    fault campaigns rely on `catch_unwind` at job granularity only.
+//! 3. **Architecture** — the dependency graph is layered: model crates
+//!    never depend on the simulator or the harness, nothing depends on
+//!    the lint tool, only the workspace root consumes the harness, and
+//!    vendored stubs stay dependency-free ([`RULE_DEP_GRAPH`]); every
+//!    package declares its class ([`RULE_CRATE_CLASS`]).
+//! 4. **Safety/doc hygiene** — crate roots carry
 //!    `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`
 //!    ([`RULE_ATTRS`]).
-//! 3. **Model registry** — every `CacheModel` implementor must be wired
-//!    into `maya_bench::designs::Design` so experiments cover it
-//!    ([`RULE_REGISTRY`]).
+//! 5. **Model registry** — every `CacheModel` implementor is wired into
+//!    `maya_bench::designs::Design` ([`RULE_REGISTRY`]).
 //!
-//! Each rule takes pre-scanned text (see [`crate::scan`]) plus the raw
-//! source for `lint: allow(...)` markers, and returns [`Diagnostic`]s.
+//! Rules receive a prepared [`FileAnalysis`] (token stream + structural
+//! model) and the crate's [`Class`]; they never look at raw text, so
+//! banned identifiers inside strings, doc comments, or raw strings can
+//! never fire, and multi-line constructs cannot hide.
 
-use crate::scan;
-use crate::Diagnostic;
+use std::collections::BTreeSet;
+
+use crate::depgraph::{Class, DepGraph};
+use crate::lexer::TokenKind;
+use crate::model::called_idents;
+use crate::scan::FileAnalysis;
+use crate::{Diagnostic, Severity};
 
 /// Rule id: ambient entropy sources are banned workspace-wide.
 pub const RULE_ENTROPY: &str = "determinism/entropy";
-/// Rule id: wall-clock reads are banned in deterministic model crates.
+/// Rule id: wall-clock reads are banned in model/sim/obs crates.
 pub const RULE_WALL_CLOCK: &str = "determinism/wall-clock";
-/// Rule id: hash containers are banned in model-crate production code.
+/// Rule id: hash containers are banned in model/sim/obs production code.
 pub const RULE_HASH: &str = "determinism/hash-container";
 /// Rule id: thread creation is pinned to the sweep scheduler.
 pub const RULE_THREADS: &str = "determinism/thread-spawn";
+/// Rule id: `SmallRng` construction must be explicitly seeded and RNG
+/// draws must not hide in `Drop` or `Iterator::next`.
+pub const RULE_RNG: &str = "determinism/rng-discipline";
+/// Rule id: cycle/counter arithmetic in sim and obs code must use
+/// explicit `wrapping_*`/`saturating_*`/`checked_*` methods.
+pub const RULE_ARITH: &str = "determinism/arith";
+/// Rule id: per-access hot paths and the scheduler must not panic.
+pub const RULE_PANIC: &str = "robustness/panic-path";
+/// Rule id: the workspace dependency graph must stay layered.
+pub const RULE_DEP_GRAPH: &str = "arch/dep-graph";
+/// Rule id: every package must declare its `[package.metadata.maya]`
+/// class.
+pub const RULE_CRATE_CLASS: &str = "arch/crate-class";
 /// Rule id: crate roots must carry the safety/doc attributes.
 pub const RULE_ATTRS: &str = "safety/crate-attrs";
 /// Rule id: every `CacheModel` impl must be a registered `Design`.
 pub const RULE_REGISTRY: &str = "model/design-registry";
+/// Rule id: malformed `lint:allow` markers (no reason / unknown rule).
+pub const RULE_ALLOW_SYNTAX: &str = "lint/allow-syntax";
+/// Rule id: a `lint:allow` marker that suppresses nothing.
+pub const RULE_UNUSED_ALLOW: &str = "lint/unused-allow";
+
+/// The rule catalog: stable id and one-line description (also emitted as
+/// the SARIF rule table).
+pub const RULES: &[(&str, &str)] = &[
+    (
+        RULE_ENTROPY,
+        "ambient entropy sources are banned workspace-wide",
+    ),
+    (
+        RULE_WALL_CLOCK,
+        "wall-clock reads are banned in model/sim/obs crates",
+    ),
+    (
+        RULE_HASH,
+        "hash containers are banned in non-test model/sim/obs code",
+    ),
+    (
+        RULE_THREADS,
+        "thread creation is pinned to the sweep scheduler",
+    ),
+    (
+        RULE_RNG,
+        "SmallRng must be explicitly seeded; no RNG draws in Drop or Iterator::next",
+    ),
+    (
+        RULE_ARITH,
+        "sim/obs counter arithmetic must use wrapping_*/saturating_*/checked_*",
+    ),
+    (
+        RULE_PANIC,
+        "per-access hot paths and the scheduler must not panic",
+    ),
+    (
+        RULE_DEP_GRAPH,
+        "the workspace dependency graph must stay layered",
+    ),
+    (
+        RULE_CRATE_CLASS,
+        "every package must declare [package.metadata.maya] class",
+    ),
+    (
+        RULE_ATTRS,
+        "crate roots must carry #![forbid(unsafe_code)] and #![warn(missing_docs)]",
+    ),
+    (
+        RULE_REGISTRY,
+        "every CacheModel impl must be a registered Design",
+    ),
+    (
+        RULE_ALLOW_SYNTAX,
+        "lint:allow markers must carry a reason and name a known rule",
+    ),
+    (
+        RULE_UNUSED_ALLOW,
+        "lint:allow markers must suppress something",
+    ),
+];
+
+/// True if `id` is a rule in the catalog.
+pub fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|(r, _)| *r == id)
+}
+
+/// The one file allowed to create threads and to panic freely outside
+/// hot-path scope exemptions: the sweep scheduler. Output determinism
+/// under parallelism rests on every cell being a pure function assembled
+/// in job-id order — ad-hoc threading elsewhere would re-introduce
+/// scheduling-dependent results.
+pub const SCHEDULER_FILE: &str = "crates/bench/src/sched.rs";
+
+/// Function names that anchor the per-access hot path. Any function with
+/// one of these names in a model/sim/obs crate — plus everything it
+/// transitively calls within its crate — must be panic-free.
+pub const HOT_ROOTS: &[&str] = &[
+    "access",
+    "probe",
+    "flush_line",
+    "flush_all",
+    "read",
+    "write",
+    "load",
+    "store",
+    "record",
+];
+
+/// Everything a per-file rule needs to know.
+pub struct FileCtx<'a> {
+    /// The prepared file analysis.
+    pub fa: &'a FileAnalysis,
+    /// The owning crate's class.
+    pub class: Class,
+    /// The owning crate's package name.
+    pub crate_name: &'a str,
+    /// True if the file lives under the package's `src/`.
+    pub in_src: bool,
+}
+
+impl FileCtx<'_> {
+    fn diag(&self, line: usize, rule: &'static str, message: String) -> Diagnostic {
+        Diagnostic {
+            file: self.fa.path.clone(),
+            line,
+            rule,
+            severity: Severity::Error,
+            message,
+        }
+    }
+
+    /// True if this crate's results must be a pure function of
+    /// (trace, seed): the model/sim/obs determinism scope.
+    fn deterministic_scope(&self) -> bool {
+        matches!(self.class, Class::Model | Class::Sim | Class::Obs)
+    }
+}
 
 /// Identifiers that reach ambient entropy. Any appearance — tests
 /// included — breaks exact reproducibility across runs.
@@ -52,77 +200,19 @@ const ENTROPY_IDENTS: &[(&str, &str)] = &[
     ),
 ];
 
-/// Deterministic model crates: simulation results must be a pure function
-/// of (trace, seed) here. `maya-bench` is excluded — its experiment
-/// driver and the `diag`/`perfbench` throughput harnesses legitimately
-/// report wall-clock runtimes (into scratch `BENCH_*.json` only, never
-/// into simulation results). `prince-cipher` stays in scope: the cipher's
-/// fused fast path is timed *from* the bench crate, not from within.
-pub const MODEL_CRATES: &[&str] = &[
-    "maya-core",
-    "maya-obs",
-    "maya-fault",
-    "champsim-lite",
-    "attacks",
-    "workloads",
-    "security-model",
-    "prince-cipher",
-];
-
-/// Returns true if `crate_name` is one of the deterministic model crates.
-pub fn is_model_crate(crate_name: &str) -> bool {
-    MODEL_CRATES.contains(&crate_name)
-}
-
-/// Emit a diagnostic for each hit of `ident` in `text`, unless the line
-/// carries an allow marker for `rule` in the raw source.
-fn flag_ident(
-    file: &str,
-    raw: &str,
-    text: &str,
-    ident: &str,
-    rule: &'static str,
-    message: String,
-) -> Vec<Diagnostic> {
-    let allowed = scan::allow_lines(raw, rule);
-    scan::find_ident(text, ident)
-        .into_iter()
-        .map(|at| scan::line_of(text, at))
-        .filter(|line| !allowed.contains(line))
-        .map(|line| Diagnostic {
-            file: file.to_string(),
-            line,
-            rule,
-            message: message.clone(),
-        })
-        .collect()
-}
-
 /// Determinism: ban ambient entropy identifiers in all code (tests too).
-///
-/// `stripped` is the comment/string-stripped source (test regions are
-/// *not* masked: entropy in tests is just as much of a repro hazard).
-pub fn check_entropy(file: &str, raw: &str, stripped: &str) -> Vec<Diagnostic> {
+pub fn check_entropy(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    for (ident, why) in ENTROPY_IDENTS {
-        out.extend(flag_ident(
-            file,
-            raw,
-            stripped,
-            ident,
-            RULE_ENTROPY,
-            format!("`{ident}` {why}"),
-        ));
+    for t in &ctx.fa.lexed.tokens {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if let Some((ident, why)) = ENTROPY_IDENTS.iter().find(|(id, _)| t.text == *id) {
+            out.push(ctx.diag(t.line, RULE_ENTROPY, format!("`{ident}` {why}")));
+        }
     }
     out
 }
-
-/// The one file allowed to create threads: the sweep scheduler. Output
-/// determinism under parallelism rests on every cell being a pure
-/// function assembled in job-id order — ad-hoc threading elsewhere would
-/// re-introduce scheduling-dependent results, so `spawn` (std threads),
-/// `rayon`, and `crossbeam` are banned outside it.
-pub const SCHEDULER_FILE: &str = "crates/bench/src/sched.rs";
 
 /// Identifiers that create or imply thread-based parallelism.
 const THREAD_IDENTS: &[(&str, &str)] = &[
@@ -140,169 +230,419 @@ const THREAD_IDENTS: &[(&str, &str)] = &[
     ),
 ];
 
-/// Determinism: ban thread creation everywhere but the sweep scheduler
-/// ([`SCHEDULER_FILE`]), whose job-id-ordered assembly is the one audited
-/// way to run cells in parallel without output divergence.
-pub fn check_thread_spawn(file: &str, raw: &str, stripped: &str) -> Vec<Diagnostic> {
-    if file == SCHEDULER_FILE {
+/// Determinism: ban thread creation everywhere but the sweep scheduler.
+pub fn check_thread_spawn(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if ctx.fa.path == SCHEDULER_FILE {
         return Vec::new();
     }
     let mut out = Vec::new();
-    for (ident, why) in THREAD_IDENTS {
-        out.extend(flag_ident(
-            file,
-            raw,
-            stripped,
-            ident,
-            RULE_THREADS,
-            format!("`{ident}` {why}"),
-        ));
+    for t in &ctx.fa.lexed.tokens {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if let Some((ident, why)) = THREAD_IDENTS.iter().find(|(id, _)| t.text == *id) {
+            out.push(ctx.diag(t.line, RULE_THREADS, format!("`{ident}` {why}")));
+        }
     }
     out
 }
 
-/// Determinism: ban `Instant` (wall-clock) in model crates.
-pub fn check_wall_clock(
-    file: &str,
-    crate_name: &str,
-    raw: &str,
-    stripped: &str,
-) -> Vec<Diagnostic> {
-    if !is_model_crate(crate_name) {
+/// Determinism: ban `Instant` (wall-clock) in model/sim/obs crates.
+pub fn check_wall_clock(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if !ctx.deterministic_scope() {
         return Vec::new();
     }
-    flag_ident(
-        file,
-        raw,
-        stripped,
-        "Instant",
-        RULE_WALL_CLOCK,
-        format!("`Instant` reads the wall clock; `{crate_name}` must be deterministic"),
-    )
+    let name = ctx.crate_name;
+    ctx.fa
+        .lexed
+        .tokens
+        .iter()
+        .filter(|t| t.is_ident("Instant"))
+        .map(|t| {
+            ctx.diag(
+                t.line,
+                RULE_WALL_CLOCK,
+                format!("`Instant` reads the wall clock; `{name}` must be deterministic"),
+            )
+        })
+        .collect()
 }
 
-/// Determinism: ban `HashMap`/`HashSet` in model-crate production code.
-///
-/// `masked` must have both comments/strings stripped *and* test regions
-/// masked — tests may use hash containers for bookkeeping because they
-/// never feed simulation results.
-pub fn check_hash_containers(
-    file: &str,
-    crate_name: &str,
-    raw: &str,
-    masked: &str,
-) -> Vec<Diagnostic> {
-    if !is_model_crate(crate_name) {
+/// Determinism: ban `HashMap`/`HashSet` in non-test model/sim/obs code.
+pub fn check_hash_containers(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if !ctx.deterministic_scope() {
         return Vec::new();
     }
     let mut out = Vec::new();
-    for ident in ["HashMap", "HashSet"] {
-        out.extend(flag_ident(
-            file,
-            raw,
-            masked,
-            ident,
-            RULE_HASH,
-            format!(
-                "`{ident}` iteration order depends on hasher state; use \
-                 BTreeMap/BTreeSet (or index by Vec) in model code"
-            ),
-        ));
+    for (i, t) in ctx.fa.lexed.tokens.iter().enumerate() {
+        if ctx.fa.model.in_test(i) {
+            continue;
+        }
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            out.push(ctx.diag(
+                t.line,
+                RULE_HASH,
+                format!(
+                    "`{}` iteration order depends on hasher state; use \
+                     BTreeMap/BTreeSet (or index by Vec) in model code",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// `SmallRng` constructors that take an explicit seed.
+const SEEDED_CTORS: &[&str] = &["seed_from_u64", "from_seed"];
+
+/// RNG methods that consume randomness from the stream.
+const DRAW_IDENTS: &[&str] = &[
+    "gen",
+    "gen_range",
+    "gen_bool",
+    "gen_ratio",
+    "sample",
+    "shuffle",
+    "choose",
+];
+
+/// Determinism: `SmallRng` construction must be `seed_from_u64`/
+/// `from_seed` with a recognizable seed expression, and RNG draws must
+/// not hide inside `Drop` impls or `Iterator::next` (where drop order or
+/// consumption laziness would silently reorder the stream).
+pub fn check_rng_discipline(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    let toks = &ctx.fa.lexed.tokens;
+    let partner = &ctx.fa.model.partner;
+    let mut out = Vec::new();
+
+    // Construction sites.
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("SmallRng") {
+            continue;
+        }
+        let Some(sep) = toks.get(i + 1) else { continue };
+        if !sep.is_punct("::") {
+            continue;
+        }
+        let Some(method) = toks.get(i + 2) else {
+            continue;
+        };
+        if method.kind != TokenKind::Ident {
+            continue;
+        }
+        if !SEEDED_CTORS.contains(&method.text.as_str()) {
+            out.push(ctx.diag(
+                method.line,
+                RULE_RNG,
+                format!(
+                    "`SmallRng::{}` is not an explicit-seed constructor; use \
+                     seed_from_u64 or from_seed fed from a seed parameter",
+                    method.text
+                ),
+            ));
+            continue;
+        }
+        // Inspect the argument list, when present at the call site.
+        if toks.get(i + 3).is_some_and(|t| t.is_punct("(")) {
+            let close = partner[i + 3];
+            let args = &toks[i + 4..close.max(i + 4)];
+            let seeded = args.iter().any(|t| {
+                (t.kind == TokenKind::Ident && {
+                    let lower = t.text.to_ascii_lowercase();
+                    lower.contains("seed") || lower.contains("key")
+                }) || t.kind == TokenKind::Int
+            });
+            if !seeded {
+                out.push(ctx.diag(
+                    method.line,
+                    RULE_RNG,
+                    format!(
+                        "`SmallRng::{}` argument does not mention a seed \
+                         (no seed/key-named identifier or integer literal); \
+                         thread the explicit seed through",
+                        method.text
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Draws inside Drop impls and Iterator::next.
+    for im in &ctx.fa.model.impls {
+        if im.in_test {
+            continue;
+        }
+        let ranges: Vec<(usize, usize, &str)> = match im.trait_name.as_deref() {
+            Some("Drop") => vec![(im.body.0, im.body.1, "Drop")],
+            Some("Iterator") => ctx
+                .fa
+                .model
+                .fns
+                .iter()
+                .filter(|f| f.name == "next")
+                .filter_map(|f| f.body)
+                .filter(|&(lo, hi)| im.body.0 <= lo && hi <= im.body.1)
+                .map(|(lo, hi)| (lo, hi, "Iterator::next"))
+                .collect(),
+            _ => continue,
+        };
+        for (lo, hi, what) in ranges {
+            for i in lo..=hi.min(toks.len() - 1) {
+                let t = &toks[i];
+                if t.kind == TokenKind::Ident
+                    && DRAW_IDENTS.contains(&t.text.as_str())
+                    && i > 0
+                    && toks[i - 1].is_punct(".")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                {
+                    out.push(ctx.diag(
+                        t.line,
+                        RULE_RNG,
+                        format!(
+                            "RNG draw `{}` inside `{what}` — drop order and \
+                             lazy consumption must not reorder the random stream; \
+                             draw eagerly at the call site instead",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compound arithmetic assignment operators banned in sim/obs code.
+const ARITH_OPS: &[&str] = &["+=", "-=", "*=", "<<=", ">>="];
+
+/// Determinism: cycle/counter arithmetic in sim and obs production code
+/// must spell out overflow behavior (`wrapping_*`/`saturating_*`/
+/// `checked_*`): a debug-mode overflow panic vs release-mode wraparound
+/// is a run-mode-dependent result, which breaks the reproducibility
+/// contract.
+pub fn check_arith(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if !matches!(ctx.class, Class::Sim | Class::Obs) || !ctx.in_src {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in ctx.fa.lexed.tokens.iter().enumerate() {
+        if ctx.fa.model.in_test(i) {
+            continue;
+        }
+        if t.kind == TokenKind::Punct && ARITH_OPS.contains(&t.text.as_str()) {
+            out.push(ctx.diag(
+                t.line,
+                RULE_ARITH,
+                format!(
+                    "compound `{}` on a counter; use explicit \
+                     wrapping_*/saturating_*/checked_* so overflow behavior \
+                     is identical in debug and release",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Methods whose call panics on `None`/`Err`.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+/// Macros that unconditionally (or conditionally) panic. `debug_assert*`
+/// is deliberately absent: it compiles out in release and cannot crash a
+/// campaign.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Robustness: no panicking calls inside the named functions.
+///
+/// `hot` is the set of function names reachable from the per-access hot
+/// roots within this crate (see [`hot_fn_closure`]); when `whole_file`
+/// is set (the scheduler), every non-test function is in scope.
+/// Slice indexing is deliberately *not* flagged: `state[i]` is the
+/// pervasive model idiom and in-bounds indices are part of the audited
+/// invariants; the rule targets explicit panic calls.
+pub fn check_panic_sites(
+    ctx: &FileCtx<'_>,
+    hot: &BTreeSet<String>,
+    whole_file: bool,
+) -> Vec<Diagnostic> {
+    let toks = &ctx.fa.lexed.tokens;
+    let mut out = Vec::new();
+    for f in &ctx.fa.model.fns {
+        if f.in_test {
+            continue;
+        }
+        if !whole_file && !hot.contains(&f.name) {
+            continue;
+        }
+        let Some((lo, hi)) = f.body else { continue };
+        for i in lo..=hi.min(toks.len() - 1) {
+            let t = &toks[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let is_method = PANIC_METHODS.contains(&t.text.as_str())
+                && i > 0
+                && toks[i - 1].is_punct(".")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+            let is_macro = PANIC_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
+            if is_method || is_macro {
+                let where_ = if whole_file {
+                    "the sweep scheduler".to_string()
+                } else {
+                    format!("hot path `fn {}`", f.name)
+                };
+                out.push(ctx.diag(
+                    t.line,
+                    RULE_PANIC,
+                    format!(
+                        "`{}` in {where_} — per-access code must not panic \
+                         (campaigns catch_unwind at job granularity only); \
+                         degrade gracefully instead",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Builds the name-based call-graph closure of the hot roots for one
+/// crate: `fns` maps each non-test function name to the identifiers it
+/// calls. Conservative by construction — any same-named function
+/// anywhere in the crate joins the closure.
+pub fn hot_fn_closure(fns: &[(String, Vec<String>)]) -> BTreeSet<String> {
+    // Constructor names never join the closure: `new`/`default` are the
+    // init-time convention (config validation may assert there), and the
+    // name-based graph would otherwise pull every constructor in the
+    // crate into the hot set through any `X::new(..)` call.
+    const CONSTRUCTORS: [&str; 2] = ["new", "default"];
+    let mut hot: BTreeSet<String> = fns
+        .iter()
+        .map(|(n, _)| n)
+        .filter(|n| HOT_ROOTS.contains(&n.as_str()))
+        .cloned()
+        .collect();
+    loop {
+        let mut grew = false;
+        for (name, callees) in fns {
+            if !hot.contains(name) {
+                continue;
+            }
+            for c in callees {
+                if CONSTRUCTORS.contains(&c.as_str()) {
+                    continue;
+                }
+                if fns.iter().any(|(n, _)| n == c) && hot.insert(c.clone()) {
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    hot
+}
+
+/// Extracts `(fn name, called identifiers)` for every non-test function
+/// with a body in the file — the crate-level call-graph ingredient.
+pub fn fn_call_edges(fa: &FileAnalysis) -> Vec<(String, Vec<String>)> {
+    fa.model
+        .fns
+        .iter()
+        .filter(|f| !f.in_test)
+        .filter_map(|f| {
+            f.body
+                .map(|(lo, hi)| (f.name.clone(), called_idents(&fa.lexed.tokens, lo, hi)))
+        })
+        .collect()
+}
+
+/// Architecture: flags `maya_bench::sched` references outside the bench
+/// crate (rule `arch/dep-graph` at token level).
+pub fn check_sched_reference(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if ctx.fa.path.starts_with("crates/bench/") {
+        return Vec::new();
+    }
+    let toks = &ctx.fa.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("maya_bench")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("sched"))
+        {
+            out.push(
+                ctx.diag(
+                    toks[i].line,
+                    RULE_DEP_GRAPH,
+                    "`maya_bench::sched` referenced outside the harness; only \
+                 maya-bench may drive the scheduler"
+                        .to_string(),
+                ),
+            );
+        }
     }
     out
 }
 
 /// Safety: the crate root must carry both required inner attributes.
-///
-/// `root_file` is the workspace-relative path of the crate root
-/// (`src/lib.rs`, or `src/main.rs` for pure binaries); `stripped` its
-/// stripped source.
-pub fn check_crate_attrs(root_file: &str, stripped: &str) -> Vec<Diagnostic> {
+pub fn check_crate_attrs(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    let attrs = &ctx.fa.model.root_attrs;
+    let has = |a: &str, b: &str| attrs.iter().any(|x| x == a) && attrs.iter().any(|x| x == b);
     let mut out = Vec::new();
-    for attr in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
-        if !stripped.contains(attr) {
-            out.push(Diagnostic {
-                file: root_file.to_string(),
-                line: 1,
-                rule: RULE_ATTRS,
-                message: format!("crate root is missing `{attr}`"),
-            });
-        }
+    if !has("forbid", "unsafe_code") {
+        out.push(ctx.diag(
+            1,
+            RULE_ATTRS,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        ));
+    }
+    if !has("warn", "missing_docs") {
+        out.push(ctx.diag(
+            1,
+            RULE_ATTRS,
+            "crate root is missing `#![warn(missing_docs)]`".to_string(),
+        ));
     }
     out
 }
 
-/// Collect the names of types with a non-test `impl CacheModel for T`.
-///
-/// `masked` must be stripped and test-masked. Handles optional path
-/// prefixes (`impl maya_core::CacheModel for T`). `impl Trait for` with
-/// other traits, trait *definitions*, and `dyn CacheModel` uses do not
-/// match.
-pub fn cache_model_impls(masked: &str) -> Vec<(String, usize)> {
-    let b = masked.as_bytes();
-    let mut found = Vec::new();
-    for at in scan::find_ident(masked, "CacheModel") {
-        // Backwards: skip `::`-joined path segments and whitespace until
-        // we either hit `impl` (match) or anything else (no match).
-        let mut i = at;
-        let impl_found = loop {
-            // Skip whitespace.
-            while i > 0 && (b[i - 1] as char).is_whitespace() {
-                i -= 1;
-            }
-            if i >= 2 && &b[i - 2..i] == b"::" {
-                i -= 2;
-                // Skip the path segment identifier.
-                while i > 0 && (b[i - 1] == b'_' || b[i - 1].is_ascii_alphanumeric()) {
-                    i -= 1;
-                }
-                continue;
-            }
-            if i >= 4 && &b[i - 4..i] == b"impl" {
-                let before = if i >= 5 { b[i - 5] } else { b' ' };
-                break !(before == b'_' || before.is_ascii_alphanumeric());
-            }
-            break false;
-        };
-        if !impl_found {
-            continue;
-        }
-        // Forwards: expect `for <Ident>`.
-        let mut j = at + "CacheModel".len();
-        while j < b.len() && (b[j] as char).is_whitespace() {
-            j += 1;
-        }
-        if j + 3 > b.len() || &b[j..j + 3] != b"for" {
-            continue;
-        }
-        j += 3;
-        while j < b.len() && (b[j] as char).is_whitespace() {
-            j += 1;
-        }
-        let start = j;
-        while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
-            j += 1;
-        }
-        if j > start {
-            found.push((masked[start..j].to_string(), scan::line_of(masked, at)));
-        }
-    }
-    found
+/// Collects the names of types with a non-test `impl CacheModel for T`
+/// in the file, with the impl's line.
+pub fn cache_model_impls(fa: &FileAnalysis) -> Vec<(String, usize)> {
+    fa.model
+        .impls
+        .iter()
+        .filter(|im| !im.in_test && im.trait_name.as_deref() == Some("CacheModel"))
+        .map(|im| (im.self_type.clone(), im.line))
+        .collect()
 }
 
-/// Registry: every `CacheModel` implementor found in `impls` (name, line,
-/// file) must appear as an identifier in the designs-registry source.
+/// Registry: every `CacheModel` implementor found in `impls` (name,
+/// line, file) must appear as an identifier in the designs registry.
 pub fn check_design_registry(
     impls: &[(String, usize, String)],
-    designs_masked: &str,
+    registry_idents: &BTreeSet<String>,
 ) -> Vec<Diagnostic> {
     impls
         .iter()
-        .filter(|(name, _, _)| scan::find_ident(designs_masked, name).is_empty())
+        .filter(|(name, _, _)| !registry_idents.contains(name))
         .map(|(name, line, file)| Diagnostic {
             file: file.clone(),
             line: *line,
             rule: RULE_REGISTRY,
+            severity: Severity::Error,
             message: format!(
                 "`{name}` implements CacheModel but is not referenced in \
                  maya_bench::designs — add a Design variant so experiments cover it"
@@ -311,168 +651,268 @@ pub fn check_design_registry(
         .collect()
 }
 
+/// Architecture: every package must declare its class.
+pub fn check_classes(graph: &DepGraph) -> Vec<Diagnostic> {
+    graph
+        .packages
+        .iter()
+        .filter(|p| p.class.is_none())
+        .map(|p| Diagnostic {
+            file: p.manifest.display().to_string(),
+            line: 1,
+            rule: RULE_CRATE_CLASS,
+            severity: Severity::Error,
+            message: format!(
+                "package `{}` declares no [package.metadata.maya] class; \
+                 classify it as model/sim/obs/harness/tooling/root/stub so \
+                 lint scope covers it",
+                p.name
+            ),
+        })
+        .collect()
+}
+
+/// Architecture: the dependency graph must stay layered.
+pub fn check_dep_graph(graph: &DepGraph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for p in &graph.packages {
+        let Some(class) = p.class else { continue };
+        if class == Class::Stub {
+            for d in p.deps.iter().chain(p.dev_deps.iter()) {
+                out.push(Diagnostic {
+                    file: p.manifest.display().to_string(),
+                    line: 1,
+                    rule: RULE_DEP_GRAPH,
+                    severity: Severity::Error,
+                    message: format!(
+                        "vendored stub `{}` must stay dependency-free but \
+                         depends on `{d}`",
+                        p.name
+                    ),
+                });
+            }
+            continue;
+        }
+        for d in p.deps.iter().chain(p.dev_deps.iter()) {
+            let Some(dep_class) = graph.class_of(d) else {
+                continue;
+            };
+            let why = match (class, dep_class) {
+                (_, Class::Tooling) => Some("nothing may depend on the lint tool"),
+                (c, Class::Harness) if c != Class::Root => {
+                    Some("only the workspace root may depend on the experiment harness")
+                }
+                (Class::Model, Class::Sim) => {
+                    Some("model crates must stay independent of the simulator")
+                }
+                _ => None,
+            };
+            if let Some(why) = why {
+                out.push(Diagnostic {
+                    file: p.manifest.display().to_string(),
+                    line: 1,
+                    rule: RULE_DEP_GRAPH,
+                    severity: Severity::Error,
+                    message: format!(
+                        "`{}` ({}) must not depend on `{d}` ({}): {why}",
+                        p.name,
+                        class.as_str(),
+                        dep_class.as_str()
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scan::{mask_test_regions, strip_comments_and_strings};
+    use crate::depgraph::{parse_manifest, Package};
+    use std::path::Path;
 
-    fn prep(src: &str) -> (String, String) {
-        let stripped = strip_comments_and_strings(src);
-        let masked = mask_test_regions(&stripped);
-        (stripped, masked)
+    fn ctx_for<'a>(fa: &'a FileAnalysis, class: Class, name: &'a str) -> FileCtx<'a> {
+        FileCtx {
+            fa,
+            class,
+            crate_name: name,
+            in_src: true,
+        }
+    }
+
+    fn fa(src: &str) -> FileAnalysis {
+        FileAnalysis::new("x.rs".into(), src)
     }
 
     #[test]
-    fn entropy_rule_catches_thread_rng() {
-        let src = "fn f() {\n    let mut r = rand::thread_rng();\n}";
-        let (stripped, _) = prep(src);
-        let d = check_entropy("x.rs", src, &stripped);
+    fn entropy_rule_catches_thread_rng_and_skips_strings() {
+        let a = fa("fn f() {\n    let mut r = rand::thread_rng();\n}");
+        let d = check_entropy(&ctx_for(&a, Class::Model, "maya-core"));
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].line, 2);
-        assert_eq!(d[0].rule, RULE_ENTROPY);
-    }
-
-    #[test]
-    fn entropy_rule_catches_from_entropy_and_system_time() {
-        let src = "let r = SmallRng::from_entropy();\nlet t = std::time::SystemTime::now();";
-        let (stripped, _) = prep(src);
-        let d = check_entropy("x.rs", src, &stripped);
-        assert_eq!(d.len(), 2);
-    }
-
-    #[test]
-    fn entropy_rule_ignores_comments_and_strings() {
-        let src = "// thread_rng is banned\nlet s = \"from_entropy\";";
-        let (stripped, _) = prep(src);
-        assert!(check_entropy("x.rs", src, &stripped).is_empty());
+        let clean = fa("// thread_rng banned\nlet s = \"from_entropy\"; let r = r\"OsRng\";");
+        assert!(check_entropy(&ctx_for(&clean, Class::Model, "maya-core")).is_empty());
     }
 
     #[test]
     fn entropy_rule_applies_inside_tests() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn f() { rand::thread_rng(); }\n}";
-        let (stripped, _) = prep(src);
-        assert_eq!(check_entropy("x.rs", src, &stripped).len(), 1);
-    }
-
-    #[test]
-    fn entropy_rule_honors_allow_marker() {
-        let src = "let r = thread_rng(); // lint: allow(determinism/entropy)";
-        let (stripped, _) = prep(src);
-        assert!(check_entropy("x.rs", src, &stripped).is_empty());
-    }
-
-    #[test]
-    fn thread_rule_flags_spawns_outside_the_scheduler() {
-        let src = "fn f() {\n    std::thread::spawn(|| {});\n}";
-        let (stripped, _) = prep(src);
-        let d = check_thread_spawn("crates/bench/src/perf.rs", src, &stripped);
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].rule, RULE_THREADS);
-        assert_eq!(d[0].line, 2);
+        let a = fa("#[cfg(test)]\nmod tests {\n    fn f() { rand::thread_rng(); }\n}");
+        assert_eq!(check_entropy(&ctx_for(&a, Class::Model, "m")).len(), 1);
     }
 
     #[test]
     fn thread_rule_exempts_the_scheduler_only() {
         let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
-        let (stripped, _) = prep(src);
-        assert!(check_thread_spawn(SCHEDULER_FILE, src, &stripped).is_empty());
+        let mut a = fa(src);
+        a.path = SCHEDULER_FILE.to_string();
+        assert!(check_thread_spawn(&ctx_for(&a, Class::Harness, "maya-bench")).is_empty());
+        let b = fa(src);
+        assert_eq!(check_thread_spawn(&ctx_for(&b, Class::Model, "m")).len(), 1);
+    }
+
+    #[test]
+    fn wall_clock_rule_scopes_by_class() {
+        let a = fa("let t = std::time::Instant::now();");
         assert_eq!(
-            check_thread_spawn("crates/core/src/maya.rs", src, &stripped).len(),
+            check_wall_clock(&ctx_for(&a, Class::Model, "maya-core")).len(),
             1
         );
-    }
-
-    #[test]
-    fn thread_rule_catches_pool_libraries_and_honors_allow() {
-        let src = "use rayon::prelude::all;\nlet c = crossbeam::channel();";
-        let (stripped, _) = prep(src);
-        assert_eq!(check_thread_spawn("x.rs", src, &stripped).len(), 2);
-        let allowed = "let h = std::thread::spawn(f); // lint: allow(determinism/thread-spawn)";
-        let (stripped, _) = prep(allowed);
-        assert!(check_thread_spawn("x.rs", allowed, &stripped).is_empty());
-    }
-
-    #[test]
-    fn wall_clock_rule_is_scoped_to_model_crates() {
-        let src = "let t = std::time::Instant::now();";
-        let (stripped, _) = prep(src);
         assert_eq!(
-            check_wall_clock("x.rs", "maya-core", src, &stripped).len(),
+            check_wall_clock(&ctx_for(&a, Class::Obs, "maya-obs")).len(),
             1
         );
-        assert!(check_wall_clock("x.rs", "maya-bench", src, &stripped).is_empty());
-    }
-
-    #[test]
-    fn wall_clock_scope_pins_bench_out_and_cipher_in() {
-        // The perf harness (diag/perfbench) may time wall-clock — it lives
-        // in maya-bench, which must stay out of the model-crate scope. The
-        // cipher crate it measures must stay *in* scope so nobody moves
-        // timing into the hot path itself.
-        assert!(!is_model_crate("maya-bench"));
-        assert!(is_model_crate("prince-cipher"));
-        let src = "let t = std::time::Instant::now();";
-        let (stripped, _) = prep(src);
-        assert!(check_wall_clock("x.rs", "maya-bench", src, &stripped).is_empty());
-        assert_eq!(
-            check_wall_clock("x.rs", "prince-cipher", src, &stripped).len(),
-            1
-        );
-    }
-
-    #[test]
-    fn wall_clock_rule_covers_the_observability_crate() {
-        // maya-obs stamps events with *simulated* cycles; a wall-clock read
-        // there would silently break trace reproducibility, so the crate
-        // sits in the model-crate scope like the caches it observes.
-        assert!(is_model_crate("maya-obs"));
-        let src = "fn stamp() -> u64 {\n    let t = std::time::Instant::now();\n    0\n}";
-        let (stripped, _) = prep(src);
-        let d = check_wall_clock("crates/obs/src/probe.rs", "maya-obs", src, &stripped);
-        assert_eq!(d.len(), 1, "Instant in maya-obs must be rejected");
-        assert_eq!(d[0].rule, RULE_WALL_CLOCK);
-        assert_eq!(d[0].line, 2);
+        assert!(check_wall_clock(&ctx_for(&a, Class::Harness, "maya-bench")).is_empty());
+        assert!(check_wall_clock(&ctx_for(&a, Class::Tooling, "maya-lint")).is_empty());
     }
 
     #[test]
     fn hash_rule_flags_production_code_only() {
-        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u64, u64>) {}\n\
-                   #[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}";
-        let (_, masked) = prep(src);
-        let d = check_hash_containers("x.rs", "champsim-lite", src, &masked);
-        assert_eq!(d.len(), 2); // the use + the fn signature; not the test
-        assert!(d.iter().all(|d| d.message.contains("HashMap")));
+        let a = fa(
+            "use std::collections::HashMap;\nfn f(m: &HashMap<u64, u64>) {}\n\
+             #[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}",
+        );
+        let d = check_hash_containers(&ctx_for(&a, Class::Sim, "champsim-lite"));
+        assert_eq!(d.len(), 2);
+        assert!(check_hash_containers(&ctx_for(&a, Class::Tooling, "maya-lint")).is_empty());
     }
 
     #[test]
-    fn hash_rule_ignores_non_model_crates() {
-        let src = "use std::collections::HashMap;";
-        let (_, masked) = prep(src);
-        assert!(check_hash_containers("x.rs", "maya-lint", src, &masked).is_empty());
+    fn rng_rule_requires_explicit_seed_constructors() {
+        let bad = fa("let r = SmallRng::from_rng(&mut other).unwrap();");
+        let d = check_rng_discipline(&ctx_for(&bad, Class::Model, "m"));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("from_rng"));
+        let good = fa("let r = SmallRng::seed_from_u64(config.seed ^ 0xcea5e2);");
+        assert!(check_rng_discipline(&ctx_for(&good, Class::Model, "m")).is_empty());
+        let lit = fa("let r = SmallRng::seed_from_u64(99);");
+        assert!(check_rng_discipline(&ctx_for(&lit, Class::Model, "m")).is_empty());
+    }
+
+    #[test]
+    fn rng_rule_flags_opaque_seed_expressions_even_split_across_lines() {
+        let bad = fa("let r = SmallRng::\n    seed_from_u64(\n    derive_something());");
+        let d = check_rng_discipline(&ctx_for(&bad, Class::Model, "m"));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("does not mention a seed"));
+    }
+
+    #[test]
+    fn rng_rule_flags_draws_in_drop_and_iterator_next() {
+        let src = "impl Drop for A {\n    fn drop(&mut self) { self.rng.gen_range(0..4); }\n}\n\
+                   impl Iterator for B {\n    type Item = u8;\n    fn next(&mut self) -> Option<u8> { Some(self.rng.gen()) }\n}\n\
+                   impl B {\n    fn next_plain(&mut self) -> u8 { self.rng.gen() }\n}";
+        let a = fa(src);
+        let d = check_rng_discipline(&ctx_for(&a, Class::Model, "m"));
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("Drop"));
+        assert!(d[1].message.contains("Iterator::next"));
+    }
+
+    #[test]
+    fn arith_rule_scopes_to_sim_and_obs_src() {
+        let a = fa("fn tick(&mut self) { self.cycles += 1; }");
+        assert_eq!(
+            check_arith(&ctx_for(&a, Class::Sim, "champsim-lite")).len(),
+            1
+        );
+        assert_eq!(check_arith(&ctx_for(&a, Class::Obs, "maya-obs")).len(), 1);
+        assert!(check_arith(&ctx_for(&a, Class::Model, "maya-core")).is_empty());
+        let mut tests_ctx = ctx_for(&a, Class::Sim, "champsim-lite");
+        tests_ctx.in_src = false;
+        assert!(check_arith(&tests_ctx).is_empty());
+        let masked = fa("#[cfg(test)]\nmod tests {\n    fn f() { let mut x = 0; x += 1; }\n}");
+        assert!(check_arith(&ctx_for(&masked, Class::Sim, "s")).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_follows_the_call_graph_from_hot_roots() {
+        let src = "fn access(&mut self) { self.pick(); }\n\
+                   fn pick(&self) -> u8 { self.v.last().unwrap() }\n\
+                   fn cold(&self) { self.v.last().expect(\"cold path\"); }";
+        let a = fa(src);
+        let edges = fn_call_edges(&a);
+        let hot = hot_fn_closure(&edges);
+        assert!(hot.contains("access") && hot.contains("pick") && !hot.contains("cold"));
+        let d = check_panic_sites(&ctx_for(&a, Class::Model, "m"), &hot, false);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("fn pick"));
+    }
+
+    #[test]
+    fn panic_rule_catches_macros_and_whole_file_scope() {
+        let src = "fn helper() { unreachable!(\"bad state\") }\nfn run() { assert!(true); }";
+        let a = fa(src);
+        let none = BTreeSet::new();
+        assert!(check_panic_sites(&ctx_for(&a, Class::Harness, "b"), &none, false).is_empty());
+        let d = check_panic_sites(&ctx_for(&a, Class::Harness, "b"), &none, true);
+        assert_eq!(d.len(), 2);
+        assert!(d[0].message.contains("scheduler"));
+    }
+
+    #[test]
+    fn panic_rule_ignores_unwrap_or_family_and_tests() {
+        let src = "fn access(&self) -> u8 { self.v.last().copied().unwrap_or(0) }\n\
+                   #[cfg(test)]\nmod t {\n    fn access() { None::<u8>.unwrap(); }\n}";
+        let a = fa(src);
+        let edges = fn_call_edges(&a);
+        let hot = hot_fn_closure(&edges);
+        assert!(check_panic_sites(&ctx_for(&a, Class::Model, "m"), &hot, false).is_empty());
+    }
+
+    #[test]
+    fn sched_reference_rule_fires_outside_bench_only() {
+        let src = "use maya_bench::sched::Sweep;";
+        let mut a = fa(src);
+        a.path = "tests/exp.rs".into();
+        assert_eq!(
+            check_sched_reference(&ctx_for(&a, Class::Root, "maya-repro")).len(),
+            1
+        );
+        let mut b = fa(src);
+        b.path = "crates/bench/src/bin/experiments.rs".into();
+        assert!(check_sched_reference(&ctx_for(&b, Class::Harness, "maya-bench")).is_empty());
     }
 
     #[test]
     fn attrs_rule_requires_both_attributes() {
-        let ok = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nfn main() {}";
-        assert!(check_crate_attrs("src/lib.rs", ok).is_empty());
-        let missing = "#![forbid(unsafe_code)]\nfn main() {}";
-        let d = check_crate_attrs("src/lib.rs", missing);
+        let ok = fa("#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nfn main() {}");
+        assert!(check_crate_attrs(&ctx_for(&ok, Class::Model, "m")).is_empty());
+        let missing = fa("#![forbid(unsafe_code)]\nfn main() {}");
+        let d = check_crate_attrs(&ctx_for(&missing, Class::Model, "m"));
         assert_eq!(d.len(), 1);
         assert!(d[0].message.contains("missing_docs"));
     }
 
     #[test]
     fn registry_finds_impls_with_and_without_paths() {
-        let src = "impl CacheModel for MayaCache {}\n\
-                   impl maya_core::CacheModel for NewThing {}\n\
-                   pub trait CacheModel {}\n\
-                   fn f(c: &dyn CacheModel) {}\n\
-                   #[cfg(test)]\nmod t { impl CacheModel for TestOnly {} }";
-        let (_, masked) = prep(src);
-        let names: Vec<String> = cache_model_impls(&masked)
-            .into_iter()
-            .map(|(n, _)| n)
-            .collect();
+        let a = fa("impl CacheModel for MayaCache {}\n\
+             impl maya_core::CacheModel for NewThing {}\n\
+             pub trait CacheModel {}\n\
+             fn f(c: &dyn CacheModel) {}\n\
+             #[cfg(test)]\nmod t { impl CacheModel for TestOnly { fn g() {} } }");
+        let names: Vec<String> = cache_model_impls(&a).into_iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["MayaCache".to_string(), "NewThing".to_string()]);
     }
 
@@ -482,11 +922,63 @@ mod tests {
             ("MayaCache".to_string(), 3, "a.rs".to_string()),
             ("RogueCache".to_string(), 9, "b.rs".to_string()),
         ];
-        let designs = "pub enum Design { Maya }\nfn build() { MayaCache::new(); }";
-        let d = check_design_registry(&impls, designs);
+        let registry_src = fa("pub enum Design { Maya }\nfn build() { MayaCache::new(); }");
+        let idents: BTreeSet<String> = registry_src
+            .lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect();
+        let d = check_design_registry(&impls, &idents);
         assert_eq!(d.len(), 1);
         assert!(d[0].message.contains("RogueCache"));
         assert_eq!(d[0].file, "b.rs");
         assert_eq!(d[0].line, 9);
+    }
+
+    fn pkg(name: &str, class: &str, deps: &[&str]) -> Package {
+        let mut text = format!("[package]\nname = \"{name}\"\n");
+        if !class.is_empty() {
+            text.push_str(&format!("[package.metadata.maya]\nclass = \"{class}\"\n"));
+        }
+        text.push_str("[dependencies]\n");
+        for d in deps {
+            text.push_str(&format!("{d} = \"1\"\n"));
+        }
+        parse_manifest(&text, Path::new(&format!("crates/{name}/Cargo.toml")))
+    }
+
+    #[test]
+    fn dep_graph_rule_enforces_layering() {
+        let graph = DepGraph {
+            packages: vec![
+                pkg("maya-core", "model", &["champsim-lite"]),
+                pkg("champsim-lite", "sim", &["maya-lint"]),
+                pkg("maya-bench", "harness", &["maya-core"]),
+                pkg("maya-obs", "obs", &["maya-bench"]),
+                pkg("maya-lint", "tooling", &[]),
+                pkg("badstub", "stub", &["rand"]),
+            ],
+        };
+        let d = check_dep_graph(&graph);
+        let msgs: Vec<&str> = d.iter().map(|d| d.message.as_str()).collect();
+        assert_eq!(d.len(), 4, "{msgs:?}");
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("independent of the simulator")));
+        assert!(msgs.iter().any(|m| m.contains("lint tool")));
+        assert!(msgs.iter().any(|m| m.contains("workspace root")));
+        assert!(msgs.iter().any(|m| m.contains("dependency-free")));
+    }
+
+    #[test]
+    fn class_rule_flags_unclassified_packages() {
+        let graph = DepGraph {
+            packages: vec![pkg("mystery", "", &[])],
+        };
+        let d = check_classes(&graph);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RULE_CRATE_CLASS);
     }
 }

@@ -1,341 +1,177 @@
-//! Token-level source scanning without a parser.
+//! Per-file analysis bundle and suppression handling.
 //!
-//! The lint rules only need to ask "does this identifier occur in real
-//! code?" — so instead of a full Rust grammar we blank out everything
-//! that is *not* code (comments, string/char literal contents) while
-//! preserving byte offsets and line structure exactly. Rules then search
-//! the stripped text and report positions that map 1:1 onto the original
-//! file.
+//! [`FileAnalysis`] ties together a file's path, token stream, and
+//! structural model so each rule gets one prepared view instead of
+//! re-lexing. Suppression of individual findings via
+//! `// lint:allow(rule) reason` markers is resolved here: a marker
+//! applies to findings of that rule on its own line, or — when the
+//! marker stands alone on a comment line — on the next line that carries
+//! code.
 
-/// Replace the contents of comments and string/char literals with spaces.
+use crate::lexer::{self, Lexed};
+use crate::model::{self, FileModel};
+use crate::{Diagnostic, Severity};
+
+/// Everything the rules need to know about one file.
+#[derive(Debug, Clone)]
+pub struct FileAnalysis {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The token stream and allow markers.
+    pub lexed: Lexed,
+    /// The structural model (fns, impls, test mask, attrs).
+    pub model: FileModel,
+}
+
+impl FileAnalysis {
+    /// Lexes and models `src`, recording it under `path`.
+    pub fn new(path: String, src: &str) -> Self {
+        let lexed = lexer::lex(src);
+        let model = model::build(&lexed);
+        FileAnalysis { path, lexed, model }
+    }
+}
+
+/// Applies a file's allow markers to its diagnostics.
 ///
-/// Newlines inside comments and strings are preserved so that byte
-/// offsets and line numbers in the stripped text match the original
-/// source. Handles line comments, nested block comments, escapes in
-/// string and char literals, raw (and byte/raw-byte) strings with any
-/// number of `#`s, and distinguishes lifetimes (`'a`) from char literals
-/// (`'a'`).
-pub fn strip_comments_and_strings(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out: Vec<u8> = Vec::with_capacity(b.len());
-    let mut i = 0;
-    // Blank `src[from..to]` into `out`, keeping newlines.
-    let blank = |out: &mut Vec<u8>, from: usize, to: usize| {
-        for &c in &b[from..to] {
-            out.push(if c == b'\n' { b'\n' } else { b' ' });
+/// Removes suppressed diagnostics from `diags` and returns marker
+/// problems: markers without a reason or naming an unknown rule are
+/// [`Severity::Error`] findings (`lint/allow-syntax`); well-formed
+/// markers that suppressed nothing are [`Severity::Warning`] findings
+/// (`lint/unused-allow`) so stale suppressions get cleaned up.
+pub fn apply_allows(fa: &FileAnalysis, diags: &mut Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut problems = Vec::new();
+    let mut used = vec![false; fa.lexed.allows.len()];
+    diags.retain(|d| {
+        if d.file != fa.path {
+            return true;
         }
-    };
-    while i < b.len() {
-        let c = b[i];
-        // Line comment.
-        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
-            let start = i;
-            while i < b.len() && b[i] != b'\n' {
-                i += 1;
-            }
-            blank(&mut out, start, i);
-            continue;
-        }
-        // Block comment (nested).
-        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-            let start = i;
-            let mut depth = 1;
-            i += 2;
-            while i < b.len() && depth > 0 {
-                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-                    depth += 1;
-                    i += 2;
-                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
-                    depth -= 1;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-            }
-            blank(&mut out, start, i);
-            continue;
-        }
-        // Raw strings: r"..."  r#"..."#  br"..."  br#"..."# etc.
-        if c == b'r' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'r') {
-            let r_at = if c == b'r' { i } else { i + 1 };
-            // Must not be the tail of a longer identifier (e.g. `var`).
-            let prev_is_ident = i > 0 && is_ident_byte(b[i - 1]);
-            if !prev_is_ident && r_at < b.len() {
-                let mut j = r_at + 1;
-                let mut hashes = 0;
-                while j < b.len() && b[j] == b'#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                if j < b.len() && b[j] == b'"' {
-                    // It is a raw string; find the closing `"###...`.
-                    let start = i;
-                    j += 1;
-                    'outer: while j < b.len() {
-                        if b[j] == b'"' {
-                            let mut k = 0;
-                            while k < hashes {
-                                if j + 1 + k >= b.len() || b[j + 1 + k] != b'#' {
-                                    j += 1;
-                                    continue 'outer;
-                                }
-                                k += 1;
-                            }
-                            j += 1 + hashes;
-                            break;
-                        }
-                        j += 1;
-                    }
-                    // Keep the delimiters' first/last byte as quotes so the
-                    // output still "looks like" a string boundary; simplest
-                    // is to blank the whole literal.
-                    blank(&mut out, start, j);
-                    i = j;
-                    continue;
-                }
-            }
-        }
-        // Ordinary (or byte) string literal.
-        if c == b'"'
-            || (c == b'b'
-                && i + 1 < b.len()
-                && b[i + 1] == b'"'
-                && !(i > 0 && is_ident_byte(b[i - 1])))
-        {
-            let start = i;
-            i += if c == b'"' { 1 } else { 2 };
-            while i < b.len() {
-                if b[i] == b'\\' {
-                    i += 2;
-                } else if b[i] == b'"' {
-                    i += 1;
-                    break;
-                } else {
-                    i += 1;
-                }
-            }
-            blank(&mut out, start, i.min(b.len()));
-            continue;
-        }
-        // Char literal vs lifetime.
-        if c == b'\'' {
-            // Escaped char: definitely a literal.
-            if i + 1 < b.len() && b[i + 1] == b'\\' {
-                let start = i;
-                i += 2; // consume '\ and the escape lead
-                while i < b.len() && b[i] != b'\'' {
-                    i += 1;
-                }
-                i = (i + 1).min(b.len());
-                blank(&mut out, start, i);
+        for (i, m) in fa.lexed.allows.iter().enumerate() {
+            if m.rule != d.rule || m.reason.is_empty() {
                 continue;
             }
-            // 'x' (one char then quote) is a literal; 'ident is a lifetime.
-            if i + 1 < b.len() && is_ident_byte(b[i + 1]) {
-                // Find end of the identifier-ish run.
-                let mut j = i + 1;
-                while j < b.len() && is_ident_byte(b[j]) {
-                    j += 1;
-                }
-                if j == i + 2 && j < b.len() && b[j] == b'\'' {
-                    // 'x' — a char literal.
-                    blank(&mut out, i, j + 1);
-                    i = j + 1;
-                    continue;
-                }
-                // Lifetime: emit the quote and continue scanning normally
-                // (the identifier itself is code, e.g. `'static`).
-                out.push(b'\'');
-                i += 1;
-                continue;
-            }
-            // Something like '(' char literal with single non-ident char.
-            if i + 2 < b.len() && b[i + 2] == b'\'' {
-                blank(&mut out, i, i + 3);
-                i += 3;
-                continue;
-            }
-            out.push(b'\'');
-            i += 1;
-            continue;
-        }
-        out.push(c);
-        i += 1;
-    }
-    // The scanner operates on bytes but only ever blanks whole runs or
-    // copies bytes through, so UTF-8 sequences survive intact.
-    String::from_utf8(out).expect("stripping preserves UTF-8")
-}
-
-fn is_ident_byte(c: u8) -> bool {
-    c == b'_' || c.is_ascii_alphanumeric()
-}
-
-/// Blank out `#[cfg(test)]`-gated items in already-stripped source.
-///
-/// Finds each `#[cfg(test)]` attribute, skips any further attributes,
-/// then blanks through the end of the following item: the matching `}`
-/// of its first brace, or the first `;` for semicolon items.
-pub fn mask_test_regions(stripped: &str) -> String {
-    let mut out = stripped.as_bytes().to_vec();
-    let needle = b"#[cfg(test)]";
-    let b = stripped.as_bytes();
-    let mut i = 0;
-    while i + needle.len() <= b.len() {
-        if &b[i..i + needle.len()] != needle.as_slice() {
-            i += 1;
-            continue;
-        }
-        let start = i;
-        let mut j = i + needle.len();
-        // Walk to the end of the gated item.
-        let mut depth = 0usize;
-        let mut end = b.len();
-        while j < b.len() {
-            match b[j] {
-                b'{' => depth += 1,
-                b'}' => {
-                    if depth > 0 {
-                        depth -= 1;
-                        if depth == 0 {
-                            end = j + 1;
-                            break;
-                        }
-                    } else {
-                        // Closing brace of the enclosing scope: the gated
-                        // item ended without braces; stop before it.
-                        end = j;
-                        break;
-                    }
-                }
-                b';' if depth == 0 => {
-                    end = j + 1;
-                    break;
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        for c in &mut out[start..end] {
-            if *c != b'\n' {
-                *c = b' ';
+            let same_line = m.line == d.line;
+            let line_above = !fa.lexed.line_has_code(m.line) && m.line + 1 == d.line;
+            if same_line || line_above {
+                used[i] = true;
+                return false;
             }
         }
-        i = end;
-    }
-    String::from_utf8(out).expect("masking preserves UTF-8")
-}
-
-/// Byte offsets of every word-boundary occurrence of `ident` in `text`.
-pub fn find_ident(text: &str, ident: &str) -> Vec<usize> {
-    let mut hits = Vec::new();
-    let b = text.as_bytes();
-    let n = ident.len();
-    if n == 0 {
-        return hits;
-    }
-    let mut from = 0;
-    while let Some(pos) = text[from..].find(ident) {
-        let at = from + pos;
-        let before_ok = at == 0 || !is_ident_byte(b[at - 1]);
-        let after_ok = at + n >= b.len() || !is_ident_byte(b[at + n]);
-        if before_ok && after_ok {
-            hits.push(at);
+        true
+    });
+    for (i, m) in fa.lexed.allows.iter().enumerate() {
+        if m.reason.is_empty() {
+            problems.push(Diagnostic {
+                file: fa.path.clone(),
+                line: m.line,
+                rule: crate::rules::RULE_ALLOW_SYNTAX,
+                severity: Severity::Error,
+                message: format!(
+                    "`lint:allow({})` must carry a reason after the closing parenthesis",
+                    m.rule
+                ),
+            });
+        } else if !crate::rules::is_known_rule(&m.rule) {
+            problems.push(Diagnostic {
+                file: fa.path.clone(),
+                line: m.line,
+                rule: crate::rules::RULE_ALLOW_SYNTAX,
+                severity: Severity::Error,
+                message: format!("`lint:allow({})` names an unknown rule", m.rule),
+            });
+        } else if !used[i] {
+            problems.push(Diagnostic {
+                file: fa.path.clone(),
+                line: m.line,
+                rule: crate::rules::RULE_UNUSED_ALLOW,
+                severity: Severity::Warning,
+                message: format!(
+                    "`lint:allow({})` suppresses nothing here; remove the stale marker",
+                    m.rule
+                ),
+            });
         }
-        from = at + n;
     }
-    hits
-}
-
-/// 1-indexed line number of a byte offset.
-pub fn line_of(text: &str, byte: usize) -> usize {
-    text.as_bytes()[..byte.min(text.len())]
-        .iter()
-        .filter(|&&c| c == b'\n')
-        .count()
-        + 1
-}
-
-/// Line numbers (1-indexed) carrying a `lint: allow(<rule>)` marker,
-/// collected from the *raw* source (the marker lives in a comment).
-pub fn allow_lines(raw: &str, rule: &str) -> Vec<usize> {
-    let needle = format!("lint: allow({rule})");
-    raw.lines()
-        .enumerate()
-        .filter(|(_, l)| l.contains(&needle))
-        .map(|(i, _)| i + 1)
-        .collect()
+    problems
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::RULE_ENTROPY;
 
-    #[test]
-    fn strips_line_and_block_comments() {
-        let s =
-            strip_comments_and_strings("let x = 1; // thread_rng\n/* a /* nested */ b */ let y;");
-        assert!(!s.contains("thread_rng"));
-        assert!(!s.contains("nested"));
-        assert!(s.contains("let x = 1;"));
-        assert!(s.contains("let y;"));
-        assert_eq!(s.lines().count(), 2);
+    fn diag(file: &str, line: usize) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: RULE_ENTROPY,
+            severity: Severity::Error,
+            message: "x".into(),
+        }
     }
 
     #[test]
-    fn strips_strings_preserving_offsets() {
-        let src = "let s = \"HashMap\\\" still\"; HashMap::new();";
-        let s = strip_comments_and_strings(src);
-        assert_eq!(s.len(), src.len());
-        assert_eq!(find_ident(&s, "HashMap").len(), 1);
+    fn same_line_marker_suppresses() {
+        let fa = FileAnalysis::new(
+            "a.rs".into(),
+            "thread_rng(); // lint:allow(determinism/entropy) fixture data\n",
+        );
+        let mut diags = vec![diag("a.rs", 1)];
+        let problems = apply_allows(&fa, &mut diags);
+        assert!(diags.is_empty());
+        assert!(problems.is_empty());
     }
 
     #[test]
-    fn strips_raw_strings() {
-        let src = "let s = r#\"uses thread_rng()\"#; let t = br\"SystemTime\";";
-        let s = strip_comments_and_strings(src);
-        assert!(find_ident(&s, "thread_rng").is_empty());
-        assert!(find_ident(&s, "SystemTime").is_empty());
+    fn comment_only_marker_applies_to_next_line() {
+        let fa = FileAnalysis::new(
+            "a.rs".into(),
+            "// lint:allow(determinism/entropy) fixture data\nthread_rng();\n",
+        );
+        let mut diags = vec![diag("a.rs", 2)];
+        assert!(apply_allows(&fa, &mut diags).is_empty());
+        assert!(diags.is_empty());
     }
 
     #[test]
-    fn distinguishes_lifetimes_from_char_literals() {
-        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
-        let s = strip_comments_and_strings(src);
-        assert!(s.contains("'a str"));
-        assert!(!s.contains("'x'"));
-        let src2 = "let c = '\\n'; let d = '\\'';";
-        let s2 = strip_comments_and_strings(src2);
-        assert!(!s2.contains("\\n"));
+    fn marker_without_reason_is_an_error_and_does_not_suppress() {
+        let fa = FileAnalysis::new(
+            "a.rs".into(),
+            "thread_rng(); // lint:allow(determinism/entropy)\n",
+        );
+        let mut diags = vec![diag("a.rs", 1)];
+        let problems = apply_allows(&fa, &mut diags);
+        assert_eq!(diags.len(), 1, "no reason, no suppression");
+        assert_eq!(problems.len(), 1);
+        assert_eq!(problems[0].rule, crate::rules::RULE_ALLOW_SYNTAX);
+        assert_eq!(problems[0].severity, Severity::Error);
     }
 
     #[test]
-    fn masks_cfg_test_modules() {
-        let src = "fn real() { HashMap::new(); }\n#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\nfn after() {}";
-        let masked = mask_test_regions(src);
-        assert_eq!(find_ident(&masked, "HashMap").len(), 1);
-        assert!(find_ident(&masked, "HashSet").is_empty());
-        assert!(masked.contains("fn after"));
+    fn unknown_rule_and_unused_markers_are_reported() {
+        let fa = FileAnalysis::new(
+            "a.rs".into(),
+            "x(); // lint:allow(no/such-rule) because\ny(); // lint:allow(determinism/entropy) nothing fires here\n",
+        );
+        let mut diags = Vec::new();
+        let problems = apply_allows(&fa, &mut diags);
+        assert_eq!(problems.len(), 2);
+        assert_eq!(problems[0].rule, crate::rules::RULE_ALLOW_SYNTAX);
+        assert_eq!(problems[1].rule, crate::rules::RULE_UNUSED_ALLOW);
+        assert_eq!(problems[1].severity, Severity::Warning);
     }
 
     #[test]
-    fn ident_search_respects_word_boundaries() {
-        let hits = find_ident("my_thread_rng thread_rng threads", "thread_rng");
-        assert_eq!(hits.len(), 1);
-    }
-
-    #[test]
-    fn line_numbers_are_one_indexed() {
-        let t = "a\nb\nc";
-        assert_eq!(line_of(t, 0), 1);
-        assert_eq!(line_of(t, 2), 2);
-        assert_eq!(line_of(t, 4), 3);
-    }
-
-    #[test]
-    fn allow_marker_is_per_rule_and_per_line() {
-        let raw = "x(); // lint: allow(determinism/entropy)\ny();";
-        assert_eq!(allow_lines(raw, "determinism/entropy"), vec![1]);
-        assert!(allow_lines(raw, "determinism/hash-container").is_empty());
+    fn marker_for_a_different_rule_does_not_suppress() {
+        let fa = FileAnalysis::new(
+            "a.rs".into(),
+            "thread_rng(); // lint:allow(determinism/wall-clock) wrong rule\n",
+        );
+        let mut diags = vec![diag("a.rs", 1)];
+        let problems = apply_allows(&fa, &mut diags);
+        assert_eq!(diags.len(), 1);
+        // The wrong-rule marker is unused.
+        assert_eq!(problems.len(), 1);
+        assert_eq!(problems[0].rule, crate::rules::RULE_UNUSED_ALLOW);
     }
 }

@@ -1,88 +1,56 @@
 //! Workspace discovery and rule orchestration.
 //!
-//! Finds every package (the root `maya-repro` package plus `crates/*`),
-//! loads their Rust sources, and applies the [`crate::rules`] with the
-//! right per-rule scope: entropy and thread creation everywhere (the
-//! sweep scheduler excepted), wall-clock and hash containers in model
-//! crates, crate attributes on crate roots, and the design registry over
-//! non-test `src/` code.
+//! Loads the dependency graph ([`crate::depgraph`]), lexes and models
+//! every Rust source of every workspace package (the root `maya-repro`
+//! package plus `crates/*`; vendored stubs are checked at the manifest
+//! level only), and applies the [`crate::rules`] with per-class scope.
+//! Suppressions are resolved per file, exact duplicates collapsed, and
+//! baseline-grandfathered findings demoted to notes before the report is
+//! returned.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::rules;
-use crate::scan;
-use crate::Diagnostic;
+use crate::depgraph::{self, Class};
+use crate::output::{count, Counts};
+use crate::rules::{self, FileCtx};
+use crate::scan::{self, FileAnalysis};
+use crate::{Diagnostic, Severity};
 
-/// A workspace member package.
+/// The outcome of a lint run.
 #[derive(Debug, Clone)]
-pub struct Package {
-    /// Package name as declared in its `Cargo.toml`.
-    pub name: String,
-    /// Absolute path of the package directory.
-    pub dir: PathBuf,
+pub struct LintReport {
+    /// All diagnostics, sorted by (file, line, rule, message), with
+    /// suppressions applied and baseline entries demoted to notes.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Severity tallies.
+    pub counts: Counts,
 }
 
-/// Locate all workspace packages under `root`: the root package itself
-/// plus every `crates/<dir>` containing a `Cargo.toml`. Sorted by name
-/// so diagnostics are stable.
-pub fn find_packages(root: &Path) -> Result<Vec<Package>, String> {
-    let mut pkgs = Vec::new();
-    let root_manifest = root.join("Cargo.toml");
-    if let Some(name) = package_name(&root_manifest)? {
-        pkgs.push(Package {
-            name,
-            dir: root.to_path_buf(),
-        });
+impl LintReport {
+    /// True if the run should fail (any error-severity finding).
+    pub fn failed(&self) -> bool {
+        self.counts.errors > 0
     }
-    let crates_dir = root.join("crates");
-    if crates_dir.is_dir() {
-        let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)
-            .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?
-            .filter_map(|e| e.ok())
-            .map(|e| e.path())
-            .filter(|p| p.join("Cargo.toml").is_file())
-            .collect();
-        entries.sort();
-        for dir in entries {
-            if let Some(name) = package_name(&dir.join("Cargo.toml"))? {
-                pkgs.push(Package { name, dir });
-            }
-        }
-    }
-    pkgs.sort_by(|a, b| a.name.cmp(&b.name));
-    Ok(pkgs)
-}
-
-/// Extract `name = "..."` from a manifest's `[package]` section, or
-/// `None` for a virtual (workspace-only) manifest.
-fn package_name(manifest: &Path) -> Result<Option<String>, String> {
-    let text =
-        fs::read_to_string(manifest).map_err(|e| format!("reading {}: {e}", manifest.display()))?;
-    let mut in_package = false;
-    for line in text.lines() {
-        let line = line.trim();
-        if line.starts_with('[') {
-            in_package = line == "[package]";
-            continue;
-        }
-        if in_package && line.starts_with("name") {
-            if let Some(eq) = line.find('=') {
-                let v = line[eq + 1..].trim().trim_matches('"');
-                return Ok(Some(v.to_string()));
-            }
-        }
-    }
-    Ok(None)
 }
 
 /// All `.rs` files under a package's `src/`, `tests/`, `examples/` and
 /// `benches/` directories, recursively, sorted for stable output.
+/// Fixture trees under `tests/fixtures` are skipped: they contain
+/// deliberate violations for the lint's own tests.
 pub fn rust_files(pkg_dir: &Path) -> Vec<PathBuf> {
     let mut files = Vec::new();
     for sub in ["src", "tests", "examples", "benches"] {
         collect_rs(&pkg_dir.join(sub), &mut files);
     }
+    // Relative to the package, so a fixture workspace that itself lives
+    // under some crate's `tests/fixtures` can still be scanned as a root.
+    files.retain(|p| {
+        p.strip_prefix(pkg_dir)
+            .map(|r| !r.starts_with("tests/fixtures"))
+            .unwrap_or(true)
+    });
     files.sort();
     files
 }
@@ -101,72 +69,197 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Run every rule over the workspace rooted at `root`.
+/// Runs every rule over the workspace rooted at `root` with an empty
+/// baseline.
+pub fn run(root: &Path) -> Result<LintReport, String> {
+    run_with_baseline(root, &BTreeSet::new())
+}
+
+/// Runs every rule over the workspace rooted at `root`. Error findings
+/// whose `file:line:rule` key appears in `baseline` are demoted to
+/// [`Severity::Note`] (reported, but non-fatal).
 ///
-/// Returns the full set of diagnostics sorted by file, line, and rule;
-/// an `Err` means the workspace itself could not be read (missing
+/// An `Err` means the workspace itself could not be read (missing
 /// manifests, unreadable files) rather than a lint finding.
-pub fn run(root: &Path) -> Result<Vec<Diagnostic>, String> {
-    let packages = find_packages(root)?;
-    if packages.is_empty() {
+pub fn run_with_baseline(root: &Path, baseline: &BTreeSet<String>) -> Result<LintReport, String> {
+    let graph = depgraph::load(root)?;
+    if graph.packages.is_empty() {
         return Err(format!("no packages found under {}", root.display()));
     }
 
-    let designs_path = root.join("crates/bench/src/designs.rs");
-    let designs_raw = fs::read_to_string(&designs_path)
-        .map_err(|e| format!("design registry {}: {e}", designs_path.display()))?;
-    let designs_masked = scan::mask_test_regions(&scan::strip_comments_and_strings(&designs_raw));
-
     let mut diags = Vec::new();
-    let mut impls: Vec<(String, usize, String)> = Vec::new();
+    diags.extend(rules::check_classes(&graph));
+    diags.extend(rules::check_dep_graph(&graph));
 
-    for pkg in &packages {
-        // Safety/doc attributes on the crate root.
-        let lib = pkg.dir.join("src/lib.rs");
-        let main = pkg.dir.join("src/main.rs");
-        let crate_root = if lib.is_file() {
-            Some(lib)
-        } else if main.is_file() {
-            Some(main)
-        } else {
-            None // virtual-ish package (root carries only tests/examples)
-        };
-        if let Some(ref cr) = crate_root {
-            let raw =
-                fs::read_to_string(cr).map_err(|e| format!("reading {}: {e}", cr.display()))?;
-            let stripped = scan::strip_comments_and_strings(&raw);
-            diags.extend(rules::check_crate_attrs(&rel(root, cr), &stripped));
+    // Source scan: the root package and crates/*; stubs are manifest-only.
+    struct ScannedFile {
+        fa: FileAnalysis,
+        in_src: bool,
+    }
+    struct ScannedPkg {
+        name: String,
+        class: Class,
+        files: Vec<ScannedFile>,
+    }
+    let mut scanned: Vec<ScannedPkg> = Vec::new();
+    for pkg in &graph.packages {
+        let dir_str = pkg.dir.to_string_lossy();
+        let in_scope = dir_str.is_empty() || dir_str.starts_with("crates");
+        if !in_scope || pkg.class == Some(Class::Stub) {
+            continue;
         }
-
-        for file in rust_files(&pkg.dir) {
-            let raw = fs::read_to_string(&file)
+        // Unclassified packages already carry an arch/crate-class error;
+        // scan them under the strictest scope so nothing slips through.
+        let class = pkg.class.unwrap_or(Class::Model);
+        let pkg_dir = root.join(&pkg.dir);
+        let mut files = Vec::new();
+        for file in rust_files(&pkg_dir) {
+            let src = fs::read_to_string(&file)
                 .map_err(|e| format!("reading {}: {e}", file.display()))?;
             let relpath = rel(root, &file);
-            let stripped = scan::strip_comments_and_strings(&raw);
-            let masked = scan::mask_test_regions(&stripped);
+            files.push(ScannedFile {
+                fa: FileAnalysis::new(relpath, &src),
+                in_src: file.starts_with(pkg_dir.join("src")),
+            });
+        }
+        scanned.push(ScannedPkg {
+            name: pkg.name.clone(),
+            class,
+            files,
+        });
+    }
 
-            diags.extend(rules::check_entropy(&relpath, &raw, &stripped));
-            diags.extend(rules::check_thread_spawn(&relpath, &raw, &stripped));
-            diags.extend(rules::check_wall_clock(
-                &relpath, &pkg.name, &raw, &stripped,
-            ));
-            diags.extend(rules::check_hash_containers(
-                &relpath, &pkg.name, &raw, &masked,
-            ));
-
-            // Registry: only production code under src/ must register;
-            // integration tests may build throwaway models.
-            if file.starts_with(pkg.dir.join("src")) {
-                for (name, line) in rules::cache_model_impls(&masked) {
-                    impls.push((name, line, relpath.clone()));
+    // Per-file rules, call-graph edges, and CacheModel impls.
+    let mut impls: Vec<(String, usize, String)> = Vec::new();
+    let mut crate_edges: BTreeMap<String, Vec<(String, Vec<String>)>> = BTreeMap::new();
+    for pkg in &scanned {
+        for f in &pkg.files {
+            let ctx = FileCtx {
+                fa: &f.fa,
+                class: pkg.class,
+                crate_name: &pkg.name,
+                in_src: f.in_src,
+            };
+            diags.extend(rules::check_entropy(&ctx));
+            diags.extend(rules::check_thread_spawn(&ctx));
+            diags.extend(rules::check_wall_clock(&ctx));
+            diags.extend(rules::check_hash_containers(&ctx));
+            diags.extend(rules::check_rng_discipline(&ctx));
+            diags.extend(rules::check_arith(&ctx));
+            diags.extend(rules::check_sched_reference(&ctx));
+            if f.in_src && (f.fa.path.ends_with("src/lib.rs") || f.fa.path.ends_with("src/main.rs"))
+            {
+                diags.extend(rules::check_crate_attrs(&ctx));
+            }
+            if f.in_src {
+                for (name, line) in rules::cache_model_impls(&f.fa) {
+                    impls.push((name, line, f.fa.path.clone()));
                 }
+                crate_edges
+                    .entry(pkg.name.clone())
+                    .or_default()
+                    .extend(rules::fn_call_edges(&f.fa));
             }
         }
     }
 
-    diags.extend(rules::check_design_registry(&impls, &designs_masked));
-    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(diags)
+    // Hot-path panic scan: per-crate closure from the hot roots.
+    for pkg in &scanned {
+        let hot = crate_edges
+            .get(&pkg.name)
+            .map(|edges| rules::hot_fn_closure(edges))
+            .unwrap_or_default();
+        for f in &pkg.files {
+            let whole_file = f.fa.path == rules::SCHEDULER_FILE;
+            let in_scope = matches!(pkg.class, Class::Model | Class::Sim | Class::Obs) && f.in_src;
+            if !whole_file && !in_scope {
+                continue;
+            }
+            let ctx = FileCtx {
+                fa: &f.fa,
+                class: pkg.class,
+                crate_name: &pkg.name,
+                in_src: f.in_src,
+            };
+            diags.extend(rules::check_panic_sites(&ctx, &hot, whole_file));
+        }
+    }
+
+    // Design registry: skipped when the registry file is absent (fixture
+    // mini-workspaces without a harness).
+    let designs_path = root.join("crates/bench/src/designs.rs");
+    if designs_path.is_file() {
+        let src = fs::read_to_string(&designs_path)
+            .map_err(|e| format!("design registry {}: {e}", designs_path.display()))?;
+        let fa = FileAnalysis::new(rel(root, &designs_path), &src);
+        let idents: BTreeSet<String> = fa
+            .lexed
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| !fa.model.in_test(*i) && t.kind == crate::lexer::TokenKind::Ident)
+            .map(|(_, t)| t.text.clone())
+            .collect();
+        diags.extend(rules::check_design_registry(&impls, &idents));
+    }
+
+    // Suppressions, then marker hygiene findings.
+    let mut marker_problems = Vec::new();
+    for pkg in &scanned {
+        for f in &pkg.files {
+            marker_problems.extend(scan::apply_allows(&f.fa, &mut diags));
+        }
+    }
+    diags.extend(marker_problems);
+
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    diags.dedup();
+
+    // Baseline: grandfathered errors become notes.
+    for d in &mut diags {
+        if d.severity == Severity::Error && baseline.contains(&baseline_key(d)) {
+            d.severity = Severity::Note;
+        }
+    }
+
+    let counts = count(&diags);
+    Ok(LintReport {
+        diagnostics: diags,
+        counts,
+    })
+}
+
+/// The baseline key of a diagnostic: `file:line:rule`.
+pub fn baseline_key(d: &Diagnostic) -> String {
+    format!("{}:{}:{}", d.file, d.line, d.rule)
+}
+
+/// Parses a baseline file's text: one key per line, `#` comments and
+/// blank lines ignored.
+pub fn parse_baseline(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Renders the baseline entries for the current error findings (sorted,
+/// unique), for `--write-baseline`.
+pub fn format_baseline(diags: &[Diagnostic]) -> String {
+    let keys: BTreeSet<String> = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(baseline_key)
+        .collect();
+    let mut out = String::new();
+    for k in keys {
+        out.push_str(&k);
+        out.push('\n');
+    }
+    out
 }
 
 fn rel(root: &Path, path: &Path) -> String {
@@ -189,8 +282,8 @@ mod tests {
 
     #[test]
     fn finds_all_workspace_packages() {
-        let pkgs = find_packages(&repo_root()).unwrap();
-        let names: Vec<&str> = pkgs.iter().map(|p| p.name.as_str()).collect();
+        let graph = depgraph::load(&repo_root()).unwrap();
+        let names: Vec<&str> = graph.packages.iter().map(|p| p.name.as_str()).collect();
         for expected in [
             "maya-repro",
             "maya-core",
@@ -208,34 +301,38 @@ mod tests {
 
     #[test]
     fn clean_tree_produces_no_diagnostics() {
-        let diags = run(&repo_root()).unwrap();
+        let report = run(&repo_root()).unwrap();
         assert!(
-            diags.is_empty(),
+            report.diagnostics.is_empty(),
             "expected clean tree, got:\n{}",
-            diags
+            report
+                .diagnostics
                 .iter()
                 .map(|d| d.to_string())
                 .collect::<Vec<_>>()
                 .join("\n")
         );
+        assert!(!report.failed());
     }
 
     #[test]
     fn registry_scan_sees_the_real_implementations() {
         let root = repo_root();
+        let graph = depgraph::load(&root).unwrap();
         let mut names = Vec::new();
-        for pkg in find_packages(&root).unwrap() {
-            for file in rust_files(&pkg.dir) {
-                if !file.starts_with(pkg.dir.join("src")) {
+        for pkg in &graph.packages {
+            let dir_str = pkg.dir.to_string_lossy().to_string();
+            if !(dir_str.is_empty() || dir_str.starts_with("crates")) {
+                continue;
+            }
+            let pkg_dir = root.join(&pkg.dir);
+            for file in rust_files(&pkg_dir) {
+                if !file.starts_with(pkg_dir.join("src")) {
                     continue;
                 }
-                let raw = fs::read_to_string(&file).unwrap();
-                let masked = scan::mask_test_regions(&scan::strip_comments_and_strings(&raw));
-                names.extend(
-                    rules::cache_model_impls(&masked)
-                        .into_iter()
-                        .map(|(n, _)| n),
-                );
+                let src = fs::read_to_string(&file).unwrap();
+                let fa = FileAnalysis::new(rel(&root, &file), &src);
+                names.extend(rules::cache_model_impls(&fa).into_iter().map(|(n, _)| n));
             }
         }
         for expected in [
@@ -249,5 +346,20 @@ mod tests {
                 "did not find impl for {expected}"
             );
         }
+    }
+
+    #[test]
+    fn baseline_round_trip_demotes_errors_to_notes() {
+        let d = Diagnostic {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: rules::RULE_ENTROPY,
+            severity: Severity::Error,
+            message: "m".into(),
+        };
+        let text = format_baseline(std::slice::from_ref(&d));
+        assert_eq!(text, "crates/x/src/lib.rs:7:determinism/entropy\n");
+        let parsed = parse_baseline("# comment\n\ncrates/x/src/lib.rs:7:determinism/entropy\n");
+        assert!(parsed.contains(&baseline_key(&d)));
     }
 }

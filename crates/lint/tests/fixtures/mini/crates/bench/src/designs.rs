@@ -1,0 +1,8 @@
+//! Registry fixture: `GoodCache` is registered; anything else that
+//! implements `CacheModel` in this workspace must be flagged.
+
+/// The registered designs.
+pub enum Design {
+    /// The one blessed cache model.
+    GoodCache,
+}

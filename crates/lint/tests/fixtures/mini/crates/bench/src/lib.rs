@@ -1,0 +1,5 @@
+//! Mini harness: carries the design registry the fixture lint run reads.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod designs;

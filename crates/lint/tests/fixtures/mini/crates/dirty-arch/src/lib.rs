@@ -1,0 +1,19 @@
+//! Fixture crate: arch/dep-graph and model/design-registry violations.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A cache model nobody registered as a `Design`.
+pub struct Rogue;
+
+impl CacheModel for Rogue {}
+
+/// Reaches into the scheduler from outside the harness.
+pub fn peek() -> usize {
+    maya_bench::sched::worker_count()
+}
+
+/// Same reference, suppressed with a reason.
+pub fn peek_suppressed() -> usize {
+    // lint:allow(arch/dep-graph) fixture: proves suppression works for the dep-graph pack
+    maya_bench::sched::worker_count()
+}

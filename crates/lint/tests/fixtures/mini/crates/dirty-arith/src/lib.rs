@@ -1,0 +1,18 @@
+//! Fixture crate: determinism/arith violations, one suppressed.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A toy cycle counter.
+pub struct Clock {
+    cycles: u64,
+    ticks: u64,
+}
+
+impl Clock {
+    /// Advances both counters; only the first line is a finding.
+    pub fn tick(&mut self) {
+        self.cycles += 1;
+        // lint:allow(determinism/arith) fixture: proves suppression works for the arith pack
+        self.ticks += 1;
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture crate: robustness/panic-path violations, one suppressed.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A toy cache whose hot path panics through a helper.
+pub struct Cache {
+    lines: Vec<u64>,
+}
+
+impl Cache {
+    /// Hot root: pulls `lookup` into the panic-free closure.
+    pub fn access(&mut self, line: u64) -> u64 {
+        self.lookup(line)
+    }
+
+    fn lookup(&self, line: u64) -> u64 {
+        self.lines.iter().copied().find(|&l| l == line).unwrap()
+    }
+
+    /// Hot root with a justified, suppressed panic.
+    pub fn probe(&self, line: u64) -> bool {
+        // lint:allow(robustness/panic-path) fixture: proves suppression works inside hot-path scope
+        self.lines.last().copied().expect("fixture probe") == line
+    }
+}

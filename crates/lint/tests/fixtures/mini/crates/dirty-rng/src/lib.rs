@@ -1,0 +1,30 @@
+//! Fixture crate: determinism/rng-discipline violations, one suppressed.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Holds an RNG so the Drop impl below can misuse it.
+pub struct Widget {
+    rng: SmallRng,
+}
+
+/// Seeds from an argument the rule cannot recognize as a seed.
+pub fn bad_seed_arg(value: u64) -> SmallRng {
+    SmallRng::seed_from_u64(value)
+}
+
+/// Uses a constructor that is not explicit-seed at all.
+pub fn bad_ctor() -> SmallRng {
+    SmallRng::from_rng()
+}
+
+/// Same shape as `bad_seed_arg`, but suppressed with a reason.
+pub fn suppressed_ctor(raw: u64) -> SmallRng {
+    // lint:allow(determinism/rng-discipline) fixture: proves an inline suppression silences exactly this line
+    SmallRng::seed_from_u64(raw)
+}
+
+impl Drop for Widget {
+    fn drop(&mut self) {
+        let _ = self.rng.gen_range(0..4);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture crate: banned names inside literals and docs must NOT fire;
+//! a violation split across lines must still fire.
+//!
+//! This doc comment mentions thread_rng, OsRng and SystemTime — none of
+//! these may produce a finding.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Mentions from_entropy and HashMap in documentation only.
+pub fn literals() -> (String, String, char) {
+    let plain = String::from("calls thread_rng() and from_entropy() by name");
+    let raw = String::from(r#"OsRng goes with SystemTime, HashMap and Instant"#);
+    let escaped = '\n';
+    (plain, raw, escaped)
+}
+
+/// The path is broken across lines; the token stream still sees it.
+pub fn split_across_lines() -> u32 {
+    let mut r = rand::
+        thread_rng();
+    r.gen()
+}

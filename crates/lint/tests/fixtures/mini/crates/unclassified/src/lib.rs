@@ -1,0 +1,3 @@
+pub fn helper() -> u32 {
+    7
+}

@@ -1,0 +1,121 @@
+//! Golden-file tests over the deliberately-dirty fixture mini-workspace
+//! under `tests/fixtures/mini`: one dirty crate per rule pack. The exact
+//! `file:line:rule` output is pinned, in all three formats, and two runs
+//! must be byte-identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+
+use maya_lint::{output, workspace, Diagnostic};
+
+fn mini_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mini")
+}
+
+fn run_mini() -> Vec<Diagnostic> {
+    workspace::run(&mini_root())
+        .expect("fixture workspace scans")
+        .diagnostics
+}
+
+fn human(diags: &[Diagnostic]) -> String {
+    diags.iter().map(|d| format!("{d}\n")).collect::<String>()
+}
+
+#[test]
+fn human_output_matches_the_golden_file() {
+    let expected = include_str!("fixtures/golden/expected_human.txt");
+    assert_eq!(human(&run_mini()), expected);
+}
+
+#[test]
+fn jsonl_output_matches_the_golden_file() {
+    let expected = include_str!("fixtures/golden/expected.jsonl");
+    assert_eq!(output::to_jsonl(&run_mini()), expected);
+}
+
+#[test]
+fn sarif_output_matches_the_golden_file() {
+    let expected = include_str!("fixtures/golden/expected.sarif");
+    assert_eq!(output::to_sarif(&run_mini()), expected);
+}
+
+#[test]
+fn two_runs_are_byte_identical() {
+    let a = run_mini();
+    let b = run_mini();
+    assert_eq!(output::to_jsonl(&a), output::to_jsonl(&b));
+    assert_eq!(output::to_sarif(&a), output::to_sarif(&b));
+    assert_eq!(human(&a), human(&b));
+}
+
+#[test]
+fn every_new_rule_pack_fires_on_its_dirty_crate() {
+    let diags = run_mini();
+    let fired = |rule: &str| diags.iter().filter(|d| d.rule == rule).count();
+    assert_eq!(fired("determinism/rng-discipline"), 3, "{diags:#?}");
+    assert_eq!(fired("robustness/panic-path"), 1, "{diags:#?}");
+    assert_eq!(fired("determinism/arith"), 1, "{diags:#?}");
+    // Two manifest-level layering violations, the stub dependency, and
+    // the token-level scheduler reference.
+    assert_eq!(fired("arch/dep-graph"), 4, "{diags:#?}");
+    assert_eq!(fired("arch/crate-class"), 1, "{diags:#?}");
+    assert_eq!(fired("model/design-registry"), 1, "{diags:#?}");
+}
+
+#[test]
+fn suppressed_instances_stay_silent_without_unused_warnings() {
+    let diags = run_mini();
+    // Each pack's suppressed twin: same shape as a firing line, silenced
+    // by an inline allow marker (with reason) on the line above.
+    let suppressed = [
+        ("crates/dirty-rng/src/lib.rs", 23),
+        ("crates/dirty-panic/src/lib.rs", 23),
+        ("crates/dirty-arith/src/lib.rs", 16),
+        ("crates/dirty-arch/src/lib.rs", 18),
+    ];
+    for (file, line) in suppressed {
+        assert!(
+            !diags.iter().any(|d| d.file == file && d.line == line),
+            "suppression failed at {file}:{line}:\n{diags:#?}"
+        );
+    }
+    // And because each marker really suppressed something, none of them
+    // may come back as lint/unused-allow.
+    assert!(
+        diags
+            .iter()
+            .all(|d| d.rule != "lint/unused-allow" && d.rule != "lint/allow-syntax"),
+        "marker hygiene findings in fixture:\n{diags:#?}"
+    );
+}
+
+#[test]
+fn banned_names_inside_literals_and_docs_do_not_fire() {
+    let diags = run_mini();
+    let in_strings: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.file == "crates/dirty-strings/src/lib.rs")
+        .collect();
+    // Only the genuinely-split violation fires: `rand::` / `thread_rng()`
+    // broken across lines 19-20. The doc comments, plain string, and raw
+    // string mentioning thread_rng/OsRng/SystemTime/HashMap/Instant are
+    // all silent.
+    assert_eq!(in_strings.len(), 1, "{in_strings:#?}");
+    assert_eq!(in_strings[0].rule, "determinism/entropy");
+    assert_eq!(in_strings[0].line, 20);
+}
+
+#[test]
+fn baseline_demotes_fixture_errors_to_notes() {
+    let diags = run_mini();
+    let baseline: std::collections::BTreeSet<String> =
+        diags.iter().map(workspace::baseline_key).collect();
+    let report =
+        workspace::run_with_baseline(&mini_root(), &baseline).expect("fixture workspace scans");
+    assert_eq!(report.counts.errors, 0);
+    assert_eq!(report.counts.notes, diags.len());
+    assert!(!report.failed());
+}

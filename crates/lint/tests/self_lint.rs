@@ -1,0 +1,69 @@
+//! The real workspace must pass its own lint with an *empty* baseline,
+//! and every crate directory must be explicitly classified.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use maya_lint::{depgraph, workspace};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+#[test]
+fn workspace_is_clean_with_an_empty_baseline() {
+    let report = workspace::run(&repo_root()).expect("workspace scans");
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace not lint-clean:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn committed_baseline_is_empty() {
+    let text = fs::read_to_string(repo_root().join("crates/lint/lint.baseline"))
+        .expect("baseline file exists");
+    assert!(
+        workspace::parse_baseline(&text).is_empty(),
+        "the committed baseline must stay empty; fix findings instead of \
+         grandfathering them:\n{text}"
+    );
+}
+
+#[test]
+fn every_crate_and_vendor_directory_is_explicitly_classified() {
+    let root = repo_root();
+    let graph = depgraph::load(&root).expect("dependency graph loads");
+    for sub in ["crates", "vendor"] {
+        let dir = root.join(sub);
+        for entry in fs::read_dir(&dir).expect("workspace subdirectory reads") {
+            let path = entry.expect("directory entry reads").path();
+            if !path.is_dir() {
+                continue;
+            }
+            let name = path.file_name().unwrap().to_string_lossy().to_string();
+            let pkg = graph
+                .packages
+                .iter()
+                .find(|p| p.dir == Path::new(sub).join(&name))
+                .unwrap_or_else(|| panic!("{sub}/{name} has no parsed package"));
+            assert!(
+                pkg.class.is_some(),
+                "{sub}/{name} ({}) declares no [package.metadata.maya] class",
+                pkg.name
+            );
+        }
+    }
+}

@@ -186,13 +186,13 @@ impl MetricsProbe {
             self.registry.inc("obs.map_resets");
         }
         self.last_touch.insert(line, self.access_ordinal);
-        self.access_ordinal += 1;
+        self.access_ordinal = self.access_ordinal.saturating_add(1);
     }
 
     fn skew_gauge(&mut self, skew: u8, delta: i64) {
         let k = (skew as usize).min(MAX_SKEWS - 1);
         if delta >= 0 {
-            self.skew_occupancy[k] += delta as u64;
+            self.skew_occupancy[k] = self.skew_occupancy[k].saturating_add(delta as u64);
         } else {
             self.skew_occupancy[k] = self.skew_occupancy[k].saturating_sub((-delta) as u64);
         }
@@ -218,14 +218,14 @@ impl Probe for MetricsProbe {
             } => {
                 self.touch(line);
                 if tag_only {
-                    self.resident_tag_only += 1;
+                    self.resident_tag_only = self.resident_tag_only.saturating_add(1);
                     if self.p0_born.len() >= MAP_CAP {
                         self.p0_born.clear();
                         self.registry.inc("obs.map_resets");
                     }
                     self.p0_born.insert(line, event.cycle);
                 } else {
-                    self.resident_data += 1;
+                    self.resident_data = self.resident_data.saturating_add(1);
                     self.p0_born.remove(&line);
                 }
                 self.skew_gauge(skew, 1);
@@ -233,7 +233,7 @@ impl Probe for MetricsProbe {
             EventKind::Hit { line } | EventKind::TagOnlyHit { line } => self.touch(line),
             EventKind::Promotion { line } => {
                 self.resident_tag_only = self.resident_tag_only.saturating_sub(1);
-                self.resident_data += 1;
+                self.resident_data = self.resident_data.saturating_add(1);
                 if let Some(born) = self.p0_born.remove(&line) {
                     self.registry
                         .observe("llc.p0_lifetime.promoted", event.cycle.saturating_sub(born));
@@ -261,7 +261,7 @@ impl Probe for MetricsProbe {
                     self.registry.inc("llc.data_released");
                     self.registry.inc("llc.eviction_downgraded");
                     self.resident_data = self.resident_data.saturating_sub(1);
-                    self.resident_tag_only += 1;
+                    self.resident_tag_only = self.resident_tag_only.saturating_add(1);
                     self.p0_born.insert(line, event.cycle);
                 } else if had_data {
                     self.registry.inc("llc.data_released");
@@ -292,7 +292,7 @@ impl Probe for MetricsProbe {
             EventKind::PrefetchIssue { .. } | EventKind::PrefetchLateMerge { .. } => {}
             EventKind::DramRead { row_hit } => {
                 if row_hit {
-                    self.row_streak += 1;
+                    self.row_streak = self.row_streak.saturating_add(1);
                 } else {
                     if self.row_streak > 0 {
                         self.registry
@@ -303,7 +303,7 @@ impl Probe for MetricsProbe {
             }
             EventKind::DramWrite => {}
             EventKind::Retire { instructions } => {
-                self.instructions += instructions as u64;
+                self.instructions = self.instructions.saturating_add(instructions as u64);
                 self.registry.add("core.instructions", instructions as u64);
             }
             EventKind::OccupancySample { evicted } => {

@@ -45,8 +45,9 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        self.buckets[bucket_of(value)] += 1;
-        self.count += 1;
+        let b = bucket_of(value);
+        self.buckets[b] = self.buckets[b].saturating_add(1);
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
@@ -118,7 +119,8 @@ impl MetricsRegistry {
 
     /// Adds `n` to counter `name`, creating it at zero first.
     pub fn add(&mut self, name: &'static str, n: u64) {
-        *self.counters.entry(name).or_insert(0) += n;
+        let c = self.counters.entry(name).or_insert(0);
+        *c = c.saturating_add(n);
     }
 
     /// Increments counter `name` by one.

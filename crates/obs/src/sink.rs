@@ -59,7 +59,7 @@ pub fn write_jsonl(w: &mut dyn Write, header: Obj, probe: &MetricsProbe) -> io::
                 .u64("value", value)
                 .finish()
         )?;
-        counters += 1;
+        counters = counters.saturating_add(1);
     }
     let mut histograms = 0u64;
     for (name, h) in probe.registry().histograms() {
@@ -77,7 +77,7 @@ pub fn write_jsonl(w: &mut dyn Write, header: Obj, probe: &MetricsProbe) -> io::
             o.raw("buckets", &json::array_buckets(h.nonzero_buckets()))
                 .finish()
         )?;
-        histograms += 1;
+        histograms = histograms.saturating_add(1);
     }
     writeln!(
         w,
@@ -144,7 +144,7 @@ impl RingBufferProbe {
 
 impl Probe for RingBufferProbe {
     fn record(&mut self, event: &Event) {
-        self.total += 1;
+        self.total = self.total.saturating_add(1);
         if self.capacity == 0 {
             return;
         }

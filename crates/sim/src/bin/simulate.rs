@@ -61,7 +61,7 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].clone();
-        i += 1;
+        i = i.saturating_add(1);
         let value = |i: usize| -> String {
             args.get(i).cloned().unwrap_or_else(|| {
                 eprintln!("error: {flag} needs a value");
@@ -90,7 +90,7 @@ fn main() {
                 std::process::exit(2);
             }
         }
-        i += 1;
+        i = i.saturating_add(1);
     }
 
     let cfg = SystemConfig {

@@ -150,7 +150,7 @@ impl Dram {
         let start = now.max(bank.busy_until);
         let row_hit = bank.row_valid && bank.open_row == row;
         let (latency, occupancy) = if row_hit {
-            self.row_hits += 1;
+            self.row_hits = self.row_hits.saturating_add(1);
             (t, self.config.burst_cycles) // CAS; bursts pipeline
         } else {
             (3 * t, 2 * t + self.config.burst_cycles) // RP+RCD+CAS; row cycle
@@ -169,7 +169,7 @@ impl Dram {
     /// either way the returned latency includes the full recovery cost, so
     /// requesters observe faults purely as extra cycles.
     pub fn read(&mut self, line: u64, domain: DomainId, now: u64) -> u64 {
-        self.reads += 1;
+        self.reads = self.reads.saturating_add(1);
         let Some(plan) = self.fault_plan else {
             return self.service(line, domain, now);
         };
@@ -177,21 +177,21 @@ impl Dram {
         let mut attempt = 0u32;
         loop {
             if self.fault_rng.gen_bool(plan.drop_prob) {
-                self.fault_counters.drops += 1;
+                self.fault_counters.drops = self.fault_counters.drops.saturating_add(1);
                 if attempt >= plan.max_retries {
                     // Budget exhausted: the controller escalates and the
                     // final reissue is served unconditionally.
-                    self.fault_counters.exhausted += 1;
+                    self.fault_counters.exhausted = self.fault_counters.exhausted.saturating_add(1);
                     break;
                 }
-                attempt += 1;
-                self.fault_counters.retries += 1;
-                waited += u64::from(attempt) * plan.retry_backoff;
+                attempt = attempt.saturating_add(1);
+                self.fault_counters.retries = self.fault_counters.retries.saturating_add(1);
+                waited = waited.saturating_add(u64::from(attempt) * plan.retry_backoff);
                 continue;
             }
             if self.fault_rng.gen_bool(plan.delay_prob) {
-                self.fault_counters.delays += 1;
-                waited += plan.delay_cycles;
+                self.fault_counters.delays = self.fault_counters.delays.saturating_add(1);
+                waited = waited.saturating_add(plan.delay_cycles);
             }
             break;
         }
@@ -203,7 +203,7 @@ impl Dram {
     /// requester nor steals the reads' open row; it only consumes bank
     /// bandwidth (one burst).
     pub fn write(&mut self, line: u64, domain: DomainId, now: u64) {
-        self.writes += 1;
+        self.writes = self.writes.saturating_add(1);
         self.probe.emit(EventKind::DramWrite);
         let (bank_idx, _row) = self.locate(line, domain);
         let bank = &mut self.banks[bank_idx];

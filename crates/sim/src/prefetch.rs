@@ -67,7 +67,7 @@ impl StridePrefetcher {
     /// Feedback: a demand hit a completed prefetch; after a long timely
     /// streak the distance relaxes to limit cache pollution.
     pub fn note_timely(&mut self) {
-        self.timely_streak += 1;
+        self.timely_streak = self.timely_streak.saturating_add(1);
         if self.timely_streak >= 64 {
             self.timely_streak = 0;
             self.distance = self.distance.saturating_sub(1).max(MIN_DISTANCE);
@@ -114,7 +114,7 @@ impl StridePrefetcher {
                 confidence: 0,
             };
         }
-        self.issued += out.len() as u64;
+        self.issued = self.issued.saturating_add(out.len() as u64);
         out
     }
 

@@ -168,7 +168,7 @@ impl System {
                 Some(i) => self.step(i),
                 None => break,
             }
-            steps += 1;
+            steps = steps.saturating_add(1);
             if let Some(every) = audit_every {
                 if steps.is_multiple_of(every) {
                     if let Err(e) = self.llc.audit() {
@@ -207,11 +207,16 @@ impl System {
             let core = &mut self.cores[i];
             // Retire the gap instructions at commit width.
             let total = core.instr_carry + access.gap;
-            core.t += u64::from(total / self.config.commit_width);
+            core.t = core
+                .t
+                .saturating_add(u64::from(total / self.config.commit_width));
             core.instr_carry = total % self.config.commit_width;
-            core.retired += u64::from(access.gap) + 1;
+            core.retired = core.retired.saturating_add(u64::from(access.gap) + 1);
             if core.measuring {
-                core.meas.instructions += u64::from(access.gap) + 1;
+                core.meas.instructions = core
+                    .meas
+                    .instructions
+                    .saturating_add(u64::from(access.gap) + 1);
             }
         }
         // Stamp subsequent events (LLC, DRAM, prefetch) with the stepping
@@ -233,7 +238,7 @@ impl System {
             let core = &mut self.cores[i];
             core.measuring = true;
             core.meas_start_cycle = core.t;
-            self.warmed += 1;
+            self.warmed = self.warmed.saturating_add(1);
             if self.warmed == self.cores.len() {
                 self.llc.reset_stats();
             }
@@ -339,16 +344,21 @@ impl System {
                     self.probe
                         .emit_with(|| EventKind::PrefetchLateMerge { line });
                     if self.cores[i].measuring {
-                        self.cores[i].meas.l2_misses += 1;
-                        self.cores[i].meas.llc_demand_accesses += 1;
-                        self.cores[i].meas.llc_demand_misses += 1;
-                        self.cores[i].meas.late_prefetch_merges += 1;
+                        self.cores[i].meas.l2_misses =
+                            self.cores[i].meas.l2_misses.saturating_add(1);
+                        self.cores[i].meas.llc_demand_accesses =
+                            self.cores[i].meas.llc_demand_accesses.saturating_add(1);
+                        self.cores[i].meas.llc_demand_misses =
+                            self.cores[i].meas.llc_demand_misses.saturating_add(1);
+                        self.cores[i].meas.late_prefetch_merges =
+                            self.cores[i].meas.late_prefetch_merges.saturating_add(1);
                     }
                     return (ready_at - now).max(l2_lat);
                 }
                 self.cores[i].prefetcher.note_timely();
                 if self.cores[i].measuring {
-                    self.cores[i].meas.timely_prefetch_hits += 1;
+                    self.cores[i].meas.timely_prefetch_hits =
+                        self.cores[i].meas.timely_prefetch_hits.saturating_add(1);
                 }
             }
             return l2_lat;
@@ -359,8 +369,9 @@ impl System {
             self.llc_writeback(i, v);
         }
         if demand && self.cores[i].measuring {
-            self.cores[i].meas.l2_misses += 1;
-            self.cores[i].meas.llc_demand_accesses += 1;
+            self.cores[i].meas.l2_misses = self.cores[i].meas.l2_misses.saturating_add(1);
+            self.cores[i].meas.llc_demand_accesses =
+                self.cores[i].meas.llc_demand_accesses.saturating_add(1);
         }
         let domain = self.cores[i].domain;
         let llc_lat = u64::from(self.config.llc_latency) + u64::from(self.llc.extra_latency());
@@ -373,7 +384,8 @@ impl System {
             return l2_lat + llc_lat;
         }
         if demand && self.cores[i].measuring {
-            self.cores[i].meas.llc_demand_misses += 1;
+            self.cores[i].meas.llc_demand_misses =
+                self.cores[i].meas.llc_demand_misses.saturating_add(1);
         }
         l2_lat + llc_lat + self.dram.read(line, domain, now)
     }
