@@ -11,9 +11,11 @@ use std::io::Write;
 use std::time::Instant;
 
 use maya_bench::designs::Design;
+use maya_bench::history::{self, HistoryRecord};
 use maya_bench::perf::run_mix;
 use maya_bench::Scale;
 use maya_obs::json::Obj;
+use maya_obs::SCHEMA_VERSION;
 use workloads::mixes::homogeneous;
 
 fn main() {
@@ -23,12 +25,18 @@ fn main() {
         mc_iterations: 0,
         attack_trials: 0,
     };
+    let host = history::host_id();
+    let build = history::build_id();
     let mut lines = vec![Obj::new()
         .str("type", "run")
         .str("tool", "diag")
+        .str("host", &host)
+        .str("build", &build)
         .u64("warmup", scale.warmup)
         .u64("measure", scale.measure)
+        .u64("schema_version", SCHEMA_VERSION)
         .finish()];
+    let (mut total_lookups, mut total_secs) = (0u64, 0.0f64);
     for name in ["lbm", "bwaves"] {
         let mix = homogeneous(name, 8);
         for d in [Design::Baseline, Design::Mirage, Design::Maya] {
@@ -47,11 +55,14 @@ fn main() {
             let lookups = r.llc.reads + r.llc.writebacks_in;
             let fills = r.llc.data_fills;
             let cycles = r.cores.iter().map(|c| c.cycles).max().unwrap_or(0);
+            total_lookups += lookups;
+            total_secs += secs;
             lines.push(
                 Obj::new()
                     .str("type", "diag")
                     .str("benchmark", name)
                     .str("design", &d.id())
+                    .u64("schema_version", SCHEMA_VERSION)
                     .f64("ipc_sum", r.ipc_sum())
                     .f64("mpki", r.avg_mpki())
                     .u64("llc_lookups", lookups)
@@ -69,4 +80,25 @@ fn main() {
         writeln!(f, "{line}").expect("write BENCH_diag.json");
     }
     eprintln!("wrote BENCH_diag.json ({} records)", lines.len());
+
+    // One aggregate throughput record per calibration run feeds the same
+    // perf history the regression detector reads (see maya_bench::history).
+    let record = HistoryRecord {
+        tool: "diag".to_string(),
+        host,
+        build,
+        metrics: [(
+            "lookups_per_sec".to_string(),
+            total_lookups as f64 / total_secs.max(1e-9),
+        )]
+        .into_iter()
+        .collect(),
+    };
+    let mut h = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(history::HISTORY_FILE)
+        .expect("append BENCH_history.jsonl");
+    writeln!(h, "{}", record.to_json_line()).expect("append BENCH_history.jsonl");
+    eprintln!("appended to {}", history::HISTORY_FILE);
 }

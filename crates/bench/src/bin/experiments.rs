@@ -104,6 +104,9 @@ fn main() {
                 .map(|n| n.get())
                 .unwrap_or(1)
         });
+    if metrics && !no_cache {
+        eprintln!("note: --metrics-dir implies --no-cache (cached cells would write no sidecar)");
+    }
     let opts = RunOpts {
         jobs,
         // Sidecars are written only by cells that execute, so a cache hit

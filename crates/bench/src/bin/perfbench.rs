@@ -18,7 +18,14 @@
 //! With `--check`, exits non-zero if the fused path is less than
 //! [`MIN_SPEEDUP`]× the reference, below [`MIN_FUSED_BLOCKS_PER_SEC`], or
 //! if the warm-cache sweep rerun takes more than [`MAX_WARM_FRACTION`] of
-//! the cold total — the CI perf-smoke gate.
+//! the cold total — the CI perf-smoke gate. `--check` additionally runs
+//! the perf-history regression detector (`maya_bench::history`): the
+//! run's throughputs are compared against the trailing median of prior
+//! same-host records in `BENCH_history.jsonl`, and any metric more than
+//! the noise band below its baseline fails the check. Each run appends
+//! its record to the history afterwards. `--inject-slowdown F` scales
+//! every measured throughput down by the fraction `F` (and skips the
+//! history append) — the CI self-test that proves the detector fires.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -26,10 +33,12 @@ use std::time::Instant;
 
 use maya_bench::designs::Design;
 use maya_bench::experiments;
+use maya_bench::history::{self, HistoryRecord};
 use maya_bench::perf::run_mix;
 use maya_bench::sched::{self, RunOpts};
 use maya_bench::Scale;
 use maya_obs::json::Obj;
+use maya_obs::SCHEMA_VERSION;
 use prince_cipher::{reference, IndexFunction, Prince};
 use workloads::mixes::homogeneous;
 
@@ -88,7 +97,20 @@ fn run_family(ids: &[&str], scale: Scale, cache_dir: &Path) -> (f64, usize, usiz
 }
 
 fn main() {
-    let check = std::env::args().any(|a| a == "--check");
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let inject_slowdown: Option<f64> =
+        args.iter().position(|a| a == "--inject-slowdown").map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .filter(|f| (0.0..1.0).contains(f))
+                .unwrap_or_else(|| {
+                    eprintln!("--inject-slowdown needs a fraction in [0,1)");
+                    std::process::exit(2);
+                })
+        });
+    // Synthetic regression: pretend the host got `1 - F` times as fast.
+    let slow = 1.0 - inject_slowdown.unwrap_or(0.0);
 
     // Correctness gate before any timing: the two paths must agree.
     let cipher = Prince::new(K0, K1);
@@ -106,7 +128,7 @@ fn main() {
         acc ^= cipher.encrypt(i);
     }
     let fused_secs = t.elapsed().as_secs_f64();
-    let fused_bps = FUSED_BLOCKS as f64 / fused_secs.max(1e-9);
+    let fused_bps = slow * FUSED_BLOCKS as f64 / fused_secs.max(1e-9);
 
     let t = Instant::now();
     for i in 0..REFERENCE_BLOCKS {
@@ -126,7 +148,7 @@ fn main() {
         acc = acc.wrapping_add((sets[0] ^ sets[1]) as u64);
     }
     let index_secs = t.elapsed().as_secs_f64();
-    let index_cps = INDEX_CALLS as f64 / index_secs.max(1e-9);
+    let index_cps = slow * INDEX_CALLS as f64 / index_secs.max(1e-9);
 
     // End-to-end simulator throughput: a short Maya run (fixed scale and
     // workload, the same shape `diag` uses).
@@ -141,7 +163,13 @@ fn main() {
     let r = run_mix(Design::Maya, &mix, scale);
     let e2e_secs = t.elapsed().as_secs_f64();
     let accesses = r.llc.reads + r.llc.writebacks_in;
-    let e2e_aps = accesses as f64 / e2e_secs.max(1e-9);
+    let e2e_aps = slow * accesses as f64 / e2e_secs.max(1e-9);
+    if let Some(f) = inject_slowdown {
+        eprintln!(
+            "injected synthetic slowdown: throughputs scaled by {:.2}",
+            1.0 - f
+        );
+    }
 
     println!("prince fused:     {fused_bps:>12.0} blocks/sec");
     println!("prince reference: {ref_bps:>12.0} blocks/sec");
@@ -190,9 +218,14 @@ fn main() {
          (warm/cold {warm_fraction_total:.3})"
     );
 
+    let host = history::host_id();
+    let build = history::build_id();
     let line = Obj::new()
         .str("type", "perf")
         .str("tool", "perfbench")
+        .str("host", &host)
+        .str("build", &build)
+        .u64("schema_version", SCHEMA_VERSION)
         .u64("fused_blocks", FUSED_BLOCKS)
         .u64("reference_blocks", REFERENCE_BLOCKS)
         .u64("cross_check_blocks", CROSS_CHECK_BLOCKS)
@@ -220,8 +253,50 @@ fn main() {
     writeln!(file, "{total_line}").expect("write BENCH_perf.json");
     eprintln!("wrote BENCH_perf.json");
 
+    // Perf history: read the committed trail, judge this run against it,
+    // then append (real runs only — an injected slowdown must not poison
+    // the baseline for the next run).
+    let current = HistoryRecord {
+        tool: "perfbench".to_string(),
+        host,
+        build,
+        metrics: [
+            ("fused_blocks_per_sec".to_string(), fused_bps),
+            ("index_calls_per_sec".to_string(), index_cps),
+            ("e2e_accesses_per_sec".to_string(), e2e_aps),
+        ]
+        .into_iter()
+        .collect(),
+    };
+    let prior_text = std::fs::read_to_string(history::HISTORY_FILE).unwrap_or_default();
+    let prior = history::parse_history(&prior_text).unwrap_or_else(|e| {
+        eprintln!("FAIL: unreadable {}: {e}", history::HISTORY_FILE);
+        std::process::exit(1);
+    });
+    let outcome = history::check_regressions(&prior, &current);
+    for w in &outcome.warnings {
+        eprintln!("history: warning: {w}");
+    }
+    if inject_slowdown.is_none() {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(history::HISTORY_FILE)
+            .expect("append BENCH_history.jsonl");
+        writeln!(f, "{}", current.to_json_line()).expect("append BENCH_history.jsonl");
+        eprintln!(
+            "appended to {} ({} prior record(s))",
+            history::HISTORY_FILE,
+            prior.len()
+        );
+    }
+
     if check {
         let mut failed = false;
+        for finding in &outcome.findings {
+            eprintln!("FAIL: perf regression: {finding}");
+            failed = true;
+        }
         if speedup < MIN_SPEEDUP {
             eprintln!("FAIL: speedup {speedup:.2}x below the {MIN_SPEEDUP}x floor");
             failed = true;

@@ -1,0 +1,417 @@
+//! Perf history and the CI regression detector.
+//!
+//! `perfbench` and `diag` append one schema-versioned record per run to
+//! `BENCH_history.jsonl`; [`check_regressions`] compares the newest run
+//! against the median of a trailing window of prior same-host, same-tool
+//! records, with a noise band wide enough that machine jitter never
+//! trips it. `perfbench --check` turns detector findings into a non-zero
+//! exit, which is what the CI perf-smoke job gates on.
+//!
+//! Wall-clock throughput is inherently host-specific, so records carry a
+//! host id and only like-for-like histories are compared: a laptop run
+//! appended to a CI host's history is simply ignored by the detector on
+//! either machine.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use maya_obs::json::{parse_value, Obj, Value};
+use maya_obs::SCHEMA_VERSION;
+
+/// The committed history file, appended to from the repository root.
+pub const HISTORY_FILE: &str = "BENCH_history.jsonl";
+
+/// Trailing records (per host+tool) the detector compares against.
+pub const WINDOW: usize = 5;
+
+/// Fractional throughput drop tolerated as noise: a metric must fall more
+/// than this far below the trailing median to count as a regression.
+/// Single-core CI containers jitter by ~10%; 20% keeps false positives
+/// out while still catching any real 25%+ slowdown.
+pub const NOISE_BAND: f64 = 0.2;
+
+/// One appended perf-history record: a named set of throughput metrics
+/// (higher is better) stamped with the host and build that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRecord {
+    /// Producing tool (`perfbench`, `diag`).
+    pub tool: String,
+    /// Host id the run executed on (see [`host_id`]).
+    pub host: String,
+    /// Build id (crate version + profile, see [`build_id`]).
+    pub build: String,
+    /// Throughput metrics, higher-is-better (`e2e_accesses_per_sec`, ...).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl HistoryRecord {
+    /// The single-line JSON form (schema-stamped).
+    pub fn to_json_line(&self) -> String {
+        let mut o = Obj::new()
+            .str("type", "perf-history")
+            .str("tool", &self.tool)
+            .str("host", &self.host)
+            .str("build", &self.build);
+        for (name, value) in &self.metrics {
+            o = o.f64(name, *value);
+        }
+        o.u64("schema_version", SCHEMA_VERSION).finish()
+    }
+}
+
+/// Parses a `BENCH_history.jsonl` text into records, oldest first.
+///
+/// Every `perf-history` line must carry a `schema_version` no newer than
+/// this build understands; unknown record types are rejected so a
+/// corrupted append surfaces immediately rather than skewing medians.
+pub fn parse_history(text: &str) -> Result<Vec<HistoryRecord>, String> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_value(line).map_err(|e| format!("{HISTORY_FILE}:{line_no}: {e}"))?;
+        let ty = v.get("type").and_then(Value::as_str).unwrap_or("");
+        if ty != "perf-history" {
+            return Err(format!(
+                "{HISTORY_FILE}:{line_no}: unexpected record type {ty:?} \
+                 (history files hold only perf-history lines)"
+            ));
+        }
+        match v.get("schema_version").and_then(Value::as_u64) {
+            Some(found) if found <= SCHEMA_VERSION => {}
+            Some(found) => {
+                return Err(format!(
+                    "{HISTORY_FILE}:{line_no}: schema_version {found} is newer \
+                     than this build understands ({SCHEMA_VERSION})"
+                ));
+            }
+            None => {
+                return Err(format!(
+                    "{HISTORY_FILE}:{line_no}: record has no schema_version \
+                     (pre-versioning output?)"
+                ));
+            }
+        }
+        let field = |k: &str| v.get(k).and_then(Value::as_str).unwrap_or("").to_string();
+        let mut metrics = BTreeMap::new();
+        if let Some(obj) = v.as_obj() {
+            for (k, val) in obj {
+                if matches!(
+                    k.as_str(),
+                    "type" | "tool" | "host" | "build" | "schema_version"
+                ) {
+                    continue;
+                }
+                if let Some(f) = val.as_f64() {
+                    metrics.insert(k.clone(), f);
+                }
+            }
+        }
+        records.push(HistoryRecord {
+            tool: field("tool"),
+            host: field("host"),
+            build: field("build"),
+            metrics,
+        });
+    }
+    Ok(records)
+}
+
+/// A stable identifier for the machine running the benchmark.
+///
+/// `MAYA_HOST_ID` overrides (CI sets it to the runner class so history
+/// from like runners pools); otherwise os-arch-ncpu plus a slug of the
+/// CPU model name from `/proc/cpuinfo` where available.
+pub fn host_id() -> String {
+    if let Ok(id) = std::env::var("MAYA_HOST_ID") {
+        if !id.is_empty() {
+            return id;
+        }
+    }
+    let ncpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut id = format!(
+        "{}-{}-{}c",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        ncpu
+    );
+    if let Ok(cpuinfo) = std::fs::read_to_string("/proc/cpuinfo") {
+        if let Some(model) = cpuinfo
+            .lines()
+            .find(|l| l.starts_with("model name"))
+            .and_then(|l| l.split(':').nth(1))
+        {
+            let slug: String = model
+                .trim()
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '-'
+                    }
+                })
+                .collect();
+            let slug = slug.trim_matches('-').replace("--", "-");
+            if !slug.is_empty() {
+                let _ = write!(id, "-{slug}");
+            }
+        }
+    }
+    id
+}
+
+/// A stable identifier for the binary that produced a record: crate
+/// version plus optimization profile (debug and release throughputs are
+/// not comparable, but both append to the same per-host history and the
+/// profile tag makes mixed entries explainable).
+pub fn build_id() -> String {
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    format!("{}-{profile}", env!("CARGO_PKG_VERSION"))
+}
+
+/// One detected regression: a metric fell below the noise band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Metric name.
+    pub metric: String,
+    /// The newest run's value.
+    pub current: f64,
+    /// Median of the trailing window.
+    pub baseline: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.0} is {:.0}% of the trailing median {:.0} \
+             (floor {:.0}%)",
+            self.metric,
+            self.current,
+            self.ratio * 100.0,
+            self.baseline,
+            (1.0 - NOISE_BAND) * 100.0
+        )
+    }
+}
+
+/// The detector's verdict: regressions found (fail) plus non-fatal
+/// warnings (short history, unmatched metrics).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckOutcome {
+    /// Metrics that regressed beyond the noise band.
+    pub findings: Vec<Finding>,
+    /// Non-fatal conditions worth printing.
+    pub warnings: Vec<String>,
+}
+
+impl CheckOutcome {
+    /// True when no regression was found.
+    pub fn passed(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// Compares `current` against the trailing [`WINDOW`] of prior records
+/// from the same host and tool. A metric regresses when it falls below
+/// `median * (1 - NOISE_BAND)`; improvements and in-band jitter pass.
+/// With no comparable prior record the check passes with a warning (the
+/// first run on a host records a baseline, it cannot be judged).
+pub fn check_regressions(prior: &[HistoryRecord], current: &HistoryRecord) -> CheckOutcome {
+    let mut out = CheckOutcome::default();
+    let matching: Vec<&HistoryRecord> = prior
+        .iter()
+        .filter(|r| r.host == current.host && r.tool == current.tool)
+        .collect();
+    if matching.is_empty() {
+        out.warnings.push(format!(
+            "no prior history for host {:?} / tool {:?}; recording a baseline, \
+             nothing to compare against",
+            current.host, current.tool
+        ));
+        return out;
+    }
+    let window: Vec<&HistoryRecord> = matching.iter().rev().take(WINDOW).copied().collect();
+    if window.len() < WINDOW {
+        out.warnings.push(format!(
+            "short history: {} of {WINDOW} trailing runs for this host/tool; \
+             the median is noisier than usual",
+            window.len()
+        ));
+    }
+    for (metric, &value) in &current.metrics {
+        let mut priors: Vec<f64> = window
+            .iter()
+            .filter_map(|r| r.metrics.get(metric).copied())
+            .collect();
+        if priors.is_empty() {
+            out.warnings
+                .push(format!("metric {metric:?} has no prior samples; skipped"));
+            continue;
+        }
+        let baseline = median(&mut priors);
+        if baseline <= 0.0 {
+            continue;
+        }
+        let ratio = value / baseline;
+        if ratio < 1.0 - NOISE_BAND {
+            out.findings.push(Finding {
+                metric: metric.clone(),
+                current: value,
+                baseline,
+                ratio,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(host: &str, e2e: f64, fused: f64) -> HistoryRecord {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("e2e_accesses_per_sec".to_string(), e2e);
+        metrics.insert("fused_blocks_per_sec".to_string(), fused);
+        HistoryRecord {
+            tool: "perfbench".to_string(),
+            host: host.to_string(),
+            build: "0.1.0-debug".to_string(),
+            metrics,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_jsonl() {
+        let a = record("ci-x86", 1.5e6, 8.0e6);
+        let b = record("ci-x86", 1.6e6, 8.2e6);
+        let text = format!("{}\n{}\n", a.to_json_line(), b.to_json_line());
+        assert!(text.starts_with(r#"{"type":"perf-history""#));
+        assert!(text.contains(r#""schema_version":"#));
+        let parsed = parse_history(&text).unwrap();
+        assert_eq!(parsed, vec![a, b]);
+    }
+
+    #[test]
+    fn unstamped_or_foreign_lines_are_rejected() {
+        let err = parse_history(r#"{"type":"perf-history","tool":"x"}"#).unwrap_err();
+        assert!(err.contains("no schema_version"), "{err}");
+        let err = parse_history(r#"{"type":"perf","schema_version":2}"#).unwrap_err();
+        assert!(err.contains("unexpected record type"), "{err}");
+        let newer = format!(
+            r#"{{"type":"perf-history","schema_version":{}}}"#,
+            SCHEMA_VERSION + 1
+        );
+        let err = parse_history(&newer).unwrap_err();
+        assert!(err.contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn injected_two_x_slowdown_fires() {
+        let prior: Vec<HistoryRecord> = (0..WINDOW)
+            .map(|i| record("ci", 2.0e6 + i as f64, 8.0e6))
+            .collect();
+        let slow = record("ci", 1.0e6, 8.0e6);
+        let out = check_regressions(&prior, &slow);
+        assert!(!out.passed());
+        assert_eq!(out.findings.len(), 1);
+        let f = &out.findings[0];
+        assert_eq!(f.metric, "e2e_accesses_per_sec");
+        assert!((f.ratio - 0.5).abs() < 0.01, "ratio {}", f.ratio);
+        assert!(f.to_string().contains("e2e_accesses_per_sec"));
+    }
+
+    #[test]
+    fn in_band_jitter_does_not_fire() {
+        let prior: Vec<HistoryRecord> = (0..WINDOW).map(|_| record("ci", 2.0e6, 8.0e6)).collect();
+        for factor in [1.0 - NOISE_BAND + 0.01, 0.95, 1.0, 1.05, 1.5] {
+            let jittered = record("ci", 2.0e6 * factor, 8.0e6 * factor);
+            let out = check_regressions(&prior, &jittered);
+            assert!(
+                out.passed(),
+                "factor {factor} should be in band: {:?}",
+                out.findings
+            );
+        }
+        // Just past the band on one metric: exactly one finding.
+        let slow = record("ci", 2.0e6 * (1.0 - NOISE_BAND - 0.02), 8.0e6);
+        let out = check_regressions(&prior, &slow);
+        assert_eq!(out.findings.len(), 1);
+    }
+
+    #[test]
+    fn short_history_passes_with_a_warning() {
+        // No prior at all: pass, warn, judge nothing (even a 10x slowdown).
+        let out = check_regressions(&[], &record("ci", 0.1e6, 0.1e6));
+        assert!(out.passed());
+        assert!(out.warnings.iter().any(|w| w.contains("no prior history")));
+
+        // Fewer than WINDOW priors: still compared, but flagged as short.
+        let prior = vec![record("ci", 2.0e6, 8.0e6)];
+        let out = check_regressions(&prior, &record("ci", 1.9e6, 8.1e6));
+        assert!(out.passed());
+        assert!(out.warnings.iter().any(|w| w.contains("short history")));
+    }
+
+    #[test]
+    fn other_hosts_and_tools_are_ignored() {
+        let mut foreign = record("laptop", 9.0e6, 90.0e6);
+        foreign.tool = "perfbench".to_string();
+        let mut other_tool = record("ci", 9.0e6, 90.0e6);
+        other_tool.tool = "diag".to_string();
+        let prior = vec![foreign, other_tool];
+        let out = check_regressions(&prior, &record("ci", 1.0e6, 1.0e6));
+        assert!(
+            out.passed(),
+            "cross-host/tool records must not form a baseline"
+        );
+        assert!(out.warnings.iter().any(|w| w.contains("no prior history")));
+    }
+
+    #[test]
+    fn window_slides_over_old_records() {
+        // Five old slow runs, then five fast ones: the window holds only
+        // the fast ones, so a mid-speed run regresses relative to them.
+        let mut prior: Vec<HistoryRecord> =
+            (0..WINDOW).map(|_| record("ci", 1.0e6, 8.0e6)).collect();
+        prior.extend((0..WINDOW).map(|_| record("ci", 4.0e6, 8.0e6)));
+        let out = check_regressions(&prior, &record("ci", 2.0e6, 8.0e6));
+        assert_eq!(
+            out.findings.len(),
+            1,
+            "window must exclude the old slow era"
+        );
+        assert!((out.findings[0].baseline - 4.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn host_and_build_ids_are_stable_and_overridable() {
+        assert!(build_id().contains("debug") || build_id().contains("release"));
+        let a = host_id();
+        let b = host_id();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+}

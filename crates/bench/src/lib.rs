@@ -16,6 +16,7 @@
 
 pub mod designs;
 pub mod experiments;
+pub mod history;
 pub mod perf;
 pub mod plot;
 pub mod sched;

@@ -6,7 +6,9 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 
 use champsim_lite::{weighted_speedup, DramConfig, RunResult, System, SystemConfig};
-use maya_obs::{run_header, write_jsonl, MetricsProbe, ProbeHandle};
+use maya_obs::{
+    run_header, write_jsonl_with_spans, MetricsProbe, ProbeHandle, ProfileHandle, SpanProfiler,
+};
 use workloads::mixes::{homogeneous, Mix};
 
 use crate::designs::Design;
@@ -108,17 +110,29 @@ pub fn run_mix_with(
     let sidecar = sidecar_path(design, mix).map(|path| {
         let (handle, rc) = ProbeHandle::of(MetricsProbe::new(SIDECAR_SAMPLE_EVERY));
         sys.set_probe(handle.clone());
-        (path, handle, rc)
+        // Span profiler with a harness-injected wall timer: simulated
+        // cycles/accesses stay deterministic, wall_nanos measures real
+        // elapsed time per component. Profiling is read-only; attaching
+        // it never changes results (pinned by tests/obs_conservation.rs).
+        let mut prof = SpanProfiler::new();
+        let t0 = std::time::Instant::now();
+        prof.set_wall_timer(Box::new(move || {
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        }));
+        let (profile_handle, prof_rc) = ProfileHandle::of(prof);
+        sys.set_profiler(profile_handle);
+        (path, handle, rc, prof_rc)
     });
     let result = sys.run();
-    if let Some((path, handle, rc)) = sidecar {
+    if let Some((path, handle, rc, prof_rc)) = sidecar {
         rc.borrow_mut().finalize(handle.cycle());
         let header = run_header(&design.id(), &mix.name, SEED, SIDECAR_SAMPLE_EVERY);
+        let spans = prof_rc.borrow().tree();
         let mut f = std::io::BufWriter::new(
             std::fs::File::create(&path)
                 .unwrap_or_else(|e| panic!("create sidecar {}: {e}", path.display())),
         );
-        write_jsonl(&mut f, header, &rc.borrow())
+        write_jsonl_with_spans(&mut f, header, &rc.borrow(), Some(&spans))
             .unwrap_or_else(|e| panic!("write sidecar {}: {e}", path.display()));
     }
     result
@@ -215,6 +229,24 @@ mod tests {
         let text = std::fs::read_to_string(sidecar.path()).unwrap();
         assert!(text.starts_with(r#"{"type":"run""#));
         assert!(text.lines().last().unwrap().starts_with(r#"{"type":"end""#));
+        assert!(
+            text.contains(r#""schema_version":"#),
+            "run header must be schema-stamped"
+        );
+        let span_paths: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with(r#"{"type":"span""#))
+            .collect();
+        assert!(
+            span_paths.iter().any(|l| l.contains(r#""path":"run""#)),
+            "sidecar must carry the profiler's span lines"
+        );
+        assert!(
+            span_paths
+                .iter()
+                .any(|l| l.contains("index_derive") || l.contains("prince")),
+            "model-layer spans must nest into the sidecar tree"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! harness can swap designs freely.
 
 use crate::types::{CacheStats, DomainId, Request, Response};
-use maya_obs::ProbeHandle;
+use maya_obs::{ProbeHandle, ProfileHandle};
 use rand::rngs::SmallRng;
 
 /// A class of single-event fault that can be injected into a cache model's
@@ -154,6 +154,14 @@ pub trait CacheModel {
     /// are bit-identical to instrumented ones. Attaching a probe must
     /// never change model behaviour — probes observe, they do not steer.
     fn set_probe(&mut self, _probe: ProbeHandle) {}
+
+    /// Attaches a span profiler (see `maya-obs::profile`). Instrumented
+    /// models open component spans (`index_derive`, `replacement`,
+    /// `prince`) around their hot phases; the default ignores the handle
+    /// and every model defaults to an inactive one, so un-profiled runs
+    /// are bit-identical to profiled ones. Like probes, profilers observe
+    /// only — attaching one must never change model behaviour.
+    fn set_profiler(&mut self, _profiler: ProfileHandle) {}
 }
 
 #[cfg(test)]

@@ -33,7 +33,7 @@ pub use state::{transition, InvalidTransition, TagEvent, TagState};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use maya_obs::{EventKind, EvictionCause, ProbeHandle};
+use maya_obs::{Component, EventKind, EvictionCause, ProbeHandle, ProfileHandle};
 use prince_cipher::{IndexFunction, DEFAULT_MEMO_SLOTS, MAX_SKEWS};
 
 use crate::cache::{CacheModel, FaultKind};
@@ -105,6 +105,7 @@ pub struct MayaCache {
     stats: CacheStats,
     rng: SmallRng,
     probe: ProbeHandle,
+    profiler: ProfileHandle,
 }
 
 impl MayaCache {
@@ -139,6 +140,7 @@ impl MayaCache {
             stats: CacheStats::default(),
             rng: SmallRng::seed_from_u64(config.seed ^ 0x6d61_7961),
             probe: ProbeHandle::none(),
+            profiler: ProfileHandle::none(),
             index,
             config,
         }
@@ -172,6 +174,9 @@ impl MayaCache {
         self.index =
             IndexFunction::from_seed(new_seed, self.config.skews, self.config.sets_per_skew)
                 .with_memo(DEFAULT_MEMO_SLOTS);
+        // The rebuilt index starts with a bare handle; re-attach so the
+        // new epoch's PRINCE work keeps landing in the same span tree.
+        self.index.set_profiler(self.profiler.clone());
         self.flush_all();
         self.probe.emit(EventKind::EpochRekey);
     }
@@ -191,7 +196,10 @@ impl MayaCache {
         let ways = self.config.ways_per_skew();
         let mut sets_buf = [0usize; MAX_SKEWS];
         let sets = &mut sets_buf[..self.config.skews];
-        self.index.set_indices_into(line, sets);
+        {
+            let _derive = self.profiler.span(Component::IndexDerive);
+            self.index.set_indices_into(line, sets);
+        }
         for (skew, &set) in sets.iter().enumerate() {
             for way in 0..ways {
                 let i = self.flat(skew, set, way);
@@ -272,6 +280,7 @@ impl MayaCache {
     /// downgraded to priority-0 and its data entry released. Dirty data is
     /// written back.
     fn global_data_eviction(&mut self, requester: DomainId, wb: &mut Writebacks) {
+        let _repl = self.profiler.span(Component::Replacement);
         let d = self.allocated[self.rng.gen_range(0..self.allocated.len())];
         let tag_idx = self.rptr[d as usize] as usize;
         let e = self.tags[tag_idx];
@@ -312,6 +321,7 @@ impl MayaCache {
         if self.p0_list.len() <= self.config.p0_capacity() {
             return;
         }
+        let _repl = self.profiler.span(Component::Replacement);
         let victim = self.p0_list[self.rng.gen_range(0..self.p0_list.len())] as usize;
         let line = self.tags[victim].tag;
         self.p0_remove(victim);
@@ -341,7 +351,11 @@ impl MayaCache {
         let ways = self.config.ways_per_skew();
         let mut sets_buf = [0usize; MAX_SKEWS];
         let sets = &mut sets_buf[..self.config.skews];
-        self.index.set_indices_into(line, sets);
+        {
+            let _derive = self.profiler.span(Component::IndexDerive);
+            self.index.set_indices_into(line, sets);
+        }
+        let _repl = self.profiler.span(Component::Replacement);
         // Invalid-way counts per skew for this line's candidate sets.
         let mut best_skew = 0;
         let mut best_inv = 0;
@@ -688,6 +702,11 @@ impl CacheModel for MayaCache {
 
     fn set_probe(&mut self, probe: ProbeHandle) {
         self.probe = probe;
+    }
+
+    fn set_profiler(&mut self, profiler: ProfileHandle) {
+        self.profiler = profiler.clone();
+        self.index.set_profiler(profiler);
     }
 
     fn audit(&self) -> Result<(), String> {

@@ -19,7 +19,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use maya_obs::{EventKind, EvictionCause, ProbeHandle};
+use maya_obs::{Component, EventKind, EvictionCause, ProbeHandle, ProfileHandle};
 use prince_cipher::{IndexFunction, DEFAULT_MEMO_SLOTS, MAX_SKEWS};
 
 use crate::cache::{CacheModel, FaultKind};
@@ -136,6 +136,7 @@ pub struct MirageCache {
     stats: CacheStats,
     rng: SmallRng,
     probe: ProbeHandle,
+    profiler: ProfileHandle,
 }
 
 impl MirageCache {
@@ -164,6 +165,7 @@ impl MirageCache {
             stats: CacheStats::default(),
             rng: SmallRng::seed_from_u64(config.seed ^ 0x6d69_7261_6765),
             probe: ProbeHandle::none(),
+            profiler: ProfileHandle::none(),
             index,
             config,
         }
@@ -182,6 +184,9 @@ impl MirageCache {
         self.index =
             IndexFunction::from_seed(new_seed, self.config.skews, self.config.sets_per_skew)
                 .with_memo(DEFAULT_MEMO_SLOTS);
+        // The rebuilt index starts with a bare handle; re-attach so the
+        // new epoch's PRINCE work keeps landing in the same span tree.
+        self.index.set_profiler(self.profiler.clone());
         self.flush_all();
         self.probe.emit(EventKind::EpochRekey);
     }
@@ -212,7 +217,10 @@ impl MirageCache {
         let ways = self.config.ways_per_skew();
         let mut sets_buf = [0usize; MAX_SKEWS];
         let sets = &mut sets_buf[..self.config.skews];
-        self.index.set_indices_into(line, sets);
+        {
+            let _derive = self.profiler.span(Component::IndexDerive);
+            self.index.set_indices_into(line, sets);
+        }
         for (skew, &set) in sets.iter().enumerate() {
             for way in 0..ways {
                 let i = self.flat(skew, set, way);
@@ -298,6 +306,7 @@ impl MirageCache {
     /// Global random data eviction: evicts a uniformly random line from the
     /// whole data store.
     fn global_eviction(&mut self, requester: DomainId, wb: &mut Writebacks) {
+        let _repl = self.profiler.span(Component::Replacement);
         let victim_data = self.allocated[self.rng.gen_range(0..self.allocated.len())];
         let tag_idx = self.rptr[victim_data as usize] as usize;
         self.evict_tag(tag_idx, requester, EvictionCause::GlobalData, wb);
@@ -313,7 +322,11 @@ impl MirageCache {
     ) -> (usize, bool) {
         debug_assert_eq!(self.config.skews, 2, "fill policy assumes two skews");
         let mut sets = [0usize; 2];
-        self.index.set_indices_into(line, &mut sets);
+        {
+            let _derive = self.profiler.span(Component::IndexDerive);
+            self.index.set_indices_into(line, &mut sets);
+        }
+        let _repl = self.profiler.span(Component::Replacement);
         let inv = [
             self.invalid_ways_in(0, sets[0]),
             self.invalid_ways_in(1, sets[1]),
@@ -461,6 +474,11 @@ impl CacheModel for MirageCache {
 
     fn set_probe(&mut self, probe: ProbeHandle) {
         self.probe = probe;
+    }
+
+    fn set_profiler(&mut self, profiler: ProfileHandle) {
+        self.profiler = profiler.clone();
+        self.index.set_profiler(profiler);
     }
 
     fn audit(&self) -> Result<(), String> {

@@ -136,6 +136,12 @@ pub fn is_known_rule(id: &str) -> bool {
 /// scheduling-dependent results.
 pub const SCHEDULER_FILE: &str = "crates/bench/src/sched.rs";
 
+/// The one deterministic-scope file allowed to name the span profiler's
+/// wall-timer injection point (`set_wall_timer`): the file that defines
+/// it. Every other caller must be harness/tooling code, so no model,
+/// sim, or obs crate can observe wall time through the profiler.
+pub const PROFILER_FILE: &str = "crates/obs/src/profile.rs";
+
 /// Function names that anchor the per-access hot path. Any function with
 /// one of these names in a model/sim/obs crate — plus everything it
 /// transitively calls within its crate — must be panic-free.
@@ -247,25 +253,34 @@ pub fn check_thread_spawn(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
     out
 }
 
-/// Determinism: ban `Instant` (wall-clock) in model/sim/obs crates.
+/// Determinism: ban `Instant` (wall-clock) in model/sim/obs crates, and
+/// the profiler's `set_wall_timer` injection point everywhere in that
+/// scope except [`PROFILER_FILE`], which defines it.
 pub fn check_wall_clock(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
     if !ctx.deterministic_scope() {
         return Vec::new();
     }
     let name = ctx.crate_name;
-    ctx.fa
-        .lexed
-        .tokens
-        .iter()
-        .filter(|t| t.is_ident("Instant"))
-        .map(|t| {
-            ctx.diag(
+    let mut out = Vec::new();
+    for t in &ctx.fa.lexed.tokens {
+        if t.is_ident("Instant") {
+            out.push(ctx.diag(
                 t.line,
                 RULE_WALL_CLOCK,
                 format!("`Instant` reads the wall clock; `{name}` must be deterministic"),
-            )
-        })
-        .collect()
+            ));
+        } else if t.is_ident("set_wall_timer") && ctx.fa.path != PROFILER_FILE {
+            out.push(ctx.diag(
+                t.line,
+                RULE_WALL_CLOCK,
+                format!(
+                    "`set_wall_timer` injects a wall timer into the span profiler; \
+                     only harness crates may call it, `{name}` must be deterministic"
+                ),
+            ));
+        }
+    }
+    out
 }
 
 /// Determinism: ban `HashMap`/`HashSet` in non-test model/sim/obs code.
@@ -784,6 +799,24 @@ mod tests {
         );
         assert!(check_wall_clock(&ctx_for(&a, Class::Harness, "maya-bench")).is_empty());
         assert!(check_wall_clock(&ctx_for(&a, Class::Tooling, "maya-lint")).is_empty());
+    }
+
+    #[test]
+    fn wall_timer_injection_is_banned_outside_its_defining_file() {
+        let src = "fn f(p: &mut SpanProfiler) { p.set_wall_timer(timer); }";
+        let a = fa(src);
+        let d = check_wall_clock(&ctx_for(&a, Class::Obs, "maya-obs"));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("set_wall_timer"));
+        assert_eq!(
+            check_wall_clock(&ctx_for(&a, Class::Sim, "champsim-lite")).len(),
+            1
+        );
+        // The defining file and harness crates are exempt.
+        let mut def = fa(src);
+        def.path = PROFILER_FILE.to_string();
+        assert!(check_wall_clock(&ctx_for(&def, Class::Obs, "maya-obs")).is_empty());
+        assert!(check_wall_clock(&ctx_for(&a, Class::Harness, "maya-bench")).is_empty());
     }
 
     #[test]

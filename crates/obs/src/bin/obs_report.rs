@@ -1,0 +1,208 @@
+//! `obs-report`: merges the per-cell metrics sidecars and sweep
+//! sidecars of one `--metrics-dir` into a single report.
+//!
+//! ```text
+//! obs-report <metrics-dir> [--out DIR] [--top N]
+//!            [--bench FILE]... [--attribution DESIGN:MINFRAC]...
+//! ```
+//!
+//! Artifacts written to `--out` (default `<metrics-dir>/report`):
+//!
+//! * `report.md`, `report.tsv`, `flame.folded` — deterministic: byte-
+//!   identical across reruns and worker counts.
+//! * `report_wall.md`, `flame_wall.folded` — wall-clock views, which
+//!   vary run to run and are excluded from byte-identity checks.
+//!
+//! `--bench FILE` schema-validates a BENCH JSONL file (perf, diag, or
+//! history records). `--attribution DESIGN:MINFRAC` exits non-zero
+//! unless at least `MINFRAC` of DESIGN's measured `run` wall time is
+//! attributed to named component spans.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use maya_obs::report::{build_report, validate_bench_text, Report, ReportInput};
+
+struct Options {
+    metrics_dir: PathBuf,
+    out_dir: Option<PathBuf>,
+    top: usize,
+    bench: Vec<PathBuf>,
+    attribution: Vec<(String, f64)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: obs-report <metrics-dir> [--out DIR] [--top N] \
+         [--bench FILE]... [--attribution DESIGN:MINFRAC]..."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        metrics_dir: PathBuf::new(),
+        out_dir: None,
+        top: 10,
+        bench: Vec::new(),
+        attribution: Vec::new(),
+    };
+    let mut dir_seen = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(d) => opts.out_dir = Some(PathBuf::from(d)),
+                None => usage(),
+            },
+            "--top" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => opts.top = n,
+                None => usage(),
+            },
+            "--bench" => match args.next() {
+                Some(f) => opts.bench.push(PathBuf::from(f)),
+                None => usage(),
+            },
+            "--attribution" => {
+                let Some(spec) = args.next() else { usage() };
+                let Some((design, frac)) = spec.split_once(':') else {
+                    usage()
+                };
+                let Ok(frac) = frac.parse::<f64>() else {
+                    usage()
+                };
+                opts.attribution.push((design.to_string(), frac));
+            }
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && !dir_seen => {
+                opts.metrics_dir = PathBuf::from(other);
+                dir_seen = true;
+            }
+            _ => usage(),
+        }
+    }
+    if !dir_seen {
+        usage();
+    }
+    opts
+}
+
+/// All files in `dir` whose name starts with `prefix` and ends with
+/// `.jsonl`, read fully, sorted by file name for deterministic merge
+/// order and error reporting.
+fn inputs_with_prefix(dir: &Path, prefix: &str) -> Result<Vec<ReportInput>, String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with(prefix) && n.ends_with(".jsonl"))
+        .collect();
+    names.sort();
+    let mut out = Vec::with_capacity(names.len());
+    for name in names {
+        let path = dir.join(&name);
+        let text =
+            fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        out.push(ReportInput { name, text });
+    }
+    Ok(out)
+}
+
+fn write_artifact(dir: &Path, name: &str, contents: &str) -> Result<(), String> {
+    let path = dir.join(name);
+    fs::write(&path, contents).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+fn run_report(opts: &Options) -> Result<Report, String> {
+    let metrics = inputs_with_prefix(&opts.metrics_dir, "metrics_")?;
+    let sweeps = inputs_with_prefix(&opts.metrics_dir, "sweep_")?;
+    if metrics.is_empty() && sweeps.is_empty() {
+        return Err(format!(
+            "{}: no metrics_*.jsonl or sweep_*.jsonl files found \
+             (was the sweep run with --metrics-dir?)",
+            opts.metrics_dir.display()
+        ));
+    }
+    let report = build_report(&metrics, &sweeps)?;
+    for bench in &opts.bench {
+        let text =
+            fs::read_to_string(bench).map_err(|e| format!("reading {}: {e}", bench.display()))?;
+        let name = bench
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| bench.display().to_string());
+        let checked = validate_bench_text(&name, &text)?;
+        println!("obs-report: {name}: {checked} schema-stamped record(s) OK");
+    }
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let report = match run_report(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("obs-report: error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let out_dir = opts
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| opts.metrics_dir.join("report"));
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!("obs-report: error: creating {}: {e}", out_dir.display());
+        return ExitCode::from(1);
+    }
+    let artifacts = [
+        ("report.md", report.render_markdown(opts.top)),
+        ("report.tsv", report.render_tsv()),
+        ("flame.folded", report.render_flame()),
+        ("report_wall.md", report.render_wall_markdown(opts.top)),
+        ("flame_wall.folded", report.render_flame_wall()),
+    ];
+    for (name, contents) in &artifacts {
+        if let Err(e) = write_artifact(&out_dir, name, contents) {
+            eprintln!("obs-report: error: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    println!(
+        "obs-report: wrote {} artifact(s) to {} ({} design(s), {} sweep(s), {} failed cell(s))",
+        artifacts.len(),
+        out_dir.display(),
+        report.designs.len(),
+        report.sweeps.len(),
+        report.failed_cells.len(),
+    );
+    let mut failed = false;
+    for (design, min_frac) in &opts.attribution {
+        match report.attribution(design) {
+            Some(frac) if frac >= *min_frac => {
+                println!(
+                    "obs-report: attribution {design}: {:.1}% >= {:.1}% OK",
+                    frac * 100.0,
+                    min_frac * 100.0
+                );
+            }
+            Some(frac) => {
+                eprintln!(
+                    "obs-report: attribution {design}: {:.1}% < required {:.1}%",
+                    frac * 100.0,
+                    min_frac * 100.0
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("obs-report: attribution {design}: no wall-timed `run` span in input");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

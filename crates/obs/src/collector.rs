@@ -28,7 +28,7 @@ const SKEW_OCCUPANCY: [&str; MAX_SKEWS] = [
 
 /// One point of the periodic time-series: cumulative counters and live
 /// gauges at a simulated cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub struct Snapshot {
     /// Simulated cycle the sample was taken at (a `sample_every` boundary).
     pub cycle: u64,
@@ -189,6 +189,32 @@ impl MetricsProbe {
         self.access_ordinal = self.access_ordinal.saturating_add(1);
     }
 
+    /// Folds `other` (a *finalized* probe from another run or sweep cell)
+    /// into `self`: counters and histograms merge, gauges and instruction
+    /// counts add, and the snapshot series become their sorted multiset
+    /// union. Associative and commutative, so per-cell probes merge in
+    /// any grouping (tests pin this). Transient derived state
+    /// (reuse-distance and P0-birth maps, open row streaks) does not
+    /// transfer — finalize both probes before merging.
+    pub fn merge(&mut self, other: &MetricsProbe) {
+        self.registry.merge(other.registry());
+        self.resident_data = self.resident_data.saturating_add(other.resident_data);
+        self.resident_tag_only = self
+            .resident_tag_only
+            .saturating_add(other.resident_tag_only);
+        self.instructions = self.instructions.saturating_add(other.instructions);
+        self.access_ordinal = self.access_ordinal.saturating_add(other.access_ordinal);
+        for (s, &o) in self
+            .skew_occupancy
+            .iter_mut()
+            .zip(other.skew_occupancy.iter())
+        {
+            *s = s.saturating_add(o);
+        }
+        self.snapshots.extend_from_slice(&other.snapshots);
+        self.snapshots.sort_unstable();
+    }
+
     fn skew_gauge(&mut self, skew: u8, delta: i64) {
         let k = (skew as usize).min(MAX_SKEWS - 1);
         if delta >= 0 {
@@ -305,6 +331,9 @@ impl Probe for MetricsProbe {
             EventKind::Retire { instructions } => {
                 self.instructions = self.instructions.saturating_add(instructions as u64);
                 self.registry.add("core.instructions", instructions as u64);
+            }
+            EventKind::LoadComplete { latency } => {
+                self.registry.observe("core.load_latency", latency);
             }
             EventKind::OccupancySample { evicted } => {
                 self.registry.observe("attack.occupancy_evicted", evicted);
@@ -475,6 +504,73 @@ mod tests {
             ..Snapshot::default()
         };
         assert!((s.mpki().unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_complete_feeds_the_latency_histogram() {
+        let mut p = MetricsProbe::new(0);
+        p.record(&ev(1, EventKind::LoadComplete { latency: 4 }));
+        p.record(&ev(2, EventKind::LoadComplete { latency: 200 }));
+        let h = p.histogram("core.load_latency").unwrap();
+        assert_eq!((h.count(), h.min(), h.max()), (2, Some(4), Some(200)));
+        assert_eq!(p.counter("core.load_complete"), 2);
+    }
+
+    /// A small deterministic probe with `salt`-dependent traffic, finalized.
+    fn probe_with_traffic(salt: u64) -> MetricsProbe {
+        let mut p = MetricsProbe::new(50);
+        for i in 0..(20 + salt) {
+            let line = (i * 7 + salt) % 13;
+            p.record(&ev(i * 9, EventKind::Miss { line }));
+            p.record(&ev(i * 9 + 1, fill(line, i % 3 == 0, (i % 2) as u8)));
+            p.record(&ev(i * 9 + 2, EventKind::Hit { line }));
+            p.record(&ev(i * 9 + 3, EventKind::LoadComplete { latency: 40 + i }));
+            p.record(&ev(i * 9 + 4, EventKind::Retire { instructions: 3 }));
+        }
+        p.finalize(9 * (20 + salt) + 5);
+        p
+    }
+
+    fn probe_fingerprint(p: &MetricsProbe) -> (Vec<(String, u64)>, Vec<Snapshot>, u64, u64) {
+        let counters = p
+            .registry()
+            .counters()
+            .map(|(n, v)| (n.to_string(), v))
+            .collect();
+        (
+            counters,
+            p.snapshots().to_vec(),
+            p.instructions(),
+            p.resident_data(),
+        )
+    }
+
+    #[test]
+    fn probe_merge_is_associative_and_commutative() {
+        let (a, b, c) = (
+            probe_with_traffic(0),
+            probe_with_traffic(5),
+            probe_with_traffic(11),
+        );
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(probe_fingerprint(&left), probe_fingerprint(&right));
+        assert_eq!(
+            left.histogram("core.load_latency"),
+            right.histogram("core.load_latency")
+        );
+        // c + b + a (commuted)
+        let mut rev = c.clone();
+        rev.merge(&b);
+        rev.merge(&a);
+        assert_eq!(probe_fingerprint(&left), probe_fingerprint(&rev));
     }
 
     #[test]

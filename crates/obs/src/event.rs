@@ -121,6 +121,13 @@ pub enum EventKind {
         /// Instructions retired by this record.
         instructions: u32,
     },
+    /// A demand load completed; `latency` is the total simulated-cycle
+    /// cost the core observed (L1 hit time through DRAM, as applicable).
+    /// The collector folds these into the `core.load_latency` histogram.
+    LoadComplete {
+        /// End-to-end load latency in simulated cycles.
+        latency: u64,
+    },
     /// The occupancy attacker measured one sample: `evicted` of its lines
     /// had been displaced by the victim.
     OccupancySample {
@@ -169,6 +176,7 @@ impl EventKind {
             EventKind::DramRead { .. } => "dram.read.row_conflict",
             EventKind::DramWrite => "dram.write",
             EventKind::Retire { .. } => "core.retire",
+            EventKind::LoadComplete { .. } => "core.load_complete",
             EventKind::OccupancySample { .. } => "attack.occupancy_sample",
             EventKind::FaultInjected { .. } => "fault.injected",
             EventKind::FaultDetected => "fault.detected",
@@ -216,6 +224,7 @@ mod tests {
             EventKind::DramRead { row_hit: false },
             EventKind::DramWrite,
             EventKind::Retire { instructions: 1 },
+            EventKind::LoadComplete { latency: 1 },
             EventKind::OccupancySample { evicted: 1 },
             EventKind::FaultInjected { class: "tag_bit" },
             EventKind::FaultDetected,

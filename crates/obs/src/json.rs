@@ -1,8 +1,13 @@
-//! A hand-rolled, dependency-free JSON object builder.
+//! A hand-rolled, dependency-free JSON object builder and line parser.
 //!
-//! Only what the sinks need: flat objects of strings, integers, floats,
-//! booleans, and pre-serialized raw values (for arrays), emitted in
-//! insertion order on a single line.
+//! The builder emits only what the sinks need: flat objects of strings,
+//! integers, floats, booleans, and pre-serialized raw values (for
+//! arrays), in insertion order on a single line. The parser
+//! ([`parse_value`]) reads those lines back for `obs-report` and the
+//! perf-history tooling — full JSON (nested arrays/objects), with
+//! integers kept exact as `u64` where possible.
+
+use std::collections::BTreeMap;
 
 /// Escapes `s` for inclusion in a JSON string literal (quotes excluded).
 pub fn escape(s: &str) -> String {
@@ -117,6 +122,265 @@ pub fn array_buckets(buckets: impl IntoIterator<Item = (u64, u64, u64)>) -> Stri
     buf
 }
 
+/// A parsed JSON value. Integers that fit `u64` stay exact ([`Value::U64`]);
+/// everything else numeric becomes [`Value::F64`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer that fits `u64`, kept exact.
+    U64(u64),
+    /// Any other number (negative, fractional, or exponent-form).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; key order is normalized to `BTreeMap` order.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload (exact `u64`, or an integral non-negative
+    /// float).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::F64(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64` (lossy above 2^53 for `U64`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(n) => Some(*n as f64),
+            Value::F64(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Field `key` of an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The key/value entries, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON value from `s` (surrounding whitespace
+/// allowed, trailing garbage rejected). Errors carry a byte offset.
+pub fn parse_value(s: &str) -> Result<Value, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_at(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos = pos.saturating_add(1);
+    }
+}
+
+fn expect_byte(b: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == want {
+        *pos = pos.saturating_add(1);
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", char::from(want), *pos))
+    }
+}
+
+fn parse_at(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(format!("unexpected end of input at byte {}", *pos));
+    };
+    match c {
+        b'{' => {
+            *pos = pos.saturating_add(1);
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos = pos.saturating_add(1);
+                return Ok(Value::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let Value::Str(key) = parse_at(b, pos)? else {
+                    return Err(format!("object key is not a string at byte {}", *pos));
+                };
+                skip_ws(b, pos);
+                expect_byte(b, pos, b':')?;
+                let val = parse_at(b, pos)?;
+                map.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos = pos.saturating_add(1),
+                    Some(&b'}') => {
+                        *pos = pos.saturating_add(1);
+                        return Ok(Value::Obj(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        b'[' => {
+            *pos = pos.saturating_add(1);
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos = pos.saturating_add(1);
+                return Ok(Value::Arr(arr));
+            }
+            loop {
+                arr.push(parse_at(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos = pos.saturating_add(1),
+                    Some(&b']') => {
+                        *pos = pos.saturating_add(1);
+                        return Ok(Value::Arr(arr));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        b'"' => parse_string(b, pos).map(Value::Str),
+        b't' if b[*pos..].starts_with(b"true") => {
+            *pos = pos.saturating_add(4);
+            Ok(Value::Bool(true))
+        }
+        b'f' if b[*pos..].starts_with(b"false") => {
+            *pos = pos.saturating_add(5);
+            Ok(Value::Bool(false))
+        }
+        b'n' if b[*pos..].starts_with(b"null") => {
+            *pos = pos.saturating_add(4);
+            Ok(Value::Null)
+        }
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        other => Err(format!(
+            "unexpected byte '{}' at byte {}",
+            char::from(other),
+            *pos
+        )),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = b.get(*pos) else {
+            return Err(format!("unterminated string at byte {}", *pos));
+        };
+        *pos = pos.saturating_add(1);
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&e) = b.get(*pos) else {
+                    return Err(format!("dangling escape at byte {}", *pos));
+                };
+                *pos = pos.saturating_add(1);
+                match e {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("truncated \\u escape at byte {}", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        *pos = pos.saturating_add(4);
+                        // Surrogates (emitted only for exotic input we never
+                        // produce) decode to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => {
+                        return Err(format!(
+                            "unknown escape '\\{}' at byte {}",
+                            char::from(other),
+                            *pos
+                        ))
+                    }
+                }
+            }
+            _ => {
+                // Multi-byte UTF-8: copy the whole sequence through.
+                let start = *pos - 1;
+                let mut end = *pos;
+                while end < b.len() && (b[end] & 0xC0) == 0x80 {
+                    end = end.saturating_add(1);
+                }
+                let chunk = std::str::from_utf8(&b[start..end])
+                    .map_err(|_| format!("invalid UTF-8 at byte {start}"))?;
+                out.push_str(chunk);
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos = pos.saturating_add(1);
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos = pos.saturating_add(1);
+    }
+    let text = std::str::from_utf8(&b[start..*pos])
+        .map_err(|_| format!("invalid number at byte {start}"))?;
+    if let Ok(n) = text.parse::<u64>() {
+        return Ok(Value::U64(n));
+    }
+    text.parse::<f64>()
+        .map(Value::F64)
+        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +421,62 @@ mod tests {
     #[test]
     fn whole_floats_print_as_numbers() {
         assert_eq!(Obj::new().f64("x", 5.0).finish(), r#"{"x":5}"#);
+    }
+
+    #[test]
+    fn parser_round_trips_builder_output() {
+        let line = Obj::new()
+            .str("type", "run")
+            .u64("cycle", u64::MAX)
+            .f64("mpki", -1.5)
+            .bool("ok", true)
+            .raw("xs", &array_buckets([(0, 1, 3), (4, 8, 2)]))
+            .finish();
+        let v = parse_value(&line).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("run"));
+        assert_eq!(v.get("cycle").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(v.get("mpki").unwrap().as_f64(), Some(-1.5));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        let xs = v.get("xs").unwrap().as_arr().unwrap();
+        assert_eq!(xs.len(), 2);
+        assert_eq!(xs[1].as_arr().unwrap()[2].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = parse_value(r#"{"a\n\"b":{"c":[null,false,1e3]},"d":""}"#).unwrap();
+        let inner = v.get("a\n\"b").unwrap().get("c").unwrap();
+        assert_eq!(
+            inner.as_arr().unwrap(),
+            &[Value::Null, Value::Bool(false), Value::F64(1000.0)]
+        );
+        assert_eq!(v.get("d").unwrap().as_str(), Some(""));
+        assert_eq!(parse_value(r#""café""#).unwrap().as_str(), Some("café"));
+        assert_eq!(parse_value("\"caf\u{e9}\"").unwrap().as_str(), Some("café"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"x",
+            "{\"a\":1} extra",
+            "{1:2}",
+        ] {
+            assert!(parse_value(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn integers_stay_exact_and_floats_fall_back() {
+        assert_eq!(
+            parse_value("18446744073709551615").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+        assert_eq!(parse_value("-3").unwrap(), Value::F64(-3.0));
+        assert_eq!(parse_value("2.5").unwrap(), Value::F64(2.5));
     }
 }

@@ -28,11 +28,24 @@ pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod probe;
+pub mod profile;
+pub mod report;
 pub mod sink;
+pub mod span;
 pub mod sweep;
+
+/// Version of every schema this crate emits: metrics-sidecar JSONL run
+/// headers, sweep sidecar summaries, and the BENCH perf/diag/history
+/// records the harness writes. Consumers (`obs-report`, the regression
+/// detector) reject records stamped with a *newer* version than they
+/// understand; records with no stamp predate versioning and are
+/// rejected too.
+pub const SCHEMA_VERSION: u64 = 2;
 
 pub use collector::{MetricsProbe, Snapshot, MAX_SKEWS};
 pub use event::{Event, EventKind, EvictionCause};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use probe::{NopProbe, Probe, ProbeHandle};
-pub use sink::{run_header, write_jsonl, write_tsv, RingBufferProbe};
+pub use profile::{ProfileHandle, SpanGuard, SpanProfiler};
+pub use sink::{run_header, write_jsonl, write_jsonl_with_spans, write_tsv, RingBufferProbe};
+pub use span::{Component, SpanStats, SpanTree};

@@ -78,6 +78,64 @@ impl Histogram {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
+    /// Reconstructs a histogram from serialized parts: `(lo, hi, n)`
+    /// bucket triples as produced by [`Histogram::nonzero_buckets`] plus
+    /// the exact aggregates. Used by `obs-report` to rebuild per-cell
+    /// histograms from sidecar JSONL before merging. Triples whose `lo`
+    /// is not a valid bucket lower bound land in the bucket containing
+    /// `lo`.
+    pub fn from_buckets(
+        triples: impl IntoIterator<Item = (u64, u64, u64)>,
+        sum: u64,
+        min: Option<u64>,
+        max: Option<u64>,
+    ) -> Self {
+        let mut h = Self::new();
+        let mut count = 0u64;
+        for (lo, _hi, n) in triples {
+            let b = bucket_of(lo);
+            h.buckets[b] = h.buckets[b].saturating_add(n);
+            count = count.saturating_add(n);
+        }
+        h.count = count;
+        h.sum = sum;
+        h.min = min.unwrap_or(u64::MAX);
+        h.max = max.unwrap_or(0);
+        h
+    }
+
+    /// Folds `other` into `self`: buckets, count, and sum add
+    /// (saturating); min/max widen. Associative and commutative, so
+    /// per-cell histograms from a sweep can merge in any grouping.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, &n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(n);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `p`-th percentile (0 < p <= 100) estimated from the log2
+    /// buckets: the upper bound of the bucket containing the `ceil(p% *
+    /// count)`-th smallest sample, clamped to the exact max. `None` when
+    /// empty. Deterministic integer arithmetic throughout.
+    pub fn percentile(&self, p: u64) -> Option<u64> {
+        if self.count == 0 || p == 0 {
+            return None;
+        }
+        let target = (self.count.saturating_mul(p).saturating_add(99) / 100).max(1);
+        let mut cum = 0u64;
+        for (_, hi, n) in self.nonzero_buckets() {
+            cum = cum.saturating_add(n);
+            if cum >= target {
+                return Some(hi.saturating_sub(1).min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+
     /// Iterates the non-empty buckets as `(lower_bound, upper_bound,
     /// count)` with an inclusive lower and exclusive upper bound (bucket 0
     /// is reported as `(0, 1, n)`).
@@ -141,6 +199,17 @@ impl MetricsRegistry {
     /// The histogram called `name`, if any sample was ever recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Folds `other` into `self`: counters add, histograms
+    /// [`Histogram::merge`]. Associative and commutative.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, n) in other.counters() {
+            self.add(name, n);
+        }
+        for (name, h) in other.histograms() {
+            self.histograms.entry(name).or_default().merge(h);
+        }
     }
 
     /// All counters in stable name order.
@@ -208,6 +277,82 @@ mod tests {
         assert_eq!(r.counter("missing"), 0);
         assert_eq!(r.histogram("h").unwrap().count(), 1);
         assert!(r.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_the_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut union = Histogram::new();
+        for v in [0, 3, 900] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [7, 7, 1_000_000] {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, union);
+    }
+
+    #[test]
+    fn from_buckets_round_trips_nonzero_buckets() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 5, 5, 1000, 40] {
+            h.record(v);
+        }
+        let rebuilt = Histogram::from_buckets(h.nonzero_buckets(), h.sum(), h.min(), h.max());
+        assert_eq!(rebuilt, h);
+        let empty = Histogram::from_buckets([], 0, None, None);
+        assert_eq!(empty, Histogram::new());
+    }
+
+    #[test]
+    fn percentiles_come_from_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(3); // bucket [2,4)
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket [512,1024)
+        }
+        assert_eq!(h.percentile(50), Some(3));
+        assert_eq!(h.percentile(90), Some(3));
+        assert_eq!(h.percentile(99), Some(1000), "clamped to exact max");
+        assert_eq!(h.percentile(100), Some(1000));
+        assert_eq!(Histogram::new().percentile(50), None);
+    }
+
+    #[test]
+    fn percentile_of_single_sample_is_that_sample() {
+        let mut h = Histogram::new();
+        h.record(77);
+        for p in [1, 50, 99, 100] {
+            assert_eq!(h.percentile(p), Some(77));
+        }
+    }
+
+    #[test]
+    fn registry_merge_is_associative() {
+        let mk = |vals: &[u64]| {
+            let mut r = MetricsRegistry::new();
+            for &v in vals {
+                r.add("c", v);
+                r.observe("h", v);
+            }
+            r
+        };
+        let (a, b, c) = (mk(&[1, 2]), mk(&[30]), mk(&[400, 5]));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.counter("c"), right.counter("c"));
+        assert_eq!(left.histogram("h"), right.histogram("h"));
     }
 
     #[test]

@@ -1,0 +1,422 @@
+//! The hierarchical span profiler: [`SpanProfiler`], the cloneable
+//! [`ProfileHandle`] instrumented code holds, and the RAII [`SpanGuard`].
+//!
+//! Mirrors the [`crate::probe::ProbeHandle`] design: handles default to
+//! inactive, in which case opening a span is a single branch and
+//! un-instrumented runs stay bit- and speed-identical. All clones of a
+//! handle share one profiler, one simulated-cycle clock, and one access
+//! counter, so spans opened by the simulator, a cache model, and the
+//! PRINCE layer aggregate into a single tree.
+//!
+//! Dual clocks: the simulator advances the cycle/access clocks (purely
+//! simulated time — deterministic); a harness may additionally inject a
+//! wall timer with [`SpanProfiler::set_wall_timer`]. The lint's
+//! wall-clock rule restricts that method to harness-class crates (and
+//! this defining file), so no model, sim, or obs code can observe wall
+//! time.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+use crate::span::{Component, SpanTree};
+
+/// A monotonic nanosecond timer injected by a harness; model/sim crates
+/// never construct one (lint-enforced).
+pub type WallTimer = Box<dyn FnMut() -> u64>;
+
+struct OpenSpan {
+    node: usize,
+    cycle0: u64,
+    access0: u64,
+    wall0: u64,
+}
+
+/// Aggregates scoped [`Component`] spans into a [`SpanTree`].
+///
+/// Not used directly by instrumented code — wrap it in a
+/// [`ProfileHandle`] via [`ProfileHandle::of`].
+#[derive(Default)]
+pub struct SpanProfiler {
+    tree: SpanTree,
+    stack: Vec<OpenSpan>,
+    timer: Option<WallTimer>,
+}
+
+impl fmt::Debug for SpanProfiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpanProfiler")
+            .field("nodes", &self.tree.paths().len())
+            .field("open", &self.stack.len())
+            .field("wall_timer", &self.timer.is_some())
+            .finish()
+    }
+}
+
+impl SpanProfiler {
+    /// A profiler with no wall timer: the resulting tree is fully
+    /// deterministic (`wall_nanos` stays 0 on every node).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Injects a wall timer (monotonic nanoseconds). Harness-only: the
+    /// lint's `determinism/wall-clock` rule rejects this identifier in
+    /// model-, sim-, and obs-class crates outside this file.
+    pub fn set_wall_timer(&mut self, timer: WallTimer) {
+        self.timer = Some(timer);
+    }
+
+    fn now_wall(&mut self) -> u64 {
+        match &mut self.timer {
+            Some(t) => t(),
+            None => 0,
+        }
+    }
+
+    // In both `enter` and `finish_top` the wall timer is sampled at the
+    // outermost possible point, so a span's own bookkeeping (node lookup,
+    // stats updates, the guard's handle clone and drop) is charged to the
+    // span itself rather than inflating the parent's self time.
+    fn enter(&mut self, component: Component, cycle: u64, accesses: u64) {
+        let wall0 = self.now_wall();
+        self.enter_at(component, cycle, accesses, wall0);
+    }
+
+    fn enter_at(&mut self, component: Component, cycle: u64, accesses: u64, wall0: u64) {
+        let parent = self.stack.last().map(|o| o.node).unwrap_or(0);
+        let node = self.tree.child_of(parent, component.as_str());
+        self.stack.push(OpenSpan {
+            node,
+            cycle0: cycle,
+            access0: accesses,
+            wall0,
+        });
+    }
+
+    /// Closes the top span and opens `component` as its sibling, sampling
+    /// the wall timer exactly once so the boundary between the two spans
+    /// is gap-free. Hot phase-switching loops use this: with ~tens of
+    /// nanoseconds per timer read, separate close+open samples would pile
+    /// up millions of unattributed slivers in the parent's self time.
+    fn switch(&mut self, component: Component, cycle: u64, accesses: u64) {
+        let wall = self.now_wall();
+        if let Some(open) = self.stack.pop() {
+            let stats = &mut self.tree.nodes[open.node].stats;
+            stats.count = stats.count.saturating_add(1);
+            stats.cycles = stats
+                .cycles
+                .saturating_add(cycle.saturating_sub(open.cycle0));
+            stats.accesses = stats
+                .accesses
+                .saturating_add(accesses.saturating_sub(open.access0));
+            stats.wall_nanos = stats
+                .wall_nanos
+                .saturating_add(wall.saturating_sub(open.wall0));
+        }
+        self.enter_at(component, cycle, accesses, wall);
+    }
+
+    fn finish_top(&mut self, cycle: u64, accesses: u64) {
+        if let Some(open) = self.stack.pop() {
+            {
+                let stats = &mut self.tree.nodes[open.node].stats;
+                stats.count = stats.count.saturating_add(1);
+                stats.cycles = stats
+                    .cycles
+                    .saturating_add(cycle.saturating_sub(open.cycle0));
+                stats.accesses = stats
+                    .accesses
+                    .saturating_add(accesses.saturating_sub(open.access0));
+            }
+            let wall = self.now_wall();
+            let stats = &mut self.tree.nodes[open.node].stats;
+            stats.wall_nanos = stats
+                .wall_nanos
+                .saturating_add(wall.saturating_sub(open.wall0));
+        }
+    }
+
+    /// The aggregated tree so far. Open spans contribute nothing until
+    /// their guards drop, so call this after the run completes.
+    pub fn tree(&self) -> SpanTree {
+        self.tree.clone()
+    }
+}
+
+/// A cloneable, optionally-attached reference to a shared
+/// [`SpanProfiler`] plus the shared simulated-cycle and access clocks.
+///
+/// Models and the simulator store one (defaulting to
+/// [`ProfileHandle::none`]); the simulator clones the same handle into
+/// the LLC and the index layer so all spans land in one tree.
+#[derive(Clone, Default)]
+pub struct ProfileHandle {
+    prof: Option<Rc<RefCell<SpanProfiler>>>,
+    cycle: Rc<Cell<u64>>,
+    accesses: Rc<Cell<u64>>,
+}
+
+impl fmt::Debug for ProfileHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProfileHandle")
+            .field("active", &self.is_active())
+            .field("cycle", &self.cycle.get())
+            .field("accesses", &self.accesses.get())
+            .finish()
+    }
+}
+
+impl ProfileHandle {
+    /// An inactive handle: opening a span is a no-op behind one branch.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Wraps `profiler` into an active handle, returning the handle plus
+    /// a typed reference for reading the tree after the run.
+    pub fn of(profiler: SpanProfiler) -> (Self, Rc<RefCell<SpanProfiler>>) {
+        let rc = Rc::new(RefCell::new(profiler));
+        let handle = Self {
+            prof: Some(rc.clone()),
+            cycle: Rc::new(Cell::new(0)),
+            accesses: Rc::new(Cell::new(0)),
+        };
+        (handle, rc)
+    }
+
+    /// True when a profiler is attached.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.prof.is_some()
+    }
+
+    /// Advances the shared simulated-cycle clock (the simulator drives
+    /// this; standalone models may leave it at 0).
+    #[inline]
+    pub fn set_cycle(&self, cycle: u64) {
+        self.cycle.set(cycle);
+    }
+
+    /// Current value of the shared cycle clock.
+    #[inline]
+    pub fn cycle(&self) -> u64 {
+        self.cycle.get()
+    }
+
+    /// Bumps the shared access counter by `n`.
+    #[inline]
+    pub fn add_accesses(&self, n: u64) {
+        self.accesses.set(self.accesses.get().saturating_add(n));
+    }
+
+    /// Current value of the shared access counter.
+    #[inline]
+    pub fn accesses(&self) -> u64 {
+        self.accesses.get()
+    }
+
+    /// Opens a `component` span, closed when the returned guard drops.
+    /// Spans nest by guard scope; on an inactive handle this is one
+    /// branch and the guard is inert.
+    #[inline]
+    pub fn span(&self, component: Component) -> SpanGuard {
+        match &self.prof {
+            None => SpanGuard { handle: None },
+            Some(rc) => {
+                rc.borrow_mut()
+                    .enter(component, self.cycle.get(), self.accesses.get());
+                SpanGuard {
+                    handle: Some(self.clone()),
+                }
+            }
+        }
+    }
+
+    fn close_top(&self) {
+        if let Some(rc) = &self.prof {
+            rc.borrow_mut()
+                .finish_top(self.cycle.get(), self.accesses.get());
+        }
+    }
+
+    fn switch_top(&self, component: Component) {
+        if let Some(rc) = &self.prof {
+            rc.borrow_mut()
+                .switch(component, self.cycle.get(), self.accesses.get());
+        }
+    }
+}
+
+/// Closes its span on drop. Obtained from [`ProfileHandle::span`]; hold
+/// it in a `let` binding for the scope the span should cover.
+#[must_use = "a span guard closes its span when dropped; bind it with `let`"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    handle: Option<ProfileHandle>,
+}
+
+impl SpanGuard {
+    /// Closes this span and opens `component` as a sibling under the same
+    /// parent, consuming the guard and returning one for the new span.
+    /// The wall timer is sampled exactly once at the boundary, so no time
+    /// falls between the two spans — use this in hot phase-switching
+    /// loops (e.g. the simulator's sched↔core dispatch) where separate
+    /// close/open samples would accumulate as parent self time.
+    #[must_use = "the returned guard closes the successor span when dropped"]
+    pub fn transition(mut self, component: Component) -> SpanGuard {
+        match self.handle.take() {
+            None => SpanGuard { handle: None },
+            Some(h) => {
+                h.switch_top(component);
+                SpanGuard { handle: Some(h) }
+            }
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(h) = &self.handle {
+            h.close_top();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanStats;
+
+    fn stats_of(paths: &[(String, SpanStats)], path: &str) -> SpanStats {
+        paths
+            .iter()
+            .find(|(p, _)| p == path)
+            .unwrap_or_else(|| panic!("missing path {path}"))
+            .1
+    }
+
+    #[test]
+    fn inactive_handle_is_inert() {
+        let h = ProfileHandle::none();
+        assert!(!h.is_active());
+        let _g = h.span(Component::Run);
+        let _g2 = h.span(Component::Llc);
+    }
+
+    #[test]
+    fn spans_nest_and_aggregate_cycle_deltas() {
+        let (h, rc) = ProfileHandle::of(SpanProfiler::new());
+        {
+            let _run = h.span(Component::Run);
+            for i in 0..3u64 {
+                h.set_cycle(i * 10);
+                h.add_accesses(1);
+                let _core = h.span(Component::Core);
+                h.set_cycle(i * 10 + 4);
+                let _llc = h.span(Component::Llc);
+                h.set_cycle(i * 10 + 7);
+            }
+            h.set_cycle(100);
+        }
+        let paths = rc.borrow().tree().paths();
+        let run = stats_of(&paths, "run");
+        assert_eq!(run.count, 1);
+        assert_eq!(run.cycles, 100);
+        assert_eq!(run.accesses, 3);
+        let core = stats_of(&paths, "run;core");
+        assert_eq!(core.count, 3);
+        assert_eq!(core.cycles, 7 + 7 + 7);
+        let llc = stats_of(&paths, "run;core;llc");
+        assert_eq!(llc.count, 3);
+        assert_eq!(llc.cycles, 3 + 3 + 3);
+        assert_eq!(run.wall_nanos, 0, "no wall timer injected");
+    }
+
+    #[test]
+    fn clones_share_one_tree_and_clock() {
+        let (h, rc) = ProfileHandle::of(SpanProfiler::new());
+        let h2 = h.clone();
+        {
+            let _a = h.span(Component::Run);
+            h2.set_cycle(50);
+            let _b = h2.span(Component::Dram);
+            h.set_cycle(60);
+        }
+        let paths = rc.borrow().tree().paths();
+        assert_eq!(stats_of(&paths, "run;dram").cycles, 10);
+        assert_eq!(stats_of(&paths, "run").cycles, 60);
+    }
+
+    #[test]
+    fn injected_wall_timer_feeds_wall_nanos() {
+        let fake = Rc::new(Cell::new(0u64));
+        let mut prof = SpanProfiler::new();
+        let fake2 = fake.clone();
+        prof.set_wall_timer(Box::new(move || fake2.get()));
+        let (h, rc) = ProfileHandle::of(prof);
+        {
+            let _run = h.span(Component::Run);
+            fake.set(1_000);
+            {
+                let _dram = h.span(Component::Dram);
+                fake.set(1_600);
+            }
+            fake.set(2_000);
+        }
+        let paths = rc.borrow().tree().paths();
+        assert_eq!(stats_of(&paths, "run").wall_nanos, 2_000);
+        assert_eq!(stats_of(&paths, "run;dram").wall_nanos, 600);
+    }
+
+    #[test]
+    fn transitions_are_gap_free_siblings() {
+        let fake = Rc::new(Cell::new(0u64));
+        let mut prof = SpanProfiler::new();
+        let fake2 = fake.clone();
+        prof.set_wall_timer(Box::new(move || fake2.get()));
+        let (h, rc) = ProfileHandle::of(prof);
+        {
+            let _run = h.span(Component::Run);
+            let mut phase = h.span(Component::Sched);
+            for round in 1..=3u64 {
+                fake.set(round * 100);
+                h.set_cycle(round * 10);
+                phase = phase.transition(Component::Core);
+                fake.set(round * 100 + 40);
+                h.set_cycle(round * 10 + 4);
+                phase = phase.transition(Component::Sched);
+            }
+            fake.set(400);
+            drop(phase);
+            fake.set(1_000);
+        }
+        let paths = rc.borrow().tree().paths();
+        let run = stats_of(&paths, "run");
+        let sched = stats_of(&paths, "run;sched");
+        let core = stats_of(&paths, "run;core");
+        // Siblings under run, not nested, with per-round counts.
+        assert_eq!(sched.count, 4, "initial open plus three re-entries");
+        assert_eq!(core.count, 3);
+        assert_eq!(core.wall_nanos, 3 * 40);
+        assert_eq!(core.cycles, 3 * 4);
+        // Gap-free: the whole [0, 400] phase region is covered.
+        assert_eq!(sched.wall_nanos + core.wall_nanos, 400);
+        assert_eq!(run.wall_nanos, 1_000, "run covers the phases plus slack");
+        // A transition on an inert guard stays inert.
+        let inert = ProfileHandle::none().span(Component::Sched);
+        let _still_inert = inert.transition(Component::Core);
+    }
+
+    #[test]
+    fn reentrant_same_component_spans_stack_as_distinct_paths() {
+        let (h, rc) = ProfileHandle::of(SpanProfiler::new());
+        {
+            let _a = h.span(Component::Llc);
+            let _b = h.span(Component::Llc);
+        }
+        let paths = rc.borrow().tree().paths();
+        assert_eq!(stats_of(&paths, "llc").count, 1);
+        assert_eq!(stats_of(&paths, "llc;llc").count, 1);
+    }
+}

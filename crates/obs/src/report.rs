@@ -1,0 +1,884 @@
+//! Sweep-telemetry report building: merges per-cell metrics sidecar
+//! JSONL (and per-experiment sweep sidecars) into one aggregated
+//! [`Report`], rendered as markdown, TSV, and inferno-compatible
+//! collapsed-stack flamegraph lines.
+//!
+//! Determinism contract: the primary artifacts (`render_markdown`,
+//! `render_tsv`, `render_flame`) contain only deterministic quantities —
+//! counts, simulated cycles, accesses — and are byte-identical across
+//! reruns and worker counts (CI pins this). Wall-clock quantities (span
+//! `wall_nanos`, per-job `wall_secs`) are segregated into the `_wall`
+//! artifacts (`render_flame_wall`, `render_wall_markdown`), which vary
+//! run to run by nature.
+//!
+//! This module is pure (no filesystem): the `obs-report` binary reads
+//! files and feeds their contents in as [`ReportInput`]s.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{parse_value, Value};
+use crate::metrics::Histogram;
+use crate::span::SpanStats;
+use crate::SCHEMA_VERSION;
+
+/// One input file: its (base)name, for error messages and deterministic
+/// ordering, plus its full contents.
+#[derive(Debug, Clone)]
+pub struct ReportInput {
+    /// File name (used in error messages; inputs are processed in sorted
+    /// name order by the caller).
+    pub name: String,
+    /// Full JSONL contents.
+    pub text: String,
+}
+
+/// Aggregated telemetry for one design across every merged cell.
+#[derive(Debug, Clone, Default)]
+pub struct DesignAgg {
+    /// Metrics files (cells) merged into this design.
+    pub cells: u64,
+    /// Summed counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Merged histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Merged span stats by `;`-joined path.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Summed final-snapshot cycles (one per cell): total simulated time.
+    pub sim_cycles: u64,
+    /// Summed final-snapshot instruction counts.
+    pub instructions: u64,
+}
+
+impl DesignAgg {
+    fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Demand lookups: data hits + tag-only hits + misses.
+    pub fn lookups(&self) -> u64 {
+        self.counter("llc.hit.data")
+            .saturating_add(self.counter("llc.hit.tag_only"))
+            .saturating_add(self.counter("llc.miss"))
+    }
+}
+
+/// One experiment's sweep rollup (workers and wall time deliberately
+/// excluded: the report must not depend on them).
+#[derive(Debug, Clone, Default)]
+pub struct SweepAgg {
+    /// Total cells in the sweep.
+    pub jobs: u64,
+    /// Cells served by the result cache.
+    pub cache_hits: u64,
+    /// Cells whose work panicked (contained by the scheduler).
+    pub failed: u64,
+}
+
+/// One failed cell, for the FailedCell rollup.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FailedCell {
+    /// Experiment id.
+    pub experiment: String,
+    /// Dense job id within the experiment.
+    pub job: u64,
+    /// Design label.
+    pub design: String,
+    /// Workload label.
+    pub workload: String,
+}
+
+/// The merged telemetry of one metrics directory.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Per-design aggregates, keyed by design label.
+    pub designs: BTreeMap<String, DesignAgg>,
+    /// Per-experiment sweep rollups.
+    pub sweeps: BTreeMap<String, SweepAgg>,
+    /// Every failed cell, sorted.
+    pub failed_cells: Vec<FailedCell>,
+}
+
+fn field_u64(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn field_str<'v>(v: &'v Value, key: &str) -> &'v str {
+    v.get(key).and_then(Value::as_str).unwrap_or("")
+}
+
+/// Checks a record's `schema_version` against [`SCHEMA_VERSION`].
+/// `required` records (run headers, sweep summaries, bench records) must
+/// carry a stamp; a missing stamp or a newer version is an error.
+fn check_schema(v: &Value, file: &str, line_no: usize, required: bool) -> Result<(), String> {
+    match v.get("schema_version").and_then(Value::as_u64) {
+        Some(found) if found <= SCHEMA_VERSION => Ok(()),
+        Some(found) => Err(format!(
+            "{file}:{line_no}: schema_version {found} is newer than this \
+             obs-report understands ({SCHEMA_VERSION}); rebuild obs-report from the \
+             matching tree"
+        )),
+        None if required => Err(format!(
+            "{file}:{line_no}: record has no schema_version (pre-versioning \
+             output?); regenerate it with the current tree"
+        )),
+        None => Ok(()),
+    }
+}
+
+fn absorb_metrics_file(report: &mut Report, input: &ReportInput) -> Result<(), String> {
+    let mut design = String::new();
+    let mut last_snapshot: Option<Value> = None;
+    let mut body_lines = 0u64;
+    let mut end_seen = false;
+    // Staged into a scratch aggregate first so a malformed file cannot
+    // half-merge.
+    let mut agg = DesignAgg::default();
+    for (i, line) in input.text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_value(line).map_err(|e| format!("{}:{line_no}: {e}", input.name))?;
+        match field_str(&v, "type") {
+            "run" => {
+                check_schema(&v, &input.name, line_no, true)?;
+                design = field_str(&v, "design").to_string();
+                if design.is_empty() {
+                    return Err(format!(
+                        "{}:{line_no}: run header has no design",
+                        input.name
+                    ));
+                }
+            }
+            "snapshot" => {
+                last_snapshot = Some(v);
+                body_lines = body_lines.saturating_add(1);
+            }
+            "counter" => {
+                let name = field_str(&v, "name").to_string();
+                let add = field_u64(&v, "value");
+                let c = agg.counters.entry(name).or_insert(0);
+                *c = c.saturating_add(add);
+                body_lines = body_lines.saturating_add(1);
+            }
+            "histogram" => {
+                let name = field_str(&v, "name").to_string();
+                let triples: Vec<(u64, u64, u64)> = v
+                    .get("buckets")
+                    .and_then(Value::as_arr)
+                    .map(|arr| {
+                        arr.iter()
+                            .filter_map(|t| {
+                                let t = t.as_arr()?;
+                                Some((
+                                    t.first()?.as_u64()?,
+                                    t.get(1)?.as_u64()?,
+                                    t.get(2)?.as_u64()?,
+                                ))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let h = Histogram::from_buckets(
+                    triples,
+                    field_u64(&v, "sum"),
+                    v.get("min").and_then(Value::as_u64),
+                    v.get("max").and_then(Value::as_u64),
+                );
+                agg.histograms.entry(name).or_default().merge(&h);
+                body_lines = body_lines.saturating_add(1);
+            }
+            "span" => {
+                let path = field_str(&v, "path").to_string();
+                let s = agg.spans.entry(path).or_default();
+                s.absorb(&SpanStats {
+                    count: field_u64(&v, "count"),
+                    cycles: field_u64(&v, "cycles"),
+                    accesses: field_u64(&v, "accesses"),
+                    wall_nanos: field_u64(&v, "wall_nanos"),
+                });
+                body_lines = body_lines.saturating_add(1);
+            }
+            "end" => {
+                let declared = field_u64(&v, "snapshots")
+                    .saturating_add(field_u64(&v, "counters"))
+                    .saturating_add(field_u64(&v, "histograms"))
+                    .saturating_add(field_u64(&v, "spans"));
+                if declared != body_lines {
+                    return Err(format!(
+                        "{}:{line_no}: end record declares {declared} body lines, \
+                         found {body_lines} (truncated file?)",
+                        input.name
+                    ));
+                }
+                end_seen = true;
+            }
+            other => {
+                return Err(format!(
+                    "{}:{line_no}: unknown record type {other:?}",
+                    input.name
+                ))
+            }
+        }
+    }
+    if design.is_empty() {
+        return Err(format!("{}: no run header found", input.name));
+    }
+    if !end_seen {
+        return Err(format!(
+            "{}: missing end record (truncated file?)",
+            input.name
+        ));
+    }
+    if let Some(snap) = &last_snapshot {
+        agg.sim_cycles = field_u64(snap, "cycle");
+        agg.instructions = field_u64(snap, "instructions");
+    }
+    agg.cells = 1;
+    let into = report.designs.entry(design).or_default();
+    into.cells = into.cells.saturating_add(agg.cells);
+    into.sim_cycles = into.sim_cycles.saturating_add(agg.sim_cycles);
+    into.instructions = into.instructions.saturating_add(agg.instructions);
+    for (name, n) in agg.counters {
+        let c = into.counters.entry(name).or_insert(0);
+        *c = c.saturating_add(n);
+    }
+    for (name, h) in agg.histograms {
+        into.histograms.entry(name).or_default().merge(&h);
+    }
+    for (path, s) in agg.spans {
+        into.spans.entry(path).or_default().absorb(&s);
+    }
+    Ok(())
+}
+
+fn absorb_sweep_file(report: &mut Report, input: &ReportInput) -> Result<(), String> {
+    for (i, line) in input.text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let v = parse_value(line).map_err(|e| format!("{}:{line_no}: {e}", input.name))?;
+        match field_str(&v, "type") {
+            "job" => {
+                if v.get("failed") == Some(&Value::Bool(true)) {
+                    report.failed_cells.push(FailedCell {
+                        experiment: field_str(&v, "experiment").to_string(),
+                        job: field_u64(&v, "job"),
+                        design: field_str(&v, "design").to_string(),
+                        workload: field_str(&v, "workload").to_string(),
+                    });
+                }
+            }
+            "sweep" => {
+                check_schema(&v, &input.name, line_no, true)?;
+                let exp = field_str(&v, "experiment").to_string();
+                let agg = report.sweeps.entry(exp).or_default();
+                agg.jobs = agg.jobs.saturating_add(field_u64(&v, "jobs"));
+                agg.cache_hits = agg.cache_hits.saturating_add(field_u64(&v, "cache_hits"));
+                agg.failed = agg.failed.saturating_add(field_u64(&v, "failed"));
+            }
+            other => {
+                return Err(format!(
+                    "{}:{line_no}: unknown sweep record type {other:?}",
+                    input.name
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds the merged report. `metrics` are per-cell `metrics_*.jsonl`
+/// contents; `sweeps` are `sweep_*.jsonl` contents. The caller passes
+/// inputs in sorted name order; merging is order-insensitive anyway
+/// (every aggregate is associative and commutative).
+pub fn build_report(metrics: &[ReportInput], sweeps: &[ReportInput]) -> Result<Report, String> {
+    let mut report = Report::default();
+    for input in metrics {
+        absorb_metrics_file(&mut report, input)?;
+    }
+    for input in sweeps {
+        absorb_sweep_file(&mut report, input)?;
+    }
+    report.failed_cells.sort();
+    report.failed_cells.dedup();
+    Ok(report)
+}
+
+/// Validates the schema stamps of a BENCH JSONL file (`BENCH_perf.json`,
+/// `BENCH_diag.json`, `BENCH_history.jsonl`): every line must parse, and
+/// `perf` / `diag` / `perf-history` / `run` records must be
+/// schema-stamped with a version this tool understands. Returns the
+/// number of stamped records checked.
+pub fn validate_bench_text(name: &str, text: &str) -> Result<u64, String> {
+    let mut checked = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_value(line).map_err(|e| format!("{name}:{line_no}: {e}"))?;
+        let ty = field_str(&v, "type");
+        if matches!(ty, "perf" | "diag" | "perf-history" | "run") {
+            check_schema(&v, name, line_no, true)?;
+            checked = checked.saturating_add(1);
+        }
+    }
+    Ok(checked)
+}
+
+/// `;`-split depth of a span path.
+fn depth_of(path: &str) -> usize {
+    path.split(';').count()
+}
+
+/// Self value of `path` under `pick`: its total minus its direct
+/// children's totals (clamped at 0).
+fn self_value(
+    spans: &BTreeMap<String, SpanStats>,
+    path: &str,
+    pick: &impl Fn(&SpanStats) -> u64,
+) -> u64 {
+    let total = spans.get(path).map(pick).unwrap_or(0);
+    let prefix = format!("{path};");
+    let child_depth = depth_of(path) + 1;
+    let child_sum = spans
+        .iter()
+        .filter(|(p, _)| p.starts_with(&prefix) && depth_of(p) == child_depth)
+        .fold(0u64, |acc, (_, s)| acc.saturating_add(pick(s)));
+    total.saturating_sub(child_sum)
+}
+
+impl Report {
+    /// Fraction of the top-level `run` span's wall time attributed to
+    /// named child components for `design`:
+    /// `1 - self_wall(run) / total_wall(run)`. `None` when the design
+    /// has no wall-timed `run` span.
+    pub fn attribution(&self, design: &str) -> Option<f64> {
+        let agg = self.designs.get(design)?;
+        let total = agg.spans.get("run")?.wall_nanos;
+        if total == 0 {
+            return None;
+        }
+        let own = self_value(&agg.spans, "run", &|s: &SpanStats| s.wall_nanos);
+        Some(1.0 - own as f64 / total as f64)
+    }
+
+    /// Inferno-compatible collapsed-stack lines, deterministically
+    /// valued by span *count* (self counts), paths prefixed with the
+    /// design label: `maya;run;core;llc 123`.
+    pub fn render_flame(&self) -> String {
+        self.flame_by(&|s: &SpanStats| s.count)
+    }
+
+    /// Collapsed-stack lines valued by self wall nanoseconds. Not
+    /// byte-stable across runs — kept out of the deterministic artifact
+    /// set.
+    pub fn render_flame_wall(&self) -> String {
+        self.flame_by(&|s: &SpanStats| s.wall_nanos)
+    }
+
+    fn flame_by(&self, pick: &impl Fn(&SpanStats) -> u64) -> String {
+        let mut out = String::new();
+        for (design, agg) in &self.designs {
+            for path in agg.spans.keys() {
+                let own = self_value(&agg.spans, path, pick);
+                let _ = writeln!(out, "{design};{path} {own}");
+            }
+        }
+        out
+    }
+
+    /// The deterministic markdown report: sweep rollups, per-design
+    /// throughput, demand-load latency percentiles, and the top-`top`
+    /// hot components by span count.
+    pub fn render_markdown(&self, top: usize) -> String {
+        let mut md = String::new();
+        let _ = writeln!(md, "# Sweep telemetry report");
+        let _ = writeln!(md);
+        let _ = writeln!(
+            md,
+            "Schema version {SCHEMA_VERSION}. {} metrics cell(s), {} design(s), {} sweep(s).",
+            self.designs
+                .values()
+                .fold(0u64, |a, d| a.saturating_add(d.cells)),
+            self.designs.len(),
+            self.sweeps.len(),
+        );
+        if !self.sweeps.is_empty() {
+            let _ = writeln!(md);
+            let _ = writeln!(md, "## Sweeps");
+            let _ = writeln!(md);
+            let _ = writeln!(md, "| experiment | jobs | cache hits | failed |");
+            let _ = writeln!(md, "|---|---:|---:|---:|");
+            for (exp, s) in &self.sweeps {
+                let _ = writeln!(
+                    md,
+                    "| {exp} | {} | {} | {} |",
+                    s.jobs, s.cache_hits, s.failed
+                );
+            }
+        }
+        if !self.failed_cells.is_empty() {
+            let _ = writeln!(md);
+            let _ = writeln!(md, "### Failed cells");
+            let _ = writeln!(md);
+            for f in &self.failed_cells {
+                let _ = writeln!(
+                    md,
+                    "- `{}` job {} ({} / {})",
+                    f.experiment, f.job, f.design, f.workload
+                );
+            }
+        }
+        let _ = writeln!(md);
+        let _ = writeln!(md, "## Designs");
+        let _ = writeln!(md);
+        let _ = writeln!(
+            md,
+            "| design | cells | lookups | data hits | tag-only hits | misses | fills | sim cycles | lookups/kcycle | hit rate |"
+        );
+        let _ = writeln!(md, "|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|");
+        for (design, agg) in &self.designs {
+            let lookups = agg.lookups();
+            let hits = agg.counter("llc.hit.data");
+            let per_kcycle = if agg.sim_cycles > 0 {
+                format!("{:.3}", lookups as f64 * 1000.0 / agg.sim_cycles as f64)
+            } else {
+                "-".to_string()
+            };
+            let hit_rate = if lookups > 0 {
+                format!("{:.4}", hits as f64 / lookups as f64)
+            } else {
+                "-".to_string()
+            };
+            let fills = agg
+                .counter("llc.fill.data")
+                .saturating_add(agg.counter("llc.fill.tag_only"));
+            let _ = writeln!(
+                md,
+                "| {design} | {} | {lookups} | {hits} | {} | {} | {fills} | {} | {per_kcycle} | {hit_rate} |",
+                agg.cells,
+                agg.counter("llc.hit.tag_only"),
+                agg.counter("llc.miss"),
+                agg.sim_cycles,
+            );
+        }
+        let _ = writeln!(md);
+        let _ = writeln!(md, "## Demand-load latency (simulated cycles)");
+        let _ = writeln!(md);
+        let _ = writeln!(md, "| design | loads | p50 | p90 | p99 | mean | max |");
+        let _ = writeln!(md, "|---|---:|---:|---:|---:|---:|---:|");
+        for (design, agg) in &self.designs {
+            match agg.histograms.get("core.load_latency") {
+                Some(h) if h.count() > 0 => {
+                    let pct = |p| h.percentile(p).map_or("-".to_string(), |v| v.to_string());
+                    let _ = writeln!(
+                        md,
+                        "| {design} | {} | {} | {} | {} | {:.1} | {} |",
+                        h.count(),
+                        pct(50),
+                        pct(90),
+                        pct(99),
+                        h.mean().unwrap_or(0.0),
+                        h.max().map_or("-".to_string(), |v| v.to_string()),
+                    );
+                }
+                _ => {
+                    let _ = writeln!(md, "| {design} | 0 | - | - | - | - | - |");
+                }
+            }
+        }
+        let _ = writeln!(md);
+        let _ = writeln!(md, "## Hot components (by span count)");
+        let _ = writeln!(md);
+        let hot = self.hot_components(top, &|s: &SpanStats| s.count);
+        if hot.is_empty() {
+            let _ = writeln!(md, "No span records in the input (runs were not profiled).");
+        } else {
+            let _ = writeln!(md, "| design | path | self count | cycles | accesses |");
+            let _ = writeln!(md, "|---|---|---:|---:|---:|");
+            for (design, path, own, s) in hot {
+                let _ = writeln!(
+                    md,
+                    "| {design} | `{path}` | {own} | {} | {} |",
+                    s.cycles, s.accesses
+                );
+            }
+        }
+        md
+    }
+
+    /// Wall-time hot-component table (non-deterministic companion to
+    /// [`Report::render_markdown`]), plus per-design attribution.
+    pub fn render_wall_markdown(&self, top: usize) -> String {
+        let mut md = String::new();
+        let _ = writeln!(md, "# Wall-time hot components");
+        let _ = writeln!(md);
+        let _ = writeln!(
+            md,
+            "Wall times vary run to run; this file is excluded from byte-identity checks."
+        );
+        let _ = writeln!(md);
+        let _ = writeln!(
+            md,
+            "| design | path | self wall (ms) | total wall (ms) | count |"
+        );
+        let _ = writeln!(md, "|---|---|---:|---:|---:|");
+        for (design, path, own, s) in self.hot_components(top, &|s: &SpanStats| s.wall_nanos) {
+            let _ = writeln!(
+                md,
+                "| {design} | `{path}` | {:.3} | {:.3} | {} |",
+                own as f64 / 1e6,
+                s.wall_nanos as f64 / 1e6,
+                s.count
+            );
+        }
+        for design in self.designs.keys() {
+            if let Some(frac) = self.attribution(design) {
+                let _ = writeln!(md);
+                let _ = writeln!(
+                    md,
+                    "Attribution ({design}): {:.1}% of `run` wall time is covered by child spans.",
+                    frac * 100.0
+                );
+            }
+        }
+        md
+    }
+
+    /// Top `top` spans across all designs ranked by self `pick` value
+    /// (descending), ties broken by design then path.
+    fn hot_components(
+        &self,
+        top: usize,
+        pick: &impl Fn(&SpanStats) -> u64,
+    ) -> Vec<(String, String, u64, SpanStats)> {
+        let mut rows: Vec<(String, String, u64, SpanStats)> = Vec::new();
+        for (design, agg) in &self.designs {
+            for (path, s) in &agg.spans {
+                let own = self_value(&agg.spans, path, pick);
+                rows.push((design.clone(), path.clone(), own, *s));
+            }
+        }
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| (&a.0, &a.1).cmp(&(&b.0, &b.1))));
+        rows.truncate(top);
+        rows
+    }
+
+    /// The deterministic flat TSV dump: every counter, histogram (with
+    /// percentiles), span, and sweep rollup. Wall quantities excluded.
+    pub fn render_tsv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "kind\tdesign\tname\tv1\tv2\tv3\tv4\tv5");
+        for (exp, s) in &self.sweeps {
+            let _ = writeln!(
+                out,
+                "sweep\t\t{exp}\t{}\t{}\t{}\t\t",
+                s.jobs, s.cache_hits, s.failed
+            );
+        }
+        for f in &self.failed_cells {
+            let _ = writeln!(
+                out,
+                "failed_cell\t{}\t{}\t{}\t{}\t\t\t",
+                f.design, f.experiment, f.job, f.workload
+            );
+        }
+        for (design, agg) in &self.designs {
+            let _ = writeln!(out, "cells\t{design}\t\t{}\t\t\t\t", agg.cells);
+            let _ = writeln!(out, "sim_cycles\t{design}\t\t{}\t\t\t\t", agg.sim_cycles);
+            for (name, v) in &agg.counters {
+                let _ = writeln!(out, "counter\t{design}\t{name}\t{v}\t\t\t\t");
+            }
+            for (name, h) in &agg.histograms {
+                let fmt_p = |p| {
+                    h.percentile(p)
+                        .map_or(String::new(), |v: u64| v.to_string())
+                };
+                let _ = writeln!(
+                    out,
+                    "histogram\t{design}\t{name}\t{}\t{}\t{}\t{}\t{}",
+                    h.count(),
+                    h.sum(),
+                    fmt_p(50),
+                    fmt_p(90),
+                    fmt_p(99),
+                );
+            }
+            for (path, s) in &agg.spans {
+                let _ = writeln!(
+                    out,
+                    "span\t{design}\t{path}\t{}\t{}\t{}\t\t",
+                    s.count, s.cycles, s.accesses
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics_file(design: &str, latency_samples: &[u64]) -> ReportInput {
+        use crate::collector::MetricsProbe;
+        use crate::event::{Event, EventKind};
+        use crate::probe::Probe;
+        use crate::profile::{ProfileHandle, SpanProfiler};
+        use crate::sink::{run_header, write_jsonl_with_spans};
+        use crate::span::Component;
+
+        let mut p = MetricsProbe::new(100);
+        for (i, &lat) in latency_samples.iter().enumerate() {
+            let c = (i as u64 + 1) * 10;
+            p.record(&Event {
+                cycle: c,
+                kind: EventKind::Miss { line: i as u64 },
+            });
+            p.record(&Event {
+                cycle: c,
+                kind: EventKind::Fill {
+                    line: i as u64,
+                    tag_only: false,
+                    skew: 0,
+                },
+            });
+            p.record(&Event {
+                cycle: c + 1,
+                kind: EventKind::Hit { line: i as u64 },
+            });
+            p.record(&Event {
+                cycle: c + 2,
+                kind: EventKind::LoadComplete { latency: lat },
+            });
+        }
+        p.finalize(latency_samples.len() as u64 * 10 + 5);
+
+        let (h, rc) = ProfileHandle::of(SpanProfiler::new());
+        {
+            let _run = h.span(Component::Run);
+            for i in 0..latency_samples.len() as u64 {
+                h.set_cycle(i * 10);
+                h.add_accesses(1);
+                let _core = h.span(Component::Core);
+                let _llc = h.span(Component::Llc);
+            }
+            h.set_cycle(latency_samples.len() as u64 * 10 + 5);
+        }
+        let tree = rc.borrow().tree();
+        let mut buf = Vec::new();
+        write_jsonl_with_spans(&mut buf, run_header(design, "mix", 7, 100), &p, Some(&tree))
+            .unwrap();
+        ReportInput {
+            name: format!("metrics_{design}.jsonl"),
+            text: String::from_utf8(buf).unwrap(),
+        }
+    }
+
+    fn sweep_file() -> ReportInput {
+        use crate::sweep::{JobRecord, SweepRecord};
+        let mut text = String::new();
+        for (job, failed) in [(0u64, false), (1, true)] {
+            text.push_str(
+                &JobRecord {
+                    experiment: "llcfit".into(),
+                    job,
+                    design: "maya".into(),
+                    workload: "leela".into(),
+                    seed: 7,
+                    wall_secs: 0.5 + job as f64,
+                    cache_hit: job == 0,
+                    failed,
+                }
+                .to_json_line(),
+            );
+            text.push('\n');
+        }
+        text.push_str(
+            &SweepRecord {
+                experiment: "llcfit".into(),
+                jobs: 2,
+                cache_hits: 1,
+                workers: 4,
+                failed: 1,
+                wall_secs: 2.5,
+            }
+            .to_json_line(),
+        );
+        text.push('\n');
+        ReportInput {
+            name: "sweep_llcfit.jsonl".into(),
+            text,
+        }
+    }
+
+    #[test]
+    fn merges_cells_and_renders_deterministic_artifacts() {
+        let m1 = metrics_file("maya", &[40, 40, 200]);
+        let m2 = metrics_file("maya", &[40, 500]);
+        let m3 = metrics_file("baseline", &[30]);
+        let report = build_report(&[m1.clone(), m2.clone(), m3.clone()], &[sweep_file()]).unwrap();
+
+        let maya = &report.designs["maya"];
+        assert_eq!(maya.cells, 2);
+        assert_eq!(maya.lookups(), 10); // 5 hits + 5 misses
+        assert_eq!(maya.histograms["core.load_latency"].count(), 5);
+        assert_eq!(maya.spans["run"].count, 2);
+        assert_eq!(maya.spans["run;core;llc"].count, 5);
+        assert_eq!(report.sweeps["llcfit"].cache_hits, 1);
+        assert_eq!(report.failed_cells.len(), 1);
+
+        // Merge order must not matter.
+        let swapped = build_report(&[m3, m2, m1], &[sweep_file()]).unwrap();
+        assert_eq!(report.render_markdown(10), swapped.render_markdown(10));
+        assert_eq!(report.render_tsv(), swapped.render_tsv());
+        assert_eq!(report.render_flame(), swapped.render_flame());
+
+        let md = report.render_markdown(10);
+        assert!(md.contains("| llcfit | 2 | 1 | 1 |"), "{md}");
+        assert!(md.contains("`llcfit` job 1"), "{md}");
+        assert!(md.contains("| maya |"), "{md}");
+        let flame = report.render_flame();
+        assert!(flame.contains("maya;run;core;llc 5\n"), "{flame}");
+        assert!(flame.contains("baseline;run;core 0\n"), "{flame}");
+        let tsv = report.render_tsv();
+        assert!(tsv.contains("counter\tmaya\tllc.miss\t5"), "{tsv}");
+        assert!(tsv.contains("span\tbaseline\trun;core;llc\t1"), "{tsv}");
+        assert!(!tsv.contains("wall"), "wall data must stay out of the TSV");
+    }
+
+    #[test]
+    fn latency_percentiles_survive_serialization_and_merge() {
+        let report = build_report(
+            &[
+                metrics_file("maya", &[40, 40, 40, 40, 40, 40, 40, 40, 40]),
+                metrics_file("maya", &[3000]),
+            ],
+            &[],
+        )
+        .unwrap();
+        let h = &report.designs["maya"].histograms["core.load_latency"];
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.percentile(50), Some(63), "bucket [32,64) upper bound - 1");
+        assert_eq!(h.percentile(99), Some(3000), "clamped to exact max");
+    }
+
+    #[test]
+    fn schema_mismatches_are_rejected_with_context() {
+        let good = metrics_file("maya", &[40]);
+        let stale = ReportInput {
+            name: "metrics_old.jsonl".into(),
+            text: good.text.replace(
+                &format!(r#""schema_version":{SCHEMA_VERSION}"#),
+                r#""schema_version":99"#,
+            ),
+        };
+        let err = build_report(&[stale], &[]).unwrap_err();
+        assert!(err.contains("metrics_old.jsonl:1"), "{err}");
+        assert!(err.contains("schema_version 99"), "{err}");
+
+        let unstamped = ReportInput {
+            name: "metrics_pre.jsonl".into(),
+            text: good
+                .text
+                .replace(&format!(r#","schema_version":{SCHEMA_VERSION}"#), ""),
+        };
+        let err = build_report(&[unstamped], &[]).unwrap_err();
+        assert!(err.contains("no schema_version"), "{err}");
+    }
+
+    #[test]
+    fn truncated_files_are_rejected() {
+        let good = metrics_file("maya", &[40]);
+        let cut: String = good
+            .text
+            .lines()
+            .filter(|l| !l.contains(r#""type":"end""#))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = build_report(
+            &[ReportInput {
+                name: "metrics_cut.jsonl".into(),
+                text: cut,
+            }],
+            &[],
+        )
+        .unwrap_err();
+        assert!(err.contains("missing end record"), "{err}");
+
+        let dropped: String = good
+            .text
+            .lines()
+            .filter(|l| !l.contains(r#""type":"counter","name":"llc.miss""#))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = build_report(
+            &[ReportInput {
+                name: "metrics_drop.jsonl".into(),
+                text: dropped,
+            }],
+            &[],
+        )
+        .unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn attribution_uses_wall_self_share() {
+        let mut report = Report::default();
+        let mut agg = DesignAgg::default();
+        agg.spans.insert(
+            "run".into(),
+            SpanStats {
+                count: 1,
+                cycles: 0,
+                accesses: 0,
+                wall_nanos: 1000,
+            },
+        );
+        agg.spans.insert(
+            "run;core".into(),
+            SpanStats {
+                count: 5,
+                cycles: 0,
+                accesses: 0,
+                wall_nanos: 930,
+            },
+        );
+        agg.spans.insert(
+            "run;core;llc".into(),
+            SpanStats {
+                count: 5,
+                cycles: 0,
+                accesses: 0,
+                wall_nanos: 400,
+            },
+        );
+        report.designs.insert("maya".into(), agg);
+        let frac = report.attribution("maya").unwrap();
+        assert!((frac - 0.93).abs() < 1e-9, "{frac}");
+        assert_eq!(report.attribution("missing"), None);
+        let wall_md = report.render_wall_markdown(5);
+        assert!(wall_md.contains("93.0%"), "{wall_md}");
+    }
+
+    #[test]
+    fn bench_text_validation_checks_stamps() {
+        let ok = format!(
+            "{}\n{}\n",
+            crate::json::Obj::new()
+                .str("type", "perf")
+                .u64("schema_version", SCHEMA_VERSION)
+                .finish(),
+            crate::json::Obj::new().str("type", "sweep-total").finish(),
+        );
+        assert_eq!(validate_bench_text("BENCH_perf.json", &ok), Ok(1));
+        let bad = r#"{"type":"diag","ipc":1.0}"#;
+        let err = validate_bench_text("BENCH_diag.json", bad).unwrap_err();
+        assert!(err.contains("no schema_version"), "{err}");
+    }
+}

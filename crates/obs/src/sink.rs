@@ -8,8 +8,12 @@ use crate::collector::{MetricsProbe, Snapshot};
 use crate::event::Event;
 use crate::json::{self, Obj};
 use crate::probe::Probe;
+use crate::span::SpanTree;
+use crate::SCHEMA_VERSION;
 
 /// Builds the standard `type:"run"` header record for a metrics file.
+/// Carries [`SCHEMA_VERSION`] so consumers can reject formats they do
+/// not understand.
 pub fn run_header(design: &str, workload: &str, seed: u64, sample_every: u64) -> Obj {
     Obj::new()
         .str("type", "run")
@@ -17,6 +21,7 @@ pub fn run_header(design: &str, workload: &str, seed: u64, sample_every: u64) ->
         .str("workload", workload)
         .u64("seed", seed)
         .u64("sample_every", sample_every)
+        .u64("schema_version", SCHEMA_VERSION)
 }
 
 fn snapshot_line(s: &Snapshot) -> String {
@@ -44,6 +49,19 @@ fn snapshot_line(s: &Snapshot) -> String {
 /// trailing `end` record with record counts (a cheap integrity check for
 /// consumers).
 pub fn write_jsonl(w: &mut dyn Write, header: Obj, probe: &MetricsProbe) -> io::Result<()> {
+    write_jsonl_with_spans(w, header, probe, None)
+}
+
+/// [`write_jsonl`] plus one `type:"span"` line per aggregated span-tree
+/// path (emitted between the histograms and the `end` record, which then
+/// also counts them). `wall_nanos` is 0 unless a harness injected a wall
+/// timer; all other span fields are deterministic.
+pub fn write_jsonl_with_spans(
+    w: &mut dyn Write,
+    header: Obj,
+    probe: &MetricsProbe,
+    spans: Option<&SpanTree>,
+) -> io::Result<()> {
     writeln!(w, "{}", header.finish())?;
     for s in probe.snapshots() {
         writeln!(w, "{}", snapshot_line(s))?;
@@ -79,16 +97,33 @@ pub fn write_jsonl(w: &mut dyn Write, header: Obj, probe: &MetricsProbe) -> io::
         )?;
         histograms = histograms.saturating_add(1);
     }
-    writeln!(
-        w,
-        "{}",
-        Obj::new()
-            .str("type", "end")
-            .u64("snapshots", probe.snapshots().len() as u64)
-            .u64("counters", counters)
-            .u64("histograms", histograms)
-            .finish()
-    )?;
+    let mut span_lines = 0u64;
+    if let Some(tree) = spans {
+        for (path, s) in tree.paths() {
+            writeln!(
+                w,
+                "{}",
+                Obj::new()
+                    .str("type", "span")
+                    .str("path", &path)
+                    .u64("count", s.count)
+                    .u64("cycles", s.cycles)
+                    .u64("accesses", s.accesses)
+                    .u64("wall_nanos", s.wall_nanos)
+                    .finish()
+            )?;
+            span_lines = span_lines.saturating_add(1);
+        }
+    }
+    let mut end = Obj::new()
+        .str("type", "end")
+        .u64("snapshots", probe.snapshots().len() as u64)
+        .u64("counters", counters)
+        .u64("histograms", histograms);
+    if spans.is_some() {
+        end = end.u64("spans", span_lines);
+    }
+    writeln!(w, "{}", end.finish())?;
     Ok(())
 }
 
@@ -199,6 +234,42 @@ mod tests {
         assert_eq!(p.snapshots().len(), 3);
         assert!(text.contains(r#""name":"llc.reuse_distance""#));
         assert!(text.contains(r#""name":"llc.fill.data","value":25"#));
+    }
+
+    #[test]
+    fn jsonl_header_carries_the_schema_version() {
+        let p = probe_with_traffic();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, run_header("maya", "mix", 42, 10), &p).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.lines()
+                .next()
+                .unwrap()
+                .contains(&format!(r#""schema_version":{}"#, crate::SCHEMA_VERSION)),
+            "run header must be schema-stamped"
+        );
+    }
+
+    #[test]
+    fn span_lines_land_between_histograms_and_end() {
+        use crate::profile::{ProfileHandle, SpanProfiler};
+        use crate::span::Component;
+        let p = probe_with_traffic();
+        let (h, rc) = ProfileHandle::of(SpanProfiler::new());
+        {
+            let _run = h.span(Component::Run);
+            h.set_cycle(9);
+            let _llc = h.span(Component::Llc);
+            h.set_cycle(12);
+        }
+        let tree = rc.borrow().tree();
+        let mut buf = Vec::new();
+        write_jsonl_with_spans(&mut buf, run_header("maya", "mix", 1, 0), &p, Some(&tree)).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains(r#"{"type":"span","path":"run","count":1,"cycles":12"#));
+        assert!(text.contains(r#""path":"run;llc","count":1,"cycles":3"#));
+        assert!(text.lines().last().unwrap().contains(r#""spans":2"#));
     }
 
     #[test]

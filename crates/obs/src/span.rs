@@ -1,0 +1,349 @@
+//! The component-span taxonomy and the aggregated span tree.
+//!
+//! A *span* is a scoped region of work attributed to one [`Component`]
+//! (PRINCE encryption, index derivation, replacement, DRAM, …). Spans
+//! nest: entering `Component::Llc` while `Component::Core` is open
+//! produces the path `run;core;llc`. The profiler aggregates every
+//! distinct path into one [`SpanStats`] node — there is no per-event
+//! allocation, so profiling scales to billions of spans.
+//!
+//! Each node carries the *dual clocks* of the profiling design:
+//!
+//! * `cycles` / `accesses` — deltas of the simulated-cycle and access
+//!   counters, advanced by the simulator. Deterministic: identical on
+//!   every run of the same workload, and exactly zero perturbation of the
+//!   simulation itself.
+//! * `wall_nanos` — deltas of an injected wall timer. Only harness-class
+//!   crates may inject one (the lint's wall-clock rule pins this); when no
+//!   timer is injected the field stays 0 and the tree remains fully
+//!   deterministic.
+
+use std::fmt::Write as _;
+
+/// The closed vocabulary of profiled components.
+///
+/// Stable names (see [`Component::as_str`]) appear in sidecar JSONL
+/// `span` records and in collapsed-stack flamegraph paths; renaming one
+/// is a schema change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Component {
+    /// The whole simulation run (root of the simulator's span tree).
+    Run,
+    /// Next-core selection in the multi-core interleaver.
+    Sched,
+    /// One core step: trace generation, L1/L2 walk, retire accounting.
+    Core,
+    /// A last-level-cache lookup (`CacheModel::access`).
+    Llc,
+    /// Set-index derivation (batched skew-index computation).
+    IndexDerive,
+    /// PRINCE block encryption (memo misses only; memo hits skip it).
+    Prince,
+    /// Replacement: victim choice and global evictions.
+    Replacement,
+    /// DRAM reads and writes, including row-buffer bookkeeping.
+    Dram,
+    /// Prefetch issue and fill.
+    Prefetch,
+    /// Periodic `CacheModel::audit` invariant sweeps.
+    Audit,
+}
+
+impl Component {
+    /// The stable, lowercase name used in span records and flame paths.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Component::Run => "run",
+            Component::Sched => "sched",
+            Component::Core => "core",
+            Component::Llc => "llc",
+            Component::IndexDerive => "index_derive",
+            Component::Prince => "prince",
+            Component::Replacement => "replacement",
+            Component::Dram => "dram",
+            Component::Prefetch => "prefetch",
+            Component::Audit => "audit",
+        }
+    }
+
+    /// Every component, for closed-vocabulary tests.
+    pub fn all() -> [Component; 10] {
+        [
+            Component::Run,
+            Component::Sched,
+            Component::Core,
+            Component::Llc,
+            Component::IndexDerive,
+            Component::Prince,
+            Component::Replacement,
+            Component::Dram,
+            Component::Prefetch,
+            Component::Audit,
+        ]
+    }
+}
+
+/// Aggregated measurements for one span-tree node (one distinct path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of times this exact path was entered.
+    pub count: u64,
+    /// Total simulated-cycle delta accumulated across entries.
+    pub cycles: u64,
+    /// Total access-counter delta accumulated across entries.
+    pub accesses: u64,
+    /// Total injected wall-timer delta (nanoseconds); 0 when no wall
+    /// timer is attached.
+    pub wall_nanos: u64,
+}
+
+impl SpanStats {
+    /// Folds `other` into `self` (saturating).
+    pub fn absorb(&mut self, other: &SpanStats) {
+        self.count = self.count.saturating_add(other.count);
+        self.cycles = self.cycles.saturating_add(other.cycles);
+        self.accesses = self.accesses.saturating_add(other.accesses);
+        self.wall_nanos = self.wall_nanos.saturating_add(other.wall_nanos);
+    }
+}
+
+/// One interned node of the span tree.
+#[derive(Debug, Clone)]
+pub(crate) struct SpanNode {
+    pub(crate) name: &'static str,
+    pub(crate) children: Vec<usize>,
+    pub(crate) stats: SpanStats,
+}
+
+/// The aggregated span tree: nodes interned by path, root at index 0.
+///
+/// The root is synthetic (empty name) and never reported; its children
+/// are the top-level spans (`run` for simulator-driven trees).
+#[derive(Debug, Clone)]
+pub struct SpanTree {
+    pub(crate) nodes: Vec<SpanNode>,
+}
+
+impl Default for SpanTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpanTree {
+    /// An empty tree holding only the synthetic root.
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![SpanNode {
+                name: "",
+                children: Vec::new(),
+                stats: SpanStats::default(),
+            }],
+        }
+    }
+
+    /// Index of `name` under `parent`, interning a new node if absent.
+    pub(crate) fn child_of(&mut self, parent: usize, name: &'static str) -> usize {
+        let hit = self.nodes[parent]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.nodes[c].name == name);
+        match hit {
+            Some(c) => c,
+            None => {
+                let id = self.nodes.len();
+                self.nodes.push(SpanNode {
+                    name,
+                    children: Vec::new(),
+                    stats: SpanStats::default(),
+                });
+                self.nodes[parent].children.push(id);
+                id
+            }
+        }
+    }
+
+    /// Every `(path, stats)` pair in deterministic order: depth-first,
+    /// children sorted by name, paths joined with `;` (the collapsed-stack
+    /// separator).
+    pub fn paths(&self) -> Vec<(String, SpanStats)> {
+        let mut out = Vec::new();
+        self.walk(0, "", &mut out);
+        out
+    }
+
+    fn walk(&self, node: usize, prefix: &str, out: &mut Vec<(String, SpanStats)>) {
+        let mut kids: Vec<usize> = self.nodes[node].children.clone();
+        kids.sort_by_key(|&c| self.nodes[c].name);
+        for c in kids {
+            let path = if prefix.is_empty() {
+                self.nodes[c].name.to_string()
+            } else {
+                let mut p = String::with_capacity(prefix.len() + 1 + self.nodes[c].name.len());
+                p.push_str(prefix);
+                p.push(';');
+                p.push_str(self.nodes[c].name);
+                p
+            };
+            out.push((path.clone(), self.nodes[c].stats));
+            self.walk(c, &path, out);
+        }
+    }
+
+    /// Sum of the children's `field` under `node_path`, plus that node's
+    /// own stats, as `(node_stats, child_sum)`. Returns `None` if the path
+    /// does not exist.
+    pub fn node_and_child_sum(&self, node_path: &str) -> Option<(SpanStats, SpanStats)> {
+        let mut cur = 0usize;
+        for part in node_path.split(';') {
+            cur = self.nodes[cur]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| self.nodes[c].name == part)?;
+        }
+        let mut child_sum = SpanStats::default();
+        for &c in &self.nodes[cur].children {
+            child_sum.absorb(&self.nodes[c].stats);
+        }
+        Some((self.nodes[cur].stats, child_sum))
+    }
+
+    /// Renders inferno-compatible collapsed-stack lines: one
+    /// `path value\n` per node, where `value` is the node's *self* share
+    /// of `pick(stats)` (its total minus its children's totals, clamped at
+    /// 0). Lines are emitted in deterministic path order; zero-valued
+    /// lines are kept so the full taxonomy is visible.
+    pub fn collapsed(&self, pick: impl Fn(&SpanStats) -> u64) -> String {
+        let mut out = String::new();
+        self.collapse_walk(0, "", &pick, &mut out);
+        out
+    }
+
+    fn collapse_walk(
+        &self,
+        node: usize,
+        prefix: &str,
+        pick: &impl Fn(&SpanStats) -> u64,
+        out: &mut String,
+    ) {
+        let mut kids: Vec<usize> = self.nodes[node].children.clone();
+        kids.sort_by_key(|&c| self.nodes[c].name);
+        for c in kids {
+            let path = if prefix.is_empty() {
+                self.nodes[c].name.to_string()
+            } else {
+                format!("{prefix};{}", self.nodes[c].name)
+            };
+            let total = pick(&self.nodes[c].stats);
+            let child_sum: u64 = self.nodes[c].children.iter().fold(0u64, |acc, &k| {
+                acc.saturating_add(pick(&self.nodes[k].stats))
+            });
+            let own = total.saturating_sub(child_sum);
+            let _ = writeln!(out, "{path} {own}");
+            self.collapse_walk(c, &path, pick, out);
+        }
+    }
+
+    /// Merges `other` into `self`: stats of identical paths add, new
+    /// paths are interned. Associative and commutative up to child
+    /// ordering (which `paths()` normalizes by sorting).
+    pub fn absorb(&mut self, other: &SpanTree) {
+        self.absorb_at(0, other, 0);
+    }
+
+    fn absorb_at(&mut self, into: usize, other: &SpanTree, from: usize) {
+        let kids = other.nodes[from].children.clone();
+        for c in kids {
+            let name = other.nodes[c].name;
+            let id = self.child_of(into, name);
+            let stats = other.nodes[c].stats;
+            self.nodes[id].stats.absorb(&stats);
+            self.absorb_at(id, other, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_names_are_distinct_and_stable() {
+        let names: Vec<&str> = Component::all().iter().map(|c| c.as_str()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate component name");
+        assert!(names.contains(&"index_derive"));
+        assert!(names.contains(&"prince"));
+    }
+
+    fn tree_abc() -> SpanTree {
+        let mut t = SpanTree::new();
+        let run = t.child_of(0, "run");
+        let core = t.child_of(run, "core");
+        let llc = t.child_of(core, "llc");
+        t.nodes[run].stats = SpanStats {
+            count: 1,
+            cycles: 100,
+            accesses: 10,
+            wall_nanos: 1000,
+        };
+        t.nodes[core].stats = SpanStats {
+            count: 10,
+            cycles: 90,
+            accesses: 10,
+            wall_nanos: 800,
+        };
+        t.nodes[llc].stats = SpanStats {
+            count: 5,
+            cycles: 40,
+            accesses: 5,
+            wall_nanos: 300,
+        };
+        t
+    }
+
+    #[test]
+    fn paths_are_deterministic_and_nested() {
+        let t = tree_abc();
+        let paths: Vec<String> = t.paths().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(paths, vec!["run", "run;core", "run;core;llc"]);
+    }
+
+    #[test]
+    fn collapsed_reports_self_values() {
+        let t = tree_abc();
+        let flame = t.collapsed(|s| s.wall_nanos);
+        assert_eq!(flame, "run 200\nrun;core 500\nrun;core;llc 300\n");
+        let by_count = t.collapsed(|s| s.count);
+        assert!(by_count.starts_with("run 0\n"), "{by_count}");
+    }
+
+    #[test]
+    fn absorb_adds_matching_paths_and_interns_new_ones() {
+        let mut a = tree_abc();
+        let mut b = SpanTree::new();
+        let run = b.child_of(0, "run");
+        let dram = b.child_of(run, "dram");
+        b.nodes[run].stats.count = 2;
+        b.nodes[dram].stats.cycles = 7;
+        a.absorb(&b);
+        let paths = a.paths();
+        let run_stats = paths.iter().find(|(p, _)| p == "run").unwrap().1;
+        assert_eq!(run_stats.count, 3);
+        let dram_stats = paths.iter().find(|(p, _)| p == "run;dram").unwrap().1;
+        assert_eq!(dram_stats.cycles, 7);
+    }
+
+    #[test]
+    fn node_and_child_sum_splits_self_from_children() {
+        let t = tree_abc();
+        let (run, kids) = t.node_and_child_sum("run").unwrap();
+        assert_eq!(run.wall_nanos, 1000);
+        assert_eq!(kids.wall_nanos, 800);
+        assert!(t.node_and_child_sum("run;nope").is_none());
+    }
+}

@@ -69,7 +69,8 @@ pub struct SweepRecord {
 }
 
 impl SweepRecord {
-    /// The single-line JSON form.
+    /// The single-line JSON form (schema-stamped; see
+    /// [`crate::SCHEMA_VERSION`]).
     pub fn to_json_line(&self) -> String {
         Obj::new()
             .str("type", "sweep")
@@ -79,6 +80,7 @@ impl SweepRecord {
             .u64("workers", self.workers)
             .u64("failed", self.failed)
             .f64("wall_secs", self.wall_secs)
+            .u64("schema_version", crate::SCHEMA_VERSION)
             .finish()
     }
 }

@@ -29,6 +29,8 @@
 
 use std::cell::Cell;
 
+use maya_obs::{Component, ProfileHandle};
+
 use crate::Prince;
 
 /// Upper bound on the number of skews an [`IndexFunction`] serves.
@@ -112,6 +114,7 @@ pub struct IndexFunction {
     sets_per_skew: usize,
     mask: u64,
     memo: Option<Memo>,
+    profiler: ProfileHandle,
 }
 
 impl IndexFunction {
@@ -137,6 +140,7 @@ impl IndexFunction {
             sets_per_skew,
             mask: sets_per_skew as u64 - 1,
             memo: None,
+            profiler: ProfileHandle::none(),
         }
     }
 
@@ -192,6 +196,15 @@ impl IndexFunction {
         self.memo.is_some()
     }
 
+    /// Attaches a span profiler (see `maya_obs::profile`): actual PRINCE
+    /// encryption work — memo fills and memo-less derivations — opens a
+    /// `prince` span, so memo hits are visibly free in profiles. Purely
+    /// observational; derived indices never depend on the handle. A
+    /// re-key that constructs a fresh `IndexFunction` must re-attach.
+    pub fn set_profiler(&mut self, profiler: ProfileHandle) {
+        self.profiler = profiler;
+    }
+
     /// Empties the memo table, if any. Exposed for explicit epoch
     /// invalidation; re-keying by constructing a new `IndexFunction` makes
     /// this unnecessary on the usual paths.
@@ -215,6 +228,7 @@ impl IndexFunction {
     /// translations in memo slot `slot`.
     #[inline]
     fn memo_fill(&self, memo: &Memo, slot: usize, line_addr: u64) {
+        let _prince = self.profiler.span(Component::Prince);
         let skews = self.ciphers.len();
         for (skew, c) in self.ciphers.iter().enumerate() {
             let set = (c.encrypt(line_addr) & self.mask) as u32;
@@ -239,6 +253,7 @@ impl IndexFunction {
             }
             return memo.sets[slot * self.ciphers.len() + skew].get() as usize;
         }
+        let _prince = self.profiler.span(Component::Prince);
         (self.ciphers[skew].encrypt(line_addr) & self.mask) as usize
     }
 
@@ -268,6 +283,7 @@ impl IndexFunction {
             }
             return;
         }
+        let _prince = self.profiler.span(Component::Prince);
         for (o, c) in out.iter_mut().zip(self.ciphers.iter()) {
             *o = (c.encrypt(line_addr) & self.mask) as usize;
         }

@@ -5,7 +5,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
 use maya_core::{AccessKind, CacheModel, DomainId, Policy, Request, SetAssocCache, SetAssocConfig};
-use maya_obs::{EventKind, ProbeHandle};
+use maya_obs::{Component, EventKind, ProbeHandle, ProfileHandle};
 use workloads::mixes::Mix;
 use workloads::spec::SyntheticTrace;
 use workloads::TraceGenerator;
@@ -53,6 +53,7 @@ pub struct System {
     cores: Vec<Core>,
     warmed: usize,
     probe: ProbeHandle,
+    profiler: ProfileHandle,
 }
 
 impl std::fmt::Debug for System {
@@ -111,6 +112,7 @@ impl System {
             cores,
             warmed: 0,
             probe: ProbeHandle::none(),
+            profiler: ProfileHandle::none(),
             config,
         }
     }
@@ -128,6 +130,16 @@ impl System {
         self.llc.set_probe(probe.clone());
         self.dram.set_probe(probe.clone());
         self.probe = probe;
+    }
+
+    /// Attaches a span profiler to the whole system. The LLC (and through
+    /// it the index/PRINCE layer) receives a clone of the handle, so model
+    /// spans nest under the simulator's `run`/`core`/`llc` spans in one
+    /// tree. Profiling is strictly observational: attached or not, the
+    /// simulation's transcript, statistics, and RNG draws are identical.
+    pub fn set_profiler(&mut self, profiler: ProfileHandle) {
+        self.llc.set_profiler(profiler.clone());
+        self.profiler = profiler;
     }
 
     /// Runs warm-up plus measurement and returns the results.
@@ -158,6 +170,12 @@ impl System {
     fn run_impl(&mut self, audit_every: Option<u64>) -> RunResult {
         let target = self.config.warmup_instructions + self.config.measure_instructions;
         let mut steps: u64 = 0;
+        let _run = self.profiler.span(Component::Run);
+        // The loop alternates between two phase spans via gap-free
+        // transitions (one timer sample per boundary), so every cycle of
+        // the dispatch loop is attributed to either `sched` or `core` —
+        // nothing leaks into `run`'s self time.
+        let mut phase = self.profiler.span(Component::Sched);
         loop {
             // Advance the core that is furthest behind in time, so cores
             // interleave at the shared LLC and DRAM realistically.
@@ -165,12 +183,19 @@ impl System {
                 .filter(|&i| self.cores[i].retired < target)
                 .min_by_key(|&i| self.cores[i].t);
             match next {
-                Some(i) => self.step(i),
+                Some(i) => {
+                    self.profiler.set_cycle(self.cores[i].t);
+                    self.profiler.add_accesses(1);
+                    phase = phase.transition(Component::Core);
+                    self.step(i);
+                    phase = phase.transition(Component::Sched);
+                }
                 None => break,
             }
             steps = steps.saturating_add(1);
             if let Some(every) = audit_every {
                 if steps.is_multiple_of(every) {
+                    let _audit = self.profiler.span(Component::Audit);
                     if let Err(e) = self.llc.audit() {
                         panic!(
                             "LLC '{}' corrupt after {steps} trace records: {e}",
@@ -180,6 +205,7 @@ impl System {
                 }
             }
         }
+        drop(phase);
         let cores = self
             .cores
             .iter()
@@ -201,6 +227,8 @@ impl System {
     /// Executes one trace record (gap instructions plus one memory access)
     /// on core `i`.
     fn step(&mut self, i: usize) {
+        // The caller (run_impl's phase loop) has already advanced the
+        // profiler clocks and opened the `core` span for this step.
         let access = self.cores[i].gen.next_access();
         let line = access.addr >> 6;
         {
@@ -223,6 +251,7 @@ impl System {
         // core's clock; cores advance in time order, so the stream is
         // near-monotone.
         self.probe.set_cycle(self.cores[i].t);
+        self.profiler.set_cycle(self.cores[i].t);
         self.probe.emit_with(|| EventKind::Retire {
             instructions: access.gap + 1,
         });
@@ -281,6 +310,7 @@ impl System {
         while matches!(core.outstanding.peek(), Some(&Reverse(c)) if c <= now) {
             core.outstanding.pop();
         }
+        self.probe.emit_with(|| EventKind::LoadComplete { latency });
         for p in prefetches {
             self.prefetch_fill(i, p);
         }
@@ -375,10 +405,16 @@ impl System {
         }
         let domain = self.cores[i].domain;
         let llc_lat = u64::from(self.config.llc_latency) + u64::from(self.llc.extra_latency());
-        let r3 = self.llc.access(Request { line, kind, domain });
+        let r3 = {
+            let _llc = self.profiler.span(Component::Llc);
+            self.llc.access(Request { line, kind, domain })
+        };
         let now = self.cores[i].t + l2_lat + llc_lat;
-        for wb in r3.writebacks.iter() {
-            self.dram.write(wb, domain, now);
+        if !r3.writebacks.is_empty() {
+            let _dram = self.profiler.span(Component::Dram);
+            for wb in r3.writebacks.iter() {
+                self.dram.write(wb, domain, now);
+            }
         }
         if r3.is_data_hit() {
             return l2_lat + llc_lat;
@@ -387,6 +423,7 @@ impl System {
             self.cores[i].meas.llc_demand_misses =
                 self.cores[i].meas.llc_demand_misses.saturating_add(1);
         }
+        let _dram = self.profiler.span(Component::Dram);
         l2_lat + llc_lat + self.dram.read(line, domain, now)
     }
 
@@ -394,10 +431,16 @@ impl System {
     /// DRAM.
     fn llc_writeback(&mut self, i: usize, line: u64) {
         let domain = self.cores[i].domain;
-        let r = self.llc.access(Request::writeback(line, domain));
+        let r = {
+            let _llc = self.profiler.span(Component::Llc);
+            self.llc.access(Request::writeback(line, domain))
+        };
         let now = self.cores[i].t;
-        for wb in r.writebacks.iter() {
-            self.dram.write(wb, domain, now);
+        if !r.writebacks.is_empty() {
+            let _dram = self.profiler.span(Component::Dram);
+            for wb in r.writebacks.iter() {
+                self.dram.write(wb, domain, now);
+            }
         }
     }
 
@@ -424,6 +467,7 @@ impl System {
             return;
         }
         self.probe.emit_with(|| EventKind::PrefetchIssue { line });
+        let _prefetch = self.profiler.span(Component::Prefetch);
         let latency = self.walk_below_l1(i, line, false);
         let core = &mut self.cores[i];
         core.inflight_prefetch.insert(line, core.t + latency);

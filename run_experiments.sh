@@ -9,7 +9,8 @@
 # Env knobs: SCALE= (fidelity), JOBS= (worker threads; output is
 # byte-identical at any count), NO_CACHE=1 (bypass the target/exp-cache
 # result cache — an interrupted or re-run sweep otherwise reuses every
-# completed cell).
+# completed cell), METRICS_DIR= (write per-cell metrics sidecars there and
+# render an obs-report under $METRICS_DIR/report; implies NO_CACHE).
 set -uo pipefail
 
 OUT=${1:-experiments_output.txt}
@@ -19,6 +20,7 @@ SCALE=${SCALE:-0.08}
 EXTRA=()
 [[ -n "${JOBS:-}" ]] && EXTRA+=(--jobs "$JOBS")
 [[ -n "${NO_CACHE:-}" ]] && EXTRA+=(--no-cache)
+[[ -n "${METRICS_DIR:-}" ]] && EXTRA+=(--metrics-dir "$METRICS_DIR")
 
 : > "$OUT"
 run() {
@@ -49,4 +51,8 @@ run sens-llc --scale "$SCALE"
 run sens-cores --scale "$SCALE"
 run robustness --scale "$SCALE"
 run tab10 --scale "$SCALE"
+if [[ -n "${METRICS_DIR:-}" ]]; then
+  echo "== rendering telemetry report ==" >&2
+  ./target/release/obs-report "$METRICS_DIR" >&2
+fi
 echo "all experiments written to $OUT" >&2

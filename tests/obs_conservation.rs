@@ -12,8 +12,12 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use maya_bench::designs::Design;
-use maya_repro::maya_core::{CacheModel, DomainId, Request};
-use maya_repro::maya_obs::{MetricsProbe, NopProbe, ProbeHandle};
+use maya_repro::champsim_lite::{System, SystemConfig};
+use maya_repro::maya_core::{
+    CacheModel, DomainId, MayaCache, MayaConfig, MirageCache, MirageConfig, Request,
+};
+use maya_repro::maya_obs::{MetricsProbe, NopProbe, ProbeHandle, ProfileHandle, SpanProfiler};
+use maya_repro::workloads::mixes::homogeneous;
 
 /// Baseline-equivalent capacity: 1 MB (16K lines), small enough for debug
 /// runs, large enough that the mixed workload below forces evictions.
@@ -184,6 +188,108 @@ fn probes_never_perturb_results() {
             full.stats(),
             "{id}: MetricsProbe changed results"
         );
+    }
+}
+
+/// The span profiler is as read-only as the probes: attaching one must
+/// leave every design's statistics bit-identical — including the RNG
+/// stream, which a second `drive` pass would expose if any profiled code
+/// path consumed extra randomness.
+#[test]
+fn profiler_never_perturbs_model_results() {
+    for d in Design::all() {
+        let id = d.id();
+        let mut plain = d.build(LINES, SEED);
+        let mut profiled = d.build(LINES, SEED);
+        let (handle, prof) = ProfileHandle::of(SpanProfiler::new());
+        profiled.set_profiler(handle);
+
+        drive(plain.as_mut());
+        drive(profiled.as_mut());
+        assert_eq!(
+            plain.stats(),
+            profiled.stats(),
+            "{id}: profiler changed results"
+        );
+
+        // Continue both runs: any RNG divergence introduced by the profiled
+        // pass would surface in the victim choices of this second pass.
+        drive(plain.as_mut());
+        drive(profiled.as_mut());
+        assert_eq!(
+            plain.stats(),
+            profiled.stats(),
+            "{id}: profiler perturbed the RNG stream"
+        );
+
+        // With no wall timer attached the tree must be purely simulated-
+        // clock data: zero wall nanos everywhere, so it reproduces exactly.
+        for (path, stats) in prof.borrow().tree().paths() {
+            assert_eq!(
+                stats.wall_nanos, 0,
+                "{id}: span `{path}` accumulated wall time without a timer"
+            );
+        }
+    }
+}
+
+/// System-level transparency: a full multi-core timing run with the
+/// profiler attached produces a byte-identical `RunResult` (rendered via
+/// `Debug`, which covers every field) for both secure designs, and the
+/// resulting span tree contains the expected component hierarchy.
+#[test]
+fn profiler_never_perturbs_system_runs() {
+    let cfg = || SystemConfig {
+        cores: 2,
+        ..SystemConfig::eight_core_default().with_instructions(20_000, 60_000)
+    };
+    let lines = 2 * 32 * 1024;
+    type BuildFn = fn(usize) -> Box<dyn CacheModel>;
+    let designs: [(&str, BuildFn); 2] = [
+        ("maya", |n| {
+            Box::new(MayaCache::new(MayaConfig::for_baseline_lines(n, 7)))
+        }),
+        ("mirage", |n| {
+            Box::new(MirageCache::new(MirageConfig::for_data_entries(n, 7)))
+        }),
+    ];
+    for (id, build) in designs {
+        let mix = homogeneous("mcf", 2);
+        let bare = System::new(cfg(), build(lines), &mix, 1).run();
+
+        let mix = homogeneous("mcf", 2);
+        let mut sys = System::new(cfg(), build(lines), &mix, 1);
+        let (handle, prof) = ProfileHandle::of(SpanProfiler::new());
+        sys.set_profiler(handle);
+        let profiled = sys.run();
+
+        assert_eq!(
+            format!("{bare:?}"),
+            format!("{profiled:?}"),
+            "{id}: profiler changed the system run"
+        );
+
+        let tree = prof.borrow().tree();
+        let paths: Vec<String> = tree.paths().into_iter().map(|(p, _)| p).collect();
+        for want in [
+            "run",
+            "run;sched",
+            "run;core",
+            "run;core;llc",
+            "run;core;llc;index_derive",
+            "run;core;llc;index_derive;prince",
+            "run;core;dram",
+        ] {
+            assert!(
+                paths.iter().any(|p| p == want),
+                "{id}: span path `{want}` missing from {paths:?}"
+            );
+        }
+        let (run, _) = tree
+            .node_and_child_sum("run")
+            .unwrap_or_else(|| panic!("{id}: no run span"));
+        assert!(run.cycles > 0, "{id}: run span recorded no cycles");
+        assert!(run.accesses > 0, "{id}: run span recorded no accesses");
     }
 }
 
