@@ -11,6 +11,7 @@ use maya_obs::{EventKind, EvictionCause, ProbeHandle};
 
 use crate::cache::{CacheModel, FaultKind};
 use crate::replacement::{Policy, ReplacementState};
+use crate::storage::{meta, TagArena};
 use crate::types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};
 
 /// How the cache is divided among security domains.
@@ -55,15 +56,6 @@ impl SetAssocConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    valid: bool,
-    tag: u64,
-    domain: DomainId,
-    dirty: bool,
-    reused: bool,
-}
-
 /// A set-associative cache with pluggable replacement and optional
 /// domain partitioning.
 ///
@@ -80,7 +72,12 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     config: SetAssocConfig,
-    lines: Vec<Line>,
+    /// Struct-of-arrays line store (see [`crate::storage`]): the hit scan —
+    /// which every L1/L2 access in the simulator goes through — walks the
+    /// compact tag lane instead of 24-byte line structs. Only the meta/
+    /// tag/sdid lanes are used (no decoupled data store, so the arena is
+    /// built with zero data entries).
+    lines: TagArena,
     repl: ReplacementState,
     stats: CacheStats,
     rng: SmallRng,
@@ -120,7 +117,7 @@ impl SetAssocCache {
             }
         }
         Self {
-            lines: vec![Line::default(); config.sets * config.ways],
+            lines: TagArena::new(config.sets * config.ways, 0),
             repl: ReplacementState::new(config.policy, config.sets, config.ways),
             stats: CacheStats::default(),
             rng: SmallRng::seed_from_u64(config.seed),
@@ -159,39 +156,66 @@ impl SetAssocCache {
         set * self.config.ways + way
     }
 
+    /// Whether line `idx` is valid.
+    #[inline]
+    fn valid(&self, idx: usize) -> bool {
+        self.lines.meta(idx) & meta::VALID != 0
+    }
+
+    /// Whether line `idx` is dirty.
+    #[inline]
+    fn dirty(&self, idx: usize) -> bool {
+        self.lines.meta(idx) & meta::DIRTY != 0
+    }
+
+    /// Whether line `idx` has been re-referenced since its fill.
+    #[inline]
+    fn reused(&self, idx: usize) -> bool {
+        self.lines.meta(idx) & meta::REUSED != 0
+    }
+
+    /// The domain resident in line `idx`.
+    #[inline]
+    fn domain_of(&self, idx: usize) -> DomainId {
+        DomainId(self.lines.sdid(idx))
+    }
+
     /// Finds the way holding `line`, honouring way partitions: with DAWG a
-    /// domain can only hit within its own ways.
+    /// domain can only hit within its own ways. Tags are not scoped by
+    /// domain here — isolation comes entirely from the partitioning.
     fn find(&self, set: usize, line: u64, domain: DomainId) -> Option<usize> {
         let (first, n) = self.way_range(domain);
-        (first..first + n).find(|&w| {
-            let l = &self.lines[self.line_index(set, w)];
-            l.valid && l.tag == line
-        })
+        let base = self.line_index(set, first);
+        self.lines
+            .find_way_any(base, n, line)
+            .map(|i| i - self.line_index(set, 0))
     }
 
     fn evict(&mut self, set: usize, way: usize, requester: DomainId, wb: &mut Writebacks) {
         let idx = self.line_index(set, way);
-        let victim = self.lines[idx];
-        debug_assert!(victim.valid);
-        if victim.dirty {
+        debug_assert!(self.valid(idx));
+        let tag = self.lines.tag(idx);
+        let dirty = self.dirty(idx);
+        let reused = self.reused(idx);
+        if dirty {
             self.stats.writebacks_out += 1;
-            wb.push(victim.tag);
+            wb.push(tag);
         }
-        if victim.reused {
+        if reused {
             self.stats.reused_evictions += 1;
         } else {
             self.stats.dead_evictions += 1;
         }
-        if victim.domain != requester {
+        if self.domain_of(idx) != requester {
             self.stats.cross_domain_evictions += 1;
         }
-        self.lines[idx].valid = false;
+        self.lines.meta_and(idx, !meta::VALID);
         self.probe.emit_with(|| EventKind::Eviction {
-            line: victim.tag,
+            line: tag,
             cause: EvictionCause::Replacement,
             had_data: true,
-            dirty: victim.dirty,
-            reused: victim.reused,
+            dirty,
+            reused,
             downgraded: false,
             skew: 0,
         });
@@ -199,8 +223,11 @@ impl SetAssocCache {
 
     fn fill(&mut self, set: usize, line: u64, req: &Request, wb: &mut Writebacks) {
         let (first_way, n_ways) = self.way_range(req.domain);
-        let invalid =
-            (first_way..first_way + n_ways).find(|&w| !self.lines[self.line_index(set, w)].valid);
+        let base = self.line_index(set, first_way);
+        let invalid = self
+            .lines
+            .first_invalid(base, n_ways)
+            .map(|i| i - self.line_index(set, 0));
         let way = match invalid {
             Some(w) => w,
             None => {
@@ -212,13 +239,13 @@ impl SetAssocCache {
             }
         };
         let idx = self.line_index(set, way);
-        self.lines[idx] = Line {
-            valid: true,
-            tag: line,
-            domain: req.domain,
-            dirty: req.kind == AccessKind::Writeback,
-            reused: false,
-        };
+        let m = meta::VALID
+            | if req.kind == AccessKind::Writeback {
+                meta::DIRTY
+            } else {
+                0
+            };
+        self.lines.install_tag(idx, line, m, req.domain.0);
         // Prefetch fills insert at normal priority: the DRRIP dueling
         // already demotes thrashing streams, and synthetic streams (unlike
         // real traces) have exactly one demand reuse per prefetched line,
@@ -250,11 +277,11 @@ impl CacheModel for SetAssocCache {
                 // utility beyond absorbing the write, and a prefetch hit
                 // proves nothing about demand reuse.
                 AccessKind::Read => {
-                    self.lines[idx].reused = true;
+                    self.lines.meta_or(idx, meta::REUSED);
                     self.repl.on_hit(set, way);
                 }
                 AccessKind::Writeback => {
-                    self.lines[idx].dirty = true;
+                    self.lines.meta_or(idx, meta::DIRTY);
                     self.repl.on_hit(set, way);
                 }
                 AccessKind::Prefetch => {}
@@ -284,18 +311,20 @@ impl CacheModel for SetAssocCache {
         if let Some(way) = self.find(set, line, domain) {
             let idx = self.line_index(set, way);
             // clflush semantics: a dirty line is written back, not dropped.
-            if self.lines[idx].dirty {
+            if self.dirty(idx) {
                 self.stats.writebacks_out += 1;
             }
-            let victim = self.lines[idx];
-            self.lines[idx].valid = false;
+            let tag = self.lines.tag(idx);
+            let dirty = self.dirty(idx);
+            let reused = self.reused(idx);
+            self.lines.meta_and(idx, !meta::VALID);
             self.stats.flushes += 1;
             self.probe.emit_with(|| EventKind::Eviction {
-                line: victim.tag,
+                line: tag,
                 cause: EvictionCause::Flush,
                 had_data: true,
-                dirty: victim.dirty,
-                reused: victim.reused,
+                dirty,
+                reused,
                 downgraded: false,
                 skew: 0,
             });
@@ -306,8 +335,8 @@ impl CacheModel for SetAssocCache {
     }
 
     fn flush_all(&mut self) {
-        for l in &mut self.lines {
-            l.valid = false;
+        for i in 0..self.lines.tag_entries() {
+            self.lines.meta_and(i, !meta::VALID);
         }
         self.probe.emit(EventKind::FlushAll);
     }
@@ -349,41 +378,43 @@ impl CacheModel for SetAssocCache {
         let mut seen: Vec<(usize, u64, DomainId)> = Vec::new();
         for set in 0..self.config.sets {
             for way in 0..self.config.ways {
-                let l = &self.lines[self.line_index(set, way)];
-                if !l.valid {
+                let idx = self.line_index(set, way);
+                if !self.valid(idx) {
                     continue;
                 }
+                let tag = self.lines.tag(idx);
+                let domain = self.domain_of(idx);
                 // Partition tables are indexed by domain id; a resident
                 // line from an unknown domain means the partition config
                 // was bypassed somewhere.
                 let known = match &self.config.partitioning {
                     Partitioning::None => true,
                     Partitioning::Ways(parts) | Partitioning::Sets(parts) => {
-                        (l.domain.0 as usize) < parts.len()
+                        (domain.0 as usize) < parts.len()
                     }
                 };
                 if !known {
                     return Err(format!(
                         "set {set} way {way}: resident domain {} has no partition assignment",
-                        l.domain.0
+                        domain.0
                     ));
                 }
-                let home = self.set_of(l.tag, l.domain);
+                let home = self.set_of(tag, domain);
                 if home != set {
                     return Err(format!(
-                        "set {set} way {way}: tag {:#x} (domain {}) belongs in set {home}",
-                        l.tag, l.domain.0
+                        "set {set} way {way}: tag {tag:#x} (domain {}) belongs in set {home}",
+                        domain.0
                     ));
                 }
-                let (first, n) = self.way_range(l.domain);
+                let (first, n) = self.way_range(domain);
                 if way < first || way >= first + n {
                     return Err(format!(
                         "set {set} way {way}: domain {} may only occupy ways {first}..{}",
-                        l.domain.0,
+                        domain.0,
                         first + n
                     ));
                 }
-                seen.push((set, l.tag, l.domain));
+                seen.push((set, tag, domain));
             }
         }
         seen.sort_unstable();
@@ -400,8 +431,8 @@ impl CacheModel for SetAssocCache {
     }
 
     fn inject_fault(&mut self, kind: FaultKind, rng: &mut SmallRng) -> Option<String> {
-        let valid: Vec<usize> = (0..self.lines.len())
-            .filter(|&i| self.lines[i].valid)
+        let valid: Vec<usize> = (0..self.lines.tag_entries())
+            .filter(|&i| self.valid(i))
             .collect();
         if valid.is_empty() {
             return None;
@@ -414,26 +445,30 @@ impl CacheModel for SetAssocCache {
             }
             FaultKind::ValidDrop => {
                 let i = valid[rng.gen_range(0..valid.len())];
-                self.lines[i].valid = false;
+                self.lines.meta_and(i, !meta::VALID);
                 Some(format!("line {i}: valid bit dropped"))
             }
             FaultKind::DirtyFlip => {
                 let i = valid[rng.gen_range(0..valid.len())];
-                self.lines[i].dirty = !self.lines[i].dirty;
+                self.lines.meta_xor(i, meta::DIRTY);
                 Some(format!("line {i}: dirty bit flipped"))
             }
             FaultKind::TagBit => {
                 let i = valid[rng.gen_range(0..valid.len())];
-                let l = self.lines[i];
+                let tag = self.lines.tag(i);
+                let domain = self.domain_of(i);
                 let set = i / self.config.ways;
                 let start = rng.gen_range(0..48u32);
                 // Pick a stuck-at bit that moves the line out of its home
                 // set; a flip mapping back is undetectable by construction.
                 for off in 0..48u32 {
                     let bit = (start + off) % 48;
-                    let flipped = l.tag ^ (1u64 << bit);
-                    if self.set_of(flipped, l.domain) != set {
-                        self.lines[i].tag = flipped;
+                    let flipped = tag ^ (1u64 << bit);
+                    if self.set_of(flipped, domain) != set {
+                        // `set_tag` keeps the key lane's filter byte coherent
+                        // with the corrupted tag, preserving the lookup
+                        // semantics of a full-width tag compare.
+                        self.lines.set_tag(i, flipped);
                         return Some(format!("line {i}: tag bit {bit} stuck"));
                     }
                 }
@@ -448,32 +483,33 @@ impl CacheModel for SetAssocCache {
         for set in 0..self.config.sets {
             for way in 0..self.config.ways {
                 let idx = self.line_index(set, way);
-                let l = self.lines[idx];
-                if !l.valid {
+                if !self.valid(idx) {
                     continue;
                 }
+                let tag = self.lines.tag(idx);
+                let domain = self.domain_of(idx);
                 let known = match &self.config.partitioning {
                     Partitioning::None => true,
                     Partitioning::Ways(parts) | Partitioning::Sets(parts) => {
-                        (l.domain.0 as usize) < parts.len()
+                        (domain.0 as usize) < parts.len()
                     }
                 };
                 let (first, n) = if known {
-                    self.way_range(l.domain)
+                    self.way_range(domain)
                 } else {
                     (0, 0)
                 };
                 let mis_homed = !known
-                    || self.set_of(l.tag, l.domain) != set
+                    || self.set_of(tag, domain) != set
                     || way < first
                     || way >= first + n
-                    || seen.contains(&(set, l.tag, l.domain));
+                    || seen.contains(&(set, tag, domain));
                 if mis_homed {
                     // Unreachable (or duplicated) by lookup: drop the line.
-                    self.lines[idx].valid = false;
+                    self.lines.meta_and(idx, !meta::VALID);
                     repaired += 1;
                 } else {
-                    seen.push((set, l.tag, l.domain));
+                    seen.push((set, tag, domain));
                 }
             }
         }

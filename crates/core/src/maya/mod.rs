@@ -38,35 +38,31 @@ use prince_cipher::{IndexFunction, DEFAULT_MEMO_SLOTS, MAX_SKEWS};
 
 use crate::cache::{CacheModel, FaultKind};
 use crate::mirage::SkewSelection;
+use crate::storage::{key, meta, TagArena, NONE};
 use crate::types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};
 
-/// Sentinel for "no pointer".
-const NONE: u32 = u32::MAX;
-
-#[derive(Debug, Clone, Copy)]
-struct TagEntry {
-    state: TagState,
-    tag: u64,
-    sdid: DomainId,
-    /// Forward pointer into the data store (valid iff priority-1).
-    fptr: u32,
-    /// Back-index into the priority-0 list (valid iff priority-0).
-    p0_pos: u32,
-    /// Whether the data entry has been re-referenced since promotion
-    /// (dead-block accounting for the data store).
-    data_reused: bool,
+/// Packed meta-lane bits for a tag state (see [`crate::storage::meta`]).
+#[inline]
+fn meta_bits(state: TagState) -> u8 {
+    match state {
+        TagState::Invalid => 0,
+        TagState::Priority0 => meta::VALID,
+        TagState::Priority1Clean => meta::VALID | meta::DATA,
+        TagState::Priority1Dirty => meta::VALID | meta::DATA | meta::DIRTY,
+    }
 }
 
-impl Default for TagEntry {
-    fn default() -> Self {
-        Self {
-            state: TagState::Invalid,
-            tag: 0,
-            sdid: DomainId::ANY,
-            fptr: NONE,
-            p0_pos: NONE,
-            data_reused: false,
-        }
+/// Inverse of [`meta_bits`]; the `REUSED` bit rides alongside the state.
+#[inline]
+fn state_bits(m: u8) -> TagState {
+    if m & meta::VALID == 0 {
+        TagState::Invalid
+    } else if m & meta::DATA == 0 {
+        TagState::Priority0
+    } else if m & meta::DIRTY != 0 {
+        TagState::Priority1Dirty
+    } else {
+        TagState::Priority1Clean
     }
 }
 
@@ -91,17 +87,11 @@ impl Default for TagEntry {
 pub struct MayaCache {
     config: MayaConfig,
     index: IndexFunction,
-    tags: Vec<TagEntry>,
-    /// All priority-0 tag positions (flat indices), for O(1) uniform global
-    /// random tag eviction.
-    p0_list: Vec<u32>,
-    /// Reverse pointers: owning tag index per data entry, `NONE` when free.
-    rptr: Vec<u32>,
-    free_data: Vec<u32>,
-    /// Allocated data-entry indices, for O(1) uniform global random data
-    /// eviction; `data_pos[d]` is the back-index.
-    allocated: Vec<u32>,
-    data_pos: Vec<u32>,
+    /// Struct-of-arrays tag/data store (see [`crate::storage`]): the hot
+    /// way scan walks the arena's compact tag lane, and the priority-0 /
+    /// allocated / free lists live inside it. Maya encodes its `TagState`
+    /// in the arena's packed meta lane (see [`meta_bits`]).
+    arena: TagArena,
     stats: CacheStats,
     rng: SmallRng,
     probe: ProbeHandle,
@@ -131,12 +121,7 @@ impl MayaCache {
             .with_memo(DEFAULT_MEMO_SLOTS);
         let data_entries = config.data_entries();
         Self {
-            tags: vec![TagEntry::default(); config.tag_entries()],
-            p0_list: Vec::with_capacity(config.p0_capacity() + 1),
-            rptr: vec![NONE; data_entries],
-            free_data: (0..data_entries as u32).rev().collect(),
-            allocated: Vec::with_capacity(data_entries),
-            data_pos: vec![NONE; data_entries],
+            arena: TagArena::new(config.tag_entries(), data_entries),
             stats: CacheStats::default(),
             rng: SmallRng::seed_from_u64(config.seed ^ 0x6d61_7961),
             probe: ProbeHandle::none(),
@@ -153,17 +138,17 @@ impl MayaCache {
 
     /// Current number of priority-0 (tag-only) entries.
     pub fn p0_count(&self) -> usize {
-        self.p0_list.len()
+        self.arena.p0_list.len()
     }
 
     /// Current number of priority-1 (tag + data) entries.
     pub fn p1_count(&self) -> usize {
-        self.allocated.len()
+        self.arena.allocated.len()
     }
 
     /// The state of the tag entry for `line` in `domain`, if one exists.
     pub fn tag_state(&self, line: u64, domain: DomainId) -> Option<TagState> {
-        self.find(line, domain).map(|i| self.tags[i].state)
+        self.find(line, domain).map(|i| self.state(i))
     }
 
     /// Re-keys the index function and flushes the cache — the paper's
@@ -192,6 +177,18 @@ impl MayaCache {
         (flat_idx / (self.config.sets_per_skew * self.config.ways_per_skew())) as u8
     }
 
+    /// Decoded state of tag entry `i`.
+    #[inline]
+    fn state(&self, i: usize) -> TagState {
+        state_bits(self.arena.meta(i))
+    }
+
+    /// Whether tag entry `i`'s data has been re-referenced since promotion.
+    #[inline]
+    fn reused(&self, i: usize) -> bool {
+        self.arena.meta(i) & meta::REUSED != 0
+    }
+
     fn find(&self, line: u64, domain: DomainId) -> Option<usize> {
         let ways = self.config.ways_per_skew();
         let mut sets_buf = [0usize; MAX_SKEWS];
@@ -201,77 +198,43 @@ impl MayaCache {
             self.index.set_indices_into(line, sets);
         }
         for (skew, &set) in sets.iter().enumerate() {
-            for way in 0..ways {
-                let i = self.flat(skew, set, way);
-                let e = &self.tags[i];
-                if e.state.is_valid() && e.tag == line && e.sdid == domain {
-                    return Some(i);
-                }
+            let base = self.flat(skew, set, 0);
+            if let Some(i) = self.arena.find_way(base, ways, line, domain.0) {
+                return Some(i);
             }
         }
         None
     }
 
     fn invalid_ways_in(&self, skew: usize, set: usize) -> usize {
-        (0..self.config.ways_per_skew())
-            .filter(|&w| !self.tags[self.flat(skew, set, w)].state.is_valid())
-            .count()
+        let base = self.flat(skew, set, 0);
+        self.arena.invalid_ways(base, self.config.ways_per_skew())
     }
 
-    // --- priority-0 list maintenance -------------------------------------
+    // --- tag-state maintenance --------------------------------------------
 
     /// Applies a tag-state change, debug-asserting that it is a legal
     /// Figure-3 transition for `event` (see [`transition`]). Release
-    /// builds pay nothing.
+    /// builds pay nothing. The `REUSED` bit is preserved (matching the
+    /// previous layout's separate `data_reused` field, which state changes
+    /// never touched).
     fn set_state_checked(&mut self, tag_idx: usize, event: TagEvent, new_state: TagState) {
         debug_assert_eq!(
-            transition(self.tags[tag_idx].state, event),
+            transition(self.state(tag_idx), event),
             Ok(new_state),
             "illegal tag transition at tag {tag_idx}"
         );
-        self.tags[tag_idx].state = new_state;
+        let m = (self.arena.meta(tag_idx) & meta::REUSED) | meta_bits(new_state);
+        self.arena.set_meta(tag_idx, m);
     }
 
-    fn p0_insert(&mut self, tag_idx: usize) {
-        self.tags[tag_idx].p0_pos = self.p0_list.len() as u32;
-        self.p0_list.push(tag_idx as u32);
-    }
-
-    fn p0_remove(&mut self, tag_idx: usize) {
-        let pos = self.tags[tag_idx].p0_pos as usize;
-        debug_assert_eq!(self.p0_list[pos], tag_idx as u32);
-        self.p0_list.swap_remove(pos);
-        if pos < self.p0_list.len() {
-            let moved = self.p0_list[pos] as usize;
-            self.tags[moved].p0_pos = pos as u32;
-        }
-        self.tags[tag_idx].p0_pos = NONE;
-    }
-
-    // --- data store maintenance -------------------------------------------
-
-    fn data_alloc(&mut self, tag_idx: usize) -> u32 {
-        // An exhausted free list means a caller skipped the evict-before-
-        // alloc step (reachable only under fault injection); reuse entry 0
-        // and let `audit()` flag the broken rptr linkage rather than
-        // panicking mid-access.
-        let d = self.free_data.pop().unwrap_or(0);
-        self.rptr[d as usize] = tag_idx as u32;
-        self.data_pos[d as usize] = self.allocated.len() as u32;
-        self.allocated.push(d);
-        d
-    }
-
-    fn data_free(&mut self, d: u32) {
-        let pos = self.data_pos[d as usize] as usize;
-        self.allocated.swap_remove(pos);
-        if pos < self.allocated.len() {
-            let moved = self.allocated[pos];
-            self.data_pos[moved as usize] = pos as u32;
-        }
-        self.data_pos[d as usize] = NONE;
-        self.rptr[d as usize] = NONE;
-        self.free_data.push(d);
+    /// Resets tag entry `i` to the invalid, pointer-free default.
+    fn clear_tag(&mut self, i: usize) {
+        self.arena.set_tag(i, 0);
+        self.arena.set_meta(i, 0);
+        self.arena.set_sdid(i, DomainId::ANY.0);
+        self.arena.set_fptr(i, NONE);
+        self.arena.set_p0_pos(i, NONE);
     }
 
     // --- the two global random eviction policies ---------------------------
@@ -281,33 +244,38 @@ impl MayaCache {
     /// written back.
     fn global_data_eviction(&mut self, requester: DomainId, wb: &mut Writebacks) {
         let _repl = self.profiler.span(Component::Replacement);
-        let d = self.allocated[self.rng.gen_range(0..self.allocated.len())];
-        let tag_idx = self.rptr[d as usize] as usize;
-        let e = self.tags[tag_idx];
-        debug_assert!(e.state.has_data());
-        if e.state == TagState::Priority1Dirty {
+        let d = self.arena.allocated[self.rng.gen_range(0..self.arena.allocated.len())];
+        let tag_idx = self.arena.rptr[d as usize] as usize;
+        let state = self.state(tag_idx);
+        let reused = self.reused(tag_idx);
+        debug_assert!(state.has_data());
+        if state == TagState::Priority1Dirty {
             self.stats.writebacks_out += 1;
-            wb.push(e.tag);
+            wb.push(self.arena.tag(tag_idx));
         }
-        if e.data_reused {
+        if reused {
             self.stats.reused_evictions += 1;
         } else {
             self.stats.dead_evictions += 1;
         }
-        if e.sdid != requester {
+        if self.arena.sdid(tag_idx) != requester.0 {
             self.stats.cross_domain_evictions += 1;
         }
-        self.data_free(d);
+        self.arena.data_free(d);
         self.set_state_checked(tag_idx, TagEvent::GlobalDataEviction, TagState::Priority0);
-        self.tags[tag_idx].fptr = NONE;
-        self.p0_insert(tag_idx);
+        self.arena.set_fptr(tag_idx, NONE);
+        self.arena.p0_insert(tag_idx);
         self.stats.global_data_evictions += 1;
+        // The line address is read inside the closure so a detached probe
+        // never touches the (cold) tag lane; nothing between here and the
+        // state change above writes it, so an attached probe sees the same
+        // value the eager read produced.
         self.probe.emit_with(|| EventKind::Eviction {
-            line: e.tag,
+            line: self.arena.tag(tag_idx),
             cause: EvictionCause::GlobalData,
             had_data: true,
-            dirty: e.state == TagState::Priority1Dirty,
-            reused: e.data_reused,
+            dirty: state == TagState::Priority1Dirty,
+            reused,
             downgraded: true,
             skew: self.skew_of(tag_idx),
         });
@@ -318,17 +286,17 @@ impl MayaCache {
     /// steady-state target (so the reuse ways fill up first, as in the
     /// paper).
     fn global_tag_eviction_if_needed(&mut self) {
-        if self.p0_list.len() <= self.config.p0_capacity() {
+        if self.arena.p0_list.len() <= self.config.p0_capacity() {
             return;
         }
         let _repl = self.profiler.span(Component::Replacement);
-        let victim = self.p0_list[self.rng.gen_range(0..self.p0_list.len())] as usize;
-        let line = self.tags[victim].tag;
-        self.p0_remove(victim);
+        let victim = self.arena.p0_list[self.rng.gen_range(0..self.arena.p0_list.len())] as usize;
+        self.arena.p0_remove(victim);
         self.set_state_checked(victim, TagEvent::GlobalTagEviction, TagState::Invalid);
         self.stats.global_tag_evictions += 1;
+        // Lazy line read: see `global_data_eviction`.
         self.probe.emit_with(|| EventKind::Eviction {
-            line,
+            line: self.arena.tag(victim),
             cause: EvictionCause::GlobalTag,
             had_data: false,
             dirty: false,
@@ -384,10 +352,9 @@ impl MayaCache {
             }
         }
         let set = sets_buf[best_skew];
-        if let Some(way) =
-            (0..ways).find(|&w| !self.tags[self.flat(best_skew, set, w)].state.is_valid())
-        {
-            return (self.flat(best_skew, set, way), false);
+        let base = self.flat(best_skew, set, 0);
+        if let Some(idx) = self.arena.first_invalid(base, ways) {
+            return (idx, false);
         }
         // Set-associative eviction: every way of the chosen set is valid
         // (and, with load-aware selection, so is the other skew's set).
@@ -395,20 +362,22 @@ impl MayaCache {
         self.stats.saes += 1;
         // Count-then-select keeps the pick allocation-free while drawing the
         // exact RNG value the old Vec-collecting code drew (the count equals
-        // the collected length).
-        let p0_count = (0..ways)
-            .filter(|&w| self.tags[self.flat(best_skew, set, w)].state == TagState::Priority0)
-            .count();
+        // the collected length). Priority-0 in the packed key lane: valid,
+        // no data (the REUSED bit may ride along on downgraded entries).
+        let keys = self.arena.keys(base, ways);
+        let p0_count = keys.iter().filter(|&&k| key::is_p0(k)).count();
         let way = if p0_count == 0 {
             self.rng.gen_range(0..ways)
         } else {
             let nth = self.rng.gen_range(0..p0_count);
-            (0..ways)
-                .filter(|&w| self.tags[self.flat(best_skew, set, w)].state == TagState::Priority0)
+            keys.iter()
+                .enumerate()
+                .filter(|&(_, &k)| key::is_p0(k))
+                .map(|(w, _)| w)
                 .nth(nth)
                 .unwrap_or(0)
         };
-        let idx = self.flat(best_skew, set, way);
+        let idx = base + way;
         self.evict_any(idx, requester, EvictionCause::Sae, wb);
         (idx, true)
     }
@@ -422,61 +391,58 @@ impl MayaCache {
         cause: EvictionCause,
         wb: &mut Writebacks,
     ) {
-        let e = self.tags[tag_idx];
-        match e.state {
+        let state = self.state(tag_idx);
+        let reused = self.reused(tag_idx);
+        match state {
             TagState::Invalid => {}
             TagState::Priority0 => {
-                self.p0_remove(tag_idx);
+                self.arena.p0_remove(tag_idx);
             }
             TagState::Priority1Clean | TagState::Priority1Dirty => {
-                if e.state == TagState::Priority1Dirty {
+                if state == TagState::Priority1Dirty {
                     self.stats.writebacks_out += 1;
-                    wb.push(e.tag);
+                    wb.push(self.arena.tag(tag_idx));
                 }
-                if e.data_reused {
+                if reused {
                     self.stats.reused_evictions += 1;
                 } else {
                     self.stats.dead_evictions += 1;
                 }
-                if e.sdid != requester {
+                if self.arena.sdid(tag_idx) != requester.0 {
                     self.stats.cross_domain_evictions += 1;
                 }
-                self.data_free(e.fptr);
+                let d = self.arena.fptr(tag_idx);
+                self.arena.data_free(d);
             }
         }
-        if e.state.is_valid() {
+        if state.is_valid() {
             // SAE evictions and flushes are the same protocol edge.
             self.set_state_checked(tag_idx, TagEvent::Flush, TagState::Invalid);
+            // Lazy line read: see `global_data_eviction`.
             self.probe.emit_with(|| EventKind::Eviction {
-                line: e.tag,
+                line: self.arena.tag(tag_idx),
                 cause,
-                had_data: e.state.has_data(),
-                dirty: e.state == TagState::Priority1Dirty,
-                reused: e.data_reused,
+                had_data: state.has_data(),
+                dirty: state == TagState::Priority1Dirty,
+                reused,
                 downgraded: false,
                 skew: self.skew_of(tag_idx),
             });
         }
-        self.tags[tag_idx].fptr = NONE;
+        self.arena.set_fptr(tag_idx, NONE);
     }
 
     /// Installs a priority-0 (tag-only) entry for a demand-read miss.
     fn install_p0(&mut self, line: u64, domain: DomainId, wb: &mut Writebacks) -> bool {
         let (idx, sae) = self.choose_fill_slot(line, domain, wb);
         debug_assert_eq!(
-            transition(self.tags[idx].state, TagEvent::DemandRead),
+            transition(self.state(idx), TagEvent::DemandRead),
             Ok(TagState::Priority0),
             "fill slot {idx} was not invalid"
         );
-        self.tags[idx] = TagEntry {
-            state: TagState::Priority0,
-            tag: line,
-            sdid: domain,
-            fptr: NONE,
-            p0_pos: NONE,
-            data_reused: false,
-        };
-        self.p0_insert(idx);
+        self.arena.install_tag(idx, line, meta::VALID, domain.0);
+        self.arena.set_fptr(idx, NONE);
+        self.arena.p0_insert(idx);
         self.stats.tag_fills += 1;
         self.probe.emit_with(|| EventKind::Fill {
             line,
@@ -489,25 +455,19 @@ impl MayaCache {
 
     /// Installs a priority-1 dirty entry for a writeback miss.
     fn install_p1_dirty(&mut self, line: u64, domain: DomainId, wb: &mut Writebacks) -> bool {
-        if self.free_data.is_empty() {
+        if self.arena.free_is_empty() {
             self.global_data_eviction(domain, wb);
         }
         let (idx, sae) = self.choose_fill_slot(line, domain, wb);
         debug_assert_eq!(
-            transition(self.tags[idx].state, TagEvent::Write),
+            transition(self.state(idx), TagEvent::Write),
             Ok(TagState::Priority1Dirty),
             "fill slot {idx} was not invalid"
         );
-        self.tags[idx] = TagEntry {
-            state: TagState::Priority1Dirty,
-            tag: line,
-            sdid: domain,
-            fptr: NONE,
-            p0_pos: NONE,
-            data_reused: false,
-        };
-        let d = self.data_alloc(idx);
-        self.tags[idx].fptr = d;
+        self.arena
+            .install_tag(idx, line, meta::VALID | meta::DATA | meta::DIRTY, domain.0);
+        let d = self.arena.data_alloc(idx);
+        self.arena.set_fptr(idx, d);
         self.stats.tag_fills += 1;
         self.stats.data_fills += 1;
         self.probe.emit_with(|| EventKind::Fill {
@@ -521,7 +481,7 @@ impl MayaCache {
 
     /// Promotes a priority-0 entry to priority-1 on its first reuse.
     fn promote(&mut self, tag_idx: usize, kind: AccessKind, wb: &mut Writebacks) {
-        let domain = self.tags[tag_idx].sdid;
+        let domain = DomainId(self.arena.sdid(tag_idx));
         let (event, new_state) = match kind {
             AccessKind::Read | AccessKind::Prefetch => {
                 (TagEvent::DemandRead, TagState::Priority1Clean)
@@ -529,17 +489,18 @@ impl MayaCache {
             AccessKind::Writeback => (TagEvent::Write, TagState::Priority1Dirty),
         };
         self.set_state_checked(tag_idx, event, new_state);
-        self.p0_remove(tag_idx);
-        if self.free_data.is_empty() {
+        self.arena.p0_remove(tag_idx);
+        if self.arena.free_is_empty() {
             self.global_data_eviction(domain, wb);
         }
-        let d = self.data_alloc(tag_idx);
-        let e = &mut self.tags[tag_idx];
-        e.fptr = d;
-        e.data_reused = false;
+        let d = self.arena.data_alloc(tag_idx);
+        self.arena.set_fptr(tag_idx, d);
+        self.arena.meta_and(tag_idx, !meta::REUSED);
         self.stats.data_fills += 1;
-        let line = self.tags[tag_idx].tag;
-        self.probe.emit_with(|| EventKind::Promotion { line });
+        // Lazy line read: see `global_data_eviction`.
+        self.probe.emit_with(|| EventKind::Promotion {
+            line: self.arena.tag(tag_idx),
+        });
     }
 
     /// Exhaustively checks the structure's invariants, panicking on the
@@ -572,11 +533,11 @@ impl CacheModel for MayaCache {
         }
         let mut wb = Writebacks::none();
         if let Some(i) = self.find(req.line, req.domain) {
-            match self.tags[i].state {
+            match self.state(i) {
                 TagState::Priority1Clean | TagState::Priority1Dirty => {
                     match req.kind {
                         // Reuse (for dead-block stats) means a demand read.
-                        AccessKind::Read => self.tags[i].data_reused = true,
+                        AccessKind::Read => self.arena.meta_or(i, meta::REUSED),
                         AccessKind::Writeback => {
                             self.set_state_checked(i, TagEvent::Write, TagState::Priority1Dirty);
                         }
@@ -659,21 +620,13 @@ impl CacheModel for MayaCache {
     }
 
     fn flush_all(&mut self) {
-        for t in &mut self.tags {
-            *t = TagEntry::default();
-        }
-        self.p0_list.clear();
-        let n = self.rptr.len();
-        self.rptr.fill(NONE);
-        self.data_pos.fill(NONE);
-        self.allocated.clear();
-        self.free_data = (0..n as u32).rev().collect();
+        self.arena.reset();
         self.probe.emit(EventKind::FlushAll);
     }
 
     fn probe(&self, line: u64, domain: DomainId) -> bool {
         self.find(line, domain)
-            .map(|i| self.tags[i].state.has_data())
+            .map(|i| self.state(i).has_data())
             .unwrap_or(false)
     }
 
@@ -712,79 +665,79 @@ impl CacheModel for MayaCache {
     fn audit(&self) -> Result<(), String> {
         let mut p0 = 0usize;
         let mut p1 = 0usize;
-        for (i, e) in self.tags.iter().enumerate() {
-            if e.state.is_valid() {
+        for i in 0..self.arena.tag_entries() {
+            let state = self.state(i);
+            let tag = self.arena.tag(i);
+            let fptr = self.arena.fptr(i);
+            let p0_pos = self.arena.p0_pos(i);
+            if state.is_valid() {
                 // A valid tag must live in the set its address hashes to
                 // under the current key — this is what catches stuck-at
                 // faults in the tag array itself.
                 let (skew, set) = self.home_of(i);
-                let home = self.index.set_index(skew, e.tag);
+                let home = self.index.set_index(skew, tag);
                 if home != set {
                     return Err(format!(
-                        "tag {i} (line {:#x}) sits in skew {skew} set {set} but hashes to {home}",
-                        e.tag
+                        "tag {i} (line {tag:#x}) sits in skew {skew} set {set} but hashes to {home}"
                     ));
                 }
             }
-            match e.state {
+            match state {
                 TagState::Invalid => {
                     // Invalid entries must hold no pointers: a stale fptr
                     // would double-map a data entry on the next fill, and a
                     // stale p0_pos would corrupt the p0 list's swap_remove.
-                    if e.fptr != NONE {
-                        return Err(format!("invalid tag {i} still holds fptr {}", e.fptr));
+                    if fptr != NONE {
+                        return Err(format!("invalid tag {i} still holds fptr {fptr}"));
                     }
-                    if e.p0_pos != NONE {
-                        return Err(format!("invalid tag {i} still holds p0_pos {}", e.p0_pos));
+                    if p0_pos != NONE {
+                        return Err(format!("invalid tag {i} still holds p0_pos {p0_pos}"));
                     }
                 }
                 TagState::Priority0 => {
                     p0 += 1;
-                    let pos = e.p0_pos as usize;
-                    if pos >= self.p0_list.len() {
+                    let pos = p0_pos as usize;
+                    if pos >= self.arena.p0_list.len() {
                         return Err(format!("tag {i}: stale p0_pos {pos}"));
                     }
-                    if self.p0_list[pos] as usize != i {
+                    if self.arena.p0_list[pos] as usize != i {
                         return Err(format!(
                             "tag {i}: p0 back-index broken (p0_list[{pos}] = {})",
-                            self.p0_list[pos]
+                            self.arena.p0_list[pos]
                         ));
                     }
-                    if e.fptr != NONE {
-                        return Err(format!("priority-0 tag {i} holds data pointer {}", e.fptr));
+                    if fptr != NONE {
+                        return Err(format!("priority-0 tag {i} holds data pointer {fptr}"));
                     }
                 }
                 TagState::Priority1Clean | TagState::Priority1Dirty => {
                     p1 += 1;
-                    let d = e.fptr as usize;
-                    if d >= self.rptr.len() {
+                    let d = fptr as usize;
+                    if d >= self.arena.rptr.len() {
                         return Err(format!("tag {i}: fptr {d} out of range"));
                     }
-                    if self.rptr[d] as usize != i {
+                    if self.arena.rptr[d] as usize != i {
                         return Err(format!(
                             "tag {i}: fptr/rptr mismatch (rptr[{d}] = {})",
-                            self.rptr[d]
+                            self.arena.rptr[d]
                         ));
                     }
-                    if e.p0_pos != NONE {
-                        return Err(format!(
-                            "priority-1 tag {i} still holds p0_pos {}",
-                            e.p0_pos
-                        ));
+                    if p0_pos != NONE {
+                        return Err(format!("priority-1 tag {i} still holds p0_pos {p0_pos}"));
                     }
                 }
             }
         }
-        if p0 != self.p0_list.len() {
+        if p0 != self.arena.p0_list.len() {
             return Err(format!(
                 "p0 population mismatch: {p0} tags vs {} listed",
-                self.p0_list.len()
+                self.arena.p0_list.len()
             ));
         }
-        if p1 != self.allocated.len() {
+        if p1 != self.arena.allocated.len() {
             return Err(format!(
                 "p1 population mismatch: {p1} tags vs {} allocated",
-                self.allocated.len()
+                self.arena.allocated.len()
             ));
         }
         if p0 > self.config.p0_capacity() {
@@ -793,44 +746,61 @@ impl CacheModel for MayaCache {
                 self.config.p0_capacity()
             ));
         }
-        if self.allocated.len() + self.free_data.len() != self.config.data_entries() {
+        if self.arena.allocated.len() + self.arena.free_len() != self.config.data_entries() {
             return Err(format!(
                 "data entries leaked: {} allocated + {} free != {}",
-                self.allocated.len(),
-                self.free_data.len(),
+                self.arena.allocated.len(),
+                self.arena.free_len(),
                 self.config.data_entries()
             ));
         }
         // Reverse direction of the fptr/rptr bijection, plus the back-index
-        // array that makes O(1) random data eviction possible.
-        for (pos, &d) in self.allocated.iter().enumerate() {
+        // array that makes O(1) random data eviction possible. `on_list`
+        // doubles as the conservation check below: every data entry must
+        // sit on exactly one of the allocated/free lists.
+        let mut on_list = vec![0u8; self.arena.data_entries()];
+        for (pos, &d) in self.arena.allocated.iter().enumerate() {
             let d = d as usize;
-            if self.data_pos[d] as usize != pos {
+            on_list[d] += 1;
+            if self.arena.data_pos[d] as usize != pos {
                 return Err(format!(
                     "allocated[{pos}] = data {d} but data_pos[{d}] = {}",
-                    self.data_pos[d]
+                    self.arena.data_pos[d]
                 ));
             }
-            let t = self.rptr[d];
+            let t = self.arena.rptr[d];
             if t == NONE {
                 return Err(format!("allocated data {d} has no owning tag"));
             }
-            if self.tags[t as usize].fptr as usize != d {
+            if self.arena.fptr(t as usize) as usize != d {
                 return Err(format!(
                     "rptr/fptr mismatch: data {d} claims tag {t} whose fptr is {}",
-                    self.tags[t as usize].fptr
+                    self.arena.fptr(t as usize)
                 ));
             }
         }
-        for &d in &self.free_data {
+        self.arena.free_for_each(|d| {
             let d = d as usize;
-            if self.rptr[d] != NONE {
-                return Err(format!("free data {d} still has rptr {}", self.rptr[d]));
+            on_list[d] += 1;
+            if self.arena.rptr[d] != NONE {
+                return Err(format!(
+                    "free data {d} still has rptr {}",
+                    self.arena.rptr[d]
+                ));
             }
-            if self.data_pos[d] != NONE {
+            if self.arena.data_pos[d] != NONE {
                 return Err(format!(
                     "free data {d} still has data_pos {}",
-                    self.data_pos[d]
+                    self.arena.data_pos[d]
+                ));
+            }
+            Ok(())
+        })?;
+        for (d, &n) in on_list.iter().enumerate() {
+            if n != 1 {
+                return Err(format!(
+                    "data {d} appears on {n} lists (every entry must be on exactly one \
+                     of allocated/free)"
                 ));
             }
         }
@@ -840,66 +810,64 @@ impl CacheModel for MayaCache {
     fn inject_fault(&mut self, kind: FaultKind, rng: &mut SmallRng) -> Option<String> {
         match kind {
             FaultKind::PriorityFlip => {
-                if !self.allocated.is_empty() {
-                    let d = self.allocated[rng.gen_range(0..self.allocated.len())];
-                    let i = self.rptr[d as usize] as usize;
+                if !self.arena.allocated.is_empty() {
+                    let d = self.arena.allocated[rng.gen_range(0..self.arena.allocated.len())];
+                    let i = self.arena.rptr[d as usize] as usize;
                     // Flip P1 -> P0 leaving the forward pointer behind: the
                     // entry now claims to be tag-only while still owning data.
-                    self.tags[i].state = TagState::Priority0;
+                    let m = (self.arena.meta(i) & meta::REUSED) | meta::VALID;
+                    self.arena.set_meta(i, m);
                     Some(format!("tag {i}: priority bit flipped P1 -> P0"))
-                } else if !self.p0_list.is_empty() {
-                    let i = self.p0_list[rng.gen_range(0..self.p0_list.len())] as usize;
+                } else if !self.arena.p0_list.is_empty() {
+                    let i = self.arena.p0_list[rng.gen_range(0..self.arena.p0_list.len())] as usize;
                     // Flip P0 -> P1 without allocating data: fptr stays NONE.
-                    self.tags[i].state = TagState::Priority1Clean;
+                    let m = (self.arena.meta(i) & meta::REUSED) | meta::VALID | meta::DATA;
+                    self.arena.set_meta(i, m);
                     Some(format!("tag {i}: priority bit flipped P0 -> P1"))
                 } else {
                     None
                 }
             }
             FaultKind::ValidDrop => {
-                let i = if !self.allocated.is_empty() {
-                    let d = self.allocated[rng.gen_range(0..self.allocated.len())];
-                    self.rptr[d as usize] as usize
-                } else if !self.p0_list.is_empty() {
-                    self.p0_list[rng.gen_range(0..self.p0_list.len())] as usize
+                let i = if !self.arena.allocated.is_empty() {
+                    let d = self.arena.allocated[rng.gen_range(0..self.arena.allocated.len())];
+                    self.arena.rptr[d as usize] as usize
+                } else if !self.arena.p0_list.is_empty() {
+                    self.arena.p0_list[rng.gen_range(0..self.arena.p0_list.len())] as usize
                 } else {
                     return None;
                 };
                 // Clear the valid bit without releasing what the entry owns.
-                self.tags[i].state = TagState::Invalid;
+                self.arena.meta_and(i, meta::REUSED);
                 Some(format!("tag {i}: valid bit dropped, bookkeeping leaked"))
             }
             FaultKind::DirtyFlip => {
-                if self.allocated.is_empty() {
+                if self.arena.allocated.is_empty() {
                     return None;
                 }
-                let d = self.allocated[rng.gen_range(0..self.allocated.len())];
-                let i = self.rptr[d as usize] as usize;
-                let s = self.tags[i].state;
-                self.tags[i].state = if s == TagState::Priority1Dirty {
-                    TagState::Priority1Clean
-                } else {
-                    TagState::Priority1Dirty
-                };
+                let d = self.arena.allocated[rng.gen_range(0..self.arena.allocated.len())];
+                let i = self.arena.rptr[d as usize] as usize;
+                let s = self.state(i);
+                self.arena.meta_xor(i, meta::DIRTY);
                 Some(format!("tag {i}: dirty bit flipped from {s:?}"))
             }
             FaultKind::PointerCorrupt => {
-                if self.allocated.is_empty() {
+                if self.arena.allocated.is_empty() {
                     return None;
                 }
-                let d = self.allocated[rng.gen_range(0..self.allocated.len())];
-                let i = self.rptr[d as usize] as usize;
+                let d = self.arena.allocated[rng.gen_range(0..self.arena.allocated.len())];
+                let i = self.arena.rptr[d as usize] as usize;
                 let n = self.config.data_entries() as u32;
-                let bad = (self.tags[i].fptr + 1) % n;
-                self.tags[i].fptr = bad;
+                let bad = (self.arena.fptr(i) + 1) % n;
+                self.arena.set_fptr(i, bad);
                 Some(format!("tag {i}: fptr redirected {d} -> {bad}"))
             }
             FaultKind::TagBit => {
-                let i = if !self.allocated.is_empty() {
-                    let d = self.allocated[rng.gen_range(0..self.allocated.len())];
-                    self.rptr[d as usize] as usize
-                } else if !self.p0_list.is_empty() {
-                    self.p0_list[rng.gen_range(0..self.p0_list.len())] as usize
+                let i = if !self.arena.allocated.is_empty() {
+                    let d = self.arena.allocated[rng.gen_range(0..self.arena.allocated.len())];
+                    self.arena.rptr[d as usize] as usize
+                } else if !self.arena.p0_list.is_empty() {
+                    self.arena.p0_list[rng.gen_range(0..self.arena.p0_list.len())] as usize
                 } else {
                     return None;
                 };
@@ -910,9 +878,12 @@ impl CacheModel for MayaCache {
                 // undetectable by construction, so it models no stress).
                 for off in 0..48u32 {
                     let bit = (start + off) % 48;
-                    let flipped = self.tags[i].tag ^ (1u64 << bit);
+                    let flipped = self.arena.tag(i) ^ (1u64 << bit);
                     if self.index.set_index(skew, flipped) != set {
-                        self.tags[i].tag = flipped;
+                        // `set_tag` keeps the key lane's filter byte coherent
+                        // with the corrupted tag, preserving the lookup
+                        // semantics of a full-width tag compare.
+                        self.arena.set_tag(i, flipped);
                         return Some(format!("tag {i}: tag bit {bit} stuck"));
                     }
                 }
@@ -925,8 +896,8 @@ impl CacheModel for MayaCache {
                 let per_skew = self.config.sets_per_skew * self.config.ways_per_skew();
                 let mut wiped = 0usize;
                 for i in 0..per_skew {
-                    if self.tags[i].state.is_valid() {
-                        self.tags[i].state = TagState::Invalid;
+                    if self.state(i).is_valid() {
+                        self.arena.meta_and(i, meta::REUSED);
                         wiped += 1;
                     }
                 }
@@ -943,42 +914,44 @@ impl CacheModel for MayaCache {
         let n = self.config.data_entries();
         // First claim per data entry wins; later claimants are dropped.
         let mut claimed = vec![NONE; n];
-        self.p0_list.clear();
-        for i in 0..self.tags.len() {
-            let e = self.tags[i];
-            if e.state.is_valid() {
+        self.arena.p0_list.clear();
+        for i in 0..self.arena.tag_entries() {
+            let state = self.state(i);
+            let fptr = self.arena.fptr(i);
+            let p0_pos = self.arena.p0_pos(i);
+            if state.is_valid() {
                 let (skew, set) = self.home_of(i);
-                if self.index.set_index(skew, e.tag) != set {
+                if self.index.set_index(skew, self.arena.tag(i)) != set {
                     // Mis-homed tag: unreachable by lookup, drop it.
-                    self.tags[i] = TagEntry::default();
+                    self.clear_tag(i);
                     repaired += 1;
                     continue;
                 }
             }
-            match e.state {
+            match state {
                 TagState::Invalid => {
-                    if e.fptr != NONE || e.p0_pos != NONE {
-                        self.tags[i] = TagEntry::default();
+                    if fptr != NONE || p0_pos != NONE {
+                        self.clear_tag(i);
                         repaired += 1;
                     }
                 }
                 TagState::Priority0 => {
-                    if e.fptr != NONE {
-                        self.tags[i].fptr = NONE;
+                    if fptr != NONE {
+                        self.arena.set_fptr(i, NONE);
                         repaired += 1;
                     }
-                    self.tags[i].p0_pos = self.p0_list.len() as u32;
-                    self.p0_list.push(i as u32);
+                    self.arena.set_p0_pos(i, self.arena.p0_list.len() as u32);
+                    self.arena.p0_list.push(i as u32);
                 }
                 TagState::Priority1Clean | TagState::Priority1Dirty => {
-                    let d = e.fptr as usize;
-                    if e.fptr == NONE || d >= n || claimed[d] != NONE {
-                        self.tags[i] = TagEntry::default();
+                    let d = fptr as usize;
+                    if fptr == NONE || d >= n || claimed[d] != NONE {
+                        self.clear_tag(i);
                         repaired += 1;
                     } else {
                         claimed[d] = i as u32;
-                        if e.p0_pos != NONE {
-                            self.tags[i].p0_pos = NONE;
+                        if p0_pos != NONE {
+                            self.arena.set_p0_pos(i, NONE);
                             repaired += 1;
                         }
                     }
@@ -987,26 +960,23 @@ impl CacheModel for MayaCache {
         }
         // A flipped priority bit can push the P0 population over its target;
         // trim deterministically from the end of the rebuilt list.
-        while self.p0_list.len() > self.config.p0_capacity() {
-            let victim = self.p0_list.pop().expect("list non-empty") as usize;
-            self.tags[victim] = TagEntry::default();
+        while self.arena.p0_list.len() > self.config.p0_capacity() {
+            let victim = self.arena.p0_list.pop().expect("list non-empty") as usize;
+            self.clear_tag(victim);
             repaired += 1;
         }
         // Rebuild the data-store bookkeeping from the surviving claims.
-        self.allocated.clear();
-        self.rptr.fill(NONE);
-        self.data_pos.fill(NONE);
+        self.arena.allocated.clear();
+        self.arena.rptr.fill(NONE);
+        self.arena.data_pos.fill(NONE);
         for (d, &t) in claimed.iter().enumerate() {
             if t != NONE {
-                self.rptr[d] = t;
-                self.data_pos[d] = self.allocated.len() as u32;
-                self.allocated.push(d as u32);
+                self.arena.rptr[d] = t;
+                self.arena.data_pos[d] = self.arena.allocated.len() as u32;
+                self.arena.allocated.push(d as u32);
             }
         }
-        self.free_data = (0..n as u32)
-            .rev()
-            .filter(|&d| claimed[d as usize] == NONE)
-            .collect();
+        self.arena.rebuild_free_ascending(|d| claimed[d] == NONE);
         repaired
     }
 }

@@ -23,6 +23,7 @@ use maya_obs::{Component, EventKind, EvictionCause, ProbeHandle, ProfileHandle};
 use prince_cipher::{IndexFunction, DEFAULT_MEMO_SLOTS, MAX_SKEWS};
 
 use crate::cache::{CacheModel, FaultKind};
+use crate::storage::{meta, TagArena, NONE};
 use crate::types::{AccessEvent, AccessKind, CacheStats, DomainId, Request, Response, Writebacks};
 
 /// How fills choose between the two candidate sets.
@@ -91,21 +92,6 @@ impl MirageConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct TagEntry {
-    valid: bool,
-    tag: u64,
-    sdid: DomainId,
-    dirty: bool,
-    reused: bool,
-    /// Forward pointer into the data store; meaningful when `valid`.
-    fptr: u32,
-}
-
-/// Reverse pointer for each data entry (index into the tag store),
-/// `u32::MAX` when free.
-const FREE: u32 = u32::MAX;
-
 /// The Mirage LLC model.
 ///
 /// # Examples
@@ -123,16 +109,12 @@ const FREE: u32 = u32::MAX;
 pub struct MirageCache {
     config: MirageConfig,
     index: IndexFunction,
-    tags: Vec<TagEntry>,
-    /// Reverse pointers: `rptr[d]` is the flat tag index owning data entry
-    /// `d`, or `FREE`.
-    rptr: Vec<u32>,
-    /// Free data-entry indices (cold-start only; empty once warm).
-    free_data: Vec<u32>,
-    /// Allocated data-entry indices for O(1) uniform victim selection;
-    /// `data_list_pos[d]` is the back-index, `FREE` when unallocated.
-    allocated: Vec<u32>,
-    data_list_pos: Vec<u32>,
+    /// Struct-of-arrays tag/data store (see [`crate::storage`]). Every
+    /// resident Mirage entry is `VALID | DATA` in the packed meta lane,
+    /// with `DIRTY`/`REUSED` riding alongside; the forward/reverse pointer
+    /// lanes and the allocated/free lists live inside the arena (Maya's
+    /// priority-0 lanes go unused here).
+    arena: TagArena,
     stats: CacheStats,
     rng: SmallRng,
     probe: ProbeHandle,
@@ -157,11 +139,7 @@ impl MirageCache {
         let index = IndexFunction::from_seed(config.seed, config.skews, config.sets_per_skew)
             .with_memo(DEFAULT_MEMO_SLOTS);
         Self {
-            tags: vec![TagEntry::default(); tag_count],
-            rptr: vec![FREE; data_entries],
-            free_data: (0..data_entries as u32).rev().collect(),
-            allocated: Vec::with_capacity(data_entries),
-            data_list_pos: vec![FREE; data_entries],
+            arena: TagArena::new(tag_count, data_entries),
             stats: CacheStats::default(),
             rng: SmallRng::seed_from_u64(config.seed ^ 0x6d69_7261_6765),
             probe: ProbeHandle::none(),
@@ -213,6 +191,24 @@ impl MirageCache {
         (skew, set)
     }
 
+    /// Whether tag entry `i` is valid.
+    #[inline]
+    fn valid(&self, i: usize) -> bool {
+        self.arena.meta(i) & meta::VALID != 0
+    }
+
+    /// Whether tag entry `i` is dirty.
+    #[inline]
+    fn dirty(&self, i: usize) -> bool {
+        self.arena.meta(i) & meta::DIRTY != 0
+    }
+
+    /// Whether tag entry `i` has been re-referenced since its fill.
+    #[inline]
+    fn reused(&self, i: usize) -> bool {
+        self.arena.meta(i) & meta::REUSED != 0
+    }
+
     fn find(&self, line: u64, domain: DomainId) -> Option<usize> {
         let ways = self.config.ways_per_skew();
         let mut sets_buf = [0usize; MAX_SKEWS];
@@ -222,49 +218,17 @@ impl MirageCache {
             self.index.set_indices_into(line, sets);
         }
         for (skew, &set) in sets.iter().enumerate() {
-            for way in 0..ways {
-                let i = self.flat(skew, set, way);
-                let e = &self.tags[i];
-                if e.valid && e.tag == line && e.sdid == domain {
-                    return Some(i);
-                }
+            let base = self.flat(skew, set, 0);
+            if let Some(i) = self.arena.find_way(base, ways, line, domain.0) {
+                return Some(i);
             }
         }
         None
     }
 
     fn invalid_ways_in(&self, skew: usize, set: usize) -> usize {
-        (0..self.config.ways_per_skew())
-            .filter(|&w| !self.tags[self.flat(skew, set, w)].valid)
-            .count()
-    }
-
-    fn alloc_data(&mut self, tag_idx: usize) -> u32 {
-        // An exhausted free list means a caller skipped the evict-before-
-        // alloc step (reachable only under fault injection); reuse entry 0
-        // and let `audit()` flag the broken rptr linkage rather than
-        // panicking mid-access.
-        let d = self.free_data.pop().unwrap_or(0);
-        self.rptr[d as usize] = tag_idx as u32;
-        self.data_list_pos[d as usize] = self.allocated.len() as u32;
-        self.allocated.push(d);
-        d
-    }
-
-    fn free_data_entry(&mut self, d: u32) {
-        let pos = self.data_list_pos[d as usize] as usize;
-        // Freeing with an empty allocated list is a double free (reachable
-        // only under fault injection); ignore it and leave the audit trail.
-        let Some(&last) = self.allocated.last() else {
-            return;
-        };
-        self.allocated.swap_remove(pos);
-        if pos < self.allocated.len() {
-            self.data_list_pos[last as usize] = pos as u32;
-        }
-        self.data_list_pos[d as usize] = FREE;
-        self.rptr[d as usize] = FREE;
-        self.free_data.push(d);
+        let base = self.flat(skew, set, 0);
+        self.arena.invalid_ways(base, self.config.ways_per_skew())
     }
 
     /// Invalidates the tag at `tag_idx` and releases its data entry,
@@ -276,28 +240,34 @@ impl MirageCache {
         cause: EvictionCause,
         wb: &mut Writebacks,
     ) {
-        let e = self.tags[tag_idx];
-        debug_assert!(e.valid);
-        if e.dirty {
+        debug_assert!(self.valid(tag_idx));
+        let dirty = self.dirty(tag_idx);
+        let reused = self.reused(tag_idx);
+        if dirty {
             self.stats.writebacks_out += 1;
-            wb.push(e.tag);
+            wb.push(self.arena.tag(tag_idx));
         }
-        if e.reused {
+        if reused {
             self.stats.reused_evictions += 1;
         } else {
             self.stats.dead_evictions += 1;
         }
-        if e.sdid != requester {
+        if self.arena.sdid(tag_idx) != requester.0 {
             self.stats.cross_domain_evictions += 1;
         }
-        self.free_data_entry(e.fptr);
-        self.tags[tag_idx].valid = false;
+        let d = self.arena.fptr(tag_idx);
+        self.arena.data_free(d);
+        self.arena.meta_and(tag_idx, !meta::VALID);
+        // Lazy line read: when no probe is attached the closure never runs,
+        // so the eviction costs no cold tag-lane access. The tag word itself
+        // is untouched by the invalidation above, so an attached probe reads
+        // the same value the eager load produced.
         self.probe.emit_with(|| EventKind::Eviction {
-            line: e.tag,
+            line: self.arena.tag(tag_idx),
             cause,
             had_data: true,
-            dirty: e.dirty,
-            reused: e.reused,
+            dirty,
+            reused,
             downgraded: false,
             skew: self.skew_of(tag_idx),
         });
@@ -307,8 +277,8 @@ impl MirageCache {
     /// whole data store.
     fn global_eviction(&mut self, requester: DomainId, wb: &mut Writebacks) {
         let _repl = self.profiler.span(Component::Replacement);
-        let victim_data = self.allocated[self.rng.gen_range(0..self.allocated.len())];
-        let tag_idx = self.rptr[victim_data as usize] as usize;
+        let victim_data = self.arena.allocated[self.rng.gen_range(0..self.arena.allocated.len())];
+        let tag_idx = self.arena.rptr[victim_data as usize] as usize;
         self.evict_tag(tag_idx, requester, EvictionCause::GlobalData, wb);
         self.stats.global_data_evictions += 1;
     }
@@ -344,15 +314,16 @@ impl MirageCache {
         };
         let ways = self.config.ways_per_skew();
         let set = sets[skew];
-        if let Some(way) = (0..ways).find(|&w| !self.tags[self.flat(skew, set, w)].valid) {
-            return (self.flat(skew, set, way), false);
+        let base = self.flat(skew, set, 0);
+        if let Some(idx) = self.arena.first_invalid(base, ways) {
+            return (idx, false);
         }
         // Set-associative eviction: both candidate sets may be full (the
         // chosen one certainly is). Evict a random valid way of the chosen
         // set — the security-critical, address-correlated event.
         self.stats.saes += 1;
         let way = self.rng.gen_range(0..ways);
-        let idx = self.flat(skew, set, way);
+        let idx = base + way;
         self.evict_tag(idx, requester, EvictionCause::Sae, wb);
         (idx, true)
     }
@@ -368,8 +339,8 @@ impl CacheModel for MirageCache {
         if let Some(i) = self.find(req.line, req.domain) {
             match req.kind {
                 // Reuse (for dead-block stats) means a demand read hit.
-                AccessKind::Read => self.tags[i].reused = true,
-                AccessKind::Writeback => self.tags[i].dirty = true,
+                AccessKind::Read => self.arena.meta_or(i, meta::REUSED),
+                AccessKind::Writeback => self.arena.meta_or(i, meta::DIRTY),
                 AccessKind::Prefetch => {}
             }
             self.stats.data_hits += 1;
@@ -385,19 +356,20 @@ impl CacheModel for MirageCache {
         let line = req.line;
         self.probe.emit_with(|| EventKind::Miss { line });
         // Fill: free a data entry if the store is full, then place the tag.
-        if self.free_data.is_empty() {
+        if self.arena.free_is_empty() {
             self.global_eviction(req.domain, &mut wb);
         }
         let (tag_idx, sae) = self.choose_fill_slot(req.line, req.domain, &mut wb);
-        let data_idx = self.alloc_data(tag_idx);
-        self.tags[tag_idx] = TagEntry {
-            valid: true,
-            tag: req.line,
-            sdid: req.domain,
-            dirty: req.kind == AccessKind::Writeback,
-            reused: false,
-            fptr: data_idx,
-        };
+        let data_idx = self.arena.data_alloc(tag_idx);
+        let m = meta::VALID
+            | meta::DATA
+            | if req.kind == AccessKind::Writeback {
+                meta::DIRTY
+            } else {
+                0
+            };
+        self.arena.install_tag(tag_idx, req.line, m, req.domain.0);
+        self.arena.set_fptr(tag_idx, data_idx);
         self.stats.tag_fills += 1;
         self.stats.data_fills += 1;
         self.probe.emit_with(|| EventKind::Fill {
@@ -414,19 +386,21 @@ impl CacheModel for MirageCache {
 
     fn flush_line(&mut self, line: u64, domain: DomainId) -> bool {
         if let Some(i) = self.find(line, domain) {
-            let e = self.tags[i];
-            if e.dirty {
+            let dirty = self.dirty(i);
+            let reused = self.reused(i);
+            if dirty {
                 self.stats.writebacks_out += 1;
             }
-            self.free_data_entry(e.fptr);
-            self.tags[i].valid = false;
+            let d = self.arena.fptr(i);
+            self.arena.data_free(d);
+            self.arena.meta_and(i, !meta::VALID);
             self.stats.flushes += 1;
             self.probe.emit_with(|| EventKind::Eviction {
-                line: e.tag,
+                line,
                 cause: EvictionCause::Flush,
                 had_data: true,
-                dirty: e.dirty,
-                reused: e.reused,
+                dirty,
+                reused,
                 downgraded: false,
                 skew: self.skew_of(i),
             });
@@ -437,14 +411,7 @@ impl CacheModel for MirageCache {
     }
 
     fn flush_all(&mut self) {
-        for t in &mut self.tags {
-            t.valid = false;
-        }
-        let n = self.rptr.len();
-        self.rptr.fill(FREE);
-        self.data_list_pos.fill(FREE);
-        self.allocated.clear();
-        self.free_data = (0..n as u32).rev().collect();
+        self.arena.reset();
         self.probe.emit(EventKind::FlushAll);
     }
 
@@ -485,79 +452,95 @@ impl CacheModel for MirageCache {
         // Forward direction: every valid tag owns exactly the data entry
         // its fptr names.
         let mut valid_tags = 0usize;
-        for (i, e) in self.tags.iter().enumerate() {
-            if !e.valid {
+        for i in 0..self.arena.tag_entries() {
+            if !self.valid(i) {
                 continue;
             }
             valid_tags += 1;
             // A valid tag must live in the set its address hashes to under
             // the current key — this catches stuck-at tag-array faults.
             let (skew, set) = self.home_of(i);
-            let home = self.index.set_index(skew, e.tag);
+            let home = self.index.set_index(skew, self.arena.tag(i));
             if home != set {
                 return Err(format!(
                     "tag {i} (line {:#x}) sits in skew {skew} set {set} but hashes to {home}",
-                    e.tag
+                    self.arena.tag(i)
                 ));
             }
-            let d = e.fptr as usize;
-            if d >= self.rptr.len() {
+            let d = self.arena.fptr(i) as usize;
+            if d >= self.arena.rptr.len() {
                 return Err(format!("tag {i}: fptr {d} out of range"));
             }
-            if self.rptr[d] as usize != i {
+            if self.arena.rptr[d] as usize != i {
                 return Err(format!(
                     "tag {i}: fptr/rptr mismatch (rptr[{d}] = {})",
-                    self.rptr[d]
+                    self.arena.rptr[d]
                 ));
             }
         }
-        if valid_tags != self.allocated.len() {
+        if valid_tags != self.arena.allocated.len() {
             return Err(format!(
                 "population mismatch: {valid_tags} valid tags vs {} allocated data entries",
-                self.allocated.len()
+                self.arena.allocated.len()
             ));
         }
-        if self.allocated.len() + self.free_data.len() != self.config.data_entries() {
+        if self.arena.allocated.len() + self.arena.free_len() != self.config.data_entries() {
             return Err(format!(
                 "data entries leaked: {} allocated + {} free != {}",
-                self.allocated.len(),
-                self.free_data.len(),
+                self.arena.allocated.len(),
+                self.arena.free_len(),
                 self.config.data_entries()
             ));
         }
         // Reverse direction plus the O(1)-eviction back-index array.
-        for (pos, &d) in self.allocated.iter().enumerate() {
+        // `on_list` doubles as the conservation check below: every data
+        // entry must sit on exactly one of the allocated/free lists.
+        let mut on_list = vec![0u8; self.arena.data_entries()];
+        for (pos, &d) in self.arena.allocated.iter().enumerate() {
             let d = d as usize;
-            if self.data_list_pos[d] as usize != pos {
+            on_list[d] += 1;
+            if self.arena.data_pos[d] as usize != pos {
                 return Err(format!(
-                    "allocated[{pos}] = data {d} but data_list_pos[{d}] = {}",
-                    self.data_list_pos[d]
+                    "allocated[{pos}] = data {d} but data_pos[{d}] = {}",
+                    self.arena.data_pos[d]
                 ));
             }
-            let t = self.rptr[d];
-            if t == FREE {
+            let t = self.arena.rptr[d];
+            if t == NONE {
                 return Err(format!("allocated data {d} has no owning tag"));
             }
-            let e = &self.tags[t as usize];
-            if !e.valid {
+            if !self.valid(t as usize) {
                 return Err(format!("data {d} owned by invalid tag {t}"));
             }
-            if e.fptr as usize != d {
+            if self.arena.fptr(t as usize) as usize != d {
                 return Err(format!(
                     "rptr/fptr mismatch: data {d} claims tag {t} whose fptr is {}",
-                    e.fptr
+                    self.arena.fptr(t as usize)
                 ));
             }
         }
-        for &d in &self.free_data {
+        self.arena.free_for_each(|d| {
             let d = d as usize;
-            if self.rptr[d] != FREE {
-                return Err(format!("free data {d} still has rptr {}", self.rptr[d]));
-            }
-            if self.data_list_pos[d] != FREE {
+            on_list[d] += 1;
+            if self.arena.rptr[d] != NONE {
                 return Err(format!(
-                    "free data {d} still has data_list_pos {}",
-                    self.data_list_pos[d]
+                    "free data {d} still has rptr {}",
+                    self.arena.rptr[d]
+                ));
+            }
+            if self.arena.data_pos[d] != NONE {
+                return Err(format!(
+                    "free data {d} still has data_pos {}",
+                    self.arena.data_pos[d]
+                ));
+            }
+            Ok(())
+        })?;
+        for (d, &n) in on_list.iter().enumerate() {
+            if n != 1 {
+                return Err(format!(
+                    "data {d} appears on {n} lists (every entry must be on exactly one \
+                     of allocated/free)"
                 ));
             }
         }
@@ -569,41 +552,41 @@ impl CacheModel for MirageCache {
             // Mirage entries have no priority states.
             FaultKind::PriorityFlip => None,
             FaultKind::ValidDrop => {
-                if self.allocated.is_empty() {
+                if self.arena.allocated.is_empty() {
                     return None;
                 }
-                let d = self.allocated[rng.gen_range(0..self.allocated.len())];
-                let i = self.rptr[d as usize] as usize;
+                let d = self.arena.allocated[rng.gen_range(0..self.arena.allocated.len())];
+                let i = self.arena.rptr[d as usize] as usize;
                 // Clear the valid bit without releasing the data entry.
-                self.tags[i].valid = false;
+                self.arena.meta_and(i, !meta::VALID);
                 Some(format!("tag {i}: valid bit dropped, data {d} leaked"))
             }
             FaultKind::DirtyFlip => {
-                if self.allocated.is_empty() {
+                if self.arena.allocated.is_empty() {
                     return None;
                 }
-                let d = self.allocated[rng.gen_range(0..self.allocated.len())];
-                let i = self.rptr[d as usize] as usize;
-                self.tags[i].dirty = !self.tags[i].dirty;
+                let d = self.arena.allocated[rng.gen_range(0..self.arena.allocated.len())];
+                let i = self.arena.rptr[d as usize] as usize;
+                self.arena.meta_xor(i, meta::DIRTY);
                 Some(format!("tag {i}: dirty bit flipped"))
             }
             FaultKind::PointerCorrupt => {
-                if self.allocated.is_empty() {
+                if self.arena.allocated.is_empty() {
                     return None;
                 }
-                let d = self.allocated[rng.gen_range(0..self.allocated.len())];
-                let i = self.rptr[d as usize] as usize;
+                let d = self.arena.allocated[rng.gen_range(0..self.arena.allocated.len())];
+                let i = self.arena.rptr[d as usize] as usize;
                 let n = self.config.data_entries() as u32;
-                let bad = (self.tags[i].fptr + 1) % n;
-                self.tags[i].fptr = bad;
+                let bad = (self.arena.fptr(i) + 1) % n;
+                self.arena.set_fptr(i, bad);
                 Some(format!("tag {i}: fptr redirected {d} -> {bad}"))
             }
             FaultKind::TagBit => {
-                if self.allocated.is_empty() {
+                if self.arena.allocated.is_empty() {
                     return None;
                 }
-                let d = self.allocated[rng.gen_range(0..self.allocated.len())];
-                let i = self.rptr[d as usize] as usize;
+                let d = self.arena.allocated[rng.gen_range(0..self.arena.allocated.len())];
+                let i = self.arena.rptr[d as usize] as usize;
                 let (skew, set) = self.home_of(i);
                 let start = rng.gen_range(0..48u32);
                 // Pick a stuck-at bit that actually moves the entry out of
@@ -611,9 +594,12 @@ impl CacheModel for MirageCache {
                 // undetectable by construction.
                 for off in 0..48u32 {
                     let bit = (start + off) % 48;
-                    let flipped = self.tags[i].tag ^ (1u64 << bit);
+                    let flipped = self.arena.tag(i) ^ (1u64 << bit);
                     if self.index.set_index(skew, flipped) != set {
-                        self.tags[i].tag = flipped;
+                        // `set_tag` keeps the key lane's filter byte coherent
+                        // with the corrupted tag, preserving the lookup
+                        // semantics of a full-width tag compare.
+                        self.arena.set_tag(i, flipped);
                         return Some(format!("tag {i}: tag bit {bit} stuck"));
                     }
                 }
@@ -625,8 +611,8 @@ impl CacheModel for MirageCache {
                 let per_skew = self.config.sets_per_skew * self.config.ways_per_skew();
                 let mut wiped = 0usize;
                 for i in 0..per_skew {
-                    if self.tags[i].valid {
-                        self.tags[i].valid = false;
+                    if self.valid(i) {
+                        self.arena.meta_and(i, !meta::VALID);
                         wiped += 1;
                     }
                 }
@@ -642,37 +628,34 @@ impl CacheModel for MirageCache {
         let mut repaired = 0u64;
         let n = self.config.data_entries();
         // First claim per data entry wins; later claimants are dropped.
-        let mut claimed = vec![FREE; n];
-        for i in 0..self.tags.len() {
-            let e = self.tags[i];
-            if !e.valid {
+        let mut claimed = vec![NONE; n];
+        for i in 0..self.arena.tag_entries() {
+            if !self.valid(i) {
                 continue;
             }
             let (skew, set) = self.home_of(i);
-            let d = e.fptr as usize;
-            if self.index.set_index(skew, e.tag) != set || d >= n || claimed[d] != FREE {
+            let d = self.arena.fptr(i) as usize;
+            if self.index.set_index(skew, self.arena.tag(i)) != set || d >= n || claimed[d] != NONE
+            {
                 // Mis-homed or unreconcilable pointer: drop the entry.
-                self.tags[i].valid = false;
+                self.arena.meta_and(i, !meta::VALID);
                 repaired += 1;
             } else {
                 claimed[d] = i as u32;
             }
         }
         // Rebuild the data-store bookkeeping from the surviving claims.
-        self.allocated.clear();
-        self.rptr.fill(FREE);
-        self.data_list_pos.fill(FREE);
+        self.arena.allocated.clear();
+        self.arena.rptr.fill(NONE);
+        self.arena.data_pos.fill(NONE);
         for (d, &t) in claimed.iter().enumerate() {
-            if t != FREE {
-                self.rptr[d] = t;
-                self.data_list_pos[d] = self.allocated.len() as u32;
-                self.allocated.push(d as u32);
+            if t != NONE {
+                self.arena.rptr[d] = t;
+                self.arena.data_pos[d] = self.arena.allocated.len() as u32;
+                self.arena.allocated.push(d as u32);
             }
         }
-        self.free_data = (0..n as u32)
-            .rev()
-            .filter(|&d| claimed[d as usize] == FREE)
-            .collect();
+        self.arena.rebuild_free_ascending(|d| claimed[d] == NONE);
         repaired
     }
 }
@@ -725,9 +708,9 @@ mod tests {
         let cap = c.capacity_lines();
         for a in 0..(3 * cap) as u64 {
             c.access(Request::read(a, DomainId(0)));
-            assert!(c.allocated.len() <= cap);
+            assert!(c.arena.allocated.len() <= cap);
         }
-        assert_eq!(c.allocated.len(), cap);
+        assert_eq!(c.arena.allocated.len(), cap);
         assert!(c.stats().global_data_evictions > 0);
         check_pointers(&c);
     }
@@ -772,7 +755,7 @@ mod tests {
             c.access(Request::read(a, DomainId(0)));
         }
         c.rekey(99);
-        assert_eq!(c.allocated.len(), 0);
+        assert_eq!(c.arena.allocated.len(), 0);
         for a in 0..200u64 {
             assert!(!c.probe(a, DomainId(0)));
         }

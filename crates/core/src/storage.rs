@@ -9,6 +9,475 @@
 use crate::maya::MayaConfig;
 use crate::mirage::MirageConfig;
 
+/// Sentinel for "no pointer" in every arena lane.
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// Bit assignments for the arena's packed per-tag `meta` lane.
+///
+/// Each model uses the subset it needs: Maya encodes its `TagState` as
+/// `Invalid = 0`, `Priority0 = VALID`, `Priority1Clean = VALID|DATA`,
+/// `Priority1Dirty = VALID|DATA|DIRTY`, with `REUSED` tracking dead-block
+/// accounting; Mirage uses `VALID|DATA` for every resident entry plus
+/// `DIRTY`/`REUSED`.
+pub(crate) mod meta {
+    /// The entry holds a valid tag.
+    pub const VALID: u8 = 1 << 0;
+    /// The entry owns a data-store entry (its `fptr` lane is live).
+    pub const DATA: u8 = 1 << 1;
+    /// The data is dirty (must be written back on release).
+    pub const DIRTY: u8 = 1 << 2;
+    /// The data was re-referenced after its fill (dead-block accounting).
+    pub const REUSED: u8 = 1 << 3;
+}
+
+/// Bit layout of the arena's packed per-tag `key` lane.
+///
+/// The three per-tag scalars the way scan needs — state bits, security
+/// domain, and a tag-hash filter byte — share one `u32` so a 16-way set
+/// scan reads exactly one 64-byte cache line:
+///
+/// ```text
+/// bit 31        24 23        16 15                 0
+///     [ filt (u8) | meta (u8)  |     sdid (u16)    ]
+/// ```
+pub(crate) mod key {
+    /// Shift of the meta byte inside the packed key word.
+    pub const META_SHIFT: u32 = 16;
+    /// Shift of the filter byte inside the packed key word.
+    pub const FILT_SHIFT: u32 = 24;
+    /// The [`super::meta::VALID`] bit, in key-word position.
+    pub const VALID: u32 = (super::meta::VALID as u32) << META_SHIFT;
+    /// The [`super::meta::DATA`] bit, in key-word position.
+    pub const DATA: u32 = (super::meta::DATA as u32) << META_SHIFT;
+    /// Mask selecting the sdid half.
+    pub const SDID_MASK: u32 = 0xFFFF;
+    /// Mask selecting the meta byte.
+    pub const META_MASK: u32 = 0xFF << META_SHIFT;
+    /// Mask selecting the filter byte.
+    pub const FILT_MASK: u32 = 0xFF << FILT_SHIFT;
+
+    /// True when a packed key word encodes Maya's priority-0 state
+    /// (valid, no data; `DIRTY`/`REUSED` may ride alongside).
+    #[inline]
+    pub fn is_p0(k: u32) -> bool {
+        k & (VALID | DATA) == VALID
+    }
+}
+
+/// Struct-of-arrays tag/data arena shared by the decoupled designs
+/// (Maya, Mirage).
+///
+/// The per-tag state is split into parallel lanes sized so the hot paths
+/// touch as few distinct cache lines as possible — at multi-MB tag-store
+/// geometries the randomized index functions make every access a cold
+/// line, so lane count, not instruction count, is the cost model:
+///
+/// ```text
+/// tag entry i:   key[i]  (u32: [filt | meta | sdid], see [`key`])
+///                tag[i]  (u64, line address)
+///                links[i] (u64: [fptr (hi 32) | p0_pos (lo 32)])
+/// data entry d:  rptr[d] (u32, -> tag entry)  free_next[d] (u32)
+///                data_pos[d] (u32, back-index into `allocated`)
+/// ```
+///
+/// * The `key` lane packs everything a way scan filters on into 4
+///   bytes/way: a 16-way set is one 64-byte line. The filter byte is a
+///   hash of the line address, so a non-matching way is rejected without
+///   touching the 8-byte `tag` lane at all (the tag lane is read only on
+///   filter hits — ~1/256 of non-matching valid ways — and on real hits).
+/// * The `links` lane packs the forward data pointer and Maya's
+///   priority-0 back-index, which are written together on every install
+///   and eviction, into one line instead of two.
+///
+/// All lane writes flow through accessors so the filter byte can never go
+/// stale: [`set_tag`](TagArena::set_tag) rewrites it with the tag, and
+/// state/sdid/pointer updates leave it alone. The packing is invisible to
+/// behavior — scans reject exactly the ways the unpacked layout rejected,
+/// in the same order, and no RNG is consulted anywhere in the arena.
+///
+/// The cold-start free list is *intrusive*: `free_head` plus the
+/// `free_next` lane form a singly-linked LIFO whose pop order reproduces
+/// the previous `Vec<u32>` stack exactly (construction links `0,1,2,…` so
+/// pops ascend from zero; frees push at the head). The `allocated` list
+/// stays a dense vector with the `data_pos` back-index because the global
+/// random eviction policies need O(1) *positional* uniform sampling —
+/// a linked list would change which victim a given RNG draw maps to.
+#[derive(Debug, Clone)]
+pub(crate) struct TagArena {
+    /// Packed `[filt | meta | sdid]` word per tag entry (see [`key`]).
+    key: Vec<u32>,
+    /// Line address per tag entry (live when `meta & VALID`).
+    tag: Vec<u64>,
+    /// Packed `[fptr | p0_pos]` pointer pair per tag entry.
+    links: Vec<u64>,
+    /// Priority-0 tag indices, dense for O(1) uniform sampling (Maya).
+    pub p0_list: Vec<u32>,
+    /// Reverse pointer per data entry: owning tag index, or `NONE`.
+    pub rptr: Vec<u32>,
+    /// Allocated data entries, dense for O(1) uniform sampling.
+    pub allocated: Vec<u32>,
+    /// Back-index into `allocated` per data entry, or `NONE`.
+    pub data_pos: Vec<u32>,
+    /// Head of the intrusive free list (`NONE` when exhausted).
+    free_head: u32,
+    /// Next-free link per data entry (live only while the entry is free).
+    free_next: Vec<u32>,
+    /// Number of entries on the free list.
+    free_len: usize,
+}
+
+/// Both halves of a `links` word set to [`NONE`].
+const LINKS_NONE: u64 = u64::MAX;
+
+impl TagArena {
+    /// An arena for `tag_entries` tags over `data_entries` data slots, all
+    /// invalid, with the free list linked in ascending order (so pops
+    /// yield `0, 1, 2, …` — the same order the previous
+    /// `(0..n).rev().collect()` stack popped).
+    pub fn new(tag_entries: usize, data_entries: usize) -> Self {
+        let mut a = Self {
+            key: vec![0; tag_entries],
+            tag: vec![0; tag_entries],
+            links: vec![LINKS_NONE; tag_entries],
+            p0_list: Vec::new(),
+            rptr: vec![NONE; data_entries],
+            allocated: Vec::with_capacity(data_entries),
+            data_pos: vec![NONE; data_entries],
+            free_head: NONE,
+            free_next: vec![NONE; data_entries],
+            free_len: 0,
+        };
+        a.rebuild_free_ascending(|_| true);
+        a
+    }
+
+    /// Number of tag entries.
+    pub fn tag_entries(&self) -> usize {
+        self.key.len()
+    }
+
+    /// Number of data slots (free + allocated).
+    pub fn data_entries(&self) -> usize {
+        self.rptr.len()
+    }
+
+    /// Resets every tag to invalid and every data slot to free, relinking
+    /// the free list in ascending order. Equivalent to the old layout's
+    /// `flush_all` rebuild; touches no RNG.
+    pub fn reset(&mut self) {
+        self.key.fill(0);
+        self.links.fill(LINKS_NONE);
+        self.p0_list.clear();
+        self.rptr.fill(NONE);
+        self.data_pos.fill(NONE);
+        self.allocated.clear();
+        self.rebuild_free_ascending(|_| true);
+    }
+
+    // --- packed-lane accessors ---------------------------------------------
+
+    /// Filter byte for `line`, pre-shifted into key-word position. A cheap
+    /// multiplicative hash of the *whole* line address: two lines that
+    /// collide in a set under a randomized index function almost never
+    /// share a filter byte, so set scans reject them from the key lane
+    /// alone. Deterministic — no keys, no RNG — and recomputed on every
+    /// tag write, so it can never disagree with the stored tag.
+    #[inline]
+    fn filt(line: u64) -> u32 {
+        (((line.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 56) as u32) << key::FILT_SHIFT)
+            & key::FILT_MASK
+    }
+
+    /// The meta byte of tag entry `i`.
+    #[inline]
+    pub fn meta(&self, i: usize) -> u8 {
+        (self.key[i] >> key::META_SHIFT) as u8
+    }
+
+    /// Replaces the meta byte of tag entry `i` (filter and sdid unchanged).
+    #[inline]
+    pub fn set_meta(&mut self, i: usize, m: u8) {
+        self.key[i] = (self.key[i] & !key::META_MASK) | ((m as u32) << key::META_SHIFT);
+    }
+
+    /// ORs `bits` into the meta byte of tag entry `i`.
+    #[inline]
+    pub fn meta_or(&mut self, i: usize, bits: u8) {
+        self.key[i] |= (bits as u32) << key::META_SHIFT;
+    }
+
+    /// ANDs the meta byte of tag entry `i` with `mask`.
+    #[inline]
+    pub fn meta_and(&mut self, i: usize, mask: u8) {
+        self.key[i] &= ((mask as u32) << key::META_SHIFT) | !key::META_MASK;
+    }
+
+    /// XORs `bits` into the meta byte of tag entry `i`.
+    #[inline]
+    pub fn meta_xor(&mut self, i: usize, bits: u8) {
+        self.key[i] ^= (bits as u32) << key::META_SHIFT;
+    }
+
+    /// The security-domain id of tag entry `i`.
+    #[inline]
+    pub fn sdid(&self, i: usize) -> u16 {
+        self.key[i] as u16
+    }
+
+    /// Replaces the sdid of tag entry `i`.
+    #[inline]
+    pub fn set_sdid(&mut self, i: usize, d: u16) {
+        self.key[i] = (self.key[i] & !key::SDID_MASK) | d as u32;
+    }
+
+    /// The line address of tag entry `i`.
+    #[inline]
+    pub fn tag(&self, i: usize) -> u64 {
+        self.tag[i]
+    }
+
+    /// Writes the line address of tag entry `i`, keeping the filter byte
+    /// coherent. Every tag write — installs, fault injection — must come
+    /// through here.
+    #[inline]
+    pub fn set_tag(&mut self, i: usize, line: u64) {
+        self.tag[i] = line;
+        self.key[i] = (self.key[i] & !key::FILT_MASK) | Self::filt(line);
+    }
+
+    /// One-write install: tag, meta, and sdid in a single store per lane
+    /// (no read-modify-write of the key word).
+    #[inline]
+    pub fn install_tag(&mut self, i: usize, line: u64, m: u8, sdid: u16) {
+        self.tag[i] = line;
+        self.key[i] = Self::filt(line) | ((m as u32) << key::META_SHIFT) | sdid as u32;
+    }
+
+    /// The packed key words of ways `[base, base + ways)` (for scans that
+    /// need a custom predicate, e.g. Maya's priority-0 victim pick).
+    #[inline]
+    pub fn keys(&self, base: usize, ways: usize) -> &[u32] {
+        &self.key[base..base + ways]
+    }
+
+    /// The forward data pointer of tag entry `i` (`NONE` when absent).
+    #[inline]
+    pub fn fptr(&self, i: usize) -> u32 {
+        (self.links[i] >> 32) as u32
+    }
+
+    /// Replaces the forward data pointer of tag entry `i`.
+    #[inline]
+    pub fn set_fptr(&mut self, i: usize, v: u32) {
+        self.links[i] = (self.links[i] & 0xFFFF_FFFF) | ((v as u64) << 32);
+    }
+
+    /// The priority-0 back-index of tag entry `i` (`NONE` when absent).
+    #[inline]
+    pub fn p0_pos(&self, i: usize) -> u32 {
+        self.links[i] as u32
+    }
+
+    /// Replaces the priority-0 back-index of tag entry `i`.
+    #[inline]
+    pub fn set_p0_pos(&mut self, i: usize, v: u32) {
+        self.links[i] = (self.links[i] & !0xFFFF_FFFFu64) | v as u64;
+    }
+
+    // --- intrusive free list ------------------------------------------------
+
+    /// True when no data slot is free.
+    pub fn free_is_empty(&self) -> bool {
+        self.free_head == NONE
+    }
+
+    /// Number of free data slots.
+    pub fn free_len(&self) -> usize {
+        self.free_len
+    }
+
+    /// Pops the head of the free list (LIFO, like the old `Vec` stack).
+    pub fn free_pop(&mut self) -> Option<u32> {
+        if self.free_head == NONE {
+            return None;
+        }
+        let d = self.free_head;
+        self.free_head = self.free_next[d as usize];
+        self.free_next[d as usize] = NONE;
+        self.free_len -= 1;
+        Some(d)
+    }
+
+    /// Pushes `d` at the head of the free list (LIFO).
+    pub fn free_push(&mut self, d: u32) {
+        self.free_next[d as usize] = self.free_head;
+        self.free_head = d;
+        self.free_len += 1;
+    }
+
+    /// Relinks the free list over exactly the slots `is_free` selects, in
+    /// ascending order — reproducing the pop order of the old
+    /// `(0..n).rev().filter(is_free).collect()` stack.
+    pub fn rebuild_free_ascending(&mut self, is_free: impl Fn(usize) -> bool) {
+        self.free_head = NONE;
+        self.free_len = 0;
+        let mut tail = NONE;
+        for d in 0..self.rptr.len() {
+            if !is_free(d) {
+                self.free_next[d] = NONE;
+                continue;
+            }
+            if tail == NONE {
+                self.free_head = d as u32;
+            } else {
+                self.free_next[tail as usize] = d as u32;
+            }
+            self.free_next[d] = NONE;
+            tail = d as u32;
+            self.free_len += 1;
+        }
+    }
+
+    /// Walks the free list, calling `f` for each member. Returns an error
+    /// if the chain's length disagrees with `free_len` (a cycle or a
+    /// truncated chain) before `f`'s own checks get a chance to object.
+    pub fn free_for_each(
+        &self,
+        mut f: impl FnMut(u32) -> Result<(), String>,
+    ) -> Result<(), String> {
+        let mut seen = 0usize;
+        let mut d = self.free_head;
+        while d != NONE {
+            if seen >= self.rptr.len() {
+                return Err(format!(
+                    "free list cycles: walked {seen} links with only {} data entries",
+                    self.rptr.len()
+                ));
+            }
+            f(d)?;
+            seen += 1;
+            d = self.free_next[d as usize];
+        }
+        if seen != self.free_len {
+            return Err(format!(
+                "free list length drifted: chain has {seen} entries but free_len is {}",
+                self.free_len
+            ));
+        }
+        Ok(())
+    }
+
+    // --- data-store bookkeeping --------------------------------------------
+
+    /// Allocates a data slot for `tag_idx`: pops the free list (slot 0 if
+    /// exhausted — callers evict first; reachable only under fault
+    /// injection, left for `audit()` to flag) and appends to `allocated`.
+    pub fn data_alloc(&mut self, tag_idx: usize) -> u32 {
+        let d = self.free_pop().unwrap_or(0);
+        self.rptr[d as usize] = tag_idx as u32;
+        self.data_pos[d as usize] = self.allocated.len() as u32;
+        self.allocated.push(d);
+        d
+    }
+
+    /// Releases data slot `d` back to the free list (swap-remove from
+    /// `allocated`, back-index repair, head push). Returns `false` without
+    /// touching anything when `allocated` is empty — a double free,
+    /// reachable only under fault injection.
+    pub fn data_free(&mut self, d: u32) -> bool {
+        let pos = self.data_pos[d as usize] as usize;
+        let Some(&last) = self.allocated.last() else {
+            return false;
+        };
+        self.allocated.swap_remove(pos);
+        if pos < self.allocated.len() {
+            self.data_pos[last as usize] = pos as u32;
+        }
+        self.data_pos[d as usize] = NONE;
+        self.rptr[d as usize] = NONE;
+        self.free_push(d);
+        true
+    }
+
+    // --- priority-0 list (Maya) --------------------------------------------
+
+    /// Appends tag `tag_idx` to the priority-0 list.
+    pub fn p0_insert(&mut self, tag_idx: usize) {
+        self.set_p0_pos(tag_idx, self.p0_list.len() as u32);
+        self.p0_list.push(tag_idx as u32);
+    }
+
+    /// Swap-removes tag `tag_idx` from the priority-0 list, repairing the
+    /// moved entry's back-index.
+    pub fn p0_remove(&mut self, tag_idx: usize) {
+        let pos = self.p0_pos(tag_idx) as usize;
+        debug_assert_eq!(self.p0_list[pos], tag_idx as u32);
+        self.p0_list.swap_remove(pos);
+        if pos < self.p0_list.len() {
+            let moved = self.p0_list[pos] as usize;
+            self.set_p0_pos(moved, pos as u32);
+        }
+        self.set_p0_pos(tag_idx, NONE);
+    }
+
+    // --- hot scans ----------------------------------------------------------
+
+    /// First way in `[base, base + ways)` holding a valid `(line, sdid)`
+    /// entry. The scan reads only the packed key lane — filter byte, valid
+    /// bit, and sdid in one masked compare per way — and touches the tag
+    /// lane solely to confirm filter hits, so a miss across a 16-way set
+    /// costs one cache line. Matches exactly the ways the unpacked layout
+    /// matched (`tag == line && valid && sdid ==`), in the same order: the
+    /// filter byte is a pure function of the tag, so it can only reject
+    /// ways whose tag already differs.
+    #[inline]
+    pub fn find_way(&self, base: usize, ways: usize, line: u64, sdid: u16) -> Option<usize> {
+        let want = Self::filt(line) | key::VALID | sdid as u32;
+        const MASK: u32 = key::FILT_MASK | key::VALID | key::SDID_MASK;
+        let keys = &self.key[base..base + ways];
+        for (w, &k) in keys.iter().enumerate() {
+            if k & MASK == want && self.tag[base + w] == line {
+                return Some(base + w);
+            }
+        }
+        None
+    }
+
+    /// First way in `[base, base + ways)` holding a valid `line`,
+    /// regardless of domain — for set-associative caches, whose isolation
+    /// comes from partitioning rather than the sdid lane.
+    #[inline]
+    pub fn find_way_any(&self, base: usize, ways: usize, line: u64) -> Option<usize> {
+        let want = Self::filt(line) | key::VALID;
+        const MASK: u32 = key::FILT_MASK | key::VALID;
+        let keys = &self.key[base..base + ways];
+        for (w, &k) in keys.iter().enumerate() {
+            if k & MASK == want && self.tag[base + w] == line {
+                return Some(base + w);
+            }
+        }
+        None
+    }
+
+    /// Number of invalid ways in `[base, base + ways)`.
+    #[inline]
+    pub fn invalid_ways(&self, base: usize, ways: usize) -> usize {
+        self.key[base..base + ways]
+            .iter()
+            .filter(|&&k| k & key::VALID == 0)
+            .count()
+    }
+
+    /// First invalid way in `[base, base + ways)`, as a flat index.
+    #[inline]
+    pub fn first_invalid(&self, base: usize, ways: usize) -> Option<usize> {
+        self.key[base..base + ways]
+            .iter()
+            .position(|&k| k & key::VALID == 0)
+            .map(|w| base + w)
+    }
+}
+
 /// Line-address width: 46-bit physical addresses, 64-byte lines.
 pub const LINE_ADDR_BITS: u32 = 40;
 /// MOESI coherence state bits.

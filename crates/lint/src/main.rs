@@ -31,8 +31,9 @@ OPTIONS:
   -h, --help          show this help
 
 Rules: determinism/{entropy,wall-clock,hash-container,thread-spawn,
-rng-discipline,arith}, robustness/panic-path, arch/{dep-graph,crate-class},
-safety/crate-attrs, model/design-registry, lint/{allow-syntax,unused-allow}.
+rng-discipline,arith}, robustness/panic-path, perf/hot-alloc,
+arch/{dep-graph,crate-class}, safety/crate-attrs, model/design-registry,
+lint/{allow-syntax,unused-allow}.
 Suppress one finding with `// lint:allow(<rule>) <reason>` on the offending
 line (or alone on the line above). Exit 0 = clean, 1 = errors, 2 = bad usage.";
 

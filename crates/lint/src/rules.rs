@@ -13,6 +13,9 @@
 //! 2. **Robustness** — no panicking calls in per-access hot paths of
 //!    model crates or anywhere in the sweep scheduler ([`RULE_PANIC`]):
 //!    fault campaigns rely on `catch_unwind` at job granularity only.
+//!    **Performance** rides on the same call-graph machinery: functions
+//!    reachable from `access`/`probe` in model and sim crates must not
+//!    allocate ([`RULE_HOT_ALLOC`]).
 //! 3. **Architecture** — the dependency graph is layered: model crates
 //!    never depend on the simulator or the harness, nothing depends on
 //!    the lint tool, only the workspace root consumes the harness, and
@@ -53,6 +56,8 @@ pub const RULE_RNG: &str = "determinism/rng-discipline";
 pub const RULE_ARITH: &str = "determinism/arith";
 /// Rule id: per-access hot paths and the scheduler must not panic.
 pub const RULE_PANIC: &str = "robustness/panic-path";
+/// Rule id: per-access hot paths must not allocate.
+pub const RULE_HOT_ALLOC: &str = "perf/hot-alloc";
 /// Rule id: the workspace dependency graph must stay layered.
 pub const RULE_DEP_GRAPH: &str = "arch/dep-graph";
 /// Rule id: every package must declare its `[package.metadata.maya]`
@@ -97,6 +102,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         RULE_PANIC,
         "per-access hot paths and the scheduler must not panic",
+    ),
+    (
+        RULE_HOT_ALLOC,
+        "per-access hot paths must not allocate (no Vec::new/vec!/collect/Box::new)",
     ),
     (
         RULE_DEP_GRAPH,
@@ -156,6 +165,13 @@ pub const HOT_ROOTS: &[&str] = &[
     "store",
     "record",
 ];
+
+/// Function names that anchor the *allocation-free* contract: the
+/// per-access entry points of every cache model and of the simulator's
+/// demand path. Narrower than [`HOT_ROOTS`] on purpose — flush, audit
+/// and repair paths run at epoch granularity and may allocate scratch
+/// state; `access`/`probe` run once per memory reference and must not.
+pub const ALLOC_ROOTS: &[&str] = &["access", "probe"];
 
 /// Everything a per-file rule needs to know.
 pub struct FileCtx<'a> {
@@ -532,11 +548,82 @@ pub fn check_panic_sites(
     out
 }
 
+/// Performance: no heap allocation inside the per-access path.
+///
+/// `hot` is the set of function names reachable from [`ALLOC_ROOTS`]
+/// within this crate (see [`alloc_fn_closure`]). Four constructs are
+/// banned in that scope: `Vec::new`, `vec!`, `.collect(…)` (turbofish
+/// included), and `Box::new`. Every one of them was found on the access
+/// path at some point in this repository's history, each costing an
+/// allocator round-trip per simulated memory reference. Scratch state
+/// belongs in the model (reused buffers, `Copy` drain structs, arena
+/// free lists); epoch-granularity paths (flush, audit, quarantine) are
+/// out of scope and may allocate.
+pub fn check_hot_alloc(ctx: &FileCtx<'_>, hot: &BTreeSet<String>) -> Vec<Diagnostic> {
+    if !matches!(ctx.class, Class::Model | Class::Sim) || !ctx.in_src {
+        return Vec::new();
+    }
+    let toks = &ctx.fa.lexed.tokens;
+    let mut out = Vec::new();
+    for f in &ctx.fa.model.fns {
+        if f.in_test || !hot.contains(&f.name) {
+            continue;
+        }
+        let Some((lo, hi)) = f.body else { continue };
+        for i in lo..=hi.min(toks.len() - 1) {
+            let t = &toks[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let path_new = |head: &str| {
+                t.text == head
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                    && toks.get(i + 2).is_some_and(|n| n.is_ident("new"))
+            };
+            let what = if path_new("Vec") {
+                Some("`Vec::new` allocates a fresh vector")
+            } else if path_new("Box") {
+                Some("`Box::new` heap-allocates")
+            } else if t.text == "vec" && toks.get(i + 1).is_some_and(|n| n.is_punct("!")) {
+                Some("`vec!` allocates a fresh vector")
+            } else if t.text == "collect" && i > 0 && toks[i - 1].is_punct(".") {
+                Some("`.collect()` materializes an iterator into a fresh container")
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                out.push(ctx.diag(
+                    t.line,
+                    RULE_HOT_ALLOC,
+                    format!(
+                        "{what} in hot path `fn {}` — the per-access path must be \
+                         allocation-free; reuse a model-owned buffer or a Copy \
+                         drain struct instead",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// Builds the name-based call-graph closure of the hot roots for one
 /// crate: `fns` maps each non-test function name to the identifiers it
 /// calls. Conservative by construction — any same-named function
 /// anywhere in the crate joins the closure.
 pub fn hot_fn_closure(fns: &[(String, Vec<String>)]) -> BTreeSet<String> {
+    fn_closure(fns, HOT_ROOTS)
+}
+
+/// Builds the name-based call-graph closure of [`ALLOC_ROOTS`] — the
+/// function set held to the allocation-free contract.
+pub fn alloc_fn_closure(fns: &[(String, Vec<String>)]) -> BTreeSet<String> {
+    fn_closure(fns, ALLOC_ROOTS)
+}
+
+/// Name-based call-graph closure from an arbitrary root set.
+fn fn_closure(fns: &[(String, Vec<String>)], roots: &[&str]) -> BTreeSet<String> {
     // Constructor names never join the closure: `new`/`default` are the
     // init-time convention (config validation may assert there), and the
     // name-based graph would otherwise pull every constructor in the
@@ -545,7 +632,7 @@ pub fn hot_fn_closure(fns: &[(String, Vec<String>)]) -> BTreeSet<String> {
     let mut hot: BTreeSet<String> = fns
         .iter()
         .map(|(n, _)| n)
-        .filter(|n| HOT_ROOTS.contains(&n.as_str()))
+        .filter(|n| roots.contains(&n.as_str()))
         .cloned()
         .collect();
     loop {
@@ -902,6 +989,48 @@ mod tests {
         let d = check_panic_sites(&ctx_for(&a, Class::Harness, "b"), &none, true);
         assert_eq!(d.len(), 2);
         assert!(d[0].message.contains("scheduler"));
+    }
+
+    #[test]
+    fn hot_alloc_rule_follows_the_alloc_closure() {
+        let src = "fn access(&mut self) { self.fill(); }\n\
+                   fn fill(&mut self) { let v: Vec<u64> = self.w.iter().collect(); self.keep(v); }\n\
+                   fn quarantine(&mut self) { let mut c = Vec::new(); c.push(1); }";
+        let a = fa(src);
+        let hot = alloc_fn_closure(&fn_call_edges(&a));
+        assert!(hot.contains("access") && hot.contains("fill") && !hot.contains("quarantine"));
+        let d = check_hot_alloc(&ctx_for(&a, Class::Model, "m"), &hot);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("collect"));
+        assert!(d[0].message.contains("fn fill"));
+    }
+
+    #[test]
+    fn hot_alloc_rule_catches_all_four_constructs_and_scopes_by_class() {
+        let src = "fn probe(&self) {\n    let a = Vec::new();\n    let b = vec![0u8; 4];\n\
+                   \n    let c = Box::new(0u64);\n    let d: Vec<u8> = x.iter().collect();\n}";
+        let a = fa(src);
+        let hot = alloc_fn_closure(&fn_call_edges(&a));
+        let d = check_hot_alloc(&ctx_for(&a, Class::Sim, "s"), &hot);
+        assert_eq!(d.len(), 4, "{d:?}");
+        // Obs and harness crates are out of scope, as is non-src code.
+        assert!(check_hot_alloc(&ctx_for(&a, Class::Obs, "o"), &hot).is_empty());
+        assert!(check_hot_alloc(&ctx_for(&a, Class::Harness, "b"), &hot).is_empty());
+        let mut tests_ctx = ctx_for(&a, Class::Model, "m");
+        tests_ctx.in_src = false;
+        assert!(check_hot_alloc(&tests_ctx, &hot).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_rule_ignores_flush_roots_and_pushes() {
+        // flush_line is a HOT_ROOT (panic scope) but not an ALLOC_ROOT.
+        let src = "fn flush_line(&mut self) { let v: Vec<u64> = self.w.iter().collect(); }\n\
+                   fn access(&mut self) { self.buf.push(1); self.buf.clear(); }";
+        let a = fa(src);
+        let hot = alloc_fn_closure(&fn_call_edges(&a));
+        assert!(!hot.contains("flush_line"));
+        assert!(check_hot_alloc(&ctx_for(&a, Class::Model, "m"), &hot).is_empty());
     }
 
     #[test]

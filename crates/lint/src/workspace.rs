@@ -163,11 +163,12 @@ pub fn run_with_baseline(root: &Path, baseline: &BTreeSet<String>) -> Result<Lin
         }
     }
 
-    // Hot-path panic scan: per-crate closure from the hot roots.
+    // Hot-path scans: per-crate call-graph closures from the hot roots
+    // (panic-free scope) and the alloc roots (allocation-free scope).
     for pkg in &scanned {
-        let hot = crate_edges
+        let (hot, alloc_hot) = crate_edges
             .get(&pkg.name)
-            .map(|edges| rules::hot_fn_closure(edges))
+            .map(|edges| (rules::hot_fn_closure(edges), rules::alloc_fn_closure(edges)))
             .unwrap_or_default();
         for f in &pkg.files {
             let whole_file = f.fa.path == rules::SCHEDULER_FILE;
@@ -182,6 +183,7 @@ pub fn run_with_baseline(root: &Path, baseline: &BTreeSet<String>) -> Result<Lin
                 in_src: f.in_src,
             };
             diags.extend(rules::check_panic_sites(&ctx, &hot, whole_file));
+            diags.extend(rules::check_hot_alloc(&ctx, &alloc_hot));
         }
     }
 

@@ -1,0 +1,34 @@
+//! Fixture crate: perf/hot-alloc violations, one suppressed.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A toy cache whose access path allocates through a helper.
+pub struct Cache {
+    lines: Vec<u64>,
+}
+
+impl Cache {
+    /// Hot root: pulls `victims` into the allocation-free closure.
+    pub fn access(&mut self, line: u64) -> usize {
+        let v = self.victims(line);
+        let spare = vec![0u64; 2];
+        v.len() + spare.len()
+    }
+
+    fn victims(&self, line: u64) -> Vec<u64> {
+        self.lines.iter().copied().filter(|&l| l != line).collect()
+    }
+
+    /// Hot root with a justified, suppressed allocation.
+    pub fn probe(&self, line: u64) -> Box<u64> {
+        // lint:allow(perf/hot-alloc) fixture: proves suppression works inside hot-alloc scope
+        Box::new(line)
+    }
+
+    /// Epoch-granularity path: free to allocate, never flagged.
+    pub fn quarantine(&mut self) -> Vec<u64> {
+        let mut claimed = Vec::new();
+        claimed.extend(self.lines.iter().copied());
+        claimed
+    }
+}

@@ -57,6 +57,7 @@ fn every_new_rule_pack_fires_on_its_dirty_crate() {
     let fired = |rule: &str| diags.iter().filter(|d| d.rule == rule).count();
     assert_eq!(fired("determinism/rng-discipline"), 3, "{diags:#?}");
     assert_eq!(fired("robustness/panic-path"), 1, "{diags:#?}");
+    assert_eq!(fired("perf/hot-alloc"), 2, "{diags:#?}");
     assert_eq!(fired("determinism/arith"), 1, "{diags:#?}");
     // Two manifest-level layering violations, the stub dependency, and
     // the token-level scheduler reference.
@@ -75,6 +76,7 @@ fn suppressed_instances_stay_silent_without_unused_warnings() {
         ("crates/dirty-panic/src/lib.rs", 23),
         ("crates/dirty-arith/src/lib.rs", 16),
         ("crates/dirty-arch/src/lib.rs", 18),
+        ("crates/dirty-alloc/src/lib.rs", 25),
     ];
     for (file, line) in suppressed {
         assert!(

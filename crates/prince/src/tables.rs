@@ -154,14 +154,50 @@ const fn build_sinv() -> [[u64; 16]; 16] {
     t
 }
 
-/// Fused forward round: substitution + `M'` + ShiftRows.
+/// Fused forward round: substitution + `M'` + ShiftRows. The nibble-wide
+/// tables survive as the widening source and the tests' cross-check oracle;
+/// the hot path uses only the byte-fused variants below.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) static FWD: [[u64; 16]; 16] = build_fwd();
 /// Fused middle layer (S-box + `M'`, leaving the state in pre-S⁻¹ form).
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) static MID: [[u64; 16]; 16] = build_mid();
 /// Fused backward round operating on pre-S⁻¹ states.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) static BWD: [[u64; 16]; 16] = build_bwd();
 /// Final inverse S-box as a position table.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) static SINV: [[u64; 16]; 16] = build_sinv();
+
+/// Widens a per-nibble table into a per-byte table: byte position `j`
+/// covers nibble positions `2j` (high nibble) and `2j+1` (low nibble), and
+/// since every fused layer is XOR-linear across nibble contributions,
+/// `T2[j][b] = T[2j][b >> 4] ^ T[2j+1][b & 0xF]`. This halves the loads
+/// per round (8 instead of 16) at the cost of 16 KB per table — the
+/// classic T-table width/size trade, decided in favor of width because
+/// index derivation is the single hottest leaf of the whole simulator.
+const fn widen(t: &[[u64; 16]; 16]) -> [[u64; 256]; 8] {
+    let mut w = [[0u64; 256]; 8];
+    let mut j = 0;
+    while j < 8 {
+        let mut b = 0;
+        while b < 256 {
+            w[j][b] = t[2 * j][b >> 4] ^ t[2 * j + 1][b & 0xF];
+            b += 1;
+        }
+        j += 1;
+    }
+    w
+}
+
+/// Byte-fused forward round ([`FWD`] widened).
+pub(crate) static FWD8: [[u64; 256]; 8] = widen(&build_fwd());
+/// Byte-fused middle layer ([`MID`] widened).
+pub(crate) static MID8: [[u64; 256]; 8] = widen(&build_mid());
+/// Byte-fused backward round ([`BWD`] widened).
+pub(crate) static BWD8: [[u64; 256]; 8] = widen(&build_bwd());
+/// Byte-fused final inverse S-box ([`SINV`] widened).
+pub(crate) static SINV8: [[u64; 256]; 8] = widen(&build_sinv());
 
 /// `lb`-mapped round constants for the backward rounds (`RC_6 .. RC_10`).
 pub(crate) const LB_RC: [u64; 5] = [lb(RC[6]), lb(RC[7]), lb(RC[8]), lb(RC[9]), lb(RC[10])];
@@ -170,7 +206,8 @@ pub(crate) const LB_RC: [u64; 5] = [lb(RC[6]), lb(RC[7]), lb(RC[8]), lb(RC[9]), 
 pub(crate) const LB_ALPHA: u64 = lb(RC[11]);
 
 /// XORs the 16 per-nibble table contributions for state `s` — one fused
-/// round (or layer) in 16 loads.
+/// round (or layer) in 16 loads. Kept as the tests' oracle for [`fuse8`].
+#[cfg_attr(not(test), allow(dead_code))]
 #[inline(always)]
 pub(crate) fn fuse16(t: &[[u64; 16]; 16], s: u64) -> u64 {
     let mut out = 0u64;
@@ -178,6 +215,20 @@ pub(crate) fn fuse16(t: &[[u64; 16]; 16], s: u64) -> u64 {
     while i < 16 {
         out ^= t[i][((s >> (60 - 4 * i)) & 0xF) as usize];
         i += 1;
+    }
+    out
+}
+
+/// XORs the 8 per-byte table contributions for state `s` — one fused round
+/// (or layer) in 8 loads. Byte position 0 is the most significant byte,
+/// matching the nibble-position convention of [`fuse16`].
+#[inline(always)]
+pub(crate) fn fuse8(t: &[[u64; 256]; 8], s: u64) -> u64 {
+    let mut out = 0u64;
+    let mut j = 0;
+    while j < 8 {
+        out ^= t[j][((s >> (56 - 8 * j)) & 0xFF) as usize];
+        j += 1;
     }
     out
 }
@@ -255,6 +306,32 @@ mod tests {
                 lb(s),
                 reference::m_prime(reference::permute_nibbles(s, &SR_INV))
             );
+        }
+    }
+
+    /// The byte-fused (8-load) pass equals the nibble-fused (16-load) pass
+    /// for every table on a pseudo-random state sample, and every byte-table
+    /// entry is the XOR of its two constituent nibble entries.
+    #[test]
+    fn byte_fused_tables_match_nibble_tables() {
+        type TablePair = (&'static [[u64; 256]; 8], &'static [[u64; 16]; 16]);
+        let pairs: [TablePair; 4] = [(&FWD8, &FWD), (&MID8, &MID), (&BWD8, &BWD), (&SINV8, &SINV)];
+        for (wide, narrow) in pairs {
+            for j in 0..8 {
+                for b in 0..256usize {
+                    assert_eq!(
+                        wide[j][b],
+                        narrow[2 * j][b >> 4] ^ narrow[2 * j + 1][b & 0xF]
+                    );
+                }
+            }
+        }
+        let mut seed = 0x0f0fu64;
+        for _ in 0..4096 {
+            let s = splitmix(&mut seed);
+            for (wide, narrow) in pairs {
+                assert_eq!(fuse8(wide, s), fuse16(narrow, s));
+            }
         }
     }
 }

@@ -45,6 +45,7 @@
 
 mod config;
 mod dram;
+mod inflight;
 mod prefetch;
 mod stats;
 mod system;

@@ -79,14 +79,20 @@ impl StridePrefetcher {
         self.distance
     }
 
-    /// Observes a demand access and returns the lines to prefetch.
-    pub fn observe(&mut self, pc: u64, line: u64) -> Vec<u64> {
+    /// Observes a demand access, clearing `out` and filling it with the
+    /// lines to prefetch.
+    ///
+    /// The caller owns the buffer so the per-access hot path never
+    /// allocates: the simulator hands each core's scratch `Vec` back in on
+    /// every call, and after the first few accesses its capacity has grown
+    /// to `degree` and stays there.
+    pub fn observe_into(&mut self, pc: u64, line: u64, out: &mut Vec<u64>) {
+        out.clear();
         if self.degree == 0 {
-            return Vec::new();
+            return;
         }
         let idx = (pc as usize ^ (pc >> 8) as usize) % self.table.len();
         let e = &mut self.table[idx];
-        let mut out = Vec::new();
         if e.tag == pc {
             let stride = line as i64 - e.last_line as i64;
             if stride == e.stride && stride != 0 {
@@ -115,6 +121,13 @@ impl StridePrefetcher {
             };
         }
         self.issued = self.issued.saturating_add(out.len() as u64);
+    }
+
+    /// [`StridePrefetcher::observe_into`] returning a fresh `Vec` — the
+    /// convenient form for tests and one-off callers off the hot path.
+    pub fn observe(&mut self, pc: u64, line: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.observe_into(pc, line, &mut out);
         out
     }
 

@@ -2,7 +2,7 @@
 //! parallelism, private L1D/L2, a shared pluggable LLC, and shared DRAM.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use maya_core::{AccessKind, CacheModel, DomainId, Policy, Request, SetAssocCache, SetAssocConfig};
 use maya_obs::{Component, EventKind, ProbeHandle, ProfileHandle};
@@ -12,6 +12,7 @@ use workloads::TraceGenerator;
 
 use crate::config::SystemConfig;
 use crate::dram::Dram;
+use crate::inflight::InflightTable;
 use crate::prefetch::StridePrefetcher;
 use crate::stats::{CoreResult, RunResult};
 
@@ -37,9 +38,13 @@ struct Core {
     /// A demand that finds its line still in flight merges with the
     /// prefetch (counted as an LLC demand miss, waiting the residual
     /// latency) — this is what keeps an idealized prefetcher from
-    /// pretending streams are free. Ordered map: simulation results must
-    /// never depend on hasher iteration order.
-    inflight_prefetch: BTreeMap<u64, u64>,
+    /// pretending streams are free. A deterministic open-addressing table
+    /// (fixed multiplicative hash, set-semantics only): simulation results
+    /// must never depend on hasher iteration order.
+    inflight_prefetch: InflightTable,
+    /// Scratch buffer the prefetcher emits into; reused every access so
+    /// the hot path never allocates.
+    prefetch_buf: Vec<u64>,
     measuring: bool,
     meas_start_cycle: u64,
     meas: CoreResult,
@@ -100,7 +105,8 @@ impl System {
                 outstanding: BinaryHeap::new(),
                 last_load_completion: 0,
                 retired: 0,
-                inflight_prefetch: BTreeMap::new(),
+                inflight_prefetch: InflightTable::with_capacity(4 * 1024),
+                prefetch_buf: Vec::with_capacity(16),
                 measuring: false,
                 meas_start_cycle: 0,
                 meas: CoreResult::default(),
@@ -279,14 +285,22 @@ impl System {
             let core = &mut self.cores[i];
             core.t = core.t.max(core.last_load_completion);
         }
-        let prefetches = self.cores[i].prefetcher.observe(pc, line);
+        // Take the core's scratch buffer for the duration of the access so
+        // prefetch targets survive the `&mut self` walk calls below without
+        // a per-access allocation (`Vec` moves are pointer swaps).
+        let mut prefetches = std::mem::take(&mut self.cores[i].prefetch_buf);
+        self.cores[i]
+            .prefetcher
+            .observe_into(pc, line, &mut prefetches);
         let r1 = self.cores[i].l1d.access(Request::read(line, DomainId::ANY));
         let l1_lat = u64::from(self.config.l1d.latency);
         let latency = if r1.is_data_hit() {
             l1_lat
         } else {
-            let l1_victims: Vec<u64> = r1.writebacks.iter().collect();
-            for v in l1_victims {
+            // `Writebacks` is a tiny Copy buffer: copying it out unties the
+            // response from `self` without collecting into a `Vec`.
+            let l1_victims = r1.writebacks;
+            for v in l1_victims.iter() {
                 self.l2_writeback(i, v);
             }
             l1_lat + self.walk_below_l1(i, line, true)
@@ -311,9 +325,11 @@ impl System {
             core.outstanding.pop();
         }
         self.probe.emit_with(|| EventKind::LoadComplete { latency });
-        for p in prefetches {
+        for &p in prefetches.iter() {
             self.prefetch_fill(i, p);
         }
+        prefetches.clear();
+        self.cores[i].prefetch_buf = prefetches;
     }
 
     /// Write-allocate store: dirties L1D; a miss issues an RFO that behaves
@@ -323,13 +339,16 @@ impl System {
         // The L1D prefetcher trains on all demand accesses, stores
         // included — write-heavy streams would otherwise break stride
         // detection.
-        let prefetches = self.cores[i].prefetcher.observe(pc, line);
+        let mut prefetches = std::mem::take(&mut self.cores[i].prefetch_buf);
+        self.cores[i]
+            .prefetcher
+            .observe_into(pc, line, &mut prefetches);
         let r1 = self.cores[i]
             .l1d
             .access(Request::writeback(line, DomainId::ANY));
         if !r1.is_data_hit() {
-            let l1_victims: Vec<u64> = r1.writebacks.iter().collect();
-            for v in l1_victims {
+            let l1_victims = r1.writebacks;
+            for v in l1_victims.iter() {
                 self.l2_writeback(i, v);
             }
             let latency = self.walk_below_l1(i, line, true);
@@ -341,9 +360,11 @@ impl System {
             }
             core.outstanding.push(Reverse(core.t + latency));
         }
-        for p in prefetches {
+        for &p in prefetches.iter() {
             self.prefetch_fill(i, p);
         }
+        prefetches.clear();
+        self.cores[i].prefetch_buf = prefetches;
     }
 
     /// L2 → LLC → DRAM walk for a request that missed L1. Returns the
@@ -368,7 +389,7 @@ impl System {
             // demand a *late-prefetch* miss — it merges with the prefetch
             // and waits out the residual latency.
             let now = self.cores[i].t;
-            if let Some(ready_at) = self.cores[i].inflight_prefetch.remove(&line) {
+            if let Some(ready_at) = self.cores[i].inflight_prefetch.remove(line) {
                 if ready_at > now {
                     self.cores[i].prefetcher.note_late();
                     self.probe
@@ -393,9 +414,9 @@ impl System {
             }
             return l2_lat;
         }
-        self.cores[i].inflight_prefetch.remove(&line);
-        let l2_victims: Vec<u64> = r2.writebacks.iter().collect();
-        for v in l2_victims {
+        self.cores[i].inflight_prefetch.remove(line);
+        let l2_victims = r2.writebacks;
+        for v in l2_victims.iter() {
             self.llc_writeback(i, v);
         }
         if demand && self.cores[i].measuring {
@@ -450,8 +471,8 @@ impl System {
         let r = self.cores[i]
             .l2
             .access(Request::writeback(line, DomainId::ANY));
-        let victims: Vec<u64> = r.writebacks.iter().collect();
-        for v in victims {
+        let victims = r.writebacks;
+        for v in victims.iter() {
             self.llc_writeback(i, v);
         }
     }
@@ -462,7 +483,7 @@ impl System {
     /// flight are not refetched.
     fn prefetch_fill(&mut self, i: usize, line: u64) {
         if self.cores[i].l2.probe(line, DomainId::ANY)
-            || self.cores[i].inflight_prefetch.contains_key(&line)
+            || self.cores[i].inflight_prefetch.contains(line)
         {
             return;
         }
@@ -473,8 +494,7 @@ impl System {
         core.inflight_prefetch.insert(line, core.t + latency);
         // Bound the table: drop entries whose data already arrived.
         if core.inflight_prefetch.len() > 32 * 1024 {
-            let now = core.t;
-            core.inflight_prefetch.retain(|_, &mut ready| ready > now);
+            core.inflight_prefetch.retain_ready_after(core.t);
         }
     }
 }

@@ -9,6 +9,7 @@ use maya_repro::maya_core::maya::{transition, TagEvent, TagState};
 use maya_repro::maya_core::storage::StorageReport;
 use maya_repro::maya_core::{
     AccessEvent, CacheModel, DomainId, MayaCache, MayaConfig, MirageCache, MirageConfig, Request,
+    Response,
 };
 use maya_repro::prince_cipher::{IndexFunction, Prince};
 
@@ -277,5 +278,123 @@ fn audit_passes_after_long_mixed_workloads() {
         c.flush_all();
         c.audit()
             .unwrap_or_else(|e| panic!("{}: audit failed after flush_all: {e}", design.id()));
+    }
+}
+
+/// One step of an arbitrary interleaving: demand traffic, line and whole
+/// flushes, and mid-stream re-keys (the operation that rebuilds the index
+/// function and with it the arena layout's access order).
+#[derive(Debug, Clone, Copy)]
+enum InterleaveOp {
+    /// A demand read.
+    Read(u64, u16),
+    /// A dirty writeback arriving from the level above.
+    Write(u64, u16),
+    /// A prefetch (Maya ignores these by design; Mirage installs).
+    Prefetch(u64, u16),
+    /// Flush one line.
+    FlushLine(u64, u16),
+    /// Flush the whole cache.
+    FlushAll,
+    /// Re-key with a fresh seed.
+    Rekey(u64),
+}
+
+fn arb_interleave_op(lines: u64) -> impl Strategy<Value = InterleaveOp> {
+    use InterleaveOp::*;
+    // The vendored proptest has no weighted prop_oneof; bias toward
+    // demand traffic by drawing a selector alongside the operands.
+    (0u32..16, 0..lines, 0u16..3, 0u64..1_000_000).prop_map(|(sel, l, d, s)| match sel {
+        0..=7 => Read(l, d),
+        8..=11 => Write(l, d),
+        12 => Prefetch(l, d),
+        13 => FlushLine(l, d),
+        14 => FlushAll,
+        _ => Rekey(s),
+    })
+}
+
+/// Drives `ops` into a cache, collecting the exact observable record of
+/// every step: the full `Response` (event, SAE flag, writeback lines) or
+/// flush outcome. `rekey` applies the design's re-key entry point.
+fn interleave_run<C: CacheModel>(
+    mut c: C,
+    ops: &[InterleaveOp],
+    rekey: impl Fn(&mut C, u64),
+) -> (Vec<(u32, Response)>, maya_repro::maya_core::CacheStats) {
+    let mut log = Vec::new();
+    // Placeholder record for non-access ops (flushes, re-keys); the
+    // `sae` slot carries flush_line's hit/miss outcome.
+    let blank = Response {
+        event: AccessEvent::Miss,
+        writebacks: maya_repro::maya_core::Writebacks::none(),
+        sae: false,
+    };
+    for (i, op) in ops.iter().enumerate() {
+        let r = match *op {
+            InterleaveOp::Read(l, d) => c.access(Request::read(l, DomainId(d))),
+            InterleaveOp::Write(l, d) => c.access(Request::writeback(l, DomainId(d))),
+            InterleaveOp::Prefetch(l, d) => c.access(Request {
+                line: l,
+                kind: maya_repro::maya_core::AccessKind::Prefetch,
+                domain: DomainId(d),
+            }),
+            InterleaveOp::FlushLine(l, d) => {
+                let hit = c.flush_line(l, DomainId(d));
+                let mut r = blank;
+                r.sae = hit;
+                r
+            }
+            InterleaveOp::FlushAll => {
+                c.flush_all();
+                blank
+            }
+            InterleaveOp::Rekey(s) => {
+                rekey(&mut c, s);
+                c.audit().expect("audit after rekey");
+                blank
+            }
+        };
+        log.push((i as u32, r));
+    }
+    c.audit().expect("audit after interleaving");
+    (log, c.stats().clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Twin determinism under arbitrary access/flush/rekey interleavings:
+    /// two identically-seeded Maya instances driven by the same random op
+    /// sequence produce byte-for-byte the same response stream, writeback
+    /// lines, stats, and pass their structural audit at every re-key.
+    /// This is the arena layout's bit-transparency contract exercised on
+    /// adversarial schedules rather than the committed fixture trace.
+    #[test]
+    fn maya_interleavings_are_deterministic_twins(
+        ops in proptest::collection::vec(arb_interleave_op(4096), 1..600),
+        seed in 0u64..500,
+    ) {
+        let build = || MayaCache::new(MayaConfig { seed, ..MayaConfig::with_sets(32, 5) });
+        let a = interleave_run(build(), &ops, |c, s| c.rekey(s));
+        let b = interleave_run(build(), &ops, |c, s| c.rekey(s));
+        prop_assert_eq!(a, b);
+    }
+
+    /// The same twin contract for Mirage, whose re-key path also walks the
+    /// arena (flush + fresh index function).
+    #[test]
+    fn mirage_interleavings_are_deterministic_twins(
+        ops in proptest::collection::vec(arb_interleave_op(4096), 1..600),
+        seed in 0u64..500,
+    ) {
+        let build = || {
+            let mut cfg = MirageConfig::for_data_entries(1024, seed);
+            cfg.seed = seed;
+            MirageCache::new(cfg)
+        };
+        let a = interleave_run(build(), &ops, |c, s| c.rekey(s));
+        let b = interleave_run(build(), &ops, |c, s| c.rekey(s));
+        prop_assert_eq!(a, b);
     }
 }
