@@ -1,10 +1,12 @@
 //! `perfbench`: the deterministic perf-regression microbenchmark.
 //!
 //! Measures (a) PRINCE throughput on the fused table-driven path and the
-//! spec-literal reference path, (b) end-to-end simulator throughput on
-//! short Maya and Mirage runs, and (c) cold-versus-warm sweep wall time
-//! per experiment family through the `sched` engine and its result cache,
-//! then writes all numbers as JSONL to `BENCH_perf.json`.
+//! spec-literal reference path, (b) the simulator front end in isolation —
+//! block-batched trace generation, the SoA private-cache lookup, and the
+//! fused block-dispatch loop on a baseline LLC — (c) end-to-end simulator
+//! throughput on short Maya and Mirage runs, and (d) cold-versus-warm
+//! sweep wall time per experiment family through the `sched` engine and
+//! its result cache, then writes all numbers as JSONL to `BENCH_perf.json`.
 //! The workloads are fixed iteration counts over fixed seeds — no cycle
 //! counters, no adaptive calibration — so successive runs measure the same
 //! work and are directly comparable; only the wall-clock denominators vary
@@ -18,7 +20,10 @@
 //! With `--check`, exits non-zero if the fused path is less than
 //! [`MIN_SPEEDUP`]× the reference, below [`MIN_FUSED_BLOCKS_PER_SEC`], if
 //! either end-to-end run falls below its absolute floor
-//! ([`MIN_E2E_ACCESSES_PER_SEC`], [`MIN_MIRAGE_E2E_ACCESSES_PER_SEC`]), or
+//! ([`MIN_E2E_ACCESSES_PER_SEC`], [`MIN_MIRAGE_E2E_ACCESSES_PER_SEC`]), if
+//! any front-end stage falls below its floor
+//! ([`MIN_TRACE_GEN_ACCESSES_PER_SEC`], [`MIN_L1_LOOKUPS_PER_SEC`],
+//! [`MIN_L2_LOOKUPS_PER_SEC`], [`MIN_DISPATCH_ACCESSES_PER_SEC`]), or
 //! if the warm-cache sweep rerun takes more than [`MAX_WARM_FRACTION`] of
 //! the cold total — the CI perf-smoke gate. `--check` additionally runs
 //! the perf-history regression detector (`maya_bench::history`): the
@@ -37,16 +42,19 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use champsim_lite::{PrivateCache, System};
 use maya_bench::designs::Design;
 use maya_bench::experiments;
 use maya_bench::history::{self, HistoryRecord};
-use maya_bench::perf::run_mix;
+use maya_bench::perf::{run_mix, system_config, SEED};
 use maya_bench::sched::{self, RunOpts};
 use maya_bench::Scale;
 use maya_obs::json::Obj;
 use maya_obs::SCHEMA_VERSION;
 use prince_cipher::{reference, IndexFunction, Prince};
 use workloads::mixes::homogeneous;
+use workloads::spec::benchmark;
+use workloads::{Access, TraceGenerator};
 
 /// Blocks encrypted on the fused path.
 const FUSED_BLOCKS: u64 = 4_000_000;
@@ -74,6 +82,35 @@ const MIN_E2E_ACCESSES_PER_SEC: f64 = 500_000.0;
 /// Absolute floor for Mirage end-to-end throughput under `--check`
 /// (measures ~0.9M accesses/sec post-arena; same headroom rationale).
 const MIN_MIRAGE_E2E_ACCESSES_PER_SEC: f64 = 350_000.0;
+
+/// Accesses synthesized per benchmark family in the trace-generation
+/// microbench (the block-batched `fill_block` path the simulator's fused
+/// loop consumes).
+const TRACE_GEN_ACCESSES: u64 = 1_000_000;
+
+/// Lookups driven through each private-cache geometry (the L1's 64×12 and
+/// the L2's 1024×8 from Table V).
+const PRIVATE_LOOKUPS: u64 = 4_000_000;
+
+/// Absolute floor for block-batched trace generation under `--check`.
+/// Measures ~31M accesses/sec on a single CI-class core; ~3x headroom so
+/// only a real regression — not machine jitter — trips it.
+const MIN_TRACE_GEN_ACCESSES_PER_SEC: f64 = 10_000_000.0;
+
+/// Absolute floor for the L1-geometry SoA lookup under `--check`
+/// (measures ~17M lookups/sec on the miss-heavy microbench stream; ~3x
+/// headroom absorbs host variance).
+const MIN_L1_LOOKUPS_PER_SEC: f64 = 6_000_000.0;
+
+/// Absolute floor for the L2-geometry SoA lookup under `--check`
+/// (measures ~21M lookups/sec; same rationale).
+const MIN_L2_LOOKUPS_PER_SEC: f64 = 7_000_000.0;
+
+/// Absolute floor for the fused block-dispatch loop under `--check`: a
+/// full baseline-LLC run timed per trace access, so it covers block pull,
+/// L1/L2, prefetcher, LLC, and DRAM together (measures ~1.9M
+/// accesses/sec).
+const MIN_DISPATCH_ACCESSES_PER_SEC: f64 = 700_000.0;
 
 /// Warm-cache rerun budget as a fraction of the cold sweep total (the
 /// ISSUE's acceptance floor: a fully cached rerun must cost at most a
@@ -180,9 +217,69 @@ fn main() {
     let index_secs = t.elapsed().as_secs_f64();
     let index_cps = slow * INDEX_CALLS as f64 / index_secs.max(1e-9);
 
-    // End-to-end simulator throughput: short Maya and Mirage runs (fixed
-    // scale and workload, the same shape `diag` uses). Both designs sit
-    // on the shared arena, so either regressing flags a store-layer slip.
+    // Front-end stage 1: block-batched trace generation. This is the pure
+    // synthesis cost the fused loop pays the first time a (benchmark,
+    // core, seed) stream is pulled; replays hit the trace cache instead.
+    // Two benchmark families so both the streaming (lbm) and pointer-chase
+    // (mcf) mixture shapes are in the measurement.
+    let zero = Access {
+        addr: 0,
+        is_write: false,
+        pc: 0,
+        gap: 0,
+        dependent: false,
+    };
+    let mut block = vec![zero; workloads::block::BLOCK_ACCESSES];
+    let t = Instant::now();
+    for name in ["lbm", "mcf"] {
+        let spec = benchmark(name).expect("known benchmark");
+        let mut gen = spec.generator(0, SEED);
+        let mut produced = 0u64;
+        while produced < TRACE_GEN_ACCESSES {
+            gen.fill_block(&mut block);
+            produced += block.len() as u64;
+            acc ^= block[0].addr;
+        }
+    }
+    let trace_gen_secs = t.elapsed().as_secs_f64();
+    let trace_gen_aps = slow * (2 * TRACE_GEN_ACCESSES) as f64 / trace_gen_secs.max(1e-9);
+
+    // Front-end stage 2: the SoA private-cache lookup at both Table V
+    // geometries. The address stream is a fixed LCG over a footprint a few
+    // times the capacity, so hits and misses (and dirty writebacks) are
+    // both exercised; no entropy, byte-identical work every run.
+    let mut private_lookup = |sets: usize, ways: usize, footprint: u64| -> f64 {
+        let mut cache = PrivateCache::new(sets, ways);
+        let mut x = 0x243f_6a88_85a3_08d3u64;
+        let t = Instant::now();
+        let mut sink = 0u64;
+        for i in 0..PRIVATE_LOOKUPS {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let line = (x >> 33) % footprint;
+            let r = if i % 4 == 0 {
+                cache.write(line)
+            } else {
+                cache.read(line)
+            };
+            sink = sink.wrapping_add(r.hit as u64) ^ r.writeback.unwrap_or(0);
+        }
+        let secs = t.elapsed().as_secs_f64();
+        acc ^= sink;
+        slow * PRIVATE_LOOKUPS as f64 / secs.max(1e-9)
+    };
+    let l1_lps = private_lookup(64, 12, 6_000);
+    let l2_lps = private_lookup(1024, 8, 60_000);
+
+    // Front-end stage 3 + end-to-end simulator throughput: fixed scale and
+    // workload, the same shape `diag` uses. The baseline run is timed per
+    // *trace* access — block pull, L1/L2, prefetcher, and a cheap LLC —
+    // so it isolates the fused dispatch loop; it also records the mix's
+    // streams into the trace cache, which the Maya and Mirage timings then
+    // replay, exactly like the later rows of a diag grid. Both secure
+    // designs sit on the shared arena, so either regressing flags a
+    // store-layer slip.
     let scale = Scale {
         warmup: 100_000,
         measure: 300_000,
@@ -190,6 +287,16 @@ fn main() {
         attack_trials: 0,
     };
     let mix = homogeneous("lbm", 8);
+    let cfg = system_config(mix.specs.len(), scale);
+    let llc = Design::Baseline.build(cfg.baseline_llc_lines(), SEED);
+    let gens = workloads::block::cached_generators(&mix.specs, SEED);
+    let mut sys = System::with_generators(cfg, llc, gens);
+    let t = Instant::now();
+    let _ = sys.run();
+    let dispatch_secs = t.elapsed().as_secs_f64();
+    let dispatch_accesses = sys.trace_accesses();
+    let dispatch_aps = slow * dispatch_accesses as f64 / dispatch_secs.max(1e-9);
+
     let t = Instant::now();
     let r = run_mix(Design::Maya, &mix, scale);
     let e2e_secs = t.elapsed().as_secs_f64();
@@ -211,6 +318,18 @@ fn main() {
     println!("prince reference: {ref_bps:>12.0} blocks/sec");
     println!("speedup:          {speedup:>12.1} x");
     println!("index derivation: {index_cps:>12.0} calls/sec (2 skews/call)");
+    println!("trace generation: {trace_gen_aps:>12.0} accesses/sec (fill_block, lbm+mcf)");
+    println!(
+        "l1 lookup:        {:>12.1} ns ({:.1}M lookups/sec)",
+        1e9 / l1_lps.max(1e-9),
+        l1_lps / 1e6
+    );
+    println!(
+        "l2 lookup:        {:>12.1} ns ({:.1}M lookups/sec)",
+        1e9 / l2_lps.max(1e-9),
+        l2_lps / 1e6
+    );
+    println!("block dispatch:   {dispatch_aps:>12.0} accesses/sec (baseline end to end)");
     println!("maya end-to-end:  {e2e_aps:>12.0} LLC accesses/sec");
     println!("mirage end-to-end:{mirage_e2e_aps:>12.0} LLC accesses/sec");
 
@@ -272,6 +391,11 @@ fn main() {
         .f64("reference_blocks_per_sec", ref_bps)
         .f64("speedup", speedup)
         .f64("index_calls_per_sec", index_cps)
+        .f64("trace_gen_accesses_per_sec", trace_gen_aps)
+        .f64("l1_lookups_per_sec", l1_lps)
+        .f64("l2_lookups_per_sec", l2_lps)
+        .u64("dispatch_trace_accesses", dispatch_accesses)
+        .f64("dispatch_accesses_per_sec", dispatch_aps)
         .u64("e2e_llc_accesses", accesses)
         .f64("e2e_accesses_per_sec", e2e_aps)
         .u64("mirage_e2e_llc_accesses", mirage_accesses)
@@ -302,6 +426,10 @@ fn main() {
         metrics: [
             ("fused_blocks_per_sec".to_string(), fused_bps),
             ("index_calls_per_sec".to_string(), index_cps),
+            ("trace_gen_accesses_per_sec".to_string(), trace_gen_aps),
+            ("l1_lookups_per_sec".to_string(), l1_lps),
+            ("l2_lookups_per_sec".to_string(), l2_lps),
+            ("dispatch_accesses_per_sec".to_string(), dispatch_aps),
             ("e2e_accesses_per_sec".to_string(), e2e_aps),
             ("mirage_e2e_accesses_per_sec".to_string(), mirage_e2e_aps),
         ]
@@ -397,6 +525,30 @@ fn main() {
         if mirage_e2e_aps < MIN_MIRAGE_E2E_ACCESSES_PER_SEC {
             eprintln!(
                 "FAIL: mirage e2e throughput {mirage_e2e_aps:.0} below the {MIN_MIRAGE_E2E_ACCESSES_PER_SEC:.0} accesses/sec floor"
+            );
+            failed = true;
+        }
+        if trace_gen_aps < MIN_TRACE_GEN_ACCESSES_PER_SEC {
+            eprintln!(
+                "FAIL: trace generation {trace_gen_aps:.0} below the {MIN_TRACE_GEN_ACCESSES_PER_SEC:.0} accesses/sec floor"
+            );
+            failed = true;
+        }
+        if l1_lps < MIN_L1_LOOKUPS_PER_SEC {
+            eprintln!(
+                "FAIL: l1 lookup {l1_lps:.0} below the {MIN_L1_LOOKUPS_PER_SEC:.0} lookups/sec floor"
+            );
+            failed = true;
+        }
+        if l2_lps < MIN_L2_LOOKUPS_PER_SEC {
+            eprintln!(
+                "FAIL: l2 lookup {l2_lps:.0} below the {MIN_L2_LOOKUPS_PER_SEC:.0} lookups/sec floor"
+            );
+            failed = true;
+        }
+        if dispatch_aps < MIN_DISPATCH_ACCESSES_PER_SEC {
+            eprintln!(
+                "FAIL: block dispatch {dispatch_aps:.0} below the {MIN_DISPATCH_ACCESSES_PER_SEC:.0} accesses/sec floor"
             );
             failed = true;
         }

@@ -120,8 +120,14 @@ impl MayaCache {
         let index = IndexFunction::from_seed(config.seed, config.skews, config.sets_per_skew)
             .with_memo(DEFAULT_MEMO_SLOTS);
         let data_entries = config.data_entries();
+        let mut arena = TagArena::new(config.tag_entries(), data_entries);
+        // Presence filter sized at ~8 slots per tag entry: under full
+        // occupancy a random absent line sees a zero counter (a proven
+        // miss, skipping index derivation and both skews' key lines)
+        // roughly 9 times out of 10.
+        arena.enable_presence((config.tag_entries() * 8).next_power_of_two());
         Self {
-            arena: TagArena::new(config.tag_entries(), data_entries),
+            arena,
             stats: CacheStats::default(),
             rng: SmallRng::seed_from_u64(config.seed ^ 0x6d61_7961),
             probe: ProbeHandle::none(),
@@ -190,6 +196,12 @@ impl MayaCache {
     }
 
     fn find(&self, line: u64, domain: DomainId) -> Option<usize> {
+        // A zero presence counter proves no valid entry holds `line` (in
+        // any domain): miss with one filter touch instead of deriving the
+        // indices and scanning a random key-lane line per skew.
+        if !self.arena.maybe_present(line) {
+            return None;
+        }
         let ways = self.config.ways_per_skew();
         let mut sets_buf = [0usize; MAX_SKEWS];
         let sets = &mut sets_buf[..self.config.skews];
@@ -245,7 +257,7 @@ impl MayaCache {
     fn global_data_eviction(&mut self, requester: DomainId, wb: &mut Writebacks) {
         let _repl = self.profiler.span(Component::Replacement);
         let d = self.arena.allocated[self.rng.gen_range(0..self.arena.allocated.len())];
-        let tag_idx = self.arena.rptr[d as usize] as usize;
+        let tag_idx = self.arena.rptr(d as usize) as usize;
         let state = self.state(tag_idx);
         let reused = self.reused(tag_idx);
         debug_assert!(state.has_data());
@@ -663,6 +675,7 @@ impl CacheModel for MayaCache {
     }
 
     fn audit(&self) -> Result<(), String> {
+        self.arena.audit_presence()?;
         let mut p0 = 0usize;
         let mut p1 = 0usize;
         for i in 0..self.arena.tag_entries() {
@@ -713,13 +726,13 @@ impl CacheModel for MayaCache {
                 TagState::Priority1Clean | TagState::Priority1Dirty => {
                     p1 += 1;
                     let d = fptr as usize;
-                    if d >= self.arena.rptr.len() {
+                    if d >= self.arena.data_entries() {
                         return Err(format!("tag {i}: fptr {d} out of range"));
                     }
-                    if self.arena.rptr[d] as usize != i {
+                    if self.arena.rptr(d) as usize != i {
                         return Err(format!(
                             "tag {i}: fptr/rptr mismatch (rptr[{d}] = {})",
-                            self.arena.rptr[d]
+                            self.arena.rptr(d)
                         ));
                     }
                     if p0_pos != NONE {
@@ -762,13 +775,13 @@ impl CacheModel for MayaCache {
         for (pos, &d) in self.arena.allocated.iter().enumerate() {
             let d = d as usize;
             on_list[d] += 1;
-            if self.arena.data_pos[d] as usize != pos {
+            if self.arena.data_pos(d) as usize != pos {
                 return Err(format!(
                     "allocated[{pos}] = data {d} but data_pos[{d}] = {}",
-                    self.arena.data_pos[d]
+                    self.arena.data_pos(d)
                 ));
             }
-            let t = self.arena.rptr[d];
+            let t = self.arena.rptr(d);
             if t == NONE {
                 return Err(format!("allocated data {d} has no owning tag"));
             }
@@ -782,16 +795,10 @@ impl CacheModel for MayaCache {
         self.arena.free_for_each(|d| {
             let d = d as usize;
             on_list[d] += 1;
-            if self.arena.rptr[d] != NONE {
+            if self.arena.rptr(d) != NONE {
                 return Err(format!(
                     "free data {d} still has rptr {}",
-                    self.arena.rptr[d]
-                ));
-            }
-            if self.arena.data_pos[d] != NONE {
-                return Err(format!(
-                    "free data {d} still has data_pos {}",
-                    self.arena.data_pos[d]
+                    self.arena.rptr(d)
                 ));
             }
             Ok(())
@@ -812,7 +819,7 @@ impl CacheModel for MayaCache {
             FaultKind::PriorityFlip => {
                 if !self.arena.allocated.is_empty() {
                     let d = self.arena.allocated[rng.gen_range(0..self.arena.allocated.len())];
-                    let i = self.arena.rptr[d as usize] as usize;
+                    let i = self.arena.rptr(d as usize) as usize;
                     // Flip P1 -> P0 leaving the forward pointer behind: the
                     // entry now claims to be tag-only while still owning data.
                     let m = (self.arena.meta(i) & meta::REUSED) | meta::VALID;
@@ -831,7 +838,7 @@ impl CacheModel for MayaCache {
             FaultKind::ValidDrop => {
                 let i = if !self.arena.allocated.is_empty() {
                     let d = self.arena.allocated[rng.gen_range(0..self.arena.allocated.len())];
-                    self.arena.rptr[d as usize] as usize
+                    self.arena.rptr(d as usize) as usize
                 } else if !self.arena.p0_list.is_empty() {
                     self.arena.p0_list[rng.gen_range(0..self.arena.p0_list.len())] as usize
                 } else {
@@ -846,7 +853,7 @@ impl CacheModel for MayaCache {
                     return None;
                 }
                 let d = self.arena.allocated[rng.gen_range(0..self.arena.allocated.len())];
-                let i = self.arena.rptr[d as usize] as usize;
+                let i = self.arena.rptr(d as usize) as usize;
                 let s = self.state(i);
                 self.arena.meta_xor(i, meta::DIRTY);
                 Some(format!("tag {i}: dirty bit flipped from {s:?}"))
@@ -856,7 +863,7 @@ impl CacheModel for MayaCache {
                     return None;
                 }
                 let d = self.arena.allocated[rng.gen_range(0..self.arena.allocated.len())];
-                let i = self.arena.rptr[d as usize] as usize;
+                let i = self.arena.rptr(d as usize) as usize;
                 let n = self.config.data_entries() as u32;
                 let bad = (self.arena.fptr(i) + 1) % n;
                 self.arena.set_fptr(i, bad);
@@ -865,7 +872,7 @@ impl CacheModel for MayaCache {
             FaultKind::TagBit => {
                 let i = if !self.arena.allocated.is_empty() {
                     let d = self.arena.allocated[rng.gen_range(0..self.arena.allocated.len())];
-                    self.arena.rptr[d as usize] as usize
+                    self.arena.rptr(d as usize) as usize
                 } else if !self.arena.p0_list.is_empty() {
                     self.arena.p0_list[rng.gen_range(0..self.arena.p0_list.len())] as usize
                 } else {
@@ -967,13 +974,11 @@ impl CacheModel for MayaCache {
         }
         // Rebuild the data-store bookkeeping from the surviving claims.
         self.arena.allocated.clear();
-        self.arena.rptr.fill(NONE);
-        self.arena.data_pos.fill(NONE);
         for (d, &t) in claimed.iter().enumerate() {
             if t != NONE {
-                self.arena.rptr[d] = t;
-                self.arena.data_pos[d] = self.arena.allocated.len() as u32;
-                self.arena.allocated.push(d as u32);
+                self.arena.slot_adopt(d, t);
+            } else {
+                self.arena.slot_clear(d);
             }
         }
         self.arena.rebuild_free_ascending(|d| claimed[d] == NONE);

@@ -278,7 +278,7 @@ impl MirageCache {
     fn global_eviction(&mut self, requester: DomainId, wb: &mut Writebacks) {
         let _repl = self.profiler.span(Component::Replacement);
         let victim_data = self.arena.allocated[self.rng.gen_range(0..self.arena.allocated.len())];
-        let tag_idx = self.arena.rptr[victim_data as usize] as usize;
+        let tag_idx = self.arena.rptr(victim_data as usize) as usize;
         self.evict_tag(tag_idx, requester, EvictionCause::GlobalData, wb);
         self.stats.global_data_evictions += 1;
     }
@@ -468,13 +468,13 @@ impl CacheModel for MirageCache {
                 ));
             }
             let d = self.arena.fptr(i) as usize;
-            if d >= self.arena.rptr.len() {
+            if d >= self.arena.data_entries() {
                 return Err(format!("tag {i}: fptr {d} out of range"));
             }
-            if self.arena.rptr[d] as usize != i {
+            if self.arena.rptr(d) as usize != i {
                 return Err(format!(
                     "tag {i}: fptr/rptr mismatch (rptr[{d}] = {})",
-                    self.arena.rptr[d]
+                    self.arena.rptr(d)
                 ));
             }
         }
@@ -499,13 +499,13 @@ impl CacheModel for MirageCache {
         for (pos, &d) in self.arena.allocated.iter().enumerate() {
             let d = d as usize;
             on_list[d] += 1;
-            if self.arena.data_pos[d] as usize != pos {
+            if self.arena.data_pos(d) as usize != pos {
                 return Err(format!(
                     "allocated[{pos}] = data {d} but data_pos[{d}] = {}",
-                    self.arena.data_pos[d]
+                    self.arena.data_pos(d)
                 ));
             }
-            let t = self.arena.rptr[d];
+            let t = self.arena.rptr(d);
             if t == NONE {
                 return Err(format!("allocated data {d} has no owning tag"));
             }
@@ -522,16 +522,10 @@ impl CacheModel for MirageCache {
         self.arena.free_for_each(|d| {
             let d = d as usize;
             on_list[d] += 1;
-            if self.arena.rptr[d] != NONE {
+            if self.arena.rptr(d) != NONE {
                 return Err(format!(
                     "free data {d} still has rptr {}",
-                    self.arena.rptr[d]
-                ));
-            }
-            if self.arena.data_pos[d] != NONE {
-                return Err(format!(
-                    "free data {d} still has data_pos {}",
-                    self.arena.data_pos[d]
+                    self.arena.rptr(d)
                 ));
             }
             Ok(())
@@ -556,7 +550,7 @@ impl CacheModel for MirageCache {
                     return None;
                 }
                 let d = self.arena.allocated[rng.gen_range(0..self.arena.allocated.len())];
-                let i = self.arena.rptr[d as usize] as usize;
+                let i = self.arena.rptr(d as usize) as usize;
                 // Clear the valid bit without releasing the data entry.
                 self.arena.meta_and(i, !meta::VALID);
                 Some(format!("tag {i}: valid bit dropped, data {d} leaked"))
@@ -566,7 +560,7 @@ impl CacheModel for MirageCache {
                     return None;
                 }
                 let d = self.arena.allocated[rng.gen_range(0..self.arena.allocated.len())];
-                let i = self.arena.rptr[d as usize] as usize;
+                let i = self.arena.rptr(d as usize) as usize;
                 self.arena.meta_xor(i, meta::DIRTY);
                 Some(format!("tag {i}: dirty bit flipped"))
             }
@@ -575,7 +569,7 @@ impl CacheModel for MirageCache {
                     return None;
                 }
                 let d = self.arena.allocated[rng.gen_range(0..self.arena.allocated.len())];
-                let i = self.arena.rptr[d as usize] as usize;
+                let i = self.arena.rptr(d as usize) as usize;
                 let n = self.config.data_entries() as u32;
                 let bad = (self.arena.fptr(i) + 1) % n;
                 self.arena.set_fptr(i, bad);
@@ -586,7 +580,7 @@ impl CacheModel for MirageCache {
                     return None;
                 }
                 let d = self.arena.allocated[rng.gen_range(0..self.arena.allocated.len())];
-                let i = self.arena.rptr[d as usize] as usize;
+                let i = self.arena.rptr(d as usize) as usize;
                 let (skew, set) = self.home_of(i);
                 let start = rng.gen_range(0..48u32);
                 // Pick a stuck-at bit that actually moves the entry out of
@@ -646,13 +640,11 @@ impl CacheModel for MirageCache {
         }
         // Rebuild the data-store bookkeeping from the surviving claims.
         self.arena.allocated.clear();
-        self.arena.rptr.fill(NONE);
-        self.arena.data_pos.fill(NONE);
         for (d, &t) in claimed.iter().enumerate() {
             if t != NONE {
-                self.arena.rptr[d] = t;
-                self.arena.data_pos[d] = self.arena.allocated.len() as u32;
-                self.arena.allocated.push(d as u32);
+                self.arena.slot_adopt(d, t);
+            } else {
+                self.arena.slot_clear(d);
             }
         }
         self.arena.rebuild_free_ascending(|d| claimed[d] == NONE);

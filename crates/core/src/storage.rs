@@ -76,8 +76,7 @@ pub(crate) mod key {
 /// tag entry i:   key[i]  (u32: [filt | meta | sdid], see [`key`])
 ///                tag[i]  (u64, line address)
 ///                links[i] (u64: [fptr (hi 32) | p0_pos (lo 32)])
-/// data entry d:  rptr[d] (u32, -> tag entry)  free_next[d] (u32)
-///                data_pos[d] (u32, back-index into `allocated`)
+/// data entry d:  dslot[d] (u64: [rptr (u32) | pos-or-free-link (u32)])
 /// ```
 ///
 /// * The `key` lane packs everything a way scan filters on into 4
@@ -112,22 +111,55 @@ pub(crate) struct TagArena {
     links: Vec<u64>,
     /// Priority-0 tag indices, dense for O(1) uniform sampling (Maya).
     pub p0_list: Vec<u32>,
-    /// Reverse pointer per data entry: owning tag index, or `NONE`.
-    pub rptr: Vec<u32>,
     /// Allocated data entries, dense for O(1) uniform sampling.
     pub allocated: Vec<u32>,
-    /// Back-index into `allocated` per data entry, or `NONE`.
-    pub data_pos: Vec<u32>,
+    /// Per-data-slot record (see [`DataSlot`]): one 8-byte word per slot,
+    /// so the random-slot bookkeeping of a global eviction or a data
+    /// allocation touches a single cache line where the previous separate
+    /// `rptr`/`data_pos`/`free_next` lanes took three.
+    dslot: Vec<DataSlot>,
     /// Head of the intrusive free list (`NONE` when exhausted).
     free_head: u32,
-    /// Next-free link per data entry (live only while the entry is free).
-    free_next: Vec<u32>,
     /// Number of entries on the free list.
     free_len: usize,
+    /// Optional counting presence filter over valid lines (empty when
+    /// disabled). `presence[slot(line)]` counts valid tag entries whose
+    /// line hashes to that slot, so a zero slot *proves* the line is
+    /// absent and a lookup can miss with one touch of this lane instead
+    /// of one random key-lane line per skew plus the index derivation.
+    /// Counters saturate sticky at 255 (never decremented again), so
+    /// saturation can only add false "maybe present" — never a false
+    /// absent. Maintained inside the lane mutators; every validity or
+    /// tag change flows through them, which `audit_presence` verifies.
+    presence: Vec<u8>,
+    /// `presence.len() - 1` (slot mask; slot count is a power of two).
+    presence_mask: usize,
 }
 
 /// Both halves of a `links` word set to [`NONE`].
 const LINKS_NONE: u64 = u64::MAX;
+
+/// Packed per-data-slot bookkeeping: the reverse pointer plus a dual-use
+/// link word in 8 bytes.
+///
+/// `link` holds the back-index into `allocated` while the slot is
+/// allocated and the next free-list pointer while it is free — the two
+/// lifetimes are disjoint (the old `data_pos` lane was `NONE` exactly
+/// when `free_next` was live and vice versa), so the previously separate
+/// lanes collapse into one word with no loss of state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DataSlot {
+    /// Owning tag index while allocated; `NONE` while free.
+    rptr: u32,
+    /// Back-index into `allocated` (allocated) or next free link (free).
+    link: u32,
+}
+
+/// An unbound data slot (no owner, no links).
+const SLOT_NONE: DataSlot = DataSlot {
+    rptr: NONE,
+    link: NONE,
+};
 
 impl TagArena {
     /// An arena for `tag_entries` tags over `data_entries` data slots, all
@@ -140,15 +172,96 @@ impl TagArena {
             tag: vec![0; tag_entries],
             links: vec![LINKS_NONE; tag_entries],
             p0_list: Vec::new(),
-            rptr: vec![NONE; data_entries],
             allocated: Vec::with_capacity(data_entries),
-            data_pos: vec![NONE; data_entries],
+            dslot: vec![SLOT_NONE; data_entries],
             free_head: NONE,
-            free_next: vec![NONE; data_entries],
             free_len: 0,
+            presence: Vec::new(),
+            presence_mask: 0,
         };
         a.rebuild_free_ascending(|_| true);
         a
+    }
+
+    /// Enables the counting presence filter with `slots` counters (power
+    /// of two), rebuilding it from the arena's current valid entries.
+    /// Purely an access-path accelerator: lookups behave identically with
+    /// or without it.
+    pub fn enable_presence(&mut self, slots: usize) {
+        assert!(slots.is_power_of_two(), "presence slots must be 2^k");
+        self.presence = vec![0; slots];
+        self.presence_mask = slots - 1;
+        for i in 0..self.key.len() {
+            if self.key[i] & key::VALID != 0 {
+                self.presence_inc(self.tag[i]);
+            }
+        }
+    }
+
+    /// Presence-filter slot for `line`: a second multiplicative hash,
+    /// drawing different bits than the key lane's filter byte so the two
+    /// reject independently.
+    #[inline]
+    fn pslot(&self, line: u64) -> usize {
+        ((line.wrapping_mul(0xd6e8_feb8_6659_fd93) >> 30) as usize) & self.presence_mask
+    }
+
+    #[inline]
+    fn presence_inc(&mut self, line: u64) {
+        if self.presence.is_empty() {
+            return;
+        }
+        let s = self.pslot(line);
+        // Sticky saturation: a counter that ever reaches 255 is pinned
+        // there (decrements skip it too), so overflow degrades precision,
+        // never correctness.
+        self.presence[s] = self.presence[s].saturating_add(1);
+    }
+
+    #[inline]
+    fn presence_dec(&mut self, line: u64) {
+        if self.presence.is_empty() {
+            return;
+        }
+        let s = self.pslot(line);
+        if self.presence[s] != u8::MAX {
+            self.presence[s] -= 1;
+        }
+    }
+
+    /// False only when the filter *proves* no valid entry holds `line`
+    /// (always true while the filter is disabled).
+    #[inline]
+    pub fn maybe_present(&self, line: u64) -> bool {
+        self.presence.is_empty() || self.presence[self.pslot(line)] != 0
+    }
+
+    /// Verifies the presence filter against a ground-truth recount; part
+    /// of the structural audit, catching any validity transition that
+    /// bypassed the counting hooks.
+    pub fn audit_presence(&self) -> Result<(), String> {
+        if self.presence.is_empty() {
+            return Ok(());
+        }
+        let mut expect = vec![0u64; self.presence.len()];
+        for i in 0..self.key.len() {
+            if self.key[i] & key::VALID != 0 {
+                expect[self.pslot(self.tag[i])] += 1;
+            }
+        }
+        for (s, (&have, &want)) in self.presence.iter().zip(expect.iter()).enumerate() {
+            if have == u8::MAX {
+                // A sticky-saturated counter may overcount, never under;
+                // its exact value is unverifiable by recount.
+                continue;
+            }
+            if u64::from(have) != want {
+                return Err(format!(
+                    "presence filter slot {s} holds {have} but {want} valid lines hash there"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Number of tag entries.
@@ -158,7 +271,35 @@ impl TagArena {
 
     /// Number of data slots (free + allocated).
     pub fn data_entries(&self) -> usize {
-        self.rptr.len()
+        self.dslot.len()
+    }
+
+    /// The owning tag index of data slot `d` (`NONE` while free).
+    #[inline]
+    pub fn rptr(&self, d: usize) -> u32 {
+        self.dslot[d].rptr
+    }
+
+    /// The back-index of *allocated* data slot `d` into `allocated`.
+    /// While `d` is free this word holds its free-list link instead.
+    #[inline]
+    pub fn data_pos(&self, d: usize) -> u32 {
+        self.dslot[d].link
+    }
+
+    /// Rebinds data slot `d` to tag `t` at the tail of `allocated`
+    /// (quarantine rebuild; the free list is relinked separately).
+    pub fn slot_adopt(&mut self, d: usize, t: u32) {
+        self.dslot[d] = DataSlot {
+            rptr: t,
+            link: self.allocated.len() as u32,
+        };
+        self.allocated.push(d as u32);
+    }
+
+    /// Clears data slot `d`'s record (quarantine rebuild).
+    pub fn slot_clear(&mut self, d: usize) {
+        self.dslot[d] = SLOT_NONE;
     }
 
     /// Resets every tag to invalid and every data slot to free, relinking
@@ -166,10 +307,10 @@ impl TagArena {
     /// `flush_all` rebuild; touches no RNG.
     pub fn reset(&mut self) {
         self.key.fill(0);
+        self.presence.fill(0);
         self.links.fill(LINKS_NONE);
         self.p0_list.clear();
-        self.rptr.fill(NONE);
-        self.data_pos.fill(NONE);
+        self.dslot.fill(SLOT_NONE);
         self.allocated.clear();
         self.rebuild_free_ascending(|_| true);
     }
@@ -197,24 +338,48 @@ impl TagArena {
     /// Replaces the meta byte of tag entry `i` (filter and sdid unchanged).
     #[inline]
     pub fn set_meta(&mut self, i: usize, m: u8) {
+        let was = self.key[i] & key::VALID != 0;
+        let now = m & meta::VALID != 0;
+        if was != now {
+            let line = self.tag[i];
+            if now {
+                self.presence_inc(line);
+            } else {
+                self.presence_dec(line);
+            }
+        }
         self.key[i] = (self.key[i] & !key::META_MASK) | ((m as u32) << key::META_SHIFT);
     }
 
     /// ORs `bits` into the meta byte of tag entry `i`.
     #[inline]
     pub fn meta_or(&mut self, i: usize, bits: u8) {
+        if bits & meta::VALID != 0 && self.key[i] & key::VALID == 0 {
+            self.presence_inc(self.tag[i]);
+        }
         self.key[i] |= (bits as u32) << key::META_SHIFT;
     }
 
     /// ANDs the meta byte of tag entry `i` with `mask`.
     #[inline]
     pub fn meta_and(&mut self, i: usize, mask: u8) {
+        if mask & meta::VALID == 0 && self.key[i] & key::VALID != 0 {
+            self.presence_dec(self.tag[i]);
+        }
         self.key[i] &= ((mask as u32) << key::META_SHIFT) | !key::META_MASK;
     }
 
     /// XORs `bits` into the meta byte of tag entry `i`.
     #[inline]
     pub fn meta_xor(&mut self, i: usize, bits: u8) {
+        if bits & meta::VALID != 0 {
+            let line = self.tag[i];
+            if self.key[i] & key::VALID != 0 {
+                self.presence_dec(line);
+            } else {
+                self.presence_inc(line);
+            }
+        }
         self.key[i] ^= (bits as u32) << key::META_SHIFT;
     }
 
@@ -241,6 +406,10 @@ impl TagArena {
     /// through here.
     #[inline]
     pub fn set_tag(&mut self, i: usize, line: u64) {
+        if self.key[i] & key::VALID != 0 {
+            self.presence_dec(self.tag[i]);
+            self.presence_inc(line);
+        }
         self.tag[i] = line;
         self.key[i] = (self.key[i] & !key::FILT_MASK) | Self::filt(line);
     }
@@ -249,6 +418,12 @@ impl TagArena {
     /// (no read-modify-write of the key word).
     #[inline]
     pub fn install_tag(&mut self, i: usize, line: u64, m: u8, sdid: u16) {
+        if self.key[i] & key::VALID != 0 {
+            self.presence_dec(self.tag[i]);
+        }
+        if m & meta::VALID != 0 {
+            self.presence_inc(line);
+        }
         self.tag[i] = line;
         self.key[i] = Self::filt(line) | ((m as u32) << key::META_SHIFT) | sdid as u32;
     }
@@ -302,15 +477,15 @@ impl TagArena {
             return None;
         }
         let d = self.free_head;
-        self.free_head = self.free_next[d as usize];
-        self.free_next[d as usize] = NONE;
+        self.free_head = self.dslot[d as usize].link;
+        self.dslot[d as usize].link = NONE;
         self.free_len -= 1;
         Some(d)
     }
 
     /// Pushes `d` at the head of the free list (LIFO).
     pub fn free_push(&mut self, d: u32) {
-        self.free_next[d as usize] = self.free_head;
+        self.dslot[d as usize].link = self.free_head;
         self.free_head = d;
         self.free_len += 1;
     }
@@ -322,17 +497,18 @@ impl TagArena {
         self.free_head = NONE;
         self.free_len = 0;
         let mut tail = NONE;
-        for d in 0..self.rptr.len() {
+        for d in 0..self.dslot.len() {
             if !is_free(d) {
-                self.free_next[d] = NONE;
+                // An allocated slot's link word is its live back-index —
+                // leave it alone.
                 continue;
             }
             if tail == NONE {
                 self.free_head = d as u32;
             } else {
-                self.free_next[tail as usize] = d as u32;
+                self.dslot[tail as usize].link = d as u32;
             }
-            self.free_next[d] = NONE;
+            self.dslot[d].link = NONE;
             tail = d as u32;
             self.free_len += 1;
         }
@@ -348,15 +524,15 @@ impl TagArena {
         let mut seen = 0usize;
         let mut d = self.free_head;
         while d != NONE {
-            if seen >= self.rptr.len() {
+            if seen >= self.dslot.len() {
                 return Err(format!(
                     "free list cycles: walked {seen} links with only {} data entries",
-                    self.rptr.len()
+                    self.dslot.len()
                 ));
             }
             f(d)?;
             seen += 1;
-            d = self.free_next[d as usize];
+            d = self.dslot[d as usize].link;
         }
         if seen != self.free_len {
             return Err(format!(
@@ -374,8 +550,10 @@ impl TagArena {
     /// injection, left for `audit()` to flag) and appends to `allocated`.
     pub fn data_alloc(&mut self, tag_idx: usize) -> u32 {
         let d = self.free_pop().unwrap_or(0);
-        self.rptr[d as usize] = tag_idx as u32;
-        self.data_pos[d as usize] = self.allocated.len() as u32;
+        self.dslot[d as usize] = DataSlot {
+            rptr: tag_idx as u32,
+            link: self.allocated.len() as u32,
+        };
         self.allocated.push(d);
         d
     }
@@ -385,16 +563,15 @@ impl TagArena {
     /// touching anything when `allocated` is empty — a double free,
     /// reachable only under fault injection.
     pub fn data_free(&mut self, d: u32) -> bool {
-        let pos = self.data_pos[d as usize] as usize;
+        let pos = self.dslot[d as usize].link as usize;
         let Some(&last) = self.allocated.last() else {
             return false;
         };
         self.allocated.swap_remove(pos);
         if pos < self.allocated.len() {
-            self.data_pos[last as usize] = pos as u32;
+            self.dslot[last as usize].link = pos as u32;
         }
-        self.data_pos[d as usize] = NONE;
-        self.rptr[d as usize] = NONE;
+        self.dslot[d as usize].rptr = NONE;
         self.free_push(d);
         true
     }

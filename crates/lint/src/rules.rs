@@ -171,7 +171,11 @@ pub const HOT_ROOTS: &[&str] = &[
 /// demand path. Narrower than [`HOT_ROOTS`] on purpose — flush, audit
 /// and repair paths run at epoch granularity and may allocate scratch
 /// state; `access`/`probe` run once per memory reference and must not.
-pub const ALLOC_ROOTS: &[&str] = &["access", "probe"];
+/// `fill_block` is the batched front-end entry point: it runs once per
+/// `BLOCK_ACCESSES`-sized block, but the generators' per-access mixture
+/// arithmetic lives inside it, so an allocation there is still paid
+/// millions of times per run.
+pub const ALLOC_ROOTS: &[&str] = &["access", "probe", "fill_block"];
 
 /// Everything a per-file rule needs to know.
 pub struct FileCtx<'a> {

@@ -47,11 +47,13 @@ mod config;
 mod dram;
 mod inflight;
 mod prefetch;
+pub mod private;
 mod stats;
 mod system;
 
 pub use config::{CacheLevelConfig, DramConfig, SystemConfig};
 pub use dram::{Dram, DramFaultCounters, DramFaultPlan};
 pub use prefetch::StridePrefetcher;
+pub use private::{PrivateCache, PrivateResponse};
 pub use stats::{weighted_speedup, CoreResult, RunResult};
 pub use system::System;

@@ -1,0 +1,260 @@
+//! Struct-of-arrays private (L1/L2) cache model.
+//!
+//! The per-core L1D and L2 used to be full [`maya_core::baseline`]
+//! `SetAssocCache` instances, but the simulator observes only three things
+//! from a private level: hit/miss, at most one dirty-victim writeback per
+//! access, and a tag-presence probe. Everything else the baseline tracks —
+//! statistics, reuse bits, domains, probes (never attached at these
+//! levels), replacement-policy generality — is dead weight paid on every
+//! one of the hottest lookups in the simulator (the L1 sees every access,
+//! the L2 every L1 miss and prefetch).
+//!
+//! [`PrivateCache`] keeps exactly the observable state, in the same
+//! struct-of-arrays packed-key layout the LLC's `TagArena` uses: a `u32`
+//! key lane (filter byte + valid/dirty bits) scanned one cache line at a
+//! time with the full tag confirmed only on a filter match, plus parallel
+//! tag and LRU-stamp lanes.
+//!
+//! Behavioral equivalence with `SetAssocCache { Lru, Partitioning::None }`
+//! is bit-exact and pinned by twin tests: same set mapping (`line & mask`),
+//! same first-match way scan, same first-invalid-else-first-minimum-stamp
+//! victim choice, and the same single wrapping LRU clock bumped exactly
+//! once per access.
+
+/// Multiplicative tag-hash filter, identical to `TagArena::filt` so the
+/// two SoA layouts stay directly comparable in microbenchmarks.
+#[inline]
+fn filt(line: u64) -> u32 {
+    (((line.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 56) as u32) << FILT_SHIFT) & FILT_MASK
+}
+
+const FILT_SHIFT: u32 = 24;
+const FILT_MASK: u32 = 0xFF << FILT_SHIFT;
+const VALID: u32 = 1 << 16;
+const DIRTY: u32 = 1 << 17;
+
+/// Outcome of one private-cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrivateResponse {
+    /// True when the line was present.
+    pub hit: bool,
+    /// Dirty victim evicted by the fill, if any (line address).
+    pub writeback: Option<u64>,
+}
+
+/// A set-associative LRU write-back cache holding only simulator-observable
+/// state (see module docs).
+#[derive(Debug, Clone)]
+pub struct PrivateCache {
+    set_mask: u64,
+    ways: usize,
+    /// Packed per-way key: filter byte | dirty | valid.
+    keys: Vec<u32>,
+    tags: Vec<u64>,
+    stamps: Vec<u32>,
+    clock: u32,
+}
+
+impl PrivateCache {
+    /// Creates a cache with `sets` sets (power of two) of `ways` ways.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0);
+        PrivateCache {
+            set_mask: (sets - 1) as u64,
+            ways,
+            keys: vec![0; sets * ways],
+            tags: vec![0; sets * ways],
+            stamps: vec![0; sets * ways],
+            clock: 0,
+        }
+    }
+
+    #[inline]
+    fn base(&self, line: u64) -> usize {
+        ((line & self.set_mask) as usize) * self.ways
+    }
+
+    /// First way in the set holding `line`, if present.
+    #[inline]
+    fn find(&self, base: usize, line: u64) -> Option<usize> {
+        let want = filt(line) | VALID;
+        const MASK: u32 = FILT_MASK | VALID;
+        (base..base + self.ways).find(|&i| self.keys[i] & MASK == want && self.tags[i] == line)
+    }
+
+    /// True when `line` is present (no LRU update).
+    #[inline]
+    pub fn probe(&self, line: u64) -> bool {
+        self.find(self.base(line), line).is_some()
+    }
+
+    /// Demand read: LRU-touch on hit, LRU fill on miss.
+    #[inline]
+    pub fn read(&mut self, line: u64) -> PrivateResponse {
+        self.access(line, false)
+    }
+
+    /// Writeback from the level above: marks dirty on hit, installs dirty
+    /// on miss.
+    #[inline]
+    pub fn write(&mut self, line: u64) -> PrivateResponse {
+        self.access(line, true)
+    }
+
+    #[inline]
+    fn access(&mut self, line: u64, is_write: bool) -> PrivateResponse {
+        let base = self.base(line);
+        if let Some(i) = self.find(base, line) {
+            if is_write {
+                self.keys[i] |= DIRTY;
+            }
+            self.clock = self.clock.wrapping_add(1);
+            self.stamps[i] = self.clock;
+            return PrivateResponse {
+                hit: true,
+                writeback: None,
+            };
+        }
+        // Fill: first invalid way, else first-minimum LRU stamp — the
+        // same scan order and tie-break as `ReplacementState::choose_victim`.
+        let mut slot = None;
+        for i in base..base + self.ways {
+            if self.keys[i] & VALID == 0 {
+                slot = Some(i);
+                break;
+            }
+        }
+        let (i, writeback) = match slot {
+            Some(i) => (i, None),
+            None => {
+                let mut victim = base;
+                for i in base + 1..base + self.ways {
+                    if self.stamps[i] < self.stamps[victim] {
+                        victim = i;
+                    }
+                }
+                let wb = (self.keys[victim] & DIRTY != 0).then_some(self.tags[victim]);
+                (victim, wb)
+            }
+        };
+        self.keys[i] = filt(line) | VALID | if is_write { DIRTY } else { 0 };
+        self.tags[i] = line;
+        self.clock = self.clock.wrapping_add(1);
+        self.stamps[i] = self.clock;
+        PrivateResponse {
+            hit: false,
+            writeback,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maya_core::{
+        AccessKind, CacheModel, DomainId, Policy, Request, SetAssocCache, SetAssocConfig,
+    };
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Drives the lean cache and the full baseline with one stream and
+    /// asserts every observable (hit, writeback set, probe) matches.
+    fn twin_run(sets: usize, ways: usize, accesses: usize, seed: u64, footprint: u64) {
+        let mut lean = PrivateCache::new(sets, ways);
+        let mut full = SetAssocCache::new(SetAssocConfig::new(sets, ways, Policy::Lru));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for n in 0..accesses {
+            let line = rng.gen_range(0..footprint);
+            let is_write = rng.gen_bool(0.3);
+            let lean_r = if is_write {
+                lean.write(line)
+            } else {
+                lean.read(line)
+            };
+            let kind = if is_write {
+                AccessKind::Writeback
+            } else {
+                AccessKind::Read
+            };
+            let full_r = full.access(Request {
+                line,
+                kind,
+                domain: DomainId::ANY,
+            });
+            assert_eq!(
+                lean_r.hit,
+                full_r.is_data_hit(),
+                "hit divergence at access {n} (line {line:#x}, write {is_write})"
+            );
+            let full_wb: Vec<u64> = full_r.writebacks.iter().collect();
+            let lean_wb: Vec<u64> = lean_r.writeback.into_iter().collect();
+            assert_eq!(lean_wb, full_wb, "writeback divergence at access {n}");
+            let probe_line = rng.gen_range(0..footprint);
+            assert_eq!(
+                lean.probe(probe_line),
+                full.probe(probe_line, DomainId::ANY),
+                "probe divergence at access {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn twin_of_baseline_at_l1_geometry() {
+        twin_run(64, 12, 40_000, 0xA11D, 6_000);
+    }
+
+    #[test]
+    fn twin_of_baseline_at_l2_geometry() {
+        twin_run(1024, 8, 60_000, 0x12DE, 60_000);
+    }
+
+    #[test]
+    fn twin_of_baseline_tiny_thrashing_set() {
+        // 1 set × 2 ways with a footprint of 5 lines exercises the victim
+        // tie-break and dirty-writeback path constantly.
+        twin_run(1, 2, 20_000, 7, 5);
+    }
+
+    #[test]
+    fn clock_wraparound_does_not_break_hits() {
+        // The baseline's LRU clock wraps identically at the same count (both
+        // tick exactly once per access from zero), so aligned-clock twin
+        // equivalence covers wrap semantics; here we only smoke-test that a
+        // wrapping clock keeps the cache functional.
+        let mut lean = PrivateCache::new(4, 2);
+        lean.clock = u32::MAX - 16;
+        for line in 0..64u64 {
+            let _ = lean.read(line);
+            assert!(lean.read(line).hit, "re-read of {line} must hit");
+        }
+    }
+
+    #[test]
+    fn writeback_miss_installs_dirty() {
+        let mut c = PrivateCache::new(1, 1);
+        assert_eq!(
+            c.write(3),
+            PrivateResponse {
+                hit: false,
+                writeback: None
+            }
+        );
+        // Evicting the dirty line surfaces it as a writeback.
+        assert_eq!(
+            c.read(9),
+            PrivateResponse {
+                hit: false,
+                writeback: Some(3)
+            }
+        );
+        // A clean victim does not.
+        assert_eq!(
+            c.read(3),
+            PrivateResponse {
+                hit: false,
+                writeback: None
+            }
+        );
+    }
+}

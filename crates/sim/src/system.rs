@@ -1,35 +1,94 @@
 //! The multi-core system: cores with ROB/MSHR-limited memory-level
 //! parallelism, private L1D/L2, a shared pluggable LLC, and shared DRAM.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-use maya_core::{AccessKind, CacheModel, DomainId, Policy, Request, SetAssocCache, SetAssocConfig};
+use maya_core::{AccessKind, CacheModel, DomainId, Request};
 use maya_obs::{Component, EventKind, ProbeHandle, ProfileHandle};
+use workloads::block::BLOCK_ACCESSES;
 use workloads::mixes::Mix;
-use workloads::spec::SyntheticTrace;
-use workloads::TraceGenerator;
+use workloads::{Access, TraceGenerator};
 
 use crate::config::SystemConfig;
 use crate::dram::Dram;
 use crate::inflight::InflightTable;
 use crate::prefetch::StridePrefetcher;
+use crate::private::PrivateCache;
 use crate::stats::{CoreResult, RunResult};
 
+/// MSHR occupancy window: completion times of in-flight misses.
+///
+/// Only multiset semantics are observable — take the minimum when the
+/// window is full, retire everything due, report the maximum at drain —
+/// so a flat unordered vector (≤ `mlp` entries, one or two cache lines)
+/// with linear scans replaces the `BinaryHeap` the hot loop used to sift
+/// on every miss. Equal completion times are indistinguishable (`u64`),
+/// so scan order cannot leak into results.
+#[derive(Default)]
+struct MshrWindow {
+    slots: Vec<u64>,
+}
+
+impl MshrWindow {
+    #[inline]
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn push(&mut self, completion: u64) {
+        self.slots.push(completion);
+    }
+
+    /// Removes and returns the earliest completion, if any.
+    #[inline]
+    fn pop_min(&mut self) -> Option<u64> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mut min = 0;
+        for i in 1..self.slots.len() {
+            if self.slots[i] < self.slots[min] {
+                min = i;
+            }
+        }
+        Some(self.slots.swap_remove(min))
+    }
+
+    /// Retires every miss whose completion is at or before `now`.
+    #[inline]
+    fn retire_through(&mut self, now: u64) {
+        self.slots.retain(|&c| c > now);
+    }
+
+    /// Latest outstanding completion (the end-of-run drain point).
+    #[inline]
+    fn max(&self) -> Option<u64> {
+        self.slots.iter().copied().max()
+    }
+}
+
 /// One simulated core and its private hierarchy.
-#[derive(Debug)]
 struct Core {
-    gen: SyntheticTrace,
+    gen: Box<dyn TraceGenerator>,
+    /// Reusable block buffer the generator fills through one virtual call
+    /// per [`BLOCK_ACCESSES`] accesses instead of one per access. Pulling
+    /// ahead of consumption is transcript-invisible: each core's generator
+    /// RNG is self-contained, so extra draws at the end of a run affect
+    /// nothing observable.
+    block: Vec<Access>,
+    /// Next unconsumed index into `block`.
+    block_pos: usize,
+    /// Trace accesses consumed (for front-end throughput reporting).
+    accesses: u64,
     domain: DomainId,
-    l1d: SetAssocCache,
-    l2: SetAssocCache,
+    l1d: PrivateCache,
+    l2: PrivateCache,
     prefetcher: StridePrefetcher,
     /// Core clock in cycles.
     t: u64,
     /// Residual instructions not yet converted to whole cycles.
     instr_carry: u32,
     /// Completion times of in-flight misses (MSHR occupancy).
-    outstanding: BinaryHeap<Reverse<u64>>,
+    outstanding: MshrWindow,
     /// Completion time of the most recent load (dependence chain head).
     last_load_completion: u64,
     /// Total instructions retired (warm-up + measurement).
@@ -84,25 +143,55 @@ impl System {
             mix.specs.len(),
             config.cores
         );
-        let cores = mix
+        let gens = mix
             .specs
             .iter()
             .enumerate()
-            .map(|(i, spec)| Core {
-                gen: spec.generator(i, seed),
+            .map(|(i, spec)| Box::new(spec.generator(i, seed)) as Box<dyn TraceGenerator>)
+            .collect();
+        Self::with_generators(config, llc, gens)
+    }
+
+    /// Builds a system from explicit per-core trace generators (one per
+    /// configured core, in core order).
+    ///
+    /// This is how experiment grids share one synthesized stream across
+    /// designs: pass replay cursors from `workloads::block::TraceCache`
+    /// instead of fresh generators. The private L1/L2 models draw no
+    /// randomness, so no seed is needed here — determinism rests entirely
+    /// on the generators and the LLC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator count differs from the configuration's
+    /// core count.
+    pub fn with_generators(
+        config: SystemConfig,
+        llc: Box<dyn CacheModel>,
+        gens: Vec<Box<dyn TraceGenerator>>,
+    ) -> Self {
+        assert_eq!(
+            gens.len(),
+            config.cores,
+            "got {} generators but the system is configured for {} cores",
+            gens.len(),
+            config.cores
+        );
+        let cores = gens
+            .into_iter()
+            .enumerate()
+            .map(|(i, gen)| Core {
+                gen,
+                block: Vec::new(),
+                block_pos: 0,
+                accesses: 0,
                 domain: DomainId(i as u16),
-                l1d: SetAssocCache::new(SetAssocConfig {
-                    seed: seed ^ (i as u64) << 8 ^ 0x11,
-                    ..SetAssocConfig::new(config.l1d.sets, config.l1d.ways, Policy::Lru)
-                }),
-                l2: SetAssocCache::new(SetAssocConfig {
-                    seed: seed ^ (i as u64) << 8 ^ 0x22,
-                    ..SetAssocConfig::new(config.l2.sets, config.l2.ways, Policy::Lru)
-                }),
+                l1d: PrivateCache::new(config.l1d.sets, config.l1d.ways),
+                l2: PrivateCache::new(config.l2.sets, config.l2.ways),
                 prefetcher: StridePrefetcher::new(config.prefetch_degree),
                 t: 0,
                 instr_carry: 0,
-                outstanding: BinaryHeap::new(),
+                outstanding: MshrWindow::default(),
                 last_load_completion: 0,
                 retired: 0,
                 inflight_prefetch: InflightTable::with_capacity(4 * 1024),
@@ -121,6 +210,12 @@ impl System {
             profiler: ProfileHandle::none(),
             config,
         }
+    }
+
+    /// Total trace accesses consumed by all cores so far (warm-up and
+    /// measurement; front-end throughput = this over wall time).
+    pub fn trace_accesses(&self) -> u64 {
+        self.cores.iter().map(|c| c.accesses).sum()
     }
 
     /// Immutable access to the LLC (e.g. to inspect design-specific state).
@@ -175,8 +270,40 @@ impl System {
 
     fn run_impl(&mut self, audit_every: Option<u64>) -> RunResult {
         let target = self.config.warmup_instructions + self.config.measure_instructions;
-        let mut steps: u64 = 0;
         let _run = self.profiler.span(Component::Run);
+        // With no probe, no profiler, and no auditing, every per-access
+        // instrumentation call in the dispatch loop is a guaranteed no-op —
+        // take the fused block-drain path that skips them entirely. The two
+        // paths execute the identical schedule and access stream (pinned by
+        // the profiled-vs-bare conservation tests), they differ only in
+        // observation overhead.
+        if self.probe.is_active() || self.profiler.is_active() || audit_every.is_some() {
+            self.run_instrumented(target, audit_every);
+        } else {
+            self.run_fused(target);
+        }
+        let cores = self
+            .cores
+            .iter()
+            .map(|c| {
+                let drain = c.outstanding.max().unwrap_or(c.t);
+                let mut m = c.meas.clone();
+                m.cycles = drain.max(c.t).saturating_sub(c.meas_start_cycle);
+                m
+            })
+            .collect();
+        RunResult {
+            cores,
+            llc: self.llc.stats().clone(),
+            dram: self.dram.counters(),
+            llc_name: self.llc.name(),
+        }
+    }
+
+    /// The observed dispatch loop: one scheduler decision, one profiler
+    /// clock advance, and one `sched`/`core` span boundary per access.
+    fn run_instrumented(&mut self, target: u64, audit_every: Option<u64>) {
+        let mut steps: u64 = 0;
         // The loop alternates between two phase spans via gap-free
         // transitions (one timer sample per boundary), so every cycle of
         // the dispatch loop is attributed to either `sched` or `core` —
@@ -193,7 +320,7 @@ impl System {
                     self.profiler.set_cycle(self.cores[i].t);
                     self.profiler.add_accesses(1);
                     phase = phase.transition(Component::Core);
-                    self.step(i);
+                    self.step::<true>(i);
                     phase = phase.transition(Component::Sched);
                 }
                 None => break,
@@ -212,30 +339,86 @@ impl System {
             }
         }
         drop(phase);
-        let cores = self
-            .cores
-            .iter()
-            .map(|c| {
-                let drain = c.outstanding.iter().map(|r| r.0).max().unwrap_or(c.t);
-                let mut m = c.meas.clone();
-                m.cycles = drain.max(c.t).saturating_sub(c.meas_start_cycle);
-                m
-            })
-            .collect();
-        RunResult {
-            cores,
-            llc: self.llc.stats().clone(),
-            dram: self.dram.counters(),
-            llc_name: self.llc.name(),
+    }
+
+    /// The fused dispatch loop: picks the laggard core once, then drains
+    /// accesses from it for as long as the pick would not change, without
+    /// touching the (inert) probe/profiler handles.
+    ///
+    /// The scheduler's `min_by_key` in [`Self::run_instrumented`] selects
+    /// the *first* core with minimal time, so core `i` remains the pick
+    /// exactly while `t_i` stays strictly below every earlier unfinished
+    /// core's time and not above any later unfinished core's. Both bounds
+    /// are constants during a drain (only core `i`'s clock moves), so the
+    /// inner loop needs only two comparisons per access to reproduce the
+    /// per-access schedule exactly.
+    fn run_fused(&mut self, target: u64) {
+        loop {
+            let mut next: Option<(usize, u64)> = None;
+            for (i, c) in self.cores.iter().enumerate() {
+                if c.retired < target && next.is_none_or(|(_, t)| c.t < t) {
+                    next = Some((i, c.t));
+                }
+            }
+            let Some((i, _)) = next else { break };
+            // Bounds on core i's drain (see doc comment): strict for
+            // earlier cores, non-strict for later ones.
+            let mut before = u64::MAX;
+            let mut after = u64::MAX;
+            for (j, c) in self.cores.iter().enumerate() {
+                if j != i && c.retired < target {
+                    if j < i {
+                        before = before.min(c.t);
+                    } else {
+                        after = after.min(c.t);
+                    }
+                }
+            }
+            loop {
+                self.step::<false>(i);
+                let c = &self.cores[i];
+                if c.retired >= target || c.t >= before || c.t > after {
+                    break;
+                }
+            }
         }
     }
 
+    /// Pulls the next trace record for core `i` from its block buffer,
+    /// refilling the buffer through one `fill_block` virtual call when it
+    /// runs dry.
+    #[inline]
+    fn next_access(&mut self, i: usize) -> Access {
+        let core = &mut self.cores[i];
+        if core.block_pos == core.block.len() {
+            if core.block.is_empty() {
+                const PLACEHOLDER: Access = Access {
+                    addr: 0,
+                    is_write: false,
+                    pc: 0,
+                    gap: 0,
+                    dependent: false,
+                };
+                core.block.resize(BLOCK_ACCESSES, PLACEHOLDER);
+            }
+            core.gen.fill_block(&mut core.block);
+            core.block_pos = 0;
+        }
+        let a = core.block[core.block_pos];
+        core.block_pos = core.block_pos.wrapping_add(1);
+        core.accesses = core.accesses.wrapping_add(1);
+        a
+    }
+
     /// Executes one trace record (gap instructions plus one memory access)
-    /// on core `i`.
-    fn step(&mut self, i: usize) {
-        // The caller (run_impl's phase loop) has already advanced the
+    /// on core `i`. `OBS` gates the per-access probe/profiler calls: the
+    /// fused loop runs with `OBS = false` only when both handles are inert,
+    /// where every gated call is a behavioral no-op — so the two
+    /// instantiations produce identical transcripts.
+    fn step<const OBS: bool>(&mut self, i: usize) {
+        // In the instrumented loop the caller has already advanced the
         // profiler clocks and opened the `core` span for this step.
-        let access = self.cores[i].gen.next_access();
+        let access = self.next_access(i);
         let line = access.addr >> 6;
         {
             let core = &mut self.cores[i];
@@ -256,11 +439,13 @@ impl System {
         // Stamp subsequent events (LLC, DRAM, prefetch) with the stepping
         // core's clock; cores advance in time order, so the stream is
         // near-monotone.
-        self.probe.set_cycle(self.cores[i].t);
-        self.profiler.set_cycle(self.cores[i].t);
-        self.probe.emit_with(|| EventKind::Retire {
-            instructions: access.gap + 1,
-        });
+        if OBS {
+            self.probe.set_cycle(self.cores[i].t);
+            self.profiler.set_cycle(self.cores[i].t);
+            self.probe.emit_with(|| EventKind::Retire {
+                instructions: access.gap + 1,
+            });
+        }
         if access.is_write {
             self.store(i, line, access.pc);
         } else {
@@ -292,15 +477,12 @@ impl System {
         self.cores[i]
             .prefetcher
             .observe_into(pc, line, &mut prefetches);
-        let r1 = self.cores[i].l1d.access(Request::read(line, DomainId::ANY));
+        let r1 = self.cores[i].l1d.read(line);
         let l1_lat = u64::from(self.config.l1d.latency);
-        let latency = if r1.is_data_hit() {
+        let latency = if r1.hit {
             l1_lat
         } else {
-            // `Writebacks` is a tiny Copy buffer: copying it out unties the
-            // response from `self` without collecting into a `Vec`.
-            let l1_victims = r1.writebacks;
-            for v in l1_victims.iter() {
+            if let Some(v) = r1.writeback {
                 self.l2_writeback(i, v);
             }
             l1_lat + self.walk_below_l1(i, line, true)
@@ -309,21 +491,18 @@ impl System {
         if latency > l1_lat {
             // A real miss occupies an MSHR; stall when the window is full.
             if core.outstanding.len() >= self.config.mlp {
-                if let Some(Reverse(free_at)) = core.outstanding.pop() {
+                if let Some(free_at) = core.outstanding.pop_min() {
                     core.t = core.t.max(free_at);
                 }
             }
             let completion = core.t + latency;
-            core.outstanding.push(Reverse(completion));
+            core.outstanding.push(completion);
             core.last_load_completion = completion;
         } else {
             core.last_load_completion = core.t + latency;
         }
         // Retire completed misses from the window.
-        let now = core.t;
-        while matches!(core.outstanding.peek(), Some(&Reverse(c)) if c <= now) {
-            core.outstanding.pop();
-        }
+        core.outstanding.retire_through(core.t);
         self.probe.emit_with(|| EventKind::LoadComplete { latency });
         for &p in prefetches.iter() {
             self.prefetch_fill(i, p);
@@ -343,22 +522,19 @@ impl System {
         self.cores[i]
             .prefetcher
             .observe_into(pc, line, &mut prefetches);
-        let r1 = self.cores[i]
-            .l1d
-            .access(Request::writeback(line, DomainId::ANY));
-        if !r1.is_data_hit() {
-            let l1_victims = r1.writebacks;
-            for v in l1_victims.iter() {
+        let r1 = self.cores[i].l1d.write(line);
+        if !r1.hit {
+            if let Some(v) = r1.writeback {
                 self.l2_writeback(i, v);
             }
             let latency = self.walk_below_l1(i, line, true);
             let core = &mut self.cores[i];
             if core.outstanding.len() >= self.config.mlp {
-                if let Some(Reverse(free_at)) = core.outstanding.pop() {
+                if let Some(free_at) = core.outstanding.pop_min() {
                     core.t = core.t.max(free_at);
                 }
             }
-            core.outstanding.push(Reverse(core.t + latency));
+            core.outstanding.push(core.t + latency);
         }
         for &p in prefetches.iter() {
             self.prefetch_fill(i, p);
@@ -379,9 +555,9 @@ impl System {
         };
         // The L2 treats prefetch fills as ordinary fills (normal insertion
         // priority); prefetch-awareness matters at the shared LLC.
-        let r2 = self.cores[i].l2.access(Request::read(line, DomainId::ANY));
+        let r2 = self.cores[i].l2.read(line);
         let l2_lat = u64::from(self.config.l2.latency);
-        if r2.is_data_hit() {
+        if r2.hit {
             if !demand {
                 return l2_lat;
             }
@@ -415,8 +591,7 @@ impl System {
             return l2_lat;
         }
         self.cores[i].inflight_prefetch.remove(line);
-        let l2_victims = r2.writebacks;
-        for v in l2_victims.iter() {
+        if let Some(v) = r2.writeback {
             self.llc_writeback(i, v);
         }
         if demand && self.cores[i].measuring {
@@ -468,11 +643,8 @@ impl System {
     /// A dirty L1 victim written back into L2 (allocating); L2 victims
     /// cascade to the LLC.
     fn l2_writeback(&mut self, i: usize, line: u64) {
-        let r = self.cores[i]
-            .l2
-            .access(Request::writeback(line, DomainId::ANY));
-        let victims = r.writebacks;
-        for v in victims.iter() {
+        let r = self.cores[i].l2.write(line);
+        if let Some(v) = r.writeback {
             self.llc_writeback(i, v);
         }
     }
@@ -482,9 +654,7 @@ impl System {
     /// and is excluded from demand MPKI. Lines already in L2 or already in
     /// flight are not refetched.
     fn prefetch_fill(&mut self, i: usize, line: u64) {
-        if self.cores[i].l2.probe(line, DomainId::ANY)
-            || self.cores[i].inflight_prefetch.contains(line)
-        {
+        if self.cores[i].l2.probe(line) || self.cores[i].inflight_prefetch.contains(line) {
             return;
         }
         self.probe.emit_with(|| EventKind::PrefetchIssue { line });
@@ -502,7 +672,9 @@ impl System {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use maya_core::{MayaCache, MayaConfig, MirageCache, MirageConfig};
+    use maya_core::{
+        MayaCache, MayaConfig, MirageCache, MirageConfig, Policy, SetAssocCache, SetAssocConfig,
+    };
     use workloads::mixes::homogeneous;
 
     fn small_cfg(cores: usize) -> SystemConfig {

@@ -1,0 +1,292 @@
+//! Block-granular trace replay cache.
+//!
+//! Experiment grids (`diag`, the experiment harness, weighted-speedup
+//! "alone" runs) evaluate several cache designs against the *same*
+//! `(benchmark, core, seed)` access stream. Re-synthesizing that stream
+//! once per design is pure waste: the generators are deterministic, so the
+//! second and later consumers can replay a recorded copy instead of paying
+//! the mixture/RNG arithmetic again.
+//!
+//! [`TraceCache`] records each stream the first time it is pulled and hands
+//! out [`CachedTrace`] replay cursors for every later request with the same
+//! key. A cursor is itself a [`TraceGenerator`], so the simulator cannot
+//! tell a recording from a replay — both paths are pinned byte-identical by
+//! the twin tests in this module and by the layout-equivalence fixtures.
+//!
+//! Memory is bounded: when a *new* `(benchmark, seed)` group arrives while
+//! the cache already buffers more than [`TraceCache::max_buffered`]
+//! accesses, recordings belonging to other groups are dropped (they are
+//! fully regenerable). The cache is thread-local, so parallel sweep jobs
+//! each keep an independent cache and determinism at any `--jobs N` is
+//! untouched.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::spec::{BenchmarkSpec, SyntheticTrace};
+use crate::{Access, TraceGenerator};
+
+/// Number of accesses synthesized per block when a replay cursor runs off
+/// the recorded end of its stream.
+///
+/// 256 accesses × 24 bytes = 6 KB per extension: large enough to amortize
+/// the virtual call and RNG setup, small enough that over-synthesis past
+/// the last consumer's position stays negligible.
+pub const BLOCK_ACCESSES: usize = 256;
+
+const PLACEHOLDER: Access = Access {
+    addr: 0,
+    is_write: false,
+    pc: 0,
+    gap: 0,
+    dependent: false,
+};
+
+/// A recorded stream: the live generator plus everything it has produced.
+struct Recorded {
+    gen: SyntheticTrace,
+    buf: Vec<Access>,
+}
+
+impl Recorded {
+    /// Ensures at least `need` accesses are recorded, synthesizing in
+    /// [`BLOCK_ACCESSES`]-sized blocks.
+    fn extend_to(&mut self, need: usize) {
+        if self.buf.len() >= need {
+            return;
+        }
+        let target = need.div_ceil(BLOCK_ACCESSES) * BLOCK_ACCESSES;
+        let old = self.buf.len();
+        self.buf.resize(target, PLACEHOLDER);
+        let Recorded { gen, buf } = self;
+        gen.fill_block(&mut buf[old..]);
+    }
+}
+
+/// Replay cursor over a shared recorded stream.
+///
+/// Cloning the underlying recording is never needed: all cursors for one
+/// key share the same [`Recorded`] buffer and advance independent
+/// positions. The first cursor to reach unrecorded territory synthesizes
+/// the next block for everyone.
+pub struct CachedTrace {
+    shared: Rc<RefCell<Recorded>>,
+    pos: usize,
+    name: &'static str,
+}
+
+impl TraceGenerator for CachedTrace {
+    fn next_access(&mut self) -> Access {
+        let mut rec = self.shared.borrow_mut();
+        rec.extend_to(self.pos + 1);
+        let a = rec.buf[self.pos];
+        self.pos += 1;
+        a
+    }
+
+    fn fill_block(&mut self, out: &mut [Access]) {
+        let need = self.pos + out.len();
+        let mut rec = self.shared.borrow_mut();
+        rec.extend_to(need);
+        out.copy_from_slice(&rec.buf[self.pos..need]);
+        self.pos = need;
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// Key identifying one deterministic stream.
+type Key = (&'static str, usize, u64);
+
+/// Cache of recorded synthetic streams, keyed by `(benchmark, core, seed)`.
+pub struct TraceCache {
+    entries: BTreeMap<Key, Rc<RefCell<Recorded>>>,
+    /// Eviction threshold in buffered accesses across all recordings.
+    max_buffered: usize,
+    synthesized_streams: u64,
+    replayed_streams: u64,
+}
+
+impl Default for TraceCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_MAX_BUFFERED)
+    }
+}
+
+/// Default [`TraceCache::max_buffered`]: ~6M accesses ≈ 144 MB, enough for
+/// one full diag-scale benchmark across 8 cores with headroom.
+pub const DEFAULT_MAX_BUFFERED: usize = 6_000_000;
+
+impl TraceCache {
+    /// Creates a cache that starts evicting foreign `(benchmark, seed)`
+    /// groups once it buffers more than `max_buffered` accesses.
+    pub fn new(max_buffered: usize) -> Self {
+        TraceCache {
+            entries: BTreeMap::new(),
+            max_buffered,
+            synthesized_streams: 0,
+            replayed_streams: 0,
+        }
+    }
+
+    /// Total accesses currently buffered across all recordings.
+    pub fn buffered_accesses(&self) -> usize {
+        self.entries.values().map(|rc| rc.borrow().buf.len()).sum()
+    }
+
+    /// `(synthesized, replayed)` stream counts since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.synthesized_streams, self.replayed_streams)
+    }
+
+    /// Returns a generator for `(spec, core, seed)`, replaying the recorded
+    /// stream when one exists and recording a fresh one otherwise.
+    pub fn generator(&mut self, spec: &BenchmarkSpec, core: usize, seed: u64) -> CachedTrace {
+        let key: Key = (spec.name, core, seed);
+        if let Some(rc) = self.entries.get(&key) {
+            self.replayed_streams += 1;
+            return CachedTrace {
+                shared: Rc::clone(rc),
+                pos: 0,
+                name: spec.name,
+            };
+        }
+        // A new (benchmark, seed) group displaces other groups' recordings
+        // once the buffer budget is exceeded; same-group recordings (the
+        // other cores of this mix) are kept.
+        if self.buffered_accesses() > self.max_buffered {
+            self.entries
+                .retain(|&(name, _, s), _| name == spec.name && s == seed);
+        }
+        self.synthesized_streams += 1;
+        let rc = Rc::new(RefCell::new(Recorded {
+            gen: spec.generator(core, seed),
+            buf: Vec::new(),
+        }));
+        self.entries.insert(key, Rc::clone(&rc));
+        CachedTrace {
+            shared: rc,
+            pos: 0,
+            name: spec.name,
+        }
+    }
+}
+
+thread_local! {
+    static SHARED: RefCell<TraceCache> = RefCell::new(TraceCache::default());
+}
+
+/// Returns a replaying generator for `(spec, core, seed)` backed by the
+/// thread-local shared [`TraceCache`].
+pub fn cached_generator(spec: &BenchmarkSpec, core: usize, seed: u64) -> CachedTrace {
+    SHARED.with(|c| c.borrow_mut().generator(spec, core, seed))
+}
+
+/// Boxes one thread-local cached generator per spec (one core each), in
+/// core order — the shape `System::with_generators` consumes.
+pub fn cached_generators(specs: &[BenchmarkSpec], seed: u64) -> Vec<Box<dyn TraceGenerator>> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(core, spec)| Box::new(cached_generator(spec, core, seed)) as Box<dyn TraceGenerator>)
+        .collect()
+}
+
+/// `(synthesized, replayed)` stream counts of the thread-local cache.
+pub fn shared_cache_stats() -> (u64, u64) {
+    SHARED.with(|c| c.borrow().stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::benchmark;
+
+    fn fresh(name: &str, core: usize, seed: u64) -> SyntheticTrace {
+        benchmark(name).unwrap().generator(core, seed)
+    }
+
+    #[test]
+    fn replay_matches_fresh_generator_per_access() {
+        let mut cache = TraceCache::default();
+        let spec = benchmark("mcf").unwrap();
+        let mut cached = cache.generator(&spec, 0, 9);
+        let mut plain = fresh("mcf", 0, 9);
+        for _ in 0..2048 {
+            assert_eq!(cached.next_access(), plain.next_access());
+        }
+    }
+
+    #[test]
+    fn second_consumer_replays_without_resynthesis() {
+        let mut cache = TraceCache::default();
+        let spec = benchmark("lbm").unwrap();
+        let mut first = cache.generator(&spec, 0, 3);
+        let mut warm: Vec<Access> = Vec::new();
+        let mut buf = [PLACEHOLDER; 300];
+        first.fill_block(&mut buf);
+        warm.extend_from_slice(&buf);
+        let mut second = cache.generator(&spec, 0, 3);
+        for &a in &warm {
+            assert_eq!(second.next_access(), a);
+        }
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn interleaved_cursors_share_one_recording() {
+        let mut cache = TraceCache::default();
+        let spec = benchmark("pr").unwrap();
+        let mut a = cache.generator(&spec, 1, 5);
+        let mut b = cache.generator(&spec, 1, 5);
+        let mut plain = fresh("pr", 1, 5);
+        // Drive the cursors out of phase with odd block sizes.
+        let mut ref_stream: Vec<Access> = Vec::new();
+        let ensure = |n: usize, plain: &mut SyntheticTrace, rs: &mut Vec<Access>| {
+            while rs.len() < n {
+                rs.push(plain.next_access());
+            }
+        };
+        let mut pa = 0usize;
+        let mut pb = 0usize;
+        for (i, &sz) in [7usize, 1, 255, 257, 64, 13].iter().enumerate() {
+            let mut buf = vec![PLACEHOLDER; sz];
+            if i % 2 == 0 {
+                a.fill_block(&mut buf);
+                ensure(pa + sz, &mut plain, &mut ref_stream);
+                assert_eq!(&buf[..], &ref_stream[pa..pa + sz]);
+                pa += sz;
+            } else {
+                b.fill_block(&mut buf);
+                ensure(pb + sz, &mut plain, &mut ref_stream);
+                assert_eq!(&buf[..], &ref_stream[pb..pb + sz]);
+                pb += sz;
+            }
+        }
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn foreign_groups_evicted_past_budget() {
+        let mut cache = TraceCache::new(512);
+        let lbm = benchmark("lbm").unwrap();
+        let mcf = benchmark("mcf").unwrap();
+        let mut g = cache.generator(&lbm, 0, 1);
+        let mut buf = vec![PLACEHOLDER; 1024];
+        g.fill_block(&mut buf);
+        assert!(cache.buffered_accesses() >= 1024);
+        // New group arrives over budget: lbm's recording is dropped.
+        let _h = cache.generator(&mcf, 0, 1);
+        assert!(cache.buffered_accesses() < 1024);
+        // lbm must re-record (still byte-identical) on next request.
+        let mut again = cache.generator(&lbm, 0, 1);
+        let mut plain = fresh("lbm", 0, 1);
+        for _ in 0..256 {
+            assert_eq!(again.next_access(), plain.next_access());
+        }
+        assert_eq!(cache.stats(), (3, 0));
+    }
+}

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod components;
 pub mod mixes;
 pub mod spec;
@@ -69,6 +70,21 @@ impl Access {
 pub trait TraceGenerator {
     /// Produces the next access.
     fn next_access(&mut self) -> Access;
+
+    /// Fills `out` with the next `out.len()` accesses of the stream.
+    ///
+    /// Semantically identical to calling [`next_access`] `out.len()` times
+    /// (the default implementation does exactly that, and twin tests pin
+    /// every override to it); the batched form exists so the simulator can
+    /// pull a whole block through one virtual call into a reusable caller
+    /// buffer instead of paying a dynamic dispatch per memory reference.
+    ///
+    /// [`next_access`]: TraceGenerator::next_access
+    fn fill_block(&mut self, out: &mut [Access]) {
+        for slot in out.iter_mut() {
+            *slot = self.next_access();
+        }
+    }
 
     /// Short name for reports.
     fn name(&self) -> &str;

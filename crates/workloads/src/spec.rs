@@ -108,8 +108,15 @@ pub struct SyntheticTrace {
     rng: SmallRng,
 }
 
-impl TraceGenerator for SyntheticTrace {
-    fn next_access(&mut self) -> Access {
+impl SyntheticTrace {
+    /// One access of the stream. The RNG draw order — mixture pick,
+    /// component draw, gap jitter, write draw — is part of the trace
+    /// contract: [`TraceGenerator::next_access`] and
+    /// [`TraceGenerator::fill_block`] both funnel through this body, so
+    /// the batched and per-access paths are the same stream by
+    /// construction (and twin tests pin it).
+    #[inline]
+    fn gen_one(&mut self) -> Access {
         let u: f64 = self.rng.gen();
         let idx = self
             .cdf
@@ -129,6 +136,18 @@ impl TraceGenerator for SyntheticTrace {
             pc,
             gap,
             dependent,
+        }
+    }
+}
+
+impl TraceGenerator for SyntheticTrace {
+    fn next_access(&mut self) -> Access {
+        self.gen_one()
+    }
+
+    fn fill_block(&mut self, out: &mut [Access]) {
+        for slot in out.iter_mut() {
+            *slot = self.gen_one();
         }
     }
 
